@@ -1,0 +1,27 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments examples clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments.cli all --out results/
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf results benchmarks/results .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,46 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each ``test_bench_*`` module regenerates one table or figure of the
+paper on the full nine-benchmark suite, records the headline numbers in
+``benchmark.extra_info``, and writes the rendered text to
+``benchmarks/results/<id>.txt`` so the paper-shaped output is easy to
+inspect after a run.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.trace.cache import default_cache
+from repro.workloads.suite import SuiteConfig, build_cases
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def suite_cases():
+    """The nine SPEC-analog benchmark cases (generated once)."""
+    return build_cases(SuiteConfig(), cache=default_cache())
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_result(results_dir):
+    """Write a figure/table rendering to the results directory."""
+
+    def _record(result):
+        identifier = getattr(result, "figure_id", None) or result.table_id
+        (results_dir / f"{identifier}.txt").write_text(result.render() + "\n")
+        return result
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,35 @@
+"""Extension bench: the paper's "future work" frontier.
+
+The paper closes by saying 97 % is not good enough. This bench runs
+the predictors history produced next — gshare, gselect and the
+local/global tournament — against the paper's best (PAg-12) on the
+analog suite, and checks the tournament is at least competitive with
+its own best component (the reason choosers exist).
+"""
+
+from conftest import run_once
+
+from repro.core.twolevel import GsharePredictor, make_pag
+from repro.predictors.extensions import GselectPredictor, tournament_pag_gshare
+from repro.sim.runner import run_matrix
+
+
+def test_bench_future_work_predictors(benchmark, suite_cases):
+    builders = {
+        "PAg-12": lambda t: make_pag(12),
+        "gshare-14": lambda t: GsharePredictor(14),
+        "gselect-7+7": lambda t: GselectPredictor(history_bits=7, address_bits=7),
+        "tournament": lambda t: tournament_pag_gshare(12, 14, 12),
+    }
+
+    matrix = run_once(benchmark, lambda: run_matrix(builders, suite_cases))
+    gmeans = {scheme: matrix.gmean(scheme) for scheme in matrix.schemes}
+    benchmark.extra_info["tot_gmeans"] = {k: round(v, 4) for k, v in gmeans.items()}
+
+    # The tournament must not lose to its own components (that is its
+    # entire job), modulo chooser-training noise.
+    assert gmeans["tournament"] >= max(gmeans["PAg-12"], gmeans["gshare-14"]) - 0.005
+    # Every extension is at least in the two-level class — far above
+    # the paper's non-two-level baselines (~91 % at best).
+    for scheme, value in gmeans.items():
+        assert value > 0.91, scheme

@@ -1,0 +1,28 @@
+"""Bench regenerating Figure 10: branch history table implementations."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure10
+
+
+def test_bench_fig10(benchmark, suite_cases, record_result):
+    result = run_once(benchmark, lambda: figure10(cases=suite_cases))
+    record_result(result)
+    matrix = result.matrix
+    gmeans = {scheme: matrix.gmean(scheme) for scheme in matrix.schemes}
+    benchmark.extra_info["tot_gmeans"] = {k: round(v, 4) for k, v in gmeans.items()}
+    # Paper: the 4-way 512-entry table performs very close to the IBHT.
+    assert gmeans["PAg-IBHT"] - gmeans["PAg-512x4"] < 0.01
+    # Accuracy decreases as the table miss rate rises: every practical
+    # table is within [256x1, IBHT], and 256-entry direct-mapped is the
+    # worst of the four.
+    assert gmeans["PAg-256x1"] == min(gmeans.values())
+    assert gmeans["PAg-512x4"] >= gmeans["PAg-256x4"]
+    assert gmeans["PAg-512x1"] >= gmeans["PAg-256x1"]
+    # gcc (the only benchmark whose static population exceeds the BHT)
+    # pays the largest capacity penalty.
+    losses = {
+        b: matrix.accuracy("PAg-IBHT", b) - matrix.accuracy("PAg-256x1", b)
+        for b in matrix.benchmarks
+    }
+    assert max(losses, key=losses.get) == "gcc"

@@ -1,0 +1,35 @@
+"""Bench regenerating Figure 11: the grand scheme comparison.
+
+The paper's headline: Two-Level Adaptive (PAg, ~97 %) on top, then
+PSg/GSg, the BTB with 2-bit counters (~93 %), profiling (~91 %), the
+BTB with Last-Time (~89 %), and far below them BTFN (~68.5 %) and
+Always Taken (~62.5 %).
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure11
+
+
+def test_bench_fig11(benchmark, suite_cases, record_result):
+    result = run_once(benchmark, lambda: figure11(cases=suite_cases))
+    record_result(result)
+    matrix = result.matrix
+    gmeans = {scheme: matrix.gmean(scheme) for scheme in matrix.schemes}
+    benchmark.extra_info["tot_gmeans"] = {k: round(v, 4) for k, v in gmeans.items()}
+
+    two_level = gmeans["PAg(512,4,12,A2)"]
+    # The two-level scheme is the top curve, by a clear margin.
+    for scheme, value in gmeans.items():
+        if scheme != "PAg(512,4,12,A2)":
+            assert two_level > value, scheme
+    runner_up = max(v for k, v in gmeans.items() if k != "PAg(512,4,12,A2)")
+    assert two_level - runner_up >= 0.02
+
+    # Dynamic-per-branch schemes: counters above Last-Time.
+    assert gmeans["BTB(512,4,A2)"] > gmeans["BTB(512,4,LT)"]
+    # The static baselines sit at the bottom, AT below BTFN.
+    assert gmeans["BTFN"] < gmeans["BTB(512,4,LT)"]
+    assert gmeans["AlwaysTaken"] < gmeans["BTFN"]
+    # Always Taken lands in the paper's regime (~62.5 %).
+    assert 0.5 < gmeans["AlwaysTaken"] < 0.72

@@ -1,0 +1,20 @@
+"""Bench regenerating Figure 4: dynamic branch class distribution."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure4
+
+
+def test_bench_fig4(benchmark, suite_cases, record_result):
+    result = run_once(benchmark, lambda: figure4(cases=suite_cases))
+    record_result(result)
+    mixes = result.extra["mixes"]
+    benchmark.extra_info["conditional_fractions"] = {
+        name: round(mix.conditional, 4) for name, mix in mixes.items()
+    }
+    # Paper: ~80 % of dynamic branches are conditional — conditional
+    # branches dominate on every benchmark.
+    for name, mix in mixes.items():
+        assert mix.conditional > 0.6, name
+    average = sum(m.conditional for m in mixes.values()) / len(mixes)
+    assert average > 0.75

@@ -1,0 +1,24 @@
+"""Bench regenerating Figure 5: pattern history table automata."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure5
+
+
+def test_bench_fig5(benchmark, suite_cases, record_result):
+    result = run_once(benchmark, lambda: figure5(cases=suite_cases))
+    record_result(result)
+    matrix = result.matrix
+    gmeans = {scheme: matrix.gmean(scheme) for scheme in matrix.schemes}
+    benchmark.extra_info["tot_gmeans"] = {k: round(v, 4) for k, v in gmeans.items()}
+
+    def of(automaton):
+        return next(v for k, v in gmeans.items() if k.endswith(f"-{automaton}"))
+
+    # Paper's shape: the four-state saturating counters clearly beat the
+    # one/two-outcome automata, and A2/A3/A4 are very close together.
+    weak = max(of("LT"), of("A1"))
+    for name in ("A2", "A3", "A4"):
+        assert of(name) > weak
+    counters = [of(n) for n in ("A2", "A3", "A4")]
+    assert max(counters) - min(counters) < 0.01

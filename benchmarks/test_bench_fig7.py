@@ -1,0 +1,20 @@
+"""Bench regenerating Figure 7: GAg history-length sweep (6 -> 18)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure7
+
+LENGTHS = (6, 8, 10, 12, 14, 16, 18)
+
+
+def test_bench_fig7(benchmark, suite_cases, record_result):
+    result = run_once(benchmark, lambda: figure7(cases=suite_cases, lengths=LENGTHS))
+    record_result(result)
+    matrix = result.matrix
+    int_series = [matrix.gmean(f"GAg-{k}", "int") for k in LENGTHS]
+    benchmark.extra_info["int_gmeans"] = [round(v, 4) for v in int_series]
+    benchmark.extra_info["tot_gain"] = round(result.extra["gain"], 4)
+    # Paper: lengthening 6 -> 18 bits buys ~9 points. Require a large,
+    # monotone-on-integer-codes gain.
+    assert int_series == sorted(int_series)
+    assert int_series[-1] - int_series[0] > 0.05

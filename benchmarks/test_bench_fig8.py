@@ -1,0 +1,25 @@
+"""Bench regenerating Figure 8: iso-accuracy configurations and costs.
+
+GAg(18-bit HR), PAg(12-bit HRs) and PAp(6-bit HRs) achieve roughly the
+same accuracy; their hardware costs differ wildly, with PAg cheapest.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure8
+
+
+def test_bench_fig8(benchmark, suite_cases, record_result):
+    result = run_once(benchmark, lambda: figure8(cases=suite_cases))
+    record_result(result)
+    matrix = result.matrix
+    accuracies = {scheme: matrix.gmean(scheme) for scheme in matrix.schemes}
+    costs = result.extra["costs"]
+    benchmark.extra_info["tot_gmeans"] = {k: round(v, 4) for k, v in accuracies.items()}
+    benchmark.extra_info["costs"] = {k: round(v, 1) for k, v in costs.items()}
+    # Iso-accuracy: the three configurations land close together.
+    assert max(accuracies.values()) - min(accuracies.values()) < 0.04
+    # Cost ordering: PAg cheapest; GAg's 2^18-entry PHT and PAp's 512
+    # pattern tables both dwarf it.
+    assert costs["PAg-12"] < costs["GAg-18"]
+    assert costs["PAg-12"] < costs["PAp-6"]

@@ -1,0 +1,57 @@
+"""Ablation bench: interference explains the GAg -> PAg -> PAp ladder.
+
+DESIGN.md calls out interference as the design axis the three
+variations trade against cost. This bench measures first- and
+second-level interference directly on the suite and checks they move
+the way the accuracy ladder says they must.
+"""
+
+from conftest import run_once
+
+from repro.analysis.interference import (
+    first_level_interference,
+    second_level_interference,
+)
+from repro.core.twolevel import make_gag, make_pag, make_pap
+from repro.sim.engine import simulate
+
+
+def test_bench_interference_ladder(benchmark, suite_cases):
+    integer_cases = [c for c in suite_cases if c.category == "int"]
+
+    def run():
+        rows = {}
+        for case in integer_cases:
+            trace = case.test_trace
+            first = first_level_interference(trace, 6)
+            second = second_level_interference(trace, 6)
+            gag = simulate(make_gag(6), trace).accuracy
+            pag = simulate(make_pag(6), trace).accuracy
+            pap = simulate(make_pap(6), trace).accuracy
+            rows[case.name] = {
+                "pollution": first.pollution_rate,
+                "destructive": second.destructive_rate,
+                "gag": gag,
+                "pag": pag,
+                "pap": pap,
+            }
+        return rows
+
+    rows = run_once(benchmark, run)
+    benchmark.extra_info["rows"] = {
+        name: {k: round(v, 4) for k, v in row.items()} for name, row in rows.items()
+    }
+    for name, row in rows.items():
+        # First-level interference is heavy on real multi-branch code —
+        # this is why GAg needs long registers.
+        assert row["pollution"] > 0.5, name
+        # Removing first-level interference helps (PAg >= GAg) wherever
+        # pollution is high; removing second-level interference helps
+        # on top of that for most benchmarks.
+        assert row["pag"] > row["gag"] - 0.02, name
+    # Suite-wide, the full ladder holds on average.
+    mean = lambda key: sum(r[key] for r in rows.values()) / len(rows)
+    assert mean("pap") > mean("pag") > mean("gag")
+    # Destructive second-level aliasing is a real, measurable fraction
+    # of updates in the shared-table design.
+    assert mean("destructive") > 0.01

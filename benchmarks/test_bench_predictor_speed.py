@@ -1,0 +1,41 @@
+"""Microbenchmarks of the predictor hot path (predictions per second).
+
+Not a paper figure — these time the simulator substrate itself so
+regressions in the per-branch loop show up in CI.
+"""
+
+import pytest
+
+from repro.core.twolevel import make_gag, make_pag, make_pap
+from repro.predictors.btb import btb_a2
+from repro.predictors.static import AlwaysTaken
+from repro.sim.engine import simulate
+from repro.trace import synthetic
+
+
+@pytest.fixture(scope="module")
+def speed_trace():
+    sources = [synthetic.loop_source(t) for t in (3, 5, 9, 17)] + [
+        synthetic.pattern_source([True, True, False]),
+    ]
+    return synthetic.interleaved(sources, length=50_000)
+
+
+@pytest.mark.parametrize(
+    "factory,label",
+    [
+        (lambda: AlwaysTaken(), "always-taken"),
+        (lambda: make_gag(12), "gag-12"),
+        (lambda: make_pag(12), "pag-12"),
+        (lambda: make_pap(6), "pap-6"),
+        (btb_a2, "btb-a2"),
+    ],
+    ids=["always-taken", "gag-12", "pag-12", "pap-6", "btb-a2"],
+)
+def test_bench_prediction_throughput(benchmark, speed_trace, factory, label):
+    def run():
+        return simulate(factory(), speed_trace)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.conditional_branches == len(speed_trace)
+    benchmark.extra_info["branches"] = result.conditional_branches

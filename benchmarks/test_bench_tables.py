@@ -1,0 +1,42 @@
+"""Benches regenerating the paper's Tables 1-3."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table1, table2, table3
+from repro.workloads.suite import PAPER_TABLE1
+
+
+def test_bench_table1(benchmark, suite_cases, record_result):
+    """Table 1: static conditional branch counts per benchmark."""
+    result = run_once(benchmark, lambda: table1(cases=suite_cases))
+    record_result(result)
+    counts = {row[0]: row[1] for row in result.rows}
+    benchmark.extra_info["static_counts"] = counts
+    # The property Table 1 feeds (Fig 10): gcc has by far the largest
+    # static population, larger than a 512-entry BHT.
+    assert max(counts, key=counts.get) == "gcc"
+    assert counts["gcc"] > 512
+    assert set(counts) == set(PAPER_TABLE1)
+
+
+def test_bench_table2(benchmark, record_result):
+    """Table 2: training/testing dataset names (must match the paper)."""
+    result = run_once(benchmark, table2)
+    record_result(result)
+    rows = {row[0]: (row[1], row[3]) for row in result.rows}
+    for name, (ours, paper) in rows.items():
+        assert ours.lower() == paper.lower(), name
+
+
+def test_bench_table3(benchmark, record_result):
+    """Table 3: the simulated predictor configuration list."""
+    result = run_once(benchmark, table3)
+    record_result(result)
+    assert len(result.rows) == 15
+    rendered = result.render()
+    for fragment in (
+        "GAg(HR(1,,12-sr),1xPHT(2^12,A2),)",
+        "PAp(BHT(512,4,12-sr),512xPHT(2^12,A2),)",
+        "BTB(BHT(512,4,LT),,)",
+    ):
+        assert fragment in rendered

@@ -1,0 +1,35 @@
+"""Figure 11 in miniature: every scheme family on the analog suite.
+
+By default runs two integer and one floating-point benchmark to stay
+fast; pass ``--full`` for all nine (a few minutes).
+
+Run:  python examples/compare_schemes.py [--full]
+"""
+
+import argparse
+
+from repro import build_cases, run_matrix, SuiteConfig
+from repro.experiments.report import render_accuracy_matrix
+from repro.predictors.registry import figure11_factories
+from repro.workloads.suite import BENCHMARK_ORDER
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="run all nine benchmarks")
+    args = parser.parse_args()
+
+    benchmarks = list(BENCHMARK_ORDER) if args.full else ["espresso", "li", "tomcatv"]
+    print(f"generating traces for: {', '.join(benchmarks)} ...")
+    cases = build_cases(SuiteConfig(benchmarks=benchmarks))
+
+    matrix = run_matrix(figure11_factories(), cases)
+    print()
+    print(render_accuracy_matrix(matrix, title="Branch prediction schemes compared"))
+    print()
+    best = matrix.best_scheme()
+    print(f"best scheme by Tot GMean: {best} ({matrix.gmean(best) * 100:.2f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Cost/accuracy trade-off study (the paper's §3.4 + Figure 8).
+
+Sweeps history register length for each two-level variation, measuring
+prediction accuracy on an integer benchmark against the paper's
+hardware cost equations. Prints the frontier the paper summarises as:
+"to reach ~97 %, GAg needs 18 bits, PAg 12, PAp 6 — and PAg is the
+cheapest of the three".
+
+Run:  python examples/cost_accuracy_tradeoff.py
+"""
+
+from repro import (
+    cost_gag,
+    cost_pag,
+    cost_pap,
+    get_workload,
+    make_gag,
+    make_pag,
+    make_pap,
+    simulate,
+)
+
+
+def main() -> None:
+    trace = get_workload("li").generate("testing")
+    print(f"benchmark: {trace}\n")
+    header = f"{'variation':6s} {'k':>3s} {'accuracy':>9s} {'cost (eqs. 4-6)':>16s}"
+    print(header)
+    print("-" * len(header))
+
+    rows = []
+    for k in (2, 4, 6, 8, 10, 12, 14, 16, 18):
+        rows.append(("GAg", k, simulate(make_gag(k), trace).accuracy, cost_gag(k)))
+    for k in (2, 4, 6, 8, 10, 12):
+        rows.append(("PAg", k, simulate(make_pag(k), trace).accuracy, cost_pag(512, 4, k)))
+    for k in (2, 4, 6, 8):
+        rows.append(("PAp", k, simulate(make_pap(k), trace).accuracy, cost_pap(512, 4, k)))
+
+    for variation, k, accuracy, cost in rows:
+        print(f"{variation:6s} {k:3d} {accuracy * 100:8.2f}% {cost:16,.0f}")
+
+    print("\ncheapest configuration reaching 94% on this benchmark, per variation:")
+    for variation in ("GAg", "PAg", "PAp"):
+        good = [(cost, k) for v, k, acc, cost in rows if v == variation and acc >= 0.94]
+        if good:
+            cost, k = min(good)
+            print(f"  {variation}: k={k:2d}  cost={cost:,.0f}")
+        else:
+            print(f"  {variation}: not reached in the sweep")
+
+
+if __name__ == "__main__":
+    main()

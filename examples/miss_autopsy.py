@@ -1,0 +1,68 @@
+"""Miss autopsy: characterising the residual 3 percent.
+
+The paper closes by saying its ~97 % "is not good enough" and that the
+authors are examining the remaining misses. This example performs that
+examination on the gcc analog — the hardest benchmark — using the
+analysis toolkit:
+
+1. break the misses into cold / post-flush / steady-state,
+2. find the static branches where the misses live,
+3. measure the interference that causes the steady-state share,
+4. watch the learning curve to see warm-up end.
+
+Run:  python examples/miss_autopsy.py
+"""
+
+from repro import ContextSwitchConfig, get_workload, make_pag
+from repro.analysis import (
+    interference_report,
+    learning_curve,
+    misprediction_breakdown,
+    per_site_report,
+    predictability_bounds,
+)
+
+
+def main() -> None:
+    trace = get_workload("gcc").generate("testing")
+    print(f"benchmark: {trace}\n")
+
+    breakdown = misprediction_breakdown(
+        make_pag(12), trace, context_switches=ContextSwitchConfig()
+    )
+    shares = breakdown.shares()
+    print(f"PAg-12 accuracy: {breakdown.accuracy * 100:.2f}% "
+          f"({breakdown.total_misses} misses)")
+    print(f"  cold-start misses : {shares['cold'] * 100:5.1f}%")
+    print(f"  post-flush misses : {shares['post_flush'] * 100:5.1f}%")
+    print(f"  steady-state      : {shares['steady'] * 100:5.1f}%\n")
+
+    print("where the misses live (worst 8 static branches):")
+    for site in per_site_report(make_pag(12), trace, top=8):
+        print(
+            f"  pc {site.pc:#010x}: {site.mispredictions:6d} misses "
+            f"over {site.executions:7d} runs "
+            f"(taken {site.taken_rate * 100:5.1f}%, accuracy {site.accuracy * 100:5.1f}%)"
+        )
+    print()
+
+    print(interference_report(trace, history_bits=12))
+    print()
+
+    bounds = predictability_bounds(trace, 12)
+    print(f"static-oracle references at k=12: bias {bounds.bias_bound * 100:.2f}%, "
+          f"12-bit self-history {bounds.history_bound * 100:.2f}%")
+    print("  -> below the oracle: warm-up + hysteresis + aliasing losses;")
+    print("     above it (possible!): phase-adaptivity the static map lacks.\n")
+
+    curve = learning_curve(make_pag(12), trace, windows=10)
+    print("learning curve (accuracy per tenth of the trace):")
+    print("  " + " ".join(f"{value * 100:5.1f}" for value in curve))
+    print("\nReading: most of gcc's residual misses are steady-state —")
+    print("pattern conflicts and inherently data-dependent guards — which")
+    print("is exactly why the field moved on to gshare-style hashing and")
+    print("tournament choosers (see `repro-experiments extra-taxonomy`).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+"""repro — a full reproduction of Yeh & Patt's *Alternative
+Implementations of Two-Level Adaptive Branch Prediction*.
+
+Subpackages:
+
+* :mod:`repro.core` — the paper's contribution: GAg/PAg/PAp two-level
+  predictors, the LT/A1-A4 pattern automata, branch history tables,
+  Static Training (GSg/PSg), the hardware cost model, and the Table 3
+  configuration naming convention.
+* :mod:`repro.predictors` — the comparison schemes (BTB counters,
+  profiling, Always-Taken, BTFN) and the common predictor interface.
+* :mod:`repro.trace` — branch-trace records, serialization, statistics,
+  synthetic generators and the trace cache.
+* :mod:`repro.sim` — the trace-driven simulation engine with the
+  paper's context-switch model, plus result aggregation.
+* :mod:`repro.workloads` — nine SPEC-analog benchmarks (instrumented
+  real algorithms) reproducing the paper's evaluation suite.
+* :mod:`repro.isa` — an M88K-flavoured instruction-level simulator and
+  assembler, the paper's trace-generation substrate.
+* :mod:`repro.experiments` — drivers regenerating every table and
+  figure of the evaluation.
+
+Quickstart::
+
+    from repro import make_pag, simulate, get_workload
+
+    trace = get_workload("eqntott").generate("testing")
+    result = simulate(make_pag(12), trace)
+    print(result.accuracy)
+"""
+
+from .core import (
+    A1,
+    A2,
+    A3,
+    A4,
+    LAST_TIME,
+    AutomatonSpec,
+    GAgPredictor,
+    GApPredictor,
+    GSgPredictor,
+    GsharePredictor,
+    PAgPredictor,
+    PApPredictor,
+    PSgPredictor,
+    SchemeSpec,
+    TwoLevelConfig,
+    cost_gag,
+    cost_pag,
+    cost_pap,
+    cost_two_level,
+    make_gag,
+    make_pag,
+    make_pap,
+)
+from .predictors import (
+    BTFN,
+    AlwaysNotTaken,
+    AlwaysTaken,
+    BTBPredictor,
+    BranchPredictor,
+    ProfileGuided,
+    btb_a2,
+    btb_last_time,
+)
+from .predictors.registry import make_predictor
+from .sim import (
+    BenchmarkCase,
+    ContextSwitchConfig,
+    ResultMatrix,
+    SimulationResult,
+    geometric_mean,
+    run_matrix,
+    simulate,
+)
+from .trace import BranchClass, BranchRecord, Trace, TraceBuilder, load_trace, save_trace
+from .workloads import (
+    BENCHMARK_ORDER,
+    SuiteConfig,
+    all_workloads,
+    build_cases,
+    get_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A1",
+    "A2",
+    "A3",
+    "A4",
+    "AlwaysNotTaken",
+    "AlwaysTaken",
+    "AutomatonSpec",
+    "BENCHMARK_ORDER",
+    "BTBPredictor",
+    "BTFN",
+    "BenchmarkCase",
+    "BranchClass",
+    "BranchPredictor",
+    "BranchRecord",
+    "ContextSwitchConfig",
+    "GAgPredictor",
+    "GApPredictor",
+    "GSgPredictor",
+    "GsharePredictor",
+    "LAST_TIME",
+    "PAgPredictor",
+    "PApPredictor",
+    "PSgPredictor",
+    "ProfileGuided",
+    "ResultMatrix",
+    "SchemeSpec",
+    "SimulationResult",
+    "SuiteConfig",
+    "Trace",
+    "TraceBuilder",
+    "TwoLevelConfig",
+    "all_workloads",
+    "btb_a2",
+    "btb_last_time",
+    "build_cases",
+    "cost_gag",
+    "cost_pag",
+    "cost_pap",
+    "cost_two_level",
+    "geometric_mean",
+    "get_workload",
+    "load_trace",
+    "make_gag",
+    "make_pag",
+    "make_pap",
+    "make_predictor",
+    "run_matrix",
+    "save_trace",
+    "simulate",
+    "__version__",
+]

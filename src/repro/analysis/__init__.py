@@ -1,0 +1,38 @@
+"""Analysis tooling: interference measurement and miss characterisation."""
+
+from .bounds import PredictabilityBounds, bias_bound, history_bound, predictability_bounds
+from .breakdown import (
+    MispredictionBreakdown,
+    SiteReport,
+    learning_curve,
+    misprediction_breakdown,
+    per_site_report,
+)
+from .interference import (
+    BHTPressure,
+    FirstLevelInterference,
+    SecondLevelInterference,
+    bht_pressure,
+    first_level_interference,
+    interference_report,
+    second_level_interference,
+)
+
+__all__ = [
+    "BHTPressure",
+    "PredictabilityBounds",
+    "bias_bound",
+    "history_bound",
+    "predictability_bounds",
+    "FirstLevelInterference",
+    "MispredictionBreakdown",
+    "SecondLevelInterference",
+    "SiteReport",
+    "bht_pressure",
+    "first_level_interference",
+    "interference_report",
+    "learning_curve",
+    "misprediction_breakdown",
+    "per_site_report",
+    "second_level_interference",
+]

@@ -1,0 +1,110 @@
+"""Predictability reference points (static oracles).
+
+How good is the best **time-invariant** predictor on a given trace?
+
+* :func:`bias_bound` — the accuracy of an oracle that knows each
+  branch's whole-trace majority direction in advance. This is exactly
+  what in-sample profiling converges to; any *static* per-branch scheme
+  is bounded by it.
+* :func:`history_bound` — the accuracy of an oracle that, for every
+  (branch, k-bit self-history) context, knows the context's whole-trace
+  majority outcome. This is the ceiling for any *fixed* k-history
+  mapping — e.g. an idealised Static Training table with unlimited
+  profiling on the test input itself.
+
+Two caveats make these *reference points*, not hard ceilings:
+
+1. **Adaptive predictors can exceed them.** A saturating counter tracks
+   phase changes; when a context behaves differently in different
+   program phases, the whole-trace majority gets ``max(p, 1-p)`` while
+   an adaptive entry can get both phases right. (Our eqntott analog
+   shows precisely this: PAp-6 beats the 6-bit static oracle.) The gap
+   *above* the oracle measures how much phase-adaptivity buys — the
+   paper's §2 argument for adaptive over Static Training, quantified.
+2. Below the oracle, the gap decomposes into warm-up and hysteresis
+   losses; and the oracle's own distance from 100 % is behaviour that
+   no fixed k-history mapping can capture — raising k is the only fix,
+   the paper's Figure 7 story.
+
+Both oracles use the same history bookkeeping as the real predictors
+(two passes: tally, then score), so comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.history import history_mask
+from ..trace.events import BranchClass, Trace
+
+
+@dataclass(frozen=True)
+class PredictabilityBounds:
+    """Static-oracle reference points for one trace at one history
+    length (see the module docstring for what they do and do not
+    bound)."""
+
+    history_bits: int
+    conditional_branches: int
+    bias_bound: float
+    history_bound: float
+
+    @property
+    def history_headroom(self) -> float:
+        """How much knowing k-bit history adds over pure bias."""
+        return self.history_bound - self.bias_bound
+
+
+def bias_bound(trace: Trace) -> float:
+    """Accuracy of the static per-branch majority-direction oracle."""
+    taken: Dict[int, int] = defaultdict(int)
+    total: Dict[int, int] = defaultdict(int)
+    for pc, was_taken, cls, _t, _i, _tr in trace.iter_tuples():
+        if cls != BranchClass.CONDITIONAL:
+            continue
+        total[pc] += 1
+        if was_taken:
+            taken[pc] += 1
+    correct = sum(max(taken[pc], total[pc] - taken[pc]) for pc in total)
+    denominator = sum(total.values())
+    return correct / denominator if denominator else 0.0
+
+
+def history_bound(trace: Trace, history_bits: int, per_address: bool = True) -> float:
+    """Accuracy of the static majority oracle per (branch, k-history)
+    context — the ceiling for fixed mappings, beatable by adaptive ones
+    on phase-changing behaviour.
+
+    Args:
+        per_address: contexts keyed by the branch's own history (the
+            PAg/PAp ceiling); False keys by global history (GAg ceiling).
+    """
+    mask = history_mask(history_bits)
+    counts: Dict[Tuple[int, int], list] = defaultdict(lambda: [0, 0])
+    histories: Dict[int, int] = {}
+    global_history = mask
+    for pc, taken, cls, _t, _i, _tr in trace.iter_tuples():
+        if cls != BranchClass.CONDITIONAL:
+            continue
+        if per_address:
+            history = histories.get(pc, mask)
+            counts[(pc, history)][1 if taken else 0] += 1
+            histories[pc] = ((history << 1) | (1 if taken else 0)) & mask
+        else:
+            counts[(pc, global_history)][1 if taken else 0] += 1
+            global_history = ((global_history << 1) | (1 if taken else 0)) & mask
+    correct = sum(max(not_taken, taken) for not_taken, taken in counts.values())
+    denominator = sum(a + b for a, b in counts.values())
+    return correct / denominator if denominator else 0.0
+
+
+def predictability_bounds(trace: Trace, history_bits: int) -> PredictabilityBounds:
+    """Both ceilings for one trace."""
+    return PredictabilityBounds(
+        history_bits=history_bits,
+        conditional_branches=trace.num_conditional(),
+        bias_bound=bias_bound(trace),
+        history_bound=history_bound(trace, history_bits),
+    )

@@ -1,0 +1,190 @@
+"""Misprediction breakdown and learning curves.
+
+The paper closes by noting the authors "are examining that 3 percent
+[miss rate] to try to characterize it". This module does that
+characterisation for any predictor on any trace:
+
+* :func:`misprediction_breakdown` — classify every miss as
+
+  - **cold** — the first few occurrences of its static branch (the
+    predictor had nothing to go on),
+  - **post-flush** — shortly after a context switch flushed the first
+    level,
+  - **steady-state** — everything else (pattern conflicts, inherent
+    randomness, interference).
+
+* :func:`learning_curve` — accuracy over consecutive windows of the
+  trace, showing warm-up and phase behaviour.
+
+* :func:`per_site_report` — the worst static branches with their bias
+  and miss share, the actionable view for "where do the misses live?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..predictors.base import BranchPredictor
+from ..sim.engine import ContextSwitchConfig
+from ..trace.events import BranchClass, Trace
+
+_COLD_OCCURRENCES = 4
+_POST_FLUSH_WINDOW = 2  # per-branch occurrences after a flush counted as flush cost
+
+
+@dataclass(frozen=True)
+class MispredictionBreakdown:
+    """Misses attributed to cold starts, flushes, and steady state."""
+
+    total_branches: int
+    total_misses: int
+    cold_misses: int
+    post_flush_misses: int
+    steady_misses: int
+
+    @property
+    def accuracy(self) -> float:
+        if self.total_branches == 0:
+            return 0.0
+        return 1.0 - self.total_misses / self.total_branches
+
+    def shares(self) -> Dict[str, float]:
+        """Fraction of all misses in each class."""
+        if self.total_misses == 0:
+            return {"cold": 0.0, "post_flush": 0.0, "steady": 0.0}
+        return {
+            "cold": self.cold_misses / self.total_misses,
+            "post_flush": self.post_flush_misses / self.total_misses,
+            "steady": self.steady_misses / self.total_misses,
+        }
+
+
+def misprediction_breakdown(
+    predictor: BranchPredictor,
+    trace: Trace,
+    context_switches: Optional[ContextSwitchConfig] = None,
+) -> MispredictionBreakdown:
+    """Simulate and classify every misprediction."""
+    occurrences: Dict[int, int] = {}
+    since_flush: Dict[int, int] = {}
+    total = 0
+    misses = 0
+    cold = 0
+    post_flush = 0
+    cs_enabled = context_switches is not None
+    interval = context_switches.interval if cs_enabled else 0
+    switch_on_traps = context_switches.switch_on_traps if cs_enabled else False
+    next_switch = interval
+    cond_class = int(BranchClass.CONDITIONAL)
+
+    for pc, taken, cls, target, instret, trap in trace.iter_tuples():
+        if cs_enabled and ((trap and switch_on_traps) or instret >= next_switch):
+            predictor.on_context_switch()
+            next_switch = instret + interval
+            since_flush = {}
+        if cls != cond_class:
+            continue
+        prediction = predictor.predict(pc, target)
+        predictor.update(pc, taken, target)
+        total += 1
+        count = occurrences.get(pc, 0)
+        occurrences[pc] = count + 1
+        flush_count = since_flush.get(pc, 0)
+        since_flush[pc] = flush_count + 1
+        if prediction == taken:
+            continue
+        misses += 1
+        if count < _COLD_OCCURRENCES:
+            cold += 1
+        elif cs_enabled and flush_count < _POST_FLUSH_WINDOW:
+            post_flush += 1
+    return MispredictionBreakdown(
+        total_branches=total,
+        total_misses=misses,
+        cold_misses=cold,
+        post_flush_misses=post_flush,
+        steady_misses=misses - cold - post_flush,
+    )
+
+
+def learning_curve(
+    predictor: BranchPredictor,
+    trace: Trace,
+    windows: int = 20,
+) -> List[float]:
+    """Accuracy per consecutive window of conditional branches."""
+    if windows < 1:
+        raise ValueError("windows must be >= 1")
+    conditional = trace.num_conditional()
+    if conditional == 0:
+        return []
+    window_size = max(conditional // windows, 1)
+    curve: List[float] = []
+    correct = 0
+    seen = 0
+    cond_class = int(BranchClass.CONDITIONAL)
+    for pc, taken, cls, target, _instret, _trap in trace.iter_tuples():
+        if cls != cond_class:
+            continue
+        prediction = predictor.predict(pc, target)
+        predictor.update(pc, taken, target)
+        correct += prediction == taken
+        seen += 1
+        if seen == window_size:
+            curve.append(correct / seen)
+            correct = 0
+            seen = 0
+    # A tiny tail remainder is statistically meaningless noise; only
+    # report it when it is a substantial fraction of a window.
+    if seen >= window_size // 4 and seen > 0:
+        curve.append(correct / seen)
+    return curve
+
+
+@dataclass(frozen=True)
+class SiteReport:
+    """One static branch in the per-site report."""
+
+    pc: int
+    executions: int
+    mispredictions: int
+    taken_rate: float
+
+    @property
+    def accuracy(self) -> float:
+        if self.executions == 0:
+            return 0.0
+        return 1.0 - self.mispredictions / self.executions
+
+
+def per_site_report(
+    predictor: BranchPredictor,
+    trace: Trace,
+    top: int = 10,
+) -> List[SiteReport]:
+    """The ``top`` static branches ranked by misprediction count."""
+    executions: Dict[int, int] = {}
+    taken_counts: Dict[int, int] = {}
+    miss_counts: Dict[int, int] = {}
+    cond_class = int(BranchClass.CONDITIONAL)
+    for pc, taken, cls, target, _instret, _trap in trace.iter_tuples():
+        if cls != cond_class:
+            continue
+        prediction = predictor.predict(pc, target)
+        predictor.update(pc, taken, target)
+        executions[pc] = executions.get(pc, 0) + 1
+        if taken:
+            taken_counts[pc] = taken_counts.get(pc, 0) + 1
+        if prediction != taken:
+            miss_counts[pc] = miss_counts.get(pc, 0) + 1
+    ranked = sorted(miss_counts.items(), key=lambda item: -item[1])[:top]
+    return [
+        SiteReport(
+            pc=pc,
+            executions=executions[pc],
+            mispredictions=misses,
+            taken_rate=taken_counts.get(pc, 0) / executions[pc],
+        )
+        for pc, misses in ranked
+    ]

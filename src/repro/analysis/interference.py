@@ -1,0 +1,205 @@
+"""Interference analysis.
+
+The whole GAg -> PAg -> PAp progression of the paper is an interference
+story: GAg suffers aliasing in *both* levels, PAg removes first-level
+(history) interference, PAp also removes second-level (pattern)
+interference. This module measures those quantities directly on a
+trace, so the accuracy differences the figures show can be attributed.
+
+* :func:`first_level_interference` — how often a branch's global-history
+  pattern differs from what its private history would have been: the
+  corruption GAg's shared register suffers.
+* :func:`second_level_interference` — for a shared (global) pattern
+  table, how many table entries are touched by multiple static branches
+  and how often consecutive updates to an entry come from *different*
+  branches with *disagreeing* outcomes (destructive aliasing, the kind
+  that flips counters).
+* :func:`bht_pressure` — hit/miss/eviction rates of a practical BHT for
+  the trace's working set (what Figure 10 varies).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.history import CacheBHT, history_mask
+from ..trace.events import BranchClass, Trace
+
+
+@dataclass(frozen=True)
+class FirstLevelInterference:
+    """How much a shared global history register is corrupted."""
+
+    history_bits: int
+    conditional_branches: int
+    polluted_lookups: int
+    """Lookups where global history != the branch's private history."""
+
+    @property
+    def pollution_rate(self) -> float:
+        if self.conditional_branches == 0:
+            return 0.0
+        return self.polluted_lookups / self.conditional_branches
+
+
+def first_level_interference(trace: Trace, history_bits: int) -> FirstLevelInterference:
+    """Compare the global history register against private ones.
+
+    Both registers follow the paper's initialisation (all ones, then
+    outcome extension for the private registers on first update).
+    """
+    mask = history_mask(history_bits)
+    global_history = mask
+    private: Dict[int, int] = {}
+    seen: Dict[int, bool] = {}
+    polluted = 0
+    total = 0
+    for pc, taken, cls, _target, _instret, _trap in trace.iter_tuples():
+        if cls != BranchClass.CONDITIONAL:
+            continue
+        total += 1
+        private_history = private.get(pc, mask)
+        if private_history != global_history:
+            polluted += 1
+        global_history = ((global_history << 1) | (1 if taken else 0)) & mask
+        if pc not in seen:
+            private[pc] = mask if taken else 0  # outcome extension
+            seen[pc] = True
+        else:
+            private[pc] = ((private[pc] << 1) | (1 if taken else 0)) & mask
+    return FirstLevelInterference(
+        history_bits=history_bits,
+        conditional_branches=total,
+        polluted_lookups=polluted,
+    )
+
+
+@dataclass(frozen=True)
+class SecondLevelInterference:
+    """Aliasing in a shared (PAg-style) global pattern table."""
+
+    history_bits: int
+    entries_used: int
+    entries_shared: int
+    """Entries updated by more than one static branch."""
+    updates: int
+    cross_branch_updates: int
+    """Updates where the previous update of the entry came from a
+    different static branch."""
+    destructive_updates: int
+    """Cross-branch updates whose outcome disagrees with the previous
+    update's outcome — the aliasing that actually flips counters."""
+
+    @property
+    def sharing_rate(self) -> float:
+        if self.entries_used == 0:
+            return 0.0
+        return self.entries_shared / self.entries_used
+
+    @property
+    def destructive_rate(self) -> float:
+        if self.updates == 0:
+            return 0.0
+        return self.destructive_updates / self.updates
+
+
+def second_level_interference(
+    trace: Trace, history_bits: int
+) -> SecondLevelInterference:
+    """Measure pattern-table aliasing under PAg first-level history."""
+    mask = history_mask(history_bits)
+    private: Dict[int, int] = {}
+    fresh: Dict[int, bool] = {}
+    owners: Dict[int, set] = defaultdict(set)
+    last_writer: Dict[int, int] = {}
+    last_outcome: Dict[int, bool] = {}
+    updates = 0
+    cross = 0
+    destructive = 0
+    for pc, taken, cls, _target, _instret, _trap in trace.iter_tuples():
+        if cls != BranchClass.CONDITIONAL:
+            continue
+        pattern = private.get(pc, mask)
+        updates += 1
+        owners[pattern].add(pc)
+        previous_writer = last_writer.get(pattern)
+        if previous_writer is not None and previous_writer != pc:
+            cross += 1
+            if last_outcome[pattern] != taken:
+                destructive += 1
+        last_writer[pattern] = pc
+        last_outcome[pattern] = taken
+        if pc not in fresh:
+            private[pc] = mask if taken else 0
+            fresh[pc] = True
+        else:
+            private[pc] = ((private[pc] << 1) | (1 if taken else 0)) & mask
+    shared = sum(1 for pcs in owners.values() if len(pcs) > 1)
+    return SecondLevelInterference(
+        history_bits=history_bits,
+        entries_used=len(owners),
+        entries_shared=shared,
+        updates=updates,
+        cross_branch_updates=cross,
+        destructive_updates=destructive,
+    )
+
+
+@dataclass(frozen=True)
+class BHTPressure:
+    """Working-set pressure on a practical branch history table."""
+
+    num_entries: int
+    associativity: int
+    accesses: int
+    hits: int
+    evictions: int
+    distinct_branches: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+def bht_pressure(
+    trace: Trace,
+    num_entries: int = 512,
+    associativity: int = 4,
+) -> BHTPressure:
+    """Replay the trace's conditional PCs through a BHT cache."""
+    bht = CacheBHT(num_entries, associativity)
+    distinct = set()
+    for pc, _taken, cls, _target, _instret, _trap in trace.iter_tuples():
+        if cls != BranchClass.CONDITIONAL:
+            continue
+        distinct.add(pc)
+        bht.access(pc)
+    return BHTPressure(
+        num_entries=num_entries,
+        associativity=associativity,
+        accesses=bht.stats.accesses,
+        hits=bht.stats.hits,
+        evictions=bht.stats.evictions,
+        distinct_branches=len(distinct),
+    )
+
+
+def interference_report(trace: Trace, history_bits: int = 12) -> str:
+    """A human-readable interference summary for one trace."""
+    first = first_level_interference(trace, history_bits)
+    second = second_level_interference(trace, history_bits)
+    pressure = bht_pressure(trace)
+    lines = [
+        f"Interference report: {trace.meta.name} (k={history_bits})",
+        f"  first level : {first.pollution_rate * 100:6.2f}% of lookups see a "
+        f"global history that differs from the branch's own",
+        f"  second level: {second.sharing_rate * 100:6.2f}% of used pattern entries "
+        f"shared by >1 branch; {second.destructive_rate * 100:5.2f}% of updates are "
+        f"destructive cross-branch writes",
+        f"  BHT 512x4   : {pressure.hit_rate * 100:6.2f}% hit rate over "
+        f"{pressure.distinct_branches} static branches "
+        f"({pressure.evictions} evictions)",
+    ]
+    return "\n".join(lines)

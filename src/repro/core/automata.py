@@ -1,0 +1,250 @@
+"""Pattern-history automata (the paper's Figure 2).
+
+Each entry of a pattern history table holds the state of a small finite
+state machine (a Moore machine in the paper's formulation): the
+prediction function ``lambda`` maps the state to a direction, and the
+transition function ``delta`` maps (state, outcome) to the next state.
+
+The paper studies five automata:
+
+* **Last-Time (LT)** — one bit; predict whatever happened last time.
+* **A1** — a two-bit shift register of the last two outcomes; predict
+  not-taken only when *neither* of the last two outcomes was taken.
+* **A2** — the classic two-bit saturating up/down counter; predict taken
+  when the count is >= 2. (J. Smith's BTB counter, applied per pattern.)
+* **A3, A4** — "variations of A2" (the paper's state-diagram figure is
+  an image; see DESIGN.md §2.3 for the reconstruction). We implement A3
+  as A2 with a fast fall (a not-taken observed in state 2 drops straight
+  to 0) and A4 as A2 with a fast rise (a taken observed in state 1 jumps
+  straight to 3). Both are classic Lee & Smith two-bit variants and
+  reproduce the paper's ordering LT < A1 < {A2, A3, A4}.
+
+For static training (GSg/PSg) the table entry is a frozen **preset bit
+(PB)** whose state never changes.
+
+Automata are represented as immutable :class:`AutomatonSpec` lookup
+tables; predictor state is just an integer, so tables of automata are
+plain integer arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class AutomatonSpec:
+    """An immutable prediction automaton.
+
+    Attributes:
+        name: short identifier used in configuration strings ("A2", "LT"...).
+        bits: storage bits per table entry (the paper's ``s``).
+        initial_state: reset state. The paper initialises A1–A4 to state
+            3 and Last-Time to state 1 so cold entries predict taken.
+        transitions: ``transitions[state][outcome]`` -> next state, with
+            outcome 0 = not taken, 1 = taken.
+        predictions: ``predictions[state]`` -> predicted direction.
+    """
+
+    name: str
+    bits: int
+    initial_state: int
+    transitions: Tuple[Tuple[int, int], ...]
+    predictions: Tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        num_states = len(self.transitions)
+        if num_states == 0:
+            raise ValueError("automaton needs at least one state")
+        if num_states > (1 << self.bits):
+            raise ValueError(
+                f"{num_states} states do not fit in {self.bits} bits"
+            )
+        if len(self.predictions) != num_states:
+            raise ValueError("predictions/transitions length mismatch")
+        if not 0 <= self.initial_state < num_states:
+            raise ValueError("initial state out of range")
+        for state, (on_not_taken, on_taken) in enumerate(self.transitions):
+            for nxt in (on_not_taken, on_taken):
+                if not 0 <= nxt < num_states:
+                    raise ValueError(
+                        f"state {state} transitions to invalid state {nxt}"
+                    )
+
+    @property
+    def num_states(self) -> int:
+        return len(self.transitions)
+
+    def next_state(self, state: int, taken: bool) -> int:
+        """The transition function delta(S, R)."""
+        return self.transitions[state][1 if taken else 0]
+
+    def predict(self, state: int) -> bool:
+        """The prediction decision function lambda(S)."""
+        return self.predictions[state]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _shift2(state: int, taken: bool) -> int:
+    return ((state << 1) | (1 if taken else 0)) & 0b11
+
+
+LAST_TIME = AutomatonSpec(
+    name="LT",
+    bits=1,
+    initial_state=1,
+    transitions=((0, 1), (0, 1)),
+    predictions=(False, True),
+)
+"""Predict the outcome of the previous occurrence of the pattern."""
+
+
+A1 = AutomatonSpec(
+    name="A1",
+    bits=2,
+    initial_state=3,
+    transitions=tuple((_shift2(s, False), _shift2(s, True)) for s in range(4)),
+    predictions=(False, True, True, True),
+)
+"""Two-bit shift register of the last two outcomes; predict not-taken
+only when neither of the last two outcomes was taken (state 00)."""
+
+
+A2 = AutomatonSpec(
+    name="A2",
+    bits=2,
+    initial_state=3,
+    transitions=((0, 1), (0, 2), (1, 3), (2, 3)),
+    predictions=(False, False, True, True),
+)
+"""Two-bit saturating up/down counter; predict taken when state >= 2."""
+
+
+A3 = AutomatonSpec(
+    name="A3",
+    bits=2,
+    initial_state=3,
+    transitions=((0, 1), (0, 2), (0, 3), (2, 3)),
+    predictions=(False, False, True, True),
+)
+"""A2 variant with a fast fall: a not-taken in state 2 drops to 0."""
+
+
+A4 = AutomatonSpec(
+    name="A4",
+    bits=2,
+    initial_state=3,
+    transitions=((0, 1), (0, 3), (1, 3), (2, 3)),
+    predictions=(False, False, True, True),
+)
+"""A2 variant with a fast rise: a taken in state 1 jumps to 3."""
+
+
+def preset_bit(direction: bool) -> AutomatonSpec:
+    """A frozen one-bit entry used by the Static Training schemes.
+
+    The state never changes regardless of observed outcomes; it encodes
+    the profiled majority direction for the pattern.
+    """
+    state = 1 if direction else 0
+    return AutomatonSpec(
+        name="PB",
+        bits=1,
+        initial_state=state,
+        transitions=((0, 0), (1, 1)),
+        predictions=(False, True),
+    )
+
+
+PRESET_TAKEN = preset_bit(True)
+PRESET_NOT_TAKEN = preset_bit(False)
+
+
+def saturating_counter(bits: int, initial: int | None = None) -> AutomatonSpec:
+    """A generalized n-bit saturating up/down counter.
+
+    Predicts taken in the upper half of the state space. ``bits=2``
+    reproduces :data:`A2` (up to the initial state). Provided as an
+    extension knob beyond the paper's two-bit automata.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    num_states = 1 << bits
+    top = num_states - 1
+    transitions = tuple(
+        (max(s - 1, 0), min(s + 1, top)) for s in range(num_states)
+    )
+    predictions = tuple(s >= num_states // 2 for s in range(num_states))
+    init = top if initial is None else initial
+    return AutomatonSpec(
+        name=f"SC{bits}",
+        bits=bits,
+        initial_state=init,
+        transitions=transitions,
+        predictions=predictions,
+    )
+
+
+def shift_register_automaton(bits: int, threshold: int = 1) -> AutomatonSpec:
+    """An n-bit outcome shift register predicting taken when the number
+    of recorded taken outcomes is >= ``threshold``.
+
+    ``bits=2, threshold=1`` reproduces :data:`A1`; ``bits=1`` reproduces
+    Last-Time behaviour (with an all-ones initial state).
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    num_states = 1 << bits
+    mask = num_states - 1
+    transitions = tuple(
+        (((s << 1) & mask), ((s << 1) | 1) & mask) for s in range(num_states)
+    )
+    predictions = tuple(bin(s).count("1") >= threshold for s in range(num_states))
+    return AutomatonSpec(
+        name=f"SR{bits}t{threshold}",
+        bits=bits,
+        initial_state=mask,
+        transitions=transitions,
+        predictions=predictions,
+    )
+
+
+PAPER_AUTOMATA: Dict[str, AutomatonSpec] = {
+    "LT": LAST_TIME,
+    "A1": A1,
+    "A2": A2,
+    "A3": A3,
+    "A4": A4,
+}
+"""The five automata evaluated in the paper's Figure 5, by name."""
+
+
+def automaton_by_name(name: str) -> AutomatonSpec:
+    """Look up one of the paper's automata by its short name."""
+    try:
+        return PAPER_AUTOMATA[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown automaton {name!r}; expected one of {sorted(PAPER_AUTOMATA)}"
+        ) from None
+
+
+def simulate_sequence(spec: AutomatonSpec, outcomes: Sequence[bool]) -> Tuple[int, int]:
+    """Run ``spec`` standalone over an outcome sequence.
+
+    Returns:
+        (correct predictions, total) — handy for tests and for studying
+        an automaton in isolation from the table machinery.
+    """
+    state = spec.initial_state
+    correct = 0
+    for outcome in outcomes:
+        if spec.predict(state) == bool(outcome):
+            correct += 1
+        state = spec.next_state(state, bool(outcome))
+    return correct, len(outcomes)

@@ -1,0 +1,258 @@
+"""Hardware cost model (the paper's §3.4, Equations 3-6).
+
+The paper characterises the relative silicon cost of the three
+variations with a parameterised expression over abstract constant base
+costs — storage cell ``C_s``, decoder ``C_d``, comparator ``C_c``,
+multiplexer ``C_m``, shifter ``C_sh``, LRU incrementor ``C_i``, and
+pattern-update finite-state machine ``C_a``. The constants are never
+given numeric values; the qualitative conclusions (GAg exponential in
+k, PAg cheapest at iso-accuracy, PAp dominated by the BHT size) hold
+for any positive choice. We default every constant to 1.0 and also ship
+a transistor-count-flavoured alternative.
+
+Terminology (paper's symbols):
+    a — branch address bits;           h — BHT entries;
+    j — log2(associativity);           i — log2(h);
+    k — history register bits;         s — pattern entry bits;
+    p — number of pattern tables (1 for GAg/PAg, h for PAp).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Constant base costs and the machine's address width."""
+
+    address_bits: int = 32
+    c_storage: float = 1.0
+    c_decoder: float = 1.0
+    c_comparator: float = 1.0
+    c_mux: float = 1.0
+    c_shifter: float = 1.0
+    c_incrementor: float = 1.0
+    c_automaton: float = 1.0
+
+    def scaled(self, factor: float) -> "CostParams":
+        """All constants multiplied by ``factor`` (address width kept)."""
+        return replace(
+            self,
+            c_storage=self.c_storage * factor,
+            c_decoder=self.c_decoder * factor,
+            c_comparator=self.c_comparator * factor,
+            c_mux=self.c_mux * factor,
+            c_shifter=self.c_shifter * factor,
+            c_incrementor=self.c_incrementor * factor,
+            c_automaton=self.c_automaton * factor,
+        )
+
+
+UNIT_COSTS = CostParams()
+"""Every constant = 1.0: the paper's abstract relative-cost view."""
+
+TRANSISTOR_COSTS = CostParams(
+    address_bits=32,
+    c_storage=6.0,      # 6T SRAM cell per stored bit
+    c_decoder=8.0,      # per decoded row
+    c_comparator=10.0,  # per compared bit
+    c_mux=4.0,          # per multiplexed bit
+    c_shifter=8.0,      # per shift-register bit
+    c_incrementor=12.0, # per LRU counter bit
+    c_automaton=6.0,    # per state-updater gate-equivalent
+)
+"""Rough transistor-count weights, for absolute-flavoured comparisons."""
+
+
+def _log2_int(value: int, what: str) -> int:
+    result = int(math.log2(value))
+    if 1 << result != value:
+        raise ValueError(f"{what} must be a power of two, got {value}")
+    return result
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Itemised cost of one configuration (paper Equation 3 terms)."""
+
+    bht_storage: float
+    bht_access_logic: float
+    bht_update_logic: float
+    pht_storage: float
+    pht_access_logic: float
+    pht_update_logic: float
+    pattern_tables: int
+
+    @property
+    def bht_total(self) -> float:
+        return self.bht_storage + self.bht_access_logic + self.bht_update_logic
+
+    @property
+    def pht_total(self) -> float:
+        """Cost of all ``pattern_tables`` pattern history tables."""
+        return self.pattern_tables * (
+            self.pht_storage + self.pht_access_logic + self.pht_update_logic
+        )
+
+    @property
+    def total(self) -> float:
+        return self.bht_total + self.pht_total
+
+
+def cost_two_level(
+    bht_entries: int,
+    associativity: int,
+    history_bits: int,
+    pattern_entry_bits: int = 2,
+    pattern_tables: int = 1,
+    params: CostParams = UNIT_COSTS,
+) -> CostBreakdown:
+    """Paper Equation 3 — the full itemised cost.
+
+    Args:
+        bht_entries: h (use 1 for GAg's single register).
+        associativity: 2^j ways (use 1 for GAg / direct-mapped).
+        history_bits: k.
+        pattern_entry_bits: s (2 for the A automata, 1 for LT/PB).
+        pattern_tables: p (1 for GAg/PAg, h for PAp).
+        params: constant base costs.
+    """
+    h = bht_entries
+    k = history_bits
+    s = pattern_entry_bits
+    p = pattern_tables
+    a = params.address_bits
+    if h < 1 or k < 1 or s < 1 or p < 1:
+        raise ValueError("all structural parameters must be >= 1")
+    j = _log2_int(associativity, "associativity")
+    i = _log2_int(h, "bht_entries") if h > 1 else 0
+    if a + j < i:
+        raise ValueError("address bits too small for this table (a + j < i)")
+    tag_bits = a - i + j
+
+    if h == 1:
+        # GAg's single untagged register: no tags, no access logic.
+        bht_storage = (k + 1) * params.c_storage
+        bht_access = 0.0
+        bht_update = k * params.c_shifter
+    else:
+        bht_storage = h * (tag_bits + k + 1 + j) * params.c_storage
+        bht_access = (
+            h * params.c_decoder
+            + (1 << j) * tag_bits * params.c_comparator
+            + (1 << j) * k * params.c_mux
+        )
+        bht_update = h * k * params.c_shifter + (1 << j) * j * params.c_incrementor
+
+    pht_storage = (1 << k) * s * params.c_storage
+    pht_access = (1 << k) * params.c_decoder
+    pht_update = s * (1 << (s + 1)) * params.c_automaton
+
+    return CostBreakdown(
+        bht_storage=bht_storage,
+        bht_access_logic=bht_access,
+        bht_update_logic=bht_update,
+        pht_storage=pht_storage,
+        pht_access_logic=pht_access,
+        pht_update_logic=pht_update,
+        pattern_tables=p,
+    )
+
+
+def cost_gag(
+    history_bits: int,
+    pattern_entry_bits: int = 2,
+    params: CostParams = UNIT_COSTS,
+) -> float:
+    """Paper Equation 4 — simplified GAg cost.
+
+    cost ≈ (k+1)·C_s + k·C_sh + 2^k·(s·C_s + C_d); exponential in k.
+    """
+    k = history_bits
+    s = pattern_entry_bits
+    return (
+        (k + 1) * params.c_storage
+        + k * params.c_shifter
+        + (1 << k) * (s * params.c_storage + params.c_decoder)
+    )
+
+
+def cost_pag(
+    bht_entries: int,
+    associativity: int,
+    history_bits: int,
+    pattern_entry_bits: int = 2,
+    params: CostParams = UNIT_COSTS,
+) -> float:
+    """Paper Equation 5 — simplified PAg cost.
+
+    Exponential in k (the single pattern table), linear in h (the BHT).
+    """
+    h = bht_entries
+    k = history_bits
+    s = pattern_entry_bits
+    a = params.address_bits
+    j = _log2_int(associativity, "associativity")
+    i = _log2_int(h, "bht_entries")
+    if a + j < i:
+        raise ValueError("address bits too small for this table (a + j < i)")
+    bht = h * (
+        (a + 2 * j + k + 1 - i) * params.c_storage
+        + params.c_decoder
+        + k * params.c_shifter
+    )
+    pht = (1 << k) * (s * params.c_storage + params.c_decoder)
+    return bht + pht
+
+
+def cost_pap(
+    bht_entries: int,
+    associativity: int,
+    history_bits: int,
+    pattern_entry_bits: int = 2,
+    params: CostParams = UNIT_COSTS,
+) -> float:
+    """Paper Equation 6 — simplified PAp cost.
+
+    Like PAg but with h pattern tables: the BHT size h multiplies the
+    exponential pattern-table term and dominates.
+    """
+    h = bht_entries
+    k = history_bits
+    s = pattern_entry_bits
+    a = params.address_bits
+    j = _log2_int(associativity, "associativity")
+    i = _log2_int(h, "bht_entries")
+    if a + j < i:
+        raise ValueError("address bits too small for this table (a + j < i)")
+    bht = h * (
+        (a + 2 * j + k + 1 - i) * params.c_storage
+        + params.c_decoder
+        + k * params.c_shifter
+    )
+    pht = h * (1 << k) * (s * params.c_storage + params.c_decoder)
+    return bht + pht
+
+
+def storage_bits(
+    bht_entries: int,
+    associativity: int,
+    history_bits: int,
+    pattern_entry_bits: int = 2,
+    pattern_tables: int = 1,
+    address_bits: int = 32,
+) -> int:
+    """Pure storage-bit count (no logic), a common secondary metric."""
+    h = bht_entries
+    k = history_bits
+    j = _log2_int(associativity, "associativity")
+    i = _log2_int(h, "bht_entries") if h > 1 else 0
+    tag_bits = max(address_bits - i + j, 0)
+    if h == 1:
+        bht_bits = k + 1
+    else:
+        bht_bits = h * (tag_bits + k + 1 + j)
+    pht_bits = pattern_tables * (1 << k) * pattern_entry_bits
+    return bht_bits + pht_bits

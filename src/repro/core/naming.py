@@ -1,0 +1,262 @@
+"""The paper's predictor naming convention (§4.2, Table 3).
+
+Configurations are written
+``Scheme(History(Size,Associativity,Entry_Content), SetSize x Pattern(Size,Entry_Content), ContextSwitch)``
+e.g. ``PAg(BHT(512,4,12-sr),1xPHT(2^12,A2),c)``. Fields a scheme lacks
+are left blank: ``BTB(BHT(512,4,A2),,)``.
+
+:class:`SchemeSpec` is the structured form; it parses from and formats
+to the paper's strings and can instantiate the corresponding predictor.
+Static-training schemes (GSg/PSg) need a training trace to instantiate,
+supplied via the ``training_trace`` argument.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from ..predictors.base import BranchPredictor
+from ..trace.events import Trace
+from .automata import AutomatonSpec, automaton_by_name
+from .static_training import GSgPredictor, PSgPredictor
+from .twolevel import (
+    GAgPredictor,
+    GApPredictor,
+    GsharePredictor,
+    PAgPredictor,
+    PApPredictor,
+    TwoLevelConfig,
+)
+
+_SR_RE = re.compile(r"^(\d+)-sr$")
+_POW_RE = re.compile(r"^2\^(\d+)$")
+
+_SPEC_RE = re.compile(
+    r"""^
+    (?P<scheme>[A-Za-z]+)\(
+      (?P<hist_entity>HR|BHT|IBHT|SHR)\(
+        (?P<hist_size>inf|\d*),
+        (?P<hist_assoc>\d*),
+        (?P<hist_content>[^)]*)
+      \),
+      (?:
+        (?P<pat_tables>inf|\d+)xPHT\(
+          (?P<pat_size>2\^\d+|\d+),
+          (?P<pat_content>[^)]*)
+        \)
+      )?,?
+      (?P<ctx>c)?
+    \)$""",
+    re.VERBOSE,
+)
+
+
+class SchemeParseError(ValueError):
+    """Raised when a configuration string does not follow the convention."""
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """Structured form of one Table 3 configuration row.
+
+    Attributes:
+        scheme: GAg / PAg / PAp / GAp / GSg / PSg / BTB / GSHARE.
+        history_entity: HR (single register), BHT (practical cache),
+            IBHT (ideal, unbounded) or SHR (per-set registers, no tags
+            — the SAg/SAs extension variants).
+        history_size: BHT entry count; None for HR/IBHT.
+        history_assoc: set associativity; None when not applicable.
+        history_content: ``"<k>-sr"`` for a k-bit shift register, or an
+            automaton name for BTB designs.
+        pattern_tables: number of pattern history tables (the paper's
+            set size p); None for schemes with no second level.
+        pattern_bits: k such that each PHT has 2^k entries.
+        pattern_content: automaton name ("A2", "LT", ...) or "PB".
+        context_switch: simulate context switches for this config.
+    """
+
+    scheme: str
+    history_entity: str = "BHT"
+    history_size: Optional[int] = 512
+    history_assoc: Optional[int] = 4
+    history_content: str = "12-sr"
+    pattern_tables: Optional[int] = 1
+    pattern_bits: Optional[int] = 12
+    pattern_content: Optional[str] = "A2"
+    context_switch: bool = False
+
+    # ------------------------------------------------------------------
+    # Derived accessors
+    # ------------------------------------------------------------------
+    @property
+    def history_bits(self) -> Optional[int]:
+        """k when the history entry is a shift register, else None."""
+        match = _SR_RE.match(self.history_content)
+        return int(match.group(1)) if match else None
+
+    @property
+    def ideal_history(self) -> bool:
+        return self.history_entity == "IBHT"
+
+    def automaton(self) -> Optional[AutomatonSpec]:
+        """The pattern-table automaton, or None for PB / no pattern level."""
+        if self.pattern_content in (None, "", "PB"):
+            return None
+        return automaton_by_name(self.pattern_content)
+
+    def history_automaton(self) -> Optional[AutomatonSpec]:
+        """BTB designs keep an automaton in the history table itself."""
+        if _SR_RE.match(self.history_content):
+            return None
+        return automaton_by_name(self.history_content)
+
+    # ------------------------------------------------------------------
+    # Formatting / parsing
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        """Render the canonical Table 3 string."""
+        if self.history_size is not None:
+            size = str(self.history_size)
+        elif self.ideal_history:
+            size = "inf"
+        elif self.history_entity == "HR":
+            size = "1"
+        else:
+            size = ""
+        assoc = "" if self.history_assoc is None else str(self.history_assoc)
+        history = f"{self.history_entity}({size},{assoc},{self.history_content})"
+        if self.pattern_tables is None:
+            pattern = ""
+        else:
+            tables = "inf" if self.pattern_tables == 0 else str(self.pattern_tables)
+            pattern = f"{tables}xPHT(2^{self.pattern_bits},{self.pattern_content})"
+        ctx = "c" if self.context_switch else ""
+        return f"{self.scheme}({history},{pattern},{ctx})"
+
+    def __str__(self) -> str:
+        return self.format()
+
+    @classmethod
+    def parse(cls, text: str) -> "SchemeSpec":
+        """Parse a Table 3 configuration string."""
+        compact = re.sub(r"\s+", "", text)
+        match = _SPEC_RE.match(compact)
+        if match is None:
+            raise SchemeParseError(f"cannot parse scheme string {text!r}")
+        groups = match.groupdict()
+        hist_size_text = groups["hist_size"]
+        if hist_size_text in ("", "inf"):
+            history_size: Optional[int] = None
+        else:
+            history_size = int(hist_size_text)
+        history_assoc = int(groups["hist_assoc"]) if groups["hist_assoc"] else None
+
+        pattern_tables: Optional[int]
+        pattern_bits: Optional[int]
+        pattern_content: Optional[str]
+        if groups["pat_tables"] is None:
+            pattern_tables = pattern_bits = None
+            pattern_content = None
+        else:
+            pattern_tables = 0 if groups["pat_tables"] == "inf" else int(groups["pat_tables"])
+            size_text = groups["pat_size"]
+            pow_match = _POW_RE.match(size_text)
+            if pow_match:
+                pattern_bits = int(pow_match.group(1))
+            else:
+                entries = int(size_text)
+                pattern_bits = entries.bit_length() - 1
+                if 1 << pattern_bits != entries:
+                    raise SchemeParseError(
+                        f"pattern table size {entries} is not a power of two"
+                    )
+            pattern_content = groups["pat_content"]
+        return cls(
+            scheme=groups["scheme"],
+            history_entity=groups["hist_entity"],
+            history_size=history_size,
+            history_assoc=history_assoc,
+            history_content=groups["hist_content"],
+            pattern_tables=pattern_tables,
+            pattern_bits=pattern_bits,
+            pattern_content=pattern_content,
+            context_switch=groups["ctx"] == "c",
+        )
+
+    # ------------------------------------------------------------------
+    # Instantiation
+    # ------------------------------------------------------------------
+    def build(self, training_trace: Optional[Trace] = None) -> BranchPredictor:
+        """Instantiate the predictor this spec describes.
+
+        Args:
+            training_trace: required for GSg/PSg (profiled presets);
+                ignored by the adaptive schemes.
+        """
+        scheme = self.scheme.upper().replace("GSHARE", "GSHARE")
+        k = self.history_bits if self.history_bits is not None else self.pattern_bits
+        if scheme in ("GAG", "GAP", "GSHARE") and k is None:
+            raise SchemeParseError(f"{self.scheme} needs a shift-register history")
+
+        if scheme == "GAG":
+            return GAgPredictor(k, self._automaton_or_a2(), name=self.format())
+        if scheme == "GAP":
+            return GApPredictor(k, self._automaton_or_a2(), name=self.format())
+        if scheme == "GSHARE":
+            return GsharePredictor(k, self._automaton_or_a2(), name=self.format())
+        if scheme in ("PAG", "PAP"):
+            config = TwoLevelConfig(
+                history_bits=k,
+                automaton=self._automaton_or_a2(),
+                bht_entries=None if self.ideal_history else self.history_size,
+                bht_associativity=self.history_assoc or 1,
+            )
+            if scheme == "PAG":
+                return PAgPredictor(config, name=self.format())
+            return PApPredictor(config, name=self.format())
+        if scheme in ("SAG", "SAS"):
+            from .perset import SAgPredictor, SAsPredictor
+
+            num_sets = self.history_size or 16
+            cls = SAgPredictor if scheme == "SAG" else SAsPredictor
+            return cls(k, num_sets, self._automaton_or_a2(), name=self.format())
+        if scheme == "GSG":
+            if training_trace is None:
+                raise SchemeParseError("GSg needs a training trace")
+            predictor = GSgPredictor.trained_on(training_trace, k)
+            predictor.name = self.format()
+            return predictor
+        if scheme == "PSG":
+            if training_trace is None:
+                raise SchemeParseError("PSg needs a training trace")
+            predictor = PSgPredictor.trained_on(
+                training_trace,
+                k,
+                bht_entries=None if self.ideal_history else self.history_size,
+                bht_associativity=self.history_assoc or 1,
+            )
+            predictor.name = self.format()
+            return predictor
+        if scheme == "BTB":
+            from ..predictors.btb import BTBPredictor
+
+            automaton = self.history_automaton()
+            if automaton is None:
+                raise SchemeParseError("BTB needs an automaton history content")
+            return BTBPredictor(
+                num_entries=self.history_size or 512,
+                associativity=self.history_assoc or 1,
+                automaton=automaton,
+                name=self.format(),
+            )
+        raise SchemeParseError(f"unknown scheme {self.scheme!r}")
+
+    def _automaton_or_a2(self) -> AutomatonSpec:
+        automaton = self.automaton()
+        if automaton is None:
+            from .automata import A2
+
+            return A2
+        return automaton

@@ -1,0 +1,151 @@
+"""Per-set two-level variants (SAg / SAp / SAs).
+
+This paper's taxonomy (GAg / PAg / PAp) resolves branch history either
+globally or per-address. Yeh & Patt's follow-up work ("A Comparison of
+Dynamic Branch Predictors that use Two Levels of Branch History",
+ISCA 1993) fills in the middle ground: partition static branches into
+**sets** by address bits and keep one history register per set — much
+cheaper than per-address (no tags: the register is selected by an
+address field) while still separating mutually-interfering branches
+better than a single global register. The second level can likewise be
+global (SAg), per-set (SAs) or per-address (SAp).
+
+We implement the practical corners used in that follow-up:
+
+* :class:`SAgPredictor` — per-set history registers, one global PHT;
+* :class:`SAsPredictor` — per-set history registers, one PHT per set.
+
+These sit strictly between GAg and PAg in both cost and accuracy,
+which the extension bench verifies on the analog suite — the
+cost/accuracy frontier the 1993 paper maps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..predictors.base import BranchPredictor
+from .automata import A2, AutomatonSpec
+from .cost import CostParams, UNIT_COSTS
+from .history import history_mask
+from .pht import PatternHistoryTable
+
+
+def _set_index(pc: int, num_sets: int) -> int:
+    """Set selection by low address bits (word-granular)."""
+    return (pc >> 2) % num_sets
+
+
+class SAgPredictor(BranchPredictor):
+    """Per-set history registers sharing one global pattern table."""
+
+    def __init__(
+        self,
+        history_bits: int,
+        num_sets: int = 16,
+        automaton: AutomatonSpec = A2,
+        name: Optional[str] = None,
+    ) -> None:
+        if num_sets < 1:
+            raise ValueError("num_sets must be >= 1")
+        self.history_bits = history_bits
+        self.num_sets = num_sets
+        self._mask = history_mask(history_bits)
+        self.registers: List[int] = [self._mask] * num_sets
+        self.pht = PatternHistoryTable(history_bits, automaton)
+        self.name = name or (
+            f"SAg(SHR({num_sets},,{history_bits}-sr),1xPHT(2^{history_bits},{automaton.name}))"
+        )
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        return self.pht.predict(self.registers[_set_index(pc, self.num_sets)])
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        index = _set_index(pc, self.num_sets)
+        history = self.registers[index]
+        self.pht.update(history, taken)
+        self.registers[index] = ((history << 1) | (1 if taken else 0)) & self._mask
+
+    def on_context_switch(self) -> None:
+        """Per-set registers are untagged state: reinitialise them all."""
+        self.registers = [self._mask] * self.num_sets
+
+    def reset(self) -> None:
+        self.on_context_switch()
+        self.pht.reset()
+
+
+class SAsPredictor(BranchPredictor):
+    """Per-set history registers, each with its own pattern table."""
+
+    def __init__(
+        self,
+        history_bits: int,
+        num_sets: int = 16,
+        automaton: AutomatonSpec = A2,
+        name: Optional[str] = None,
+    ) -> None:
+        if num_sets < 1:
+            raise ValueError("num_sets must be >= 1")
+        self.history_bits = history_bits
+        self.num_sets = num_sets
+        self._mask = history_mask(history_bits)
+        self.registers: List[int] = [self._mask] * num_sets
+        self.tables: List[PatternHistoryTable] = [
+            PatternHistoryTable(history_bits, automaton) for _ in range(num_sets)
+        ]
+        self.name = name or (
+            f"SAs(SHR({num_sets},,{history_bits}-sr),{num_sets}xPHT(2^{history_bits},{automaton.name}))"
+        )
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        index = _set_index(pc, self.num_sets)
+        return self.tables[index].predict(self.registers[index])
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        index = _set_index(pc, self.num_sets)
+        history = self.registers[index]
+        self.tables[index].update(history, taken)
+        self.registers[index] = ((history << 1) | (1 if taken else 0)) & self._mask
+
+    def on_context_switch(self) -> None:
+        self.registers = [self._mask] * self.num_sets
+
+    def reset(self) -> None:
+        self.on_context_switch()
+        for table in self.tables:
+            table.reset()
+
+
+def cost_sag(
+    history_bits: int,
+    num_sets: int,
+    pattern_entry_bits: int = 2,
+    params: CostParams = UNIT_COSTS,
+) -> float:
+    """SAg cost by the paper's methodology.
+
+    ``num_sets`` untagged registers (storage + shifters, no tags or
+    comparators — set selection is pure decode) plus one global PHT.
+    """
+    k = history_bits
+    s = pattern_entry_bits
+    registers = num_sets * ((k + 1) * params.c_storage + k * params.c_shifter)
+    decoder = num_sets * params.c_decoder
+    pht = (1 << k) * (s * params.c_storage + params.c_decoder)
+    return registers + decoder + pht
+
+
+def cost_sas(
+    history_bits: int,
+    num_sets: int,
+    pattern_entry_bits: int = 2,
+    params: CostParams = UNIT_COSTS,
+) -> float:
+    """SAs cost: SAg's first level plus one PHT per set."""
+    k = history_bits
+    s = pattern_entry_bits
+    registers = num_sets * ((k + 1) * params.c_storage + k * params.c_shifter)
+    decoder = num_sets * params.c_decoder
+    pht = num_sets * (1 << k) * (s * params.c_storage + params.c_decoder)
+    return registers + decoder + pht

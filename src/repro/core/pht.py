@@ -1,0 +1,152 @@
+"""Second-level pattern history tables.
+
+A pattern history table (PHT) has one entry per possible history-register
+pattern — 2^k entries for k history bits — each holding the state of a
+prediction automaton (see :mod:`repro.core.automata`).
+
+GAg and PAg use a single global PHT; PAp uses one PHT per branch-history
+slot, modelled here by :class:`PHTBank` which materialises tables lazily
+(most slots are never touched, and the hardware cost model — not this
+simulator — accounts for the full silicon).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .automata import AutomatonSpec
+
+
+class PatternHistoryTable:
+    """A 2^k-entry table of automaton states indexed by history pattern."""
+
+    def __init__(self, history_bits: int, automaton: AutomatonSpec) -> None:
+        if history_bits < 1:
+            raise ValueError("history_bits must be >= 1")
+        self.history_bits = history_bits
+        self.automaton = automaton
+        self.num_entries = 1 << history_bits
+        self._states: List[int] = [automaton.initial_state] * self.num_entries
+        # Local bindings of the automaton tables keep the per-branch
+        # simulation loop free of attribute lookups.
+        self._predictions = automaton.predictions
+        self._transitions = automaton.transitions
+
+    def predict(self, pattern: int) -> bool:
+        """lambda(S_c) for the entry addressed by ``pattern``."""
+        return self._predictions[self._states[pattern]]
+
+    def update(self, pattern: int, taken: bool) -> None:
+        """S_{c+1} = delta(S_c, R_c) for the entry addressed by ``pattern``."""
+        states = self._states
+        states[pattern] = self._transitions[states[pattern]][1 if taken else 0]
+
+    def state(self, pattern: int) -> int:
+        """The raw automaton state for ``pattern`` (for inspection/tests)."""
+        return self._states[pattern]
+
+    def set_state(self, pattern: int, state: int) -> None:
+        """Force an entry's state (used by static-training presets)."""
+        if not 0 <= state < self.automaton.num_states:
+            raise ValueError(f"state {state} out of range for {self.automaton.name}")
+        self._states[pattern] = state
+
+    def reset(self) -> None:
+        """Reinitialise every entry to the automaton's initial state."""
+        self._states = [self.automaton.initial_state] * self.num_entries
+        self._predictions = self.automaton.predictions
+        self._transitions = self.automaton.transitions
+
+    def states_snapshot(self) -> List[int]:
+        """A copy of all entry states (for tests and analysis)."""
+        return list(self._states)
+
+    @property
+    def storage_bits(self) -> int:
+        """Raw storage this table represents in hardware."""
+        return self.num_entries * self.automaton.bits
+
+    def __len__(self) -> int:
+        return self.num_entries
+
+
+class PresetPatternTable:
+    """A frozen pattern table of preset prediction bits (Static Training).
+
+    Built from profiled per-pattern statistics; :meth:`update` is a
+    no-op because Lee & Smith's scheme never changes pattern bits at
+    run time. Patterns never seen in training fall back to
+    ``default_direction`` (taken, matching the taken-biased
+    initialisation used everywhere else).
+    """
+
+    def __init__(
+        self,
+        history_bits: int,
+        preset: Dict[int, bool],
+        default_direction: bool = True,
+    ) -> None:
+        if history_bits < 1:
+            raise ValueError("history_bits must be >= 1")
+        self.history_bits = history_bits
+        self.num_entries = 1 << history_bits
+        self._bits: List[bool] = [default_direction] * self.num_entries
+        for pattern, direction in preset.items():
+            if not 0 <= pattern < self.num_entries:
+                raise ValueError(f"pattern {pattern:#x} out of range")
+            self._bits[pattern] = bool(direction)
+
+    def predict(self, pattern: int) -> bool:
+        return self._bits[pattern]
+
+    def update(self, pattern: int, taken: bool) -> None:
+        """Pattern bits are preset: run-time outcomes are ignored."""
+
+    def reset(self) -> None:
+        """Preset tables persist across context switches; nothing to do."""
+
+    @property
+    def storage_bits(self) -> int:
+        return self.num_entries
+
+    def __len__(self) -> int:
+        return self.num_entries
+
+
+class PHTBank:
+    """A set of per-address pattern history tables (PAp's PPHT).
+
+    One table per branch-history slot, materialised on first use.
+    ``reset_slot`` reinitialises a slot's table when its BHT entry is
+    reallocated to a different branch (the default PAp policy — see
+    DESIGN.md), and ``reset`` drops everything.
+    """
+
+    def __init__(self, history_bits: int, automaton: AutomatonSpec) -> None:
+        self.history_bits = history_bits
+        self.automaton = automaton
+        self._tables: Dict[int, PatternHistoryTable] = {}
+
+    def table_for(self, slot: int) -> PatternHistoryTable:
+        table = self._tables.get(slot)
+        if table is None:
+            table = PatternHistoryTable(self.history_bits, self.automaton)
+            self._tables[slot] = table
+        return table
+
+    def reset_slot(self, slot: int) -> None:
+        table = self._tables.get(slot)
+        if table is not None:
+            table.reset()
+
+    def reset(self) -> None:
+        self._tables.clear()
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __iter__(self) -> Iterator[PatternHistoryTable]:
+        return iter(self._tables.values())
+
+    def peek(self, slot: int) -> Optional[PatternHistoryTable]:
+        return self._tables.get(slot)

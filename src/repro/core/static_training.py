@@ -1,0 +1,187 @@
+"""Lee & Smith Static Training schemes (the paper's GSg and PSg).
+
+Static Training has the same two-level *structure* as the adaptive
+schemes, but the second level is **preset by profiling**: a training run
+tallies, for every history pattern, how often the next branch was taken;
+the majority direction becomes a frozen prediction bit per pattern. At
+test time the first-level history registers still update dynamically,
+but the pattern bits never change.
+
+* **GSg** — global history register, preset global pattern table.
+* **PSg** — per-address history registers (same BHT configurations as
+  the adaptive schemes, for the paper's "fair comparison"), preset
+  global pattern table.
+
+The paper's PSp (per-address preset tables) was not simulated there
+("requires a lot of storage") and is likewise omitted here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional
+
+from ..predictors.base import BranchPredictor
+from ..trace.events import BranchClass, Trace
+from .history import history_mask
+from .pht import PresetPatternTable
+from .twolevel import TwoLevelConfig, _PerAddressBase
+
+
+def train_global_presets(trace: Trace, history_bits: int) -> Dict[int, bool]:
+    """Profile a training trace through a global history register.
+
+    Returns:
+        pattern -> majority direction, for every pattern observed.
+        Ties resolve to taken (branches are taken-biased overall).
+    """
+    mask = history_mask(history_bits)
+    ghr = mask
+    taken_counts: Counter = Counter()
+    total_counts: Counter = Counter()
+    for pc, taken, cls, _target, _instret, _trap in trace.iter_tuples():
+        if cls != BranchClass.CONDITIONAL:
+            continue
+        total_counts[ghr] += 1
+        if taken:
+            taken_counts[ghr] += 1
+        ghr = ((ghr << 1) | (1 if taken else 0)) & mask
+    return {
+        pattern: taken_counts[pattern] * 2 >= total_counts[pattern]
+        for pattern in total_counts
+    }
+
+
+def train_per_address_presets(
+    trace: Trace,
+    history_bits: int,
+    bht_entries: Optional[int] = None,
+    bht_associativity: int = 4,
+) -> Dict[int, bool]:
+    """Profile a training trace through per-address history registers.
+
+    The first level mirrors the PSg test-time structure (ideal when
+    ``bht_entries`` is None). All branches feed one global pattern
+    tally, exactly as all PSg history registers index one global preset
+    table.
+    """
+    config = TwoLevelConfig(
+        history_bits=history_bits,
+        bht_entries=bht_entries,
+        bht_associativity=bht_associativity,
+    )
+    first_level = _TrainingFirstLevel(config)
+    taken_counts: Counter = Counter()
+    total_counts: Counter = Counter()
+    for pc, taken, cls, _target, _instret, _trap in trace.iter_tuples():
+        if cls != BranchClass.CONDITIONAL:
+            continue
+        pattern = first_level.pattern_for(pc)
+        total_counts[pattern] += 1
+        if taken:
+            taken_counts[pattern] += 1
+        first_level.record(pc, taken)
+    return {
+        pattern: taken_counts[pattern] * 2 >= total_counts[pattern]
+        for pattern in total_counts
+    }
+
+
+class _TrainingFirstLevel(_PerAddressBase):
+    """A first level only — used to replay training traces."""
+
+    name = "training-first-level"
+
+    def pattern_for(self, pc: int) -> int:
+        return self._access_entry(pc).value
+
+    def record(self, pc: int, taken: bool) -> None:
+        entry = self.bht.peek(pc)
+        if entry is None:
+            entry = self._access_entry(pc)
+        self._advance_history(entry, taken)
+
+    def predict(self, pc: int, target: int = 0) -> bool:  # pragma: no cover
+        raise NotImplementedError("training structure does not predict")
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:  # pragma: no cover
+        raise NotImplementedError("training structure does not predict")
+
+
+class GSgPredictor(BranchPredictor):
+    """Global Static Training: GHR + preset global pattern table."""
+
+    def __init__(
+        self,
+        history_bits: int,
+        presets: Dict[int, bool],
+        default_direction: bool = True,
+        name: Optional[str] = None,
+    ) -> None:
+        self.history_bits = history_bits
+        self._mask = history_mask(history_bits)
+        self.ghr = self._mask
+        self.table = PresetPatternTable(history_bits, presets, default_direction)
+        self.name = name or f"GSg(HR(1,,{history_bits}-sr),1xPHT(2^{history_bits},PB))"
+
+    @classmethod
+    def trained_on(cls, trace: Trace, history_bits: int) -> "GSgPredictor":
+        """Build a GSg predictor profiled on ``trace``."""
+        return cls(history_bits, train_global_presets(trace, history_bits))
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        return self.table.predict(self.ghr)
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        self.ghr = ((self.ghr << 1) | (1 if taken else 0)) & self._mask
+
+    def on_context_switch(self) -> None:
+        self.ghr = self._mask
+
+
+class PSgPredictor(_PerAddressBase):
+    """Per-address Static Training: BHT of HRs + preset global table."""
+
+    def __init__(
+        self,
+        config: TwoLevelConfig,
+        presets: Dict[int, bool],
+        default_direction: bool = True,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(config)
+        self.table = PresetPatternTable(config.history_bits, presets, default_direction)
+        self.name = name or (
+            f"PSg({self._bht_label()},1xPHT(2^{config.history_bits},PB))"
+        )
+
+    @classmethod
+    def trained_on(
+        cls,
+        trace: Trace,
+        history_bits: int,
+        bht_entries: Optional[int] = 512,
+        bht_associativity: int = 4,
+    ) -> "PSgPredictor":
+        """Build a PSg predictor profiled on ``trace``.
+
+        Training uses an ideal first level (profiling is offline and has
+        no capacity constraint); test time uses the practical BHT.
+        """
+        presets = train_per_address_presets(trace, history_bits)
+        config = TwoLevelConfig(
+            history_bits=history_bits,
+            bht_entries=bht_entries,
+            bht_associativity=bht_associativity,
+        )
+        return cls(config, presets)
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        entry = self._access_entry(pc)
+        return self.table.predict(entry.value)
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        entry = self.bht.peek(pc)
+        if entry is None:
+            entry = self._access_entry(pc)
+        self._advance_history(entry, taken)

@@ -1,0 +1,334 @@
+"""Two-Level Adaptive Branch Prediction — the paper's contribution.
+
+Three variations, differentiated by how finely each level resolves its
+history (paper §2.2):
+
+* :class:`GAgPredictor` — one **G**\\ lobal history register, one global
+  pattern history table. Cheap, but both levels suffer cross-branch
+  interference; needs long history registers to perform.
+* :class:`PAgPredictor` — **P**\\ er-address history registers (kept in a
+  branch history table) sharing one **g**\\ lobal pattern table. First-
+  level interference removed; the paper's cost/accuracy sweet spot.
+* :class:`PApPredictor` — **p**\\ er-address history *and* per-address
+  pattern tables. All interference removed; most expensive.
+
+Plus two extensions beyond the paper (its taxonomy admits them, and the
+follow-up literature made them famous):
+
+* :class:`GApPredictor` — global history, per-address pattern tables.
+* :class:`GsharePredictor` — global history XOR-folded with the branch
+  address into a single table (McFarling's gshare), included as the
+  "future work" predictor the paper's 3 %-miss-rate remarks anticipate.
+
+Initialisation follows the paper's §4.2: history registers initialise
+to all 1s on a BHT miss, the first resolved outcome is then extended
+through the register; pattern-table entries start in the automaton's
+taken-leaning initial state. Context switches flush the first level
+only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..predictors.base import BranchPredictor
+from .automata import A2, AutomatonSpec
+from .history import (
+    CacheBHT,
+    IdealBHT,
+    history_fill,
+    history_mask,
+    make_bht,
+)
+from .pht import PatternHistoryTable, PHTBank
+
+
+@dataclass(frozen=True)
+class TwoLevelConfig:
+    """Configuration shared by the two-level variants.
+
+    Attributes:
+        history_bits: k, the history register length.
+        automaton: the pattern-table automaton (default A2, as in the
+            paper's headline results).
+        bht_entries: branch history table capacity for the per-address
+            variants; ``None`` selects the ideal (infinite) BHT. Ignored
+            by the global-history variants.
+        bht_associativity: 1 for direct-mapped, 4 for the paper's
+            four-way tables.
+        reset_pht_on_evict: PAp policy — reinitialise a slot's pattern
+            table when its BHT entry is reallocated to a new branch.
+    """
+
+    history_bits: int
+    automaton: AutomatonSpec = A2
+    bht_entries: Optional[int] = 512
+    bht_associativity: int = 4
+    reset_pht_on_evict: bool = True
+
+    def __post_init__(self) -> None:
+        if self.history_bits < 1:
+            raise ValueError("history_bits must be >= 1")
+        if self.bht_entries is not None and self.bht_entries < 1:
+            raise ValueError("bht_entries must be >= 1 or None for ideal")
+
+
+class GAgPredictor(BranchPredictor):
+    """Global history register + global pattern history table."""
+
+    def __init__(
+        self,
+        history_bits: int,
+        automaton: AutomatonSpec = A2,
+        name: Optional[str] = None,
+    ) -> None:
+        self.history_bits = history_bits
+        self.automaton = automaton
+        self._mask = history_mask(history_bits)
+        self.pht = PatternHistoryTable(history_bits, automaton)
+        self.ghr = self._mask  # taken-biased initial fill
+        self.name = name or f"GAg(HR(1,,{history_bits}-sr),1xPHT(2^{history_bits},{automaton.name}))"
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        return self.pht.predict(self.ghr)
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        self.pht.update(self.ghr, taken)
+        self.ghr = ((self.ghr << 1) | (1 if taken else 0)) & self._mask
+
+    def on_context_switch(self) -> None:
+        """Reinitialise the (degenerate, single-register) first level.
+
+        The pattern table is deliberately left alone: the paper found
+        the saved process's pattern table is a better starting point
+        than a reinitialised one.
+        """
+        self.ghr = self._mask
+
+    def reset(self) -> None:
+        self.ghr = self._mask
+        self.pht.reset()
+
+
+class _PerAddressBase(BranchPredictor):
+    """Shared first-level machinery for PAg and PAp."""
+
+    def __init__(self, config: TwoLevelConfig) -> None:
+        self.config = config
+        self.history_bits = config.history_bits
+        self._mask = history_mask(config.history_bits)
+        self.bht: Union[IdealBHT, CacheBHT] = make_bht(
+            config.bht_entries,
+            config.bht_associativity,
+            init_value=self._mask,
+        )
+
+    def _access_entry(self, pc: int):
+        entry, _hit = self.bht.access(pc)
+        if isinstance(self.bht, CacheBHT) and self.bht.evicted_slots:
+            for slot in self.bht.drain_evicted_slots():
+                self._slot_reallocated(slot)
+        return entry
+
+    def _slot_reallocated(self, slot: int) -> None:
+        """Hook: a BHT slot now holds a different static branch."""
+
+    def _advance_history(self, entry, taken: bool) -> None:
+        if entry.fresh:
+            entry.value = history_fill(taken, self.history_bits)
+            entry.fresh = False
+        else:
+            entry.value = ((entry.value << 1) | (1 if taken else 0)) & self._mask
+
+    def on_context_switch(self) -> None:
+        self.bht.flush()
+
+    def _bht_label(self) -> str:
+        config = self.config
+        if config.bht_entries is None:
+            return f"IBHT(inf,,{config.history_bits}-sr)"
+        return f"BHT({config.bht_entries},{config.bht_associativity},{config.history_bits}-sr)"
+
+
+class PAgPredictor(_PerAddressBase):
+    """Per-address history registers + one global pattern history table."""
+
+    def __init__(self, config: TwoLevelConfig, name: Optional[str] = None) -> None:
+        super().__init__(config)
+        self.automaton = config.automaton
+        self.pht = PatternHistoryTable(config.history_bits, config.automaton)
+        self.name = name or (
+            f"PAg({self._bht_label()},1xPHT(2^{config.history_bits},{config.automaton.name}))"
+        )
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        entry = self._access_entry(pc)
+        return self.pht.predict(entry.value)
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        entry = self.bht.peek(pc)
+        if entry is None:
+            entry = self._access_entry(pc)
+        self.pht.update(entry.value, taken)
+        self._advance_history(entry, taken)
+
+    def reset(self) -> None:
+        self.bht.flush()
+        self.pht.reset()
+
+
+class PApPredictor(_PerAddressBase):
+    """Per-address history registers + per-address pattern history tables.
+
+    Each physical BHT slot owns one pattern table; by default
+    (``reset_pht_on_evict=True``) the table is reinitialised whenever
+    the slot is reallocated, since the new resident branch has no claim
+    to the previous branch's pattern statistics. With an ideal BHT,
+    slots map one-to-one to static branches and nothing is ever reset.
+    """
+
+    def __init__(self, config: TwoLevelConfig, name: Optional[str] = None) -> None:
+        super().__init__(config)
+        self.automaton = config.automaton
+        self.bank = PHTBank(config.history_bits, config.automaton)
+        pht_count = config.bht_entries if config.bht_entries is not None else "inf"
+        self.name = name or (
+            f"PAp({self._bht_label()},{pht_count}xPHT(2^{config.history_bits},{config.automaton.name}))"
+        )
+
+    def _slot_reallocated(self, slot: int) -> None:
+        if self.config.reset_pht_on_evict:
+            self.bank.reset_slot(slot)
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        entry = self._access_entry(pc)
+        return self.bank.table_for(entry.slot).predict(entry.value)
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        entry = self.bht.peek(pc)
+        if entry is None:
+            entry = self._access_entry(pc)
+        self.bank.table_for(entry.slot).update(entry.value, taken)
+        self._advance_history(entry, taken)
+
+    def reset(self) -> None:
+        self.bht.flush()
+        self.bank.reset()
+
+
+class GApPredictor(BranchPredictor):
+    """Global history register + per-address pattern history tables.
+
+    Completes the taxonomy (the paper names GAg/PAg/PAp; GAp is the
+    remaining corner and reappears in Yeh & Patt's follow-up work).
+    Pattern tables are addressed by branch PC with no capacity limit —
+    an idealised model, provided as an extension.
+    """
+
+    def __init__(
+        self,
+        history_bits: int,
+        automaton: AutomatonSpec = A2,
+        name: Optional[str] = None,
+    ) -> None:
+        self.history_bits = history_bits
+        self.automaton = automaton
+        self._mask = history_mask(history_bits)
+        self.ghr = self._mask
+        self.bank = PHTBank(history_bits, automaton)
+        self.name = name or f"GAp(HR(1,,{history_bits}-sr),infxPHT(2^{history_bits},{automaton.name}))"
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        return self.bank.table_for(pc).predict(self.ghr)
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        self.bank.table_for(pc).update(self.ghr, taken)
+        self.ghr = ((self.ghr << 1) | (1 if taken else 0)) & self._mask
+
+    def on_context_switch(self) -> None:
+        self.ghr = self._mask
+
+    def reset(self) -> None:
+        self.ghr = self._mask
+        self.bank.reset()
+
+
+class GsharePredictor(BranchPredictor):
+    """McFarling's gshare: global history XORed with the branch address.
+
+    Not in the paper (it postdates it), included as the natural
+    "future work" predictor: it attacks exactly the second-level
+    interference the paper measures, at GAg-like cost.
+    """
+
+    def __init__(
+        self,
+        history_bits: int,
+        automaton: AutomatonSpec = A2,
+        name: Optional[str] = None,
+    ) -> None:
+        self.history_bits = history_bits
+        self.automaton = automaton
+        self._mask = history_mask(history_bits)
+        self.ghr = 0
+        self.pht = PatternHistoryTable(history_bits, automaton)
+        self.name = name or f"gshare({history_bits})"
+
+    def _index(self, pc: int) -> int:
+        return (self.ghr ^ pc) & self._mask
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        return self.pht.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        self.pht.update(self._index(pc), taken)
+        self.ghr = ((self.ghr << 1) | (1 if taken else 0)) & self._mask
+
+    def on_context_switch(self) -> None:
+        self.ghr = 0
+
+    def reset(self) -> None:
+        self.ghr = 0
+        self.pht.reset()
+
+
+def make_gag(history_bits: int, automaton: AutomatonSpec = A2) -> GAgPredictor:
+    """Convenience constructor for GAg."""
+    return GAgPredictor(history_bits, automaton)
+
+
+def make_pag(
+    history_bits: int,
+    automaton: AutomatonSpec = A2,
+    bht_entries: Optional[int] = 512,
+    bht_associativity: int = 4,
+) -> PAgPredictor:
+    """Convenience constructor for PAg (paper default: 512-entry 4-way)."""
+    return PAgPredictor(
+        TwoLevelConfig(
+            history_bits=history_bits,
+            automaton=automaton,
+            bht_entries=bht_entries,
+            bht_associativity=bht_associativity,
+        )
+    )
+
+
+def make_pap(
+    history_bits: int,
+    automaton: AutomatonSpec = A2,
+    bht_entries: Optional[int] = 512,
+    bht_associativity: int = 4,
+    reset_pht_on_evict: bool = True,
+) -> PApPredictor:
+    """Convenience constructor for PAp (paper default: 512-entry 4-way)."""
+    return PApPredictor(
+        TwoLevelConfig(
+            history_bits=history_bits,
+            automaton=automaton,
+            bht_entries=bht_entries,
+            bht_associativity=bht_associativity,
+            reset_pht_on_evict=reset_pht_on_evict,
+        )
+    )

@@ -1,0 +1,54 @@
+"""Reproduction drivers for every table and figure in the paper."""
+
+from .figures import (
+    ALL_FIGURES,
+    FigureResult,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+)
+from .export import export_result, matrix_to_csv, matrix_to_json
+from .extras import (
+    ALL_EXTRAS,
+    extra_fetch,
+    extra_interference,
+    extra_speculative,
+    extra_taxonomy,
+)
+from .report import render_accuracy_matrix, render_table
+from .tables import ALL_TABLES, TableResult, table1, table2, table3
+from .cli import run_experiment
+
+__all__ = [
+    "ALL_EXTRAS",
+    "ALL_FIGURES",
+    "ALL_TABLES",
+    "export_result",
+    "extra_fetch",
+    "extra_interference",
+    "extra_speculative",
+    "extra_taxonomy",
+    "matrix_to_csv",
+    "matrix_to_json",
+    "FigureResult",
+    "TableResult",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "render_accuracy_matrix",
+    "render_table",
+    "run_experiment",
+    "table1",
+    "table2",
+    "table3",
+]

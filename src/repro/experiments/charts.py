@@ -1,0 +1,112 @@
+"""ASCII charts for figure renderings.
+
+The paper's figures are line graphs of accuracy (76–100 %) per
+benchmark. The text tables carry the exact numbers; these helpers add
+a visual layer that survives a terminal: horizontal bar charts and
+multi-series sparklines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+_BAR_CHARS = "▏▎▍▌▋▊▉█"
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    floor: Optional[float] = None,
+    ceiling: Optional[float] = None,
+    percent: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bars, scaled between ``floor`` and ``ceiling``.
+
+    Defaults mirror the paper's axes: when all values are accuracies,
+    the floor defaults to just below the minimum (so differences are
+    visible, as the paper's 76 %-baseline does) and the ceiling to the
+    maximum.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return title or ""
+    low = floor if floor is not None else min(values) - 0.02 * (max(values) - min(values) + 1e-9) - 1e-9
+    high = ceiling if ceiling is not None else max(values)
+    span = max(high - low, 1e-12)
+    label_width = max(len(label) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        fraction = min(max((value - low) / span, 0.0), 1.0)
+        cells = fraction * width
+        full = int(cells)
+        remainder = cells - full
+        bar = "█" * full
+        if remainder > 1e-9 and full < width:
+            bar += _BAR_CHARS[min(int(remainder * len(_BAR_CHARS)), len(_BAR_CHARS) - 1)]
+        shown = f"{value * 100:6.2f}%" if percent else f"{value:8.4g}"
+        lines.append(f"{label.rjust(label_width)} |{bar.ljust(width)}| {shown}")
+    return "\n".join(lines)
+
+
+def render_sparkline(values: Sequence[float], floor: Optional[float] = None, ceiling: Optional[float] = None) -> str:
+    """One compact row of block characters for a series."""
+    if not values:
+        return ""
+    low = floor if floor is not None else min(values)
+    high = ceiling if ceiling is not None else max(values)
+    span = max(high - low, 1e-12)
+    cells = []
+    for value in values:
+        fraction = min(max((value - low) / span, 0.0), 1.0)
+        cells.append(_SPARK_CHARS[min(int(fraction * len(_SPARK_CHARS)), len(_SPARK_CHARS) - 1)])
+    return "".join(cells)
+
+
+def render_series(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Optional[Sequence[object]] = None,
+    percent: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """Multiple named series as aligned sparklines with endpoints.
+
+    All series share one vertical scale so their relative positions
+    read correctly (the way the paper overlays GAg/PAg/PAp curves).
+    """
+    if not series:
+        return title or ""
+    every_value = [v for values in series.values() for v in values]
+    low, high = min(every_value), max(every_value)
+    name_width = max(len(name) for name in series)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if x_labels is not None:
+        lines.append(
+            " " * (name_width + 1)
+            + " ".join(str(x) for x in x_labels)
+        )
+    for name, values in series.items():
+        spark = render_sparkline(values, floor=low, ceiling=high)
+        first = f"{values[0] * 100:.1f}%" if percent else f"{values[0]:.4g}"
+        last = f"{values[-1] * 100:.1f}%" if percent else f"{values[-1]:.4g}"
+        lines.append(f"{name.rjust(name_width)} {spark}  {first} -> {last}")
+    return "\n".join(lines)
+
+
+def accuracy_bars_from_matrix(matrix, category: Optional[str] = None, title: Optional[str] = None) -> str:
+    """Bars of per-scheme geometric means from a ResultMatrix."""
+    labels = list(matrix.schemes)
+    values = [matrix.gmean(scheme, category) for scheme in labels]
+    order = sorted(range(len(labels)), key=lambda i: -values[i])
+    return render_bars(
+        [labels[i] for i in order],
+        [values[i] for i in order],
+        title=title,
+    )

@@ -1,0 +1,94 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments fig11
+    repro-experiments fig6 --scale 2
+    repro-experiments all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from ..workloads.suite import SuiteConfig, build_cases
+from .extras import ALL_EXTRAS
+from .figures import ALL_FIGURES
+from .tables import ALL_TABLES
+
+_TRACELESS = {"table2", "table3"}
+
+
+def _experiment_ids() -> List[str]:
+    return list(ALL_TABLES) + list(ALL_FIGURES) + list(ALL_EXTRAS)
+
+
+def run_experiment(experiment_id: str, scale: int = 1, cases=None):
+    """Run one experiment by id, returning its result object."""
+    if experiment_id in ALL_TABLES:
+        if experiment_id in _TRACELESS:
+            return ALL_TABLES[experiment_id]()
+        return ALL_TABLES[experiment_id](cases=cases, scale=scale)
+    if experiment_id in ALL_FIGURES:
+        return ALL_FIGURES[experiment_id](cases=cases, scale=scale)
+    if experiment_id in ALL_EXTRAS:
+        return ALL_EXTRAS[experiment_id](cases=cases, scale=scale)
+    raise KeyError(
+        f"unknown experiment {experiment_id!r}; known: {', '.join(_experiment_ids())}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of Yeh & Patt's "
+        "'Alternative Implementations of Two-Level Adaptive Branch Prediction'.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (table1..table3, fig4..fig11), 'all', or 'list'",
+    )
+    parser.add_argument("--scale", type=int, default=1, help="suite work multiplier")
+    parser.add_argument("--out", type=Path, default=None, help="directory for .txt outputs")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for experiment_id in _experiment_ids():
+            print(experiment_id)
+        return 0
+
+    targets = _experiment_ids() if args.experiment == "all" else [args.experiment]
+    unknown = [
+        t for t in targets
+        if t not in ALL_TABLES and t not in ALL_FIGURES and t not in ALL_EXTRAS
+    ]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    cases = None
+    if any(t not in _TRACELESS for t in targets):
+        started = time.time()
+        cases = build_cases(SuiteConfig(scale=args.scale))
+        print(f"# suite traces ready in {time.time() - started:.1f}s", file=sys.stderr)
+
+    for experiment_id in targets:
+        started = time.time()
+        result = run_experiment(experiment_id, scale=args.scale, cases=cases)
+        elapsed = time.time() - started
+        text = result.render()
+        print(text)
+        print(f"# {experiment_id} in {elapsed:.1f}s\n", file=sys.stderr)
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{experiment_id}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Machine-readable export of experiment results (CSV / JSON).
+
+The figure drivers return :class:`~repro.sim.results.ResultMatrix`
+objects and render fixed-width text; downstream analysis (spreadsheets,
+plotting) wants structured data. These helpers serialise any result
+matrix — and whole experiment results — losslessly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from ..sim.results import ResultMatrix
+
+PathLike = Union[str, Path]
+
+
+def matrix_to_csv(matrix: ResultMatrix, stream: Optional[io.TextIOBase] = None) -> str:
+    """Serialise a result matrix as CSV (schemes x benchmarks + GMeans).
+
+    Accuracy cells are fractions (0..1); missing cells are empty.
+    Returns the CSV text (also written to ``stream`` when given).
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    headers = ["scheme"] + list(matrix.benchmarks) + ["Int GMean", "FP GMean", "Tot GMean"]
+    writer.writerow(headers)
+    for row in matrix.as_rows():
+        writer.writerow(
+            ["" if row.get(column) is None else row.get(column) for column in headers]
+        )
+    text = buffer.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+def matrix_to_json(matrix: ResultMatrix, indent: int = 2) -> str:
+    """Serialise a result matrix as JSON with full per-cell detail."""
+    payload = {
+        "benchmarks": list(matrix.benchmarks),
+        "categories": dict(matrix.categories),
+        "schemes": {},
+    }
+    for scheme, cells in matrix.cells.items():
+        payload["schemes"][scheme] = {
+            "cells": {
+                benchmark: {
+                    "accuracy": result.accuracy,
+                    "conditional_branches": result.conditional_branches,
+                    "correct_predictions": result.correct_predictions,
+                    "context_switches": result.context_switches,
+                }
+                for benchmark, result in cells.items()
+            },
+            "summary": matrix.summary(scheme),
+        }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def export_result(result, directory: PathLike, formats: tuple = ("txt", "csv", "json")) -> list:
+    """Write a figure/table result to ``directory`` in several formats.
+
+    ``txt`` is always available; ``csv``/``json`` require the result to
+    carry a matrix (table results and figure4-style results export txt
+    only). Returns the list of files written.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    identifier = getattr(result, "figure_id", None) or result.table_id
+    written = []
+    if "txt" in formats:
+        path = directory / f"{identifier}.txt"
+        path.write_text(result.render() + "\n")
+        written.append(path)
+    matrix = getattr(result, "matrix", None)
+    if matrix is not None:
+        if "csv" in formats:
+            path = directory / f"{identifier}.csv"
+            path.write_text(matrix_to_csv(matrix))
+            written.append(path)
+        if "json" in formats:
+            path = directory / f"{identifier}.json"
+            path.write_text(matrix_to_json(matrix))
+            written.append(path)
+    return written
+
+
+def load_matrix_json(path: PathLike) -> dict:
+    """Load a JSON export back as a plain dict (round-trip helper)."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,102 @@
+"""Plain-text rendering of experiment results.
+
+Every figure/table driver returns structured data; this module renders
+it as fixed-width text tables (the closest analog of the paper's
+figures that a terminal can show) and as machine-readable row dicts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell, percent: bool = False) -> str:
+    """One cell: floats as percentages (when asked), None as '--'."""
+    if value is None:
+        return "--"
+    if isinstance(value, float):
+        if percent:
+            return f"{value * 100:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    percent_columns: Optional[Sequence[int]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table.
+
+    Args:
+        headers: column names.
+        rows: row cells (same arity as headers).
+        percent_columns: column indices rendered as percentages.
+        title: optional title line printed above the table.
+    """
+    percent = set(percent_columns or ())
+    text_rows: List[List[str]] = [
+        [format_cell(cell, percent=(index in percent)) for index, cell in enumerate(row)]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(h.rjust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_accuracy_matrix(
+    matrix,
+    title: Optional[str] = None,
+    scheme_order: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a :class:`~repro.sim.results.ResultMatrix` as the paper
+    lays its figures out: benchmarks as columns, GMeans on the right."""
+    benchmarks = list(matrix.benchmarks)
+    headers = ["scheme"] + benchmarks + ["Int GMean", "FP GMean", "Tot GMean"]
+    rows: List[List[Cell]] = []
+    schemes = list(scheme_order) if scheme_order is not None else matrix.schemes
+    for scheme in schemes:
+        row: List[Cell] = [scheme]
+        for benchmark in benchmarks:
+            row.append(matrix.accuracy(scheme, benchmark))
+        covered = set(matrix.row(scheme))
+        for category in ("int", "fp", None):
+            in_category = [
+                b for b in benchmarks if category is None or matrix.categories.get(b) == category
+            ]
+            if covered & set(in_category):
+                row.append(matrix.gmean(scheme, category))
+            else:
+                row.append(None)
+        rows.append(row)
+    percent_columns = list(range(1, len(headers)))
+    return render_table(headers, rows, percent_columns=percent_columns, title=title)
+
+
+def rows_from_mapping(mapping: Mapping[str, Mapping[str, Cell]], key_header: str) -> Dict[str, object]:
+    """Convert nested mappings to (headers, rows) for render_table."""
+    inner_keys: List[str] = []
+    for inner in mapping.values():
+        for key in inner:
+            if key not in inner_keys:
+                inner_keys.append(key)
+    headers = [key_header] + inner_keys
+    rows = [
+        [outer_key] + [inner.get(k) for k in inner_keys]
+        for outer_key, inner in mapping.items()
+    ]
+    return {"headers": headers, "rows": rows}

@@ -1,0 +1,58 @@
+"""M88K-flavoured ISA substrate: assembler, CPU simulator, kernels."""
+
+from .assembler import CODE_BASE, DATA_BASE, AssemblyError, Program, assemble
+from .compiler import (
+    CompileError,
+    MiniCCompiler,
+    compile_and_run,
+    compile_source,
+    reference_eval,
+)
+from .cpu import CPU, CPUState, ExecutionError, run_program
+from .isa import (
+    CMP_BITS,
+    CONDITIONS,
+    INSTRUCTION_SET,
+    Instruction,
+    InstructionSpec,
+    Kind,
+    NUM_REGISTERS,
+    Operand,
+    RETURN_REGISTER,
+    WORD,
+    compare_bits,
+    evaluate_condition,
+)
+from .programs import PROGRAMS, assemble_program, program_trace
+
+__all__ = [
+    "AssemblyError",
+    "CompileError",
+    "MiniCCompiler",
+    "compile_and_run",
+    "compile_source",
+    "reference_eval",
+    "CMP_BITS",
+    "CODE_BASE",
+    "CONDITIONS",
+    "CPU",
+    "CPUState",
+    "DATA_BASE",
+    "ExecutionError",
+    "INSTRUCTION_SET",
+    "Instruction",
+    "InstructionSpec",
+    "Kind",
+    "NUM_REGISTERS",
+    "Operand",
+    "PROGRAMS",
+    "Program",
+    "RETURN_REGISTER",
+    "WORD",
+    "assemble",
+    "assemble_program",
+    "compare_bits",
+    "evaluate_condition",
+    "program_trace",
+    "run_program",
+]

@@ -1,0 +1,249 @@
+"""Two-pass assembler for the M88K-flavoured ISA.
+
+Syntax::
+
+    ; comment        (also '#')
+    label:
+        li   r2, 10
+        loop:
+        addi r2, r2, -1
+        bcnd ne0, r2, loop
+        halt
+
+    .data            ; switches to the data segment
+    table: .word 1 2 3 4
+    buf:   .space 16
+
+Pass 1 collects label addresses (code addresses advance one word per
+instruction; data addresses one word per value); pass 2 encodes
+operands. Code starts at :data:`CODE_BASE`, data at :data:`DATA_BASE`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .isa import (
+    CMP_BITS,
+    CONDITIONS,
+    INSTRUCTION_SET,
+    Instruction,
+    NUM_REGISTERS,
+    Operand,
+    WORD,
+)
+
+CODE_BASE = 0x1000
+DATA_BASE = 0x10000
+
+
+class AssemblyError(ValueError):
+    """Raised with a line number for any malformed assembly input."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+@dataclass
+class Program:
+    """The assembler's output: code, initialised data, and symbols."""
+
+    instructions: List[Instruction]
+    data: Dict[int, int] = field(default_factory=dict)
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def entry_point(self) -> int:
+        return self.labels.get("main", CODE_BASE)
+
+    def instruction_at(self, address: int) -> Optional[Instruction]:
+        index = (address - CODE_BASE) // WORD
+        if 0 <= index < len(self.instructions):
+            return self.instructions[index]
+        return None
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_.]*):")
+_REG_RE = re.compile(r"^r(\d+)$")
+
+
+def _strip(line: str) -> str:
+    for marker in (";", "#"):
+        position = line.find(marker)
+        if position >= 0:
+            line = line[:position]
+    return line.strip()
+
+
+@dataclass
+class _Line:
+    number: int
+    label: Optional[str]
+    mnemonic: Optional[str]
+    args: List[str]
+    directive: Optional[str] = None
+
+
+def _parse_lines(source: str) -> List[_Line]:
+    lines: List[_Line] = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        text = _strip(raw)
+        if not text:
+            continue
+        label = None
+        match = _LABEL_RE.match(text)
+        if match:
+            label = match.group(1)
+            text = text[match.end():].strip()
+        if not text:
+            lines.append(_Line(number, label, None, []))
+            continue
+        if text.startswith("."):
+            directive, _, rest = text.partition(" ")
+            args = rest.replace(",", " ").split()
+            lines.append(_Line(number, label, None, args, directive=directive))
+            continue
+        mnemonic, _, rest = text.partition(" ")
+        args = [a for a in rest.replace(",", " ").split() if a]
+        lines.append(_Line(number, label, mnemonic.lower(), args))
+    return lines
+
+
+def assemble(source: str) -> Program:
+    """Assemble ``source`` into a :class:`Program`."""
+    lines = _parse_lines(source)
+    labels: Dict[str, int] = {}
+    code_address = CODE_BASE
+    data_address = DATA_BASE
+    in_data = False
+
+    # Pass 1: label addresses and segment sizing.
+    for line in lines:
+        if line.directive == ".text":
+            in_data = False
+            if line.label:
+                labels[line.label] = code_address
+            continue
+        if line.directive == ".data":
+            in_data = True
+            if line.label:
+                labels[line.label] = data_address
+            continue
+        if line.label:
+            labels[line.label] = data_address if in_data else code_address
+        if line.directive == ".word":
+            data_address += WORD * max(len(line.args), 1)
+            continue
+        if line.directive == ".space":
+            if len(line.args) != 1:
+                raise AssemblyError(line.number, ".space needs one size argument")
+            data_address += WORD * int(line.args[0], 0)
+            continue
+        if line.directive is not None:
+            raise AssemblyError(line.number, f"unknown directive {line.directive}")
+        if line.mnemonic is not None:
+            if in_data:
+                raise AssemblyError(line.number, "instruction inside .data segment")
+            code_address += WORD
+
+    # Pass 2: encode.
+    instructions: List[Instruction] = []
+    data: Dict[int, int] = {}
+    code_address = CODE_BASE
+    data_address = DATA_BASE
+    in_data = False
+    for line in lines:
+        if line.directive == ".text":
+            in_data = False
+            continue
+        if line.directive == ".data":
+            in_data = True
+            continue
+        if line.directive == ".word":
+            values = line.args or ["0"]
+            for value in values:
+                data[data_address] = _resolve_value(value, labels, line.number)
+                data_address += WORD
+            continue
+        if line.directive == ".space":
+            count = int(line.args[0], 0)
+            for _ in range(count):
+                data[data_address] = 0
+                data_address += WORD
+            continue
+        if line.mnemonic is None:
+            continue
+        spec = INSTRUCTION_SET.get(line.mnemonic)
+        if spec is None:
+            raise AssemblyError(line.number, f"unknown mnemonic {line.mnemonic!r}")
+        if len(line.args) != len(spec.operands):
+            raise AssemblyError(
+                line.number,
+                f"{line.mnemonic} expects {len(spec.operands)} operands, got {len(line.args)}",
+            )
+        operands = tuple(
+            _encode_operand(kind, text, labels, line.number)
+            for kind, text in zip(spec.operands, line.args)
+        )
+        instructions.append(
+            Instruction(
+                address=code_address,
+                mnemonic=spec.mnemonic,
+                kind=spec.kind,
+                operands=operands,
+            )
+        )
+        code_address += WORD
+
+    return Program(instructions=instructions, data=data, labels=labels)
+
+
+def _resolve_value(text: str, labels: Dict[str, int], line_number: int) -> int:
+    if text in labels:
+        return labels[text]
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblyError(line_number, f"cannot resolve value {text!r}") from None
+
+
+def _encode_operand(
+    kind: Operand, text: str, labels: Dict[str, int], line_number: int
+) -> object:
+    if kind is Operand.REG:
+        match = _REG_RE.match(text)
+        if not match:
+            raise AssemblyError(line_number, f"expected register, got {text!r}")
+        index = int(match.group(1))
+        if not 0 <= index < NUM_REGISTERS:
+            raise AssemblyError(line_number, f"register r{index} out of range")
+        return index
+    if kind is Operand.IMM:
+        return _resolve_value(text, labels, line_number)
+    if kind is Operand.LABEL:
+        if text in labels:
+            return labels[text]
+        try:
+            return int(text, 0)
+        except ValueError:
+            raise AssemblyError(line_number, f"undefined label {text!r}") from None
+    if kind is Operand.COND:
+        if text not in CONDITIONS:
+            raise AssemblyError(
+                line_number, f"unknown condition {text!r}; expected one of {CONDITIONS}"
+            )
+        return text
+    if kind is Operand.BIT:
+        if text in CMP_BITS:
+            return CMP_BITS[text]
+        try:
+            bit = int(text, 0)
+        except ValueError:
+            raise AssemblyError(line_number, f"bad bit operand {text!r}") from None
+        if not 0 <= bit < 32:
+            raise AssemblyError(line_number, f"bit {bit} out of range")
+        return bit
+    raise AssemblyError(line_number, f"unhandled operand kind {kind}")  # pragma: no cover

@@ -1,0 +1,435 @@
+"""A compiler from the mini-C language to the M88K-flavoured ISA.
+
+The gcc-analog workload (:mod:`repro.workloads.gcc_like`) defines a
+small C-like language and a front end (lexer, recursive-descent parser,
+AST). This module adds a real back end, closing the loop the paper's
+toolchain had: **source -> compiler -> M88K binary -> instruction-level
+simulator -> branch trace -> predictor**.
+
+Supported language (exactly what the front end produces):
+
+* ``int`` functions with up to three ``int`` parameters;
+* statements: blocks, ``if``/``else``, ``while``, ``var`` declarations,
+  assignments, ``return``;
+* expressions: integer constants, variables, binary operators
+  ``+ - * / < > == & |`` (comparisons yield 0/1; division by zero
+  yields 0, matching the front end's folding rules), calls to other
+  functions and to the ``__bN`` intrinsics.
+
+Intrinsic semantics (defined here, emitted once per used intrinsic as a
+tiny runtime routine): ``__bN(args...) = trem(sum(args) + N, 257)``
+where ``trem`` is the truncated remainder the CPU's ``div`` induces.
+
+Calling convention:
+
+* arguments in ``r4 r5 r6``; result in ``r3``;
+* ``r29`` is the stack pointer, ``r28`` the frame base;
+* frame layout: ``[saved r1][saved r28][params...][locals...]``;
+* expression temporaries live in ``r10..r24`` (caller-saved across
+  calls by spilling to the stack).
+
+:func:`reference_eval` is an independent interpreter of the same AST
+with identical arithmetic, used by the tests to check compiled code
+against a second implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..trace.events import TraceBuilder
+from ..workloads.base import BranchProbe
+from ..workloads.gcc_like import Node, Parser, lex
+from .assembler import Program, assemble
+from .cpu import CPUState, run_program
+
+_ARG_REGISTERS = (4, 5, 6)
+_FIRST_TEMP = 10
+_LAST_TEMP = 24
+_RESULT = 3
+_FRAME = 28
+_SP = 29
+_STACK_BASE = 0x80000
+_INTRINSIC_MOD = 257
+
+
+class CompileError(ValueError):
+    """Raised for programs the back end cannot lower."""
+
+
+def _silent_front_end(source: str) -> List[Node]:
+    """Run the instrumented front end with a throwaway probe."""
+    probe = BranchProbe("compiler", TraceBuilder(name="compiler-internal"))
+    tokens = lex(probe, source)
+    return Parser(probe, tokens).parse_unit()
+
+
+def trunc_div(a: int, b: int) -> int:
+    """The CPU's truncating division, with the language's /0 -> 0 rule."""
+    if b == 0:
+        return 0
+    return int(a / b)
+
+
+def trunc_rem(a: int, b: int) -> int:
+    """Truncated remainder matching ``a - trunc_div(a, b) * b``."""
+    return a - trunc_div(a, b) * b
+
+
+@dataclass
+class _FunctionContext:
+    name: str
+    slots: Dict[str, int] = field(default_factory=dict)
+    next_label: int = 0
+
+    def slot_for(self, variable: str, create: bool = False) -> int:
+        if variable not in self.slots:
+            if not create:
+                raise CompileError(
+                    f"{self.name}: use of undeclared variable {variable!r}"
+                )
+            self.slots[variable] = len(self.slots)
+        return self.slots[variable]
+
+    def label(self, hint: str) -> str:
+        self.next_label += 1
+        return f"{self.name}_{hint}_{self.next_label}"
+
+
+class MiniCCompiler:
+    """Lowers a parsed translation unit to assembly text."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._intrinsics_used: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def compile_unit(self, source: str) -> str:
+        """Compile every function in ``source``; no entry point."""
+        functions = _silent_front_end(source)
+        if not functions:
+            raise CompileError("no functions in translation unit")
+        self.lines = []
+        self._intrinsics_used = {}
+        for function in functions:
+            self._compile_function(function)
+        self._emit_intrinsic_runtime()
+        return "\n".join(self.lines) + "\n"
+
+    def compile_program(
+        self, source: str, entry: str, args: Sequence[int] = ()
+    ) -> str:
+        """Compile and add a ``main`` that calls ``entry(args)``."""
+        if len(args) > len(_ARG_REGISTERS):
+            raise CompileError(f"at most {len(_ARG_REGISTERS)} arguments supported")
+        body = self.compile_unit(source)
+        header = [f"main:   li   r{_SP}, {_STACK_BASE:#x}"]
+        for register, value in zip(_ARG_REGISTERS, args):
+            header.append(f"        li   r{register}, {value}")
+        header.append(f"        bsr  {entry}")
+        header.append("        halt")
+        return "\n".join(header) + "\n" + body
+
+    # ------------------------------------------------------------------
+    # Functions
+    # ------------------------------------------------------------------
+    def _compile_function(self, function: Node) -> None:
+        if function.kind != "function":
+            raise CompileError(f"expected a function node, got {function.kind}")
+        name, params = function.value
+        context = _FunctionContext(name=name)
+        for parameter in params:
+            context.slot_for(parameter, create=True)
+        body_lines: List[str] = []
+        self._compile_block(function.children[0], context, body_lines, depth=_FIRST_TEMP)
+        frame_bytes = 8 + 4 * len(context.slots)
+
+        self._emit(f"{name}:")
+        self._emit(f"        st   r1, r{_SP}, 0")
+        self._emit(f"        st   r{_FRAME}, r{_SP}, 4")
+        self._emit(f"        add  r{_FRAME}, r{_SP}, r0")
+        self._emit(f"        addi r{_SP}, r{_SP}, {frame_bytes}")
+        for index, register in enumerate(_ARG_REGISTERS[: len(params)]):
+            self._emit(f"        st   r{register}, r{_FRAME}, {8 + 4 * index}")
+        self.lines.extend(body_lines)
+        # Fall-through return (functions without an explicit return
+        # yield 0, like the front end's error-recovery style).
+        self._emit(f"        li   r{_RESULT}, 0")
+        self._emit_epilogue()
+
+    def _emit_epilogue(self) -> None:
+        self._emit(f"        add  r{_SP}, r{_FRAME}, r0")
+        self._emit(f"        ld   r1, r{_FRAME}, 0")
+        self._emit(f"        ld   r{_FRAME}, r{_FRAME}, 4")
+        self._emit("        jmp  r1")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _compile_block(self, node: Node, ctx: _FunctionContext, out: List[str], depth: int) -> None:
+        for statement in node.children:
+            self._compile_statement(statement, ctx, out, depth)
+
+    def _compile_statement(self, node: Node, ctx: _FunctionContext, out: List[str], depth: int) -> None:
+        kind = node.kind
+        if kind == "block":
+            self._compile_block(node, ctx, out, depth)
+        elif kind in ("declare", "assign"):
+            register = self._compile_expression(node.children[0], ctx, out, depth)
+            slot = ctx.slot_for(str(node.value), create=(kind == "declare"))
+            out.append(f"        st   r{register}, r{_FRAME}, {8 + 4 * slot}")
+        elif kind == "return":
+            register = self._compile_expression(node.children[0], ctx, out, depth)
+            out.append(f"        add  r{_RESULT}, r{register}, r0")
+            out.append(f"        add  r{_SP}, r{_FRAME}, r0")
+            out.append(f"        ld   r1, r{_FRAME}, 0")
+            out.append(f"        ld   r{_FRAME}, r{_FRAME}, 4")
+            out.append("        jmp  r1")
+        elif kind == "if":
+            self._compile_if(node, ctx, out, depth)
+        elif kind == "while":
+            self._compile_while(node, ctx, out, depth)
+        elif kind == "expr-stmt":
+            pass  # a bare identifier has no effect
+        else:
+            raise CompileError(f"unsupported statement kind {kind!r}")
+
+    def _compile_if(self, node: Node, ctx: _FunctionContext, out: List[str], depth: int) -> None:
+        register = self._compile_expression(node.children[0], ctx, out, depth)
+        else_label = ctx.label("else")
+        end_label = ctx.label("endif")
+        out.append(f"        bcnd eq0, r{register}, {else_label}")
+        self._compile_statement(node.children[1], ctx, out, depth)
+        out.append(f"        br   {end_label}")
+        out.append(f"{else_label}:")
+        if len(node.children) > 2:
+            self._compile_statement(node.children[2], ctx, out, depth)
+        out.append(f"{end_label}:")
+
+    def _compile_while(self, node: Node, ctx: _FunctionContext, out: List[str], depth: int) -> None:
+        head_label = ctx.label("while")
+        end_label = ctx.label("wend")
+        out.append(f"{head_label}:")
+        register = self._compile_expression(node.children[0], ctx, out, depth)
+        out.append(f"        bcnd eq0, r{register}, {end_label}")
+        self._compile_statement(node.children[1], ctx, out, depth)
+        out.append(f"        br   {head_label}")
+        out.append(f"{end_label}:")
+
+    # ------------------------------------------------------------------
+    # Expressions: result lands in register `depth`
+    # ------------------------------------------------------------------
+    def _compile_expression(self, node: Node, ctx: _FunctionContext, out: List[str], depth: int) -> int:
+        if depth > _LAST_TEMP:
+            raise CompileError("expression too deep for the temp register file")
+        kind = node.kind
+        if kind == "const":
+            out.append(f"        li   r{depth}, {int(node.value)}")
+            return depth
+        if kind == "name":
+            slot = ctx.slot_for(str(node.value))
+            out.append(f"        ld   r{depth}, r{_FRAME}, {8 + 4 * slot}")
+            return depth
+        if kind == "binop":
+            return self._compile_binop(node, ctx, out, depth)
+        if kind == "call":
+            return self._compile_call(node, ctx, out, depth)
+        raise CompileError(f"unsupported expression kind {kind!r}")
+
+    def _compile_binop(self, node: Node, ctx: _FunctionContext, out: List[str], depth: int) -> int:
+        op = str(node.value)
+        left = self._compile_expression(node.children[0], ctx, out, depth)
+        right = self._compile_expression(node.children[1], ctx, out, depth + 1)
+        simple = {"+": "add", "-": "sub", "*": "mul", "&": "and", "|": "or"}
+        if op in simple:
+            out.append(f"        {simple[op]:4s} r{left}, r{left}, r{right}")
+            return left
+        if op == "/":
+            skip = ctx.label("divz")
+            end = ctx.label("divend")
+            out.append(f"        bcnd ne0, r{right}, {skip}")
+            out.append(f"        li   r{left}, 0")
+            out.append(f"        br   {end}")
+            out.append(f"{skip}:")
+            out.append(f"        div  r{left}, r{left}, r{right}")
+            out.append(f"{end}:")
+            return left
+        if op in ("<", ">", "=="):
+            bit = {"<": "lt", ">": "gt", "==": "eq"}[op]
+            true_label = ctx.label("cmpt")
+            end_label = ctx.label("cmpe")
+            scratch = depth + 2
+            if scratch > _LAST_TEMP:
+                raise CompileError("comparison too deep for the temp register file")
+            out.append(f"        cmp  r{scratch}, r{left}, r{right}")
+            out.append(f"        bb1  {bit}, r{scratch}, {true_label}")
+            out.append(f"        li   r{left}, 0")
+            out.append(f"        br   {end_label}")
+            out.append(f"{true_label}:")
+            out.append(f"        li   r{left}, 1")
+            out.append(f"{end_label}:")
+            return left
+        raise CompileError(f"unsupported operator {op!r}")
+
+    def _compile_call(self, node: Node, ctx: _FunctionContext, out: List[str], depth: int) -> int:
+        callee = str(node.value)
+        if len(node.children) > len(_ARG_REGISTERS):
+            raise CompileError(f"{callee}: more than {len(_ARG_REGISTERS)} arguments")
+        if callee.startswith("__b"):
+            self._intrinsics_used[callee] = len(node.children)
+        # Evaluate arguments left to right into consecutive temps.
+        registers: List[int] = []
+        cursor = depth
+        for argument in node.children:
+            registers.append(self._compile_expression(argument, ctx, out, cursor))
+            cursor += 1
+        # Caller-save the live temps below `depth` plus the argument
+        # temps themselves are consumed by the call.
+        for index, register in enumerate(range(_FIRST_TEMP, depth)):
+            out.append(f"        st   r{register}, r{_SP}, {4 * index}")
+        live = depth - _FIRST_TEMP
+        if live:
+            out.append(f"        addi r{_SP}, r{_SP}, {4 * live}")
+        for target, register in zip(_ARG_REGISTERS, registers):
+            out.append(f"        add  r{target}, r{register}, r0")
+        out.append(f"        bsr  {callee}")
+        if live:
+            out.append(f"        addi r{_SP}, r{_SP}, {-4 * live}")
+        for index, register in enumerate(range(_FIRST_TEMP, depth)):
+            out.append(f"        ld   r{register}, r{_SP}, {4 * index}")
+        out.append(f"        add  r{depth}, r{_RESULT}, r0")
+        return depth
+
+    # ------------------------------------------------------------------
+    # Intrinsic runtime
+    # ------------------------------------------------------------------
+    def _emit_intrinsic_runtime(self) -> None:
+        for name, arity in sorted(self._intrinsics_used.items()):
+            offset = int(name[3:])
+            self._emit(f"{name}:")
+            self._emit(f"        li   r10, {offset}")
+            for register in _ARG_REGISTERS[:arity]:
+                self._emit(f"        add  r10, r10, r{register}")
+            # Truncated remainder mod 257: r3 = r10 - (r10 / 257) * 257.
+            self._emit(f"        li   r11, {_INTRINSIC_MOD}")
+            self._emit("        div  r12, r10, r11")
+            self._emit("        mul  r12, r12, r11")
+            self._emit(f"        sub  r{_RESULT}, r10, r12")
+            self._emit("        jmp  r1")
+
+    def _emit(self, line: str) -> None:
+        self.lines.append(line)
+
+
+# ----------------------------------------------------------------------
+# Convenience drivers
+# ----------------------------------------------------------------------
+
+def compile_source(source: str, entry: str = "fn0", args: Sequence[int] = ()) -> Program:
+    """Compile mini-C source to an assembled :class:`Program`."""
+    assembly = MiniCCompiler().compile_program(source, entry, args)
+    return assemble(assembly)
+
+
+def compile_and_run(
+    source: str,
+    entry: str = "fn0",
+    args: Sequence[int] = (),
+    max_instructions: int = 2_000_000,
+) -> Tuple[int, CPUState, "object"]:
+    """Compile, execute, and return (result, cpu state, branch trace)."""
+    program = compile_source(source, entry, args)
+    state, trace = run_program(
+        program, trace_name=f"minic-{entry}", max_instructions=max_instructions
+    )
+    return state.reg(_RESULT), state, trace
+
+
+# ----------------------------------------------------------------------
+# Reference interpreter (for differential testing)
+# ----------------------------------------------------------------------
+
+def reference_eval(source: str, entry: str = "fn0", args: Sequence[int] = ()) -> int:
+    """Interpret mini-C with the compiler's exact arithmetic."""
+    functions = {f.value[0]: f for f in _silent_front_end(source)}
+    if entry not in functions:
+        raise CompileError(f"no function named {entry!r}")
+    return _call_reference(functions, entry, list(args))
+
+
+def _call_reference(functions: Dict[str, Node], name: str, args: List[int]) -> int:
+    if name.startswith("__b"):
+        return trunc_rem(sum(args) + int(name[3:]), _INTRINSIC_MOD)
+    function = functions[name]
+    _name, params = function.value
+    scope: Dict[str, int] = dict(zip(params, args))
+
+    class _Return(Exception):
+        def __init__(self, value: int) -> None:
+            self.value = value
+
+    def run_statement(node: Node) -> None:
+        if node.kind == "block":
+            for child in node.children:
+                run_statement(child)
+        elif node.kind in ("declare", "assign"):
+            scope[str(node.value)] = run_expression(node.children[0])
+        elif node.kind == "return":
+            raise _Return(run_expression(node.children[0]))
+        elif node.kind == "if":
+            if run_expression(node.children[0]) != 0:
+                run_statement(node.children[1])
+            elif len(node.children) > 2:
+                run_statement(node.children[2])
+        elif node.kind == "while":
+            while run_expression(node.children[0]) != 0:
+                run_statement(node.children[1])
+        elif node.kind == "expr-stmt":
+            pass
+        else:
+            raise CompileError(f"reference: unsupported statement {node.kind!r}")
+
+    def run_expression(node: Node) -> int:
+        if node.kind == "const":
+            return int(node.value)
+        if node.kind == "name":
+            variable = str(node.value)
+            if variable not in scope:
+                raise CompileError(f"reference: undeclared variable {variable!r}")
+            return scope[variable]
+        if node.kind == "binop":
+            left = run_expression(node.children[0])
+            right = run_expression(node.children[1])
+            op = str(node.value)
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                return trunc_div(left, right)
+            if op == "<":
+                return int(left < right)
+            if op == ">":
+                return int(left > right)
+            if op == "==":
+                return int(left == right)
+            if op == "&":
+                return left & right
+            if op == "|":
+                return left | right
+            raise CompileError(f"reference: unsupported operator {op!r}")
+        if node.kind == "call":
+            call_args = [run_expression(child) for child in node.children]
+            return _call_reference(functions, str(node.value), call_args)
+        raise CompileError(f"reference: unsupported expression {node.kind!r}")
+
+    try:
+        run_statement(function.children[0])
+    except _Return as result:
+        return result.value
+    return 0

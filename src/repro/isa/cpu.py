@@ -1,0 +1,209 @@
+"""Instruction-level simulator with branch-trace capture.
+
+Executes a :class:`~repro.isa.assembler.Program` and records every
+control-transfer instruction into a :class:`~repro.trace.events.Trace`
+via :class:`~repro.trace.events.TraceBuilder` — the same contract the
+SPEC-analog workloads use, so ISA-generated traces feed the identical
+prediction pipeline (this mirrors the paper's Motorola 88100 simulator
+feeding its branch prediction simulator).
+
+Branch classes recorded:
+
+* ``bcnd`` / ``bb0`` / ``bb1`` — conditional (pc, target and direction);
+* ``br`` — unconditional;
+* ``bsr`` / ``jsr`` — call;
+* ``jmp r1`` — return (any other ``jmp`` is an unconditional jump);
+* ``trap`` — emits a trap marker (a context-switch opportunity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..trace.events import BranchClass, Trace, TraceBuilder
+from .assembler import Program
+from .isa import Kind, NUM_REGISTERS, RETURN_REGISTER, WORD, compare_bits, evaluate_condition
+
+
+class ExecutionError(RuntimeError):
+    """Raised on invalid execution (bad pc, division by zero, runaway)."""
+
+
+@dataclass
+class CPUState:
+    """Architected state after a run (for tests and inspection)."""
+
+    registers: List[int]
+    memory: Dict[int, int]
+    instructions_executed: int
+    halted: bool
+
+    def reg(self, index: int) -> int:
+        return self.registers[index]
+
+
+class CPU:
+    """A simple interpreter for the M88K-flavoured ISA."""
+
+    def __init__(
+        self,
+        program: Program,
+        trace_name: str = "isa",
+        max_instructions: int = 5_000_000,
+    ) -> None:
+        self.program = program
+        self.max_instructions = max_instructions
+        self.registers = [0] * NUM_REGISTERS
+        self.memory: Dict[int, int] = dict(program.data)
+        self.pc = program.entry_point
+        self.halted = False
+        self.instructions_executed = 0
+        self._builder = TraceBuilder(name=trace_name, source="isa")
+
+    # ------------------------------------------------------------------
+    # Register helpers (r0 is hardwired to zero)
+    # ------------------------------------------------------------------
+    def _read(self, index: int) -> int:
+        return 0 if index == 0 else self.registers[index]
+
+    def _write(self, index: int, value: int) -> None:
+        if index != 0:
+            self.registers[index] = value
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> CPUState:
+        """Execute until ``halt`` (or the instruction budget runs out)."""
+        while not self.halted:
+            self.step()
+        return CPUState(
+            registers=list(self.registers),
+            memory=dict(self.memory),
+            instructions_executed=self.instructions_executed,
+            halted=self.halted,
+        )
+
+    def step(self) -> None:
+        """Execute one instruction."""
+        if self.instructions_executed >= self.max_instructions:
+            raise ExecutionError(
+                f"instruction budget exhausted ({self.max_instructions}); runaway program?"
+            )
+        instruction = self.program.instruction_at(self.pc)
+        if instruction is None:
+            raise ExecutionError(f"pc {self.pc:#x} outside the code segment")
+        self.instructions_executed += 1
+        next_pc = self.pc + WORD
+        kind = instruction.kind
+        ops = instruction.operands
+
+        if kind is Kind.ALU:
+            rd, rs1, rs2 = ops
+            self._write(rd, self._alu(instruction.mnemonic, self._read(rs1), self._read(rs2)))
+            self._builder.instructions(1)
+        elif kind is Kind.ALU_IMM:
+            if instruction.mnemonic == "li":
+                rd, imm = ops
+                self._write(rd, imm)
+            else:
+                rd, rs1, imm = ops
+                base_op = {"addi": "add", "muli": "mul", "andi": "and", "ori": "or", "slli": "sll"}[
+                    instruction.mnemonic
+                ]
+                self._write(rd, self._alu(base_op, self._read(rs1), imm))
+            self._builder.instructions(1)
+        elif kind is Kind.LOAD:
+            rd, base, offset = ops
+            self._write(rd, self.memory.get(self._read(base) + offset, 0))
+            self._builder.instructions(1)
+        elif kind is Kind.STORE:
+            rs, base, offset = ops
+            self.memory[self._read(base) + offset] = self._read(rs)
+            self._builder.instructions(1)
+        elif kind is Kind.CMP:
+            rd, rs1, rs2 = ops
+            self._write(rd, compare_bits(self._read(rs1), self._read(rs2)))
+            self._builder.instructions(1)
+        elif kind is Kind.BRANCH_COND:
+            condition, rs, target = ops
+            taken = evaluate_condition(condition, self._read(rs))
+            self._builder.branch(self.pc, taken, BranchClass.CONDITIONAL, target=target)
+            if taken:
+                next_pc = target
+        elif kind is Kind.BRANCH_BIT:
+            bit, rs, target = ops
+            bit_value = (self._read(rs) >> bit) & 1
+            taken = bit_value == (1 if instruction.mnemonic == "bb1" else 0)
+            self._builder.branch(self.pc, taken, BranchClass.CONDITIONAL, target=target)
+            if taken:
+                next_pc = target
+        elif kind is Kind.BRANCH:
+            (target,) = ops
+            self._builder.branch(self.pc, True, BranchClass.UNCONDITIONAL, target=target)
+            next_pc = target
+        elif kind is Kind.CALL:
+            (target,) = ops
+            self._write(RETURN_REGISTER, next_pc)
+            self._builder.branch(self.pc, True, BranchClass.CALL, target=target)
+            next_pc = target
+        elif kind is Kind.CALL_REG:
+            (rs,) = ops
+            target = self._read(rs)
+            self._write(RETURN_REGISTER, next_pc)
+            self._builder.branch(self.pc, True, BranchClass.CALL, target=target)
+            next_pc = target
+        elif kind is Kind.JUMP_REG:
+            (rs,) = ops
+            target = self._read(rs)
+            branch_class = BranchClass.RETURN if rs == RETURN_REGISTER else BranchClass.UNCONDITIONAL
+            self._builder.branch(self.pc, True, branch_class, target=target)
+            next_pc = target
+        elif kind is Kind.TRAP:
+            self._builder.trap()
+        elif kind is Kind.HALT:
+            self.halted = True
+            self._builder.instructions(1)
+        elif kind is Kind.NOP:
+            self._builder.instructions(1)
+        else:  # pragma: no cover
+            raise ExecutionError(f"unhandled instruction kind {kind}")
+
+        self.pc = next_pc
+
+    def _alu(self, op: str, left: int, right: int) -> int:
+        if op == "add":
+            return left + right
+        if op == "sub":
+            return left - right
+        if op == "mul":
+            return left * right
+        if op == "div":
+            if right == 0:
+                raise ExecutionError("division by zero")
+            return int(left / right)  # truncating, like hardware idiv
+        if op == "and":
+            return left & right
+        if op == "or":
+            return left | right
+        if op == "xor":
+            return left ^ right
+        if op == "sll":
+            return left << (right & 63)
+        if op == "srl":
+            return (left % (1 << 64)) >> (right & 63)
+        raise ExecutionError(f"unhandled ALU op {op}")  # pragma: no cover
+
+    def trace(self) -> Trace:
+        """The branch trace captured so far."""
+        return self._builder.build()
+
+
+def run_program(
+    program: Program, trace_name: str = "isa", max_instructions: int = 5_000_000
+) -> "tuple[CPUState, Trace]":
+    """Assemble-and-go helper: execute and return (final state, trace)."""
+    cpu = CPU(program, trace_name=trace_name, max_instructions=max_instructions)
+    state = cpu.run()
+    return state, cpu.trace()

@@ -1,0 +1,170 @@
+"""An M88K-flavoured instruction set.
+
+The paper generated its traces with a Motorola 88100 instruction-level
+simulator. This module defines a compact ISA in the 88100's style —
+32 general registers with ``r0`` hardwired to zero, ``cmp`` producing a
+condition bit-field, ``bcnd``/``bb0``/``bb1`` conditional branches,
+``bsr``/``jmp`` subroutine linkage through ``r1`` — rich enough to write
+real kernels whose traces exercise the same predictor pipeline as the
+SPEC-analog workloads.
+
+Instructions are described declaratively; the assembler and CPU consume
+:data:`INSTRUCTION_SET`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+NUM_REGISTERS = 32
+RETURN_REGISTER = 1  # bsr/jsr store the return address in r1, as on the 88100
+WORD = 4
+
+
+class Operand(enum.Enum):
+    """Operand kinds, used by the assembler for parsing/validation."""
+
+    REG = "reg"
+    IMM = "imm"
+    LABEL = "label"
+    COND = "cond"
+    BIT = "bit"
+
+
+class Kind(enum.Enum):
+    """Execution classes the CPU dispatches on."""
+
+    ALU = "alu"
+    ALU_IMM = "alu-imm"
+    LOAD = "load"
+    STORE = "store"
+    CMP = "cmp"
+    BRANCH_COND = "branch-cond"
+    BRANCH_BIT = "branch-bit"
+    BRANCH = "branch"
+    CALL = "call"
+    JUMP_REG = "jump-reg"
+    CALL_REG = "call-reg"
+    TRAP = "trap"
+    HALT = "halt"
+    NOP = "nop"
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Mnemonic signature: execution kind + operand shapes."""
+
+    mnemonic: str
+    kind: Kind
+    operands: Tuple[Operand, ...]
+
+
+# Condition codes for bcnd, in 88100 spirit (test a register vs zero).
+CONDITIONS = ("eq0", "ne0", "gt0", "lt0", "ge0", "le0")
+
+# cmp writes a bit-field; these are the bit positions bb0/bb1 test.
+CMP_BITS: Dict[str, int] = {"eq": 2, "ne": 3, "gt": 4, "le": 5, "lt": 6, "ge": 7}
+
+
+def evaluate_condition(condition: str, value: int) -> bool:
+    """bcnd semantics: test ``value`` against zero."""
+    if condition == "eq0":
+        return value == 0
+    if condition == "ne0":
+        return value != 0
+    if condition == "gt0":
+        return value > 0
+    if condition == "lt0":
+        return value < 0
+    if condition == "ge0":
+        return value >= 0
+    if condition == "le0":
+        return value <= 0
+    raise ValueError(f"unknown condition {condition!r}")
+
+
+def compare_bits(left: int, right: int) -> int:
+    """The 88100 ``cmp`` result: a bit-field of all six relations."""
+    bits = 0
+    if left == right:
+        bits |= 1 << CMP_BITS["eq"]
+    if left != right:
+        bits |= 1 << CMP_BITS["ne"]
+    if left > right:
+        bits |= 1 << CMP_BITS["gt"]
+    if left <= right:
+        bits |= 1 << CMP_BITS["le"]
+    if left < right:
+        bits |= 1 << CMP_BITS["lt"]
+    if left >= right:
+        bits |= 1 << CMP_BITS["ge"]
+    return bits
+
+
+_R = Operand.REG
+_I = Operand.IMM
+_L = Operand.LABEL
+
+INSTRUCTION_SET: Dict[str, InstructionSpec] = {
+    spec.mnemonic: spec
+    for spec in (
+        # Arithmetic / logic, register-register.
+        InstructionSpec("add", Kind.ALU, (_R, _R, _R)),
+        InstructionSpec("sub", Kind.ALU, (_R, _R, _R)),
+        InstructionSpec("mul", Kind.ALU, (_R, _R, _R)),
+        InstructionSpec("div", Kind.ALU, (_R, _R, _R)),
+        InstructionSpec("and", Kind.ALU, (_R, _R, _R)),
+        InstructionSpec("or", Kind.ALU, (_R, _R, _R)),
+        InstructionSpec("xor", Kind.ALU, (_R, _R, _R)),
+        InstructionSpec("sll", Kind.ALU, (_R, _R, _R)),
+        InstructionSpec("srl", Kind.ALU, (_R, _R, _R)),
+        # Immediate forms.
+        InstructionSpec("addi", Kind.ALU_IMM, (_R, _R, _I)),
+        InstructionSpec("muli", Kind.ALU_IMM, (_R, _R, _I)),
+        InstructionSpec("andi", Kind.ALU_IMM, (_R, _R, _I)),
+        InstructionSpec("ori", Kind.ALU_IMM, (_R, _R, _I)),
+        InstructionSpec("slli", Kind.ALU_IMM, (_R, _R, _I)),
+        InstructionSpec("li", Kind.ALU_IMM, (_R, _I)),
+        # Memory: ld/st rd, rbase, offset.
+        InstructionSpec("ld", Kind.LOAD, (_R, _R, _I)),
+        InstructionSpec("st", Kind.STORE, (_R, _R, _I)),
+        # Compare to a condition bit-field.
+        InstructionSpec("cmp", Kind.CMP, (_R, _R, _R)),
+        # Branches.
+        InstructionSpec("bcnd", Kind.BRANCH_COND, (Operand.COND, _R, _L)),
+        InstructionSpec("bb0", Kind.BRANCH_BIT, (Operand.BIT, _R, _L)),
+        InstructionSpec("bb1", Kind.BRANCH_BIT, (Operand.BIT, _R, _L)),
+        InstructionSpec("br", Kind.BRANCH, (_L,)),
+        InstructionSpec("bsr", Kind.CALL, (_L,)),
+        InstructionSpec("jmp", Kind.JUMP_REG, (_R,)),
+        InstructionSpec("jsr", Kind.CALL_REG, (_R,)),
+        # System.
+        InstructionSpec("trap", Kind.TRAP, (_I,)),
+        InstructionSpec("halt", Kind.HALT, ()),
+        InstructionSpec("nop", Kind.NOP, ()),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One assembled instruction."""
+
+    address: int
+    mnemonic: str
+    kind: Kind
+    operands: Tuple[object, ...]
+
+    def __str__(self) -> str:
+        shapes = INSTRUCTION_SET[self.mnemonic].operands
+        parts = []
+        for shape, operand in zip(shapes, self.operands):
+            if shape is Operand.REG:
+                parts.append(f"r{operand}")
+            elif shape is Operand.LABEL:
+                parts.append(f"{operand:#x}")
+            else:
+                parts.append(str(operand))
+        return f"{self.address:#06x}: {self.mnemonic} {', '.join(parts)}".rstrip()

@@ -1,0 +1,59 @@
+"""Comparison predictors and the common predictor interface.
+
+``registry`` members are loaded lazily (PEP 562) because the registry
+pulls in the two-level predictor classes, which themselves implement the
+:class:`BranchPredictor` interface defined here — eager loading would be
+circular.
+"""
+
+from .base import (
+    BranchPredictor,
+    CountingPredictor,
+    PredictorFactory,
+    TrainingUnavailable,
+    factory_table,
+)
+from .btb import BTBPredictor, btb_a2, btb_last_time
+from .extensions import GselectPredictor, TournamentPredictor, tournament_pag_gshare
+from .static import (
+    BTFN,
+    AlwaysNotTaken,
+    AlwaysTaken,
+    ProfileGuided,
+    profile_directions,
+)
+
+_REGISTRY_EXPORTS = (
+    "AUTOMATON_NAMES",
+    "figure11_factories",
+    "make_predictor",
+    "paper_table3_specs",
+)
+
+__all__ = [
+    "AlwaysNotTaken",
+    "AlwaysTaken",
+    "BTBPredictor",
+    "BTFN",
+    "BranchPredictor",
+    "GselectPredictor",
+    "TournamentPredictor",
+    "CountingPredictor",
+    "PredictorFactory",
+    "ProfileGuided",
+    "TrainingUnavailable",
+    "btb_a2",
+    "btb_last_time",
+    "factory_table",
+    "profile_directions",
+    "tournament_pag_gshare",
+    *_REGISTRY_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _REGISTRY_EXPORTS:
+        from . import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

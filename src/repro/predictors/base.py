@@ -1,0 +1,87 @@
+"""The branch-predictor interface shared by every scheme in the study.
+
+The simulation engine drives predictors through exactly three calls per
+conditional branch plus a context-switch hook:
+
+1. ``predict(pc, target)`` — the direction guess, made before the
+   outcome is known.
+2. ``update(pc, taken, target)`` — called after the branch resolves.
+3. ``on_context_switch()`` — flush volatile per-process state (the
+   branch history table); pattern history tables survive, as in the
+   paper's §5.1.4.
+
+``target`` is carried because one static scheme (BTFN) predicts from the
+branch direction in the code layout (backward taken, forward not taken);
+dynamic schemes ignore it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict
+
+
+class BranchPredictor(abc.ABC):
+    """Abstract conditional-branch direction predictor."""
+
+    #: Human-readable scheme name, e.g. ``"PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))"``.
+    name: str = "predictor"
+
+    @abc.abstractmethod
+    def predict(self, pc: int, target: int = 0) -> bool:
+        """Predict the direction of the branch at ``pc``."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        """Inform the predictor of the resolved outcome."""
+
+    def on_context_switch(self) -> None:
+        """Flush per-process volatile state. Default: stateless, no-op."""
+
+    def reset(self) -> None:
+        """Return to the power-on state. Default: context-switch flush."""
+        self.on_context_switch()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class TrainingUnavailable(RuntimeError):
+    """Raised by a predictor builder when it needs a training trace that
+    the benchmark does not provide.
+
+    The experiment runner treats this as "leave the cell blank", which
+    is exactly what the paper does for GSg/PSg/Profile on benchmarks
+    whose Table 2 training dataset is "NA".
+    """
+
+
+PredictorFactory = Callable[[], BranchPredictor]
+"""Zero-argument callable producing a fresh predictor instance.
+
+The experiment runner instantiates one predictor per (scheme, trace)
+pair from factories so state never leaks between benchmarks.
+"""
+
+
+class CountingPredictor(BranchPredictor):
+    """Mixin-style base that tracks prediction/update call counts.
+
+    Useful for tests asserting engine discipline (every predict is
+    followed by exactly one update).
+    """
+
+    def __init__(self) -> None:
+        self.predict_calls = 0
+        self.update_calls = 0
+
+    def _count_predict(self) -> None:
+        self.predict_calls += 1
+
+    def _count_update(self) -> None:
+        self.update_calls += 1
+
+
+def factory_table(**factories: PredictorFactory) -> Dict[str, PredictorFactory]:
+    """Convenience: build a name -> factory mapping with keyword syntax."""
+    return dict(factories)

@@ -1,0 +1,131 @@
+"""Post-paper predictors (the "future work" the paper anticipates).
+
+The paper ends by saying 97 % "is not good enough" and that the
+authors are characterising the remaining misses. The schemes history
+actually produced next attack exactly the interference this paper
+measures:
+
+* :class:`GselectPredictor` — concatenate low branch-address bits with
+  global history to index one table (McFarling's gselect): per-address
+  separation *and* global correlation in a single structure.
+* :class:`TournamentPredictor` — run two component predictors and let a
+  per-branch 2-bit chooser pick whichever has been right more often
+  (the Alpha 21264 arrangement). Combines e.g. PAg's per-address
+  patterns with GAg's cross-branch correlation.
+* :func:`tournament_pag_gshare` — the classic local/global pairing,
+  built from this repo's components.
+
+These are extensions beyond the paper, used by the extension bench to
+show the headline 2-level results were the *start* of the curve, not
+the end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.automata import A2, AutomatonSpec
+from ..core.history import history_mask
+from ..core.pht import PatternHistoryTable
+from ..core.twolevel import GsharePredictor, make_pag
+from .base import BranchPredictor
+
+
+class GselectPredictor(BranchPredictor):
+    """Concatenated (pc, global history) indexing of one pattern table."""
+
+    def __init__(
+        self,
+        history_bits: int,
+        address_bits: int,
+        automaton: AutomatonSpec = A2,
+        name: Optional[str] = None,
+    ) -> None:
+        if history_bits < 1 or address_bits < 1:
+            raise ValueError("history_bits and address_bits must be >= 1")
+        self.history_bits = history_bits
+        self.address_bits = address_bits
+        self._history_mask = history_mask(history_bits)
+        self._address_mask = history_mask(address_bits)
+        self.ghr = self._history_mask
+        self.pht = PatternHistoryTable(history_bits + address_bits, automaton)
+        self.name = name or f"gselect({address_bits}a+{history_bits}h)"
+
+    def _index(self, pc: int) -> int:
+        return ((pc & self._address_mask) << self.history_bits) | self.ghr
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        return self.pht.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        self.pht.update(self._index(pc), taken)
+        self.ghr = ((self.ghr << 1) | (1 if taken else 0)) & self._history_mask
+
+    def on_context_switch(self) -> None:
+        self.ghr = self._history_mask
+
+
+class TournamentPredictor(BranchPredictor):
+    """Two component predictors arbitrated by per-branch 2-bit choosers.
+
+    Chooser state: 0/1 favour the first component, 2/3 the second; it
+    moves toward whichever component was correct when they disagree.
+    """
+
+    def __init__(
+        self,
+        first: BranchPredictor,
+        second: BranchPredictor,
+        chooser_bits: int = 12,
+        name: Optional[str] = None,
+    ) -> None:
+        self.first = first
+        self.second = second
+        self._mask = history_mask(chooser_bits)
+        self._choosers = [1] * (1 << chooser_bits)  # weakly favour `first`
+        self.name = name or f"tournament({first.name} | {second.name})"
+        self.disagreements = 0
+
+    def _chooser_index(self, pc: int) -> int:
+        return pc & self._mask
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        first_guess = self.first.predict(pc, target)
+        second_guess = self.second.predict(pc, target)
+        if first_guess != second_guess:
+            self.disagreements += 1
+        use_second = self._choosers[self._chooser_index(pc)] >= 2
+        return second_guess if use_second else first_guess
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        # Components re-predict for chooser training before updating;
+        # their internal state has not advanced since predict().
+        first_guess = self.first.predict(pc, target)
+        second_guess = self.second.predict(pc, target)
+        index = self._chooser_index(pc)
+        state = self._choosers[index]
+        if first_guess != second_guess:
+            if second_guess == taken:
+                self._choosers[index] = min(state + 1, 3)
+            else:
+                self._choosers[index] = max(state - 1, 0)
+        self.first.update(pc, taken, target)
+        self.second.update(pc, taken, target)
+
+    def on_context_switch(self) -> None:
+        self.first.on_context_switch()
+        self.second.on_context_switch()
+
+
+def tournament_pag_gshare(
+    pag_history_bits: int = 12,
+    gshare_history_bits: int = 12,
+    chooser_bits: int = 12,
+) -> TournamentPredictor:
+    """The classic local/global tournament from this repo's parts."""
+    return TournamentPredictor(
+        make_pag(pag_history_bits),
+        GsharePredictor(gshare_history_bits),
+        chooser_bits=chooser_bits,
+        name=f"tournament(PAg-{pag_history_bits} | gshare-{gshare_history_bits})",
+    )

@@ -1,0 +1,202 @@
+"""Predictor registry: the paper's Table 3 plus friendly names.
+
+Two entry points:
+
+* :func:`paper_table3_specs` — the configuration rows of Table 3 as
+  :class:`~repro.core.naming.SchemeSpec` objects (parameterised by the
+  history length ``r``, exactly as the table is).
+* :func:`make_predictor` — build any predictor from a friendly name
+  (``"pag-12"``, ``"btb-a2"``, ``"always-taken"`` ...) or a full Table 3
+  configuration string. Training-dependent schemes (``gsg``, ``psg``,
+  ``profile``) require a ``training_trace``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional
+
+from ..core.automata import A2, PAPER_AUTOMATA, automaton_by_name
+from ..core.naming import SchemeParseError, SchemeSpec
+from ..core.static_training import GSgPredictor, PSgPredictor
+from ..core.twolevel import (
+    GAgPredictor,
+    GApPredictor,
+    GsharePredictor,
+    make_pag,
+    make_pap,
+)
+from ..trace.events import Trace
+from .base import BranchPredictor
+from .btb import btb_a2, btb_last_time
+from .static import BTFN, AlwaysNotTaken, AlwaysTaken, ProfileGuided
+
+
+def paper_table3_specs(history_bits: int = 12, context_switch: bool = False) -> List[SchemeSpec]:
+    """The rows of the paper's Table 3 for history length ``r``.
+
+    Returns the sixteen configuration rows (BTB rows have no history-
+    length parameter and are included verbatim).
+    """
+    r = history_bits
+    ctx = context_switch
+    sr = f"{r}-sr"
+    rows: List[SchemeSpec] = [
+        SchemeSpec("GAg", "HR", 1, None, sr, 1, r, "A2", ctx),
+        SchemeSpec("PAg", "BHT", 256, 1, sr, 1, r, "A2", ctx),
+        SchemeSpec("PAg", "BHT", 256, 4, sr, 1, r, "A2", ctx),
+        SchemeSpec("PAg", "BHT", 512, 1, sr, 1, r, "A2", ctx),
+        SchemeSpec("PAg", "BHT", 512, 4, sr, 1, r, "A1", ctx),
+        SchemeSpec("PAg", "BHT", 512, 4, sr, 1, r, "A2", ctx),
+        SchemeSpec("PAg", "BHT", 512, 4, sr, 1, r, "A3", ctx),
+        SchemeSpec("PAg", "BHT", 512, 4, sr, 1, r, "A4", ctx),
+        SchemeSpec("PAg", "BHT", 512, 4, sr, 1, r, "LT", ctx),
+        SchemeSpec("PAg", "IBHT", None, None, sr, 1, r, "A2", ctx),
+        SchemeSpec("PAp", "BHT", 512, 4, sr, 512, r, "A2", ctx),
+        SchemeSpec("GSg", "HR", 1, None, sr, 1, r, "PB", ctx),
+        SchemeSpec("PSg", "BHT", 512, 4, sr, 1, r, "PB", ctx),
+        SchemeSpec("BTB", "BHT", 512, 4, "A2", None, None, None, ctx),
+        SchemeSpec("BTB", "BHT", 512, 4, "LT", None, None, None, ctx),
+    ]
+    return rows
+
+
+_FRIENDLY_RE = re.compile(
+    r"^(?P<scheme>gag|pag|pap|gap|gshare|gsg|psg)-(?P<bits>\d+)"
+    r"(?:-(?P<automaton>lt|a1|a2|a3|a4))?"
+    r"(?:-(?P<bht>ideal|\d+x\d+))?$"
+)
+
+_PERSET_RE = re.compile(r"^(?P<scheme>sag|sas)-(?P<bits>\d+)x(?P<sets>\d+)$")
+_GSELECT_RE = re.compile(r"^gselect-(?P<addr>\d+)\+(?P<hist>\d+)$")
+
+
+def make_predictor(
+    name: str,
+    training_trace: Optional[Trace] = None,
+) -> BranchPredictor:
+    """Build a predictor from a friendly name or a Table 3 string.
+
+    Friendly grammar::
+
+        gag-<k> | gap-<k> | gshare-<k>
+        pag-<k>[-<automaton>][-<entries>x<assoc>|-ideal]
+        pap-<k>[-<automaton>][-<entries>x<assoc>|-ideal]
+        sag-<k>x<sets> | sas-<k>x<sets>
+        gselect-<addr>+<hist> | tournament
+        gsg-<k> | psg-<k>          (need training_trace)
+        btb-a2 | btb-lt
+        always-taken | always-not-taken | btfn
+        profile                     (needs training_trace)
+
+    Anything containing ``(`` is parsed as a Table 3 configuration
+    string instead.
+    """
+    text = name.strip()
+    if "(" in text:
+        return SchemeSpec.parse(text).build(training_trace)
+    lowered = text.lower()
+    if lowered == "always-taken":
+        return AlwaysTaken()
+    if lowered == "always-not-taken":
+        return AlwaysNotTaken()
+    if lowered == "btfn":
+        return BTFN()
+    if lowered == "profile":
+        if training_trace is None:
+            raise SchemeParseError("profile predictor needs a training trace")
+        return ProfileGuided.trained_on(training_trace)
+    if lowered == "btb-a2":
+        return btb_a2()
+    if lowered == "btb-lt":
+        return btb_last_time()
+    if lowered == "tournament":
+        from .extensions import tournament_pag_gshare
+
+        return tournament_pag_gshare()
+    perset = _PERSET_RE.match(lowered)
+    if perset is not None:
+        from ..core.perset import SAgPredictor, SAsPredictor
+
+        cls = SAgPredictor if perset.group("scheme") == "sag" else SAsPredictor
+        return cls(int(perset.group("bits")), int(perset.group("sets")))
+    gselect = _GSELECT_RE.match(lowered)
+    if gselect is not None:
+        from .extensions import GselectPredictor
+
+        return GselectPredictor(
+            history_bits=int(gselect.group("hist")),
+            address_bits=int(gselect.group("addr")),
+        )
+
+    match = _FRIENDLY_RE.match(lowered)
+    if match is None:
+        raise SchemeParseError(f"unknown predictor name {name!r}")
+    scheme = match.group("scheme")
+    bits = int(match.group("bits"))
+    automaton = automaton_by_name(match.group("automaton") or "A2")
+    bht_text = match.group("bht")
+    if bht_text == "ideal":
+        bht_entries: Optional[int] = None
+        bht_assoc = 1
+    elif bht_text:
+        entries_text, _, assoc_text = bht_text.partition("x")
+        bht_entries = int(entries_text)
+        bht_assoc = int(assoc_text)
+    else:
+        bht_entries = 512
+        bht_assoc = 4
+
+    if scheme == "gag":
+        return GAgPredictor(bits, automaton)
+    if scheme == "gap":
+        return GApPredictor(bits, automaton)
+    if scheme == "gshare":
+        return GsharePredictor(bits, automaton)
+    if scheme == "pag":
+        return make_pag(bits, automaton, bht_entries, bht_assoc)
+    if scheme == "pap":
+        return make_pap(bits, automaton, bht_entries, bht_assoc)
+    if scheme == "gsg":
+        if training_trace is None:
+            raise SchemeParseError("gsg needs a training trace")
+        return GSgPredictor.trained_on(training_trace, bits)
+    if scheme == "psg":
+        if training_trace is None:
+            raise SchemeParseError("psg needs a training trace")
+        return PSgPredictor.trained_on(
+            training_trace, bits, bht_entries=bht_entries, bht_associativity=bht_assoc
+        )
+    raise SchemeParseError(f"unknown predictor name {name!r}")  # pragma: no cover
+
+
+def figure11_factories() -> Dict[str, Callable[[Optional[Trace]], BranchPredictor]]:
+    """The Figure 11 comparison set as name -> builder(training_trace).
+
+    Builders for purely dynamic schemes ignore the training trace;
+    static-training and profiling builders require it (and the runner
+    skips them for benchmarks without a training dataset, as the paper
+    does).
+    """
+    return {
+        "PAg(512,4,12-sr,A2)": lambda _t: make_pag(12, A2, 512, 4),
+        "PSg(512,4,12-sr)": lambda t: _require_training(t, "PSg") or PSgPredictor.trained_on(t, 12, 512, 4),
+        "GSg(12-sr)": lambda t: _require_training(t, "GSg") or GSgPredictor.trained_on(t, 12),
+        "BTB(512,4,A2)": lambda _t: btb_a2(),
+        "Profile": lambda t: _require_training(t, "Profile") or ProfileGuided.trained_on(t),
+        "BTB(512,4,LT)": lambda _t: btb_last_time(),
+        "BTFN": lambda _t: BTFN(),
+        "AlwaysTaken": lambda _t: AlwaysTaken(),
+    }
+
+
+def _require_training(trace: Optional[Trace], scheme: str) -> None:
+    from .base import TrainingUnavailable
+
+    if trace is None:
+        raise TrainingUnavailable(f"{scheme} needs a training trace")
+    return None
+
+
+AUTOMATON_NAMES = tuple(PAPER_AUTOMATA)
+"""Short names of the paper's five automata, in Table/Figure order."""

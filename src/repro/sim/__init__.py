@@ -1,0 +1,41 @@
+"""Trace-driven simulation: engine, results, runner, pipeline timing,
+fetch-engine modelling."""
+
+from .engine import ContextSwitchConfig, simulate, simulate_named
+from .fetch import BranchTargetCache, FetchEngine, FetchStats, ReturnAddressStack
+from .ipc import IPCEstimate, MachineModel, ipc_estimate, ipc_from_result, speedup
+from .pipeline import (
+    DelayedResult,
+    RecoveryPolicy,
+    SpeculativeTwoLevel,
+    simulate_delayed,
+)
+from .results import ResultMatrix, SimulationResult, geometric_mean
+from .runner import BenchmarkCase, PredictorBuilder, run_case, run_matrix, sweep_parameter
+
+__all__ = [
+    "BenchmarkCase",
+    "BranchTargetCache",
+    "ContextSwitchConfig",
+    "DelayedResult",
+    "FetchEngine",
+    "FetchStats",
+    "IPCEstimate",
+    "MachineModel",
+    "PredictorBuilder",
+    "RecoveryPolicy",
+    "ResultMatrix",
+    "ReturnAddressStack",
+    "SimulationResult",
+    "SpeculativeTwoLevel",
+    "geometric_mean",
+    "ipc_estimate",
+    "ipc_from_result",
+    "run_case",
+    "run_matrix",
+    "simulate",
+    "simulate_delayed",
+    "simulate_named",
+    "speedup",
+    "sweep_parameter",
+]

@@ -1,0 +1,125 @@
+"""``repro-sim`` — run any predictor over a trace file.
+
+Examples::
+
+    repro-sim run pag-12 trace.btb
+    repro-sim run "GAg(HR(1,,18-sr),1xPHT(2^18,A2),)" trace.btb --context-switches
+    repro-sim run profile trace.btb --training train.btb
+    repro-sim compare pag-12 gag-12 btb-a2 -- trace.btb
+    repro-sim report pag-12 trace.btb --top 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..predictors.registry import make_predictor
+from ..trace.io import load_trace
+from .engine import ContextSwitchConfig, simulate
+
+
+def _load_training(path: Optional[Path]):
+    return load_trace(path) if path is not None else None
+
+
+def _context(args: argparse.Namespace) -> Optional[ContextSwitchConfig]:
+    if not args.context_switches:
+        return None
+    return ContextSwitchConfig(interval=args.switch_interval)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    predictor = make_predictor(args.predictor, _load_training(args.training))
+    result = simulate(predictor, trace, context_switches=_context(args))
+    print(result)
+    if result.context_switches:
+        print(f"context switches: {result.context_switches}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    training = _load_training(args.training)
+    rows = []
+    for name in args.predictors:
+        predictor = make_predictor(name, training)
+        result = simulate(predictor, trace, context_switches=_context(args))
+        rows.append((name, result.accuracy, result.mispredictions))
+    rows.sort(key=lambda row: -row[1])
+    width = max(len(name) for name, _a, _m in rows)
+    for name, accuracy, misses in rows:
+        print(f"{name:{width}s}  {accuracy * 100:6.2f}%  ({misses} misses)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from ..analysis.breakdown import misprediction_breakdown, per_site_report
+    from ..analysis.interference import interference_report
+
+    trace = load_trace(args.trace)
+    predictor = make_predictor(args.predictor, _load_training(args.training))
+    breakdown = misprediction_breakdown(predictor, trace, context_switches=_context(args))
+    shares = breakdown.shares()
+    print(f"accuracy: {breakdown.accuracy * 100:.2f}%  "
+          f"({breakdown.total_misses} misses over {breakdown.total_branches} branches)")
+    print(f"  cold       : {shares['cold'] * 100:5.1f}%")
+    print(f"  post-flush : {shares['post_flush'] * 100:5.1f}%")
+    print(f"  steady     : {shares['steady'] * 100:5.1f}%")
+    print()
+    fresh = make_predictor(args.predictor, _load_training(args.training))
+    print(f"worst {args.top} static branches:")
+    for site in per_site_report(fresh, trace, top=args.top):
+        print(
+            f"  pc {site.pc:#010x}: {site.mispredictions:6d} misses / "
+            f"{site.executions:7d} execs (taken {site.taken_rate * 100:5.1f}%, "
+            f"accuracy {site.accuracy * 100:5.1f}%)"
+        )
+    print()
+    print(interference_report(trace))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim", description="Run branch predictors over trace files."
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--training", type=Path, default=None,
+                         help="training trace for profile/gsg/psg predictors")
+        sub.add_argument("--context-switches", action="store_true")
+        sub.add_argument("--switch-interval", type=int, default=500_000)
+
+    run = subparsers.add_parser("run", help="one predictor, one trace")
+    run.add_argument("predictor")
+    run.add_argument("trace", type=Path)
+    common(run)
+    run.set_defaults(handler=_cmd_run)
+
+    compare = subparsers.add_parser("compare", help="several predictors, one trace")
+    compare.add_argument("predictors", nargs="+")
+    compare.add_argument("trace", type=Path)
+    common(compare)
+    compare.set_defaults(handler=_cmd_compare)
+
+    report = subparsers.add_parser("report", help="misprediction breakdown + interference")
+    report.add_argument("predictor")
+    report.add_argument("trace", type=Path)
+    report.add_argument("--top", type=int, default=10)
+    common(report)
+    report.set_defaults(handler=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

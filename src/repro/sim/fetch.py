@@ -1,0 +1,234 @@
+"""Target address caching and fetch-bubble accounting (paper §3.2).
+
+Predicting the *direction* of a branch is not enough to keep a
+pipeline's fetch engine busy: a predicted-taken branch still stalls
+until the target address is known. The paper's fix is to cache target
+addresses alongside the branch history ("one extra field in each entry
+of the branch history table") so prediction and redirection happen in
+the same cycle.
+
+This module models that front end:
+
+* :class:`BranchTargetCache` — a tagged, set-associative cache of
+  resolved branch targets (the extra field of §3.2).
+* :class:`ReturnAddressStack` — the natural companion for ``return``
+  branches, whose targets a BTAC mispredicts whenever a subroutine is
+  called from a new site (Kaeli & Emma, the paper's reference [4]).
+* :class:`FetchEngine` — drives a direction predictor + BTAC + RAS over
+  a trace and charges fetch bubbles:
+
+  - ``mispredict_penalty`` cycles when the direction is wrong
+    (speculative work squashed at resolve),
+  - ``taken_bubble`` cycles when a correctly-predicted-taken (or
+    unconditional) transfer has no cached target — the §3.2 bubble.
+
+The summary statistic is **fetch cycles per instruction**; 1.0 is a
+perfect front end. ``benchmarks/test_bench_fetch.py`` quantifies the
+paper's argument that target caching removes most of the non-mispredict
+bubbles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.history import CacheBHT
+from ..predictors.base import BranchPredictor
+from ..trace.events import BranchClass, Trace
+
+
+class BranchTargetCache:
+    """Cached resolved targets, tagged and set-associative.
+
+    Reuses the BHT cache machinery with the target address as payload.
+    """
+
+    def __init__(self, num_entries: int = 512, associativity: int = 4) -> None:
+        self._cache = CacheBHT(num_entries, associativity, init_value=0)
+        self.lookups = 0
+        self.hits = 0
+        self.correct = 0
+
+    def predict_target(self, pc: int) -> Optional[int]:
+        """The cached target for ``pc``, or None on miss."""
+        self.lookups += 1
+        entry = self._cache.peek(pc)
+        if entry is None or entry.fresh:
+            return None
+        self.hits += 1
+        return entry.value
+
+    def record(self, pc: int, target: int) -> None:
+        """Install/refresh the resolved target."""
+        entry, _hit = self._cache.access(pc)
+        entry.value = target
+        entry.fresh = False
+
+    def flush(self) -> None:
+        self._cache.flush()
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ReturnAddressStack:
+    """A bounded return-address stack.
+
+    Calls push their fall-through address (we model it as the call's
+    recorded target provider); returns pop. Overflow wraps (oldest entry
+    lost), underflow predicts nothing — both as in simple hardware.
+    """
+
+    def __init__(self, depth: int = 16) -> None:
+        if depth < 1:
+            raise ValueError("RAS depth must be >= 1")
+        self.depth = depth
+        self._stack: List[int] = []
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+        self.overflows = 0
+
+    def push(self, return_address: int) -> None:
+        self.pushes += 1
+        if len(self._stack) == self.depth:
+            self.overflows += 1
+            del self._stack[0]
+        self._stack.append(return_address)
+
+    def pop(self) -> Optional[int]:
+        self.pops += 1
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def flush(self) -> None:
+        self._stack.clear()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+@dataclass
+class FetchStats:
+    """Front-end accounting for one trace replay."""
+
+    instructions: int = 0
+    conditional_branches: int = 0
+    direction_correct: int = 0
+    taken_transfers: int = 0
+    target_bubbles: int = 0
+    mispredict_squashes: int = 0
+    penalty_cycles: int = 0
+    btac_hit_rate: float = 0.0
+    ras_return_hits: int = 0
+    ras_returns: int = 0
+
+    @property
+    def direction_accuracy(self) -> float:
+        if self.conditional_branches == 0:
+            return 0.0
+        return self.direction_correct / self.conditional_branches
+
+    @property
+    def fetch_cycles(self) -> int:
+        """Idealised cycles: one per instruction plus every bubble."""
+        return self.instructions + self.penalty_cycles
+
+    @property
+    def cycles_per_instruction(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return self.fetch_cycles / self.instructions
+
+    @property
+    def ras_accuracy(self) -> float:
+        if self.ras_returns == 0:
+            return 0.0
+        return self.ras_return_hits / self.ras_returns
+
+
+class FetchEngine:
+    """Direction predictor + BTAC + RAS with bubble accounting."""
+
+    def __init__(
+        self,
+        predictor: BranchPredictor,
+        btac: Optional[BranchTargetCache] = None,
+        ras: Optional[ReturnAddressStack] = None,
+        mispredict_penalty: int = 5,
+        taken_bubble: int = 1,
+    ) -> None:
+        """Args:
+            predictor: the conditional direction predictor.
+            btac: target cache; None models a front end without §3.2's
+                target field (every taken transfer pays the bubble).
+            ras: return-address stack; None sends returns to the BTAC.
+            mispredict_penalty: squash cost of a wrong direction.
+            taken_bubble: redirect cost of a taken transfer whose
+                target was not supplied by BTAC/RAS.
+        """
+        if mispredict_penalty < 0 or taken_bubble < 0:
+            raise ValueError("penalties must be non-negative")
+        self.predictor = predictor
+        self.btac = btac
+        self.ras = ras
+        self.mispredict_penalty = mispredict_penalty
+        self.taken_bubble = taken_bubble
+
+    def run(self, trace: Trace) -> FetchStats:
+        """Replay ``trace`` and account fetch bubbles."""
+        stats = FetchStats()
+        predictor = self.predictor
+        btac = self.btac
+        ras = self.ras
+        last_instret = 0
+        for pc, taken, cls, target, instret, _trap in trace.iter_tuples():
+            stats.instructions += instret - last_instret
+            last_instret = instret
+            if cls == BranchClass.CONDITIONAL:
+                stats.conditional_branches += 1
+                prediction = predictor.predict(pc, target)
+                predictor.update(pc, taken, target)
+                if prediction != taken:
+                    stats.mispredict_squashes += 1
+                    stats.penalty_cycles += self.mispredict_penalty
+                    if btac is not None and taken:
+                        btac.record(pc, target)
+                    continue
+                stats.direction_correct += 1
+                if taken:
+                    self._charge_taken_transfer(stats, pc, target)
+            elif cls == BranchClass.CALL:
+                if ras is not None:
+                    ras.push(pc + 4)
+                self._charge_taken_transfer(stats, pc, target)
+            elif cls == BranchClass.RETURN:
+                stats.ras_returns += 1
+                if ras is not None:
+                    predicted = ras.pop()
+                    if predicted is not None and (target == 0 or predicted == target):
+                        stats.ras_return_hits += 1
+                        stats.taken_transfers += 1
+                        continue
+                self._charge_taken_transfer(stats, pc, target)
+            else:  # unconditional
+                self._charge_taken_transfer(stats, pc, target)
+        if btac is not None:
+            stats.btac_hit_rate = btac.hit_rate
+        return stats
+
+    def _charge_taken_transfer(self, stats: FetchStats, pc: int, target: int) -> None:
+        stats.taken_transfers += 1
+        if self.btac is None:
+            stats.target_bubbles += 1
+            stats.penalty_cycles += self.taken_bubble
+            return
+        predicted_target = self.btac.predict_target(pc)
+        if predicted_target is None or (target != 0 and predicted_target != target):
+            stats.target_bubbles += 1
+            stats.penalty_cycles += self.taken_bubble
+        self.btac.record(pc, target)

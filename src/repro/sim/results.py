@@ -1,0 +1,167 @@
+"""Simulation results and the paper's aggregation conventions.
+
+Every figure in the paper reports per-benchmark prediction accuracy
+plus three geometric means: "Int GMean" over the integer benchmarks,
+"FP GMean" over the floating-point benchmarks, and "Tot GMean" over all
+nine. :class:`ResultMatrix` reproduces exactly that layout for a set of
+schemes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """The outcome of replaying one trace through one predictor."""
+
+    predictor_name: str
+    trace_name: str
+    dataset: str
+    conditional_branches: int
+    correct_predictions: int
+    context_switches: int = 0
+    per_site_executions: Optional[Dict[int, int]] = None
+    per_site_mispredictions: Optional[Dict[int, int]] = None
+    total_instructions: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of conditional branches predicted correctly."""
+        if self.conditional_branches == 0:
+            return 0.0
+        return self.correct_predictions / self.conditional_branches
+
+    @property
+    def mispredictions(self) -> int:
+        return self.conditional_branches - self.correct_predictions
+
+    @property
+    def misprediction_rate(self) -> float:
+        return 1.0 - self.accuracy if self.conditional_branches else 0.0
+
+    @property
+    def mpki(self) -> float:
+        """Mispredictions per 1000 dynamic instructions.
+
+        The architectural-impact view of accuracy: a benchmark with few
+        branches per instruction can afford a worse predictor. Requires
+        the trace to carry instruction counts (all producers in this
+        repo do); 0.0 when unavailable.
+        """
+        if self.total_instructions <= 0:
+            return 0.0
+        return 1000.0 * self.mispredictions / self.total_instructions
+
+    def worst_sites(self, count: int = 10) -> List[Tuple[int, int, int]]:
+        """The ``count`` static branches with the most mispredictions.
+
+        Returns:
+            (pc, mispredictions, executions) tuples, most-missed first.
+            Requires the simulation to have run with per-site tracking.
+        """
+        if self.per_site_mispredictions is None or self.per_site_executions is None:
+            raise ValueError("simulation did not track per-site statistics")
+        ranked = sorted(
+            self.per_site_mispredictions.items(), key=lambda item: -item[1]
+        )
+        return [
+            (pc, wrong, self.per_site_executions.get(pc, 0))
+            for pc, wrong in ranked[:count]
+        ]
+
+    def __str__(self) -> str:
+        return (
+            f"{self.predictor_name} on {self.trace_name}: "
+            f"{self.accuracy * 100:.2f}% "
+            f"({self.correct_predictions}/{self.conditional_branches})"
+        )
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; empty input yields 0.0 (matches 'no data' cells)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass
+class ResultMatrix:
+    """Accuracy of many schemes over many benchmarks (one figure's data).
+
+    Attributes:
+        benchmarks: benchmark names, figure order.
+        categories: benchmark -> "int" or "fp" (drives the GMean split).
+        cells: scheme -> benchmark -> :class:`SimulationResult`. Missing
+            cells (e.g. GSg on benchmarks without a training set) are
+            simply absent, as in the paper's Figure 11.
+    """
+
+    benchmarks: List[str]
+    categories: Mapping[str, str]
+    cells: Dict[str, Dict[str, SimulationResult]] = field(default_factory=dict)
+
+    def add(self, scheme: str, result: SimulationResult) -> None:
+        self.cells.setdefault(scheme, {})[result.trace_name] = result
+
+    @property
+    def schemes(self) -> List[str]:
+        return list(self.cells)
+
+    def accuracy(self, scheme: str, benchmark: str) -> Optional[float]:
+        result = self.cells.get(scheme, {}).get(benchmark)
+        return result.accuracy if result is not None else None
+
+    def row(self, scheme: str) -> Dict[str, float]:
+        """benchmark -> accuracy for one scheme (missing cells omitted)."""
+        return {
+            benchmark: result.accuracy
+            for benchmark, result in self.cells.get(scheme, {}).items()
+        }
+
+    def gmean(self, scheme: str, category: Optional[str] = None) -> float:
+        """Geometric-mean accuracy for a scheme.
+
+        Args:
+            category: ``"int"``, ``"fp"`` or ``None`` for "Tot GMean".
+        """
+        values = [
+            result.accuracy
+            for benchmark, result in self.cells.get(scheme, {}).items()
+            if category is None or self.categories.get(benchmark) == category
+        ]
+        return geometric_mean(values)
+
+    def summary(self, scheme: str) -> Dict[str, float]:
+        """The paper's three means for one scheme."""
+        return {
+            "Int GMean": self.gmean(scheme, "int"),
+            "FP GMean": self.gmean(scheme, "fp"),
+            "Tot GMean": self.gmean(scheme, None),
+        }
+
+    def best_scheme(self, category: Optional[str] = None) -> str:
+        """The scheme with the highest (category) geometric mean."""
+        if not self.cells:
+            raise ValueError("empty result matrix")
+        return max(self.schemes, key=lambda scheme: self.gmean(scheme, category))
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Flatten to row dictionaries (for rendering / CSV export)."""
+        rows: List[Dict[str, object]] = []
+        for scheme in self.schemes:
+            row: Dict[str, object] = {"scheme": scheme}
+            for benchmark in self.benchmarks:
+                accuracy = self.accuracy(scheme, benchmark)
+                row[benchmark] = accuracy
+            row["Int GMean"] = self.gmean(scheme, "int")
+            row["FP GMean"] = self.gmean(scheme, "fp")
+            row["Tot GMean"] = self.gmean(scheme, None)
+            rows.append(row)
+        return rows

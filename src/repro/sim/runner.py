@@ -1,0 +1,106 @@
+"""Experiment runner: (schemes x benchmarks) -> result matrix.
+
+The unit of evaluation is a :class:`BenchmarkCase` — a named testing
+trace, its int/fp category, and an optional training trace (Table 2 has
+"NA" training sets for four benchmarks; schemes that need training are
+simply not run there, matching the blank points in Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence
+
+from ..predictors.base import BranchPredictor, TrainingUnavailable
+from ..trace.events import Trace
+from .engine import ContextSwitchConfig, simulate
+from .results import ResultMatrix, SimulationResult
+
+PredictorBuilder = Callable[[Optional[Trace]], BranchPredictor]
+"""Builds a fresh predictor, given the benchmark's training trace (or
+None). Raise :class:`TrainingUnavailable` to leave the cell blank."""
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One benchmark of the evaluation suite.
+
+    Attributes:
+        name: benchmark name (e.g. ``"eqntott"``).
+        category: ``"int"`` or ``"fp"`` — drives the GMean split.
+        test_trace: the trace scored by the simulation.
+        training_trace: profiling input for GSg/PSg/Profile; ``None``
+            when Table 2 lists "NA".
+    """
+
+    name: str
+    category: str
+    test_trace: Trace
+    training_trace: Optional[Trace] = None
+
+    def __post_init__(self) -> None:
+        if self.category not in ("int", "fp"):
+            raise ValueError(f"category must be 'int' or 'fp', got {self.category!r}")
+
+
+def run_case(
+    builder: PredictorBuilder,
+    case: BenchmarkCase,
+    context_switches: Optional[ContextSwitchConfig] = None,
+    track_per_site: bool = False,
+) -> Optional[SimulationResult]:
+    """Run one (scheme, benchmark) cell; None when training is missing."""
+    try:
+        predictor = builder(case.training_trace)
+    except TrainingUnavailable:
+        return None
+    return simulate(
+        predictor,
+        case.test_trace,
+        context_switches=context_switches,
+        track_per_site=track_per_site,
+    )
+
+
+def run_matrix(
+    builders: Mapping[str, PredictorBuilder],
+    cases: Sequence[BenchmarkCase],
+    context_switches: Optional[ContextSwitchConfig] = None,
+) -> ResultMatrix:
+    """Evaluate every scheme on every benchmark.
+
+    Args:
+        builders: scheme label -> predictor builder. A fresh predictor
+            is built per benchmark so state never leaks between traces.
+        cases: the benchmark suite, figure order.
+        context_switches: when given, applied to every simulation.
+
+    Returns:
+        A :class:`ResultMatrix` with one cell per (scheme, benchmark)
+        that could be evaluated.
+    """
+    matrix = ResultMatrix(
+        benchmarks=[case.name for case in cases],
+        categories={case.name: case.category for case in cases},
+    )
+    for label, builder in builders.items():
+        for case in cases:
+            result = run_case(builder, case, context_switches=context_switches)
+            if result is not None:
+                matrix.add(label, result)
+    return matrix
+
+
+def sweep_parameter(
+    make_builder: Callable[[int], PredictorBuilder],
+    values: Sequence[int],
+    cases: Sequence[BenchmarkCase],
+    label: Callable[[int], str] = str,
+    context_switches: Optional[ContextSwitchConfig] = None,
+) -> ResultMatrix:
+    """Evaluate a family of schemes indexed by one integer parameter.
+
+    Used for the history-length sweeps of Figures 6 and 7.
+    """
+    builders = {label(value): make_builder(value) for value in values}
+    return run_matrix(builders, cases, context_switches=context_switches)

@@ -1,0 +1,44 @@
+"""Branch-trace substrate: records, serialization, statistics, generators."""
+
+from .cache import TraceCache, default_cache
+from .events import BranchClass, BranchRecord, Trace, TraceBuilder, TraceMeta
+from .io import (
+    TraceFormatError,
+    dumps,
+    load_trace,
+    loads,
+    read_binary,
+    read_text,
+    save_trace,
+    trace_from_records,
+    write_binary,
+    write_text,
+)
+from .stats import BranchClassMix, TraceStats, compute_stats, per_site_bias
+from . import synthetic, transforms
+
+__all__ = [
+    "BranchClass",
+    "BranchClassMix",
+    "BranchRecord",
+    "Trace",
+    "TraceBuilder",
+    "TraceCache",
+    "TraceFormatError",
+    "TraceMeta",
+    "TraceStats",
+    "compute_stats",
+    "default_cache",
+    "dumps",
+    "load_trace",
+    "loads",
+    "per_site_bias",
+    "read_binary",
+    "read_text",
+    "save_trace",
+    "synthetic",
+    "transforms",
+    "trace_from_records",
+    "write_binary",
+    "write_text",
+]

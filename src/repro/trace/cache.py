@@ -1,0 +1,95 @@
+"""Trace cache.
+
+Generating a workload trace can cost seconds; every figure of the paper
+replays the same nine traces through many predictor configurations. The
+cache memoizes traces in memory and, optionally, on disk (binary trace
+format) keyed by ``(name, dataset, scale)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from .events import Trace
+from .io import load_trace, save_trace
+
+CacheKey = Tuple[str, str, int]
+
+
+class TraceCache:
+    """Memoizes traces produced by zero-argument factories.
+
+    Thread-safe; a given key is only ever generated once per process.
+    """
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+        """Args:
+            directory: optional on-disk cache directory. When given,
+                traces are persisted as ``<sha1(key)>.btb`` files and
+                survive across processes.
+        """
+        self._directory = Path(directory) if directory is not None else None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+        self._memory: Dict[CacheKey, Trace] = {}
+        self._lock = threading.Lock()
+
+    def get(self, name: str, dataset: str, scale: int, factory: Callable[[], Trace]) -> Trace:
+        """Return the cached trace for the key, generating it if needed."""
+        key = (name, dataset, scale)
+        with self._lock:
+            cached = self._memory.get(key)
+        if cached is not None:
+            return cached
+        trace = self._load_from_disk(key)
+        if trace is None:
+            trace = factory()
+            self._store_to_disk(key, trace)
+        with self._lock:
+            # Another thread may have raced us; keep the first value so
+            # callers always observe one canonical object per key.
+            return self._memory.setdefault(key, trace)
+
+    def clear(self) -> None:
+        """Drop all in-memory entries (disk entries are kept)."""
+        with self._lock:
+            self._memory.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def _path_for(self, key: CacheKey) -> Optional[Path]:
+        if self._directory is None:
+            return None
+        digest = hashlib.sha1(repr(key).encode("utf-8")).hexdigest()
+        return self._directory / f"{digest}.btb"
+
+    def _load_from_disk(self, key: CacheKey) -> Optional[Trace]:
+        path = self._path_for(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            return load_trace(path)
+        except (OSError, ValueError):
+            return None
+
+    def _store_to_disk(self, key: CacheKey, trace: Trace) -> None:
+        path = self._path_for(key)
+        if path is None:
+            return
+        try:
+            save_trace(trace, path)
+        except OSError:
+            pass
+
+
+_default_cache = TraceCache()
+
+
+def default_cache() -> TraceCache:
+    """The process-wide in-memory trace cache."""
+    return _default_cache

@@ -1,0 +1,127 @@
+"""``repro-trace`` — generate, inspect and convert branch traces.
+
+Subcommands::
+
+    repro-trace gen eqntott out.btb [--dataset testing] [--scale 1]
+    repro-trace gen-isa matmul out.btb [--param n=8]
+    repro-trace stats out.btb
+    repro-trace head out.btb [--count 20]
+    repro-trace convert out.btb out.btr
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .io import load_trace, save_trace
+from .stats import compute_stats
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    from ..workloads.suite import get_workload
+
+    workload = get_workload(args.benchmark)
+    trace = workload.generate(args.dataset, scale=args.scale)
+    save_trace(trace, args.output)
+    print(f"wrote {len(trace)} records to {args.output}")
+    return 0
+
+
+def _cmd_gen_isa(args: argparse.Namespace) -> int:
+    from ..isa.programs import program_trace
+
+    params = {}
+    for item in args.param or []:
+        key, _, value = item.partition("=")
+        if not value:
+            print(f"bad --param {item!r}; expected key=value", file=sys.stderr)
+            return 2
+        params[key] = int(value)
+    _state, trace = program_trace(args.program, **params)
+    save_trace(trace, args.output)
+    print(f"wrote {len(trace)} records to {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    stats = compute_stats(trace)
+    mix = stats.class_mix()
+    print(f"name                : {stats.name}")
+    print(f"dataset             : {stats.dataset}")
+    print(f"dynamic branches    : {stats.dynamic_branches}")
+    print(f"  conditional       : {stats.dynamic_conditional} ({mix.conditional * 100:.1f}%)")
+    print(f"  unconditional     : {mix.unconditional * 100:.1f}%")
+    print(f"  call / return     : {mix.call * 100:.1f}% / {mix.ret * 100:.1f}%")
+    print(f"static cond. sites  : {stats.static_conditional_sites}")
+    print(f"taken rate          : {stats.taken_rate * 100:.1f}%")
+    print(f"total instructions  : {stats.total_instructions}")
+    print(f"branch fraction     : {stats.branch_fraction * 100:.2f}%")
+    print(f"traps               : {stats.trap_count}")
+    return 0
+
+
+def _cmd_head(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    for record in trace.head(args.count):
+        direction = "T" if record.taken else "N"
+        trap = " TRAP" if record.trap else ""
+        print(
+            f"{record.pc:#010x} {record.branch_class.short_name:7s} {direction} "
+            f"target={record.target:#x} instret={record.instret}{trap}"
+        )
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    trace = load_trace(args.source)
+    save_trace(trace, args.destination)
+    print(f"converted {len(trace)} records: {args.source} -> {args.destination}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace", description="Generate, inspect and convert branch traces."
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    gen = subparsers.add_parser("gen", help="generate a SPEC-analog workload trace")
+    gen.add_argument("benchmark")
+    gen.add_argument("output", type=Path)
+    gen.add_argument("--dataset", default="testing")
+    gen.add_argument("--scale", type=int, default=1)
+    gen.set_defaults(handler=_cmd_gen)
+
+    gen_isa = subparsers.add_parser("gen-isa", help="trace an assembly kernel")
+    gen_isa.add_argument("program")
+    gen_isa.add_argument("output", type=Path)
+    gen_isa.add_argument("--param", action="append", metavar="key=value")
+    gen_isa.set_defaults(handler=_cmd_gen_isa)
+
+    stats = subparsers.add_parser("stats", help="summarise a trace file")
+    stats.add_argument("trace", type=Path)
+    stats.set_defaults(handler=_cmd_stats)
+
+    head = subparsers.add_parser("head", help="print the first records")
+    head.add_argument("trace", type=Path)
+    head.add_argument("--count", type=int, default=20)
+    head.set_defaults(handler=_cmd_head)
+
+    convert = subparsers.add_parser("convert", help="convert text <-> binary")
+    convert.add_argument("source", type=Path)
+    convert.add_argument("destination", type=Path)
+    convert.set_defaults(handler=_cmd_convert)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,317 @@
+"""Branch trace events.
+
+The unit of exchange between every trace producer (the SPEC-analog
+workloads, the M88K-flavoured instruction-level simulator, and the
+synthetic generators) and every consumer (the prediction engine, the
+statistics collectors) is the :class:`BranchRecord`.
+
+A record describes one *dynamic* branch: which static branch instruction
+it came from (``pc``), what kind of branch it is (``branch_class``),
+whether it was taken, where it went, how many dynamic instructions had
+retired when it resolved (``instret`` — needed for the paper's
+500 000-instruction context-switch model), and whether a trap was raised
+at this point (the paper's other context-switch trigger).
+
+Traces are stored column-wise in a :class:`Trace` for compactness and
+fast iteration; :class:`TraceBuilder` is the append-only construction
+interface used by all producers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+class BranchClass(enum.IntEnum):
+    """Dynamic branch classes distinguished by the paper's Figure 4."""
+
+    CONDITIONAL = 0
+    UNCONDITIONAL = 1
+    CALL = 2
+    RETURN = 3
+
+    @property
+    def short_name(self) -> str:
+        return _SHORT_NAMES[self]
+
+
+_SHORT_NAMES = {
+    BranchClass.CONDITIONAL: "cond",
+    BranchClass.UNCONDITIONAL: "uncond",
+    BranchClass.CALL: "call",
+    BranchClass.RETURN: "return",
+}
+
+
+@dataclass(frozen=True)
+class BranchRecord:
+    """One dynamic branch execution.
+
+    Attributes:
+        pc: address (or stable static site id) of the branch instruction.
+        taken: the resolved direction. Unconditional branches, calls and
+            returns are always taken.
+        branch_class: conditional / unconditional / call / return.
+        target: the resolved target address (0 when unknown/not modelled).
+        instret: cumulative count of dynamic instructions retired up to
+            and including this branch. Monotonically non-decreasing
+            within a trace.
+        trap: True when a trap (system call, fault) was raised at this
+            point; the simulation engine treats traps as context-switch
+            opportunities, as in the paper.
+    """
+
+    pc: int
+    taken: bool
+    branch_class: BranchClass = BranchClass.CONDITIONAL
+    target: int = 0
+    instret: int = 0
+    trap: bool = False
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.branch_class is BranchClass.CONDITIONAL
+
+
+@dataclass(frozen=True)
+class TraceMeta:
+    """Identifying metadata for a trace.
+
+    Attributes:
+        name: benchmark name, e.g. ``"eqntott"``.
+        dataset: input dataset label, e.g. ``"int_pri_3.eqn"``.
+        source: producer identifier (``"workload"``, ``"isa"``,
+            ``"synthetic"``, ``"file"``).
+        total_instructions: total dynamic instruction count of the run
+            the trace was captured from (>= last record's ``instret``).
+    """
+
+    name: str = "anonymous"
+    dataset: str = ""
+    source: str = "unknown"
+    total_instructions: int = 0
+
+
+class Trace:
+    """An immutable, column-wise store of branch records.
+
+    Columns are plain Python lists of primitives: iterating tuples of
+    primitives through ``zip`` is several times faster than iterating a
+    list of objects, which matters because the prediction engine visits
+    every record once per simulated predictor configuration.
+    """
+
+    __slots__ = ("meta", "_pc", "_taken", "_cls", "_target", "_instret", "_trap")
+
+    def __init__(
+        self,
+        meta: TraceMeta,
+        pc: Sequence[int],
+        taken: Sequence[bool],
+        cls: Sequence[int],
+        target: Sequence[int],
+        instret: Sequence[int],
+        trap: Sequence[bool],
+    ) -> None:
+        lengths = {len(pc), len(taken), len(cls), len(target), len(instret), len(trap)}
+        if len(lengths) != 1:
+            raise ValueError(f"column lengths differ: {sorted(lengths)}")
+        self.meta = meta
+        self._pc = list(pc)
+        self._taken = list(taken)
+        self._cls = list(cls)
+        self._target = list(target)
+        self._instret = list(instret)
+        self._trap = list(trap)
+
+    def __len__(self) -> int:
+        return len(self._pc)
+
+    def __iter__(self) -> Iterator[BranchRecord]:
+        for pc, taken, cls, target, instret, trap in self.iter_tuples():
+            yield BranchRecord(
+                pc=pc,
+                taken=taken,
+                branch_class=BranchClass(cls),
+                target=target,
+                instret=instret,
+                trap=trap,
+            )
+
+    def __getitem__(self, index: int) -> BranchRecord:
+        return BranchRecord(
+            pc=self._pc[index],
+            taken=self._taken[index],
+            branch_class=BranchClass(self._cls[index]),
+            target=self._target[index],
+            instret=self._instret[index],
+            trap=self._trap[index],
+        )
+
+    def iter_tuples(self) -> Iterator[Tuple[int, bool, int, int, int, bool]]:
+        """Yield ``(pc, taken, cls, target, instret, trap)`` tuples.
+
+        This is the hot path used by the simulation engine.
+        """
+        return zip(self._pc, self._taken, self._cls, self._target, self._instret, self._trap)
+
+    @property
+    def columns(self) -> Tuple[List[int], List[bool], List[int], List[int], List[int], List[bool]]:
+        """The raw columns (pc, taken, cls, target, instret, trap)."""
+        return (self._pc, self._taken, self._cls, self._target, self._instret, self._trap)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def conditional_only(self) -> "Trace":
+        """A new trace containing only conditional-branch records."""
+        keep = [i for i, c in enumerate(self._cls) if c == BranchClass.CONDITIONAL]
+        return self.select(keep)
+
+    def select(self, indices: Sequence[int]) -> "Trace":
+        """A new trace containing only the records at ``indices``."""
+        return Trace(
+            meta=self.meta,
+            pc=[self._pc[i] for i in indices],
+            taken=[self._taken[i] for i in indices],
+            cls=[self._cls[i] for i in indices],
+            target=[self._target[i] for i in indices],
+            instret=[self._instret[i] for i in indices],
+            trap=[self._trap[i] for i in indices],
+        )
+
+    def head(self, n: int) -> "Trace":
+        """A new trace containing the first ``n`` records."""
+        return Trace(
+            meta=self.meta,
+            pc=self._pc[:n],
+            taken=self._taken[:n],
+            cls=self._cls[:n],
+            target=self._target[:n],
+            instret=self._instret[:n],
+            trap=self._trap[:n],
+        )
+
+    def static_branch_sites(self) -> List[int]:
+        """Sorted distinct PCs of *conditional* branches in the trace."""
+        sites = {pc for pc, c in zip(self._pc, self._cls) if c == BranchClass.CONDITIONAL}
+        return sorted(sites)
+
+    def num_conditional(self) -> int:
+        return sum(1 for c in self._cls if c == BranchClass.CONDITIONAL)
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(name={self.meta.name!r}, dataset={self.meta.dataset!r}, "
+            f"records={len(self)}, conditional={self.num_conditional()})"
+        )
+
+
+class TraceBuilder:
+    """Append-only builder used by all trace producers.
+
+    Producers call :meth:`branch` (or the convenience wrappers) for every
+    dynamic branch and :meth:`instructions` to account for non-branch
+    instructions executed between branches; ``instret`` values are
+    derived automatically.
+    """
+
+    def __init__(self, name: str = "anonymous", dataset: str = "", source: str = "unknown") -> None:
+        self._name = name
+        self._dataset = dataset
+        self._source = source
+        self._instret = 0
+        self._pending_trap = False
+        self._pc: List[int] = []
+        self._taken: List[bool] = []
+        self._cls: List[int] = []
+        self._target: List[int] = []
+        self._instret_col: List[int] = []
+        self._trap: List[bool] = []
+
+    def __len__(self) -> int:
+        return len(self._pc)
+
+    @property
+    def instret(self) -> int:
+        """Dynamic instructions retired so far."""
+        return self._instret
+
+    def instructions(self, count: int) -> None:
+        """Account for ``count`` non-branch instructions retiring."""
+        if count < 0:
+            raise ValueError("instruction count must be non-negative")
+        self._instret += count
+
+    def trap(self) -> None:
+        """Record that a trap occurs before the next branch record."""
+        self._pending_trap = True
+        self._instret += 1
+
+    def branch(
+        self,
+        pc: int,
+        taken: bool,
+        branch_class: BranchClass = BranchClass.CONDITIONAL,
+        target: int = 0,
+        work: int = 0,
+    ) -> bool:
+        """Record a dynamic branch.
+
+        Args:
+            pc: static site id / address.
+            taken: resolved direction.
+            branch_class: branch class; non-conditional classes force
+                ``taken=True``.
+            target: resolved target (optional).
+            work: non-branch instructions retired immediately before
+                this branch (convenience for producers that account for
+                work per-branch rather than via :meth:`instructions`).
+
+        Returns:
+            ``taken`` unchanged, so instrumented code can write
+            ``if probe.branch(pc, x < y):`` and keep its own semantics.
+        """
+        if branch_class is not BranchClass.CONDITIONAL:
+            taken = True
+        self._instret += work + 1
+        self._pc.append(pc)
+        self._taken.append(bool(taken))
+        self._cls.append(int(branch_class))
+        self._target.append(target)
+        self._instret_col.append(self._instret)
+        self._trap.append(self._pending_trap)
+        self._pending_trap = False
+        return taken
+
+    def conditional(self, pc: int, taken: bool, work: int = 0) -> bool:
+        return self.branch(pc, taken, BranchClass.CONDITIONAL, work=work)
+
+    def unconditional(self, pc: int, target: int = 0, work: int = 0) -> None:
+        self.branch(pc, True, BranchClass.UNCONDITIONAL, target=target, work=work)
+
+    def call(self, pc: int, target: int = 0, work: int = 0) -> None:
+        self.branch(pc, True, BranchClass.CALL, target=target, work=work)
+
+    def ret(self, pc: int, target: int = 0, work: int = 0) -> None:
+        self.branch(pc, True, BranchClass.RETURN, target=target, work=work)
+
+    def build(self, total_instructions: Optional[int] = None) -> Trace:
+        """Freeze the builder into an immutable :class:`Trace`."""
+        meta = TraceMeta(
+            name=self._name,
+            dataset=self._dataset,
+            source=self._source,
+            total_instructions=self._instret if total_instructions is None else total_instructions,
+        )
+        return Trace(
+            meta=meta,
+            pc=self._pc,
+            taken=self._taken,
+            cls=self._cls,
+            target=self._target,
+            instret=self._instret_col,
+            trap=self._trap,
+        )

@@ -1,0 +1,217 @@
+"""Trace serialization.
+
+Two interchangeable formats:
+
+* **Text** (``.btr``) — one record per line, human-greppable, used in
+  examples and documentation.
+* **Binary** (``.btb``) — packed little-endian records with a small
+  header, roughly 18 bytes/record, used by the trace cache.
+
+Both formats round-trip exactly (checked by property-based tests).
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterable, TextIO, Union
+
+from .events import BranchClass, BranchRecord, Trace, TraceMeta
+
+_MAGIC = b"BTRC"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHHQ")  # magic, version, reserved, record count
+_RECORD = struct.Struct("<qBBqq")  # pc, flags, cls, target, instret
+_FLAG_TAKEN = 0x01
+_FLAG_TRAP = 0x02
+
+PathLike = Union[str, Path]
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed."""
+
+
+# ----------------------------------------------------------------------
+# Text format
+# ----------------------------------------------------------------------
+
+def write_text(trace: Trace, stream: TextIO) -> None:
+    """Write ``trace`` to ``stream`` in the text format.
+
+    Layout: a ``#``-prefixed metadata header, then one record per line:
+    ``pc taken cls target instret trap``.
+    """
+    meta = trace.meta
+    stream.write(f"# name={meta.name}\n")
+    stream.write(f"# dataset={meta.dataset}\n")
+    stream.write(f"# source={meta.source}\n")
+    stream.write(f"# total_instructions={meta.total_instructions}\n")
+    stream.write(f"# records={len(trace)}\n")
+    for pc, taken, cls, target, instret, trap in trace.iter_tuples():
+        stream.write(
+            f"{pc} {int(taken)} {BranchClass(cls).short_name} {target} {instret} {int(trap)}\n"
+        )
+
+
+def read_text(stream: TextIO) -> Trace:
+    """Read a trace written by :func:`write_text`."""
+    meta_fields = {"name": "anonymous", "dataset": "", "source": "file", "total_instructions": "0"}
+    short_to_cls = {c.short_name: c for c in BranchClass}
+    pc, taken, cls, target, instret, trap = [], [], [], [], [], []
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if "=" in body:
+                key, _, value = body.partition("=")
+                key = key.strip()
+                if key in meta_fields:
+                    meta_fields[key] = value.strip()
+            continue
+        parts = line.split()
+        if len(parts) != 6:
+            raise TraceFormatError(f"line {lineno}: expected 6 fields, got {len(parts)}")
+        try:
+            pc.append(int(parts[0]))
+            taken.append(bool(int(parts[1])))
+            cls.append(int(short_to_cls[parts[2]]))
+            target.append(int(parts[3]))
+            instret.append(int(parts[4]))
+            trap.append(bool(int(parts[5])))
+        except (ValueError, KeyError) as exc:
+            raise TraceFormatError(f"line {lineno}: {exc}") from exc
+    meta = TraceMeta(
+        name=meta_fields["name"],
+        dataset=meta_fields["dataset"],
+        source=meta_fields["source"],
+        total_instructions=int(meta_fields["total_instructions"]),
+    )
+    return Trace(meta, pc, taken, cls, target, instret, trap)
+
+
+# ----------------------------------------------------------------------
+# Binary format
+# ----------------------------------------------------------------------
+
+def write_binary(trace: Trace, stream: BinaryIO) -> None:
+    """Write ``trace`` to ``stream`` in the packed binary format."""
+    meta = trace.meta
+    stream.write(_HEADER.pack(_MAGIC, _VERSION, 0, len(trace)))
+    _write_string(stream, meta.name)
+    _write_string(stream, meta.dataset)
+    _write_string(stream, meta.source)
+    stream.write(struct.pack("<q", meta.total_instructions))
+    pack = _RECORD.pack
+    for pc, taken, cls, target, instret, trap in trace.iter_tuples():
+        flags = (_FLAG_TAKEN if taken else 0) | (_FLAG_TRAP if trap else 0)
+        stream.write(pack(pc, flags, cls, target, instret))
+
+
+def read_binary(stream: BinaryIO) -> Trace:
+    """Read a trace written by :func:`write_binary`."""
+    header = stream.read(_HEADER.size)
+    if len(header) != _HEADER.size:
+        raise TraceFormatError("truncated header")
+    magic, version, _, count = _HEADER.unpack(header)
+    if magic != _MAGIC:
+        raise TraceFormatError(f"bad magic {magic!r}")
+    if version != _VERSION:
+        raise TraceFormatError(f"unsupported version {version}")
+    name = _read_string(stream)
+    dataset = _read_string(stream)
+    source = _read_string(stream)
+    (total_instructions,) = struct.unpack("<q", _read_exact(stream, 8))
+    meta = TraceMeta(name, dataset, source, total_instructions)
+    pc, taken, cls, target, instret, trap = [], [], [], [], [], []
+    unpack = _RECORD.unpack
+    size = _RECORD.size
+    payload = _read_exact(stream, size * count)
+    for offset in range(0, size * count, size):
+        r_pc, flags, r_cls, r_target, r_instret = unpack(payload[offset : offset + size])
+        pc.append(r_pc)
+        taken.append(bool(flags & _FLAG_TAKEN))
+        cls.append(r_cls)
+        target.append(r_target)
+        instret.append(r_instret)
+        trap.append(bool(flags & _FLAG_TRAP))
+    return Trace(meta, pc, taken, cls, target, instret, trap)
+
+
+def _write_string(stream: BinaryIO, value: str) -> None:
+    data = value.encode("utf-8")
+    stream.write(struct.pack("<I", len(data)))
+    stream.write(data)
+
+
+def _read_string(stream: BinaryIO) -> str:
+    (length,) = struct.unpack("<I", _read_exact(stream, 4))
+    return _read_exact(stream, length).decode("utf-8")
+
+
+def _read_exact(stream: BinaryIO, size: int) -> bytes:
+    data = stream.read(size)
+    if len(data) != size:
+        raise TraceFormatError(f"truncated stream: wanted {size} bytes, got {len(data)}")
+    return data
+
+
+# ----------------------------------------------------------------------
+# File-level helpers
+# ----------------------------------------------------------------------
+
+def save_trace(trace: Trace, path: PathLike) -> None:
+    """Save ``trace`` to ``path``; format chosen by suffix.
+
+    ``.btr`` selects the text format, anything else the binary format.
+    """
+    path = Path(path)
+    if path.suffix == ".btr":
+        with path.open("w") as stream:
+            write_text(trace, stream)
+    else:
+        with path.open("wb") as stream:
+            write_binary(trace, stream)
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Load a trace saved by :func:`save_trace`."""
+    path = Path(path)
+    if path.suffix == ".btr":
+        with path.open() as stream:
+            return read_text(stream)
+    with path.open("rb") as stream:
+        return read_binary(stream)
+
+
+def trace_from_records(records: Iterable[BranchRecord], name: str = "anonymous", dataset: str = "", source: str = "records") -> Trace:
+    """Build a trace from an iterable of :class:`BranchRecord`.
+
+    ``instret`` values in the records are preserved verbatim.
+    """
+    pc, taken, cls, target, instret, trap = [], [], [], [], [], []
+    for record in records:
+        pc.append(record.pc)
+        taken.append(record.taken)
+        cls.append(int(record.branch_class))
+        target.append(record.target)
+        instret.append(record.instret)
+        trap.append(record.trap)
+    total = instret[-1] if instret else 0
+    meta = TraceMeta(name=name, dataset=dataset, source=source, total_instructions=total)
+    return Trace(meta, pc, taken, cls, target, instret, trap)
+
+
+def dumps(trace: Trace) -> bytes:
+    """Serialize ``trace`` to bytes (binary format)."""
+    buffer = io.BytesIO()
+    write_binary(trace, buffer)
+    return buffer.getvalue()
+
+
+def loads(data: bytes) -> Trace:
+    """Deserialize a trace from bytes produced by :func:`dumps`."""
+    return read_binary(io.BytesIO(data))

@@ -1,0 +1,114 @@
+"""Trace transformations.
+
+Utilities for slicing and reshaping traces — the operations a
+measurement methodology needs around the raw streams: windowing (skip
+initialisation, take a sample), filtering to a branch subset, splitting
+by phase, and merging program fragments.
+
+All transforms return new :class:`~repro.trace.events.Trace` objects;
+``instret`` columns are preserved verbatim for windowed views (so the
+context-switch clock stays meaningful relative to the original run)
+and recomputed for merges.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Set
+
+from .events import BranchClass, Trace, TraceBuilder
+
+
+def window(trace: Trace, start: int, count: int) -> Trace:
+    """Records ``start .. start+count`` (clamped), instret preserved."""
+    if start < 0 or count < 0:
+        raise ValueError("start and count must be non-negative")
+    indices = range(min(start, len(trace)), min(start + count, len(trace)))
+    return trace.select(list(indices))
+
+
+def skip_warmup(trace: Trace, conditional_branches: int) -> Trace:
+    """Drop the prefix containing the first N conditional branches.
+
+    Useful for steady-state measurements: the paper measures from cold
+    start, but sensitivity studies want warm caches.
+    """
+    if conditional_branches < 0:
+        raise ValueError("conditional_branches must be non-negative")
+    seen = 0
+    cut = 0
+    for index, (_pc, _taken, cls, _target, _instret, _trap) in enumerate(trace.iter_tuples()):
+        if cls == BranchClass.CONDITIONAL:
+            seen += 1
+            if seen > conditional_branches:
+                cut = index
+                break
+    else:
+        cut = len(trace)
+    return trace.select(list(range(cut, len(trace))))
+
+
+def filter_sites(trace: Trace, sites: Iterable[int], keep: bool = True) -> Trace:
+    """Keep (or drop) the conditional branches of the given static sites.
+
+    Non-conditional records are always kept: they carry the instruction
+    clock and context-switch markers.
+    """
+    site_set: Set[int] = set(sites)
+    indices: List[int] = []
+    for index, (pc, _taken, cls, _target, _instret, _trap) in enumerate(trace.iter_tuples()):
+        if cls != BranchClass.CONDITIONAL:
+            indices.append(index)
+            continue
+        if (pc in site_set) == keep:
+            indices.append(index)
+    return trace.select(indices)
+
+
+def split_phases(trace: Trace, phases: int) -> List[Trace]:
+    """Cut the trace into ``phases`` equal consecutive pieces."""
+    if phases < 1:
+        raise ValueError("phases must be >= 1")
+    size = max(len(trace) // phases, 1)
+    pieces: List[Trace] = []
+    for start in range(0, len(trace), size):
+        pieces.append(trace.select(list(range(start, min(start + size, len(trace))))))
+        if len(pieces) == phases:
+            # Fold any remainder into the final phase.
+            remainder = list(range(start + size, len(trace)))
+            if remainder:
+                pieces[-1] = trace.select(
+                    list(range(start, len(trace)))
+                )
+            break
+    return pieces
+
+
+def merge(traces: Sequence[Trace], name: str = "merged") -> Trace:
+    """Concatenate traces end-to-end, rebasing the instruction clock."""
+    builder = TraceBuilder(name=name, source="transform")
+    for piece in traces:
+        previous = 0
+        for pc, taken, cls, target, instret, trap in piece.iter_tuples():
+            gap = max(instret - previous - 1, 0)
+            previous = instret
+            if trap:
+                builder.trap()
+            builder.branch(pc, taken, BranchClass(cls), target=target, work=gap)
+    return builder.build()
+
+
+def subsample_sites(
+    trace: Trace,
+    predicate: Callable[[int], bool],
+) -> Trace:
+    """Keep conditional branches whose pc satisfies ``predicate``.
+
+    A generalisation of :func:`filter_sites` for programmatic slicing,
+    e.g. ``subsample_sites(trace, lambda pc: pc % 2 == 0)`` to study
+    set-interference.
+    """
+    indices: List[int] = []
+    for index, (pc, _taken, cls, _target, _instret, _trap) in enumerate(trace.iter_tuples()):
+        if cls != BranchClass.CONDITIONAL or predicate(pc):
+            indices.append(index)
+    return trace.select(indices)

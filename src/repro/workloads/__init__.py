@@ -1,0 +1,48 @@
+"""SPEC-analog workloads: nine instrumented benchmarks (see DESIGN.md)."""
+
+from .base import BranchProbe, DatasetSpec, Workload, stable_site_id
+from .doduc import DoducWorkload
+from .eqntott import EqntottWorkload
+from .espresso import EspressoWorkload
+from .fpppp import FppppWorkload
+from .gcc_like import GccWorkload
+from .li import LiWorkload
+from .matrix300 import Matrix300Workload
+from .spice import SpiceWorkload
+from .suite import (
+    BENCHMARK_ORDER,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    SuiteConfig,
+    all_workloads,
+    build_cases,
+    get_workload,
+    table1_static_branch_counts,
+    table2_datasets,
+)
+from .tomcatv import TomcatvWorkload
+
+__all__ = [
+    "BENCHMARK_ORDER",
+    "BranchProbe",
+    "DatasetSpec",
+    "DoducWorkload",
+    "EqntottWorkload",
+    "EspressoWorkload",
+    "FppppWorkload",
+    "GccWorkload",
+    "LiWorkload",
+    "Matrix300Workload",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "SpiceWorkload",
+    "SuiteConfig",
+    "TomcatvWorkload",
+    "Workload",
+    "all_workloads",
+    "build_cases",
+    "get_workload",
+    "stable_site_id",
+    "table1_static_branch_counts",
+    "table2_datasets",
+]

@@ -1,0 +1,145 @@
+"""doduc analog — Monte Carlo nuclear reactor simulation (SPEC89 doduc).
+
+Doduc is a Monte Carlo time-evolution of a nuclear reactor: despite
+being a floating-point code its branch behaviour is notoriously
+irregular (the paper singles it out, with spice2g6 and the integer
+codes, as where "a branch predictor's mettle is tested"). Table 2:
+train on ``tiny doducin``, test on ``doducin``.
+
+The analog transports particles through concentric reactor zones:
+per step it samples an interaction (scatter / absorb / fission /
+escape) from zone- and energy-dependent probabilities, moves particles
+between zones and energy groups, and runs a per-time-step control loop
+with tally reductions and convergence checks. The branch stream is a
+mix of biased-but-random interaction branches and short data-dependent
+loops — hard for every predictor, exactly doduc's role in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .base import BranchProbe, DatasetSpec, Workload
+
+_NUM_ZONES = 5
+_NUM_GROUPS = 3
+
+
+class DoducWorkload(Workload):
+    """Zone-based Monte Carlo particle transport with time stepping."""
+
+    name = "doduc"
+    category = "fp"
+    training_dataset = DatasetSpec("tiny doducin", seed=11, size=160)
+    testing_dataset = DatasetSpec("doducin", seed=67, size=420)
+    alternate_datasets = (DatasetSpec("doducin.big", seed=91, size=700),)
+
+    def run(self, probe: BranchProbe, rng: random.Random, dataset: DatasetSpec, scale: int) -> None:
+        particles_per_step = dataset.size * scale
+        time_steps = 12
+        # Zone-dependent interaction probabilities. Inner zones are
+        # strongly scattering, the periphery absorbing: a particle's
+        # recent branch history encodes its zone, which is exactly the
+        # correlation a two-level predictor can exploit and a
+        # per-branch counter cannot.
+        scatter = [0.98, 0.96, 0.94, 0.60, 0.15][:_NUM_ZONES]
+        absorb = [0.01, 0.02, 0.04, 0.35, 0.75][:_NUM_ZONES]
+        power_history: List[float] = []
+        for _step in probe.loop("time.steps", time_steps, work=30):
+            tallies = [0.0] * _NUM_ZONES
+            fissions = 0
+            for _p in probe.loop("time.particles", particles_per_step, work=8):
+                fissions += self._transport(probe, rng, scatter, absorb, tallies)
+                # Energy deposition spread over the group structure — a
+                # short regular loop per particle (the "physics" half of
+                # doduc that is perfectly predictable).
+                for _g in probe.loop("deposit.groups", _NUM_GROUPS * 2, work=14):
+                    pass
+            power = self._reduce_tallies(probe, tallies, fissions)
+            power_history.append(power)
+            # Reactivity control: adjust when power drifts — a noisy,
+            # weakly-autocorrelated branch.
+            drifting = len(power_history) >= 2 and abs(
+                power_history[-1] - power_history[-2]
+            ) > 0.08 * max(power_history[-1], 1e-9)
+            if probe.cond("time.adjust_rods", drifting, work=6):
+                scatter = [s * 0.995 for s in scatter]
+            if probe.cond(
+                "time.converged",
+                self._converged(probe, power_history),
+                work=4,
+            ):
+                break
+        probe.trap()  # checkpoint dump
+
+    def _transport(
+        self,
+        probe: BranchProbe,
+        rng: random.Random,
+        scatter: List[float],
+        absorb: List[float],
+        tallies: List[float],
+    ) -> int:
+        """Walk one particle until absorption, fission or escape.
+
+        Returns the number of fission events it caused.
+        """
+        probe.call("walk.enter")
+        zone = 0
+        group = rng.randrange(_NUM_GROUPS)
+        fissions = 0
+        alive = True
+        while probe.while_("walk.alive", alive, work=22):
+            tallies[zone] += 1.0 / (1 + group)
+            roll = rng.random()
+            if probe.cond("walk.scatters", roll < scatter[zone], work=5):
+                # Scattering: maybe lose energy, maybe change zone.
+                if probe.cond("walk.downscatter", rng.random() < 0.15 and group < _NUM_GROUPS - 1, work=4):
+                    group += 1
+                if probe.cond("walk.outward", rng.random() < 0.85, work=4):
+                    zone += 1
+                    if probe.cond("walk.escaped", zone >= _NUM_ZONES, work=3):
+                        alive = False
+                else:
+                    if probe.cond("walk.at_core", zone == 0, work=3):
+                        pass  # reflected at the core
+                    else:
+                        zone -= 1
+            elif probe.cond("walk.absorbed", roll < scatter[zone] + absorb[zone], work=5):
+                alive = False
+            else:
+                # Fission: particle dies, daughters tallied; thermal
+                # group fissions more — a group-correlated branch.
+                if probe.cond("walk.thermal_fission", group == _NUM_GROUPS - 1, work=4):
+                    fissions += 2
+                else:
+                    fissions += 1
+                alive = False
+        probe.ret("walk.leave")
+        return fissions
+
+    def _reduce_tallies(self, probe: BranchProbe, tallies: List[float], fissions: int) -> float:
+        total = 0.0
+        peak = 0.0
+        for z in probe.loop("tally.zones", _NUM_ZONES, work=6):
+            total += tallies[z]
+            if probe.cond("tally.newpeak", tallies[z] > peak, work=3):
+                peak = tallies[z]
+        return (total + 1.7 * fissions) / max(peak, 1.0)
+
+    def _converged(self, probe: BranchProbe, history: List[float]) -> bool:
+        """Converged when the last few powers agree within 0.1 %."""
+        if probe.cond("conv.too_short", len(history) < 4, work=3):
+            return False
+        reference = history[-1]
+        index = 2
+        while probe.while_("conv.scan", index <= 4, work=4):
+            if probe.cond(
+                "conv.off_band",
+                abs(history[-index] - reference) > 1e-3 * max(abs(reference), 1e-9),
+                work=3,
+            ):
+                return False
+            index += 1
+        return True

@@ -1,0 +1,187 @@
+"""eqntott analog — boolean equation to truth-table conversion (SPEC89).
+
+Eqntott converts boolean equations into truth tables; its execution time
+is famously dominated by ``cmppt``, the qsort comparator that compares
+two truth-table rows bit by bit — short data-dependent loops whose
+outcomes repeat in patterns, which is precisely where two-level
+prediction shines over per-branch counters. Table 2 lists only a
+testing input (``int_pri_3.eqn``), so profiled schemes skip this
+benchmark, as in the paper's Figure 11.
+
+The analog parses nothing (the interesting behaviour is downstream):
+it *builds* random equation DAGs, evaluates them over every input
+assignment (recursive node-type dispatch), then sorts the resulting
+rows with an instrumented merge sort whose comparator walks the rows'
+bit-vectors — the cmppt analog.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from .base import BranchProbe, DatasetSpec, Workload
+
+# Expression node kinds.
+_VAR, _NOT, _AND, _OR, _XOR = range(5)
+_KIND_NAMES = {_VAR: "var", _NOT: "not", _AND: "and", _OR: "or", _XOR: "xor"}
+
+Node = Tuple[int, int, int]
+"""(kind, left, right) — children index into the node list; for _VAR,
+``left`` is the variable index."""
+
+
+def _random_expression(rng: random.Random, num_vars: int, size: int) -> List[Node]:
+    """A random boolean DAG in topological order (children first)."""
+    nodes: List[Node] = [(_VAR, v, -1) for v in range(num_vars)]
+    for _ in range(size):
+        kind = rng.choice((_NOT, _AND, _OR, _XOR, _AND, _OR))
+        left = rng.randrange(len(nodes))
+        right = rng.randrange(len(nodes))
+        nodes.append((kind, left, right))
+    return nodes
+
+
+def _evaluate(probe: BranchProbe, nodes: Sequence[Node], assignment: int) -> bool:
+    """Evaluate the DAG root for one input assignment.
+
+    The per-node kind dispatch is the instrumented control flow: a chain
+    of kind tests like the original's switch over PT node types, plus
+    the short-circuit guards of AND/OR evaluation.
+    """
+    values: List[bool] = []
+    for kind, left, right in nodes:
+        if probe.cond("eval.is_var", kind == _VAR, work=3):
+            value = bool((assignment >> left) & 1)
+        elif probe.cond("eval.is_not", kind == _NOT, work=3):
+            value = not values[left]
+        elif probe.cond("eval.is_and", kind == _AND, work=3):
+            # Short-circuit: right operand only inspected when the left
+            # is true — a data-correlated branch.
+            if probe.cond("eval.and_short", values[left], work=2):
+                value = values[right]
+            else:
+                value = False
+        elif probe.cond("eval.is_or", kind == _OR, work=3):
+            if probe.cond("eval.or_short", values[left], work=2):
+                value = True
+            else:
+                value = values[right]
+        else:
+            value = values[left] ^ values[right]
+        values.append(value)
+    return values[-1]
+
+
+def _pack_row(assignment: int, output: bool, num_vars: int) -> Tuple[int, ...]:
+    """A truth-table row as words: output bit, then input nibbles
+    most-significant first.
+
+    Because assignments are enumerated in ascending order, the packed
+    rows arrive *nearly sorted* — so the sort's comparison branches are
+    strongly patterned rather than random, as they are for eqntott's
+    real PT tables.
+    """
+    words = [1 if output else 0]
+    start = ((num_vars + 3) // 4 - 1) * 4
+    for chunk in range(start, -1, -4):
+        words.append((assignment >> chunk) & 0xF)
+    return tuple(words)
+
+
+def _compare_rows(probe: BranchProbe, left: Sequence[int], right: Sequence[int]) -> int:
+    """The cmppt analog: word-by-word row comparison.
+
+    The continuation branch ("words equal so far, keep scanning") has
+    history-dependent behaviour the paper's schemes exploit.
+    """
+    probe.call("cmppt.enter")
+    index = 0
+    while probe.while_("cmppt.scan", index < len(left), work=4):
+        if probe.cond("cmppt.differs", left[index] != right[index], work=3):
+            probe.ret("cmppt.leave")
+            return -1 if left[index] < right[index] else 1
+        index += 1
+    probe.ret("cmppt.leave")
+    return 0
+
+
+def _merge_sort(probe: BranchProbe, rows: List[Tuple[int, ...]]) -> List[Tuple[int, ...]]:
+    """Instrumented bottom-up merge sort over truth-table rows."""
+    width = 1
+    items = list(rows)
+    buffer: List[Tuple[int, ...]] = [rows[0]] * len(rows) if rows else []
+    while probe.while_("sort.widths", width < len(items), work=5):
+        for start in probe.loop("sort.runs", (len(items) + 2 * width - 1) // (2 * width), work=6):
+            lo = start * 2 * width
+            mid = min(lo + width, len(items))
+            hi = min(lo + 2 * width, len(items))
+            i, j, out = lo, mid, lo
+            while probe.while_("merge.both", i < mid and j < hi, work=5):
+                if probe.cond(
+                    "merge.pick_left",
+                    _compare_rows(probe, items[i], items[j]) <= 0,
+                    work=3,
+                ):
+                    buffer[out] = items[i]
+                    i += 1
+                else:
+                    buffer[out] = items[j]
+                    j += 1
+                out += 1
+            while probe.while_("merge.drain_left", i < mid, work=3):
+                buffer[out] = items[i]
+                i += 1
+                out += 1
+            while probe.while_("merge.drain_right", j < hi, work=3):
+                buffer[out] = items[j]
+                j += 1
+                out += 1
+            items[lo:hi] = buffer[lo:hi]
+        width *= 2
+    return items
+
+
+class EqntottWorkload(Workload):
+    """Truth-table construction + cmppt-style sorting."""
+
+    name = "eqntott"
+    category = "int"
+    training_dataset = None  # Table 2: NA
+    testing_dataset = DatasetSpec("int_pri_3.eqn", seed=1733, size=8)
+    alternate_datasets = (
+        DatasetSpec("int_pri_1.eqn", seed=401, size=7),
+        DatasetSpec("fixed_mul.eqn", seed=829, size=9),
+    )
+
+    def run(self, probe: BranchProbe, rng: random.Random, dataset: DatasetSpec, scale: int) -> None:
+        num_vars = dataset.size
+        num_equations = 5 * scale
+        for eq in probe.loop("main.equations", num_equations, work=20):
+            probe.call("main.build_expr")
+            nodes = _random_expression(rng, num_vars, size=10 + (eq % 4) * 3)
+            probe.work(12 * len(nodes))
+            probe.ret("main.build_expr.ret")
+
+            rows: List[Tuple[int, ...]] = []
+            for assignment in probe.loop("table.assignments", 1 << num_vars, work=6):
+                output = _evaluate(probe, nodes, assignment)
+                # Only ON-set rows are tabulated, like the original's PT
+                # entries for true outputs.
+                if probe.cond("table.onset", output, work=3):
+                    rows.append(_pack_row(assignment, output, num_vars))
+            probe.call("main.sort")
+            ordered = _merge_sort(probe, rows)
+            probe.ret("main.sort.ret")
+            self._dedupe(probe, ordered)
+            probe.trap()  # emit the table (write syscall)
+
+    def _dedupe(self, probe: BranchProbe, ordered: List[Tuple[int, ...]]) -> int:
+        """Post-sort duplicate elimination scan."""
+        unique = 0
+        for i in probe.loop("dedupe.scan", len(ordered), work=4):
+            is_dup = i > 0 and ordered[i] == ordered[i - 1]
+            if probe.cond("dedupe.duplicate", is_dup, work=3):
+                continue
+            unique += 1
+        return unique

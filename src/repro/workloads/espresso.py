@@ -1,0 +1,200 @@
+"""espresso analog — two-level logic minimisation (SPEC89 espresso).
+
+Espresso minimises PLA covers through EXPAND / IRREDUNDANT / REDUCE
+sweeps; its control flow is cube-against-cube containment and distance
+tests inside data-dependent loops — irregular integer branching, one of
+the paper's "interesting" benchmarks. Table 2: train on ``cps``, test
+on ``bca``.
+
+The analog represents cubes in the classic two-bits-per-variable
+positional notation and runs genuine (if simplified) expand, reduce and
+irredundant passes over a randomly generated PLA whose shape (inputs,
+cube count, density) is the dataset.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .base import BranchProbe, DatasetSpec, Workload
+
+Cube = List[int]
+"""Per-variable values: 0b01 = literal 0, 0b10 = literal 1, 0b11 = don't care."""
+
+_ZERO, _ONE, _DASH = 0b01, 0b10, 0b11
+
+
+def _random_cover(
+    rng: random.Random, num_inputs: int, num_cubes: int, care_density: float
+) -> List[Cube]:
+    """Cubes clustered around a few prototypes.
+
+    Real PLAs are highly structured — product terms share most literals
+    with their neighbours. Clustering makes the cube-against-cube scan
+    loops see recurring outcome patterns (learnable history) instead of
+    white noise, while the per-cube mutations keep the passes honest.
+    """
+    prototypes: List[Cube] = []
+    for _ in range(max(num_cubes // 8, 1)):
+        prototype = []
+        for _var in range(num_inputs):
+            if rng.random() < care_density:
+                prototype.append(_ONE if rng.random() < 0.5 else _ZERO)
+            else:
+                prototype.append(_DASH)
+        prototypes.append(prototype)
+    cover = []
+    for index in range(num_cubes):
+        cube = list(prototypes[index % len(prototypes)])
+        for _mutation in range(2):
+            var = rng.randrange(num_inputs)
+            cube[var] = rng.choice((_ZERO, _ONE, _DASH))
+        cover.append(cube)
+    return cover
+
+
+def _intersects(probe: BranchProbe, a: Cube, b: Cube, site: str) -> bool:
+    """True when cubes overlap: no variable with disjoint literals.
+
+    The early-exit scan is espresso's ``cdist0`` — the hot loop.
+    """
+    index = 0
+    while probe.while_(f"{site}.scan", index < len(a), work=4):
+        if probe.cond(f"{site}.disjoint", (a[index] & b[index]) == 0, work=3):
+            return False
+        index += 1
+    return True
+
+
+def _contains(probe: BranchProbe, outer: Cube, inner: Cube, site: str) -> bool:
+    """True when ``outer`` covers ``inner`` (bitwise superset per variable)."""
+    probe.call(f"{site}.enter")
+    index = 0
+    while probe.while_(f"{site}.scan", index < len(outer), work=4):
+        if probe.cond(f"{site}.miss", (outer[index] & inner[index]) != inner[index], work=3):
+            probe.ret(f"{site}.leave")
+            return False
+        index += 1
+    probe.ret(f"{site}.leave")
+    return True
+
+
+class EspressoWorkload(Workload):
+    """EXPAND / IRREDUNDANT / REDUCE sweeps over a random PLA."""
+
+    name = "espresso"
+    category = "int"
+    training_dataset = DatasetSpec("cps", seed=501, size=13)
+    testing_dataset = DatasetSpec("bca", seed=907, size=14)
+    alternate_datasets = (DatasetSpec("ti", seed=311, size=12),)
+
+    def run(self, probe: BranchProbe, rng: random.Random, dataset: DatasetSpec, scale: int) -> None:
+        num_inputs = dataset.size
+        num_cubes = 44 * scale
+        on_set = _random_cover(rng, num_inputs, num_cubes, care_density=0.55)
+        off_set = _random_cover(rng, num_inputs, num_cubes // 2, care_density=0.70)
+        cost_before = self._cover_cost(probe, on_set)
+        for _sweep in probe.loop("main.sweeps", 3, work=15):
+            probe.call("main.expand")
+            on_set = self._expand(probe, on_set, off_set)
+            probe.ret("main.expand.ret")
+            probe.call("main.irredundant")
+            on_set = self._irredundant(probe, on_set)
+            probe.ret("main.irredundant.ret")
+            probe.call("main.reduce")
+            self._reduce(probe, rng, on_set, off_set)
+            probe.ret("main.reduce.ret")
+            cost_after = self._cover_cost(probe, on_set)
+            if probe.cond("main.no_gain", cost_after >= cost_before, work=4):
+                pass  # espresso loops anyway for a fixed sweep budget here
+            cost_before = cost_after
+        probe.trap()  # write the minimised PLA
+
+    # ------------------------------------------------------------------
+    # Passes
+    # ------------------------------------------------------------------
+    def _expand(
+        self, probe: BranchProbe, on_set: List[Cube], off_set: List[Cube]
+    ) -> List[Cube]:
+        """Raise each literal to don't-care when still off-set-free."""
+        expanded: List[Cube] = []
+        for ci in probe.loop("expand.cubes", len(on_set), work=6):
+            cube = list(on_set[ci])
+            for var in probe.loop("expand.vars", len(cube), work=5):
+                if probe.cond("expand.already_free", cube[var] == _DASH, work=3):
+                    continue
+                saved = cube[var]
+                cube[var] = _DASH
+                blocked = False
+                for oi in probe.loop("expand.offscan", len(off_set), work=4):
+                    if probe.cond(
+                        "expand.hits_off",
+                        _intersects(probe, cube, off_set[oi], "expand.dist"),
+                        work=3,
+                    ):
+                        blocked = True
+                        break
+                if probe.cond("expand.blocked", blocked, work=3):
+                    cube[var] = saved
+            expanded.append(cube)
+        return expanded
+
+    def _irredundant(self, probe: BranchProbe, cover: List[Cube]) -> List[Cube]:
+        """Drop cubes contained in another cube of the cover."""
+        kept: List[Cube] = []
+        for ci in probe.loop("irred.cubes", len(cover), work=5):
+            redundant = False
+            for cj in probe.loop("irred.others", len(cover), work=4):
+                if probe.cond("irred.self", ci == cj, work=2):
+                    continue
+                if probe.cond(
+                    "irred.covered",
+                    _contains(probe, cover[cj], cover[ci], "irred.cont"),
+                    work=3,
+                ):
+                    redundant = True
+                    break
+            if probe.cond("irred.keep", not redundant, work=3):
+                kept.append(cover[ci])
+        return kept
+
+    def _reduce(
+        self,
+        probe: BranchProbe,
+        rng: random.Random,
+        cover: List[Cube],
+        off_set: List[Cube],
+    ) -> None:
+        """Shrink a sample of cubes back toward minimal literals."""
+        for ci in probe.loop("reduce.cubes", len(cover), work=5):
+            cube = cover[ci]
+            # Espresso reduces against the rest of the cover; sampling
+            # keeps the pass cheap while preserving branch character.
+            if probe.cond("reduce.sampled", rng.random() < 0.5, work=3):
+                continue
+            for var in probe.loop("reduce.vars", len(cube), work=5):
+                if probe.cond("reduce.not_free", cube[var] != _DASH, work=3):
+                    continue
+                trial = _ONE if rng.random() < 0.5 else _ZERO
+                cube[var] = trial
+                still_needed = False
+                for oi in probe.loop("reduce.offscan", min(len(off_set), 8), work=4):
+                    if probe.cond(
+                        "reduce.off_near",
+                        _intersects(probe, cube, off_set[oi], "reduce.dist"),
+                        work=3,
+                    ):
+                        still_needed = True
+                        break
+                if probe.cond("reduce.revert", not still_needed, work=3):
+                    cube[var] = _DASH
+
+    def _cover_cost(self, probe: BranchProbe, cover: List[Cube]) -> int:
+        """Literal count — the quantity espresso minimises."""
+        cost = 0
+        for ci in probe.loop("cost.cubes", len(cover), work=4):
+            for var in probe.loop("cost.vars", len(cover[ci]), work=3):
+                if probe.cond("cost.literal", cover[ci][var] != _DASH, work=2):
+                    cost += 1
+        return cost

@@ -1,0 +1,88 @@
+"""fpppp analog — two-electron integral evaluation (SPEC89 fpppp).
+
+Fpppp computes two-electron repulsion integrals over Gaussian basis
+functions in enormous straight-line basic blocks; branches are a tiny
+fraction of the dynamic instruction stream (the paper measures ~5 %
+branch instructions for FP codes, with fpppp the extreme case) and the
+few branches that exist are long counted loops plus a screening test
+that is almost always decided the same way — every predictor scores
+very high on fpppp, and the paper treats it as an "easy" benchmark.
+Table 2 lists its input (``natoms``) with no training set.
+
+The analog enumerates the triangular shell-pair list, then sweeps one
+long flat loop over all pair-of-pairs quadruples (mirroring fpppp's
+linearised integral batches); each quadruple charges a large slab of
+straight-line work, evaluates a strongly-biased magnitude screen, and
+contracts over primitive Gaussians in a long counted loop.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from .base import BranchProbe, DatasetSpec, Workload
+
+_PRIMITIVES = 20
+
+
+class FppppWorkload(Workload):
+    """Flat shell-quadruple integral sweep with screening."""
+
+    name = "fpppp"
+    category = "fp"
+    training_dataset = None  # Table 2: NA
+    testing_dataset = DatasetSpec("natoms", seed=4242, size=11)
+
+    def run(self, probe: BranchProbe, rng: random.Random, dataset: DatasetSpec, scale: int) -> None:
+        shells = dataset.size
+        exponents = [rng.uniform(0.3, 3.0) for _ in range(shells)]
+        centres = [rng.uniform(-1.5, 1.5) for _ in range(shells)]
+        pairs = self._pair_list(probe, shells)
+        for _pass in probe.loop("scf.iterations", 2 * scale, work=60):
+            total = 0.0
+            for quad_index in probe.loop("quad.flat", len(pairs) * len(pairs) // 2, work=14):
+                ij = quad_index % len(pairs)
+                kl = (quad_index * 7) % len(pairs)
+                i, j = pairs[ij]
+                k, l = pairs[kl]
+                total += self._integral(probe, exponents, centres, i, j, k, l)
+            probe.work(400)  # Fock-matrix update, branch-free
+
+    def _pair_list(self, probe: BranchProbe, shells: int) -> List[Tuple[int, int]]:
+        """The triangular (i <= j) shell-pair list."""
+        pairs: List[Tuple[int, int]] = []
+        for i in probe.loop("pairs.outer", shells, work=4):
+            for j in probe.loop("pairs.inner", i + 1, work=5):
+                pairs.append((i, j))
+        return pairs
+
+    def _integral(
+        self,
+        probe: BranchProbe,
+        exponents: List[float],
+        centres: List[float],
+        i: int,
+        j: int,
+        k: int,
+        l: int,
+    ) -> float:
+        probe.call("integral.enter")
+        # Schwarz-style screening estimate; compact molecules pass the
+        # overwhelming majority of quadruples, so the guard is strongly
+        # biased — exactly fpppp's character.
+        distance = abs(centres[i] - centres[k]) + abs(centres[j] - centres[l])
+        estimate = math.exp(-0.35 * distance)
+        if probe.cond("screen.negligible", estimate < 0.4, work=5):
+            probe.ret("integral.leave")
+            return 0.0
+        value = 0.0
+        # Contraction over primitive Gaussians: a long counted loop with
+        # a big straight-line body.
+        for p in probe.loop("contract.primitives", _PRIMITIVES, work=110):
+            alpha = exponents[i] + exponents[j] + 0.1 * p
+            beta = exponents[k] + exponents[l] + 0.1 * p
+            value += estimate * math.exp(-alpha * beta / (alpha + beta))
+        probe.ret("integral.leave")
+        return value

@@ -1,0 +1,583 @@
+"""gcc analog — a miniature C-like compiler (SPEC89 gcc).
+
+Gcc is the paper's stress benchmark: by far the largest static branch
+population (6922 static conditional branches in Table 1, an order of
+magnitude above the rest), irregular branch behaviour, and many traps
+(which is why context switching hurts gcc most under PAg/PAp in
+Figure 9).
+
+The analog is a real multi-pass compiler for a C-like language:
+
+1. a deterministic source generator produces translation units (the
+   ``cexp.i`` / ``dbxout.i`` datasets differ in seed and shape),
+2. a hand-written lexer with per-character-class and per-keyword
+   dispatch,
+3. a recursive-descent parser building an AST,
+4. a constant folder with per-operator rules,
+5. per-intrinsic type checking driven by a generated intrinsic table —
+   this models the per-builtin handling code that gives the real gcc
+   its huge static branch population; every intrinsic owns distinct
+   branch sites, as it owns distinct code in gcc,
+6. a stack-machine code generator with per-opcode emission guards, and
+7. a peephole pass over emitted opcode pairs.
+
+Traps are emitted per file read/diagnostic/object write, so the trace
+carries gcc's high trap density.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .base import BranchProbe, DatasetSpec, Workload
+
+_KEYWORDS = ("int", "if", "else", "while", "return", "var")
+_NUM_INTRINSICS = 224
+_INTRINSIC_ARITY = (1, 2, 2, 3)
+
+
+# ----------------------------------------------------------------------
+# Source generation (pre-trace: models reading the .i file from disk)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Style:
+    """Per-function idiom: real code is repetitive within a function.
+
+    Each generated function sticks to a small palette of operators and
+    intrinsics and a preferred statement shape, so the token stream —
+    and hence the compiler's branch outcomes — carries the strong local
+    regularity that real source exhibits.
+    """
+
+    ops: Tuple[str, ...]
+    intrinsics: Tuple[int, ...]
+    if_bias: float
+    loop_bias: float
+
+
+def _make_style(rng: random.Random) -> _Style:
+    all_ops = ("+", "-", "*", "/", "<", ">", "==", "&", "|")
+    ops = tuple(rng.choice(all_ops) for _ in range(3))
+    intrinsics = tuple(rng.randrange(_NUM_INTRINSICS) for _ in range(5))
+    return _Style(
+        ops=ops,
+        intrinsics=intrinsics,
+        if_bias=rng.uniform(0.08, 0.25),
+        loop_bias=rng.uniform(0.05, 0.20),
+    )
+
+
+def generate_source(rng: random.Random, functions: int, statements: int) -> str:
+    """A deterministic random translation unit."""
+    lines: List[str] = []
+    for findex in range(functions):
+        style = _make_style(rng)
+        params = ", ".join(f"int p{i}" for i in range(rng.randrange(0, 4)))
+        lines.append(f"int fn{findex}({params}) {{")
+        lines.append(f"  var acc = {rng.randrange(0, 100)};")
+        for _ in range(statements):
+            lines.append("  " + _gen_statement(rng, depth=0, style=style))
+        lines.append("  return acc;")
+        lines.append("}")
+    return "\n".join(lines)
+
+
+def _gen_statement(rng: random.Random, depth: int, style: _Style) -> str:
+    roll = rng.random()
+    if roll < style.if_bias and depth < 2:
+        return (
+            f"if ({_gen_expr(rng, depth + 1, style)}) {{ acc = {_gen_expr(rng, depth + 1, style)}; }}"
+            + (f" else {{ acc = {_gen_expr(rng, depth + 1, style)}; }}" if rng.random() < 0.5 else "")
+        )
+    if roll < style.if_bias + style.loop_bias and depth < 2:
+        return (
+            f"while (acc < {rng.randrange(2, 30)}) "
+            f"{{ acc = acc + {rng.randrange(1, 5)}; }}"
+        )
+    if roll < 0.5:
+        return f"var t{rng.randrange(40)} = {_gen_expr(rng, depth + 1, style)};"
+    return f"acc = {_gen_expr(rng, depth + 1, style)};"
+
+
+def _gen_expr(rng: random.Random, depth: int, style: _Style) -> str:
+    """Expressions follow the function's idiom: most are the simple
+    ``acc <op> const`` shape real code repeats endlessly, with a tail of
+    deeper nests and intrinsic calls."""
+    roll = rng.random()
+    if depth >= 3 or roll < 0.30:
+        return str(rng.randrange(0, 256))
+    if roll < 0.42:
+        return "acc"
+    if roll < 0.72:
+        # The idiomatic shape, using the function's favourite operator.
+        op = style.ops[0]
+        return f"(acc {op} {rng.randrange(1, 64)})"
+    if roll < 0.86:
+        which = style.intrinsics[rng.randrange(len(style.intrinsics))]
+        arity = _INTRINSIC_ARITY[which % len(_INTRINSIC_ARITY)]
+        args = ", ".join(_gen_expr(rng, depth + 1, style) for _ in range(arity))
+        return f"__b{which}({args})"
+    op = style.ops[rng.randrange(len(style.ops))]
+    return f"({_gen_expr(rng, depth + 1, style)} {op} {_gen_expr(rng, depth + 1, style)})"
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+
+
+_SIMPLE_OPS = "+-*/<>&|(){};,="
+
+
+def lex(probe: BranchProbe, source: str) -> List[Token]:
+    """Instrumented scanner with per-class and per-operator dispatch."""
+    tokens: List[Token] = []
+    index = 0
+    length = len(source)
+    while probe.while_("lex.main", index < length, work=4):
+        ch = source[index]
+        if probe.cond("lex.space", ch in " \n\t", work=3):
+            index += 1
+            continue
+        if probe.cond("lex.digit", ch.isdigit(), work=3):
+            start = index
+            while probe.while_("lex.digit_run", index < length and source[index].isdigit(), work=3):
+                index += 1
+            tokens.append(Token("num", source[start:index]))
+            continue
+        if probe.cond("lex.alpha", ch.isalpha() or ch == "_", work=3):
+            start = index
+            while probe.while_(
+                "lex.ident_run",
+                index < length and (source[index].isalnum() or source[index] == "_"),
+                work=3,
+            ):
+                index += 1
+            text = source[start:index]
+            matched_keyword = False
+            for keyword in _KEYWORDS:
+                # One comparison site per keyword, emitted branch-to-skip
+                # (taken = "not this keyword, try the next"), the polarity
+                # a strcmp chain compiles to.
+                if not probe.cond(f"lex.kw.{keyword}", text != keyword, work=4):
+                    tokens.append(Token(keyword, text))
+                    matched_keyword = True
+                    break
+            if probe.cond("lex.plain_ident", not matched_keyword, work=2):
+                tokens.append(Token("ident", text))
+            continue
+        if probe.cond("lex.eq_pair", ch == "=" and index + 1 < length and source[index + 1] == "=", work=4):
+            tokens.append(Token("==", "=="))
+            index += 2
+            continue
+        matched = False
+        for op in _SIMPLE_OPS:
+            # Branch-to-skip polarity: taken = "not this operator".
+            if not probe.cond(f"lex.op.{op}", ch != op, work=3):
+                tokens.append(Token(op, op))
+                index += 1
+                matched = True
+                break
+        if probe.cond("lex.unknown", not matched, work=3):
+            index += 1  # skip unknown byte, like gcc's error recovery
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# AST and parser
+# ----------------------------------------------------------------------
+
+@dataclass
+class Node:
+    kind: str
+    value: object = None
+    children: List["Node"] = field(default_factory=list)
+
+
+class Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, probe: BranchProbe, tokens: Sequence[Token]) -> None:
+        self.probe = probe
+        self.tokens = tokens
+        self.position = 0
+
+    def peek_kind(self) -> str:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position].kind
+        return "<eof>"
+
+    def accept(self, site: str, kind: str) -> Optional[Token]:
+        matches = self.peek_kind() == kind
+        if self.probe.cond(f"parse.accept.{site}", matches, work=4):
+            token = self.tokens[self.position]
+            self.position += 1
+            return token
+        return None
+
+    def expect(self, site: str, kind: str) -> Token:
+        token = self.accept(site, kind)
+        if self.probe.cond(f"parse.missing.{site}", token is None, work=3):
+            # Error recovery: synthesise the token, as gcc presses on.
+            return Token(kind, kind)
+        return token
+
+    def parse_unit(self) -> List[Node]:
+        functions: List[Node] = []
+        while self.probe.while_("parse.unit_loop", self.position < len(self.tokens), work=5):
+            functions.append(self.parse_function())
+        return functions
+
+    def parse_function(self) -> Node:
+        self.probe.call("parse.function")
+        self.expect("fn.int", "int")
+        name = self.expect("fn.name", "ident")
+        self.expect("fn.lparen", "(")
+        params: List[str] = []
+        if self.probe.cond("parse.has_params", self.peek_kind() != ")", work=4):
+            while True:
+                self.expect("param.int", "int")
+                params.append(self.expect("param.name", "ident").text)
+                if not self.probe.cond("parse.more_params", self.accept("param.comma", ",") is not None, work=3):
+                    break
+        self.expect("fn.rparen", ")")
+        body = self.parse_block()
+        self.probe.ret("parse.function.ret")
+        return Node("function", value=(name.text, tuple(params)), children=[body])
+
+    def parse_block(self) -> Node:
+        self.expect("block.lbrace", "{")
+        statements: List[Node] = []
+        while self.probe.while_(
+            "parse.block_loop",
+            self.peek_kind() not in ("}", "<eof>"),
+            work=4,
+        ):
+            statements.append(self.parse_statement())
+        self.expect("block.rbrace", "}")
+        return Node("block", children=statements)
+
+    def parse_statement(self) -> Node:
+        kind = self.peek_kind()
+        if self.probe.cond("parse.stmt_if", kind == "if", work=4):
+            self.position += 1
+            self.expect("if.lparen", "(")
+            test = self.parse_expression()
+            self.expect("if.rparen", ")")
+            then = self.parse_block()
+            node = Node("if", children=[test, then])
+            if self.probe.cond("parse.stmt_else", self.accept("if.else", "else") is not None, work=3):
+                node.children.append(self.parse_block())
+            return node
+        if self.probe.cond("parse.stmt_while", kind == "while", work=4):
+            self.position += 1
+            self.expect("while.lparen", "(")
+            test = self.parse_expression()
+            self.expect("while.rparen", ")")
+            body = self.parse_block()
+            return Node("while", children=[test, body])
+        if self.probe.cond("parse.stmt_return", kind == "return", work=4):
+            self.position += 1
+            value = self.parse_expression()
+            self.expect("return.semi", ";")
+            return Node("return", children=[value])
+        if self.probe.cond("parse.stmt_var", kind == "var", work=4):
+            self.position += 1
+            name = self.expect("var.name", "ident")
+            self.expect("var.eq", "=")
+            value = self.parse_expression()
+            self.expect("var.semi", ";")
+            return Node("declare", value=name.text, children=[value])
+        # Assignment / expression statement.
+        name = self.expect("assign.name", "ident")
+        if self.probe.cond("parse.stmt_assign", self.accept("assign.eq", "=") is not None, work=4):
+            value = self.parse_expression()
+            self.expect("assign.semi", ";")
+            return Node("assign", value=name.text, children=[value])
+        self.expect("exprstmt.semi", ";")
+        return Node("expr-stmt", value=name.text)
+
+    # Precedence-climbing expression parser; one site family per level.
+    _LEVELS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+        ("or", ("|",)),
+        ("and", ("&",)),
+        ("cmp", ("<", ">", "==")),
+        ("add", ("+", "-")),
+        ("mul", ("*", "/")),
+    )
+
+    def parse_expression(self, level: int = 0) -> Node:
+        if level >= len(self._LEVELS):
+            return self.parse_primary()
+        name, operators = self._LEVELS[level]
+        node = self.parse_expression(level + 1)
+        while self.probe.while_(
+            f"parse.{name}_chain",
+            self.peek_kind() in operators,
+            work=4,
+        ):
+            op = self.tokens[self.position].kind
+            self.position += 1
+            right = self.parse_expression(level + 1)
+            node = Node("binop", value=op, children=[node, right])
+        return node
+
+    def parse_primary(self) -> Node:
+        kind = self.peek_kind()
+        if self.probe.cond("parse.prim_num", kind == "num", work=4):
+            token = self.tokens[self.position]
+            self.position += 1
+            return Node("const", value=int(token.text))
+        if self.probe.cond("parse.prim_paren", kind == "(", work=4):
+            self.position += 1
+            node = self.parse_expression()
+            self.expect("paren.close", ")")
+            return node
+        token = self.expect("prim.ident", "ident")
+        if self.probe.cond("parse.prim_call", self.peek_kind() == "(", work=4):
+            self.position += 1
+            args: List[Node] = []
+            if self.probe.cond("parse.call_has_args", self.peek_kind() != ")", work=3):
+                while True:
+                    args.append(self.parse_expression())
+                    if not self.probe.cond(
+                        "parse.call_more_args",
+                        self.accept("call.comma", ",") is not None,
+                        work=3,
+                    ):
+                        break
+            self.expect("call.rparen", ")")
+            return Node("call", value=token.text, children=args)
+        return Node("name", value=token.text)
+
+
+# ----------------------------------------------------------------------
+# Semantic analysis: per-intrinsic type checking
+# ----------------------------------------------------------------------
+
+def make_intrinsic_table(rng: random.Random) -> Dict[str, Tuple[int, bool]]:
+    """name -> (arity, folds_constants). Deterministic for a seed."""
+    table: Dict[str, Tuple[int, bool]] = {}
+    for index in range(_NUM_INTRINSICS):
+        arity = _INTRINSIC_ARITY[index % len(_INTRINSIC_ARITY)]
+        table[f"__b{index}"] = (arity, rng.random() < 0.5)
+    return table
+
+
+def check_calls(probe: BranchProbe, node: Node, intrinsics: Dict[str, Tuple[int, bool]]) -> None:
+    """Recursive checker; each intrinsic owns its branch sites, like
+    gcc's per-builtin expanders."""
+    if node.kind == "call":
+        name = str(node.value)
+        known = name in intrinsics
+        if probe.cond("check.known_intrinsic", known, work=4):
+            arity, foldable = intrinsics[name]
+            if probe.cond(f"check.{name}.arity", len(node.children) != arity, work=3):
+                node.children = node.children[:arity] + [
+                    Node("const", value=0) for _ in range(arity - len(node.children))
+                ]
+            if probe.cond(f"check.{name}.impure", not foldable, work=3):
+                pass  # side-effecting builtin: pin its evaluation order
+            if probe.cond(
+                f"check.{name}.const_args",
+                foldable and all(c.kind == "const" for c in node.children),
+                work=4,
+            ):
+                node.kind = "const"
+                node.value = sum(
+                    int(c.value) for c in node.children
+                ) % 257
+                node.children = []
+                return
+    for child in node.children:
+        check_calls(probe, child, intrinsics)
+
+
+# ----------------------------------------------------------------------
+# Constant folding
+# ----------------------------------------------------------------------
+
+_FOLD_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a // b if b else 0,
+    "<": lambda a, b: int(a < b),
+    ">": lambda a, b: int(a > b),
+    "==": lambda a, b: int(a == b),
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+}
+
+
+def fold(probe: BranchProbe, node: Node) -> Node:
+    """Bottom-up constant folding with per-operator rule sites."""
+    node.children = [fold(probe, child) for child in node.children]
+    if probe.cond("fold.is_binop", node.kind == "binop", work=4):
+        left, right = node.children
+        both_const = left.kind == "const" and right.kind == "const"
+        op = str(node.value)
+        if probe.cond(f"fold.{op}.const", both_const, work=4):
+            return Node("const", value=_FOLD_OPS[op](int(left.value), int(right.value)))
+        # Algebraic identities: x+0, x*1, x*0 — each its own rule.
+        if probe.cond(f"fold.{op}.rzero", right.kind == "const" and right.value == 0, work=3):
+            if op in ("+", "-", "|"):
+                return left
+            if op == "*":
+                return Node("const", value=0)
+        if probe.cond(f"fold.{op}.rone", right.kind == "const" and right.value == 1, work=3):
+            if op in ("*", "/"):
+                return left
+    return node
+
+
+# ----------------------------------------------------------------------
+# Code generation + peephole
+# ----------------------------------------------------------------------
+
+class CodeGenerator:
+    """Stack-machine emission with a register-pressure spill model."""
+
+    def __init__(self, probe: BranchProbe) -> None:
+        self.probe = probe
+        self.code: List[Tuple[str, object]] = []
+        self.stack_depth = 0
+        self.max_registers = 8
+
+    def emit(self, opcode: str, operand: object = None) -> None:
+        probe = self.probe
+        # Per-opcode emission guard: models gcc's per-pattern emit code.
+        if probe.cond(f"emit.{opcode}.spill", self.stack_depth >= self.max_registers, work=4):
+            self.code.append(("spill", self.stack_depth))
+        self.code.append((opcode, operand))
+        probe.work(5)
+
+    def gen_function(self, function: Node) -> None:
+        self.probe.call("gen.function")
+        self.stack_depth = 0
+        self.gen_node(function.children[0])
+        self.emit("ret")
+        self.probe.ret("gen.function.ret")
+
+    def gen_node(self, node: Node) -> None:
+        probe = self.probe
+        kind = node.kind
+        if probe.cond("gen.is_block", kind == "block", work=3):
+            for child in node.children:
+                self.gen_node(child)
+            return
+        if probe.cond("gen.is_const", kind == "const", work=3):
+            self.emit("push", node.value)
+            self.stack_depth += 1
+            return
+        if probe.cond("gen.is_name", kind == "name", work=3):
+            self.emit("load", node.value)
+            self.stack_depth += 1
+            return
+        if probe.cond("gen.is_binop", kind == "binop", work=3):
+            self.gen_node(node.children[0])
+            self.gen_node(node.children[1])
+            self.emit(f"op{node.value}")
+            self.stack_depth -= 1
+            return
+        if probe.cond("gen.is_call", kind == "call", work=3):
+            for child in node.children:
+                self.gen_node(child)
+            self.emit("call", node.value)
+            self.stack_depth -= max(len(node.children) - 1, 0)
+            return
+        if probe.cond("gen.is_if", kind == "if", work=3):
+            self.gen_node(node.children[0])
+            self.emit("jz")
+            self.stack_depth -= 1
+            self.gen_node(node.children[1])
+            if probe.cond("gen.if_has_else", len(node.children) > 2, work=3):
+                self.emit("jmp")
+                self.gen_node(node.children[2])
+            return
+        if probe.cond("gen.is_while", kind == "while", work=3):
+            self.emit("label")
+            self.gen_node(node.children[0])
+            self.emit("jz")
+            self.stack_depth -= 1
+            self.gen_node(node.children[1])
+            self.emit("jmp")
+            return
+        if probe.cond("gen.is_return", kind == "return", work=3):
+            self.gen_node(node.children[0])
+            self.emit("ret")
+            self.stack_depth -= 1
+            return
+        if probe.cond("gen.is_assign", kind in ("assign", "declare"), work=3):
+            self.gen_node(node.children[0])
+            self.emit("store", node.value)
+            self.stack_depth -= 1
+            return
+        self.emit("nop")
+
+    def peephole(self) -> int:
+        """Adjacent-pair rewriting; one site per inspected pattern."""
+        probe = self.probe
+        removed = 0
+        index = 0
+        while probe.while_("peep.scan", index + 1 < len(self.code), work=4):
+            first, second = self.code[index][0], self.code[index + 1][0]
+            if probe.cond("peep.push_pop", first == "push" and second == "pop", work=3):
+                del self.code[index : index + 2]
+                removed += 2
+                continue
+            if probe.cond("peep.jmp_label", first == "jmp" and second == "label", work=3):
+                del self.code[index]
+                removed += 1
+                continue
+            if probe.cond("peep.store_load", first == "store" and second == "load"
+                          and self.code[index][1] == self.code[index + 1][1], work=3):
+                self.code[index + 1] = ("dup", None)
+                index += 1
+                continue
+            if probe.cond("peep.double_nop", first == "nop" and second == "nop", work=3):
+                del self.code[index]
+                removed += 1
+                continue
+            index += 1
+        return removed
+
+
+class GccWorkload(Workload):
+    """Compile a stream of generated translation units."""
+
+    name = "gcc"
+    category = "int"
+    training_dataset = DatasetSpec("cexp.i", seed=1201, size=26)
+    testing_dataset = DatasetSpec("dbxout.i", seed=77, size=32)
+    alternate_datasets = (DatasetSpec("insn-emit.i", seed=55, size=18),)
+
+    def run(self, probe: BranchProbe, rng: random.Random, dataset: DatasetSpec, scale: int) -> None:
+        units = dataset.size * scale
+        intrinsics = make_intrinsic_table(random.Random(4097))
+        for unit in probe.loop("driver.units", units, work=30):
+            probe.trap()  # open + read the source file
+            source = generate_source(
+                rng, functions=3 + unit % 3, statements=7 + unit % 4
+            )
+            tokens = lex(probe, source)
+            parser = Parser(probe, tokens)
+            functions = parser.parse_unit()
+            generator = CodeGenerator(probe)
+            for function in functions:
+                check_calls(probe, function, intrinsics)
+                folded = Node("function", value=function.value,
+                              children=[fold(probe, function.children[0])])
+                generator.gen_function(folded)
+            generator.peephole()
+            if probe.cond("driver.had_errors", rng.random() < 0.1, work=4):
+                probe.trap()  # diagnostic write
+            probe.trap()  # write the object file

@@ -1,0 +1,494 @@
+"""li analog — a Lisp interpreter (SPEC89 li / xlisp).
+
+SPEC's li is the xlisp interpreter; its branch behaviour comes from the
+evaluator's type dispatch, special-form dispatch, association-list
+environment scans, and the branching of the interpreted program itself.
+Table 2: train on *towers of hanoi*, test on *eight queens* — we run
+exactly those two programs, written in the analog's Lisp dialect and
+solved by genuine backtracking / recursion.
+
+The interpreter is a real (small) Lisp: s-expression reader, lexical
+environments as assoc-style frame chains, special forms (quote, if,
+cond, define, lambda, let, and, or, begin, set!), closures, and numeric
+and list builtins. Every dispatch decision and environment-scan step is
+instrumented.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from .base import BranchProbe, DatasetSpec, Workload
+
+
+class LispError(RuntimeError):
+    """Raised for malformed programs or run-time type errors."""
+
+
+@dataclass
+class Pair:
+    """A cons cell."""
+
+    car: "Value"
+    cdr: "Value"
+
+
+@dataclass
+class Closure:
+    """A user-defined procedure with lexical environment."""
+
+    params: List[str]
+    body: List["Value"]
+    env: "Environment"
+
+
+Builtin = Callable[[List["Value"]], "Value"]
+Value = Union[int, float, bool, str, None, Pair, Closure, Builtin]
+
+
+# ----------------------------------------------------------------------
+# Reader
+# ----------------------------------------------------------------------
+
+def tokenize(text: str) -> List[str]:
+    """Split s-expression source into tokens."""
+    return text.replace("(", " ( ").replace(")", " ) ").replace("'", " ' ").split()
+
+
+def parse_all(text: str) -> List[Value]:
+    """Parse every top-level form of a program."""
+    tokens = tokenize(text)
+    forms: List[Value] = []
+    position = 0
+    while position < len(tokens):
+        form, position = _parse(tokens, position)
+        forms.append(form)
+    return forms
+
+
+def _parse(tokens: List[str], position: int) -> Tuple[Value, int]:
+    if position >= len(tokens):
+        raise LispError("unexpected end of input")
+    token = tokens[position]
+    if token == "(":
+        items: List[Value] = []
+        position += 1
+        while position < len(tokens) and tokens[position] != ")":
+            item, position = _parse(tokens, position)
+            items.append(item)
+        if position >= len(tokens):
+            raise LispError("missing )")
+        return _to_list(items), position + 1
+    if token == ")":
+        raise LispError("unexpected )")
+    if token == "'":
+        quoted, position = _parse(tokens, position + 1)
+        return _to_list(["quote", quoted]), position
+    return _atom(token), position + 1
+
+
+def _atom(token: str) -> Value:
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    if token == "#t":
+        return True
+    if token == "#f":
+        return False
+    return token  # symbol
+
+
+def _to_list(items: List[Value]) -> Value:
+    result: Value = None
+    for item in reversed(items):
+        result = Pair(item, result)
+    return result
+
+
+def list_to_python(value: Value) -> List[Value]:
+    items: List[Value] = []
+    while isinstance(value, Pair):
+        items.append(value.car)
+        value = value.cdr
+    return items
+
+
+# ----------------------------------------------------------------------
+# Environments
+# ----------------------------------------------------------------------
+
+class Environment:
+    """A frame of bindings chained to its lexical parent.
+
+    Stored as a parallel name/value list scanned linearly — xlisp's
+    assoc-list flavour, which is what makes lookup branch-rich.
+    """
+
+    __slots__ = ("names", "values", "parent")
+
+    def __init__(self, parent: Optional["Environment"] = None) -> None:
+        self.names: List[str] = []
+        self.values: List[Value] = []
+        self.parent = parent
+
+    def define(self, name: str, value: Value) -> None:
+        self.names.append(name)
+        self.values.append(value)
+
+    def frame_index(self, name: str) -> int:
+        """Linear scan of this frame only; -1 when absent."""
+        for index in range(len(self.names) - 1, -1, -1):
+            if self.names[index] == name:
+                return index
+        return -1
+
+
+class Interpreter:
+    """The instrumented evaluator."""
+
+    def __init__(self, probe: BranchProbe) -> None:
+        self.probe = probe
+        self.globals = Environment()
+        self.cons_count = 0
+        self._install_builtins()
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def eval(self, expr: Value, env: Environment) -> Value:
+        probe = self.probe
+        while True:
+            if probe.cond("eval.self_eval", not isinstance(expr, (str, Pair)), work=3):
+                return expr
+            if probe.cond("eval.symbol", isinstance(expr, str), work=3):
+                return self._lookup(expr, env)
+            head = expr.car
+            if probe.cond("eval.special", isinstance(head, str) and head in _SPECIAL_FORMS, work=4):
+                handler = _SPECIAL_FORMS[head]
+                result, tail = handler(self, expr, env)
+                if probe.cond("eval.tail_call", tail is not None, work=2):
+                    expr, env = tail  # trampoline for tail position
+                    continue
+                return result
+            # Application.
+            procedure = self.eval(head, env)
+            arguments: List[Value] = []
+            rest = expr.cdr
+            while probe.while_("apply.argloop", isinstance(rest, Pair), work=4):
+                arguments.append(self.eval(rest.car, env))
+                rest = rest.cdr
+            if probe.cond("apply.closure", isinstance(procedure, Closure), work=4):
+                probe.call("apply.enter")
+                frame = Environment(procedure.env)
+                if probe.cond("apply.arity_bad", len(arguments) != len(procedure.params), work=3):
+                    raise LispError(f"arity mismatch calling {head}")
+                for index in range(len(arguments)):
+                    frame.define(procedure.params[index], arguments[index])
+                    probe.work(3)
+                for body_index in probe.loop("apply.bodyloop", len(procedure.body) - 1, work=3):
+                    self.eval(procedure.body[body_index], frame)
+                probe.ret("apply.leave")
+                expr, env = procedure.body[-1], frame
+                continue
+            if probe.cond("apply.builtin", callable(procedure), work=3):
+                return procedure(arguments)
+            raise LispError(f"not a procedure: {procedure!r}")
+
+    def _lookup(self, name: str, env: Environment) -> Value:
+        probe = self.probe
+        frame: Optional[Environment] = env
+        while probe.while_("env.framescan", frame is not None, work=3):
+            index = frame.frame_index(name)
+            probe.work(2 * len(frame.names) + 1)
+            if probe.cond("env.hit", index >= 0, work=3):
+                return frame.values[index]
+            frame = frame.parent
+        raise LispError(f"unbound symbol {name}")
+
+    def _set(self, name: str, value: Value, env: Environment) -> None:
+        probe = self.probe
+        frame: Optional[Environment] = env
+        while probe.while_("env.setscan", frame is not None, work=3):
+            index = frame.frame_index(name)
+            if probe.cond("env.set_hit", index >= 0, work=3):
+                frame.values[index] = value
+                return
+            frame = frame.parent
+        raise LispError(f"set! of unbound symbol {name}")
+
+    def _truthy(self, value: Value) -> bool:
+        return not (value is False or value is None)
+
+    # ------------------------------------------------------------------
+    # Builtins
+    # ------------------------------------------------------------------
+    def _install_builtins(self) -> None:
+        probe = self.probe
+
+        def numeric(label: str, fn: Callable[[List[Value]], Value]) -> Builtin:
+            def wrapped(args: List[Value]) -> Value:
+                probe.work(4)
+                return fn(args)
+
+            return wrapped
+
+        def fold(fn: Callable[[Value, Value], Value], unit: Value) -> Callable[[List[Value]], Value]:
+            def folded(args: List[Value]) -> Value:
+                if not args:
+                    return unit
+                acc = args[0]
+                for arg in args[1:]:
+                    acc = fn(acc, arg)
+                return acc
+
+            return folded
+
+        def make_cons(args: List[Value]) -> Value:
+            self.cons_count += 1
+            # Allocation pressure: every 512 conses a mark-sweep-ish
+            # pause scans a fraction of the heap (a bursty branch).
+            if probe.cond("gc.trigger", self.cons_count % 512 == 0, work=4):
+                for _ in probe.loop("gc.sweep", 24, work=6):
+                    pass
+            probe.work(3)
+            return Pair(args[0], args[1])
+
+        table: Dict[str, Builtin] = {
+            "+": numeric("add", fold(lambda a, b: a + b, 0)),
+            "-": numeric("sub", lambda a: -a[0] if len(a) == 1 else a[0] - sum(a[1:])),
+            "*": numeric("mul", fold(lambda a, b: a * b, 1)),
+            "quotient": numeric("div", lambda a: a[0] // a[1]),
+            "remainder": numeric("mod", lambda a: a[0] % a[1]),
+            "<": numeric("lt", lambda a: a[0] < a[1]),
+            ">": numeric("gt", lambda a: a[0] > a[1]),
+            "=": numeric("eq", lambda a: a[0] == a[1]),
+            "abs": numeric("abs", lambda a: abs(a[0])),
+            "cons": make_cons,
+            "car": lambda a: self._car(a[0]),
+            "cdr": lambda a: self._cdr(a[0]),
+            "null?": lambda a: a[0] is None,
+            "pair?": lambda a: isinstance(a[0], Pair),
+            "not": lambda a: a[0] is False or a[0] is None,
+            "list": lambda a: _to_list(a),
+            "length": lambda a: len(list_to_python(a[0])),
+            "display": lambda a: self._display(a[0]),
+        }
+        for name, fn in table.items():
+            self.globals.define(name, fn)
+
+    def _car(self, value: Value) -> Value:
+        if self.probe.cond("builtin.car_nonpair", not isinstance(value, Pair), work=3):
+            raise LispError("car of non-pair")
+        return value.car
+
+    def _cdr(self, value: Value) -> Value:
+        if self.probe.cond("builtin.cdr_nonpair", not isinstance(value, Pair), work=3):
+            raise LispError("cdr of non-pair")
+        return value.cdr
+
+    def _display(self, value: Value) -> Value:
+        self.probe.trap()  # a write syscall
+        return value
+
+    def run_program(self, source: str) -> Value:
+        result: Value = None
+        for form in parse_all(source):
+            result = self.eval(form, self.globals)
+        return result
+
+
+# ----------------------------------------------------------------------
+# Special forms. Each handler returns (result, tail) where tail, when
+# not None, is an (expr, env) pair evaluated by the trampoline so Lisp
+# tail calls do not consume Python stack.
+# ----------------------------------------------------------------------
+
+def _sf_quote(interp: Interpreter, expr: Pair, env: Environment):
+    return expr.cdr.car, None
+
+
+def _sf_if(interp: Interpreter, expr: Pair, env: Environment):
+    parts = list_to_python(expr.cdr)
+    test = interp.eval(parts[0], env)
+    if interp.probe.cond("sf.if_taken", interp._truthy(test), work=3):
+        return None, (parts[1], env)
+    if interp.probe.cond("sf.if_has_else", len(parts) > 2, work=2):
+        return None, (parts[2], env)
+    return None, None
+
+
+def _sf_cond(interp: Interpreter, expr: Pair, env: Environment):
+    clause = expr.cdr
+    while interp.probe.while_("sf.cond_scan", isinstance(clause, Pair), work=4):
+        test, body = clause.car.car, clause.car.cdr
+        is_else = test == "else"
+        if interp.probe.cond(
+            "sf.cond_match",
+            is_else or interp._truthy(interp.eval(test, env)),
+            work=3,
+        ):
+            return None, (body.car, env)
+        clause = clause.cdr
+    return None, None
+
+
+def _sf_define(interp: Interpreter, expr: Pair, env: Environment):
+    target = expr.cdr.car
+    if interp.probe.cond("sf.define_fn", isinstance(target, Pair), work=3):
+        name = target.car
+        params = [p for p in list_to_python(target.cdr)]
+        body = list_to_python(expr.cdr.cdr)
+        env.define(name, Closure(params, body, env))
+    else:
+        env.define(target, interp.eval(expr.cdr.cdr.car, env))
+    return target, None
+
+
+def _sf_lambda(interp: Interpreter, expr: Pair, env: Environment):
+    params = [p for p in list_to_python(expr.cdr.car)]
+    body = list_to_python(expr.cdr.cdr)
+    return Closure(params, body, env), None
+
+
+def _sf_let(interp: Interpreter, expr: Pair, env: Environment):
+    frame = Environment(env)
+    binding = expr.cdr.car
+    while interp.probe.while_("sf.let_bindings", isinstance(binding, Pair), work=4):
+        pair = binding.car
+        frame.define(pair.car, interp.eval(pair.cdr.car, env))
+        binding = binding.cdr
+    body = list_to_python(expr.cdr.cdr)
+    for index in range(len(body) - 1):
+        interp.eval(body[index], frame)
+    return None, (body[-1], frame)
+
+
+def _sf_and(interp: Interpreter, expr: Pair, env: Environment):
+    clause = expr.cdr
+    value: Value = True
+    while interp.probe.while_("sf.and_scan", isinstance(clause, Pair), work=3):
+        value = interp.eval(clause.car, env)
+        if interp.probe.cond("sf.and_false", not interp._truthy(value), work=3):
+            return value, None
+        clause = clause.cdr
+    return value, None
+
+
+def _sf_or(interp: Interpreter, expr: Pair, env: Environment):
+    clause = expr.cdr
+    value: Value = False
+    while interp.probe.while_("sf.or_scan", isinstance(clause, Pair), work=3):
+        value = interp.eval(clause.car, env)
+        if interp.probe.cond("sf.or_true", interp._truthy(value), work=3):
+            return value, None
+        clause = clause.cdr
+    return value, None
+
+
+def _sf_begin(interp: Interpreter, expr: Pair, env: Environment):
+    body = list_to_python(expr.cdr)
+    for index in range(len(body) - 1):
+        interp.eval(body[index], env)
+    return None, (body[-1], env)
+
+
+def _sf_set(interp: Interpreter, expr: Pair, env: Environment):
+    value = interp.eval(expr.cdr.cdr.car, env)
+    interp._set(expr.cdr.car, value, env)
+    return value, None
+
+
+_SPECIAL_FORMS = {
+    "quote": _sf_quote,
+    "if": _sf_if,
+    "cond": _sf_cond,
+    "define": _sf_define,
+    "lambda": _sf_lambda,
+    "let": _sf_let,
+    "and": _sf_and,
+    "or": _sf_or,
+    "begin": _sf_begin,
+    "set!": _sf_set,
+}
+
+
+# ----------------------------------------------------------------------
+# The Table 2 programs
+# ----------------------------------------------------------------------
+
+PRELUDE_PROGRAM = """
+(define (range n) (if (= n 0) '() (cons n (range (- n 1)))))
+(define (sum lst) (if (null? lst) 0 (+ (car lst) (sum (cdr lst)))))
+(define (rev lst acc) (if (null? lst) acc (rev (cdr lst) (cons (car lst) acc))))
+(define (maxi lst best)
+  (cond ((null? lst) best)
+        ((> (car lst) best) (maxi (cdr lst) (car lst)))
+        (else (maxi (cdr lst) best))))
+(sum (range 60))
+(length (rev (range 50) '()))
+(maxi (range 40) 0)
+"""
+
+QUEENS_PROGRAM = """
+(define (conflict? row placed dist)
+  (cond ((null? placed) #f)
+        ((= (car placed) row) #t)
+        ((= (abs (- (car placed) row)) dist) #t)
+        (else (conflict? row (cdr placed) (+ dist 1)))))
+
+(define (place col n placed count)
+  (if (= col n)
+      (+ count 1)
+      (try-rows 0 col n placed count)))
+
+(define (try-rows row col n placed count)
+  (if (= row n)
+      count
+      (try-rows (+ row 1) col n placed
+                (if (conflict? row placed 1)
+                    count
+                    (place (+ col 1) n (cons row placed) count)))))
+
+(define (queens n) (place 0 n '() 0))
+(display (queens BOARD))
+"""
+
+HANOI_PROGRAM = """
+(define (hanoi n from to via moves)
+  (if (= n 0)
+      moves
+      (hanoi (- n 1) via to from
+             (+ 1 (hanoi (- n 1) from via to moves)))))
+(display (hanoi DISKS 0 2 1 0))
+"""
+
+
+class LiWorkload(Workload):
+    """The Lisp interpreter on eight queens (test) / hanoi (train)."""
+
+    name = "li"
+    category = "int"
+    training_dataset = DatasetSpec("tower of hanoi", seed=3, size=8)
+    testing_dataset = DatasetSpec("eight queens", seed=8, size=6)
+    alternate_datasets = (DatasetSpec("four queens", seed=4, size=4),)
+
+    def run(self, probe: BranchProbe, rng: random.Random, dataset: DatasetSpec, scale: int) -> None:
+        interp = Interpreter(probe)
+        repeats = scale
+        if dataset.name == "tower of hanoi":
+            program = HANOI_PROGRAM.replace("DISKS", str(dataset.size))
+        else:
+            program = QUEENS_PROGRAM.replace("BOARD", str(dataset.size))
+        for _run in probe.loop("main.repl", repeats, work=25):
+            # The standard-library prelude runs before the user program
+            # in every session — shared interpreter behaviour that makes
+            # hanoi a meaningful training proxy for queens.
+            interp.run_program(PRELUDE_PROGRAM)
+            interp.run_program(program)

@@ -1,0 +1,94 @@
+"""matrix300 analog — dense matrix multiply (SPEC89 matrix300).
+
+The original benchmark multiplies 300x300 matrices with various
+transpose combinations through a SAXPY kernel. Branch behaviour is
+dominated by deeply-nested counted loops: almost every branch is a loop
+back-edge taken many times then not-taken once, so any predictor with a
+little history does extremely well — the paper uses it as one of the
+"easy" floating-point benchmarks. Table 2 lists its input as built-in
+(no training set).
+
+The analog multiplies NxN matrices (N scales with the dataset) in the
+same four transpose variants, through an instrumented SAXPY inner loop
+plus initialisation and checksum passes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .base import BranchProbe, DatasetSpec, Workload
+
+
+def _saxpy(probe: BranchProbe, variant: int, a: float, x: List[float], y: List[float]) -> None:
+    """y += a * x, the instrumented inner kernel (one loop site per variant)."""
+    probe.call(f"saxpy.{variant}.enter")
+    for i in probe.loop(f"saxpy.{variant}.inner", len(x), work=34):
+        y[i] += a * x[i]
+    probe.ret(f"saxpy.{variant}.leave")
+
+
+def _matmul(
+    probe: BranchProbe,
+    variant: int,
+    a: List[List[float]],
+    b: List[List[float]],
+    c: List[List[float]],
+) -> None:
+    """C = A x B via column SAXPY, as matrix300 does.
+
+    ``variant`` selects which transpose combination this models; each
+    variant is a distinct static loop nest in the original program, so
+    each gets its own branch sites.
+    """
+    n = len(a)
+    for j in probe.loop(f"matmul.{variant}.cols", n, work=4):
+        for k in probe.loop(f"matmul.{variant}.terms", n, work=5):
+            scale = b[k][j]
+            # Skip multiplies by exact zero — the only data-dependent
+            # branch in the kernel, and b is dense so it is almost
+            # never taken.
+            if probe.cond(f"matmul.{variant}.skipzero", scale == 0.0, work=2):
+                continue
+            _saxpy(probe, variant, scale, a[k], c[j])
+
+
+class Matrix300Workload(Workload):
+    """Dense matmul in four transpose variants with checksum validation."""
+
+    name = "matrix300"
+    category = "fp"
+    training_dataset = None  # Table 2: NA (built-in input)
+    testing_dataset = DatasetSpec("built-in", seed=300, size=44)
+
+    def run(self, probe: BranchProbe, rng: random.Random, dataset: DatasetSpec, scale: int) -> None:
+        n = dataset.size
+        variants = 2 * scale
+        for variant in range(variants):
+            a = self._fill(probe, rng, n, f"fill.a.{variant % 4}")
+            b = self._fill(probe, rng, n, f"fill.b.{variant % 4}")
+            c = [[0.0] * n for _ in range(n)]
+            _matmul(probe, variant % 4, a, b, c)
+            self._checksum(probe, c, variant % 4)
+
+    def _fill(
+        self, probe: BranchProbe, rng: random.Random, n: int, label: str
+    ) -> List[List[float]]:
+        matrix: List[List[float]] = []
+        for _row in probe.loop(f"{label}.rows", n, work=3):
+            row = [rng.uniform(-1.0, 1.0) for _ in range(n)]
+            probe.work(4 * n)  # vectorised fill, no per-element branch
+            matrix.append(row)
+        return matrix
+
+    def _checksum(self, probe: BranchProbe, c: List[List[float]], variant: int) -> float:
+        total = 0.0
+        for i in probe.loop(f"checksum.{variant}.rows", len(c), work=3):
+            for j in probe.loop(f"checksum.{variant}.cols", len(c[i]), work=22):
+                value = c[i][j]
+                # Overflow guard: never triggers with unit inputs.
+                if probe.cond(f"checksum.{variant}.overflow", abs(value) > 1e12, work=2):
+                    value = 0.0
+                total += value
+        return total

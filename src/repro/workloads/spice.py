@@ -1,0 +1,174 @@
+"""spice2g6 analog — circuit simulation (SPEC89 spice2g6).
+
+Spice's branch behaviour mixes regular sparse-matrix loops with
+data-dependent control: Newton-Raphson convergence tests per node,
+nonlinear device limiting, and pivot checks during LU factorisation.
+The paper groups it with doduc and the integer codes as a hard
+benchmark. Table 2: train on ``short greycode.in``, test on
+``greycode.in``.
+
+The analog builds a random nonlinear resistive network (conductances +
+diodes) on ``size`` nodes, then runs a transient loop: device stamping,
+sparse LU with partial-pivot checks, forward/back substitution, diode
+linearisation with junction-voltage limiting, and per-node convergence
+tests — the same loop skeleton as spice's core.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Tuple
+
+from .base import BranchProbe, DatasetSpec, Workload
+
+Matrix = List[Dict[int, float]]
+
+
+class SpiceWorkload(Workload):
+    """Transient analysis of a random diode/resistor network."""
+
+    name = "spice2g6"
+    category = "fp"
+    training_dataset = DatasetSpec("short greycode.in", seed=21, size=22)
+    testing_dataset = DatasetSpec("greycode.in", seed=93, size=30)
+
+    def run(self, probe: BranchProbe, rng: random.Random, dataset: DatasetSpec, scale: int) -> None:
+        nodes = dataset.size
+        timesteps = 14 * scale
+        resistors = self._random_resistors(rng, nodes)
+        diodes = self._random_diodes(rng, nodes)
+        voltages = [0.0] * nodes
+        source = 1.0
+        for step in probe.loop("tran.steps", timesteps, work=20):
+            source = 1.0 + 0.5 * math.sin(0.3 * step)
+            converged = False
+            iteration = 0
+            while probe.while_("tran.newton", not converged and iteration < 12, work=8):
+                matrix, rhs = self._stamp(probe, nodes, resistors, diodes, voltages, source)
+                solution = self._sparse_solve(probe, matrix, rhs)
+                converged = self._check_convergence(probe, voltages, solution)
+                voltages = solution
+                iteration += 1
+            if probe.cond("tran.nonconverged", iteration >= 12, work=4):
+                probe.trap()  # timestep rejected, simulator logs a warning
+        probe.trap()  # write output waveforms
+
+    # ------------------------------------------------------------------
+    # Netlist construction (not instrumented: happens before the sim)
+    # ------------------------------------------------------------------
+    def _random_resistors(
+        self, rng: random.Random, nodes: int
+    ) -> List[Tuple[int, int, float]]:
+        """A ladder network: banded structure, like a discretised line.
+
+        The fixed sparsity pattern means the LU loops see the *same*
+        branch sequence every Newton iteration — long deterministic
+        patterns, which two-level predictors learn and counters track
+        by bias, matching spice's mostly-regular matrix code.
+        """
+        elements = [(i, i + 1, rng.uniform(0.5, 2.0)) for i in range(nodes - 1)]
+        elements += [(i, i + 2, rng.uniform(0.2, 1.0)) for i in range(nodes - 2)]
+        return elements
+
+    def _random_diodes(self, rng: random.Random, nodes: int) -> List[Tuple[int, int]]:
+        """Diodes bridge every fourth ladder rung."""
+        return [(i, i + 1) for i in range(1, nodes - 1, 4)]
+
+    # ------------------------------------------------------------------
+    # Simulator core (instrumented)
+    # ------------------------------------------------------------------
+    def _stamp(
+        self,
+        probe: BranchProbe,
+        nodes: int,
+        resistors: List[Tuple[int, int, float]],
+        diodes: List[Tuple[int, int]],
+        voltages: List[float],
+        source: float,
+    ) -> Tuple[Matrix, List[float]]:
+        matrix: Matrix = [dict() for _ in range(nodes)]
+        rhs = [0.0] * nodes
+        for index in probe.loop("stamp.resistors", len(resistors), work=26):
+            a, b, conductance = resistors[index]
+            matrix[a][a] = matrix[a].get(a, 0.0) + conductance
+            matrix[b][b] = matrix[b].get(b, 0.0) + conductance
+            matrix[a][b] = matrix[a].get(b, 0.0) - conductance
+            matrix[b][a] = matrix[b].get(a, 0.0) - conductance
+        for index in probe.loop("stamp.diodes", len(diodes), work=34):
+            a, b = diodes[index]
+            if probe.cond("stamp.self_loop", a == b, work=2):
+                continue
+            v = voltages[a] - voltages[b]
+            # Junction-voltage limiting: active early in the Newton
+            # loop, quiescent near convergence — a phase-patterned branch.
+            if probe.cond("stamp.limited", v > 0.8, work=4):
+                v = 0.8
+            expv = math.exp(min(v / 0.05, 40.0))
+            geq = expv / 0.05 * 1e-3
+            ieq = 1e-3 * (expv - 1.0) - geq * v
+            matrix[a][a] = matrix[a].get(a, 0.0) + geq
+            matrix[b][b] = matrix[b].get(b, 0.0) + geq
+            matrix[a][b] = matrix[a].get(b, 0.0) - geq
+            matrix[b][a] = matrix[b].get(a, 0.0) - geq
+            rhs[a] -= ieq
+            rhs[b] += ieq
+        # Ground node 0 and drive node 1 with the source.
+        matrix[0] = {0: 1.0}
+        rhs[0] = 0.0
+        matrix[1][1] = matrix[1].get(1, 0.0) + 10.0
+        rhs[1] += 10.0 * source
+        return matrix, rhs
+
+    def _sparse_solve(self, probe: BranchProbe, matrix: Matrix, rhs: List[float]) -> List[float]:
+        """In-place sparse Gaussian elimination with pivot checks."""
+        probe.call("lu.enter")
+        n = len(matrix)
+        b = list(rhs)
+        for k in probe.loop("lu.pivots", n, work=8):
+            pivot = matrix[k].get(k, 0.0)
+            # Pivot guard: essentially never taken for this diagonally-
+            # dominant class of circuits — spice's zero-pivot branch.
+            if probe.cond("lu.zero_pivot", abs(pivot) < 1e-12, work=4):
+                matrix[k][k] = pivot = 1e-12
+            for i in probe.loop(f"lu.rows.{k % 4}", n - k - 1, work=5):
+                row = k + 1 + i
+                coeff = matrix[row].get(k)
+                # Sparsity skip: the dominant data-dependent branch of
+                # the factorisation.
+                if probe.cond("lu.row_sparse", coeff is None or coeff == 0.0, work=9):
+                    continue
+                factor = coeff / pivot
+                for col, value in list(matrix[k].items()):
+                    if probe.cond("lu.col_behind", col <= k, work=8):
+                        continue
+                    matrix[row][col] = matrix[row].get(col, 0.0) - factor * value
+                b[row] -= factor * b[k]
+                probe.work(6)
+        solution = [0.0] * n
+        for i in probe.loop("solve.back", n, work=7):
+            row = n - 1 - i
+            acc = b[row]
+            for col, value in matrix[row].items():
+                if probe.cond("solve.upper", col > row, work=8):
+                    acc -= value * solution[col]
+            diag = matrix[row].get(row, 1e-12)
+            solution[row] = acc / diag
+        probe.ret("lu.leave")
+        return solution
+
+    def _check_convergence(
+        self, probe: BranchProbe, old: List[float], new: List[float]
+    ) -> bool:
+        """Per-node |dV| test with early exit, like spice's CONCHK."""
+        worst = 0.0
+        index = 0
+        converged = True
+        while probe.while_("conv.nodes", index < len(new), work=14):
+            delta = abs(new[index] - old[index])
+            if probe.cond("conv.node_moved", delta > 1e-4, work=3):
+                converged = False
+            if probe.cond("conv.newworst", delta > worst, work=2):
+                worst = delta
+            index += 1
+        return converged

@@ -1,0 +1,187 @@
+"""The nine-benchmark SPEC-analog suite (paper §4.1, Tables 1 and 2).
+
+The suite exposes the benchmarks in the paper's order, their integer /
+floating-point split, their Table 2 training/testing datasets, and
+builders for the :class:`~repro.sim.runner.BenchmarkCase` objects the
+experiment drivers consume. Trace generation is memoized through
+:mod:`repro.trace.cache` because every figure replays the same traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.runner import BenchmarkCase
+from ..trace.cache import TraceCache, default_cache
+from ..trace.events import Trace
+from .base import Workload
+from .doduc import DoducWorkload
+from .eqntott import EqntottWorkload
+from .espresso import EspressoWorkload
+from .fpppp import FppppWorkload
+from .gcc_like import GccWorkload
+from .li import LiWorkload
+from .matrix300 import Matrix300Workload
+from .spice import SpiceWorkload
+from .tomcatv import TomcatvWorkload
+
+#: Paper ordering: integer benchmarks first, then floating point —
+#: matching the left-to-right order of the figures.
+BENCHMARK_ORDER = (
+    "eqntott",
+    "espresso",
+    "gcc",
+    "li",
+    "doduc",
+    "fpppp",
+    "matrix300",
+    "spice2g6",
+    "tomcatv",
+)
+
+_WORKLOAD_CLASSES = (
+    EqntottWorkload,
+    EspressoWorkload,
+    GccWorkload,
+    LiWorkload,
+    DoducWorkload,
+    FppppWorkload,
+    Matrix300Workload,
+    SpiceWorkload,
+    TomcatvWorkload,
+)
+
+
+def all_workloads() -> Dict[str, Workload]:
+    """Fresh instances of the nine workloads, keyed by benchmark name."""
+    workloads = {cls.name: cls() for cls in _WORKLOAD_CLASSES}
+    return {name: workloads[name] for name in BENCHMARK_ORDER}
+
+
+def get_workload(name: str) -> Workload:
+    """One workload by benchmark name."""
+    workloads = all_workloads()
+    try:
+        return workloads[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; expected one of {BENCHMARK_ORDER}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class SuiteConfig:
+    """Suite-wide generation parameters.
+
+    Attributes:
+        scale: linear work multiplier applied to every workload. The
+            paper traces 20 M conditional branches per benchmark; the
+            default scale keeps the suite laptop-sized (see DESIGN.md
+            substitution #2) while preserving branch behaviour.
+        benchmarks: subset of benchmarks (paper order preserved);
+            None = all nine.
+    """
+
+    scale: int = 1
+    benchmarks: Optional[Sequence[str]] = None
+
+    def selected(self) -> List[str]:
+        if self.benchmarks is None:
+            return list(BENCHMARK_ORDER)
+        unknown = set(self.benchmarks) - set(BENCHMARK_ORDER)
+        if unknown:
+            raise ValueError(f"unknown benchmarks: {sorted(unknown)}")
+        return [name for name in BENCHMARK_ORDER if name in set(self.benchmarks)]
+
+
+def build_cases(
+    config: SuiteConfig = SuiteConfig(),
+    cache: Optional[TraceCache] = None,
+) -> List[BenchmarkCase]:
+    """Generate (or fetch cached) traces for the configured suite.
+
+    Returns:
+        Benchmark cases in paper order, with training traces attached
+        for the benchmarks whose Table 2 training set is not "NA".
+    """
+    cache = cache if cache is not None else default_cache()
+    workloads = all_workloads()
+    cases: List[BenchmarkCase] = []
+    for name in config.selected():
+        workload = workloads[name]
+        test_trace = _cached_trace(cache, workload, "testing", config.scale)
+        training_trace: Optional[Trace] = None
+        if workload.has_training:
+            training_trace = _cached_trace(cache, workload, "training", config.scale)
+        cases.append(
+            BenchmarkCase(
+                name=name,
+                category=workload.category,
+                test_trace=test_trace,
+                training_trace=training_trace,
+            )
+        )
+    return cases
+
+
+def _cached_trace(cache: TraceCache, workload: Workload, role: str, scale: int) -> Trace:
+    dataset = (
+        workload.testing_dataset if role == "testing" else workload.training_dataset
+    )
+    assert dataset is not None
+    return cache.get(
+        workload.name,
+        dataset.name,
+        scale,
+        lambda: workload.generate(role, scale=scale),
+    )
+
+
+def table1_static_branch_counts(
+    config: SuiteConfig = SuiteConfig(),
+    cache: Optional[TraceCache] = None,
+) -> Dict[str, int]:
+    """Table 1 analog: static conditional branch sites per benchmark."""
+    cases = build_cases(config, cache)
+    return {
+        case.name: len(case.test_trace.static_branch_sites()) for case in cases
+    }
+
+
+def table2_datasets() -> Dict[str, Dict[str, str]]:
+    """Table 2: training and testing dataset names per benchmark."""
+    rows: Dict[str, Dict[str, str]] = {}
+    for name, workload in all_workloads().items():
+        rows[name] = {
+            "training": workload.training_dataset.name if workload.has_training else "NA",
+            "testing": workload.testing_dataset.name,
+        }
+    return rows
+
+
+#: The paper's Table 1 values, for side-by-side reporting.
+PAPER_TABLE1 = {
+    "eqntott": 277,
+    "espresso": 556,
+    "gcc": 6922,
+    "li": 489,
+    "doduc": 1149,
+    "fpppp": 653,
+    "matrix300": 213,
+    "spice2g6": 606,
+    "tomcatv": 370,
+}
+
+#: The paper's Table 2 rows, for side-by-side reporting.
+PAPER_TABLE2 = {
+    "eqntott": {"training": "NA", "testing": "int_pri_3.eqn"},
+    "espresso": {"training": "cps", "testing": "bca"},
+    "gcc": {"training": "cexp.i", "testing": "dbxout.i"},
+    "li": {"training": "tower of hanoi", "testing": "eight queens"},
+    "doduc": {"training": "tiny doducin", "testing": "doducin"},
+    "fpppp": {"training": "NA", "testing": "natoms"},
+    "matrix300": {"training": "NA", "testing": "Built-in"},
+    "spice2g6": {"training": "short greycode.in", "testing": "greycode.in"},
+    "tomcatv": {"training": "NA", "testing": "Built-in"},
+}

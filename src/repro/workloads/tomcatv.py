@@ -1,0 +1,116 @@
+"""tomcatv analog — vectorised mesh generation (SPEC89 tomcatv).
+
+Tomcatv generates a 2D mesh around an airfoil by iterative relaxation:
+each sweep computes residuals over the interior grid, finds the maximum
+residual, and solves tridiagonal systems along each row. Control flow is
+counted loops plus a per-sweep convergence test — regular and highly
+predictable, the second of the paper's "easy" FP benchmarks (built-in
+input, no training set).
+
+The analog relaxes a coupled (x, y) grid with the same loop structure:
+residual sweeps, max-residual reduction, tridiagonal forward/backward
+passes, and a convergence-checked outer iteration.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from .base import BranchProbe, DatasetSpec, Workload
+
+
+class TomcatvWorkload(Workload):
+    """Mesh-relaxation sweeps with tridiagonal row solves."""
+
+    name = "tomcatv"
+    category = "fp"
+    training_dataset = None  # Table 2: NA (built-in input)
+    testing_dataset = DatasetSpec("built-in", seed=257, size=48)
+
+    def run(self, probe: BranchProbe, rng: random.Random, dataset: DatasetSpec, scale: int) -> None:
+        n = dataset.size
+        sweeps = 8 * scale
+        x, y = self._init_grid(probe, rng, n)
+        for _sweep in probe.loop("outer.sweeps", sweeps, work=10):
+            rx, ry, rmax = self._residuals(probe, x, y, n)
+            self._row_solves(probe, rx, ry, x, y, n)
+            converged = rmax < 1e-9
+            # The convergence exit: not taken until the final sweeps.
+            if probe.cond("outer.converged", converged, work=4):
+                break
+
+    def _init_grid(
+        self, probe: BranchProbe, rng: random.Random, n: int
+    ) -> Tuple[List[List[float]], List[List[float]]]:
+        x = [[0.0] * n for _ in range(n)]
+        y = [[0.0] * n for _ in range(n)]
+        for i in probe.loop("init.rows", n, work=4):
+            for j in probe.loop("init.cols", n, work=20):
+                # Boundary points are pinned; the branch alternates in a
+                # fixed spatial pattern every sweep of j.
+                boundary = i == 0 or i == n - 1 or j == 0 or j == n - 1
+                if probe.cond("init.boundary", boundary, work=3):
+                    x[i][j] = i / (n - 1)
+                    y[i][j] = j / (n - 1)
+                else:
+                    x[i][j] = i / (n - 1) + rng.uniform(-0.02, 0.02)
+                    y[i][j] = j / (n - 1) + rng.uniform(-0.02, 0.02)
+        return x, y
+
+    def _residuals(
+        self,
+        probe: BranchProbe,
+        x: List[List[float]],
+        y: List[List[float]],
+        n: int,
+    ) -> Tuple[List[List[float]], List[List[float]], float]:
+        rx = [[0.0] * n for _ in range(n)]
+        ry = [[0.0] * n for _ in range(n)]
+        rmax = 0.0
+        for i in probe.loop("res.rows", n - 2, work=5):
+            ii = i + 1
+            for j in probe.loop("res.cols", n - 2, work=38):
+                jj = j + 1
+                lap_x = (
+                    x[ii - 1][jj] + x[ii + 1][jj] + x[ii][jj - 1] + x[ii][jj + 1]
+                    - 4.0 * x[ii][jj]
+                )
+                lap_y = (
+                    y[ii - 1][jj] + y[ii + 1][jj] + y[ii][jj - 1] + y[ii][jj + 1]
+                    - 4.0 * y[ii][jj]
+                )
+                rx[ii][jj] = lap_x
+                ry[ii][jj] = lap_y
+                magnitude = abs(lap_x) + abs(lap_y)
+                # Max-residual update: taken early in the row, rarely later.
+                if probe.cond("res.newmax", magnitude > rmax, work=2):
+                    rmax = magnitude
+        return rx, ry, rmax
+
+    def _row_solves(
+        self,
+        probe: BranchProbe,
+        rx: List[List[float]],
+        ry: List[List[float]],
+        x: List[List[float]],
+        y: List[List[float]],
+        n: int,
+    ) -> None:
+        """Tridiagonal forward elimination + back substitution per row."""
+        relax = 0.65
+        for i in probe.loop("tri.rows", n - 2, work=6):
+            ii = i + 1
+            diag = [4.0] * n
+            # Forward elimination along the row.
+            for j in probe.loop("tri.forward", n - 2, work=26):
+                jj = j + 1
+                factor = 1.0 / diag[jj - 1]
+                diag[jj] = 4.0 - factor
+                rx[ii][jj] += factor * rx[ii][jj - 1] * 0.25
+                ry[ii][jj] += factor * ry[ii][jj - 1] * 0.25
+            # Back substitution, applying the relaxed correction.
+            for j in probe.loop("tri.backward", n - 2, work=26):
+                jj = n - 2 - j
+                x[ii][jj] += relax * rx[ii][jj] / diag[jj]
+                y[ii][jj] += relax * ry[ii][jj] / diag[jj]

@@ -1,0 +1,20 @@
+"""Shared fixtures: the SPEC-analog suite is generated once per session."""
+
+import pytest
+
+from repro.trace.cache import default_cache
+from repro.workloads.suite import SuiteConfig, build_cases
+
+
+@pytest.fixture(scope="session")
+def suite_cases():
+    """All nine benchmark cases at scale 1 (cached process-wide)."""
+    return build_cases(SuiteConfig(), cache=default_cache())
+
+
+@pytest.fixture(scope="session")
+def small_cases():
+    """A fast two-benchmark subset (one int, one fp) for figure tests."""
+    return build_cases(
+        SuiteConfig(benchmarks=["eqntott", "tomcatv"]), cache=default_cache()
+    )

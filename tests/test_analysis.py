@@ -1,0 +1,193 @@
+"""Tests for the interference and misprediction-breakdown analyses."""
+
+import pytest
+
+from repro.analysis.breakdown import (
+    learning_curve,
+    misprediction_breakdown,
+    per_site_report,
+)
+from repro.analysis.interference import (
+    bht_pressure,
+    first_level_interference,
+    interference_report,
+    second_level_interference,
+)
+from repro.core.twolevel import make_gag, make_pag
+from repro.predictors.static import AlwaysTaken
+from repro.sim.engine import ContextSwitchConfig, simulate
+from repro.trace import synthetic
+from repro.trace.events import TraceBuilder
+
+
+class TestFirstLevelInterference:
+    def test_single_branch_no_pollution(self):
+        trace = synthetic.loop_trace(iterations=100, trip_count=4)
+        result = first_level_interference(trace, 8)
+        # One branch: global history IS its private history (after the
+        # identical initialisation) except the outcome-extension step.
+        assert result.pollution_rate < 0.05
+
+    def test_interleaving_pollutes(self):
+        sources = [synthetic.loop_source(3), synthetic.alternating_source()]
+        trace = synthetic.interleaved(sources, length=4000)
+        result = first_level_interference(trace, 8)
+        assert result.pollution_rate > 0.5
+
+    def test_sharing_the_register_is_what_pollutes(self):
+        # One branch: global == private almost always. Four interleaved
+        # branches: the register holds a merged stream that matches no
+        # individual branch's private history.
+        alone = synthetic.loop_trace(iterations=1000, trip_count=4)
+        shared = synthetic.interleaved([synthetic.loop_source(4)] * 4, length=4000)
+        assert first_level_interference(alone, 8).pollution_rate < 0.05
+        assert first_level_interference(shared, 8).pollution_rate > 0.9
+
+    def test_explains_gag_vs_pag_gap(self, suite_cases):
+        # The benchmark where GAg loses most to PAg should be heavily
+        # polluted; compare two integer benchmarks.
+        gcc = next(c for c in suite_cases if c.name == "gcc")
+        result = first_level_interference(gcc.test_trace, 6)
+        assert result.pollution_rate > 0.8  # many interleaved branches
+
+
+class TestSecondLevelInterference:
+    def test_disjoint_patterns_share_nothing(self):
+        builder = TraceBuilder()
+        # Branch A always taken (pattern stays 1111), branch B always
+        # not taken (pattern stays 0000): no shared entries after warmup.
+        for _ in range(50):
+            builder.conditional(0xA, True)
+            builder.conditional(0xB, False)
+        result = second_level_interference(builder.build(), 4)
+        # They meet only at the all-ones initial pattern.
+        assert result.entries_shared <= 1
+
+    def test_conflicting_aliases_detected(self):
+        builder = TraceBuilder()
+        # Both branches hold pattern 1111 (always taken) but C is always
+        # not taken once its register fills with NT... instead: A taken,
+        # B alternates so B visits A's pattern with opposite outcomes.
+        outcome_b = True
+        for _ in range(200):
+            builder.conditional(0xA, True)
+            builder.conditional(0xB, outcome_b)
+            outcome_b = not outcome_b
+        result = second_level_interference(builder.build(), 1)
+        assert result.destructive_updates > 0
+        assert 0 < result.destructive_rate < 1
+
+    def test_counts_are_consistent(self):
+        trace = synthetic.interleaved(
+            [synthetic.loop_source(3), synthetic.loop_source(5)], length=2000
+        )
+        result = second_level_interference(trace, 6)
+        assert result.destructive_updates <= result.cross_branch_updates <= result.updates
+        assert result.entries_shared <= result.entries_used
+
+
+class TestBHTPressure:
+    def test_small_working_set_always_hits(self):
+        trace = synthetic.interleaved([synthetic.loop_source(4)] * 4, length=4000)
+        pressure = bht_pressure(trace, 512, 4)
+        assert pressure.hit_rate > 0.99
+        assert pressure.distinct_branches == 4
+
+    def test_oversized_working_set_evicts(self, suite_cases):
+        gcc = next(c for c in suite_cases if c.name == "gcc")
+        pressure = bht_pressure(gcc.test_trace, 256, 1)
+        assert pressure.evictions > 0
+        assert pressure.hit_rate < bht_pressure(gcc.test_trace, 512, 4).hit_rate
+
+    def test_report_renders(self):
+        trace = synthetic.loop_trace(iterations=50, trip_count=4)
+        text = interference_report(trace, history_bits=8)
+        assert "first level" in text
+        assert "second level" in text
+        assert "BHT" in text
+
+
+class TestBreakdown:
+    def test_shares_sum_to_one(self):
+        trace = synthetic.interleaved(
+            [synthetic.loop_source(t) for t in (3, 5)], length=6000
+        )
+        breakdown = misprediction_breakdown(make_pag(8), trace)
+        shares = breakdown.shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert breakdown.total_misses == (
+            breakdown.cold_misses + breakdown.post_flush_misses + breakdown.steady_misses
+        )
+
+    def test_accuracy_matches_engine(self):
+        trace = synthetic.interleaved(
+            [synthetic.loop_source(t) for t in (3, 5)], length=6000
+        )
+        breakdown = misprediction_breakdown(make_pag(8), trace)
+        engine = simulate(make_pag(8), trace)
+        assert breakdown.accuracy == pytest.approx(engine.accuracy)
+
+    def test_perfectly_predictable_trace_mostly_cold_misses(self):
+        trace = synthetic.loop_trace(iterations=400, trip_count=3)
+        breakdown = misprediction_breakdown(make_pag(8), trace)
+        assert breakdown.steady_misses < breakdown.total_branches * 0.01
+
+    def test_flush_misses_attributed(self):
+        trace = synthetic.interleaved(
+            [synthetic.loop_source(t) for t in (3, 5, 7)],
+            length=30_000,
+            work_per_branch=30,
+        )
+        breakdown = misprediction_breakdown(
+            make_pag(8), trace, context_switches=ContextSwitchConfig(interval=20_000)
+        )
+        assert breakdown.post_flush_misses > 0
+
+    def test_no_misses_zero_shares(self):
+        builder = TraceBuilder()
+        for _ in range(10):
+            builder.conditional(0xA, True)
+        breakdown = misprediction_breakdown(AlwaysTaken(), builder.build())
+        assert breakdown.total_misses == 0
+        assert breakdown.shares() == {"cold": 0.0, "post_flush": 0.0, "steady": 0.0}
+
+
+class TestLearningCurve:
+    def test_window_count(self):
+        trace = synthetic.loop_trace(iterations=100, trip_count=10)
+        curve = learning_curve(make_pag(8), trace, windows=10)
+        assert 10 <= len(curve) <= 11
+
+    def test_warmup_visible(self):
+        trace = synthetic.periodic_trace([True, True, False, True], repeats=2000)
+        curve = learning_curve(make_gag(8), trace, windows=20)
+        assert curve[-1] >= curve[0]
+        assert curve[-1] > 0.95
+
+    def test_empty_trace(self):
+        assert learning_curve(make_gag(4), TraceBuilder().build()) == []
+
+    def test_window_validation(self):
+        trace = synthetic.loop_trace(iterations=10, trip_count=3)
+        with pytest.raises(ValueError):
+            learning_curve(make_gag(4), trace, windows=0)
+
+
+class TestPerSiteReport:
+    def test_ranks_by_misses(self):
+        builder = TraceBuilder()
+        for i in range(300):
+            builder.conditional(0xA, True)
+            builder.conditional(0xB, i % 2 == 0)  # hard alternating-ish
+        reports = per_site_report(AlwaysTaken(), builder.build(), top=2)
+        assert reports[0].pc == 0xB
+        assert reports[0].mispredictions >= reports[-1].mispredictions
+
+    def test_fields_consistent(self):
+        trace = synthetic.interleaved(
+            [synthetic.loop_source(3), synthetic.alternating_source()], length=2000
+        )
+        for report in per_site_report(make_pag(6), trace, top=5):
+            assert 0 <= report.taken_rate <= 1
+            assert report.mispredictions <= report.executions
+            assert 0 <= report.accuracy <= 1

@@ -1,0 +1,200 @@
+"""Unit tests for the pattern-history automata (paper Figure 2)."""
+
+import pytest
+
+from repro.core.automata import (
+    A1,
+    A2,
+    A3,
+    A4,
+    LAST_TIME,
+    PAPER_AUTOMATA,
+    PRESET_NOT_TAKEN,
+    PRESET_TAKEN,
+    AutomatonSpec,
+    automaton_by_name,
+    preset_bit,
+    saturating_counter,
+    shift_register_automaton,
+    simulate_sequence,
+)
+
+T, N = True, False
+
+
+class TestLastTime:
+    def test_one_bit(self):
+        assert LAST_TIME.bits == 1
+        assert LAST_TIME.num_states == 2
+
+    def test_initial_state_predicts_taken(self):
+        assert LAST_TIME.predict(LAST_TIME.initial_state) is True
+
+    def test_predicts_previous_outcome(self):
+        state = LAST_TIME.initial_state
+        for outcome in (T, N, N, T, T):
+            state = LAST_TIME.next_state(state, outcome)
+            assert LAST_TIME.predict(state) is outcome
+
+    def test_alternating_sequence_never_correct_after_warmup(self):
+        # T,N,T,N...: last-time always predicts the previous (wrong) value.
+        outcomes = [N, T] * 20
+        correct, total = simulate_sequence(LAST_TIME, outcomes)
+        assert total == 40
+        assert correct <= 1  # only the very first prediction can be right
+
+
+class TestA1:
+    def test_initial_state(self):
+        assert A1.initial_state == 3
+
+    def test_predicts_not_taken_only_from_state_zero(self):
+        assert [A1.predict(s) for s in range(4)] == [False, True, True, True]
+
+    def test_is_shift_register(self):
+        # From state 0b10, a taken shifts to 0b01.
+        assert A1.next_state(0b10, True) == 0b01
+        assert A1.next_state(0b10, False) == 0b00
+        assert A1.next_state(0b11, True) == 0b11
+
+    def test_needs_two_not_takens_to_predict_not_taken(self):
+        state = A1.initial_state
+        state = A1.next_state(state, False)
+        assert A1.predict(state) is True  # one NT is not enough
+        state = A1.next_state(state, False)
+        assert A1.predict(state) is False
+
+
+class TestA2:
+    def test_is_saturating_counter(self):
+        assert A2.next_state(0, False) == 0  # saturates low
+        assert A2.next_state(3, True) == 3  # saturates high
+        assert A2.next_state(1, True) == 2
+        assert A2.next_state(2, False) == 1
+
+    def test_threshold_at_two(self):
+        assert [A2.predict(s) for s in range(4)] == [False, False, True, True]
+
+    def test_hysteresis_on_bursty_stream(self):
+        # One NT glitch inside a taken run costs exactly one misprediction.
+        outcomes = [T] * 10 + [N] + [T] * 10
+        correct, total = simulate_sequence(A2, outcomes)
+        assert total - correct == 1
+
+    def test_loop_pattern_one_miss_per_iteration(self):
+        # trip-count-5 loop: T T T T N repeated; A2 mispredicts the exit.
+        outcomes = ([T] * 4 + [N]) * 8
+        correct, total = simulate_sequence(A2, outcomes)
+        assert total - correct == 8
+
+
+class TestA3A4:
+    def test_a3_fast_fall(self):
+        assert A3.next_state(2, False) == 0
+        # Everything else matches A2.
+        for state in range(4):
+            assert A3.next_state(state, True) == A2.next_state(state, True)
+        assert A3.next_state(3, False) == A2.next_state(3, False)
+        assert A3.next_state(1, False) == A2.next_state(1, False)
+
+    def test_a4_fast_rise(self):
+        assert A4.next_state(1, True) == 3
+        for state in range(4):
+            assert A4.next_state(state, False) == A2.next_state(state, False)
+        assert A4.next_state(0, True) == A2.next_state(0, True)
+        assert A4.next_state(2, True) == A2.next_state(2, True)
+
+    def test_all_counters_agree_on_biased_stream(self):
+        outcomes = [T] * 50
+        for spec in (A2, A3, A4):
+            correct, total = simulate_sequence(spec, outcomes)
+            assert correct == total
+
+
+class TestPresetBit:
+    def test_never_changes_state(self):
+        for spec in (PRESET_TAKEN, PRESET_NOT_TAKEN):
+            state = spec.initial_state
+            for outcome in (T, N, T, N):
+                assert spec.next_state(state, outcome) == state
+
+    def test_prediction_matches_preset(self):
+        assert PRESET_TAKEN.predict(PRESET_TAKEN.initial_state) is True
+        assert PRESET_NOT_TAKEN.predict(PRESET_NOT_TAKEN.initial_state) is False
+
+    def test_factory(self):
+        assert preset_bit(True).initial_state == 1
+        assert preset_bit(False).initial_state == 0
+
+
+class TestGeneralizedAutomata:
+    def test_saturating_counter_matches_a2_transitions(self):
+        sc = saturating_counter(2)
+        assert sc.transitions == A2.transitions
+        assert sc.predictions == A2.predictions
+
+    def test_three_bit_counter(self):
+        sc = saturating_counter(3)
+        assert sc.num_states == 8
+        assert sc.next_state(7, True) == 7
+        assert sc.next_state(0, False) == 0
+        assert sc.predict(4) is True
+        assert sc.predict(3) is False
+
+    def test_shift_register_matches_a1(self):
+        sr = shift_register_automaton(2, threshold=1)
+        assert sr.transitions == A1.transitions
+        assert sr.predictions == A1.predictions
+
+    def test_shift_register_threshold(self):
+        sr = shift_register_automaton(3, threshold=2)
+        assert sr.predict(0b011) is True
+        assert sr.predict(0b001) is False
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            saturating_counter(0)
+        with pytest.raises(ValueError):
+            shift_register_automaton(0)
+        with pytest.raises(ValueError):
+            shift_register_automaton(2, threshold=-1)
+
+
+class TestSpecValidation:
+    def test_rejects_too_many_states_for_bits(self):
+        with pytest.raises(ValueError):
+            AutomatonSpec("bad", 1, 0, ((0, 1), (0, 1), (2, 2)), (False, True, True))
+
+    def test_rejects_mismatched_predictions(self):
+        with pytest.raises(ValueError):
+            AutomatonSpec("bad", 2, 0, ((0, 1), (0, 1)), (False,))
+
+    def test_rejects_invalid_initial_state(self):
+        with pytest.raises(ValueError):
+            AutomatonSpec("bad", 2, 7, ((0, 1), (0, 1)), (False, True))
+
+    def test_rejects_out_of_range_transition(self):
+        with pytest.raises(ValueError):
+            AutomatonSpec("bad", 2, 0, ((0, 5), (0, 1)), (False, True))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AutomatonSpec("bad", 1, 0, (), ())
+
+
+class TestRegistry:
+    def test_paper_automata_by_name(self):
+        assert automaton_by_name("a2") is A2
+        assert automaton_by_name("LT") is LAST_TIME
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            automaton_by_name("A9")
+
+    def test_paper_set_complete(self):
+        assert set(PAPER_AUTOMATA) == {"LT", "A1", "A2", "A3", "A4"}
+
+    def test_bits_per_entry(self):
+        assert LAST_TIME.bits == 1
+        for name in ("A1", "A2", "A3", "A4"):
+            assert PAPER_AUTOMATA[name].bits == 2

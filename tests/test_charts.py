@@ -1,0 +1,90 @@
+"""Tests for the ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments.charts import (
+    accuracy_bars_from_matrix,
+    render_bars,
+    render_series,
+    render_sparkline,
+)
+from repro.sim.results import ResultMatrix, SimulationResult
+
+
+class TestRenderBars:
+    def test_basic_layout(self):
+        text = render_bars(["alpha", "b"], [0.9, 0.95], width=20, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("alpha |")
+        assert "90.00%" in lines[1]
+        assert "95.00%" in lines[2]
+
+    def test_max_value_fills_bar(self):
+        text = render_bars(["a", "b"], [0.5, 1.0], width=10, floor=0.0, ceiling=1.0)
+        full_line = text.splitlines()[1]
+        assert "█" * 10 in full_line
+
+    def test_floor_scaling_magnifies_differences(self):
+        zoomed = render_bars(["a", "b"], [0.90, 0.92], width=40, floor=0.89, ceiling=0.92)
+        lines = zoomed.splitlines()
+        bar_a = lines[0].count("█")
+        bar_b = lines[1].count("█")
+        assert bar_b - bar_a > 10  # 2 points spread over most of the width
+
+    def test_non_percent_mode(self):
+        text = render_bars(["cost"], [39424.0], percent=False, floor=0, ceiling=50000)
+        assert "%" not in text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            render_bars(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert render_bars([], [], title="empty") == "empty"
+
+
+class TestSparkline:
+    def test_length_matches_values(self):
+        assert len(render_sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_blocks(self):
+        spark = render_sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert spark == "".join(sorted(spark))
+
+    def test_flat_series(self):
+        spark = render_sparkline([5, 5, 5])
+        assert len(set(spark)) == 1
+
+    def test_empty(self):
+        assert render_sparkline([]) == ""
+
+
+class TestRenderSeries:
+    def test_shared_scale(self):
+        text = render_series(
+            {"low": [0.1, 0.2], "high": [0.8, 0.9]},
+            x_labels=[1, 2],
+            title="S",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "S"
+        # The low series must use lower block characters than the high one.
+        low_line = next(line for line in lines if line.lstrip().startswith("low"))
+        high_line = next(line for line in lines if line.lstrip().startswith("high"))
+        assert "10.0% -> 20.0%" in low_line
+        assert "80.0% -> 90.0%" in high_line
+
+    def test_empty(self):
+        assert render_series({}, title="nothing") == "nothing"
+
+
+class TestMatrixBars:
+    def test_sorted_by_gmean(self):
+        matrix = ResultMatrix(benchmarks=["x"], categories={"x": "int"})
+        matrix.add("worse", SimulationResult("worse", "x", "", 100, 80))
+        matrix.add("better", SimulationResult("better", "x", "", 100, 95))
+        text = accuracy_bars_from_matrix(matrix)
+        lines = text.splitlines()
+        assert "better" in lines[0]
+        assert "worse" in lines[1]

@@ -1,0 +1,93 @@
+"""Tests for the repro-trace and repro-sim command-line tools."""
+
+import pytest
+
+from repro.sim.cli import main as sim_main
+from repro.trace.cli import main as trace_main
+from repro.trace.io import load_trace
+
+
+@pytest.fixture()
+def isa_trace(tmp_path):
+    path = tmp_path / "loop.btb"
+    code = trace_main(["gen-isa", "counting_loop", str(path), "--param", "iterations=40"])
+    assert code == 0
+    return path
+
+
+class TestTraceCLI:
+    def test_gen_isa_and_stats(self, isa_trace, capsys):
+        assert trace_main(["stats", str(isa_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic branches" in out
+        assert "taken rate" in out
+
+    def test_gen_workload(self, tmp_path, capsys):
+        path = tmp_path / "t.btb"
+        assert trace_main(["gen", "tomcatv", str(path)]) == 0
+        trace = load_trace(path)
+        assert trace.meta.name == "tomcatv"
+        assert len(trace) > 1000
+
+    def test_head(self, isa_trace, capsys):
+        assert trace_main(["head", str(isa_trace), "--count", "5"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 5
+        assert "cond" in lines[0]
+
+    def test_convert_round_trip(self, isa_trace, tmp_path, capsys):
+        text_path = tmp_path / "loop.btr"
+        assert trace_main(["convert", str(isa_trace), str(text_path)]) == 0
+        original = load_trace(isa_trace)
+        converted = load_trace(text_path)
+        assert list(original.iter_tuples()) == list(converted.iter_tuples())
+
+    def test_gen_isa_bad_param(self, tmp_path, capsys):
+        path = tmp_path / "x.btb"
+        code = trace_main(["gen-isa", "counting_loop", str(path), "--param", "oops"])
+        assert code == 2
+
+
+class TestSimCLI:
+    def test_run(self, isa_trace, capsys):
+        assert sim_main(["run", "pag-8", str(isa_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "%" in out
+
+    def test_run_table3_string(self, isa_trace, capsys):
+        assert sim_main(["run", "GAg(HR(1,,8-sr),1xPHT(2^8,A2),)", str(isa_trace)]) == 0
+
+    def test_run_with_context_switches(self, isa_trace, capsys):
+        assert sim_main([
+            "run", "pag-8", str(isa_trace),
+            "--context-switches", "--switch-interval", "20",
+        ]) == 0
+        assert "context switches" in capsys.readouterr().out
+
+    def test_compare_sorted_by_accuracy(self, tmp_path, capsys):
+        path = tmp_path / "matmul.btb"
+        assert trace_main(["gen-isa", "matmul", str(path), "--param", "n=4"]) == 0
+        capsys.readouterr()
+        assert sim_main(["compare", "always-taken", "pag-8", str(path)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        # Short trip-4 loops: pattern history wins decisively.
+        assert "pag-8" in lines[0]
+
+    def test_profile_requires_training(self, isa_trace, tmp_path):
+        from repro.core.naming import SchemeParseError
+
+        with pytest.raises(SchemeParseError):
+            sim_main(["run", "profile", str(isa_trace)])
+
+    def test_profile_with_training(self, isa_trace, capsys):
+        assert sim_main([
+            "run", "profile", str(isa_trace), "--training", str(isa_trace)
+        ]) == 0
+
+    def test_report(self, isa_trace, capsys):
+        assert sim_main(["report", "pag-8", str(isa_trace), "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cold" in out
+        assert "worst 2 static branches" in out
+        assert "Interference report" in out

@@ -1,0 +1,179 @@
+"""Tests for the mini-C -> M88K compiler (differential vs reference)."""
+
+import random
+
+import pytest
+
+from repro.core.twolevel import make_pag
+from repro.isa.compiler import (
+    CompileError,
+    MiniCCompiler,
+    compile_and_run,
+    compile_source,
+    reference_eval,
+    trunc_div,
+    trunc_rem,
+)
+from repro.sim.engine import simulate
+from repro.trace.events import BranchClass
+from repro.workloads.gcc_like import generate_source
+
+
+class TestArithmeticSemantics:
+    def test_trunc_div_matches_cpu(self):
+        assert trunc_div(7, 2) == 3
+        assert trunc_div(-7, 2) == -3  # truncating, not floor
+        assert trunc_div(7, -2) == -3
+        assert trunc_div(5, 0) == 0  # the language's /0 rule
+
+    def test_trunc_rem(self):
+        assert trunc_rem(10, 3) == 1
+        assert trunc_rem(-10, 3) == -1
+        assert trunc_rem(10, 0) == 10  # consistent with trunc_div(·,0)=0
+
+
+class TestBasicPrograms:
+    def test_constant_return(self):
+        result, _state, _trace = compile_and_run("int fn0() { return 42; }")
+        assert result == 42
+
+    def test_arguments(self):
+        source = "int fn0(int p0, int p1) { return p0 - p1; }"
+        result, _s, _t = compile_and_run(source, args=[30, 12])
+        assert result == 18
+
+    def test_locals_and_assignment(self):
+        source = """
+        int fn0() {
+          var x = 5;
+          var y = (x * 3);
+          x = (y - 1);
+          return x;
+        }
+        """
+        assert compile_and_run(source)[0] == 14
+
+    def test_if_else(self):
+        source = """
+        int fn0(int p0) {
+          if (p0 < 10) { return 1; } else { return 2; }
+        }
+        """
+        assert compile_and_run(source, args=[5])[0] == 1
+        assert compile_and_run(source, args=[15])[0] == 2
+
+    def test_while_loop(self):
+        source = """
+        int fn0(int p0) {
+          var acc = 0;
+          var i = 0;
+          while (i < p0) { acc = acc + i; i = i + 1; }
+          return acc;
+        }
+        """
+        assert compile_and_run(source, args=[100])[0] == 4950
+
+    def test_comparison_results_are_01(self):
+        source = "int fn0(int p0) { return ((p0 > 3) + ((p0 == 7) * 10)); }"
+        assert compile_and_run(source, args=[7])[0] == 11
+        assert compile_and_run(source, args=[2])[0] == 0
+
+    def test_division_by_zero_yields_zero(self):
+        source = "int fn0(int p0) { return (10 / p0); }"
+        assert compile_and_run(source, args=[0])[0] == 0
+        assert compile_and_run(source, args=[3])[0] == 3
+
+    def test_bitwise_ops(self):
+        source = "int fn0() { return ((12 & 10) | 1); }"
+        assert compile_and_run(source)[0] == 9
+
+    def test_missing_return_yields_zero(self):
+        assert compile_and_run("int fn0() { var x = 9; }")[0] == 0
+
+
+class TestCallsAndRecursion:
+    def test_cross_function_call(self):
+        source = """
+        int fn0(int p0) { return (fn1(p0) + 1); }
+        int fn1(int p0) { return (p0 * 2); }
+        """
+        assert compile_and_run(source, args=[21])[0] == 43
+
+    def test_recursion(self):
+        source = """
+        int fn0(int p0) {
+          if (p0 < 2) { return p0; }
+          return (fn0((p0 - 1)) + fn0((p0 - 2)));
+        }
+        """
+        assert compile_and_run(source, args=[12])[0] == 144  # fib
+
+    def test_caller_saved_temps_survive_calls(self):
+        # The left operand is live across the call on the right.
+        source = """
+        int fn0(int p0) { return ((p0 * 100) + fn1(p0)); }
+        int fn1(int p0) { return (p0 + 1); }
+        """
+        assert compile_and_run(source, args=[7])[0] == 708
+
+    def test_intrinsics(self):
+        source = "int fn0(int p0) { return __b7(p0, 100); }"
+        assert compile_and_run(source, args=[150])[0] == (150 + 100 + 7) % 257
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_generated_units_match_reference(self, seed):
+        source = generate_source(random.Random(seed), functions=2, statements=5)
+        compiled, _state, _trace = compile_and_run(source, entry="fn0")
+        assert compiled == reference_eval(source, entry="fn0")
+
+    def test_reference_rejects_unknown_entry(self):
+        with pytest.raises(CompileError):
+            reference_eval("int fn0() { return 1; }", entry="fn9")
+
+
+class TestCompilerErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(CompileError, match="undeclared"):
+            compile_source("int fn0() { return zzz; }")
+
+    def test_empty_unit(self):
+        with pytest.raises(CompileError, match="no functions"):
+            MiniCCompiler().compile_unit("")
+
+    def test_too_many_call_args(self):
+        with pytest.raises(CompileError):
+            compile_and_run("int fn0() { return 1; }", args=[1, 2, 3, 4])
+
+
+class TestCompiledTraces:
+    def test_trace_has_calls_and_returns(self):
+        source = """
+        int fn0(int p0) {
+          if (p0 < 2) { return p0; }
+          return (fn0((p0 - 1)) + fn0((p0 - 2)));
+        }
+        """
+        _result, _state, trace = compile_and_run(source, args=[10])
+        classes = [r.branch_class for r in trace]
+        assert classes.count(BranchClass.CALL) > 100
+        assert classes.count(BranchClass.CALL) == classes.count(BranchClass.RETURN)
+
+    def test_compiled_loop_predictable_by_two_level(self):
+        source = """
+        int fn0(int p0) {
+          var acc = 0;
+          var i = 0;
+          while (i < p0) {
+            if ((i & 3) == 0) { acc = acc + 2; } else { acc = acc + 1; }
+            i = i + 1;
+          }
+          return acc;
+        }
+        """
+        result, _state, trace = compile_and_run(source, args=[400])
+        assert result == 400 + 100  # 2s on every fourth iteration
+        accuracy = simulate(make_pag(10), trace.conditional_only()).accuracy
+        # The (i & 3) == 0 branch is period-4: pattern history nails it.
+        assert accuracy > 0.95

@@ -1,0 +1,133 @@
+"""Tests for the hardware cost model (paper Equations 3-6)."""
+
+import pytest
+
+from repro.core.cost import (
+    TRANSISTOR_COSTS,
+    UNIT_COSTS,
+    CostParams,
+    cost_gag,
+    cost_pag,
+    cost_pap,
+    cost_two_level,
+    storage_bits,
+)
+
+
+class TestEquation4GAg:
+    def test_closed_form(self):
+        # (k+1)*C_s + k*C_sh + 2^k*(s*C_s + C_d) with unit constants.
+        k, s = 8, 2
+        expected = (k + 1) + k + (1 << k) * (s + 1)
+        assert cost_gag(k, s) == expected
+
+    def test_exponential_growth_in_k(self):
+        # Doubling ratio approaches 2 as the PHT dominates.
+        ratio = cost_gag(17) / cost_gag(16)
+        assert 1.9 < ratio < 2.1
+
+    def test_last_time_cheaper_than_a2(self):
+        assert cost_gag(10, pattern_entry_bits=1) < cost_gag(10, pattern_entry_bits=2)
+
+
+class TestEquation5PAg:
+    def test_linear_in_bht_size(self):
+        small = cost_pag(256, 4, 12)
+        large = cost_pag(512, 4, 12)
+        pht_part = (1 << 12) * (2 + 1)
+        # The BHT part should roughly double (the -i term shifts by 1).
+        assert (large - pht_part) / (small - pht_part) == pytest.approx(2.0, rel=0.05)
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            cost_pag(300, 4, 12)
+        with pytest.raises(ValueError):
+            cost_pag(512, 3, 12)
+
+
+class TestEquation6PAp:
+    def test_pattern_tables_dominate(self):
+        # PAp carries h pattern tables; for h=512, k=6 the PHT part is
+        # 512 x 64 x 3 = 98304 of the total.
+        total = cost_pap(512, 4, 6)
+        pht_part = 512 * (1 << 6) * (2 + 1)
+        assert pht_part / total > 0.7
+
+    def test_pap_equals_pag_plus_extra_tables(self):
+        pag = cost_pag(512, 4, 6)
+        pap = cost_pap(512, 4, 6)
+        extra = 511 * (1 << 6) * (2 + 1)
+        assert pap == pytest.approx(pag + extra)
+
+
+class TestPaperFigure8Ordering:
+    """At iso-accuracy — GAg(18), PAg(12), PAp(6) — PAg is cheapest."""
+
+    def test_ordering_with_unit_costs(self):
+        gag = cost_gag(18)
+        pag = cost_pag(512, 4, 12)
+        pap = cost_pap(512, 4, 6)
+        assert pag < gag
+        assert pag < pap
+
+    def test_ordering_with_transistor_costs(self):
+        gag = cost_gag(18, params=TRANSISTOR_COSTS)
+        pag = cost_pag(512, 4, 12, params=TRANSISTOR_COSTS)
+        pap = cost_pap(512, 4, 6, params=TRANSISTOR_COSTS)
+        assert pag < gag
+        assert pag < pap
+
+    def test_ordering_robust_to_scaling(self):
+        params = UNIT_COSTS.scaled(7.5)
+        assert cost_pag(512, 4, 12, params=params) < cost_gag(18, params=params)
+
+
+class TestEquation3Full:
+    def test_gag_special_case_close_to_equation4(self):
+        # h=1 collapses to the simplified GAg form up to the small
+        # state-updater term the paper drops.
+        full = cost_two_level(1, 1, 10).total
+        simplified = cost_gag(10)
+        assert abs(full - simplified) <= 2 * (1 << (2 + 1)) * 2
+
+    def test_breakdown_sums(self):
+        breakdown = cost_two_level(512, 4, 12, pattern_tables=1)
+        assert breakdown.total == breakdown.bht_total + breakdown.pht_total
+
+    def test_pattern_table_multiplier(self):
+        one = cost_two_level(512, 4, 6, pattern_tables=1)
+        many = cost_two_level(512, 4, 6, pattern_tables=512)
+        assert many.pht_total == 512 * (one.pht_total)
+        assert many.bht_total == one.bht_total
+
+    def test_tag_width_shrinks_with_bigger_table(self):
+        # More index bits -> smaller tags -> storage grows sublinearly.
+        small = cost_two_level(256, 1, 8).bht_storage
+        large = cost_two_level(512, 1, 8).bht_storage
+        assert large < 2 * small
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            cost_two_level(0, 1, 8)
+        with pytest.raises(ValueError):
+            cost_two_level(512, 4, 0)
+
+    def test_address_width_guard(self):
+        params = CostParams(address_bits=4)
+        with pytest.raises(ValueError):
+            cost_two_level(512, 1, 8, params=params)
+
+
+class TestStorageBits:
+    def test_gag_storage(self):
+        # Single k+1-bit register plus 2^k * s pattern bits.
+        assert storage_bits(1, 1, 12) == 13 + (1 << 12) * 2
+
+    def test_pap_storage_scales_with_tables(self):
+        single = storage_bits(512, 4, 6, pattern_tables=1)
+        full = storage_bits(512, 4, 6, pattern_tables=512)
+        assert full - single == 511 * (1 << 6) * 2
+
+    def test_paper_pag_config_is_kilobytes_not_megabytes(self):
+        bits = storage_bits(512, 4, 12, pattern_tables=1)
+        assert bits / 8 / 1024 < 8  # the paper's sweet spot is small

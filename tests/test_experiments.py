@@ -1,0 +1,165 @@
+"""Tests for the figure/table drivers and report rendering.
+
+Figure drivers run on a two-benchmark subset for speed; the full-suite
+shape claims live in test_integration.py.
+"""
+
+import pytest
+
+from repro.experiments.cli import main as cli_main, run_experiment
+from repro.experiments.figures import (
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+)
+from repro.experiments.report import format_cell, render_accuracy_matrix, render_table
+from repro.experiments.tables import table1, table2, table3
+from repro.sim.results import ResultMatrix, SimulationResult
+
+
+class TestReportRendering:
+    def test_format_cell(self):
+        assert format_cell(None) == "--"
+        assert format_cell(0.9712, percent=True) == "97.12"
+        assert format_cell("PAg") == "PAg"
+        assert format_cell(12) == "12"
+
+    def test_render_table_alignment(self):
+        text = render_table(["name", "value"], [["a", 1], ["bb", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert len(set(len(line) for line in lines[2:])) <= 2
+
+    def test_render_accuracy_matrix_marks_missing(self):
+        matrix = ResultMatrix(benchmarks=["a", "b"], categories={"a": "int", "b": "fp"})
+        matrix.add("s", SimulationResult("s", "a", "", 100, 90))
+        text = render_accuracy_matrix(matrix)
+        assert "90.00" in text
+        assert "--" in text
+
+
+class TestTables:
+    def test_table1_rows(self, small_cases):
+        result = table1(cases=small_cases)
+        assert len(result.rows) == 2
+        assert result.rows[0][0] == "eqntott"
+        assert isinstance(result.rows[0][1], int)
+        assert result.rows[0][2] == 277  # paper reference column
+        assert "Table 1" in result.render()
+
+    def test_table2_includes_na(self):
+        result = table2()
+        rendered = result.render()
+        assert "NA" in rendered
+        assert "eight queens" in rendered
+
+    def test_table3_row_count_and_render(self):
+        result = table3()
+        assert len(result.rows) == 15
+        assert "PAg(BHT(512,4,12-sr),1xPHT(2^12,A2),)" in result.render()
+
+
+class TestFigureDrivers:
+    def test_figure4_mix(self, small_cases):
+        result = figure4(cases=small_cases)
+        mixes = result.extra["mixes"]
+        assert set(mixes) == {"eqntott", "tomcatv"}
+        for mix in mixes.values():
+            assert 0.5 < mix.conditional <= 1.0
+
+    def test_figure5_schemes(self, small_cases):
+        result = figure5(cases=small_cases)
+        assert len(result.matrix.schemes) == 5
+        assert any("LT" in s for s in result.matrix.schemes)
+
+    def test_figure6_lengths(self, small_cases):
+        result = figure6(cases=small_cases, lengths=(2, 6))
+        assert set(result.matrix.schemes) == {
+            "GAg-2", "PAg-2", "PAp-2", "GAg-6", "PAg-6", "PAp-6",
+        }
+
+    def test_figure7_gain_recorded(self, small_cases):
+        result = figure7(cases=small_cases, lengths=(4, 10))
+        assert "gain" in result.extra
+        assert result.extra["gain"] == (
+            result.matrix.gmean("GAg-10") - result.matrix.gmean("GAg-4")
+        )
+
+    def test_figure8_costs(self, small_cases):
+        result = figure8(cases=small_cases)
+        costs = result.extra["costs"]
+        assert costs["PAg-12"] < costs["GAg-18"]
+        assert costs["PAg-12"] < costs["PAp-6"]
+
+    def test_figure9_degradation_keys(self, small_cases):
+        result = figure9(cases=small_cases)
+        assert set(result.extra["degradation"]) == {"GAg-18", "PAg-12", "PAp-6"}
+
+    def test_figure10_configs(self, small_cases):
+        result = figure10(cases=small_cases)
+        assert set(result.matrix.schemes) == {
+            "PAg-IBHT", "PAg-512x4", "PAg-512x1", "PAg-256x4", "PAg-256x1",
+        }
+
+    def test_figure11_skips_training_free_benchmarks(self, small_cases):
+        result = figure11(cases=small_cases)
+        # eqntott has no training set: profiled schemes leave it blank.
+        assert result.matrix.accuracy("Profile", "eqntott") is None
+        assert result.matrix.accuracy("Profile", "tomcatv") is None  # also NA
+        assert result.matrix.accuracy("PAg(512,4,12,A2)", "eqntott") is not None
+
+
+class TestCLI:
+    def test_run_experiment_by_id(self, small_cases):
+        result = run_experiment("fig4", cases=small_cases)
+        assert result.figure_id == "fig4"
+        result = run_experiment("table3")
+        assert result.table_id == "table3"
+
+    def test_run_experiment_unknown(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_cli_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out
+        assert "table1" in out
+
+    def test_cli_unknown_experiment(self, capsys):
+        assert cli_main(["fig99"]) == 2
+
+    def test_cli_traceless_table_runs_and_writes(self, tmp_path, capsys):
+        assert cli_main(["table3", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table3.txt").exists()
+
+
+class TestChartsInFigures:
+    def test_fig7_contains_sparkline(self, small_cases):
+        result = figure7(cases=small_cases, lengths=(4, 8, 12))
+        assert "Accuracy vs history bits" in result.rendered
+        assert "->" in result.rendered
+
+    def test_fig11_contains_bars(self, small_cases):
+        result = figure11(cases=small_cases)
+        assert "Tot GMean by scheme" in result.rendered
+        assert "█" in result.rendered
+
+
+class TestRowsFromMapping:
+    def test_nested_mapping_flattens(self):
+        from repro.experiments.report import rows_from_mapping
+
+        table = rows_from_mapping(
+            {"x": {"a": 1, "b": 2}, "y": {"b": 3, "c": 4}},
+            key_header="item",
+        )
+        assert table["headers"] == ["item", "a", "b", "c"]
+        assert table["rows"][0] == ["x", 1, 2, None]
+        assert table["rows"][1] == ["y", None, 3, 4]

@@ -1,0 +1,123 @@
+"""Tests for the extension experiments and result export."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import run_experiment
+from repro.experiments.export import (
+    export_result,
+    load_matrix_json,
+    matrix_to_csv,
+    matrix_to_json,
+)
+from repro.experiments.extras import (
+    extra_fetch,
+    extra_interference,
+    extra_speculative,
+    extra_taxonomy,
+)
+from repro.sim.results import ResultMatrix, SimulationResult
+
+
+class TestExtraDrivers:
+    def test_speculative_recovers(self, small_cases):
+        result = extra_speculative(cases=small_cases, latency=6, history_bits=10)
+        for name, row in result.extra["rows"].items():
+            assert row["stale"] <= row["immediate"], name
+            assert row["repair"] >= row["stale"], name
+        assert "speculative" in result.rendered.lower()
+
+    def test_fetch_btac_always_helps(self, small_cases):
+        result = extra_fetch(cases=small_cases)
+        for name, row in result.extra["rows"].items():
+            assert row["cpi_with"] <= row["cpi_without"], name
+
+    def test_interference_rows_present(self, small_cases):
+        result = extra_interference(cases=small_cases)
+        assert set(result.extra["rows"]) == {c.name for c in small_cases}
+        for row in result.extra["rows"].values():
+            assert 0 <= row["pollution"] <= 1
+            assert 0 <= row["destructive"] <= 1
+
+    def test_taxonomy_matrix_and_costs(self, small_cases):
+        result = extra_taxonomy(cases=small_cases, history_bits=6)
+        assert result.matrix is not None
+        costs = result.extra["costs"]
+        assert costs["GAg-6"] < costs["SAs-6x16"]
+        assert costs["SAg-6x16"] < costs["PAg-6"]
+
+    def test_run_experiment_dispatches_extras(self, small_cases):
+        result = run_experiment("extra-interference", cases=small_cases)
+        assert result.figure_id == "extra-interference"
+
+
+def _matrix():
+    matrix = ResultMatrix(
+        benchmarks=["a", "b"], categories={"a": "int", "b": "fp"}
+    )
+    matrix.add("s1", SimulationResult("s1", "a", "", 100, 90))
+    matrix.add("s1", SimulationResult("s1", "b", "", 100, 99))
+    matrix.add("s2", SimulationResult("s2", "a", "", 100, 80))
+    return matrix
+
+
+class TestExport:
+    def test_csv_layout(self):
+        text = matrix_to_csv(_matrix())
+        lines = text.strip().splitlines()
+        assert lines[0] == "scheme,a,b,Int GMean,FP GMean,Tot GMean"
+        assert lines[1].startswith("s1,0.9,0.99")
+        # s2 has no 'b' cell: empty field.
+        assert ",," in lines[2] or lines[2].split(",")[2] == ""
+
+    def test_json_round_trip(self, tmp_path):
+        text = matrix_to_json(_matrix())
+        payload = json.loads(text)
+        assert payload["benchmarks"] == ["a", "b"]
+        assert payload["schemes"]["s1"]["cells"]["a"]["accuracy"] == 0.9
+        assert "Tot GMean" in payload["schemes"]["s1"]["summary"]
+        path = tmp_path / "m.json"
+        path.write_text(text)
+        assert load_matrix_json(path) == payload
+
+    def test_export_result_writes_all_formats(self, tmp_path, small_cases):
+        from repro.experiments.figures import figure5
+
+        result = figure5(cases=small_cases)
+        written = export_result(result, tmp_path)
+        names = {path.name for path in written}
+        assert names == {"fig5.txt", "fig5.csv", "fig5.json"}
+        assert (tmp_path / "fig5.csv").read_text().startswith("scheme,")
+
+    def test_export_table_txt_only(self, tmp_path):
+        from repro.experiments.tables import table3
+
+        written = export_result(table3(), tmp_path)
+        assert [path.name for path in written] == ["table3.txt"]
+
+
+class TestSensitivityDriver:
+    def test_rows_cover_shiftable_benchmarks(self):
+        from repro.experiments.extras import extra_sensitivity
+
+        result = extra_sensitivity(history_bits=8)
+        rows = result.extra["rows"]
+        # Exactly the benchmarks with a training set AND an alternate.
+        assert set(rows) == {"espresso", "gcc", "li", "doduc"}
+        for name, by_input in rows.items():
+            assert "testing" in by_input
+            assert len(by_input) >= 2
+            for values in by_input.values():
+                assert 0 < values["pag"] <= 1
+
+
+class TestIPCDriver:
+    def test_speedups_positive_and_two_level_wins_overall(self, small_cases):
+        from repro.experiments.extras import extra_ipc
+
+        result = extra_ipc(cases=small_cases)
+        rows = result.extra["rows"]
+        assert set(rows) == {c.name for c in small_cases}
+        # On the hard integer benchmark the two-level IPC gain is real.
+        assert rows["eqntott"]["pag_ipc"] > rows["eqntott"]["btb_ipc"] * 1.2

@@ -1,0 +1,141 @@
+"""Tests for the §3.2 fetch model (BTAC + RAS + bubble accounting)."""
+
+import pytest
+
+from repro.core.twolevel import make_pag
+from repro.predictors.static import AlwaysTaken
+from repro.sim.fetch import (
+    BranchTargetCache,
+    FetchEngine,
+    ReturnAddressStack,
+)
+from repro.trace import synthetic
+from repro.trace.events import TraceBuilder
+
+
+class TestBranchTargetCache:
+    def test_miss_then_hit(self):
+        btac = BranchTargetCache(64, 2)
+        assert btac.predict_target(0x100) is None
+        btac.record(0x100, 0x500)
+        assert btac.predict_target(0x100) == 0x500
+        assert btac.hits == 1
+        assert btac.lookups == 2
+
+    def test_target_update(self):
+        btac = BranchTargetCache(64, 2)
+        btac.record(0x100, 0x500)
+        btac.record(0x100, 0x900)  # indirect branch changed target
+        assert btac.predict_target(0x100) == 0x900
+
+    def test_flush(self):
+        btac = BranchTargetCache(64, 2)
+        btac.record(0x100, 0x500)
+        btac.flush()
+        assert btac.predict_target(0x100) is None
+
+    def test_capacity_conflicts(self):
+        btac = BranchTargetCache(4, 1)
+        btac.record(0, 0xA)
+        btac.record(4, 0xB)  # same set, evicts
+        assert btac.predict_target(0) is None
+
+
+class TestReturnAddressStack:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x10)
+        ras.push(0x20)
+        assert ras.pop() == 0x20
+        assert ras.pop() == 0x10
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack(4)
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.overflows == 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(0)
+
+
+class TestFetchEngine:
+    def _loop_trace(self):
+        return synthetic.loop_trace(iterations=50, trip_count=10)
+
+    def test_perfect_direction_no_btac_pays_taken_bubbles(self):
+        trace = self._loop_trace()
+        engine = FetchEngine(make_pag(8), btac=None, mispredict_penalty=5, taken_bubble=1)
+        stats = engine.run(trace)
+        # Every taken (correctly predicted) branch costs one bubble.
+        assert stats.target_bubbles == stats.taken_transfers
+        assert stats.penalty_cycles >= stats.taken_transfers
+
+    def test_btac_removes_most_taken_bubbles(self):
+        trace = self._loop_trace()
+        without = FetchEngine(make_pag(8), btac=None).run(trace)
+        with_btac = FetchEngine(make_pag(8), btac=BranchTargetCache()).run(trace)
+        assert with_btac.target_bubbles < 0.1 * without.target_bubbles
+        assert with_btac.cycles_per_instruction < without.cycles_per_instruction
+
+    def test_mispredict_penalty_charged(self):
+        builder = TraceBuilder()
+        for outcome in (False, False, False, False):
+            builder.conditional(0x1, outcome, work=3)
+        engine = FetchEngine(AlwaysTaken(), btac=BranchTargetCache(), mispredict_penalty=7)
+        stats = engine.run(builder.build())
+        assert stats.mispredict_squashes == 4
+        assert stats.penalty_cycles == 28
+
+    def test_cpi_bounded_below_by_one(self):
+        trace = self._loop_trace()
+        stats = FetchEngine(make_pag(8), btac=BranchTargetCache()).run(trace)
+        assert stats.cycles_per_instruction >= 1.0
+
+    def test_ras_predicts_isa_returns(self):
+        from repro.isa.programs import program_trace
+
+        _state, trace = program_trace("sum_recursive", n=30)
+        engine = FetchEngine(
+            make_pag(8),
+            btac=BranchTargetCache(),
+            ras=ReturnAddressStack(64),
+        )
+        stats = engine.run(trace)
+        assert stats.ras_returns == 31
+        assert stats.ras_accuracy == 1.0
+
+    def test_without_ras_returns_go_to_btac(self):
+        from repro.isa.programs import program_trace
+
+        _state, trace = program_trace("sum_recursive", n=30)
+        stats = FetchEngine(make_pag(8), btac=BranchTargetCache(), ras=None).run(trace)
+        assert stats.ras_return_hits == 0
+        # All calls return to the same site, so the BTAC actually does
+        # fine here; the point is the path is exercised.
+        assert stats.taken_transfers > 0
+
+    def test_direction_accuracy_reported(self):
+        trace = self._loop_trace()
+        stats = FetchEngine(make_pag(12), btac=BranchTargetCache()).run(trace)
+        # trip-10 loop: a 12-bit history disambiguates the exit.
+        assert stats.direction_accuracy > 0.95
+
+    def test_penalty_validation(self):
+        with pytest.raises(ValueError):
+            FetchEngine(make_pag(4), mispredict_penalty=-1)
+
+    def test_instruction_count_matches_trace(self):
+        trace = self._loop_trace()
+        stats = FetchEngine(make_pag(8)).run(trace)
+        assert stats.instructions == trace.meta.total_instructions

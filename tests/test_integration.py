@@ -1,0 +1,207 @@
+"""Integration tests: the paper's headline claims, checked end-to-end.
+
+These replay the full nine-benchmark suite through the key predictor
+configurations and assert the *shape* results the paper reports
+(orderings, gaps, crossovers) — the quantities EXPERIMENTS.md records.
+"""
+
+import pytest
+
+from repro.core.automata import PAPER_AUTOMATA
+from repro.core.static_training import GSgPredictor, PSgPredictor
+from repro.core.twolevel import make_gag, make_pag, make_pap
+from repro.predictors.base import TrainingUnavailable
+from repro.predictors.btb import btb_a2, btb_last_time
+from repro.predictors.static import BTFN, AlwaysTaken, ProfileGuided
+from repro.sim.engine import ContextSwitchConfig
+from repro.sim.runner import run_matrix
+
+
+def _needs(trace, builder):
+    if trace is None:
+        raise TrainingUnavailable("NA")
+    return builder(trace)
+
+
+@pytest.fixture(scope="module")
+def headline(suite_cases):
+    """One shared matrix with the Figure 11 schemes + iso-accuracy configs."""
+    builders = {
+        "PAg-12": lambda t: make_pag(12),
+        "GAg-18": lambda t: make_gag(18),
+        "PAp-6": lambda t: make_pap(6),
+        "GAg-6": lambda t: make_gag(6),
+        "PAg-6": lambda t: make_pag(6),
+        "PSg-12": lambda t: _needs(t, lambda tr: PSgPredictor.trained_on(tr, 12, 512, 4)),
+        "GSg-12": lambda t: _needs(t, lambda tr: GSgPredictor.trained_on(tr, 12)),
+        "BTB-A2": lambda t: btb_a2(),
+        "BTB-LT": lambda t: btb_last_time(),
+        "Profile": lambda t: _needs(t, ProfileGuided.trained_on),
+        "BTFN": lambda t: BTFN(),
+        "AT": lambda t: AlwaysTaken(),
+    }
+    return run_matrix(builders, suite_cases)
+
+
+class TestFigure11Claims:
+    def test_two_level_beats_every_other_family(self, headline):
+        best_two_level = max(
+            headline.gmean(s) for s in ("PAg-12", "GAg-18", "PAp-6")
+        )
+        for other in ("PSg-12", "GSg-12", "BTB-A2", "BTB-LT", "Profile", "BTFN", "AT"):
+            assert best_two_level > headline.gmean(other), other
+
+    def test_two_level_gap_is_substantial(self, headline):
+        # Paper: 97 vs at most 94.4 — a >= 2.6 point lead. We require a
+        # clear (>= 2 point) lead over the best non-two-level scheme.
+        two_level = max(headline.gmean(s) for s in ("PAg-12", "GAg-18", "PAp-6"))
+        rest = max(
+            headline.gmean(s)
+            for s in ("PSg-12", "GSg-12", "BTB-A2", "BTB-LT", "Profile", "BTFN", "AT")
+        )
+        assert two_level - rest >= 0.02
+
+    def test_btb_ordering(self, headline):
+        assert headline.gmean("BTB-A2") > headline.gmean("BTB-LT")
+
+    def test_static_schemes_at_the_bottom(self, headline):
+        floor = min(
+            headline.gmean(s)
+            for s in ("PAg-12", "GAg-18", "PAp-6", "BTB-A2", "Profile")
+        )
+        assert headline.gmean("BTFN") < floor
+        assert headline.gmean("AT") < headline.gmean("BTFN")
+
+    def test_always_taken_near_paper_value(self, headline):
+        # Paper: ~62.5 %. Ours should land in the same regime.
+        assert 0.50 < headline.gmean("AT") < 0.72
+
+    def test_profiled_schemes_skip_na_benchmarks(self, headline):
+        for scheme in ("PSg-12", "GSg-12", "Profile"):
+            for benchmark in ("eqntott", "fpppp", "matrix300", "tomcatv"):
+                assert headline.accuracy(scheme, benchmark) is None
+
+    def test_two_level_strong_on_every_benchmark(self, headline):
+        for benchmark in headline.benchmarks:
+            assert headline.accuracy("PAg-12", benchmark) > 0.85, benchmark
+
+
+class TestFigure6Claims:
+    def test_pap_ge_pag_ge_gag_at_equal_history(self, headline):
+        pap = headline.gmean("PAp-6", "int")
+        pag = headline.gmean("PAg-6", "int")
+        gag = headline.gmean("GAg-6", "int")
+        assert pap > pag > gag
+
+    def test_gag_weak_at_six_bits(self, headline):
+        assert headline.gmean("GAg-6") < headline.gmean("PAg-12") - 0.03
+
+
+class TestFigure7Claims:
+    def test_gag_gains_big_from_history_length(self, headline):
+        # Paper: ~9 points from 6 -> 18 bits.
+        gain = headline.gmean("GAg-18", "int") - headline.gmean("GAg-6", "int")
+        assert gain > 0.05
+
+    def test_monotone_on_integer_codes(self, suite_cases):
+        int_cases = [c for c in suite_cases if c.category == "int"]
+        builders = {f"GAg-{k}": (lambda t, k=k: make_gag(k)) for k in (6, 10, 14, 18)}
+        matrix = run_matrix(builders, int_cases)
+        values = [matrix.gmean(f"GAg-{k}") for k in (6, 10, 14, 18)]
+        assert values == sorted(values)
+
+
+class TestFigure8Claims:
+    def test_iso_accuracy_configs_close(self, headline):
+        accuracies = [headline.gmean(s) for s in ("GAg-18", "PAg-12", "PAp-6")]
+        assert max(accuracies) - min(accuracies) < 0.04
+
+    def test_pag_is_cheapest_at_iso_accuracy(self):
+        from repro.core.cost import cost_gag, cost_pag, cost_pap
+
+        assert cost_pag(512, 4, 12) < cost_gag(18)
+        assert cost_pag(512, 4, 12) < cost_pap(512, 4, 6)
+
+
+class TestFigure9Claims:
+    @pytest.fixture(scope="class")
+    def switched(self, suite_cases):
+        builders = {
+            "GAg-18": lambda t: make_gag(18),
+            "PAg-12": lambda t: make_pag(12),
+            "PAp-6": lambda t: make_pap(6),
+        }
+        return run_matrix(builders, suite_cases, context_switches=ContextSwitchConfig())
+
+    def test_average_degradation_small(self, headline, switched):
+        # Paper: all three degrade by less than 1 point on average.
+        for scheme in ("GAg-18", "PAg-12", "PAp-6"):
+            degradation = headline.gmean(scheme) - switched.gmean(scheme)
+            assert degradation < 0.02, scheme
+
+    def test_gcc_hurts_most_under_pag(self, headline, switched):
+        # gcc's traps flush the BHT constantly (paper: gcc degrades
+        # far more than the others under PAg/PAp).
+        degradations = {
+            benchmark: headline.accuracy("PAg-12", benchmark)
+            - switched.accuracy("PAg-12", benchmark)
+            for benchmark in headline.benchmarks
+        }
+        worst = max(degradations, key=degradations.get)
+        assert worst == "gcc", degradations
+
+    def test_gag_robust_to_switches(self, headline, switched):
+        # An initialised global register refills quickly (paper §5.1.4).
+        degradation = headline.gmean("GAg-18") - switched.gmean("GAg-18")
+        assert degradation < 0.01
+
+
+class TestFigure10Claims:
+    @pytest.fixture(scope="class")
+    def bht_matrix(self, suite_cases):
+        builders = {
+            "IBHT": lambda t: make_pag(12, bht_entries=None),
+            "512x4": lambda t: make_pag(12, bht_entries=512, bht_associativity=4),
+            "256x1": lambda t: make_pag(12, bht_entries=256, bht_associativity=1),
+        }
+        return run_matrix(builders, suite_cases, context_switches=ContextSwitchConfig())
+
+    def test_512x4_close_to_ideal(self, bht_matrix):
+        assert bht_matrix.gmean("IBHT") - bht_matrix.gmean("512x4") < 0.01
+
+    def test_small_direct_mapped_hurts_gcc_most(self, bht_matrix):
+        losses = {
+            benchmark: bht_matrix.accuracy("IBHT", benchmark)
+            - bht_matrix.accuracy("256x1", benchmark)
+            for benchmark in bht_matrix.benchmarks
+        }
+        assert max(losses, key=losses.get) == "gcc"
+        assert losses["gcc"] > 0.01
+
+
+class TestFigure5Claims:
+    @pytest.fixture(scope="class")
+    def automata_matrix(self, suite_cases):
+        int_cases = [c for c in suite_cases if c.category == "int"]
+        builders = {
+            name: (lambda t, a=spec: make_pag(12, a))
+            for name, spec in PAPER_AUTOMATA.items()
+        }
+        return run_matrix(builders, int_cases)
+
+    def test_counters_beat_one_bit_automata(self, automata_matrix):
+        # Paper: the four-state automata outperform Last-Time; A1 is the
+        # weakest of the four. In our traces A1 and LT land within noise
+        # of each other (EXPERIMENTS.md records the small deviation), so
+        # the robust claim checked here is counters > {A1, LT}.
+        weak = max(automata_matrix.gmean("LT"), automata_matrix.gmean("A1"))
+        for name in ("A2", "A3", "A4"):
+            assert automata_matrix.gmean(name) > weak + 0.01
+
+    def test_a1_within_noise_of_lt(self, automata_matrix):
+        assert abs(automata_matrix.gmean("A1") - automata_matrix.gmean("LT")) < 0.01
+
+    def test_counter_family_tight(self, automata_matrix):
+        # Paper: A2/A3/A4 "very close to each other".
+        values = [automata_matrix.gmean(n) for n in ("A2", "A3", "A4")]
+        assert max(values) - min(values) < 0.01

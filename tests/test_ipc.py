@@ -1,0 +1,71 @@
+"""Tests for the accuracy -> IPC first-order model."""
+
+import pytest
+
+from repro.core.twolevel import make_pag
+from repro.predictors.btb import btb_a2
+from repro.sim.engine import simulate
+from repro.sim.ipc import MachineModel, ipc_estimate, ipc_from_result, speedup
+from repro.trace import synthetic
+
+
+class TestModelBasics:
+    def test_perfect_prediction_full_ipc(self):
+        machine = MachineModel(width=4, resolve_depth=8)
+        estimate = ipc_estimate(1.0, branch_fraction=0.2, machine=machine)
+        assert estimate.effective_ipc == pytest.approx(4.0)
+        assert estimate.fetch_efficiency == pytest.approx(1.0)
+
+    def test_paper_intro_claim_five_percent_hurts(self):
+        # 5 % miss rate on a wide, deep machine loses a big chunk.
+        machine = MachineModel(width=8, resolve_depth=12)
+        estimate = ipc_estimate(0.95, branch_fraction=0.2, machine=machine)
+        assert estimate.fetch_efficiency < 0.6
+
+    def test_monotone_in_accuracy(self):
+        values = [ipc_estimate(a, 0.2).effective_ipc for a in (0.8, 0.9, 0.95, 0.99)]
+        assert values == sorted(values)
+
+    def test_deeper_pipeline_amplifies_misses(self):
+        shallow = ipc_estimate(0.94, 0.2, MachineModel(4, 4)).effective_ipc
+        deep = ipc_estimate(0.94, 0.2, MachineModel(4, 16)).effective_ipc
+        assert deep < shallow
+
+    def test_fp_codes_less_sensitive(self):
+        # Fewer branches per instruction -> less exposure to misses.
+        int_style = ipc_estimate(0.9, branch_fraction=0.2)
+        fp_style = ipc_estimate(0.9, branch_fraction=0.04)
+        assert fp_style.effective_ipc > int_style.effective_ipc
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ipc_estimate(1.2, 0.2)
+        with pytest.raises(ValueError):
+            ipc_estimate(0.9, 0.0)
+        with pytest.raises(ValueError):
+            MachineModel(width=0)
+
+
+class TestFromMeasuredResults:
+    def test_two_level_buys_real_ipc_over_btb(self):
+        trace = synthetic.interleaved(
+            [synthetic.loop_source(t) for t in (3, 4, 5)], length=30_000
+        )
+        pag = simulate(make_pag(10), trace)
+        btb = simulate(btb_a2(), trace)
+        machine = MachineModel(width=4, resolve_depth=10)
+        gain = ipc_from_result(pag, machine).effective_ipc / ipc_from_result(
+            btb, machine
+        ).effective_ipc
+        assert gain > 1.2  # the paper's "vital to delivering performance"
+
+    def test_requires_instruction_counts(self):
+        from repro.sim.results import SimulationResult
+
+        with pytest.raises(ValueError):
+            ipc_from_result(SimulationResult("s", "b", "", 100, 90))
+
+    def test_speedup_helper_consistent(self):
+        direct = speedup(0.97, 0.93, branch_fraction=0.2)
+        assert direct > 1.1
+        assert speedup(0.93, 0.93, 0.2) == pytest.approx(1.0)

@@ -1,0 +1,171 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import (
+    CODE_BASE,
+    DATA_BASE,
+    AssemblyError,
+    assemble,
+)
+from repro.isa.isa import Kind
+
+
+class TestBasicAssembly:
+    def test_addresses_advance_by_word(self):
+        program = assemble("main: nop\n nop\n halt\n")
+        assert [i.address for i in program.instructions] == [
+            CODE_BASE,
+            CODE_BASE + 4,
+            CODE_BASE + 8,
+        ]
+
+    def test_labels_resolve(self):
+        program = assemble(
+            """
+main:   li r2, 5
+loop:   addi r2, r2, -1
+        bcnd ne0, r2, loop
+        halt
+"""
+        )
+        assert program.labels["loop"] == CODE_BASE + 4
+        branch = program.instructions[2]
+        assert branch.kind is Kind.BRANCH_COND
+        assert branch.operands[2] == CODE_BASE + 4
+
+    def test_entry_point_defaults_to_main(self):
+        program = assemble("start: nop\nmain: halt\n")
+        assert program.entry_point == CODE_BASE + 4
+
+    def test_entry_point_without_main(self):
+        program = assemble("nop\nhalt\n")
+        assert program.entry_point == CODE_BASE
+
+    def test_comments_and_blanks(self):
+        program = assemble(
+            """
+; full line comment
+# another style
+main: nop   ; trailing comment
+      halt  # trailing comment
+"""
+        )
+        assert len(program.instructions) == 2
+
+    def test_forward_references(self):
+        program = assemble(
+            """
+main:   br end
+        nop
+end:    halt
+"""
+        )
+        assert program.instructions[0].operands[0] == CODE_BASE + 8
+
+
+class TestDataSegment:
+    def test_word_directive(self):
+        program = assemble(
+            """
+main: halt
+.data
+table: .word 10 20 30
+"""
+        )
+        base = program.labels["table"]
+        assert base == DATA_BASE
+        assert program.data[base] == 10
+        assert program.data[base + 4] == 20
+        assert program.data[base + 8] == 30
+
+    def test_space_directive_zero_filled(self):
+        program = assemble("main: halt\n.data\nbuf: .space 3\n")
+        base = program.labels["buf"]
+        assert [program.data[base + 4 * i] for i in range(3)] == [0, 0, 0]
+
+    def test_data_labels_usable_as_immediates(self):
+        program = assemble(
+            """
+main:   li r2, table
+        halt
+.data
+table:  .word 7
+"""
+        )
+        assert program.instructions[0].operands[1] == DATA_BASE
+
+    def test_word_can_hold_label(self):
+        program = assemble(
+            """
+main: halt
+.data
+ptr:  .word main
+"""
+        )
+        assert program.data[DATA_BASE] == CODE_BASE
+
+    def test_text_directive_switches_back(self):
+        program = assemble(
+            """
+main: halt
+.data
+x: .word 1
+.text
+extra: nop
+"""
+        )
+        assert program.labels["extra"] == CODE_BASE + 4
+
+
+class TestOperandEncoding:
+    def test_register_parsing(self):
+        program = assemble("main: add r3, r4, r5\nhalt\n")
+        assert program.instructions[0].operands == (3, 4, 5)
+
+    def test_negative_and_hex_immediates(self):
+        program = assemble("main: addi r2, r2, -7\nli r3, 0x40\nhalt\n")
+        assert program.instructions[0].operands[2] == -7
+        assert program.instructions[1].operands[1] == 0x40
+
+    def test_condition_operand(self):
+        program = assemble("main: bcnd gt0, r2, main\nhalt\n")
+        assert program.instructions[0].operands[0] == "gt0"
+
+    def test_symbolic_cmp_bit(self):
+        program = assemble("main: bb1 lt, r9, main\nhalt\n")
+        from repro.isa.isa import CMP_BITS
+
+        assert program.instructions[0].operands[0] == CMP_BITS["lt"]
+
+    def test_numeric_bit(self):
+        program = assemble("main: bb0 5, r9, main\nhalt\n")
+        assert program.instructions[0].operands[0] == 5
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source,fragment",
+        [
+            ("main: frobnicate r1\n", "unknown mnemonic"),
+            ("main: add r1, r2\n", "expects 3 operands"),
+            ("main: add r1, r2, x9\n", "expected register"),
+            ("main: add r99, r2, r3\n", "out of range"),
+            ("main: bcnd weird, r2, main\n", "unknown condition"),
+            ("main: br nowhere\n", "undefined label"),
+            ("main: .bogus 3\n", "unknown directive"),
+            (".data\nx: add r1, r2, r3\n", "inside .data"),
+            ("main: bb1 40, r2, main\n", "out of range"),
+        ],
+    )
+    def test_error_cases(self, source, fragment):
+        with pytest.raises(AssemblyError, match=fragment):
+            assemble(source)
+
+    def test_error_carries_line_number(self):
+        try:
+            assemble("main: nop\n bad r1\n")
+        except AssemblyError as error:
+            assert error.line_number == 2
+        else:  # pragma: no cover
+            pytest.fail("expected AssemblyError")

@@ -1,0 +1,187 @@
+"""Tests for the instruction-level simulator."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.cpu import CPU, ExecutionError, run_program
+from repro.isa.isa import compare_bits, evaluate_condition, CMP_BITS
+from repro.trace.events import BranchClass
+
+
+def run(source, **kwargs):
+    return run_program(assemble(source), **kwargs)
+
+
+class TestConditionSemantics:
+    def test_evaluate_condition(self):
+        assert evaluate_condition("eq0", 0)
+        assert evaluate_condition("ne0", 5)
+        assert evaluate_condition("gt0", 1)
+        assert not evaluate_condition("gt0", 0)
+        assert evaluate_condition("lt0", -1)
+        assert evaluate_condition("ge0", 0)
+        assert evaluate_condition("le0", -3)
+        with pytest.raises(ValueError):
+            evaluate_condition("weird", 0)
+
+    def test_compare_bits_relations(self):
+        bits = compare_bits(3, 5)
+        assert bits >> CMP_BITS["lt"] & 1
+        assert bits >> CMP_BITS["le"] & 1
+        assert bits >> CMP_BITS["ne"] & 1
+        assert not (bits >> CMP_BITS["gt"] & 1)
+        bits_eq = compare_bits(4, 4)
+        assert bits_eq >> CMP_BITS["eq"] & 1
+        assert bits_eq >> CMP_BITS["ge"] & 1
+
+
+class TestExecution:
+    def test_r0_hardwired_zero(self):
+        state, _ = run("main: li r0, 99\n add r2, r0, r0\n halt\n")
+        assert state.reg(0) == 0
+        assert state.reg(2) == 0
+
+    def test_arithmetic(self):
+        state, _ = run(
+            """
+main:   li   r2, 6
+        li   r3, 7
+        mul  r4, r2, r3
+        sub  r5, r4, r2
+        div  r6, r4, r3
+        halt
+"""
+        )
+        assert state.reg(4) == 42
+        assert state.reg(5) == 36
+        assert state.reg(6) == 6
+
+    def test_logic_and_shifts(self):
+        state, _ = run(
+            """
+main:   li   r2, 0b1100
+        li   r3, 0b1010
+        and  r4, r2, r3
+        or   r5, r2, r3
+        xor  r6, r2, r3
+        li   r7, 2
+        sll  r8, r2, r7
+        srl  r9, r2, r7
+        halt
+"""
+        )
+        assert state.reg(4) == 0b1000
+        assert state.reg(5) == 0b1110
+        assert state.reg(6) == 0b0110
+        assert state.reg(8) == 0b110000
+        assert state.reg(9) == 0b11
+
+    def test_memory_round_trip(self):
+        state, _ = run(
+            """
+main:   li  r2, 1234
+        li  r3, buf
+        st  r2, r3, 8
+        ld  r4, r3, 8
+        halt
+.data
+buf:    .space 4
+"""
+        )
+        assert state.reg(4) == 1234
+
+    def test_uninitialised_memory_reads_zero(self):
+        state, _ = run("main: li r3, 0x9000\n ld r4, r3, 0\n halt\n")
+        assert state.reg(4) == 0
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError, match="division"):
+            run("main: li r2, 1\n div r3, r2, r0\n halt\n")
+
+    def test_runaway_guard(self):
+        with pytest.raises(ExecutionError, match="budget"):
+            run("main: br main\n", max_instructions=100)
+
+    def test_pc_off_the_rails(self):
+        with pytest.raises(ExecutionError, match="outside"):
+            run("main: li r2, 0\n jmp r2\n halt\n")
+
+
+class TestBranchTracing:
+    def test_conditional_branch_records(self):
+        _, trace = run(
+            """
+main:   li   r2, 3
+loop:   addi r2, r2, -1
+        bcnd ne0, r2, loop
+        halt
+"""
+        )
+        conditional = trace.conditional_only()
+        assert [r.taken for r in conditional] == [True, True, False]
+        assert len(set(r.pc for r in conditional)) == 1
+
+    def test_bb1_and_bb0(self):
+        _, trace = run(
+            """
+main:   li   r2, 5
+        li   r3, 9
+        cmp  r4, r2, r3
+        bb1  lt, r4, yes
+        nop
+yes:    bb0  gt, r4, also
+        nop
+also:   halt
+"""
+        )
+        outcomes = [r.taken for r in trace.conditional_only()]
+        assert outcomes == [True, True]  # 5<9 so lt set, gt clear
+
+    def test_call_and_return_classes(self):
+        _, trace = run(
+            """
+main:   bsr  sub
+        halt
+sub:    jmp  r1
+"""
+        )
+        classes = [r.branch_class for r in trace]
+        assert classes == [BranchClass.CALL, BranchClass.RETURN]
+
+    def test_unconditional_and_register_jump(self):
+        _, trace = run(
+            """
+main:   br   skip
+        nop
+skip:   li   r5, out
+        jmp  r5
+        nop
+out:    halt
+"""
+        )
+        classes = [r.branch_class for r in trace]
+        assert classes == [BranchClass.UNCONDITIONAL, BranchClass.UNCONDITIONAL]
+
+    def test_trap_marks_next_branch(self):
+        _, trace = run(
+            """
+main:   trap 0
+        li  r2, 1
+        bcnd ne0, r2, end
+end:    halt
+"""
+        )
+        assert trace[0].trap is True
+
+    def test_instruction_count(self):
+        state, trace = run("main: nop\n nop\n halt\n")
+        assert state.instructions_executed == 3
+        assert trace.meta.total_instructions == 3
+
+    def test_step_by_step(self):
+        cpu = CPU(assemble("main: li r2, 1\n halt\n"))
+        cpu.step()
+        assert cpu.registers[2] == 1
+        assert not cpu.halted
+        cpu.step()
+        assert cpu.halted

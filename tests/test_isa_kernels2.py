@@ -1,0 +1,99 @@
+"""Correctness tests for the second wave of assembly kernels."""
+
+import pytest
+
+from repro.core.twolevel import make_gag, make_pag
+from repro.isa.cpu import run_program
+from repro.isa.programs import assemble_program, program_trace
+from repro.predictors.btb import btb_a2
+from repro.sim.engine import simulate
+from repro.trace.events import BranchClass
+
+
+class TestHanoi:
+    @pytest.mark.parametrize("disks,expected", [(1, 1), (4, 15), (8, 255)])
+    def test_move_counts(self, disks, expected):
+        state, _trace = program_trace("hanoi", disks=disks)
+        assert state.reg(3) == expected
+
+    def test_genuine_double_recursion(self):
+        _state, trace = program_trace("hanoi", disks=8)
+        calls = sum(1 for r in trace if r.branch_class == BranchClass.CALL)
+        # The invocation tree has 2^(n+1) - 1 nodes, each entered by a
+        # bsr (the root's bsr comes from main).
+        assert calls == (1 << 9) - 1
+
+    def test_matches_li_interpreter(self):
+        from repro.trace.events import TraceBuilder
+        from repro.workloads.base import BranchProbe
+        from repro.workloads.li import HANOI_PROGRAM, Interpreter
+
+        state, _trace = program_trace("hanoi", disks=7)
+        interp = Interpreter(BranchProbe("li", TraceBuilder()))
+        lisp_result = interp.run_program(HANOI_PROGRAM.replace("DISKS", "7"))
+        assert state.reg(3) == lisp_result == 127
+
+
+class TestQuicksort:
+    @pytest.mark.parametrize("length", [4, 16, 48])
+    def test_sorts(self, length):
+        program = assemble_program("quicksort", length=length)
+        state, _trace = run_program(program)
+        base = program.labels["array"]
+        values = [state.memory[base + 4 * i] for i in range(length)]
+        assert values == sorted(values)
+
+    def test_balanced_calls_and_returns(self):
+        _state, trace = program_trace("quicksort", length=24)
+        calls = sum(1 for r in trace if r.branch_class == BranchClass.CALL)
+        returns = sum(1 for r in trace if r.branch_class == BranchClass.RETURN)
+        assert calls == returns
+        assert calls > 10
+
+    def test_partition_branches_data_dependent(self):
+        _state, trace = program_trace("quicksort", length=48)
+        conditional = trace.conditional_only()
+        taken = sum(r.taken for r in conditional) / len(conditional)
+        assert 0.2 < taken < 0.9  # neither all-taken nor all-not-taken
+
+
+class TestBinarySearch:
+    def test_hit_count_matches_reference(self):
+        length, probes = 64, 40
+        state, _trace = program_trace("binary_search", length=length, probes=probes)
+        table = set(3 * i for i in range(length))
+        expected = sum(1 for p in range(probes) if (7 * p) % (3 * length) in table)
+        assert state.reg(20) == expected
+
+    def test_search_branches_hard_for_counters(self):
+        _state, trace = program_trace("binary_search", length=128, probes=120)
+        conditional = trace.conditional_only()
+        btb = simulate(btb_a2(), conditional).accuracy
+        # The go-left/go-right branch is essentially key-dependent:
+        # nobody gets near the loop-branch ceiling here.
+        assert btb < 0.95
+
+
+class TestStringOps:
+    def test_strlen_and_strcmp(self):
+        length = 48
+        state, _trace = program_trace("string_ops", length=length)
+        assert state.reg(20) == length
+        expected_diff = (ord("A") + (length - 1) % 26) - ord("!")
+        assert state.reg(21) == expected_diff
+
+    def test_scan_loops_highly_predictable(self):
+        _state, trace = program_trace("string_ops", length=60)
+        accuracy = simulate(make_pag(10), trace.conditional_only()).accuracy
+        assert accuracy > 0.85
+
+
+class TestKernelRegistryComplete:
+    def test_all_ten_programs_run(self):
+        from repro.isa.programs import PROGRAMS
+
+        assert len(PROGRAMS) == 10
+        for name in PROGRAMS:
+            state, trace = program_trace(name)
+            assert state.halted
+            assert len(trace) > 0

@@ -1,0 +1,116 @@
+"""Tests for the assembly kernels: correctness + trace character."""
+
+import pytest
+
+from repro.core.twolevel import make_pag
+from repro.isa.assembler import assemble
+from repro.isa.cpu import run_program
+from repro.isa.programs import (
+    PROGRAMS,
+    assemble_program,
+    bubble_sort,
+    gcd,
+    matmul,
+    program_trace,
+    sieve,
+    sum_recursive,
+)
+from repro.predictors.btb import btb_a2
+from repro.sim.engine import simulate
+from repro.trace.events import BranchClass
+
+
+class TestKernelCorrectness:
+    def test_gcd(self):
+        state, _ = run_program(assemble(gcd(48, 36)))
+        assert state.reg(2) == 12
+
+    def test_gcd_coprime(self):
+        state, _ = run_program(assemble(gcd(17, 4)))
+        assert state.reg(2) == 1
+
+    def test_sum_recursive(self):
+        state, _ = run_program(assemble(sum_recursive(100)))
+        assert state.reg(3) == 5050
+
+    def test_sieve_marks_exactly_the_composites(self):
+        limit = 30
+        state, _ = run_program(assemble(sieve(limit)))
+        flags_base = assemble(sieve(limit)).labels["flags"]
+        primes = [
+            n
+            for n in range(2, limit)
+            if state.memory.get(flags_base + 4 * n, 0) == 0
+        ]
+        assert primes == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+    def test_bubble_sort_sorts(self):
+        length = 12
+        program = assemble(bubble_sort(length))
+        state, _ = run_program(program)
+        base = program.labels["array"]
+        values = [state.memory[base + 4 * i] for i in range(length)]
+        assert values == sorted(values)
+
+    def test_matmul_against_python(self):
+        n = 5
+        program = assemble(matmul(n))
+        state, _ = run_program(program)
+        base = program.labels["c"]
+        a = [[i + j for j in range(n)] for i in range(n)]
+        b = [[i - j for j in range(n)] for i in range(n)]
+        expected = [
+            [sum(a[i][k] * b[k][j] for k in range(n)) for j in range(n)]
+            for i in range(n)
+        ]
+        for i in range(n):
+            for j in range(n):
+                assert state.memory[base + 4 * (i * n + j)] == expected[i][j]
+
+
+class TestKernelTraces:
+    def test_recursion_emits_calls_and_returns(self):
+        _, trace = program_trace("sum_recursive", n=20)
+        classes = [r.branch_class for r in trace]
+        assert classes.count(BranchClass.CALL) == 21  # main + 20 recursive
+        assert classes.count(BranchClass.RETURN) == 21
+
+    def test_counting_loop_trace_shape(self):
+        _, trace = program_trace("counting_loop", iterations=50)
+        conditional = trace.conditional_only()
+        assert len(conditional) == 50
+        assert sum(r.taken for r in conditional) == 49
+
+    def test_backward_targets_for_loops(self):
+        _, trace = program_trace("counting_loop", iterations=5)
+        loop_branch = trace.conditional_only()[0]
+        assert loop_branch.target < loop_branch.pc
+
+    def test_two_level_predicts_isa_matmul_well(self):
+        _, trace = program_trace("matmul", n=8)
+        result = simulate(make_pag(10), trace)
+        assert result.accuracy > 0.90
+
+    def test_two_level_beats_btb_on_short_loops(self):
+        # n=4: trip-4 loops — exactly where pattern history pays off.
+        _, trace = program_trace("matmul", n=4)
+        pag = simulate(make_pag(10), trace).accuracy
+        btb = simulate(btb_a2(), trace).accuracy
+        assert pag > btb
+
+
+class TestProgramRegistry:
+    def test_all_programs_assemble_and_run(self):
+        for name in PROGRAMS:
+            state, trace = program_trace(name)
+            assert state.halted
+            assert len(trace) > 0
+
+    def test_unknown_program(self):
+        with pytest.raises(KeyError):
+            assemble_program("quicksort3000")
+
+    def test_parameters_forwarded(self):
+        _, small = program_trace("counting_loop", iterations=10)
+        _, large = program_trace("counting_loop", iterations=100)
+        assert len(large) > len(small)

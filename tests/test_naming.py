@@ -1,0 +1,124 @@
+"""Tests for the Table 3 configuration naming convention."""
+
+import pytest
+
+from repro.core.automata import A2, A3, LAST_TIME
+from repro.core.naming import SchemeParseError, SchemeSpec
+from repro.core.static_training import GSgPredictor, PSgPredictor
+from repro.core.twolevel import GAgPredictor, PAgPredictor, PApPredictor
+from repro.predictors.btb import BTBPredictor
+from repro.trace.events import TraceBuilder
+
+
+def _training_trace():
+    builder = TraceBuilder()
+    for i in range(50):
+        builder.conditional(0x10, i % 3 != 0)
+    return builder.build()
+
+
+class TestParse:
+    def test_pag_with_context_switch(self):
+        spec = SchemeSpec.parse("PAg(BHT(512,4,12-sr),1xPHT(2^12,A2),c)")
+        assert spec.scheme == "PAg"
+        assert spec.history_size == 512
+        assert spec.history_assoc == 4
+        assert spec.history_bits == 12
+        assert spec.pattern_tables == 1
+        assert spec.pattern_bits == 12
+        assert spec.pattern_content == "A2"
+        assert spec.context_switch
+
+    def test_gag(self):
+        spec = SchemeSpec.parse("GAg(HR(1,,18-sr),1xPHT(2^18,A2),)")
+        assert spec.history_entity == "HR"
+        assert spec.history_bits == 18
+        assert not spec.context_switch
+
+    def test_ibht(self):
+        spec = SchemeSpec.parse("PAg(IBHT(inf,,12-sr),1xPHT(2^12,A2),)")
+        assert spec.ideal_history
+        assert spec.history_size is None
+
+    def test_btb_without_pattern_part(self):
+        spec = SchemeSpec.parse("BTB(BHT(512,4,A2),,)")
+        assert spec.pattern_tables is None
+        assert spec.history_content == "A2"
+
+    def test_pap_with_512_tables(self):
+        spec = SchemeSpec.parse("PAp(BHT(512,4,6-sr),512xPHT(2^6,A2),)")
+        assert spec.pattern_tables == 512
+        assert spec.pattern_bits == 6
+
+    def test_plain_pattern_size(self):
+        spec = SchemeSpec.parse("GAg(HR(1,,6-sr),1xPHT(64,A2),)")
+        assert spec.pattern_bits == 6
+
+    def test_whitespace_tolerated(self):
+        spec = SchemeSpec.parse("PAg( BHT(512, 4, 12-sr), 1xPHT(2^12, A2), c )")
+        assert spec.history_size == 512
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SchemeParseError):
+            SchemeSpec.parse("what even is this")
+
+    def test_rejects_non_power_of_two_pht(self):
+        with pytest.raises(SchemeParseError):
+            SchemeSpec.parse("GAg(HR(1,,6-sr),1xPHT(63,A2),)")
+
+
+class TestRoundTrip:
+    CASES = [
+        "PAg(BHT(512,4,12-sr),1xPHT(2^12,A2),c)",
+        "GAg(HR(1,,18-sr),1xPHT(2^18,A2),)",
+        "PAg(IBHT(inf,,12-sr),1xPHT(2^12,A2),)",
+        "PAp(BHT(512,4,6-sr),512xPHT(2^6,A2),)",
+        "GSg(HR(1,,12-sr),1xPHT(2^12,PB),)",
+        "PSg(BHT(512,4,12-sr),1xPHT(2^12,PB),c)",
+        "BTB(BHT(512,4,A2),,)",
+        "BTB(BHT(512,4,LT),,c)",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_format_parse_format_is_stable(self, text):
+        spec = SchemeSpec.parse(text)
+        assert SchemeSpec.parse(spec.format()) == spec
+
+
+class TestBuild:
+    def test_builds_gag(self):
+        predictor = SchemeSpec.parse("GAg(HR(1,,10-sr),1xPHT(2^10,A2),)").build()
+        assert isinstance(predictor, GAgPredictor)
+        assert predictor.history_bits == 10
+
+    def test_builds_pag_with_automaton(self):
+        predictor = SchemeSpec.parse("PAg(BHT(256,1,8-sr),1xPHT(2^8,A3),)").build()
+        assert isinstance(predictor, PAgPredictor)
+        assert predictor.automaton is A3
+        assert predictor.bht.num_entries == 256
+        assert predictor.bht.associativity == 1
+
+    def test_builds_pap_ideal(self):
+        predictor = SchemeSpec.parse("PAp(IBHT(inf,,6-sr),infxPHT(2^6,A2),)").build()
+        assert isinstance(predictor, PApPredictor)
+
+    def test_builds_btb(self):
+        predictor = SchemeSpec.parse("BTB(BHT(512,4,LT),,)").build()
+        assert isinstance(predictor, BTBPredictor)
+        assert predictor.automaton is LAST_TIME
+
+    def test_builds_static_training_with_trace(self):
+        trace = _training_trace()
+        gsg = SchemeSpec.parse("GSg(HR(1,,8-sr),1xPHT(2^8,PB),)").build(trace)
+        psg = SchemeSpec.parse("PSg(BHT(512,4,8-sr),1xPHT(2^8,PB),)").build(trace)
+        assert isinstance(gsg, GSgPredictor)
+        assert isinstance(psg, PSgPredictor)
+
+    def test_static_training_requires_trace(self):
+        with pytest.raises(SchemeParseError):
+            SchemeSpec.parse("GSg(HR(1,,8-sr),1xPHT(2^8,PB),)").build()
+
+    def test_built_predictor_name_is_canonical(self):
+        text = "PAg(BHT(512,4,12-sr),1xPHT(2^12,A2),)"
+        predictor = SchemeSpec.parse(text).build()
+        assert predictor.name == text

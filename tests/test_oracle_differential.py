@@ -1,0 +1,134 @@
+"""Differential tests: predictors vs independently-written oracles.
+
+Each oracle below re-implements a predictor's architecture in the most
+naive possible style (dicts, no shared machinery). Hypothesis drives
+random branch streams through both implementations and requires
+prediction-for-prediction agreement — strong evidence the optimised
+table machinery is faithful to the specification.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.automata import A2, LAST_TIME
+from repro.core.twolevel import GAgPredictor, PAgPredictor, TwoLevelConfig
+from repro.predictors.btb import BTBPredictor
+
+
+class GAgOracle:
+    """Naive GAg: dict-of-patterns, explicit bit list for the history."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self.history = [1] * k
+        self.states = {}
+
+    def _pattern(self) -> int:
+        value = 0
+        for bit in self.history:
+            value = (value << 1) | bit
+        return value
+
+    def predict(self, pc: int) -> bool:
+        state = self.states.get(self._pattern(), A2.initial_state)
+        return A2.predict(state)
+
+    def update(self, pc: int, taken: bool) -> None:
+        pattern = self._pattern()
+        state = self.states.get(pattern, A2.initial_state)
+        self.states[pattern] = A2.next_state(state, taken)
+        self.history.pop(0)
+        self.history.append(1 if taken else 0)
+
+
+class PAgIdealOracle:
+    """Naive PAg with an unbounded (ideal) branch history table."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self.histories = {}
+        self.fresh = set()
+        self.states = {}
+
+    def _pattern(self, pc: int) -> int:
+        return self.histories.get(pc, (1 << self.k) - 1)
+
+    def predict(self, pc: int) -> bool:
+        if pc not in self.histories:
+            self.histories[pc] = (1 << self.k) - 1
+            self.fresh.add(pc)
+        state = self.states.get(self._pattern(pc), A2.initial_state)
+        return A2.predict(state)
+
+    def update(self, pc: int, taken: bool) -> None:
+        if pc not in self.histories:
+            self.histories[pc] = (1 << self.k) - 1
+            self.fresh.add(pc)
+        pattern = self.histories[pc]
+        state = self.states.get(pattern, A2.initial_state)
+        self.states[pattern] = A2.next_state(state, taken)
+        if pc in self.fresh:
+            # Outcome extension through the whole register.
+            self.histories[pc] = ((1 << self.k) - 1) if taken else 0
+            self.fresh.discard(pc)
+        else:
+            mask = (1 << self.k) - 1
+            self.histories[pc] = ((pattern << 1) | (1 if taken else 0)) & mask
+
+
+class BTBIdealOracle:
+    """Naive per-branch Last-Time with no capacity limit."""
+
+    def __init__(self) -> None:
+        self.last = {}
+
+    def predict(self, pc: int) -> bool:
+        return self.last.get(pc, True)
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.last[pc] = taken
+
+
+stream = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=12), st.booleans()),
+    min_size=1,
+    max_size=400,
+)
+
+
+class TestGAgAgainstOracle:
+    @given(rows=stream, k=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_prediction_for_prediction_agreement(self, rows, k):
+        real = GAgPredictor(k)
+        oracle = GAgOracle(k)
+        for pc, taken in rows:
+            assert real.predict(pc) == oracle.predict(pc)
+            real.update(pc, taken)
+            oracle.update(pc, taken)
+
+
+class TestPAgAgainstOracle:
+    @given(rows=stream, k=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_ideal_bht_agreement(self, rows, k):
+        real = PAgPredictor(TwoLevelConfig(history_bits=k, bht_entries=None))
+        oracle = PAgIdealOracle(k)
+        for pc, taken in rows:
+            assert real.predict(pc) == oracle.predict(pc), (pc, taken)
+            real.update(pc, taken)
+            oracle.update(pc, taken)
+
+
+class TestBTBAgainstOracle:
+    @given(rows=stream)
+    @settings(max_examples=60, deadline=None)
+    def test_last_time_with_big_table_matches_ideal_oracle(self, rows):
+        # 4096 entries, fully associative enough for pcs 0..12: no
+        # evictions, so the tagged cache must behave like a plain dict.
+        real = BTBPredictor(num_entries=4096, associativity=4, automaton=LAST_TIME)
+        oracle = BTBIdealOracle()
+        for pc, taken in rows:
+            assert real.predict(pc) == oracle.predict(pc)
+            real.update(pc, taken)
+            oracle.update(pc, taken)

@@ -1,0 +1,108 @@
+"""Tests for the per-set variants (SAg / SAs)."""
+
+import pytest
+
+from repro.core.cost import cost_gag, cost_pag
+from repro.core.perset import SAgPredictor, SAsPredictor, cost_sag, cost_sas
+from repro.core.twolevel import make_gag, make_pag
+from repro.sim.engine import simulate
+from repro.trace import synthetic
+from repro.trace.events import TraceBuilder
+
+
+class TestSetSelection:
+    def test_same_set_shares_history(self):
+        sag = SAgPredictor(4, num_sets=4)
+        # pcs 0x0 and 0x10 map to set 0 in a 4-set predictor
+        # (word-granular: (pc >> 2) % 4).
+        sag.update(0x00, False)
+        sag.update(0x10, False)
+        assert sag.registers[0] == 0b1100
+
+    def test_different_sets_are_isolated(self):
+        sag = SAgPredictor(4, num_sets=4)
+        sag.update(0x00, False)  # set 0
+        sag.update(0x04, True)  # set 1
+        assert sag.registers[0] == 0b1110
+        assert sag.registers[1] == 0b1111
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SAgPredictor(4, num_sets=0)
+        with pytest.raises(ValueError):
+            SAsPredictor(4, num_sets=0)
+
+
+class TestBehaviouralOrdering:
+    def _trace(self):
+        sources = [synthetic.loop_source(t) for t in (3, 4, 5, 7, 9, 11)] + [
+            synthetic.pattern_source([True, False]),
+            synthetic.pattern_source([True, True, False]),
+        ]
+        return synthetic.interleaved(sources, length=40_000)
+
+    def test_sag_between_gag_and_pag(self):
+        trace = self._trace()
+        gag = simulate(make_gag(6), trace).accuracy
+        sag = simulate(SAgPredictor(6, num_sets=32), trace).accuracy
+        pag = simulate(make_pag(6), trace).accuracy
+        assert gag < sag <= pag + 0.01
+
+    def test_sas_not_worse_than_sag(self):
+        trace = self._trace()
+        sag = simulate(SAgPredictor(6, num_sets=32), trace).accuracy
+        sas = simulate(SAsPredictor(6, num_sets=32), trace).accuracy
+        assert sas >= sag - 0.005
+
+    def test_one_set_degenerates_to_gag(self):
+        trace = self._trace()
+        gag = simulate(make_gag(6), trace)
+        sag = simulate(SAgPredictor(6, num_sets=1), trace)
+        assert sag.correct_predictions == gag.correct_predictions
+
+    def test_more_sets_reduce_interference(self):
+        trace = self._trace()
+        few = simulate(SAgPredictor(6, num_sets=2), trace).accuracy
+        many = simulate(SAgPredictor(6, num_sets=64), trace).accuracy
+        assert many > few
+
+
+class TestContextSwitchAndReset:
+    def test_context_switch_reinitialises_registers_only(self):
+        sag = SAgPredictor(4, num_sets=4)
+        sag.update(0x00, False)
+        sag.update(0x00, False)
+        snapshot = sag.pht.states_snapshot()
+        sag.on_context_switch()
+        assert sag.registers == [0b1111] * 4
+        assert sag.pht.states_snapshot() == snapshot
+
+    def test_reset_clears_tables(self):
+        sas = SAsPredictor(3, num_sets=2)
+        sas.update(0x00, False)
+        sas.update(0x00, False)
+        sas.reset()
+        for table in sas.tables:
+            assert table.predict(0b111) is True  # back to initial taken
+
+
+class TestPerSetCosts:
+    def test_sag_between_gag_and_pag_in_cost(self):
+        # Same history length: SAg costs more than GAg (extra registers)
+        # but far less than PAg (no tags, no associative lookup).
+        k = 12
+        assert cost_gag(k) < cost_sag(k, num_sets=16) < cost_pag(512, 4, k)
+
+    def test_sas_cost_scales_with_sets(self):
+        assert cost_sas(8, 4) < cost_sas(8, 16)
+        assert cost_sas(8, 16) > cost_sag(8, 16)
+
+    def test_one_set_cost_close_to_gag(self):
+        # SAg(1 set) = GAg plus one decoder row.
+        assert cost_sag(10, 1) == pytest.approx(cost_gag(10) + 1)
+
+
+class TestNames:
+    def test_names_follow_convention(self):
+        assert SAgPredictor(10, 16).name == "SAg(SHR(16,,10-sr),1xPHT(2^10,A2))"
+        assert SAsPredictor(6, 8).name == "SAs(SHR(8,,6-sr),8xPHT(2^6,A2))"

@@ -1,0 +1,127 @@
+"""Unit tests for pattern history tables."""
+
+import pytest
+
+from repro.core.automata import A2, LAST_TIME
+from repro.core.pht import PatternHistoryTable, PHTBank, PresetPatternTable
+
+
+class TestPatternHistoryTable:
+    def test_size_is_two_to_the_k(self):
+        assert len(PatternHistoryTable(6, A2)) == 64
+        assert len(PatternHistoryTable(12, A2)) == 4096
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            PatternHistoryTable(0, A2)
+
+    def test_entries_start_in_initial_state(self):
+        pht = PatternHistoryTable(4, A2)
+        assert all(state == A2.initial_state for state in pht.states_snapshot())
+
+    def test_initial_prediction_is_taken(self):
+        # Paper §4.2: A2 entries initialise to state 3 (predict taken).
+        pht = PatternHistoryTable(4, A2)
+        assert pht.predict(0b0000) is True
+
+    def test_update_only_touches_addressed_entry(self):
+        pht = PatternHistoryTable(4, A2)
+        pht.update(0b0101, False)
+        pht.update(0b0101, False)
+        assert pht.predict(0b0101) is False
+        assert pht.predict(0b0100) is True
+
+    def test_independent_patterns_learn_independently(self):
+        pht = PatternHistoryTable(2, LAST_TIME)
+        pht.update(0b00, False)
+        pht.update(0b11, True)
+        assert pht.predict(0b00) is False
+        assert pht.predict(0b11) is True
+
+    def test_set_state_bounds(self):
+        pht = PatternHistoryTable(2, A2)
+        pht.set_state(0, 1)
+        assert pht.state(0) == 1
+        with pytest.raises(ValueError):
+            pht.set_state(0, 4)
+
+    def test_reset_restores_initial_states(self):
+        pht = PatternHistoryTable(3, A2)
+        for pattern in range(8):
+            pht.update(pattern, False)
+            pht.update(pattern, False)
+        pht.reset()
+        assert all(state == A2.initial_state for state in pht.states_snapshot())
+
+    def test_storage_bits(self):
+        assert PatternHistoryTable(6, A2).storage_bits == 64 * 2
+        assert PatternHistoryTable(6, LAST_TIME).storage_bits == 64 * 1
+
+
+class TestPresetPatternTable:
+    def test_preset_directions(self):
+        table = PresetPatternTable(3, {0b000: False, 0b111: True})
+        assert table.predict(0b000) is False
+        assert table.predict(0b111) is True
+
+    def test_unseen_patterns_use_default(self):
+        table = PresetPatternTable(3, {}, default_direction=True)
+        assert table.predict(0b010) is True
+        table = PresetPatternTable(3, {}, default_direction=False)
+        assert table.predict(0b010) is False
+
+    def test_update_is_noop(self):
+        table = PresetPatternTable(2, {0b01: False})
+        for _ in range(5):
+            table.update(0b01, True)
+        assert table.predict(0b01) is False
+
+    def test_rejects_out_of_range_pattern(self):
+        with pytest.raises(ValueError):
+            PresetPatternTable(2, {7: True})
+
+    def test_storage_is_one_bit_per_entry(self):
+        assert PresetPatternTable(5, {}).storage_bits == 32
+
+
+class TestPHTBank:
+    def test_lazy_materialisation(self):
+        bank = PHTBank(4, A2)
+        assert len(bank) == 0
+        bank.table_for(3)
+        assert len(bank) == 1
+        bank.table_for(3)
+        assert len(bank) == 1
+
+    def test_tables_are_independent(self):
+        bank = PHTBank(4, A2)
+        bank.table_for(0).update(0b0000, False)
+        bank.table_for(0).update(0b0000, False)
+        assert bank.table_for(0).predict(0b0000) is False
+        assert bank.table_for(1).predict(0b0000) is True
+
+    def test_reset_slot(self):
+        bank = PHTBank(4, A2)
+        table = bank.table_for(7)
+        table.update(0, False)
+        table.update(0, False)
+        bank.reset_slot(7)
+        assert bank.table_for(7).predict(0) is True
+
+    def test_reset_slot_on_missing_slot_is_noop(self):
+        bank = PHTBank(4, A2)
+        bank.reset_slot(42)  # must not raise
+        assert len(bank) == 0
+
+    def test_reset_drops_all(self):
+        bank = PHTBank(4, A2)
+        bank.table_for(1)
+        bank.table_for(2)
+        bank.reset()
+        assert len(bank) == 0
+
+    def test_peek(self):
+        bank = PHTBank(4, A2)
+        assert bank.peek(0) is None
+        bank.table_for(0)
+        assert bank.peek(0) is not None

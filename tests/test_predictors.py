@@ -1,0 +1,147 @@
+"""Tests for the comparison predictors (BTB designs + static schemes)."""
+
+import pytest
+
+from repro.core.automata import A2, LAST_TIME
+from repro.predictors.btb import BTBPredictor, btb_a2, btb_last_time
+from repro.predictors.static import (
+    BTFN,
+    AlwaysNotTaken,
+    AlwaysTaken,
+    ProfileGuided,
+    profile_directions,
+)
+from repro.sim.engine import simulate
+from repro.trace import synthetic
+from repro.trace.events import TraceBuilder
+
+
+class TestBTB:
+    def test_predicts_taken_on_cold_entry(self):
+        # Allocation initialises the automaton in its taken-biased state.
+        assert btb_a2().predict(0x1234) is True
+
+    def test_counter_learns_bias(self):
+        btb = btb_a2()
+        for _ in range(4):
+            btb.predict(0xA)
+            btb.update(0xA, False)
+        assert btb.predict(0xA) is False
+
+    def test_last_time_flips_immediately(self):
+        btb = btb_last_time()
+        btb.predict(0xA)
+        btb.update(0xA, False)
+        assert btb.predict(0xA) is False
+        btb.update(0xA, True)
+        assert btb.predict(0xA) is True
+
+    def test_a2_hysteresis_beats_lt_on_glitchy_stream(self):
+        # Long taken runs with isolated not-taken glitches: A2 pays one
+        # miss per glitch, Last-Time pays two (the glitch and the next).
+        trace = synthetic.loop_trace(iterations=400, trip_count=10)
+        a2 = simulate(btb_a2(), trace).accuracy
+        lt = simulate(btb_last_time(), trace).accuracy
+        assert a2 > lt
+
+    def test_no_pattern_level_caps_loop_accuracy(self):
+        # trip-count-4 loop: a counter mispredicts every exit -> 75 %.
+        trace = synthetic.loop_trace(iterations=500, trip_count=4)
+        accuracy = simulate(btb_a2(), trace).accuracy
+        assert accuracy == pytest.approx(0.75, abs=0.01)
+
+    def test_capacity_eviction(self):
+        btb = BTBPredictor(num_entries=4, associativity=1, automaton=A2)
+        for pc in range(16):
+            btb.predict(pc)
+            btb.update(pc, False)
+        # Far more misses than hits under thrashing.
+        assert btb.bht.stats.misses > btb.bht.stats.hits
+
+    def test_context_switch_flushes(self):
+        btb = btb_a2()
+        btb.predict(0xA)
+        btb.update(0xA, False)
+        btb.on_context_switch()
+        assert btb.bht.peek(0xA) is None
+
+    def test_names(self):
+        assert btb_a2().name == "BTB(BHT(512,4,A2),,)"
+        assert btb_last_time().name == "BTB(BHT(512,4,LT),,)"
+        assert BTBPredictor(256, 1, LAST_TIME).name == "BTB(BHT(256,1,LT),,)"
+
+
+class TestAlwaysTakenNotTaken:
+    def test_always_taken(self):
+        predictor = AlwaysTaken()
+        assert predictor.predict(1) is True
+        predictor.update(1, False)
+        assert predictor.predict(1) is True
+
+    def test_always_not_taken(self):
+        assert AlwaysNotTaken().predict(1) is False
+
+    def test_accuracy_equals_taken_rate(self):
+        trace = synthetic.biased_trace(5000, taken_probability=0.7, seed=9)
+        accuracy = simulate(AlwaysTaken(), trace).accuracy
+        assert accuracy == pytest.approx(0.7, abs=0.03)
+
+
+class TestBTFN:
+    def test_backward_predicted_taken(self):
+        assert BTFN().predict(pc=0x1000, target=0x0F00) is True
+
+    def test_forward_predicted_not_taken(self):
+        assert BTFN().predict(pc=0x1000, target=0x1100) is False
+
+    def test_unknown_target_uses_default(self):
+        assert BTFN().predict(pc=0x1000, target=0) is True
+        assert BTFN(unknown_direction=False).predict(pc=0x1000, target=0) is False
+
+    def test_loop_trace_one_miss_per_iteration(self):
+        # Loop branches are backward: BTFN only misses the exits.
+        trace = synthetic.loop_trace(iterations=100, trip_count=10)
+        result = simulate(BTFN(), trace)
+        assert result.mispredictions == 100
+
+
+class TestProfileGuided:
+    def test_profile_directions_majority(self):
+        builder = TraceBuilder()
+        for i in range(10):
+            builder.conditional(0xA, i < 7)  # 7 taken, 3 not
+            builder.conditional(0xB, i < 3)  # 3 taken, 7 not
+        directions = profile_directions(builder.build())
+        assert directions[0xA] is True
+        assert directions[0xB] is False
+
+    def test_tie_resolves_taken(self):
+        builder = TraceBuilder()
+        builder.conditional(0xA, True)
+        builder.conditional(0xA, False)
+        assert profile_directions(builder.build())[0xA] is True
+
+    def test_unprofiled_branch_uses_default(self):
+        predictor = ProfileGuided({0xA: False}, default_direction=True)
+        assert predictor.predict(0xA) is False
+        assert predictor.predict(0xB) is True
+
+    def test_never_adapts(self):
+        predictor = ProfileGuided({0xA: True})
+        for _ in range(10):
+            predictor.update(0xA, False)
+        assert predictor.predict(0xA) is True
+
+    def test_trained_on_matches_manual_profile(self):
+        trace = synthetic.biased_trace(1000, taken_probability=0.8, seed=2)
+        predictor = ProfileGuided.trained_on(trace)
+        assert predictor.num_profiled_branches == 1
+        accuracy = simulate(predictor, trace).accuracy
+        assert accuracy == pytest.approx(0.8, abs=0.04)
+
+    def test_cross_dataset_profiling(self):
+        train = synthetic.biased_trace(2000, taken_probability=0.9, seed=1)
+        test = synthetic.biased_trace(2000, taken_probability=0.9, seed=99, pc=0x3000)
+        predictor = ProfileGuided.trained_on(train)
+        accuracy = simulate(predictor, test).accuracy
+        assert accuracy == pytest.approx(0.9, abs=0.03)

@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.automata import A1, A2, A3, A4, LAST_TIME, saturating_counter
+from repro.core.history import CacheBHT, IdealBHT, history_fill, history_mask, history_update
+from repro.core.pht import PatternHistoryTable
+from repro.core.twolevel import make_gag, make_pag, make_pap
+from repro.predictors.btb import btb_a2
+from repro.sim.engine import ContextSwitchConfig, simulate
+from repro.trace.events import BranchClass, TraceBuilder
+from repro.trace.io import dumps, loads
+
+ALL_AUTOMATA = [LAST_TIME, A1, A2, A3, A4, saturating_counter(3)]
+
+outcome_lists = st.lists(st.booleans(), min_size=1, max_size=200)
+
+
+class TestAutomatonProperties:
+    @given(outcomes=outcome_lists)
+    def test_states_always_in_range(self, outcomes):
+        for spec in ALL_AUTOMATA:
+            state = spec.initial_state
+            for outcome in outcomes:
+                state = spec.next_state(state, outcome)
+                assert 0 <= state < spec.num_states
+
+    @given(outcomes=st.lists(st.booleans(), min_size=8, max_size=100))
+    def test_constant_streams_eventually_predicted(self, outcomes):
+        # After enough identical outcomes every automaton must agree.
+        for spec in ALL_AUTOMATA:
+            for constant in (True, False):
+                state = spec.initial_state
+                for _ in range(spec.num_states):
+                    state = spec.next_state(state, constant)
+                assert spec.predict(state) is constant
+
+    @given(count=st.integers(min_value=1, max_value=50))
+    def test_counter_monotone_in_takens(self, count):
+        state = 0
+        previous = 0
+        for _ in range(count):
+            state = A2.next_state(state, True)
+            assert state >= previous
+            previous = state
+
+
+class TestHistoryRegisterProperties:
+    @given(
+        bits=st.integers(min_value=1, max_value=24),
+        outcomes=outcome_lists,
+    )
+    def test_value_always_within_mask(self, bits, outcomes):
+        value = history_fill(True, bits)
+        for outcome in outcomes:
+            value = history_update(value, outcome, bits)
+            assert 0 <= value <= history_mask(bits)
+
+    @given(
+        bits=st.integers(min_value=1, max_value=16),
+        outcomes=st.lists(st.booleans(), min_size=16, max_size=64),
+    )
+    def test_register_holds_exactly_last_k_outcomes(self, bits, outcomes):
+        value = 0
+        for outcome in outcomes:
+            value = history_update(value, outcome, bits)
+        expected = 0
+        for outcome in outcomes[-bits:]:
+            expected = (expected << 1) | (1 if outcome else 0)
+        assert value == expected
+
+
+class TestBHTProperties:
+    @given(
+        pcs=st.lists(st.integers(min_value=0, max_value=2_000), min_size=1, max_size=300),
+        entries_log=st.integers(min_value=2, max_value=6),
+        assoc_log=st.integers(min_value=0, max_value=2),
+    )
+    def test_cache_invariants(self, pcs, entries_log, assoc_log):
+        entries = 1 << entries_log
+        assoc = min(1 << assoc_log, entries)
+        bht = CacheBHT(entries, assoc)
+        for pc in pcs:
+            entry, _hit = bht.access(pc)
+            # The returned entry must be resident and findable.
+            assert entry.valid
+            assert bht.peek(pc) is entry
+        assert bht.occupancy <= entries
+        stats = bht.stats
+        assert stats.hits + stats.misses == len(pcs)
+        assert stats.evictions <= stats.misses
+
+    @given(pcs=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=200))
+    def test_ideal_bht_agrees_with_reference_dict(self, pcs):
+        bht = IdealBHT(init_value=7)
+        seen = set()
+        for pc in pcs:
+            _entry, hit = bht.access(pc)
+            assert hit == (pc in seen)
+            seen.add(pc)
+        assert bht.num_entries == len(seen)
+
+
+class TestPHTProperties:
+    @given(
+        bits=st.integers(min_value=1, max_value=8),
+        updates=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=255), st.booleans()),
+            max_size=200,
+        ),
+    )
+    def test_only_addressed_entries_change(self, bits, updates):
+        pht = PatternHistoryTable(bits, A2)
+        reference = {}
+        mask = (1 << bits) - 1
+        for pattern, outcome in updates:
+            pattern &= mask
+            state = reference.get(pattern, A2.initial_state)
+            reference[pattern] = A2.next_state(state, outcome)
+            pht.update(pattern, outcome)
+        snapshot = pht.states_snapshot()
+        for pattern in range(1 << bits):
+            assert snapshot[pattern] == reference.get(pattern, A2.initial_state)
+
+
+class TestTraceRoundTripProperties:
+    record_strategy = st.tuples(
+        st.integers(min_value=0, max_value=2**40),  # pc
+        st.booleans(),  # taken
+        st.sampled_from(list(BranchClass)),  # class
+        st.integers(min_value=0, max_value=2**40),  # target
+        st.integers(min_value=0, max_value=50),  # work
+        st.booleans(),  # trap before
+    )
+
+    @given(rows=st.lists(record_strategy, max_size=100))
+    @settings(max_examples=50)
+    def test_binary_round_trip_lossless(self, rows):
+        builder = TraceBuilder(name="prop", dataset="d", source="hypothesis")
+        for pc, taken, cls, target, work, trap in rows:
+            if trap:
+                builder.trap()
+            builder.branch(pc, taken, cls, target=target, work=work)
+        trace = builder.build()
+        restored = loads(dumps(trace))
+        assert restored.meta == trace.meta
+        assert list(restored.iter_tuples()) == list(trace.iter_tuples())
+
+
+class TestPredictorEngineProperties:
+    predictors = [
+        lambda: make_gag(5),
+        lambda: make_pag(5, bht_entries=16, bht_associativity=2),
+        lambda: make_pap(3, bht_entries=8, bht_associativity=2),
+        btb_a2,
+    ]
+
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=40), st.booleans()),
+            min_size=1,
+            max_size=300,
+        ),
+        use_switches=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_stream_simulates_cleanly(self, rows, use_switches):
+        builder = TraceBuilder()
+        for pc, taken in rows:
+            builder.conditional(pc, taken, work=3)
+        trace = builder.build()
+        config = ContextSwitchConfig(interval=100) if use_switches else None
+        for factory in self.predictors:
+            result = simulate(factory(), trace, context_switches=config)
+            assert result.conditional_branches == len(rows)
+            assert 0 <= result.correct_predictions <= len(rows)
+
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=10), st.booleans()),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_simulation_deterministic(self, rows):
+        builder = TraceBuilder()
+        for pc, taken in rows:
+            builder.conditional(pc, taken)
+        trace = builder.build()
+        first = simulate(make_pag(4), trace)
+        second = simulate(make_pag(4), trace)
+        assert first.correct_predictions == second.correct_predictions

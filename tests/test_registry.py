@@ -1,0 +1,162 @@
+"""Tests for the predictor registry (Table 3 + friendly names)."""
+
+import pytest
+
+from repro.core.automata import A3, LAST_TIME
+from repro.core.naming import SchemeParseError
+from repro.core.static_training import GSgPredictor, PSgPredictor
+from repro.core.twolevel import (
+    GAgPredictor,
+    GApPredictor,
+    GsharePredictor,
+    PAgPredictor,
+    PApPredictor,
+)
+from repro.predictors.base import TrainingUnavailable
+from repro.predictors.btb import BTBPredictor
+from repro.predictors.registry import (
+    figure11_factories,
+    make_predictor,
+    paper_table3_specs,
+)
+from repro.predictors.static import BTFN, AlwaysNotTaken, AlwaysTaken, ProfileGuided
+from repro.trace.events import TraceBuilder
+
+
+def _trace():
+    builder = TraceBuilder()
+    for i in range(30):
+        builder.conditional(0x10, i % 2 == 0)
+    return builder.build()
+
+
+class TestTable3Specs:
+    def test_row_count(self):
+        assert len(paper_table3_specs()) == 15
+
+    def test_all_rows_format_and_reparse(self):
+        from repro.core.naming import SchemeSpec
+
+        for spec in paper_table3_specs(12):
+            assert SchemeSpec.parse(spec.format()) == spec
+
+    def test_history_bits_parameterised(self):
+        specs = paper_table3_specs(history_bits=8)
+        two_level = [s for s in specs if s.history_bits is not None]
+        assert all(s.history_bits == 8 for s in two_level)
+
+    def test_context_switch_flag(self):
+        specs = paper_table3_specs(context_switch=True)
+        assert all(s.context_switch for s in specs)
+
+    def test_automata_coverage(self):
+        contents = {s.pattern_content for s in paper_table3_specs() if s.pattern_content}
+        assert {"A1", "A2", "A3", "A4", "LT", "PB"} <= contents
+
+    def test_all_dynamic_rows_buildable(self):
+        trace = _trace()
+        for spec in paper_table3_specs(8):
+            predictor = spec.build(training_trace=trace)
+            assert predictor.predict(0x10) in (True, False)
+
+
+class TestFriendlyNames:
+    @pytest.mark.parametrize(
+        "name,expected_type",
+        [
+            ("gag-12", GAgPredictor),
+            ("gap-8", GApPredictor),
+            ("gshare-10", GsharePredictor),
+            ("pag-12", PAgPredictor),
+            ("pap-6", PApPredictor),
+            ("btb-a2", BTBPredictor),
+            ("btb-lt", BTBPredictor),
+            ("always-taken", AlwaysTaken),
+            ("always-not-taken", AlwaysNotTaken),
+            ("btfn", BTFN),
+        ],
+    )
+    def test_builds_expected_type(self, name, expected_type):
+        assert isinstance(make_predictor(name), expected_type)
+
+    def test_automaton_suffix(self):
+        predictor = make_predictor("pag-12-a3")
+        assert predictor.automaton is A3
+
+    def test_bht_geometry_suffix(self):
+        predictor = make_predictor("pag-12-a2-256x1")
+        assert predictor.bht.num_entries == 256
+        assert predictor.bht.associativity == 1
+
+    def test_ideal_suffix(self):
+        predictor = make_predictor("pap-6-a2-ideal")
+        assert predictor.config.bht_entries is None
+
+    def test_training_dependent_names(self):
+        trace = _trace()
+        assert isinstance(make_predictor("gsg-8", trace), GSgPredictor)
+        assert isinstance(make_predictor("psg-8", trace), PSgPredictor)
+        assert isinstance(make_predictor("profile", trace), ProfileGuided)
+
+    def test_training_dependent_without_trace(self):
+        with pytest.raises(SchemeParseError):
+            make_predictor("gsg-8")
+        with pytest.raises(SchemeParseError):
+            make_predictor("profile")
+
+    def test_table3_string_accepted(self):
+        predictor = make_predictor("BTB(BHT(512,4,LT),,)")
+        assert predictor.automaton is LAST_TIME
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SchemeParseError):
+            make_predictor("not-a-predictor")
+
+
+class TestFigure11Factories:
+    def test_contains_paper_schemes(self):
+        factories = figure11_factories()
+        assert "PAg(512,4,12-sr,A2)" in factories
+        assert "AlwaysTaken" in factories
+        assert len(factories) == 8
+
+    def test_dynamic_builders_ignore_training(self):
+        factories = figure11_factories()
+        assert factories["BTFN"](None).predict(1, 0) in (True, False)
+
+    def test_training_builders_raise_training_unavailable(self):
+        factories = figure11_factories()
+        with pytest.raises(TrainingUnavailable):
+            factories["Profile"](None)
+        with pytest.raises(TrainingUnavailable):
+            factories["GSg(12-sr)"](None)
+
+    def test_training_builders_work_with_trace(self):
+        factories = figure11_factories()
+        trace = _trace()
+        assert isinstance(factories["PSg(512,4,12-sr)"](trace), PSgPredictor)
+
+
+class TestExtensionFriendlyNames:
+    def test_perset_names(self):
+        from repro.core.perset import SAgPredictor, SAsPredictor
+
+        sag = make_predictor("sag-8x16")
+        assert isinstance(sag, SAgPredictor)
+        assert sag.num_sets == 16
+        sas = make_predictor("sas-6x32")
+        assert isinstance(sas, SAsPredictor)
+        assert sas.history_bits == 6
+
+    def test_gselect_name(self):
+        from repro.predictors.extensions import GselectPredictor
+
+        gselect = make_predictor("gselect-6+8")
+        assert isinstance(gselect, GselectPredictor)
+        assert gselect.address_bits == 6
+        assert gselect.history_bits == 8
+
+    def test_tournament_name(self):
+        from repro.predictors.extensions import TournamentPredictor
+
+        assert isinstance(make_predictor("tournament"), TournamentPredictor)

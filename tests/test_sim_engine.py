@@ -1,0 +1,204 @@
+"""Tests for the trace-driven simulation engine."""
+
+import pytest
+
+from repro.core.twolevel import make_gag, make_pag
+from repro.predictors.base import BranchPredictor, CountingPredictor
+from repro.predictors.static import AlwaysTaken
+from repro.sim.engine import ContextSwitchConfig, simulate, simulate_named
+from repro.trace import synthetic
+from repro.trace.events import BranchClass, TraceBuilder
+
+
+class _Scripted(CountingPredictor):
+    """Predicts a fixed sequence; records every call."""
+
+    name = "scripted"
+
+    def __init__(self, predictions):
+        super().__init__()
+        self._predictions = list(predictions)
+        self._cursor = 0
+        self.updates = []
+        self.switches = 0
+
+    def predict(self, pc, target=0):
+        self._count_predict()
+        value = self._predictions[self._cursor % len(self._predictions)]
+        self._cursor += 1
+        return value
+
+    def update(self, pc, taken, target=0):
+        self._count_update()
+        self.updates.append((pc, taken))
+
+    def on_context_switch(self):
+        self.switches += 1
+
+
+class TestScoring:
+    def test_accuracy_counts_matches(self):
+        builder = TraceBuilder()
+        for outcome in (True, False, True, True):
+            builder.conditional(0x1, outcome)
+        predictor = _Scripted([True])  # always predicts taken
+        result = simulate(predictor, builder.build())
+        assert result.conditional_branches == 4
+        assert result.correct_predictions == 3
+        assert result.accuracy == pytest.approx(0.75)
+
+    def test_every_predict_followed_by_update(self):
+        trace = synthetic.loop_trace(iterations=10, trip_count=4)
+        predictor = _Scripted([True])
+        simulate(predictor, trace)
+        assert predictor.predict_calls == len(trace)
+        assert predictor.update_calls == len(trace)
+
+    def test_non_conditional_branches_not_predicted(self):
+        builder = TraceBuilder()
+        builder.conditional(1, True)
+        builder.call(2)
+        builder.ret(3)
+        builder.unconditional(4)
+        builder.conditional(5, False)
+        predictor = _Scripted([True])
+        result = simulate(predictor, builder.build())
+        assert predictor.predict_calls == 2
+        assert result.conditional_branches == 2
+
+    def test_empty_trace(self):
+        result = simulate(_Scripted([True]), TraceBuilder().build())
+        assert result.conditional_branches == 0
+        assert result.accuracy == 0.0
+
+    def test_result_carries_names(self):
+        builder = TraceBuilder(name="bench", dataset="in0")
+        builder.conditional(1, True)
+        result = simulate(AlwaysTaken(), builder.build())
+        assert result.trace_name == "bench"
+        assert result.dataset == "in0"
+        assert result.predictor_name == "AlwaysTaken"
+
+
+class TestWarmup:
+    def test_warmup_branches_not_scored(self):
+        builder = TraceBuilder()
+        # Two wrong-for-AlwaysTaken branches first, then ten right ones.
+        builder.conditional(1, False)
+        builder.conditional(1, False)
+        for _ in range(10):
+            builder.conditional(1, True)
+        result = simulate(AlwaysTaken(), builder.build(), warmup_branches=2)
+        assert result.conditional_branches == 10
+        assert result.accuracy == 1.0
+
+
+class TestPerSiteTracking:
+    def test_tracks_mispredictions_per_site(self):
+        builder = TraceBuilder()
+        for _ in range(5):
+            builder.conditional(0xA, True)
+            builder.conditional(0xB, False)
+        result = simulate(AlwaysTaken(), builder.build(), track_per_site=True)
+        assert result.per_site_executions == {0xA: 5, 0xB: 5}
+        assert result.per_site_mispredictions == {0xB: 5}
+
+    def test_worst_sites_ranking(self):
+        builder = TraceBuilder()
+        for _ in range(3):
+            builder.conditional(0xA, False)
+        builder.conditional(0xB, False)
+        result = simulate(AlwaysTaken(), builder.build(), track_per_site=True)
+        worst = result.worst_sites(2)
+        assert worst[0] == (0xA, 3, 3)
+        assert worst[1] == (0xB, 1, 1)
+
+    def test_worst_sites_requires_tracking(self):
+        builder = TraceBuilder()
+        builder.conditional(1, True)
+        result = simulate(AlwaysTaken(), builder.build())
+        with pytest.raises(ValueError):
+            result.worst_sites()
+
+
+class TestContextSwitches:
+    def test_interval_switches(self):
+        builder = TraceBuilder()
+        for _ in range(100):
+            builder.conditional(0x1, True, work=999)  # 1000 instr per branch
+        predictor = _Scripted([True])
+        result = simulate(
+            predictor,
+            builder.build(),
+            context_switches=ContextSwitchConfig(interval=10_000),
+        )
+        # 100k instructions / 10k interval -> ~10 switches.
+        assert 8 <= result.context_switches <= 11
+        assert predictor.switches == result.context_switches
+
+    def test_trap_triggers_switch(self):
+        builder = TraceBuilder()
+        builder.conditional(1, True)
+        builder.trap()
+        builder.conditional(1, True)
+        predictor = _Scripted([True])
+        simulate(predictor, builder.build(), context_switches=ContextSwitchConfig())
+        assert predictor.switches == 1
+
+    def test_traps_ignored_when_disabled(self):
+        builder = TraceBuilder()
+        builder.conditional(1, True)
+        builder.trap()
+        builder.conditional(1, True)
+        predictor = _Scripted([True])
+        simulate(
+            predictor,
+            builder.build(),
+            context_switches=ContextSwitchConfig(switch_on_traps=False),
+        )
+        assert predictor.switches == 0
+
+    def test_no_config_means_no_switches(self):
+        builder = TraceBuilder()
+        builder.conditional(1, True, work=10_000_000)
+        builder.trap()
+        builder.conditional(1, True)
+        predictor = _Scripted([True])
+        simulate(predictor, builder.build())
+        assert predictor.switches == 0
+
+    def test_timer_resets_after_switch(self):
+        builder = TraceBuilder()
+        builder.conditional(1, True, work=999)
+        builder.trap()  # switch here resets the 10k timer
+        for _ in range(8):
+            builder.conditional(1, True, work=999)
+        predictor = _Scripted([True])
+        simulate(
+            predictor,
+            builder.build(),
+            context_switches=ContextSwitchConfig(interval=10_000),
+        )
+        # Only the trap switch: after it the counter restarts and the
+        # remaining ~8k instructions never reach the next deadline.
+        assert predictor.switches == 1
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            ContextSwitchConfig(interval=0)
+
+    def test_switches_degrade_per_address_predictors(self):
+        trace = synthetic.interleaved(
+            [synthetic.loop_source(t) for t in (3, 5, 7)], length=30_000, work_per_branch=30
+        )
+        plain = simulate(make_pag(8), trace).accuracy
+        switched = simulate(
+            make_pag(8), trace, context_switches=ContextSwitchConfig(interval=20_000)
+        ).accuracy
+        assert switched < plain
+
+    def test_simulate_named_flag(self):
+        trace = synthetic.loop_trace(iterations=100, trip_count=3)
+        with_cs = simulate_named(make_gag(6), trace, with_context_switches=True)
+        without = simulate_named(make_gag(6), trace, with_context_switches=False)
+        assert with_cs.conditional_branches == without.conditional_branches

@@ -1,0 +1,149 @@
+"""Tests for result aggregation and the paper's geometric means."""
+
+import math
+
+import pytest
+
+from repro.sim.results import ResultMatrix, SimulationResult, geometric_mean
+
+
+def _result(scheme, bench, accuracy, total=1000):
+    return SimulationResult(
+        predictor_name=scheme,
+        trace_name=bench,
+        dataset="",
+        conditional_branches=total,
+        correct_predictions=int(round(accuracy * total)),
+    )
+
+
+class TestSimulationResult:
+    def test_accuracy_and_mispredictions(self):
+        result = _result("s", "b", 0.9)
+        assert result.accuracy == pytest.approx(0.9)
+        assert result.mispredictions == 100
+        assert result.misprediction_rate == pytest.approx(0.1)
+
+    def test_zero_branch_result(self):
+        result = SimulationResult("s", "b", "", 0, 0)
+        assert result.accuracy == 0.0
+        assert result.misprediction_rate == 0.0
+
+    def test_str_mentions_accuracy(self):
+        assert "90.00%" in str(_result("s", "b", 0.9))
+
+
+class TestGeometricMean:
+    def test_matches_closed_form(self):
+        values = [0.9, 0.95, 0.99]
+        expected = math.exp(sum(math.log(v) for v in values) / 3)
+        assert geometric_mean(values) == pytest.approx(expected)
+
+    def test_single_value(self):
+        assert geometric_mean([0.5]) == pytest.approx(0.5)
+
+    def test_empty_is_zero(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([0.5, 0.0])
+
+    def test_below_arithmetic_mean(self):
+        values = [0.5, 0.99]
+        assert geometric_mean(values) < sum(values) / 2
+
+
+class TestResultMatrix:
+    def _matrix(self):
+        matrix = ResultMatrix(
+            benchmarks=["int_a", "int_b", "fp_a"],
+            categories={"int_a": "int", "int_b": "int", "fp_a": "fp"},
+        )
+        matrix.add("scheme1", _result("scheme1", "int_a", 0.90))
+        matrix.add("scheme1", _result("scheme1", "int_b", 0.80))
+        matrix.add("scheme1", _result("scheme1", "fp_a", 0.99))
+        matrix.add("scheme2", _result("scheme2", "int_a", 0.95))
+        matrix.add("scheme2", _result("scheme2", "fp_a", 0.90))
+        return matrix
+
+    def test_accuracy_lookup(self):
+        matrix = self._matrix()
+        assert matrix.accuracy("scheme1", "int_a") == pytest.approx(0.90)
+        assert matrix.accuracy("scheme2", "int_b") is None
+
+    def test_category_gmeans(self):
+        matrix = self._matrix()
+        assert matrix.gmean("scheme1", "int") == pytest.approx(
+            geometric_mean([0.90, 0.80])
+        )
+        assert matrix.gmean("scheme1", "fp") == pytest.approx(0.99)
+        assert matrix.gmean("scheme1") == pytest.approx(
+            geometric_mean([0.90, 0.80, 0.99])
+        )
+
+    def test_missing_cells_excluded_from_gmean(self):
+        # scheme2 has no int_b cell (like GSg on eqntott in Fig 11).
+        matrix = self._matrix()
+        assert matrix.gmean("scheme2", "int") == pytest.approx(0.95)
+
+    def test_summary_keys(self):
+        assert set(self._matrix().summary("scheme1")) == {
+            "Int GMean",
+            "FP GMean",
+            "Tot GMean",
+        }
+
+    def test_best_scheme(self):
+        matrix = self._matrix()
+        assert matrix.best_scheme("int") == "scheme2"
+
+    def test_best_scheme_empty_raises(self):
+        empty = ResultMatrix(benchmarks=[], categories={})
+        with pytest.raises(ValueError):
+            empty.best_scheme()
+
+    def test_row(self):
+        row = self._matrix().row("scheme2")
+        assert set(row) == {"int_a", "fp_a"}
+
+    def test_as_rows_layout(self):
+        rows = self._matrix().as_rows()
+        assert rows[0]["scheme"] == "scheme1"
+        assert "Tot GMean" in rows[0]
+        assert rows[1]["int_b"] is None
+
+
+class TestMPKI:
+    def test_mpki_formula(self):
+        result = SimulationResult(
+            "s", "b", "", conditional_branches=1000, correct_predictions=900,
+            total_instructions=50_000,
+        )
+        assert result.mpki == pytest.approx(1000.0 * 100 / 50_000)
+
+    def test_mpki_zero_without_instruction_count(self):
+        result = SimulationResult("s", "b", "", 1000, 900)
+        assert result.mpki == 0.0
+
+    def test_engine_populates_instruction_count(self):
+        from repro.core.twolevel import make_pag
+        from repro.sim.engine import simulate
+        from repro.trace import synthetic
+
+        trace = synthetic.loop_trace(iterations=100, trip_count=5, work_per_branch=20)
+        result = simulate(make_pag(8), trace)
+        assert result.total_instructions == trace.meta.total_instructions
+        assert result.mpki > 0
+
+    def test_fp_style_trace_has_lower_mpki_than_int_style(self):
+        from repro.predictors.btb import btb_a2
+        from repro.sim.engine import simulate
+        from repro.trace import synthetic
+
+        dense = synthetic.loop_trace(iterations=300, trip_count=4, work_per_branch=2)
+        sparse = synthetic.loop_trace(iterations=300, trip_count=4, work_per_branch=40)
+        dense_mpki = simulate(btb_a2(), dense).mpki
+        sparse_mpki = simulate(btb_a2(), sparse).mpki
+        # Same accuracy, but fewer branches per instruction -> lower MPKI.
+        assert sparse_mpki < dense_mpki / 5

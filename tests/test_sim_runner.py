@@ -1,0 +1,109 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.core.twolevel import make_gag
+from repro.predictors.base import TrainingUnavailable
+from repro.predictors.static import AlwaysTaken, ProfileGuided
+from repro.sim.engine import ContextSwitchConfig
+from repro.sim.runner import BenchmarkCase, run_case, run_matrix, sweep_parameter
+from repro.trace import synthetic
+
+
+def _case(name, category="int", trip=4, with_training=False):
+    test_trace = synthetic.loop_trace(iterations=200, trip_count=trip, name=name)
+    training = synthetic.loop_trace(iterations=100, trip_count=trip, name=name) if with_training else None
+    return BenchmarkCase(name=name, category=category, test_trace=test_trace, training_trace=training)
+
+
+class TestBenchmarkCase:
+    def test_category_validation(self):
+        with pytest.raises(ValueError):
+            _case("x", category="weird")
+
+
+class TestRunCase:
+    def test_runs_predictor(self):
+        result = run_case(lambda t: AlwaysTaken(), _case("a"))
+        assert result is not None
+        assert result.trace_name == "a"
+
+    def test_training_unavailable_skips(self):
+        def builder(trace):
+            if trace is None:
+                raise TrainingUnavailable("no data")
+            return ProfileGuided.trained_on(trace)
+
+        assert run_case(builder, _case("a", with_training=False)) is None
+        assert run_case(builder, _case("a", with_training=True)) is not None
+
+    def test_context_switch_passthrough(self):
+        result = run_case(
+            lambda t: make_gag(6),
+            _case("a"),
+            context_switches=ContextSwitchConfig(interval=100),
+        )
+        assert result.context_switches > 0
+
+
+class TestRunMatrix:
+    def test_full_grid(self):
+        cases = [_case("a"), _case("b", category="fp", trip=6)]
+        builders = {
+            "AT": lambda t: AlwaysTaken(),
+            "GAg": lambda t: make_gag(8),
+        }
+        matrix = run_matrix(builders, cases)
+        assert set(matrix.schemes) == {"AT", "GAg"}
+        assert matrix.accuracy("AT", "a") is not None
+        assert matrix.accuracy("GAg", "b") is not None
+
+    def test_fresh_predictor_per_case(self):
+        seen = []
+
+        def builder(trace):
+            predictor = make_gag(6)
+            seen.append(predictor)
+            return predictor
+
+        run_matrix({"GAg": builder}, [_case("a"), _case("b")])
+        assert len(seen) == 2
+        assert seen[0] is not seen[1]
+
+    def test_partial_coverage_for_training_schemes(self):
+        def needs_training(trace):
+            if trace is None:
+                raise TrainingUnavailable("na")
+            return ProfileGuided.trained_on(trace)
+
+        cases = [_case("a", with_training=True), _case("b", with_training=False)]
+        matrix = run_matrix({"Profile": needs_training}, cases)
+        assert matrix.accuracy("Profile", "a") is not None
+        assert matrix.accuracy("Profile", "b") is None
+
+    def test_benchmark_order_preserved(self):
+        cases = [_case("z"), _case("a")]
+        matrix = run_matrix({"AT": lambda t: AlwaysTaken()}, cases)
+        assert matrix.benchmarks == ["z", "a"]
+
+
+class TestSweep:
+    def test_sweep_labels_and_coverage(self):
+        cases = [_case("a")]
+        matrix = sweep_parameter(
+            lambda k: (lambda t: make_gag(k)),
+            values=[4, 8],
+            cases=cases,
+            label=lambda k: f"GAg-{k}",
+        )
+        assert set(matrix.schemes) == {"GAg-4", "GAg-8"}
+
+    def test_longer_history_not_worse_on_loop(self):
+        cases = [_case("a", trip=6)]
+        matrix = sweep_parameter(
+            lambda k: (lambda t: make_gag(k)),
+            values=[2, 10],
+            cases=cases,
+            label=lambda k: f"GAg-{k}",
+        )
+        assert matrix.gmean("GAg-10") >= matrix.gmean("GAg-2")

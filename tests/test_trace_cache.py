@@ -1,0 +1,75 @@
+"""Tests for the trace cache."""
+
+from repro.trace.cache import TraceCache
+from repro.trace import synthetic
+
+
+def _factory_counter():
+    calls = {"count": 0}
+
+    def factory():
+        calls["count"] += 1
+        return synthetic.loop_trace(iterations=5, trip_count=3)
+
+    return factory, calls
+
+
+class TestMemoryCache:
+    def test_factory_called_once_per_key(self):
+        cache = TraceCache()
+        factory, calls = _factory_counter()
+        cache.get("bench", "data", 1, factory)
+        cache.get("bench", "data", 1, factory)
+        assert calls["count"] == 1
+        assert len(cache) == 1
+
+    def test_distinct_keys_generate_separately(self):
+        cache = TraceCache()
+        factory, calls = _factory_counter()
+        cache.get("bench", "data", 1, factory)
+        cache.get("bench", "data", 2, factory)
+        cache.get("bench", "other", 1, factory)
+        cache.get("other", "data", 1, factory)
+        assert calls["count"] == 4
+
+    def test_returns_same_object(self):
+        cache = TraceCache()
+        factory, _calls = _factory_counter()
+        first = cache.get("b", "d", 1, factory)
+        second = cache.get("b", "d", 1, factory)
+        assert first is second
+
+    def test_clear(self):
+        cache = TraceCache()
+        factory, calls = _factory_counter()
+        cache.get("b", "d", 1, factory)
+        cache.clear()
+        cache.get("b", "d", 1, factory)
+        assert calls["count"] == 2
+
+
+class TestDiskCache:
+    def test_persists_across_instances(self, tmp_path):
+        factory, calls = _factory_counter()
+        first = TraceCache(directory=tmp_path)
+        trace = first.get("b", "d", 1, factory)
+        second = TraceCache(directory=tmp_path)
+        restored = second.get("b", "d", 1, factory)
+        assert calls["count"] == 1
+        assert len(restored) == len(trace)
+        assert [r.taken for r in restored] == [r.taken for r in trace]
+
+    def test_corrupt_file_regenerates(self, tmp_path):
+        factory, calls = _factory_counter()
+        cache = TraceCache(directory=tmp_path)
+        cache.get("b", "d", 1, factory)
+        for path in tmp_path.glob("*.btb"):
+            path.write_bytes(b"garbage")
+        fresh = TraceCache(directory=tmp_path)
+        fresh.get("b", "d", 1, factory)
+        assert calls["count"] == 2
+
+    def test_directory_created(self, tmp_path):
+        target = tmp_path / "nested" / "cache"
+        TraceCache(directory=target)
+        assert target.is_dir()

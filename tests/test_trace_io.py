@@ -1,0 +1,137 @@
+"""Tests for trace serialization (text + binary round-trips)."""
+
+import io
+
+import pytest
+
+from repro.trace.events import BranchClass, BranchRecord, TraceBuilder
+from repro.trace.io import (
+    TraceFormatError,
+    dumps,
+    load_trace,
+    loads,
+    read_binary,
+    read_text,
+    save_trace,
+    trace_from_records,
+    write_binary,
+    write_text,
+)
+
+
+def _sample_trace():
+    builder = TraceBuilder(name="sample", dataset="d0", source="test")
+    builder.conditional(0x1000, True, work=3)
+    builder.trap()
+    builder.conditional(0x1004, False, work=1)
+    builder.call(0x2000, target=0x3000)
+    builder.ret(0x3004)
+    builder.unconditional(0x1010, target=0x1000)
+    return builder.build()
+
+
+def _traces_equal(a, b):
+    assert a.meta == b.meta
+    assert len(a) == len(b)
+    for left, right in zip(a, b):
+        assert left == right
+
+
+class TestTextFormat:
+    def test_round_trip(self):
+        trace = _sample_trace()
+        buffer = io.StringIO()
+        write_text(trace, buffer)
+        buffer.seek(0)
+        _traces_equal(trace, read_text(buffer))
+
+    def test_header_contains_metadata(self):
+        buffer = io.StringIO()
+        write_text(_sample_trace(), buffer)
+        text = buffer.getvalue()
+        assert "# name=sample" in text
+        assert "# dataset=d0" in text
+
+    def test_blank_lines_and_unknown_comments_ignored(self):
+        buffer = io.StringIO()
+        write_text(_sample_trace(), buffer)
+        content = "# oddball comment\n\n" + buffer.getvalue()
+        trace = read_text(io.StringIO(content))
+        assert len(trace) == 5
+
+    def test_malformed_line_raises_with_line_number(self):
+        with pytest.raises(TraceFormatError, match="line 1"):
+            read_text(io.StringIO("1 2 3\n"))
+
+    def test_bad_class_name(self):
+        with pytest.raises(TraceFormatError):
+            read_text(io.StringIO("4096 1 weird 0 1 0\n"))
+
+
+class TestBinaryFormat:
+    def test_round_trip(self):
+        trace = _sample_trace()
+        buffer = io.BytesIO()
+        write_binary(trace, buffer)
+        buffer.seek(0)
+        _traces_equal(trace, read_binary(buffer))
+
+    def test_dumps_loads(self):
+        trace = _sample_trace()
+        _traces_equal(trace, loads(dumps(trace)))
+
+    def test_bad_magic(self):
+        data = bytearray(dumps(_sample_trace()))
+        data[0:4] = b"NOPE"
+        with pytest.raises(TraceFormatError, match="magic"):
+            loads(bytes(data))
+
+    def test_truncated_payload(self):
+        data = dumps(_sample_trace())
+        with pytest.raises(TraceFormatError, match="truncated"):
+            loads(data[:-4])
+
+    def test_truncated_header(self):
+        with pytest.raises(TraceFormatError):
+            loads(b"BT")
+
+    def test_empty_trace_round_trip(self):
+        trace = TraceBuilder(name="empty").build()
+        restored = loads(dumps(trace))
+        assert len(restored) == 0
+        assert restored.meta.name == "empty"
+
+    def test_unicode_metadata(self):
+        builder = TraceBuilder(name="bénch✓", dataset="données")
+        builder.conditional(1, True)
+        restored = loads(dumps(builder.build()))
+        assert restored.meta.name == "bénch✓"
+
+
+class TestFileHelpers:
+    def test_suffix_selects_format(self, tmp_path):
+        trace = _sample_trace()
+        text_path = tmp_path / "t.btr"
+        binary_path = tmp_path / "t.btb"
+        save_trace(trace, text_path)
+        save_trace(trace, binary_path)
+        assert text_path.read_text().startswith("# name=")
+        assert binary_path.read_bytes()[:4] == b"BTRC"
+        _traces_equal(trace, load_trace(text_path))
+        _traces_equal(trace, load_trace(binary_path))
+
+    def test_trace_from_records(self):
+        records = [
+            BranchRecord(pc=1, taken=True, instret=1),
+            BranchRecord(pc=2, taken=False, branch_class=BranchClass.CALL, instret=5),
+        ]
+        trace = trace_from_records(records, name="manual")
+        assert len(trace) == 2
+        assert trace.meta.total_instructions == 5
+
+    def test_large_trace_round_trip(self):
+        builder = TraceBuilder(name="big")
+        for i in range(20_000):
+            builder.conditional(0x1000 + (i % 64) * 4, i % 3 != 0, work=2)
+        trace = builder.build()
+        _traces_equal(trace, loads(dumps(trace)))

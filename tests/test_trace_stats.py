@@ -1,0 +1,74 @@
+"""Tests for trace statistics (Table 1 / Figure 4 inputs)."""
+
+import pytest
+
+from repro.trace.events import BranchClass, TraceBuilder
+from repro.trace.stats import compute_stats, per_site_bias
+
+
+def _mixed_trace():
+    builder = TraceBuilder(name="mixed")
+    builder.instructions(100)
+    for i in range(8):
+        builder.conditional(0xA, i % 2 == 0, work=3)
+    for i in range(2):
+        builder.conditional(0xB, True, work=3)
+    builder.call(0xC, work=3)
+    builder.ret(0xD)
+    builder.unconditional(0xE)
+    builder.trap()
+    builder.conditional(0xA, False, work=3)
+    return builder.build()
+
+
+class TestComputeStats:
+    def test_counts(self):
+        stats = compute_stats(_mixed_trace())
+        assert stats.dynamic_branches == 14
+        assert stats.dynamic_conditional == 11
+        assert stats.static_conditional_sites == 2
+        assert stats.trap_count == 1
+
+    def test_class_mix_sums_to_one(self):
+        mix = compute_stats(_mixed_trace()).class_mix()
+        total = mix.conditional + mix.unconditional + mix.call + mix.ret
+        assert total == pytest.approx(1.0)
+
+    def test_conditional_fraction(self):
+        stats = compute_stats(_mixed_trace())
+        assert stats.conditional_fraction == pytest.approx(11 / 14)
+
+    def test_taken_rate(self):
+        stats = compute_stats(_mixed_trace())
+        # 0xA: 4 of 9 taken; 0xB: 2 of 2 -> 6 of 11.
+        assert stats.taken_rate == pytest.approx(6 / 11)
+
+    def test_branch_fraction(self):
+        stats = compute_stats(_mixed_trace())
+        assert 0 < stats.branch_fraction < 1
+        assert stats.branch_fraction == pytest.approx(
+            stats.dynamic_branches / stats.total_instructions
+        )
+
+    def test_empty_trace(self):
+        stats = compute_stats(TraceBuilder().build())
+        assert stats.dynamic_branches == 0
+        assert stats.branch_fraction == 0.0
+        assert stats.conditional_fraction == 0.0
+        assert stats.taken_rate == 0.0
+
+    def test_class_mix_as_dict(self):
+        mix = compute_stats(_mixed_trace()).class_mix()
+        assert set(mix.as_dict()) == {"cond", "uncond", "call", "return"}
+
+
+class TestPerSiteBias:
+    def test_bias_per_site(self):
+        bias = per_site_bias(_mixed_trace())
+        assert bias[0xA] == pytest.approx(4 / 9)
+        assert bias[0xB] == 1.0
+
+    def test_ignores_non_conditional(self):
+        bias = per_site_bias(_mixed_trace())
+        assert 0xC not in bias
+        assert 0xE not in bias

@@ -1,0 +1,177 @@
+"""Tests for the workload instrumentation layer."""
+
+import random
+
+import pytest
+
+from repro.trace.events import BranchClass, TraceBuilder
+from repro.workloads.base import BranchProbe, DatasetSpec, Workload, stable_site_id
+
+
+def _probe(name="test"):
+    builder = TraceBuilder(name=name)
+    return BranchProbe(name, builder), builder
+
+
+class TestSiteIds:
+    def test_stable_across_calls(self):
+        assert stable_site_id("w", "lbl") == stable_site_id("w", "lbl")
+
+    def test_namespace_separates(self):
+        assert stable_site_id("w1", "lbl") != stable_site_id("w2", "lbl")
+
+    def test_word_aligned_and_nonzero(self):
+        for label in ("a", "b", "c"):
+            pc = stable_site_id("w", label)
+            assert pc % 4 == 0
+            assert pc > 0
+
+    def test_probe_site_is_stable_regardless_of_order(self):
+        probe_a, _ = _probe()
+        probe_b, _ = _probe()
+        probe_a.site("first")
+        probe_a.site("second")
+        probe_b.site("second")
+        probe_b.site("first")
+        assert probe_a.site("first") == probe_b.site("first")
+        assert probe_a.site("second") == probe_b.site("second")
+
+    def test_num_sites(self):
+        probe, _ = _probe()
+        probe.cond("x", True)
+        probe.cond("x", False)
+        probe.cond("y", True)
+        assert probe.num_sites == 2
+
+
+class TestProbeEvents:
+    def test_cond_returns_outcome(self):
+        probe, _ = _probe()
+        assert probe.cond("c", True) is True
+        assert probe.cond("c", False) is False
+
+    def test_backward_branches_have_backward_targets(self):
+        probe, builder = _probe()
+        probe.cond("loop", True, backward=True)
+        probe.cond("guard", True)
+        trace = builder.build()
+        loop, guard = trace[0], trace[1]
+        assert loop.target < loop.pc
+        assert guard.target > guard.pc
+
+    def test_backward_is_sticky_per_label(self):
+        probe, builder = _probe()
+        probe.while_("w", True)  # declares backward
+        probe.cond("w", False)  # same label, no explicit flag
+        trace = builder.build()
+        assert trace[1].target < trace[1].pc
+
+    def test_loop_emits_trip_minus_one_takens_and_one_exit(self):
+        probe, builder = _probe()
+        assert list(probe.loop("l", 3)) == [0, 1, 2]
+        outcomes = [r.taken for r in builder.build()]
+        assert outcomes == [True, True, True, False]
+
+    def test_zero_trip_loop_single_not_taken(self):
+        probe, builder = _probe()
+        assert list(probe.loop("l", 0)) == []
+        trace = builder.build()
+        assert len(trace) == 1
+        assert trace[0].taken is False
+
+    def test_call_ret_jump_classes(self):
+        probe, builder = _probe()
+        probe.call("c")
+        probe.ret("r")
+        probe.jump("j")
+        classes = [r.branch_class for r in builder.build()]
+        assert classes == [BranchClass.CALL, BranchClass.RETURN, BranchClass.UNCONDITIONAL]
+
+    def test_trap_and_work(self):
+        probe, builder = _probe()
+        probe.work(50)
+        probe.trap()
+        probe.cond("c", True)
+        trace = builder.build()
+        assert trace[0].trap
+
+
+class _ToyWorkload(Workload):
+    name = "toy"
+    category = "int"
+    training_dataset = DatasetSpec("train-set", seed=1, size=5)
+    testing_dataset = DatasetSpec("test-set", seed=2, size=10)
+
+    def run(self, probe, rng, dataset, scale):
+        for _ in probe.loop("main", dataset.size * scale):
+            probe.cond("coin", rng.random() < 0.5)
+
+
+class TestWorkloadBase:
+    def test_generate_testing_default(self):
+        trace = _ToyWorkload().generate()
+        assert trace.meta.dataset == "test-set"
+        assert trace.num_conditional() == 21  # 10 loop takens + exit + 10 coins
+
+    def test_dataset_by_role_and_name(self):
+        workload = _ToyWorkload()
+        assert workload.generate("training").meta.dataset == "train-set"
+        assert workload.generate("train-set").meta.dataset == "train-set"
+        assert workload.generate("testing").meta.dataset == "test-set"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            _ToyWorkload().generate("nope")
+
+    def test_scale_multiplies_work(self):
+        small = _ToyWorkload().generate(scale=1)
+        large = _ToyWorkload().generate(scale=3)
+        assert len(large) > 2 * len(small)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            _ToyWorkload().generate(scale=0)
+
+    def test_deterministic_per_seed(self):
+        a = _ToyWorkload().generate()
+        b = _ToyWorkload().generate()
+        assert [r.taken for r in a] == [r.taken for r in b]
+
+    def test_seed_offset_changes_stream(self):
+        a = _ToyWorkload().generate()
+        b = _ToyWorkload().generate(seed_offset=1)
+        assert [r.taken for r in a] != [r.taken for r in b]
+
+    def test_missing_training_dataset(self):
+        class NoTraining(_ToyWorkload):
+            training_dataset = None
+
+        with pytest.raises(ValueError):
+            NoTraining().generate("training")
+        assert not NoTraining().has_training
+
+
+class TestAlternateDatasets:
+    def test_suite_workloads_expose_alternates(self):
+        from repro.workloads import get_workload
+
+        eqntott = get_workload("eqntott")
+        names = [spec.name for spec in eqntott.datasets()]
+        assert "int_pri_1.eqn" in names
+        trace = eqntott.generate("int_pri_1.eqn")
+        assert trace.meta.dataset == "int_pri_1.eqn"
+        assert len(trace) > 1000
+
+    def test_alternate_differs_from_testing(self):
+        from repro.workloads import get_workload
+
+        li = get_workload("li")
+        small = li.generate("four queens")
+        big = li.generate("testing")
+        assert len(small) < len(big)
+
+    def test_unknown_dataset_lists_known(self):
+        from repro.workloads import get_workload
+
+        with pytest.raises(ValueError, match="known"):
+            get_workload("gcc").generate("not-a-file.i")

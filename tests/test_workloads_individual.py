@@ -1,0 +1,174 @@
+"""Per-workload behavioural tests.
+
+Each workload is generated once (module-scope cache) at reduced
+implicit size — these tests assert the *character* the paper ascribes
+to each benchmark, which is what the reproduction depends on.
+"""
+
+import pytest
+
+from repro.core.twolevel import make_pag
+from repro.predictors.btb import btb_a2
+from repro.sim.engine import simulate
+from repro.trace.stats import compute_stats, per_site_bias
+from repro.workloads.eqntott import EqntottWorkload
+from repro.workloads.espresso import EspressoWorkload
+from repro.workloads.fpppp import FppppWorkload
+from repro.workloads.gcc_like import GccWorkload, generate_source, lex, Parser
+from repro.workloads.li import (
+    HANOI_PROGRAM,
+    Interpreter,
+    LiWorkload,
+    LispError,
+    parse_all,
+)
+from repro.workloads.matrix300 import Matrix300Workload
+from repro.workloads.base import BranchProbe
+from repro.trace.events import TraceBuilder
+
+_TRACES = {}
+
+
+def _trace(cls, dataset="testing"):
+    key = (cls.__name__, dataset)
+    if key not in _TRACES:
+        _TRACES[key] = cls().generate(dataset)
+    return _TRACES[key]
+
+
+class TestEqntott:
+    def test_two_level_crushes_counters(self):
+        # The famous eqntott result: pattern-history buys a lot.
+        trace = _trace(EqntottWorkload)
+        pag = simulate(make_pag(12), trace).accuracy
+        btb = simulate(btb_a2(), trace).accuracy
+        assert pag - btb > 0.10
+
+    def test_cmppt_site_dominates(self):
+        trace = _trace(EqntottWorkload)
+        stats = compute_stats(trace)
+        assert stats.dynamic_conditional > 50_000
+
+
+class TestEspresso:
+    def test_deterministic(self):
+        a = EspressoWorkload().generate("testing")
+        b = EspressoWorkload().generate("testing")
+        assert len(a) == len(b)
+        assert [r.taken for r in a.head(500)] == [r.taken for r in b.head(500)]
+
+    def test_train_and_test_differ(self):
+        train = _trace(EspressoWorkload, "training")
+        test = _trace(EspressoWorkload, "testing")
+        assert train.meta.dataset == "cps"
+        assert test.meta.dataset == "bca"
+        assert [r.taken for r in train.head(200)] != [r.taken for r in test.head(200)]
+
+
+class TestGcc:
+    def test_largest_static_population(self):
+        trace = _trace(GccWorkload)
+        assert compute_stats(trace).static_conditional_sites > 512
+
+    def test_many_traps(self):
+        trace = _trace(GccWorkload)
+        assert compute_stats(trace).trap_count >= 2 * 32  # >= 2 per unit
+
+    def test_generated_source_parses(self):
+        import random
+
+        source = generate_source(random.Random(7), functions=3, statements=5)
+        builder = TraceBuilder()
+        probe = BranchProbe("t", builder)
+        tokens = lex(probe, source)
+        functions = Parser(probe, tokens).parse_unit()
+        assert len(functions) == 3
+        assert all(f.kind == "function" for f in functions)
+
+    def test_lexer_tokenises_known_snippet(self):
+        builder = TraceBuilder()
+        probe = BranchProbe("t", builder)
+        tokens = lex(probe, "int f() { return 42; }")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["int", "ident", "(", ")", "{", "return", "num", ";", "}"]
+
+
+class TestLi:
+    def test_interpreter_arithmetic(self):
+        builder = TraceBuilder()
+        interp = Interpreter(BranchProbe("li", builder))
+        assert interp.run_program("(+ 1 2 3)") == 6
+        assert interp.run_program("(* 2 (quotient 9 2))") == 8
+
+    def test_interpreter_recursion(self):
+        builder = TraceBuilder()
+        interp = Interpreter(BranchProbe("li", builder))
+        program = """
+        (define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))
+        (fact 10)
+        """
+        assert interp.run_program(program) == 3628800
+
+    def test_hanoi_move_count(self):
+        builder = TraceBuilder()
+        interp = Interpreter(BranchProbe("li", builder))
+        result = interp.run_program(HANOI_PROGRAM.replace("DISKS", "5"))
+        assert result == 31  # 2^5 - 1 moves
+
+    def test_queens_solution_count(self):
+        builder = TraceBuilder()
+        interp = Interpreter(BranchProbe("li", builder))
+        from repro.workloads.li import QUEENS_PROGRAM
+
+        program = QUEENS_PROGRAM.replace("BOARD", "6").replace("(display (queens 6))", "(queens 6)")
+        assert interp.run_program(program) == 4  # 6-queens has 4 solutions
+
+    def test_closures_and_let(self):
+        builder = TraceBuilder()
+        interp = Interpreter(BranchProbe("li", builder))
+        program = """
+        (define (adder n) (lambda (x) (+ x n)))
+        (let ((add5 (adder 5))) (add5 37))
+        """
+        assert interp.run_program(program) == 42
+
+    def test_set_and_begin(self):
+        builder = TraceBuilder()
+        interp = Interpreter(BranchProbe("li", builder))
+        assert interp.run_program("(define x 1) (begin (set! x 10) (+ x 1))") == 11
+
+    def test_errors(self):
+        builder = TraceBuilder()
+        interp = Interpreter(BranchProbe("li", builder))
+        with pytest.raises(LispError):
+            interp.run_program("(car 5)")
+        with pytest.raises(LispError):
+            interp.run_program("(undefined-symbol)")
+        with pytest.raises(LispError):
+            parse_all("(unclosed")
+
+    def test_conflict_chain_is_data_dependent(self):
+        trace = _trace(LiWorkload)
+        bias = per_site_bias(trace)
+        # At least some sites are genuinely mixed (0.2..0.8 bias).
+        mixed = [b for b in bias.values() if 0.2 < b < 0.8]
+        assert mixed
+
+
+class TestFppppAndMatrix:
+    def test_fpppp_easy_for_everyone(self):
+        trace = _trace(FppppWorkload)
+        assert simulate(btb_a2(), trace).accuracy > 0.90
+        assert simulate(make_pag(12), trace).accuracy > 0.95
+
+    def test_fpppp_low_branch_fraction(self):
+        stats = compute_stats(_trace(FppppWorkload))
+        assert stats.branch_fraction < 0.05
+
+    def test_matrix300_highly_predictable(self):
+        trace = _trace(Matrix300Workload)
+        assert simulate(make_pag(12), trace).accuracy > 0.95
+
+    def test_matrix300_heavily_taken(self):
+        stats = compute_stats(_trace(Matrix300Workload))
+        assert stats.taken_rate > 0.85

@@ -1,0 +1,152 @@
+"""Tests for the nine-benchmark suite (Tables 1 and 2 analogs).
+
+Trace generation is memoized in a module-level cache so the whole file
+costs one suite generation.
+"""
+
+import pytest
+
+from repro.trace.cache import TraceCache
+from repro.trace.stats import compute_stats
+from repro.workloads.suite import (
+    BENCHMARK_ORDER,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    SuiteConfig,
+    all_workloads,
+    build_cases,
+    get_workload,
+    table1_static_branch_counts,
+    table2_datasets,
+)
+
+_CACHE = TraceCache()
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return build_cases(SuiteConfig(), cache=_CACHE)
+
+
+class TestSuiteRegistry:
+    def test_nine_benchmarks_in_paper_order(self):
+        assert BENCHMARK_ORDER == (
+            "eqntott",
+            "espresso",
+            "gcc",
+            "li",
+            "doduc",
+            "fpppp",
+            "matrix300",
+            "spice2g6",
+            "tomcatv",
+        )
+        assert list(all_workloads()) == list(BENCHMARK_ORDER)
+
+    def test_category_split_matches_paper(self):
+        workloads = all_workloads()
+        integers = {name for name, w in workloads.items() if w.category == "int"}
+        assert integers == {"eqntott", "espresso", "gcc", "li"}
+        assert len(workloads) - len(integers) == 5
+
+    def test_get_workload(self):
+        assert get_workload("gcc").name == "gcc"
+        with pytest.raises(KeyError):
+            get_workload("nasa7")  # excluded by the paper too
+
+    def test_table2_matches_paper_names(self):
+        ours = table2_datasets()
+        for name, paper_row in PAPER_TABLE2.items():
+            assert ours[name]["training"].lower() == paper_row["training"].lower()
+            assert ours[name]["testing"].lower() == paper_row["testing"].lower()
+
+    def test_training_availability_matches_table2(self):
+        for name, workload in all_workloads().items():
+            expected = PAPER_TABLE2[name]["training"] != "NA"
+            assert workload.has_training == expected
+
+
+class TestSuiteConfig:
+    def test_selected_defaults_to_all(self):
+        assert SuiteConfig().selected() == list(BENCHMARK_ORDER)
+
+    def test_subset_preserves_paper_order(self):
+        config = SuiteConfig(benchmarks=["tomcatv", "gcc"])
+        assert config.selected() == ["gcc", "tomcatv"]
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError):
+            SuiteConfig(benchmarks=["gcc", "nope"]).selected()
+
+
+class TestBuiltCases(object):
+    def test_all_nine_cases(self, cases):
+        assert [c.name for c in cases] == list(BENCHMARK_ORDER)
+
+    def test_training_traces_present_iff_table2(self, cases):
+        for case in cases:
+            if PAPER_TABLE2[case.name]["training"] == "NA":
+                assert case.training_trace is None
+            else:
+                assert case.training_trace is not None
+                assert case.training_trace.meta.dataset != case.test_trace.meta.dataset
+
+    def test_traces_are_nontrivial(self, cases):
+        for case in cases:
+            assert case.test_trace.num_conditional() > 10_000, case.name
+
+    def test_gcc_has_largest_static_population(self, cases):
+        counts = {
+            case.name: compute_stats(case.test_trace).static_conditional_sites
+            for case in cases
+        }
+        assert max(counts, key=counts.get) == "gcc"
+        assert counts["gcc"] > 512  # must pressure a 512-entry BHT
+
+    def test_conditional_branches_dominate(self, cases):
+        # The paper's Figure 4: ~80 % of branches are conditional.
+        for case in cases:
+            stats = compute_stats(case.test_trace)
+            assert stats.conditional_fraction > 0.6, case.name
+
+    def test_fp_benchmarks_have_lower_branch_fraction(self, cases):
+        stats = {case.name: compute_stats(case.test_trace) for case in cases}
+        fp_fraction = sum(
+            stats[c.name].branch_fraction for c in cases if c.category == "fp"
+        ) / 5
+        int_fraction = sum(
+            stats[c.name].branch_fraction for c in cases if c.category == "int"
+        ) / 4
+        assert fp_fraction < int_fraction
+
+    def test_taken_bias_overall(self, cases):
+        # Branches are taken-biased overall (paper §4.2 initialisation
+        # rationale); AlwaysTaken lands near the paper's ~62 %.
+        total_taken = 0
+        total = 0
+        for case in cases:
+            stats = compute_stats(case.test_trace)
+            total_taken += stats.taken_conditional
+            total += stats.dynamic_conditional
+        assert 0.5 < total_taken / total < 0.75
+
+    def test_gcc_carries_traps(self, cases):
+        gcc = next(c for c in cases if c.name == "gcc")
+        assert compute_stats(gcc.test_trace).trap_count > 10
+
+    def test_caching_returns_same_traces(self, cases):
+        again = build_cases(SuiteConfig(), cache=_CACHE)
+        for first, second in zip(cases, again):
+            assert first.test_trace is second.test_trace
+
+
+class TestTable1:
+    def test_counts_positive_and_gcc_largest(self, cases):
+        counts = table1_static_branch_counts(SuiteConfig(), cache=_CACHE)
+        assert set(counts) == set(BENCHMARK_ORDER)
+        assert all(count > 0 for count in counts.values())
+        assert max(counts, key=counts.get) == "gcc"
+
+    def test_paper_reference_numbers(self):
+        assert PAPER_TABLE1["gcc"] == 6922
+        assert PAPER_TABLE1["matrix300"] == 213
