@@ -2,7 +2,9 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments examples clean
+WORKERS ?= 4
+
+.PHONY: install test bench experiments sweep examples clean
 
 install:
 	pip install -e .
@@ -15,6 +17,12 @@ bench:
 
 experiments:
 	$(PYTHON) -m repro.experiments.cli all --out results/
+
+# Parallel, cached regeneration of the figure suite. Reruns are nearly
+# free: results are cached under results/cache keyed by trace+scheme
+# content, and the emitted run summary shows the hit/miss counts.
+sweep:
+	$(PYTHON) -m repro.experiments.cli figures --workers $(WORKERS) --out results/
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,50 @@
+"""Bench comparing serial vs parallel matrix execution on the full
+nine-benchmark suite.
+
+Records both wall-times (and the speedup ratio) in ``extra_info``. No
+speedup assertion is made: on single-core CI hosts process fan-out is
+pure overhead, and the point of the guarantee is that the *matrices*
+are identical either way — which this bench does assert.
+"""
+
+import os
+import time
+
+from conftest import run_once
+
+from repro.sim.parallel import spec
+from repro.sim.runner import run_matrix
+
+BUILDERS = {
+    "GAg(12)": spec("gag-12"),
+    "PAg(512,4,12,A2)": spec("pag-12-a2-512x4"),
+    "PAp(512,4,12,A2)": spec("pap-12-a2-512x4"),
+    "BTB(A2)": spec("btb-a2"),
+}
+
+WORKERS = min(4, os.cpu_count() or 1)
+
+
+def test_bench_parallel(benchmark, suite_cases):
+    serial_start = time.perf_counter()
+    serial = run_matrix(BUILDERS, suite_cases, n_workers=1)
+    serial_time = time.perf_counter() - serial_start
+
+    parallel_start = time.perf_counter()
+    parallel = run_matrix(BUILDERS, suite_cases, n_workers=WORKERS)
+    parallel_time = time.perf_counter() - parallel_start
+
+    # Determinism: fan-out must not change a single cell.
+    assert parallel == serial
+
+    # Time the parallel path once more under pytest-benchmark so the
+    # run shows up in the stored benchmark series.
+    run_once(benchmark, lambda: run_matrix(BUILDERS, suite_cases, n_workers=WORKERS))
+
+    benchmark.extra_info["n_workers"] = WORKERS
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    benchmark.extra_info["serial_seconds"] = round(serial_time, 3)
+    benchmark.extra_info["parallel_seconds"] = round(parallel_time, 3)
+    benchmark.extra_info["speedup"] = round(serial_time / parallel_time, 3)
+    benchmark.extra_info["cells"] = serial.telemetry.total_cells
+    benchmark.extra_info["simulations"] = serial.telemetry.simulations

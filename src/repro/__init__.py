@@ -67,13 +67,24 @@ from .predictors.registry import make_predictor
 from .sim import (
     BenchmarkCase,
     ContextSwitchConfig,
+    PredictorSpec,
     ResultMatrix,
+    RunTelemetry,
     SimulationResult,
     geometric_mean,
     run_matrix,
     simulate,
+    spec,
 )
-from .trace import BranchClass, BranchRecord, Trace, TraceBuilder, load_trace, save_trace
+from .trace import (
+    BranchClass,
+    BranchRecord,
+    ResultCache,
+    Trace,
+    TraceBuilder,
+    load_trace,
+    save_trace,
+)
 from .workloads import (
     BENCHMARK_ORDER,
     SuiteConfig,
@@ -108,8 +119,11 @@ __all__ = [
     "PAgPredictor",
     "PApPredictor",
     "PSgPredictor",
+    "PredictorSpec",
     "ProfileGuided",
+    "ResultCache",
     "ResultMatrix",
+    "RunTelemetry",
     "SchemeSpec",
     "SimulationResult",
     "SuiteConfig",
@@ -134,5 +148,6 @@ __all__ = [
     "run_matrix",
     "save_trace",
     "simulate",
+    "spec",
     "__version__",
 ]

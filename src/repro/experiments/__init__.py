@@ -12,7 +12,7 @@ from .figures import (
     figure10,
     figure11,
 )
-from .export import export_result, matrix_to_csv, matrix_to_json
+from .export import export_result, matrix_from_json, matrix_to_csv, matrix_to_json
 from .extras import (
     ALL_EXTRAS,
     extra_fetch,
@@ -33,6 +33,7 @@ __all__ = [
     "extra_interference",
     "extra_speculative",
     "extra_taxonomy",
+    "matrix_from_json",
     "matrix_to_csv",
     "matrix_to_json",
     "FigureResult",

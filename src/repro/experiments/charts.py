@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import List, Mapping, Optional, Sequence
 
+__all__ = ["accuracy_bars_from_matrix", "render_bars", "render_series", "render_sparkline"]
+
 _BAR_CHARS = "▏▎▍▌▋▊▉█"
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
 

@@ -16,6 +16,14 @@ from typing import Optional, Union
 
 from ..sim.results import ResultMatrix
 
+__all__ = [
+    "export_result",
+    "load_matrix_json",
+    "matrix_from_json",
+    "matrix_to_csv",
+    "matrix_to_json",
+]
+
 PathLike = Union[str, Path]
 
 
@@ -40,11 +48,20 @@ def matrix_to_csv(matrix: ResultMatrix, stream: Optional[io.TextIOBase] = None) 
 
 
 def matrix_to_json(matrix: ResultMatrix, indent: int = 2) -> str:
-    """Serialise a result matrix as JSON with full per-cell detail."""
+    """Serialise a result matrix as JSON with full per-cell detail.
+
+    The payload embeds both a human-oriented view (``accuracy`` floats,
+    per-scheme GMean summaries) and the exact integer representation
+    (``exact``, via :meth:`ResultMatrix.to_dict`), so
+    :func:`matrix_from_json` reconstructs a matrix that compares equal
+    to the original — floats are re-derived from the integers, never
+    parsed back from decimal text.
+    """
     payload = {
         "benchmarks": list(matrix.benchmarks),
         "categories": dict(matrix.categories),
         "schemes": {},
+        "exact": matrix.to_dict(),
     }
     for scheme, cells in matrix.cells.items():
         payload["schemes"][scheme] = {
@@ -60,6 +77,21 @@ def matrix_to_json(matrix: ResultMatrix, indent: int = 2) -> str:
             "summary": matrix.summary(scheme),
         }
     return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def matrix_from_json(text: str) -> ResultMatrix:
+    """Reconstruct a :class:`ResultMatrix` from :func:`matrix_to_json`.
+
+    Round-trips exactly: ``matrix_from_json(matrix_to_json(m)) == m``
+    for every matrix, including those with blank
+    (``TrainingUnavailable``) cells.
+    """
+    payload = json.loads(text)
+    if "exact" not in payload:
+        raise ValueError(
+            "payload has no 'exact' section; it was not produced by matrix_to_json"
+        )
+    return ResultMatrix.from_dict(payload["exact"])
 
 
 def export_result(result, directory: PathLike, formats: tuple = ("txt", "csv", "json")) -> list:

@@ -25,14 +25,25 @@ from ..analysis.interference import (
     second_level_interference,
 )
 from ..core.cost import cost_gag, cost_pag, cost_pap
-from ..core.perset import SAgPredictor, SAsPredictor, cost_sag, cost_sas
-from ..core.twolevel import GsharePredictor, make_gag, make_pag, make_pap
-from ..predictors.extensions import GselectPredictor, tournament_pag_gshare
+from ..core.perset import cost_sag, cost_sas
+from ..core.twolevel import make_gag, make_pag, make_pap
+from ..predictors.extensions import tournament_pag_gshare
 from ..sim.fetch import BranchTargetCache, FetchEngine, ReturnAddressStack
+from ..sim.parallel import spec
 from ..sim.pipeline import RecoveryPolicy, SpeculativeTwoLevel, simulate_delayed
 from ..sim.runner import BenchmarkCase, run_matrix
 from .figures import FigureResult, _cases
 from .report import render_accuracy_matrix, render_table
+
+__all__ = [
+    "ALL_EXTRAS",
+    "extra_fetch",
+    "extra_interference",
+    "extra_ipc",
+    "extra_sensitivity",
+    "extra_speculative",
+    "extra_taxonomy",
+]
 
 
 def extra_speculative(
@@ -165,21 +176,29 @@ def extra_taxonomy(
     cases: Optional[Sequence[BenchmarkCase]] = None,
     scale: int = 1,
     history_bits: int = 8,
+    n_workers: int = 1,
+    result_cache=None,
 ) -> FigureResult:
-    """The widened taxonomy ladder at one history length, with costs."""
+    """The widened taxonomy ladder at one history length, with costs.
+
+    All rungs but the tournament are expressed as picklable registry
+    specs (parallelizable, cacheable); the tournament's non-default
+    chooser width keeps it a plain callable, which the runner simply
+    executes in the parent process.
+    """
     cases = _cases(cases, scale)
     k = history_bits
     builders = {
-        f"GAg-{k}": lambda t: make_gag(k),
-        f"SAg-{k}x16": lambda t: SAgPredictor(k, 16),
-        f"SAs-{k}x16": lambda t: SAsPredictor(k, 16),
-        f"PAg-{k}": lambda t: make_pag(k),
-        f"PAp-{k}": lambda t: make_pap(k),
-        f"gshare-{k}": lambda t: GsharePredictor(k),
-        f"gselect-{k // 2}+{k - k // 2}": lambda t: GselectPredictor(k - k // 2, k // 2),
+        f"GAg-{k}": spec(f"gag-{k}"),
+        f"SAg-{k}x16": spec(f"sag-{k}x16"),
+        f"SAs-{k}x16": spec(f"sas-{k}x16"),
+        f"PAg-{k}": spec(f"pag-{k}"),
+        f"PAp-{k}": spec(f"pap-{k}"),
+        f"gshare-{k}": spec(f"gshare-{k}"),
+        f"gselect-{k // 2}+{k - k // 2}": spec(f"gselect-{k // 2}+{k - k // 2}"),
         "tournament": lambda t: tournament_pag_gshare(k, k, 10),
     }
-    matrix = run_matrix(builders, cases)
+    matrix = run_matrix(builders, cases, n_workers=n_workers, result_cache=result_cache)
     costs = {
         f"GAg-{k}": cost_gag(k),
         f"SAg-{k}x16": cost_sag(k, 16),

@@ -6,6 +6,19 @@ the structured data plus a text rendering. Figures share the suite's
 cached traces, so running all of them costs one trace generation plus
 the simulations.
 
+Every matrix-producing driver accepts two execution knobs, threaded
+straight into :func:`repro.sim.runner.run_matrix`:
+
+* ``n_workers`` — fan the (scheme x benchmark) cells out over worker
+  processes; results are bit-identical for every worker count.
+* ``result_cache`` — a :class:`repro.trace.cache.ResultCache`; a warm
+  cache makes a rerun recompute only changed cells (the matrix's
+  ``telemetry`` records hits/misses).
+
+Predictor configurations are expressed as picklable
+:func:`repro.sim.parallel.spec` builders (registry names), which is
+what makes the cells portable across process boundaries and cacheable.
+
 Scaling note: trace lengths differ from the paper (DESIGN.md
 substitution #2), so compare *shapes* — orderings, gaps, crossovers —
 not absolute percentages. EXPERIMENTS.md records both sides.
@@ -18,18 +31,28 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.automata import PAPER_AUTOMATA
 from ..core.cost import UNIT_COSTS, CostParams, cost_gag, cost_pag, cost_pap
-from ..core.static_training import GSgPredictor, PSgPredictor
-from ..core.twolevel import make_gag, make_pag, make_pap
-from ..predictors.base import TrainingUnavailable
-from ..predictors.btb import btb_a2, btb_last_time
-from ..predictors.static import BTFN, AlwaysTaken, ProfileGuided
-from ..sim.engine import ContextSwitchConfig, simulate
+from ..sim.engine import ContextSwitchConfig
+from ..sim.parallel import spec
 from ..sim.results import ResultMatrix
 from ..sim.runner import BenchmarkCase, run_matrix
+from ..trace.cache import ResultCache
 from ..trace.stats import compute_stats
 from ..workloads.suite import SuiteConfig, build_cases
 from .charts import accuracy_bars_from_matrix, render_series
 from .report import render_accuracy_matrix, render_table
+
+__all__ = [
+    "ALL_FIGURES",
+    "FigureResult",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+]
 
 
 @dataclass
@@ -50,12 +73,6 @@ def _cases(cases: Optional[Sequence[BenchmarkCase]], scale: int) -> List[Benchma
     if cases is not None:
         return list(cases)
     return build_cases(SuiteConfig(scale=scale))
-
-
-def _require(trace, builder):
-    if trace is None:
-        raise TrainingUnavailable("benchmark has no training dataset")
-    return builder(trace)
 
 
 # ----------------------------------------------------------------------
@@ -104,16 +121,16 @@ def figure5(
     cases: Optional[Sequence[BenchmarkCase]] = None,
     scale: int = 1,
     history_bits: int = 12,
+    n_workers: int = 1,
+    result_cache: Optional[ResultCache] = None,
 ) -> FigureResult:
     """PAg(512, 4-way, 12-bit) with automata LT / A1 / A2 / A3 / A4."""
     cases = _cases(cases, scale)
     builders = {
-        f"PAg-{history_bits}-{name}": (
-            lambda t, a=spec: make_pag(history_bits, a, 512, 4)
-        )
-        for name, spec in PAPER_AUTOMATA.items()
+        f"PAg-{history_bits}-{name}": spec(f"pag-{history_bits}-{name.lower()}-512x4")
+        for name in PAPER_AUTOMATA
     }
-    matrix = run_matrix(builders, cases)
+    matrix = run_matrix(builders, cases, n_workers=n_workers, result_cache=result_cache)
     rendered = render_accuracy_matrix(
         matrix,
         title=f"Figure 5: PAg(BHT(512,4,{history_bits}-sr)) with different automata",
@@ -134,15 +151,17 @@ def figure6(
     cases: Optional[Sequence[BenchmarkCase]] = None,
     scale: int = 1,
     lengths: Sequence[int] = (2, 4, 6, 8, 10, 12),
+    n_workers: int = 1,
+    result_cache: Optional[ResultCache] = None,
 ) -> FigureResult:
     """GAg vs PAg vs PAp, all using the same history register length."""
     cases = _cases(cases, scale)
     builders = {}
     for k in lengths:
-        builders[f"GAg-{k}"] = lambda t, k=k: make_gag(k)
-        builders[f"PAg-{k}"] = lambda t, k=k: make_pag(k, bht_entries=512, bht_associativity=4)
-        builders[f"PAp-{k}"] = lambda t, k=k: make_pap(k, bht_entries=512, bht_associativity=4)
-    matrix = run_matrix(builders, cases)
+        builders[f"GAg-{k}"] = spec(f"gag-{k}")
+        builders[f"PAg-{k}"] = spec(f"pag-{k}-512x4")
+        builders[f"PAp-{k}"] = spec(f"pap-{k}-512x4")
+    matrix = run_matrix(builders, cases, n_workers=n_workers, result_cache=result_cache)
     summary_rows = []
     for k in lengths:
         summary_rows.append(
@@ -186,11 +205,13 @@ def figure7(
     cases: Optional[Sequence[BenchmarkCase]] = None,
     scale: int = 1,
     lengths: Sequence[int] = (6, 8, 10, 12, 14, 16, 18),
+    n_workers: int = 1,
+    result_cache: Optional[ResultCache] = None,
 ) -> FigureResult:
     """GAg accuracy as the history register grows 6 -> 18 bits."""
     cases = _cases(cases, scale)
-    builders = {f"GAg-{k}": (lambda t, k=k: make_gag(k)) for k in lengths}
-    matrix = run_matrix(builders, cases)
+    builders = {f"GAg-{k}": spec(f"gag-{k}") for k in lengths}
+    matrix = run_matrix(builders, cases, n_workers=n_workers, result_cache=result_cache)
     gain = matrix.gmean(f"GAg-{max(lengths)}") - matrix.gmean(f"GAg-{min(lengths)}")
     series = {
         "Int GMean": [matrix.gmean(f"GAg-{k}", "int") for k in lengths],
@@ -220,15 +241,17 @@ def figure8(
     cases: Optional[Sequence[BenchmarkCase]] = None,
     scale: int = 1,
     params: CostParams = UNIT_COSTS,
+    n_workers: int = 1,
+    result_cache: Optional[ResultCache] = None,
 ) -> FigureResult:
     """GAg(18) / PAg(12) / PAp(6): ~equal accuracy, very unequal cost."""
     cases = _cases(cases, scale)
     builders = {
-        "GAg-18": lambda t: make_gag(18),
-        "PAg-12": lambda t: make_pag(12, bht_entries=512, bht_associativity=4),
-        "PAp-6": lambda t: make_pap(6, bht_entries=512, bht_associativity=4),
+        "GAg-18": spec("gag-18"),
+        "PAg-12": spec("pag-12-512x4"),
+        "PAp-6": spec("pap-6-512x4"),
     }
-    matrix = run_matrix(builders, cases)
+    matrix = run_matrix(builders, cases, n_workers=n_workers, result_cache=result_cache)
     costs = {
         "GAg-18": cost_gag(18, 2, params),
         "PAg-12": cost_pag(512, 4, 12, 2, params),
@@ -264,20 +287,30 @@ def figure9(
     cases: Optional[Sequence[BenchmarkCase]] = None,
     scale: int = 1,
     interval: int = 500_000,
+    n_workers: int = 1,
+    result_cache: Optional[ResultCache] = None,
 ) -> FigureResult:
     """GAg(18)/PAg(12)/PAp(6) with and without context switches."""
     cases = _cases(cases, scale)
     builders = {
-        "GAg-18": lambda t: make_gag(18),
-        "PAg-12": lambda t: make_pag(12, bht_entries=512, bht_associativity=4),
-        "PAp-6": lambda t: make_pap(6, bht_entries=512, bht_associativity=4),
+        "GAg-18": spec("gag-18"),
+        "PAg-12": spec("pag-12-512x4"),
+        "PAp-6": spec("pap-6-512x4"),
     }
-    plain = run_matrix(builders, cases)
+    plain = run_matrix(builders, cases, n_workers=n_workers, result_cache=result_cache)
     switched_builders = {f"{name},c": builder for name, builder in builders.items()}
     switched = run_matrix(
-        switched_builders, cases, context_switches=ContextSwitchConfig(interval=interval)
+        switched_builders,
+        cases,
+        context_switches=ContextSwitchConfig(interval=interval),
+        n_workers=n_workers,
+        result_cache=result_cache,
     )
-    merged = ResultMatrix(benchmarks=plain.benchmarks, categories=plain.categories)
+    merged = ResultMatrix(
+        benchmarks=plain.benchmarks,
+        categories=plain.categories,
+        telemetry=plain.telemetry.merged_with(switched.telemetry),
+    )
     for scheme, cells in list(plain.cells.items()) + list(switched.cells.items()):
         for result in cells.values():
             merged.add(scheme, result)
@@ -312,18 +345,26 @@ def figure10(
     cases: Optional[Sequence[BenchmarkCase]] = None,
     scale: int = 1,
     history_bits: int = 12,
+    n_workers: int = 1,
+    result_cache: Optional[ResultCache] = None,
 ) -> FigureResult:
     """PAg with practical BHTs (256/512 x direct/4-way) vs the IBHT,
     simulated in the presence of context switches, as the paper does."""
     cases = _cases(cases, scale)
     builders = {
-        "PAg-IBHT": lambda t: make_pag(history_bits, bht_entries=None),
-        "PAg-512x4": lambda t: make_pag(history_bits, bht_entries=512, bht_associativity=4),
-        "PAg-512x1": lambda t: make_pag(history_bits, bht_entries=512, bht_associativity=1),
-        "PAg-256x4": lambda t: make_pag(history_bits, bht_entries=256, bht_associativity=4),
-        "PAg-256x1": lambda t: make_pag(history_bits, bht_entries=256, bht_associativity=1),
+        "PAg-IBHT": spec(f"pag-{history_bits}-ideal"),
+        "PAg-512x4": spec(f"pag-{history_bits}-512x4"),
+        "PAg-512x1": spec(f"pag-{history_bits}-512x1"),
+        "PAg-256x4": spec(f"pag-{history_bits}-256x4"),
+        "PAg-256x1": spec(f"pag-{history_bits}-256x1"),
     }
-    matrix = run_matrix(builders, cases, context_switches=ContextSwitchConfig())
+    matrix = run_matrix(
+        builders,
+        cases,
+        context_switches=ContextSwitchConfig(),
+        n_workers=n_workers,
+        result_cache=result_cache,
+    )
     rendered = render_accuracy_matrix(
         matrix, title="Figure 10: branch history table implementations (with context switches)"
     )
@@ -339,20 +380,25 @@ def figure10(
 # Figure 11 — grand comparison
 # ----------------------------------------------------------------------
 
-def figure11(cases: Optional[Sequence[BenchmarkCase]] = None, scale: int = 1) -> FigureResult:
+def figure11(
+    cases: Optional[Sequence[BenchmarkCase]] = None,
+    scale: int = 1,
+    n_workers: int = 1,
+    result_cache: Optional[ResultCache] = None,
+) -> FigureResult:
     """PAg(12) against every other scheme family in the study."""
     cases = _cases(cases, scale)
     builders = {
-        "PAg(512,4,12,A2)": lambda t: make_pag(12, bht_entries=512, bht_associativity=4),
-        "PSg(512,4,12)": lambda t: _require(t, lambda tr: PSgPredictor.trained_on(tr, 12, 512, 4)),
-        "GSg(12)": lambda t: _require(t, lambda tr: GSgPredictor.trained_on(tr, 12)),
-        "BTB(512,4,A2)": lambda t: btb_a2(),
-        "Profile": lambda t: _require(t, ProfileGuided.trained_on),
-        "BTB(512,4,LT)": lambda t: btb_last_time(),
-        "BTFN": lambda t: BTFN(),
-        "AlwaysTaken": lambda t: AlwaysTaken(),
+        "PAg(512,4,12,A2)": spec("pag-12-a2-512x4"),
+        "PSg(512,4,12)": spec("psg-12-512x4"),
+        "GSg(12)": spec("gsg-12"),
+        "BTB(512,4,A2)": spec("btb-a2"),
+        "Profile": spec("profile"),
+        "BTB(512,4,LT)": spec("btb-lt"),
+        "BTFN": spec("btfn"),
+        "AlwaysTaken": spec("always-taken"),
     }
-    matrix = run_matrix(builders, cases)
+    matrix = run_matrix(builders, cases, n_workers=n_workers, result_cache=result_cache)
     rendered = (
         render_accuracy_matrix(
             matrix, title="Figure 11: comparison of branch prediction schemes"

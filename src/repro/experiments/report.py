@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
+__all__ = ["format_cell", "render_accuracy_matrix", "render_table", "rows_from_mapping"]
+
 Cell = Union[str, int, float, None]
 
 

@@ -18,6 +18,8 @@ from ..workloads.suite import (
 )
 from .report import render_table
 
+__all__ = ["ALL_TABLES", "TableResult", "table1", "table2", "table3"]
+
 
 @dataclass
 class TableResult:

@@ -1,21 +1,29 @@
-"""Trace-driven simulation: engine, results, runner, pipeline timing,
-fetch-engine modelling."""
+"""Trace-driven simulation: engine, results, runner, parallel/cached
+sweep execution, pipeline timing, fetch-engine modelling."""
 
 from .engine import ContextSwitchConfig, simulate, simulate_named
 from .fetch import BranchTargetCache, FetchEngine, FetchStats, ReturnAddressStack
 from .ipc import IPCEstimate, MachineModel, ipc_estimate, ipc_from_result, speedup
+from .parallel import PredictorSpec, execute_matrix, result_cache_key, spec, trace_digest
 from .pipeline import (
     DelayedResult,
     RecoveryPolicy,
     SpeculativeTwoLevel,
     simulate_delayed,
 )
-from .results import ResultMatrix, SimulationResult, geometric_mean
+from .results import (
+    CellTelemetry,
+    ResultMatrix,
+    RunTelemetry,
+    SimulationResult,
+    geometric_mean,
+)
 from .runner import BenchmarkCase, PredictorBuilder, run_case, run_matrix, sweep_parameter
 
 __all__ = [
     "BenchmarkCase",
     "BranchTargetCache",
+    "CellTelemetry",
     "ContextSwitchConfig",
     "DelayedResult",
     "FetchEngine",
@@ -23,19 +31,25 @@ __all__ = [
     "IPCEstimate",
     "MachineModel",
     "PredictorBuilder",
+    "PredictorSpec",
     "RecoveryPolicy",
     "ResultMatrix",
     "ReturnAddressStack",
+    "RunTelemetry",
     "SimulationResult",
     "SpeculativeTwoLevel",
+    "execute_matrix",
     "geometric_mean",
     "ipc_estimate",
     "ipc_from_result",
+    "result_cache_key",
     "run_case",
     "run_matrix",
     "simulate",
     "simulate_delayed",
     "simulate_named",
+    "spec",
     "speedup",
     "sweep_parameter",
+    "trace_digest",
 ]

@@ -20,6 +20,8 @@ from ..predictors.registry import make_predictor
 from ..trace.io import load_trace
 from .engine import ContextSwitchConfig, simulate
 
+__all__ = ["build_parser", "main"]
+
 
 def _load_training(path: Optional[Path]):
     return load_trace(path) if path is not None else None

@@ -22,6 +22,8 @@ from ..predictors.base import BranchPredictor
 from ..trace.events import BranchClass, Trace
 from .results import SimulationResult
 
+__all__ = ["ContextSwitchConfig", "simulate", "simulate_named"]
+
 
 @dataclass(frozen=True)
 class ContextSwitchConfig:

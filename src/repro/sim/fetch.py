@@ -37,6 +37,8 @@ from ..core.history import CacheBHT
 from ..predictors.base import BranchPredictor
 from ..trace.events import BranchClass, Trace
 
+__all__ = ["BranchTargetCache", "FetchEngine", "FetchStats", "ReturnAddressStack"]
+
 
 class BranchTargetCache:
     """Cached resolved targets, tagged and set-associative.

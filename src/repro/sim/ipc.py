@@ -27,6 +27,8 @@ from dataclasses import dataclass
 
 from .results import SimulationResult
 
+__all__ = ["IPCEstimate", "MachineModel", "ipc_estimate", "ipc_from_result", "speedup"]
+
 
 @dataclass(frozen=True)
 class MachineModel:

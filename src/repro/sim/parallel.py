@@ -1,0 +1,372 @@
+"""Parallel, cached execution of (scheme x benchmark) sweeps.
+
+The paper's evaluation is a large cross product — Figures 5-11 replay
+nine traces through dozens of predictor configurations — and every cell
+is independent of every other. This module is the execution layer that
+exploits that:
+
+* **Fan-out** — cells are distributed over worker processes
+  (:class:`concurrent.futures.ProcessPoolExecutor`). ``n_workers=1``
+  takes a deterministic in-process path with no executor involved.
+* **Picklable work units** — workers receive a :class:`PredictorSpec`
+  (a registry name, e.g. ``"pag-12"``) rather than a closure, plus the
+  path of a spooled trace file. Plain-callable builders (lambdas) still
+  work: they are detected as unpicklable and executed in the parent
+  process, so ``run_matrix`` never rejects a builder.
+* **Result caching** — with a :class:`~repro.trace.cache.ResultCache`,
+  each cell is keyed by a content-hash of the trace bytes, the scheme's
+  cache key and the context-switch configuration
+  (:func:`result_cache_key`); warm reruns execute zero simulations.
+* **Telemetry** — every run produces a
+  :class:`~repro.sim.results.RunTelemetry` (per-cell wall time, cache
+  hit/miss counts) attached to the returned matrix.
+
+Determinism guarantee: for fixed builders, cases and configuration, the
+returned :class:`~repro.sim.results.ResultMatrix` is bit-identical for
+every ``n_workers`` value and for cold or warm caches — cells are
+independent simulations, results are reassembled in the same
+scheme-major order the serial loop uses, and cached cells store the
+exact integer counts the simulation produced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import shutil
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..predictors.base import BranchPredictor, TrainingUnavailable
+from ..trace.cache import ResultCache
+from ..trace.events import Trace
+from ..trace.io import dumps as trace_dumps
+from ..trace.io import load_trace, save_trace
+from .engine import ContextSwitchConfig, simulate
+from .results import ResultMatrix, RunTelemetry, SimulationResult
+
+__all__ = [
+    "PredictorSpec",
+    "execute_matrix",
+    "result_cache_key",
+    "spec",
+    "trace_digest",
+]
+
+#: Bumped whenever the cached payload layout or key recipe changes, so
+#: stale caches from older revisions can never satisfy a new lookup.
+_KEY_VERSION = "v1"
+
+
+@dataclass(frozen=True)
+class PredictorSpec:
+    """A picklable, cacheable predictor builder.
+
+    Wraps a name understood by
+    :func:`repro.predictors.registry.make_predictor` (friendly grammar
+    like ``"pag-12-a2-512x4"`` or a full Table 3 configuration string)
+    and behaves as a ``PredictorBuilder``: calling it with the
+    benchmark's training trace (or ``None``) returns a fresh predictor.
+
+    Unlike a lambda, a spec survives pickling (so it can cross a
+    process boundary) and carries a stable :attr:`cache_key` (so its
+    results can live in the on-disk result cache).
+    """
+
+    name: str
+
+    def __call__(self, training_trace: Optional[Trace]) -> BranchPredictor:
+        """Build a fresh predictor; raises ``TrainingUnavailable`` when
+        the scheme needs a training trace the benchmark lacks."""
+        from ..predictors.registry import make_predictor
+
+        if self.requires_training and training_trace is None:
+            raise TrainingUnavailable(f"{self.name} needs a training trace")
+        return make_predictor(self.name, training_trace)
+
+    @property
+    def requires_training(self) -> bool:
+        """True for the statically-trained schemes (GSg/PSg/Profile).
+
+        Determines whether the training trace participates in the
+        cell's cache key: schemes that ignore the training trace must
+        not be invalidated when it changes.
+        """
+        text = self.name.strip().lower()
+        return text == "profile" or text.startswith(("gsg", "psg"))
+
+    @property
+    def cache_key(self) -> str:
+        """Stable identity of the scheme configuration for result keys."""
+        return f"spec:{self.name.strip().lower()}"
+
+
+def spec(name: str) -> PredictorSpec:
+    """Shorthand constructor: ``spec("pag-12")``."""
+    return PredictorSpec(name)
+
+
+def trace_digest(trace: Trace) -> str:
+    """Content-hash of a trace (sha256 over its binary serialization).
+
+    Two traces with identical records and metadata always digest
+    equally, regardless of how they were produced.
+    """
+    return hashlib.sha256(trace_dumps(trace)).hexdigest()
+
+
+def result_cache_key(
+    test_digest: str,
+    builder_key: str,
+    context_switches: Optional[ContextSwitchConfig],
+    training_digest: Optional[str] = None,
+) -> str:
+    """The result-cache key for one (scheme, benchmark) cell.
+
+    Args:
+        test_digest: :func:`trace_digest` of the scored trace.
+        builder_key: the builder's ``cache_key`` (scheme configuration).
+        context_switches: the run's context-switch model (``None`` for
+            an undisturbed run); both fields participate in the key.
+        training_digest: digest of the training trace, for schemes whose
+            predictor depends on it (``None`` otherwise).
+    """
+    if context_switches is None:
+        cs_part = "cs:none"
+    else:
+        cs_part = f"cs:{context_switches.interval}:{int(context_switches.switch_on_traps)}"
+    parts = [
+        _KEY_VERSION,
+        f"trace:{test_digest}",
+        f"builder:{builder_key}",
+        cs_part,
+        f"training:{training_digest or 'none'}",
+    ]
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Per-worker-process memo of spooled traces, so a worker deserializes
+#: each benchmark trace once no matter how many of its cells it draws.
+_TRACE_MEMO: Dict[str, Trace] = {}
+
+
+def _load_spooled(path: str) -> Trace:
+    trace = _TRACE_MEMO.get(path)
+    if trace is None:
+        trace = load_trace(path)
+        _TRACE_MEMO[path] = trace
+    return trace
+
+
+def _run_cell(
+    label: str,
+    case_name: str,
+    builder,
+    test_path: str,
+    training_path: Optional[str],
+    context_switches: Optional[ContextSwitchConfig],
+) -> Tuple[str, str, Optional[SimulationResult], float]:
+    """Execute one cell from spooled traces (runs inside a worker).
+
+    Returns ``(label, case_name, result-or-None, wall_time)``; ``None``
+    means the builder raised ``TrainingUnavailable``.
+    """
+    started = time.perf_counter()
+    test_trace = _load_spooled(test_path)
+    training_trace = _load_spooled(training_path) if training_path else None
+    try:
+        predictor = builder(training_trace)
+    except TrainingUnavailable:
+        return label, case_name, None, time.perf_counter() - started
+    result = simulate(predictor, test_trace, context_switches=context_switches)
+    return label, case_name, result, time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+def _is_picklable(builder) -> bool:
+    try:
+        pickle.dumps(builder)
+        return True
+    except Exception:
+        return False
+
+
+def execute_matrix(
+    builders: Mapping[str, "PredictorBuilder"],  # noqa: F821 - doc alias
+    cases: Sequence["BenchmarkCase"],  # noqa: F821
+    context_switches: Optional[ContextSwitchConfig] = None,
+    n_workers: int = 1,
+    result_cache: Optional[ResultCache] = None,
+) -> ResultMatrix:
+    """Evaluate every scheme on every benchmark, in parallel and cached.
+
+    This is the engine behind :func:`repro.sim.runner.run_matrix`; call
+    that instead unless you are building new sweep machinery.
+
+    Args:
+        builders: scheme label -> builder. :class:`PredictorSpec`
+            builders parallelize and cache; plain callables run in the
+            parent process and bypass the cache.
+        cases: the benchmark suite, figure order.
+        context_switches: applied to every simulation when given.
+        n_workers: worker processes; ``1`` is a plain in-process loop
+            (no executor, no trace spooling) whose results every other
+            worker count reproduces bit-identically.
+        result_cache: on-disk cell cache; ``None`` disables caching.
+
+    Returns:
+        A :class:`ResultMatrix` with telemetry attached.
+    """
+    from .runner import run_case  # local import: runner imports us lazily
+
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    started = time.perf_counter()
+    telemetry = RunTelemetry(n_workers=n_workers)
+    matrix = ResultMatrix(
+        benchmarks=[case.name for case in cases],
+        categories={case.name: case.category for case in cases},
+        telemetry=telemetry,
+    )
+
+    # Digest each case's traces once (only needed for cache keys).
+    digests: Dict[str, Tuple[str, Optional[str]]] = {}
+    if result_cache is not None:
+        for case in cases:
+            digests[case.name] = (
+                trace_digest(case.test_trace),
+                trace_digest(case.training_trace) if case.training_trace else None,
+            )
+
+    # Phase 1: resolve what we can from the cache, in cell order.
+    # outcomes: (label, case.name) -> (result, source, wall_time)
+    outcomes: Dict[Tuple[str, str], Tuple[Optional[SimulationResult], str, float]] = {}
+    pending: List[Tuple[str, "BenchmarkCase", Optional[str]]] = []
+    for label, builder in builders.items():
+        builder_key = getattr(builder, "cache_key", None)
+        for case in cases:
+            if result_cache is None or builder_key is None:
+                if result_cache is not None:
+                    telemetry.uncacheable += 1
+                pending.append((label, case, None))
+                continue
+            test_digest, training_digest = digests[case.name]
+            key = result_cache_key(
+                test_digest,
+                builder_key,
+                context_switches,
+                training_digest if getattr(builder, "requires_training", True) else None,
+            )
+            lookup_started = time.perf_counter()
+            hit, payload = result_cache.load(key)
+            if hit:
+                result = SimulationResult.from_dict(payload) if payload is not None else None
+                outcomes[(label, case.name)] = (
+                    result,
+                    "cache" if result is not None else "unavailable",
+                    time.perf_counter() - lookup_started,
+                )
+            else:
+                telemetry.cache_misses += 1
+                pending.append((label, case, key))
+
+    # Phase 2: compute the remaining cells — in worker processes when
+    # asked and possible, in-process otherwise.
+    def _run_local(label: str, case, key: Optional[str]) -> None:
+        cell_started = time.perf_counter()
+        result = run_case(builder_by_label[label], case, context_switches=context_switches)
+        wall = time.perf_counter() - cell_started
+        outcomes[(label, case.name)] = (result, "simulated" if result is not None else "unavailable", wall)
+        if key is not None and result_cache is not None:
+            result_cache.store(key, result.to_dict() if result is not None else None)
+
+    builder_by_label = dict(builders)
+    if n_workers == 1 or not pending:
+        for label, case, key in pending:
+            _run_local(label, case, key)
+    else:
+        remote = [cell for cell in pending if _is_picklable(builder_by_label[cell[0]])]
+        local = [cell for cell in pending if not _is_picklable(builder_by_label[cell[0]])]
+        spool = Path(tempfile.mkdtemp(prefix="repro-spool-"))
+        try:
+            trace_paths = _spool_traces({case.name: case for _, case, _ in remote}, spool)
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                futures = {}
+                for label, case, key in remote:
+                    test_path, training_path = trace_paths[case.name]
+                    future = pool.submit(
+                        _run_cell,
+                        label,
+                        case.name,
+                        builder_by_label[label],
+                        test_path,
+                        training_path,
+                        context_switches,
+                    )
+                    futures[future] = key
+                # Overlap the unpicklable (parent-process) cells with
+                # the pool instead of serializing them afterwards.
+                for label, case, key in local:
+                    _run_local(label, case, key)
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        label, case_name, result, wall = future.result()
+                        outcomes[(label, case_name)] = (
+                            result,
+                            "simulated" if result is not None else "unavailable",
+                            wall,
+                        )
+                        key = futures[future]
+                        if key is not None and result_cache is not None:
+                            result_cache.store(
+                                key, result.to_dict() if result is not None else None
+                            )
+        finally:
+            shutil.rmtree(spool, ignore_errors=True)
+
+    # Phase 3: assemble in the canonical (scheme-major) order, so the
+    # matrix layout is independent of completion order.
+    for label in builders:
+        for case in cases:
+            result, source, wall = outcomes[(label, case.name)]
+            telemetry.record(label, case.name, wall, source)
+            if result is not None:
+                matrix.add(label, result)
+    telemetry.wall_time = time.perf_counter() - started
+    return matrix
+
+
+def _spool_traces(
+    cases_by_name: Mapping[str, "BenchmarkCase"],  # noqa: F821
+    spool: Path,
+) -> Dict[str, Tuple[str, Optional[str]]]:
+    """Write each distinct trace to the spool directory once.
+
+    Workers load traces from these files (memoized per process) instead
+    of receiving multi-megabyte pickled columns with every task.
+    """
+    paths: Dict[str, Tuple[str, Optional[str]]] = {}
+    for name, case in cases_by_name.items():
+        test_path = spool / f"{name}-test.btb"
+        save_trace(case.test_trace, test_path)
+        training_path: Optional[str] = None
+        if case.training_trace is not None:
+            path = spool / f"{name}-training.btb"
+            save_trace(case.training_trace, path)
+            training_path = str(path)
+        paths[name] = (str(test_path), training_path)
+    return paths

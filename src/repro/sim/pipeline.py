@@ -43,6 +43,8 @@ from .results import SimulationResult
 from ..core.history import history_fill, history_mask
 from ..core.twolevel import GAgPredictor, PAgPredictor, PApPredictor
 
+__all__ = ["DelayedResult", "RecoveryPolicy", "SpeculativeTwoLevel", "simulate_delayed"]
+
 
 class RecoveryPolicy(enum.Enum):
     """What to do with speculative history after a misprediction."""

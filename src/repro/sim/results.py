@@ -11,7 +11,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "CellTelemetry",
+    "ResultMatrix",
+    "RunTelemetry",
+    "SimulationResult",
+    "geometric_mean",
+]
 
 
 @dataclass(frozen=True)
@@ -73,6 +81,56 @@ class SimulationResult:
             for pc, wrong in ranked[:count]
         ]
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a JSON-compatible dict that round-trips exactly.
+
+        All stored fields are integers, strings or integer-keyed count
+        dicts, so :meth:`from_dict` reconstructs a result that compares
+        equal (and whose derived floats — ``accuracy``, ``mpki`` — are
+        bit-identical, since they are recomputed from the same ints).
+        Per-site dict keys are stringified for JSON; ``from_dict``
+        restores them to ints.
+        """
+        payload: Dict[str, Any] = {
+            "predictor_name": self.predictor_name,
+            "trace_name": self.trace_name,
+            "dataset": self.dataset,
+            "conditional_branches": self.conditional_branches,
+            "correct_predictions": self.correct_predictions,
+            "context_switches": self.context_switches,
+            "total_instructions": self.total_instructions,
+        }
+        if self.per_site_executions is not None:
+            payload["per_site_executions"] = {
+                str(pc): count for pc, count in self.per_site_executions.items()
+            }
+        if self.per_site_mispredictions is not None:
+            payload["per_site_mispredictions"] = {
+                str(pc): count for pc, count in self.per_site_mispredictions.items()
+            }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SimulationResult":
+        """Reconstruct a result serialized by :meth:`to_dict`."""
+
+        def _int_keys(mapping: Optional[Mapping[Any, int]]) -> Optional[Dict[int, int]]:
+            if mapping is None:
+                return None
+            return {int(pc): int(count) for pc, count in mapping.items()}
+
+        return cls(
+            predictor_name=payload["predictor_name"],
+            trace_name=payload["trace_name"],
+            dataset=payload["dataset"],
+            conditional_branches=int(payload["conditional_branches"]),
+            correct_predictions=int(payload["correct_predictions"]),
+            context_switches=int(payload.get("context_switches", 0)),
+            per_site_executions=_int_keys(payload.get("per_site_executions")),
+            per_site_mispredictions=_int_keys(payload.get("per_site_mispredictions")),
+            total_instructions=int(payload.get("total_instructions", 0)),
+        )
+
     def __str__(self) -> str:
         return (
             f"{self.predictor_name} on {self.trace_name}: "
@@ -92,6 +150,107 @@ def geometric_mean(values: Iterable[float]) -> float:
 
 
 @dataclass
+class CellTelemetry:
+    """How one (scheme, benchmark) cell of a run was satisfied.
+
+    Attributes:
+        scheme: scheme label (row of the matrix).
+        benchmark: benchmark name (column of the matrix).
+        wall_time: seconds spent producing this cell (simulation time in
+            the worker, or lookup time for a cache hit).
+        source: ``"simulated"`` (ran :func:`~repro.sim.engine.simulate`),
+            ``"cache"`` (served from the on-disk result cache), or
+            ``"unavailable"`` (builder raised ``TrainingUnavailable`` —
+            the cell stays blank, as in the paper's Figure 11).
+    """
+
+    scheme: str
+    benchmark: str
+    wall_time: float
+    source: str
+
+
+@dataclass
+class RunTelemetry:
+    """Lightweight accounting for one ``run_matrix`` execution.
+
+    Recorded on :attr:`ResultMatrix.telemetry` and surfaced by the
+    experiments CLI. Telemetry never participates in matrix equality —
+    a cached and a fresh run of the same sweep compare equal even
+    though their telemetry differs.
+
+    Attributes:
+        n_workers: worker processes the run was configured with.
+        cache_hits: cells served from the on-disk result cache.
+        cache_misses: cacheable cells that had to be computed.
+        uncacheable: cells whose builder carries no cache key (plain
+            callables) while a result cache was in use.
+        simulations: cells that actually executed a simulation.
+        unavailable: cells skipped because training data was missing.
+        wall_time: end-to-end seconds for the whole matrix.
+        cells: per-cell records, deterministic (scheme-major) order.
+    """
+
+    n_workers: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
+    uncacheable: int = 0
+    simulations: int = 0
+    unavailable: int = 0
+    wall_time: float = 0.0
+    cells: List[CellTelemetry] = field(default_factory=list)
+
+    @property
+    def total_cells(self) -> int:
+        return len(self.cells)
+
+    def record(self, scheme: str, benchmark: str, wall_time: float, source: str) -> None:
+        """Append one cell record and bump the matching counter."""
+        self.cells.append(CellTelemetry(scheme, benchmark, wall_time, source))
+        if source == "simulated":
+            self.simulations += 1
+        elif source == "cache":
+            self.cache_hits += 1
+        elif source == "unavailable":
+            self.unavailable += 1
+
+    def merged_with(self, other: "RunTelemetry") -> "RunTelemetry":
+        """Combine two runs' telemetry (used when drivers merge matrices)."""
+        return RunTelemetry(
+            n_workers=max(self.n_workers, other.n_workers),
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+            uncacheable=self.uncacheable + other.uncacheable,
+            simulations=self.simulations + other.simulations,
+            unavailable=self.unavailable + other.unavailable,
+            wall_time=self.wall_time + other.wall_time,
+            cells=self.cells + other.cells,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Structured summary (counters only; JSON-compatible)."""
+        return {
+            "n_workers": self.n_workers,
+            "total_cells": self.total_cells,
+            "simulations": self.simulations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "uncacheable": self.uncacheable,
+            "unavailable": self.unavailable,
+            "wall_time_s": round(self.wall_time, 4),
+        }
+
+    def summary_line(self) -> str:
+        """One-line human rendering, e.g. for CLI stderr output."""
+        return (
+            f"{self.total_cells} cells | {self.simulations} simulated, "
+            f"{self.cache_hits} cache hits, {self.cache_misses} misses, "
+            f"{self.unavailable} unavailable | workers={self.n_workers} "
+            f"| {self.wall_time:.2f}s"
+        )
+
+
+@dataclass
 class ResultMatrix:
     """Accuracy of many schemes over many benchmarks (one figure's data).
 
@@ -101,11 +260,15 @@ class ResultMatrix:
         cells: scheme -> benchmark -> :class:`SimulationResult`. Missing
             cells (e.g. GSg on benchmarks without a training set) are
             simply absent, as in the paper's Figure 11.
+        telemetry: optional :class:`RunTelemetry` for the run that
+            produced the matrix; excluded from equality comparisons so
+            cached and fresh runs of the same sweep compare equal.
     """
 
     benchmarks: List[str]
     categories: Mapping[str, str]
     cells: Dict[str, Dict[str, SimulationResult]] = field(default_factory=dict)
+    telemetry: Optional[RunTelemetry] = field(default=None, compare=False, repr=False)
 
     def add(self, scheme: str, result: SimulationResult) -> None:
         self.cells.setdefault(scheme, {})[result.trace_name] = result
@@ -165,3 +328,47 @@ class ResultMatrix:
             row["Tot GMean"] = self.gmean(scheme, None)
             rows.append(row)
         return rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a JSON-compatible dict that round-trips exactly.
+
+        Cells are stored via :meth:`SimulationResult.to_dict` (integer
+        counts, so no float precision is lost). Benchmarks a scheme
+        could not be evaluated on (``TrainingUnavailable``) are written
+        as explicit ``null`` cells, and :meth:`from_dict` restores them
+        to *absent* cells — the in-memory representation of a blank
+        figure point — so ``from_dict(m.to_dict()) == m`` always holds.
+        """
+        return {
+            "benchmarks": list(self.benchmarks),
+            "categories": dict(self.categories),
+            "cells": {
+                scheme: {
+                    benchmark: (
+                        row[benchmark].to_dict() if benchmark in row else None
+                    )
+                    for benchmark in list(self.benchmarks)
+                    + [name for name in row if name not in self.benchmarks]
+                }
+                for scheme, row in self.cells.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ResultMatrix":
+        """Reconstruct a matrix serialized by :meth:`to_dict`.
+
+        ``null`` cells (blank figure points) are skipped, matching how a
+        fresh run leaves unavailable cells absent.
+        """
+        matrix = cls(
+            benchmarks=list(payload["benchmarks"]),
+            categories=dict(payload["categories"]),
+        )
+        for scheme, row in payload.get("cells", {}).items():
+            # Preserve scheme rows even when every cell is blank.
+            matrix.cells.setdefault(scheme, {})
+            for cell in row.values():
+                if cell is not None:
+                    matrix.add(scheme, SimulationResult.from_dict(cell))
+        return matrix

@@ -4,6 +4,12 @@ The unit of evaluation is a :class:`BenchmarkCase` — a named testing
 trace, its int/fp category, and an optional training trace (Table 2 has
 "NA" training sets for four benchmarks; schemes that need training are
 simply not run there, matching the blank points in Figure 11).
+
+Execution of the cross product is delegated to
+:mod:`repro.sim.parallel`, which adds worker-process fan-out, on-disk
+result caching and run telemetry. The defaults (``n_workers=1``, no
+cache) replay every cell serially in-process; any other configuration
+is guaranteed to produce a bit-identical :class:`ResultMatrix`.
 """
 
 from __future__ import annotations
@@ -12,13 +18,26 @@ from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Sequence
 
 from ..predictors.base import BranchPredictor, TrainingUnavailable
+from ..trace.cache import ResultCache
 from ..trace.events import Trace
 from .engine import ContextSwitchConfig, simulate
 from .results import ResultMatrix, SimulationResult
 
+__all__ = [
+    "BenchmarkCase",
+    "PredictorBuilder",
+    "run_case",
+    "run_matrix",
+    "sweep_parameter",
+]
+
 PredictorBuilder = Callable[[Optional[Trace]], BranchPredictor]
 """Builds a fresh predictor, given the benchmark's training trace (or
-None). Raise :class:`TrainingUnavailable` to leave the cell blank."""
+None). Raise :class:`TrainingUnavailable` to leave the cell blank.
+
+Any callable works; :class:`repro.sim.parallel.PredictorSpec` builders
+additionally survive pickling (parallel execution in worker processes)
+and carry a stable cache key (on-disk result caching)."""
 
 
 @dataclass(frozen=True)
@@ -49,7 +68,18 @@ def run_case(
     context_switches: Optional[ContextSwitchConfig] = None,
     track_per_site: bool = False,
 ) -> Optional[SimulationResult]:
-    """Run one (scheme, benchmark) cell; None when training is missing."""
+    """Run one (scheme, benchmark) cell; None when training is missing.
+
+    Args:
+        builder: predictor builder; called with the case's training
+            trace (or ``None``).
+        case: the benchmark to score.
+        context_switches: the paper's context-switch model, when given.
+        track_per_site: collect per-static-branch statistics too.
+
+    Deterministic: a fresh predictor is built for every call, so
+    repeated invocations with the same inputs return identical counts.
+    """
     try:
         predictor = builder(case.training_trace)
     except TrainingUnavailable:
@@ -66,6 +96,8 @@ def run_matrix(
     builders: Mapping[str, PredictorBuilder],
     cases: Sequence[BenchmarkCase],
     context_switches: Optional[ContextSwitchConfig] = None,
+    n_workers: int = 1,
+    result_cache: Optional[ResultCache] = None,
 ) -> ResultMatrix:
     """Evaluate every scheme on every benchmark.
 
@@ -74,21 +106,33 @@ def run_matrix(
             is built per benchmark so state never leaks between traces.
         cases: the benchmark suite, figure order.
         context_switches: when given, applied to every simulation.
+        n_workers: worker processes to fan the cells out over; ``1``
+            (the default) runs a plain serial loop in this process.
+            Every value of ``n_workers`` yields a bit-identical matrix —
+            cells are independent and reassembled in scheme-major order.
+        result_cache: optional on-disk cell cache
+            (:class:`repro.trace.cache.ResultCache`). Cells whose
+            builders carry a ``cache_key`` (e.g.
+            :class:`~repro.sim.parallel.PredictorSpec`) are served from
+            the cache when their trace + scheme + context-switch hash
+            matches a previous run; plain callables always recompute.
 
     Returns:
         A :class:`ResultMatrix` with one cell per (scheme, benchmark)
-        that could be evaluated.
+        that could be evaluated, and
+        :attr:`~repro.sim.results.ResultMatrix.telemetry` describing
+        how the run was satisfied (simulations vs cache hits, per-cell
+        wall time).
     """
-    matrix = ResultMatrix(
-        benchmarks=[case.name for case in cases],
-        categories={case.name: case.category for case in cases},
+    from .parallel import execute_matrix  # deferred: parallel imports run_case
+
+    return execute_matrix(
+        builders,
+        cases,
+        context_switches=context_switches,
+        n_workers=n_workers,
+        result_cache=result_cache,
     )
-    for label, builder in builders.items():
-        for case in cases:
-            result = run_case(builder, case, context_switches=context_switches)
-            if result is not None:
-                matrix.add(label, result)
-    return matrix
 
 
 def sweep_parameter(
@@ -97,10 +141,19 @@ def sweep_parameter(
     cases: Sequence[BenchmarkCase],
     label: Callable[[int], str] = str,
     context_switches: Optional[ContextSwitchConfig] = None,
+    n_workers: int = 1,
+    result_cache: Optional[ResultCache] = None,
 ) -> ResultMatrix:
     """Evaluate a family of schemes indexed by one integer parameter.
 
-    Used for the history-length sweeps of Figures 6 and 7.
+    Used for the history-length sweeps of Figures 6 and 7. Accepts the
+    same ``n_workers`` / ``result_cache`` knobs as :func:`run_matrix`.
     """
     builders = {label(value): make_builder(value) for value in values}
-    return run_matrix(builders, cases, context_switches=context_switches)
+    return run_matrix(
+        builders,
+        cases,
+        context_switches=context_switches,
+        n_workers=n_workers,
+        result_cache=result_cache,
+    )

@@ -1,6 +1,6 @@
 """Branch-trace substrate: records, serialization, statistics, generators."""
 
-from .cache import TraceCache, default_cache
+from .cache import ResultCache, TraceCache, default_cache
 from .events import BranchClass, BranchRecord, Trace, TraceBuilder, TraceMeta
 from .io import (
     TraceFormatError,
@@ -21,6 +21,7 @@ __all__ = [
     "BranchClass",
     "BranchClassMix",
     "BranchRecord",
+    "ResultCache",
     "Trace",
     "TraceBuilder",
     "TraceCache",

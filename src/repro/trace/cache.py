@@ -1,20 +1,36 @@
-"""Trace cache.
+"""Trace and simulation-result caches.
 
 Generating a workload trace can cost seconds; every figure of the paper
 replays the same nine traces through many predictor configurations. The
-cache memoizes traces in memory and, optionally, on disk (binary trace
-format) keyed by ``(name, dataset, scale)``.
+:class:`TraceCache` memoizes traces in memory and, optionally, on disk
+(binary trace format) keyed by ``(name, dataset, scale)``.
+
+Replaying those traces costs far more than generating them, so the
+module also provides a second on-disk namespace: :class:`ResultCache`
+memoizes *simulation results* (as JSON payloads) keyed by a
+content-hash of (trace bytes, scheme configuration, context-switch
+configuration). Re-running a figure with a warm result cache recomputes
+only the cells whose inputs changed; see :mod:`repro.sim.parallel` for
+the layer that computes the keys and threads results through it.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import threading
 from pathlib import Path
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from .events import Trace
 from .io import load_trace, save_trace
+
+__all__ = [
+    "CacheKey",
+    "ResultCache",
+    "TraceCache",
+    "default_cache",
+]
 
 CacheKey = Tuple[str, str, int]
 
@@ -85,6 +101,104 @@ class TraceCache:
             save_trace(trace, path)
         except OSError:
             pass
+
+
+class ResultCache:
+    """On-disk cache of simulation results (the ``results`` namespace).
+
+    Entries live under ``<directory>/results/<sha256-key>.json`` and
+    hold one JSON payload each — either a serialized
+    ``SimulationResult`` dict or the explicit ``null`` sentinel for a
+    cell that could not be evaluated (``TrainingUnavailable``), so warm
+    reruns skip even the blank cells without rebuilding predictors.
+
+    Keys are opaque hex strings computed by the caller (see
+    :func:`repro.sim.parallel.result_cache_key`): the cache itself is a
+    dumb content-addressed store and never invalidates — a changed
+    trace, scheme or context-switch configuration simply hashes to a
+    new key. Stale entries are only removed by :meth:`clear`.
+
+    The cache also keeps per-instance hit/miss/store counters, which
+    the run telemetry reports. Thread-safe; multi-process safe via
+    atomic ``os.replace`` writes.
+    """
+
+    #: Payload marker distinguishing "cached as unavailable" from "absent".
+    UNAVAILABLE = {"unavailable": True}
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        """Args:
+        directory: cache root; entries go in a ``results/`` subdir
+            (so a :class:`TraceCache` may share the same root).
+        """
+        self.directory = Path(directory) / "results"
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def load(self, key: str) -> Tuple[bool, Optional[Dict[str, Any]]]:
+        """Look up ``key``.
+
+        Returns:
+            ``(hit, payload)`` — ``payload`` is the stored result dict,
+            or ``None`` when the hit is a cached "unavailable" cell.
+            A corrupt entry counts as a miss and is ignored.
+        """
+        path = self._path_for(key)
+        try:
+            text = path.read_text()
+            payload = json.loads(text)
+        except (OSError, ValueError):
+            with self._lock:
+                self.misses += 1
+            return False, None
+        with self._lock:
+            self.hits += 1
+        if payload == self.UNAVAILABLE:
+            return True, None
+        return True, payload
+
+    def store(self, key: str, payload: Optional[Dict[str, Any]]) -> None:
+        """Persist ``payload`` (or the unavailable sentinel) under ``key``.
+
+        Writes to a temp file then renames, so concurrent writers (the
+        parallel runner's workers race only on identical content) never
+        expose a torn entry. I/O errors are swallowed: a result cache
+        is an accelerator, never a correctness dependency.
+        """
+        path = self._path_for(key)
+        text = json.dumps(self.UNAVAILABLE if payload is None else payload, sort_keys=True)
+        tmp = path.with_suffix(f".tmp-{threading.get_ident()}")
+        try:
+            tmp.write_text(text)
+            tmp.replace(path)
+        except OSError:
+            return
+        with self._lock:
+            self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def _path_for(self, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            # Defensive: keys are sha256 hexdigests; anything else would
+            # let a malformed key escape the namespace directory.
+            key = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return self.directory / f"{key}.json"
 
 
 _default_cache = TraceCache()

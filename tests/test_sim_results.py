@@ -147,3 +147,70 @@ class TestMPKI:
         sparse_mpki = simulate(btb_a2(), sparse).mpki
         # Same accuracy, but fewer branches per instruction -> lower MPKI.
         assert sparse_mpki < dense_mpki / 5
+
+
+class TestSerializationRoundTrip:
+    """Regression: cached and fresh matrices must compare equal."""
+
+    def test_simulation_result_round_trip_exact(self):
+        result = SimulationResult(
+            predictor_name="PAg-12",
+            trace_name="eqntott",
+            dataset="int_pri_3.eqn",
+            conditional_branches=12345,
+            correct_predictions=11789,
+            context_switches=7,
+            per_site_executions={16: 100, 32: 200},
+            per_site_mispredictions={16: 3},
+            total_instructions=987654,
+        )
+        restored = SimulationResult.from_dict(result.to_dict())
+        assert restored == result
+        # Derived floats are recomputed from identical ints: bit-equal.
+        assert restored.accuracy == result.accuracy
+        assert restored.mpki == result.mpki
+
+    def test_simulation_result_json_stringified_keys(self):
+        import json
+
+        result = SimulationResult("s", "b", "", 10, 9, per_site_executions={5: 2},
+                                  per_site_mispredictions={5: 1})
+        payload = json.loads(json.dumps(result.to_dict()))
+        restored = SimulationResult.from_dict(payload)
+        assert restored.per_site_executions == {5: 2}
+        assert restored == result
+
+    def test_matrix_round_trip_with_blank_cells(self):
+        matrix = ResultMatrix(benchmarks=["a", "b"], categories={"a": "int", "b": "fp"})
+        matrix.add("s1", _result("s1", "a", 0.9))
+        matrix.add("s1", _result("s1", "b", 0.987654321))
+        matrix.add("s2", _result("s2", "a", 0.8))  # s2 has no 'b' cell
+        restored = ResultMatrix.from_dict(matrix.to_dict())
+        assert restored == matrix
+        assert restored.accuracy("s2", "b") is None
+        assert restored.gmean("s1") == matrix.gmean("s1")
+
+    def test_matrix_round_trip_through_json(self):
+        import json
+
+        matrix = ResultMatrix(benchmarks=["a"], categories={"a": "int"})
+        matrix.add("s", _result("s", "a", 0.999))
+        payload = json.loads(json.dumps(matrix.to_dict()))
+        assert ResultMatrix.from_dict(payload) == matrix
+
+    def test_telemetry_excluded_from_equality(self):
+        from repro.sim.results import RunTelemetry
+
+        matrix = ResultMatrix(benchmarks=["a"], categories={"a": "int"})
+        matrix.add("s", _result("s", "a", 0.9))
+        other = ResultMatrix.from_dict(matrix.to_dict())
+        other.telemetry = RunTelemetry(n_workers=4)
+        assert other == matrix
+
+    def test_export_json_round_trip_exact(self):
+        from repro.experiments.export import matrix_from_json, matrix_to_json
+
+        matrix = ResultMatrix(benchmarks=["a", "b"], categories={"a": "int", "b": "fp"})
+        matrix.add("s1", _result("s1", "a", 0.123456789))
+        matrix.add("s2", _result("s2", "b", 0.5))
+        assert matrix_from_json(matrix_to_json(matrix)) == matrix
