@@ -4,13 +4,29 @@ PYTHON ?= python
 
 WORKERS ?= 4
 
-.PHONY: install test bench experiments sweep examples clean
+.PHONY: install test check lint bench experiments sweep examples clean
 
 install:
 	pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Static analysis & invariant verification (see docs/static-analysis.md):
+# automaton model check, predict() purity lint, determinism lint, spec
+# picklability, registry consistency. --strict promotes warnings to
+# failures, matching the CI gate.
+check:
+	PYTHONPATH=src $(PYTHON) -m repro.check --strict
+
+# Style lint. ruff is optional locally (CI always has it); skip with a
+# notice when it is not installed rather than failing the target.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping style lint (pip install ruff)"; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,91 @@
+"""``repro.check`` — static analysis and invariant verification.
+
+A standing correctness gate for the predictor/simulator stack. Five
+analyzers, each verifying an invariant the paper's numbers (and PR 1's
+parallel/cached execution machinery) silently depend on:
+
+=============  ========================================================
+``automata``   Exhaustive model check of every registered prediction
+               automaton: totality, determinism, reachability,
+               convergence, and the paper's Figure-2 semantics for
+               LT/A1–A4 (:mod:`repro.check.automata`).
+``purity``     AST proof that ``predict()`` never mutates predictor
+               state and that no predictor method reads clocks or RNGs
+               (:mod:`repro.check.purity`).
+``determinism``  AST lint of the simulation hot paths for RNG,
+               wall-clock, environment and set-iteration-order hazards
+               (:mod:`repro.check.determinism`).
+``pickling``   Dynamic round-trip of every registered scheme through
+               ``pickle`` with behavioural-equivalence scoring on a
+               probe trace (:mod:`repro.check.pickling`).
+``registry``   ``__all__``/export consistency, Table 3 and friendly-
+               name constructibility, and cost-model coverage
+               (:mod:`repro.check.registry`).
+=============  ========================================================
+
+Run it as ``python -m repro.check`` (or ``make check``); see
+``docs/static-analysis.md`` for the full invariant catalogue and how
+to extend it. Programmatic entry point::
+
+    from repro.check import run_checks
+
+    report = run_checks()
+    assert report.ok, report.format_text()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from .automata import check_automata, verify_spec, verify_table
+from .determinism import check_determinism, scan_source
+from .pickling import check_pickling, probe_trace
+from .purity import analyze_source, check_purity
+from .registry import check_registry
+from .report import ERROR, WARNING, CheckReport, Finding
+
+__all__ = [
+    "ANALYZERS",
+    "CheckReport",
+    "ERROR",
+    "Finding",
+    "WARNING",
+    "analyze_source",
+    "check_automata",
+    "check_determinism",
+    "check_pickling",
+    "check_purity",
+    "check_registry",
+    "probe_trace",
+    "run_checks",
+    "scan_source",
+    "verify_spec",
+    "verify_table",
+]
+
+#: name -> zero-argument callable returning (findings, examined count),
+#: in the order the report presents them. Registering a new analyzer
+#: here is all it takes to add it to the CLI, Makefile and CI gates.
+ANALYZERS: Dict[str, Callable[[], Tuple[List[Finding], int]]] = {
+    "automata": check_automata,
+    "purity": check_purity,
+    "determinism": check_determinism,
+    "pickling": check_pickling,
+    "registry": check_registry,
+}
+
+
+def run_checks(only: Optional[Iterable[str]] = None) -> CheckReport:
+    """Run the selected analyzers (default: all) and aggregate a report.
+
+    Args:
+        only: analyzer names to run; unknown names raise ``KeyError``
+            so typos cannot silently skip a gate.
+    """
+    selected = list(ANALYZERS if only is None else only)
+    report = CheckReport()
+    for name in selected:
+        analyzer = ANALYZERS[name]  # KeyError on unknown names, by design
+        findings, examined = analyzer()
+        report.extend(name, findings, examined)
+    return report

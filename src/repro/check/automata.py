@@ -1,0 +1,328 @@
+"""Model checker for the pattern-history automata (paper Figure 2).
+
+Every table entry of a pattern history table is a tiny Moore machine;
+the paper's accuracy claims rest on those machines having exactly the
+documented semantics. This analyzer exhaustively verifies each
+registered automaton — the state space is at most ``2^bits`` states x 2
+outcomes, so "model checking" here is a complete enumeration, not an
+approximation.
+
+Structural invariants (any automaton):
+
+* **totality** — every (state, outcome) pair has a transition.
+* **determinism** — exactly one successor per (state, outcome), and it
+  is a valid state index.
+* **prediction totality** — every state has a boolean prediction.
+* **capacity** — the state count fits in the declared storage bits.
+* **reachability** — every state is reachable from the initial state
+  (frozen preset-bit automata, whose states are deliberately isolated
+  self-loops, are exempt).
+* **responsiveness** — a non-frozen automaton can express both
+  predictions, and from any state, feeding one outcome ``num_states``
+  times converges the prediction to that outcome.
+
+Semantic invariants (the paper's five, keyed by name):
+
+* **LT** — predicts exactly the previous outcome.
+* **A1** — a 2-bit shift register of the last two outcomes; predicts
+  not-taken only when neither was taken.
+* **A2** — the saturating up/down counter, predict taken at count >= 2.
+* **A3** — A2 with the fast fall (not-taken in state 2 drops to 0).
+* **A4** — A2 with the fast rise (taken in state 1 jumps to 3).
+* all five initialise to a taken-predicting state (the study's
+  taken-bias), and the two-bit counters keep their saturation
+  hysteresis (one disagreeing outcome at saturation never flips the
+  prediction).
+
+The verifier works on raw transition/prediction tables (duck-typed), so
+it independently re-checks what ``AutomatonSpec.__post_init__``
+enforces — a table smuggled past construction-time validation is still
+caught here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.automata import (
+    PAPER_AUTOMATA,
+    PRESET_NOT_TAKEN,
+    PRESET_TAKEN,
+    AutomatonSpec,
+    saturating_counter,
+    shift_register_automaton,
+)
+from .report import ERROR, Finding
+
+_ANALYZER = "automata"
+
+
+def _finding(rule: str, location: str, message: str, severity: str = ERROR) -> Finding:
+    return Finding(_ANALYZER, f"automata/{rule}", severity, location, message)
+
+
+def verify_table(
+    name: str,
+    transitions: Sequence[Sequence[int]],
+    predictions: Sequence[object],
+    initial_state: int,
+    bits: int,
+) -> List[Finding]:
+    """Exhaustively check one raw automaton table.
+
+    Returns findings; an empty list means the table satisfies every
+    structural invariant.
+    """
+    findings: List[Finding] = []
+    num_states = len(transitions)
+    if num_states == 0:
+        return [_finding("empty", name, "automaton has no states")]
+    if num_states > (1 << bits):
+        findings.append(_finding(
+            "capacity", name,
+            f"{num_states} states do not fit in the declared {bits} storage bit(s)",
+        ))
+    if len(predictions) != num_states:
+        findings.append(_finding(
+            "prediction-totality", name,
+            f"{len(predictions)} predictions for {num_states} states — "
+            "lambda(S) is not defined on every state",
+        ))
+    for state, prediction in enumerate(predictions):
+        if not isinstance(prediction, bool):
+            findings.append(_finding(
+                "prediction-type", name,
+                f"prediction for state {state} is {prediction!r}, not a bool",
+            ))
+    # Totality + determinism of delta(S, R): each row must supply
+    # exactly one valid successor for outcome 0 and for outcome 1.
+    for state, row in enumerate(transitions):
+        try:
+            row_len = len(row)
+        except TypeError:
+            findings.append(_finding(
+                "totality", name,
+                f"state {state} has no transition row (got {row!r})",
+            ))
+            continue
+        if row_len != 2:
+            findings.append(_finding(
+                "totality", name,
+                f"state {state} defines {row_len} transitions; need exactly "
+                "one per outcome (not-taken, taken)",
+            ))
+            continue
+        for outcome, nxt in enumerate(row):
+            if not isinstance(nxt, int) or isinstance(nxt, bool):
+                findings.append(_finding(
+                    "determinism", name,
+                    f"delta({state}, {outcome}) = {nxt!r} is not a state index",
+                ))
+            elif not 0 <= nxt < num_states:
+                findings.append(_finding(
+                    "determinism", name,
+                    f"delta({state}, {outcome}) = {nxt} is outside "
+                    f"[0, {num_states})",
+                ))
+    if findings:
+        # Structural damage: the behavioural walks below would crash or
+        # produce noise, and these findings already fail the check.
+        return findings
+
+    if not 0 <= initial_state < num_states:
+        return findings + [_finding(
+            "initial-state", name,
+            f"initial state {initial_state} is outside [0, {num_states})",
+        )]
+
+    frozen = all(tuple(row) == (s, s) for s, row in enumerate(transitions))
+
+    # Reachability: breadth-first walk from the initial state.
+    reachable = {initial_state}
+    frontier = [initial_state]
+    while frontier:
+        state = frontier.pop()
+        for nxt in transitions[state]:
+            if nxt not in reachable:
+                reachable.add(nxt)
+                frontier.append(nxt)
+    unreachable = sorted(set(range(num_states)) - reachable)
+    if unreachable and not frozen:
+        findings.append(_finding(
+            "reachability", name,
+            f"state(s) {unreachable} are unreachable from initial state "
+            f"{initial_state}",
+        ))
+
+    if not frozen:
+        seen_predictions = {bool(predictions[s]) for s in reachable}
+        if len(seen_predictions) < 2:
+            only = "taken" if True in seen_predictions else "not taken"
+            findings.append(_finding(
+                "responsiveness", name,
+                f"every reachable state predicts {only}; the automaton can "
+                "never adapt to the other direction",
+            ))
+        # Convergence: a constant outcome stream must win eventually.
+        for outcome in (False, True):
+            column = 1 if outcome else 0
+            for start in reachable:
+                state = start
+                for _ in range(num_states):
+                    state = transitions[state][column]
+                if bool(predictions[state]) != outcome:
+                    findings.append(_finding(
+                        "convergence", name,
+                        f"after {num_states} consecutive "
+                        f"{'taken' if outcome else 'not-taken'} outcomes from "
+                        f"state {start} the automaton still predicts the "
+                        "opposite direction",
+                    ))
+                    break
+    return findings
+
+
+def _verify_paper_semantics(spec: AutomatonSpec) -> List[Finding]:
+    """Pin the five paper automata to their Figure-2/Figure-4 semantics."""
+    findings: List[Finding] = []
+    name = spec.name
+
+    def expect(condition: bool, rule: str, message: str) -> None:
+        if not condition:
+            findings.append(_finding(rule, name, message))
+
+    if name == "LT":
+        expect(spec.bits == 1, "paper-semantics", "Last-Time must be a one-bit automaton")
+        for state in range(spec.num_states):
+            for taken in (False, True):
+                nxt = spec.next_state(state, taken)
+                expect(
+                    spec.predict(nxt) == taken,
+                    "paper-semantics",
+                    f"LT must predict the previous outcome, but after "
+                    f"observing {'T' if taken else 'N'} in state {state} it "
+                    f"predicts {'T' if spec.predict(nxt) else 'N'}",
+                )
+        return findings
+
+    if name not in ("A1", "A2", "A3", "A4"):
+        return findings
+
+    expect(spec.bits == 2 and spec.num_states == 4, "paper-semantics",
+           f"{name} must be a four-state two-bit automaton")
+    if findings:
+        return findings
+
+    if name == "A1":
+        for state in range(4):
+            expect(
+                spec.next_state(state, False) == ((state << 1) & 0b11)
+                and spec.next_state(state, True) == (((state << 1) | 1) & 0b11),
+                "paper-semantics",
+                f"A1 state {state} must shift the outcome into a 2-bit "
+                "register of the last two outcomes",
+            )
+            expect(
+                spec.predict(state) == (state != 0),
+                "paper-semantics",
+                f"A1 must predict not-taken only when neither of the last "
+                f"two outcomes was taken (state 0), got state {state} wrong",
+            )
+        return findings
+
+    # A2/A3/A4 are saturating counters with named deviations.
+    counter = {s: (max(s - 1, 0), min(s + 1, 3)) for s in range(4)}
+    deviations = {"A2": {}, "A3": {(2, False): 0}, "A4": {(1, True): 3}}[name]
+    for state in range(4):
+        expect(
+            spec.predict(state) == (state >= 2),
+            "paper-semantics",
+            f"{name} must predict taken exactly when the count is >= 2 "
+            f"(state {state} is wrong)",
+        )
+        for taken in (False, True):
+            expected = deviations.get((state, taken), counter[state][1 if taken else 0])
+            got = spec.next_state(state, taken)
+            expect(
+                got == expected,
+                "paper-semantics",
+                f"{name}: delta({state}, {'T' if taken else 'N'}) must be "
+                f"{expected}, got {got}",
+            )
+    # Saturation hysteresis: one disagreement at saturation never flips
+    # the prediction (the property the two-bit counters exist to have).
+    expect(
+        spec.predict(spec.next_state(3, False)),
+        "hysteresis",
+        f"{name}: a single not-taken at saturated-taken (state 3) must not "
+        "flip the prediction",
+    )
+    expect(
+        not spec.predict(spec.next_state(0, True)),
+        "hysteresis",
+        f"{name}: a single taken at saturated-not-taken (state 0) must not "
+        "flip the prediction",
+    )
+    return findings
+
+
+def verify_spec(spec: AutomatonSpec) -> List[Finding]:
+    """All checks — structural model check plus paper semantics."""
+    findings = verify_table(
+        spec.name, spec.transitions, spec.predictions, spec.initial_state, spec.bits
+    )
+    if not findings:
+        findings.extend(_verify_paper_semantics(spec))
+    return findings
+
+
+def default_specs() -> List[AutomatonSpec]:
+    """The verification corpus: the paper's five automata, the preset
+    bits, and samples of the generated families."""
+    specs: List[AutomatonSpec] = list(PAPER_AUTOMATA.values())
+    specs += [PRESET_TAKEN, PRESET_NOT_TAKEN]
+    specs += [saturating_counter(bits) for bits in (1, 2, 3, 4)]
+    specs += [
+        shift_register_automaton(1),
+        shift_register_automaton(2),
+        shift_register_automaton(3, threshold=2),
+    ]
+    return specs
+
+
+def check_automata(
+    specs: Optional[Iterable[AutomatonSpec]] = None,
+) -> Tuple[List[Finding], int]:
+    """Run the automaton verifier.
+
+    Returns:
+        (findings, number of automata examined).
+    """
+    corpus = list(default_specs() if specs is None else specs)
+    findings: List[Finding] = []
+    for spec in corpus:
+        findings.extend(verify_spec(spec))
+    # Registry sanity: the table the rest of the system looks names up
+    # in must agree with each spec's self-declared name.
+    if specs is None:
+        for key, spec in PAPER_AUTOMATA.items():
+            if key != spec.name:
+                findings.append(_finding(
+                    "registry-name", key,
+                    f"PAPER_AUTOMATA[{key!r}] is named {spec.name!r}",
+                ))
+        expected = {"LT", "A1", "A2", "A3", "A4"}
+        if set(PAPER_AUTOMATA) != expected:
+            findings.append(_finding(
+                "registry-membership", "PAPER_AUTOMATA",
+                f"expected exactly {sorted(expected)}, got {sorted(PAPER_AUTOMATA)}",
+            ))
+        # Initial taken-bias shared by the whole study (paper §4.2).
+        for spec in PAPER_AUTOMATA.values():
+            if not spec.predict(spec.initial_state):
+                findings.append(_finding(
+                    "initial-bias", spec.name,
+                    "the paper initialises every automaton to a "
+                    "taken-predicting state; this one predicts not-taken cold",
+                ))
+    return findings, len(corpus)

@@ -1,0 +1,77 @@
+"""Command line interface: ``python -m repro.check``.
+
+Examples::
+
+    python -m repro.check                 # run everything, text report
+    python -m repro.check --json          # machine-readable report
+    python -m repro.check --strict        # warnings also fail the gate
+    python -m repro.check --only purity,automata
+    python -m repro.check --list          # enumerate analyzers
+
+Exit codes: 0 — clean; 1 — findings (errors always, warnings only
+under ``--strict``); 2 — bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import ANALYZERS, run_checks
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Static analysis & invariant verification for the "
+        "branch-prediction reproduction.",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON report instead of text"
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings as well as errors",
+    )
+    parser.add_argument(
+        "--only", metavar="NAMES", default=None,
+        help="comma-separated analyzer subset (see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_analyzers",
+        help="list available analyzers and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_analyzers:
+        for name, analyzer in ANALYZERS.items():
+            doc = (analyzer.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<12} {doc}")
+        return 0
+
+    only = None
+    if args.only is not None:
+        only = [name.strip() for name in args.only.split(",") if name.strip()]
+        unknown = [name for name in only if name not in ANALYZERS]
+        if unknown:
+            parser.error(
+                f"unknown analyzer(s) {', '.join(unknown)}; "
+                f"available: {', '.join(ANALYZERS)}"
+            )
+
+    report = run_checks(only=only)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    return report.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

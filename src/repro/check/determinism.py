@@ -1,0 +1,182 @@
+"""Determinism lint for the simulation hot paths.
+
+The determinism guarantee in :mod:`repro.sim.parallel` — bit-identical
+matrices for any worker count, cold or warm cache — only holds if
+nothing on the simulation path consults ambient state. This analyzer
+walks the ASTs of ``repro.core``, ``repro.predictors`` and
+``repro.sim`` and flags:
+
+* ``det/rng`` — any reference to ``random``, ``secrets``, ``uuid`` or
+  ``numpy.random``. Seeded RNG is legitimate in synthetic workload
+  *generation* (``repro.trace.synthetic``, ``repro.workloads``), which
+  is deliberately outside this analyzer's scope; the predictor/
+  simulator layers must be RNG-free.
+* ``det/wall-clock`` — ``time.time``/``time.time_ns``/
+  ``time.monotonic`` and ``datetime.now``/``utcnow``/``today``.
+  ``time.perf_counter`` is allowed: it feeds run telemetry, which is
+  documentation about a run, never an input to a result.
+* ``det/env`` — ``os.environ`` / ``os.getenv`` reads; simulation
+  results must not depend on the caller's environment.
+* ``det/set-iteration`` — ``for`` loops (or comprehension generators)
+  directly over a set display, set comprehension or ``set(...)`` call.
+  Set order is insertion- and hash-dependent; for ``str`` elements it
+  varies across interpreter processes (hash randomisation), which is
+  exactly the cross-worker divergence the parallel runner must never
+  exhibit. Wrapping in ``sorted(...)`` resolves the finding.
+* ``det/builtin-hash`` (warning) — calls to the builtin ``hash``;
+  ``str`` hashes differ across processes. Content keys must use
+  ``hashlib`` instead.
+
+Per-line escape hatch: ``# check: allow(<rule>)``, as in the purity
+analyzer.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .purity import _pragma_allows
+from .report import ERROR, WARNING, Finding
+
+_ANALYZER = "determinism"
+
+_RNG_NAMES = {"random", "secrets", "uuid"}
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "localtime"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+_ENV_ATTRS = {"environ", "getenv"}
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitAnd, ast.BitOr, ast.Sub)):
+        # set algebra: a & b, a | b, a - b over set operands
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+class _FileScan(ast.NodeVisitor):
+    def __init__(self, filename: str, source_lines: Sequence[str]) -> None:
+        self.filename = filename
+        self.source_lines = source_lines
+        self.findings: List[Finding] = []
+
+    def _add(self, rule: str, lineno: int, message: str, severity: str = ERROR) -> None:
+        full_rule = f"det/{rule}"
+        if _pragma_allows(self.source_lines, lineno, full_rule):
+            return
+        self.findings.append(Finding(
+            _ANALYZER, full_rule, severity, f"{self.filename}:{lineno}", message
+        ))
+
+    # -- RNG -----------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in _RNG_NAMES:
+                self._add("rng", node.lineno,
+                          f"imports {alias.name!r}; the simulation path must be RNG-free")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        root = (node.module or "").split(".")[0]
+        if root in _RNG_NAMES:
+            self._add("rng", node.lineno,
+                      f"imports from {node.module!r}; the simulation path must be RNG-free")
+        self.generic_visit(node)
+
+    # -- attribute-based hazards ---------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name):
+            pair = (node.value.id, node.attr)
+            if pair in _WALL_CLOCK:
+                self._add("wall-clock", node.lineno,
+                          f"reads {node.value.id}.{node.attr}; results must not "
+                          "depend on when the simulation runs")
+            elif node.value.id == "os" and node.attr in _ENV_ATTRS:
+                self._add("env", node.lineno,
+                          f"reads os.{node.attr}; results must not depend on the "
+                          "caller's environment")
+            elif node.value.id in ("numpy", "np") and node.attr == "random":
+                self._add("rng", node.lineno, "references numpy.random")
+        self.generic_visit(node)
+
+    # -- set iteration -------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expression(node.iter):
+            self._add("set-iteration", node.lineno,
+                      "iterates directly over a set; order is hash-dependent "
+                      "and may differ across worker processes — sort first")
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node) -> None:
+        for gen in node.generators:
+            if _is_set_expression(gen.iter):
+                self._add("set-iteration", node.lineno,
+                          "comprehension iterates directly over a set; order is "
+                          "hash-dependent — sort first")
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comprehension
+    visit_GeneratorExp = _check_comprehension
+    visit_DictComp = _check_comprehension
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Building a set is fine; only *iteration order* is hazardous.
+        self.generic_visit(node)
+
+    # -- builtin hash ----------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "hash":
+            self._add("builtin-hash", node.lineno,
+                      "builtin hash() of strings differs across processes "
+                      "(hash randomisation); use hashlib for content keys",
+                      severity=WARNING)
+        self.generic_visit(node)
+
+
+def default_paths() -> List[Path]:
+    """The hot-path packages covered by the determinism contract."""
+    package = Path(__file__).resolve().parent.parent
+    paths: List[Path] = []
+    for subpackage in ("core", "predictors", "sim"):
+        paths.extend(sorted((package / subpackage).glob("*.py")))
+    paths.append(package / "trace" / "cache.py")
+    return paths
+
+
+def scan_source(source: str, filename: str = "<string>") -> List[Finding]:
+    """Scan one source string (unit-test entry point)."""
+    tree = ast.parse(source, filename=filename)
+    scan = _FileScan(filename, source.splitlines())
+    scan.visit(tree)
+    return scan.findings
+
+
+def check_determinism(paths: Optional[Iterable[Path]] = None) -> Tuple[List[Finding], int]:
+    """Run the determinism lint.
+
+    Returns:
+        (findings, number of files examined).
+    """
+    findings: List[Finding] = []
+    count = 0
+    for path in default_paths() if paths is None else paths:
+        path = Path(path)
+        text = path.read_text(encoding="utf-8")
+        findings.extend(scan_source(text, str(path)))
+        count += 1
+    return findings, count

@@ -1,0 +1,177 @@
+"""Spec-picklability and behavioural-equivalence checker.
+
+The parallel runner ships :class:`~repro.sim.parallel.PredictorSpec`
+objects across process boundaries and keys the on-disk result cache by
+``spec.cache_key``. Three things must therefore hold for every
+registered scheme, and this analyzer verifies them dynamically:
+
+1. **Pickle round-trip** — ``pickle.loads(pickle.dumps(spec))`` must
+   reconstruct an equal spec with the same cache key.
+2. **Behavioural equivalence** — a predictor built from the
+   round-tripped spec must score *identically* to one built from the
+   original on a deterministic probe trace (this is what a worker
+   process actually does with the spec).
+3. **Build determinism** — two predictors built from the *same* spec
+   must also score identically; a divergence means hidden global state
+   or RNG in a constructor, which would poison the cache.
+
+The probe trace interleaves a loop branch, a periodic pattern and an
+alternating branch over distinct PCs — enough structure that any
+automaton/history/table bug changes the score.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Iterable, List, Optional, Tuple
+
+from ..predictors.base import TrainingUnavailable
+from ..sim.engine import simulate
+from ..sim.parallel import PredictorSpec
+from ..trace.events import BranchClass, Trace, TraceBuilder
+from .report import ERROR, Finding
+
+_ANALYZER = "pickling"
+
+#: One representative per scheme family the registry can build. Kept
+#: deliberately small-parameter so the whole corpus probes in well
+#: under a second.
+DEFAULT_SPEC_NAMES: Tuple[str, ...] = (
+    "gag-6",
+    "gap-6",
+    "gshare-6",
+    "pag-6",
+    "pag-6-a1",
+    "pag-6-a3-64x2",
+    "pag-6-lt-ideal",
+    "pap-4",
+    "pap-4-a4-32x1",
+    "sag-4x8",
+    "sas-4x8",
+    "gselect-3+3",
+    "tournament",
+    "btb-a2",
+    "btb-lt",
+    "always-taken",
+    "always-not-taken",
+    "btfn",
+    "gsg-6",
+    "psg-6",
+    "profile",
+    "PAg(BHT(64,4,6-sr),1xPHT(2^6,A2))",
+    "BTB(BHT(64,2,LT),,)",
+)
+
+
+def probe_trace(branches_per_site: int = 400) -> Trace:
+    """A deterministic multi-site probe trace (no RNG involved)."""
+    builder = TraceBuilder(name="check-probe", source="repro.check")
+    pattern = (True, True, False, True, False, False, True, False)
+    cond = BranchClass.CONDITIONAL
+    for i in range(branches_per_site):
+        # Site 1: an 8-iteration loop branch (backward target for BTFN).
+        builder.branch(0x1000, i % 8 != 7, cond, target=0x0F00, work=3)
+        # Site 2: a fixed periodic pattern.
+        builder.branch(0x2040, pattern[i % len(pattern)], cond, target=0x2100, work=2)
+        # Site 3: alternation — adversarial for Last-Time.
+        builder.branch(0x3080, i % 2 == 0, cond, target=0x3000, work=2)
+        # Site 4: heavily biased with rare (but deterministic) flips.
+        builder.branch(0x41C0, i % 37 != 0, cond, target=0x4000, work=4)
+    return builder.build()
+
+
+def training_trace() -> Trace:
+    """A deterministic training trace for GSg/PSg/Profile probes."""
+    builder = TraceBuilder(name="check-probe-training", source="repro.check")
+    cond = BranchClass.CONDITIONAL
+    for i in range(600):
+        builder.branch(0x1000, i % 8 != 7, cond, target=0x0F00, work=3)
+        builder.branch(0x2040, i % 3 != 0, cond, target=0x2100, work=2)
+    return builder.build()
+
+
+def _score(spec: PredictorSpec, training: Optional[Trace], probe: Trace):
+    predictor = spec(training)
+    return simulate(predictor, probe)
+
+
+def check_pickling(
+    names: Optional[Iterable[str]] = None,
+) -> Tuple[List[Finding], int]:
+    """Run the picklability/equivalence checker.
+
+    Returns:
+        (findings, number of specs examined).
+    """
+    findings: List[Finding] = []
+    corpus = tuple(DEFAULT_SPEC_NAMES if names is None else names)
+    probe = probe_trace()
+    training = training_trace()
+    for name in corpus:
+        spec = PredictorSpec(name)
+        try:
+            payload = pickle.dumps(spec)
+            clone = pickle.loads(payload)
+        except Exception as exc:
+            findings.append(Finding(
+                _ANALYZER, "pickle/round-trip", ERROR, name,
+                f"PredictorSpec({name!r}) does not survive pickling: {exc!r}",
+            ))
+            continue
+        if clone != spec or clone.cache_key != spec.cache_key:
+            findings.append(Finding(
+                _ANALYZER, "pickle/identity", ERROR, name,
+                "pickle round-trip changed the spec or its cache key "
+                f"({spec.cache_key!r} -> {clone.cache_key!r})",
+            ))
+            continue
+        try:
+            original = _score(spec, training, probe)
+            rebuilt = _score(clone, training, probe)
+            again = _score(spec, training, probe)
+        except TrainingUnavailable:
+            findings.append(Finding(
+                _ANALYZER, "pickle/training", ERROR, name,
+                "spec demanded a training trace even though one was supplied",
+            ))
+            continue
+        except Exception as exc:
+            findings.append(Finding(
+                _ANALYZER, "pickle/construction", ERROR, name,
+                f"building or simulating the spec failed: {exc!r}",
+            ))
+            continue
+        if (rebuilt.correct_predictions, rebuilt.conditional_branches) != (
+            original.correct_predictions, original.conditional_branches
+        ):
+            findings.append(Finding(
+                _ANALYZER, "pickle/equivalence", ERROR, name,
+                "a predictor built from the round-tripped spec scores "
+                f"{rebuilt.correct_predictions}/{rebuilt.conditional_branches} "
+                f"vs {original.correct_predictions}/{original.conditional_branches} "
+                "from the original — worker processes would diverge from the parent",
+            ))
+        if (again.correct_predictions, again.conditional_branches) != (
+            original.correct_predictions, original.conditional_branches
+        ):
+            findings.append(Finding(
+                _ANALYZER, "pickle/build-determinism", ERROR, name,
+                "two predictors built from the same spec score differently "
+                f"({original.correct_predictions} vs {again.correct_predictions} "
+                f"of {original.conditional_branches}) — hidden global state "
+                "would poison the result cache",
+            ))
+        try:
+            result_clone = pickle.loads(pickle.dumps(original))
+        except Exception as exc:
+            findings.append(Finding(
+                _ANALYZER, "pickle/result", ERROR, name,
+                f"the SimulationResult for {name!r} does not survive pickling: {exc!r}",
+            ))
+            continue
+        if result_clone.correct_predictions != original.correct_predictions:
+            findings.append(Finding(
+                _ANALYZER, "pickle/result", ERROR, name,
+                "pickling the SimulationResult changed its counts",
+            ))
+    return findings, len(corpus)

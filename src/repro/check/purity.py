@@ -1,0 +1,401 @@
+"""Purity lint: ``predict()`` must not mutate, ``update()`` must not
+read clocks or RNGs.
+
+PR 1's parallel runner and content-addressed result cache assume every
+predictor is a pure function of (construction arguments, update
+history): ``predict`` may read state but never change it, and no
+predictor method may consult a wall clock, an RNG, or the environment.
+If a predictor breaks that contract, cached and parallel sweeps can
+silently diverge from serial ones. This analyzer proves the contract
+statically, per class, with an ``ast`` pass:
+
+* A class is **predictor-shaped** when it defines a ``predict`` method
+  and (itself or an ancestor visible to the analyzer) derives from
+  ``BranchPredictor``.
+* A method is **mutating** when it assigns/deletes/aug-assigns any
+  location rooted at ``self`` (``self.x = ...``, ``self.t[i] = ...``,
+  ``self.n += 1``), calls another mutating method of the same class
+  (resolved transitively, across the analyzed modules' inheritance), or
+  calls a method on a ``self``-rooted receiver that is not in the
+  known-pure allowlist (``peek``, ``predict``, ``get``...). The
+  class-local propagation is a fixpoint, so ``predict ->
+  _access_entry -> self.bht.access(...)`` is caught two hops deep.
+* Any method reachable from ``predict``/``update`` that references
+  ``random``, ``time``, ``datetime``, ``secrets``, ``uuid``,
+  ``os.environ``/``os.getenv``/``os.urandom`` is flagged as
+  nondeterministic.
+
+Escape hatch: a line ending in ``# check: allow(<rule>)`` (for example
+``# check: allow(purity/predict-mutates-state)``) suppresses findings
+anchored on that line; the pragma is deliberately per-line and
+per-rule so exemptions stay visible in review.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .report import ERROR, WARNING, Finding
+
+_ANALYZER = "purity"
+
+#: Base-class names that mark a class as a predictor.
+PREDICTOR_BASES = {"BranchPredictor", "CountingPredictor"}
+
+#: Method names assumed side-effect-free when called on self-rooted
+#: receivers (``self.pht.predict(...)``). Everything else is treated as
+#: mutating — the analyzer is deliberately conservative.
+PURE_METHODS = {
+    "predict",
+    "peek",
+    "probe_victim",
+    "get",
+    "keys",
+    "values",
+    "items",
+    "next_state",
+    "state",
+    "states_snapshot",
+    "format",
+    "copy",
+    "count",
+    "index",
+    "startswith",
+    "endswith",
+    "bit_length",
+    "__contains__",
+}
+
+#: Modules whose mere mention inside a predictor method is a
+#: determinism hazard (rule purity/nondeterministic-input).
+_NONDET_ROOTS = {"random", "time", "datetime", "secrets", "uuid"}
+_NONDET_OS_ATTRS = {"environ", "getenv", "urandom"}
+
+
+@dataclass
+class _Effect:
+    """Why a method is impure (first witness wins, for the diagnostic)."""
+
+    line: int
+    reason: str
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    filename: str
+    bases: List[str]
+    methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    is_predictor: bool = False
+
+
+def _pragma_allows(source_lines: Sequence[str], lineno: int, rule: str) -> bool:
+    """True when line ``lineno`` (1-based) carries an allow pragma for ``rule``."""
+    if not 1 <= lineno <= len(source_lines):
+        return False
+    line = source_lines[lineno - 1]
+    return f"# check: allow({rule})" in line or "# check: allow(*)" in line
+
+
+def _base_names(node: ast.ClassDef) -> List[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _rooted_at_self(node: ast.expr) -> bool:
+    """Is this expression an attribute/subscript chain hanging off ``self``?"""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _self_method_name(call: ast.Call) -> Optional[str]:
+    """``self.m(...)`` -> ``"m"``; anything else -> None."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+    ):
+        return func.attr
+    return None
+
+
+class _MethodScan(ast.NodeVisitor):
+    """Collect the direct effects of one method body."""
+
+    def __init__(self) -> None:
+        self.mutations: List[_Effect] = []
+        self.opaque_calls: List[_Effect] = []
+        self.nondet: List[_Effect] = []
+        self.self_calls: List[Tuple[str, int]] = []
+
+    # -- state writes --------------------------------------------------
+    def _check_targets(self, targets: Iterable[ast.expr], lineno: int, verb: str) -> None:
+        for target in targets:
+            for node in ast.walk(target):
+                if isinstance(node, (ast.Attribute, ast.Subscript)) and _rooted_at_self(node):
+                    self.mutations.append(_Effect(lineno, f"{verb} {ast.unparse(node)}"))
+                    return
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_targets(node.targets, node.lineno, "assigns")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_targets([node.target], node.lineno, "aug-assigns")
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_targets([node.target], node.lineno, "assigns")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        self._check_targets(node.targets, node.lineno, "deletes")
+        self.generic_visit(node)
+
+    # -- calls ---------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        self_method = _self_method_name(node)
+        if self_method is not None:
+            # self.m(...): purity decided by m's own body (fixpoint).
+            self.self_calls.append((self_method, node.lineno))
+        elif isinstance(node.func, ast.Attribute) and _rooted_at_self(node.func.value):
+            # self.<chain>.m(...): decided by the allowlist.
+            method = node.func.attr
+            if method not in PURE_METHODS:
+                receiver = ast.unparse(node.func.value)
+                self.mutations.append(_Effect(
+                    node.lineno,
+                    f"calls {receiver}.{method}(...), which is not a known-pure method",
+                ))
+        else:
+            # f(self, ...): self escaping into an arbitrary callee could
+            # be mutated there; surface it as an opaque-call warning.
+            for arg in node.args:
+                if isinstance(arg, ast.Name) and arg.id == "self":
+                    callee = ast.unparse(node.func)
+                    self.opaque_calls.append(_Effect(
+                        node.lineno, f"passes self to {callee}(...)"
+                    ))
+                    break
+        self.generic_visit(node)
+
+    # -- nondeterministic inputs ---------------------------------------
+    def visit_Name(self, node: ast.Name) -> None:
+        if node.id in _NONDET_ROOTS:
+            self.nondet.append(_Effect(node.lineno, f"references {node.id!r}"))
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "os"
+            and node.attr in _NONDET_OS_ATTRS
+        ):
+            self.nondet.append(_Effect(node.lineno, f"references os.{node.attr}"))
+        self.generic_visit(node)
+
+    # Nested defs/lambdas run later, not during predict — skip bodies.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+
+def _collect_classes(tree: ast.Module, filename: str) -> Dict[str, _ClassInfo]:
+    classes: Dict[str, _ClassInfo] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        info = _ClassInfo(node.name, filename, _base_names(node))
+        for item in node.body:
+            if isinstance(item, ast.FunctionDef):
+                info.methods[item.name] = item
+        classes[node.name] = info
+    return classes
+
+
+def _mark_predictors(classes: Dict[str, _ClassInfo]) -> None:
+    """Propagate predictor-ness through the (cross-module) class table."""
+
+    def is_predictor(name: str, seen: Set[str]) -> bool:
+        if name in PREDICTOR_BASES:
+            return True
+        info = classes.get(name)
+        if info is None or name in seen:
+            return False
+        seen.add(name)
+        return any(is_predictor(base, seen) for base in info.bases)
+
+    for info in classes.values():
+        info.is_predictor = any(is_predictor(base, {info.name}) for base in info.bases)
+
+
+def _method_table(classes: Dict[str, _ClassInfo], info: _ClassInfo) -> Dict[str, Tuple[_ClassInfo, ast.FunctionDef]]:
+    """The class's methods, including those inherited from analyzed bases
+    (method resolution: own methods shadow base methods, left-to-right)."""
+    table: Dict[str, Tuple[_ClassInfo, ast.FunctionDef]] = {}
+    order: List[_ClassInfo] = []
+    stack = [info]
+    seen: Set[str] = set()
+    while stack:
+        current = stack.pop(0)
+        if current.name in seen:
+            continue
+        seen.add(current.name)
+        order.append(current)
+        for base in current.bases:
+            base_info = classes.get(base)
+            if base_info is not None:
+                stack.append(base_info)
+    for current in reversed(order):
+        for name, fn in current.methods.items():
+            table[name] = (current, fn)
+    return table
+
+
+def analyze_classes(classes: Dict[str, _ClassInfo], sources: Dict[str, Sequence[str]]) -> List[Finding]:
+    """Run the purity rules over a resolved class table.
+
+    Args:
+        classes: class name -> info, across all analyzed modules.
+        sources: filename -> source lines (for pragma lookup).
+    """
+    _mark_predictors(classes)
+    findings: List[Finding] = []
+
+    for info in classes.values():
+        if not info.is_predictor or "predict" not in info.methods:
+            continue
+        methods = _method_table(classes, info)
+        scans: Dict[str, Tuple[_ClassInfo, _MethodScan]] = {}
+        for name, (owner, fn) in methods.items():
+            scan = _MethodScan()
+            for stmt in fn.body:
+                scan.visit(stmt)
+            scans[name] = (owner, scan)
+
+        def trace_impurity(method: str, seen: Set[str]) -> Optional[Tuple[str, _Effect, str]]:
+            """First mutation witness reachable from ``method``, as
+            (owning filename, effect, call-path suffix)."""
+            if method in seen or method not in scans:
+                return None
+            seen.add(method)
+            owner, scan = scans[method]
+            if scan.mutations:
+                return owner.filename, scan.mutations[0], method
+            for callee, line in scan.self_calls:
+                witness = trace_impurity(callee, seen)
+                if witness is not None:
+                    filename, effect, path = witness
+                    return filename, effect, f"{method} -> {path}"
+            return None
+
+        def trace_nondet(method: str, seen: Set[str]) -> Optional[Tuple[str, _Effect, str]]:
+            if method in seen or method not in scans:
+                return None
+            seen.add(method)
+            owner, scan = scans[method]
+            if scan.nondet:
+                return owner.filename, scan.nondet[0], method
+            for callee, _line in scan.self_calls:
+                witness = trace_nondet(callee, seen)
+                if witness is not None:
+                    filename, effect, path = witness
+                    return filename, effect, f"{method} -> {path}"
+            return None
+
+        # Rule 1: predict() must not mutate self (directly or through
+        # any chain of self-method calls).
+        witness = trace_impurity("predict", set())
+        if witness is not None:
+            filename, effect, path = witness
+            rule = "purity/predict-mutates-state"
+            if not _pragma_allows(sources.get(filename, ()), effect.line, rule):
+                findings.append(Finding(
+                    _ANALYZER, rule, ERROR,
+                    f"{filename}:{effect.line}",
+                    f"{info.name}.predict() mutates predictor state "
+                    f"(via {path}: {effect.reason}); parallel/cached runs "
+                    "require side-effect-free prediction",
+                ))
+
+        # Rule 2: predict() passing self into opaque callees.
+        _owner, predict_scan = scans["predict"]
+        for effect in predict_scan.opaque_calls:
+            rule = "purity/predict-opaque-call"
+            if not _pragma_allows(sources.get(info.filename, ()), effect.line, rule):
+                findings.append(Finding(
+                    _ANALYZER, rule, WARNING,
+                    f"{info.filename}:{effect.line}",
+                    f"{info.name}.predict() {effect.reason}; the analyzer "
+                    "cannot prove the callee leaves the predictor unchanged",
+                ))
+
+        # Rule 3: neither predict nor update may read clocks/RNGs/env.
+        for method in ("predict", "update"):
+            if method not in scans:
+                continue
+            witness = trace_nondet(method, set())
+            if witness is not None:
+                filename, effect, path = witness
+                rule = "purity/nondeterministic-input"
+                if not _pragma_allows(sources.get(filename, ()), effect.line, rule):
+                    findings.append(Finding(
+                        _ANALYZER, rule, ERROR,
+                        f"{filename}:{effect.line}",
+                        f"{info.name}.{method}() {effect.reason} (via {path}); "
+                        "predictor behaviour must be a pure function of the "
+                        "observed branch stream",
+                    ))
+    return findings
+
+
+def default_paths() -> List[Path]:
+    """The modules whose predictors the contract covers."""
+    package = Path(__file__).resolve().parent.parent
+    paths: List[Path] = []
+    for subpackage in ("predictors", "core"):
+        paths.extend(sorted((package / subpackage).glob("*.py")))
+    return paths
+
+
+def check_purity(paths: Optional[Iterable[Path]] = None) -> Tuple[List[Finding], int]:
+    """Run the purity lint over source files.
+
+    Returns:
+        (findings, number of predictor classes examined).
+    """
+    classes: Dict[str, _ClassInfo] = {}
+    sources: Dict[str, Sequence[str]] = {}
+    for path in default_paths() if paths is None else paths:
+        path = Path(path)
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        filename = str(path)
+        sources[filename] = text.splitlines()
+        classes.update(_collect_classes(tree, filename))
+    findings = analyze_classes(classes, sources)
+    _mark_predictors(classes)
+    examined = sum(
+        1 for info in classes.values() if info.is_predictor and "predict" in info.methods
+    )
+    return findings, examined
+
+
+def analyze_source(source: str, filename: str = "<string>") -> List[Finding]:
+    """Analyze one source string (unit-test / mutation-test entry point)."""
+    tree = ast.parse(source, filename=filename)
+    classes = _collect_classes(tree, filename)
+    return analyze_classes(classes, {filename: source.splitlines()})

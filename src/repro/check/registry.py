@@ -1,0 +1,246 @@
+"""Registry and public-API consistency checker.
+
+Four families of invariants, all cheap to verify exhaustively:
+
+* **export resolution** — for every audited module that declares
+  ``__all__``: each listed name resolves via ``getattr``, and no name
+  is listed twice. A stale ``__all__`` silently breaks
+  ``from repro import *`` users and the docs' public-API promise.
+* **export completeness** — every public (non-underscore) class or
+  function *defined at top level* of a module that declares ``__all__``
+  is actually listed there. (Re-exporting ``__init__`` packages are
+  audited for resolution only — their curation is deliberate.)
+* **scheme constructibility** — every row of the paper's Table 3
+  (:func:`~repro.predictors.registry.paper_table3_specs`) formats to a
+  string that re-parses to an equal spec and builds a working
+  predictor (training-dependent rows get a probe training trace);
+  every Figure 11 factory builds; a representative friendly name from
+  each grammar family builds.
+* **cost-model coverage** — every two-level Table 3 row is accepted by
+  the paper's cost equations (:func:`repro.core.cost.cost_two_level`
+  and the per-scheme closed forms), so no registered configuration can
+  fall outside the Figure 9/10 cost axes.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple
+
+from .report import ERROR, Finding
+
+_ANALYZER = "registry"
+
+#: Modules audited for __all__ resolution (packages and modules alike).
+AUDITED_MODULES: Tuple[str, ...] = (
+    "repro",
+    "repro.core",
+    "repro.predictors",
+    "repro.sim",
+    "repro.trace",
+    "repro.workloads",
+    "repro.sim.engine",
+    "repro.sim.parallel",
+)
+
+#: Friendly-grammar representatives: one per production of the
+#: make_predictor grammar documented in repro.predictors.registry.
+FRIENDLY_REPRESENTATIVES: Tuple[str, ...] = (
+    "gag-6",
+    "gap-6",
+    "gshare-6",
+    "pag-6-a3-64x2",
+    "pap-4-lt-ideal",
+    "sag-4x8",
+    "sas-4x8",
+    "gselect-3+3",
+    "tournament",
+    "gsg-6",
+    "psg-6",
+    "btb-a2",
+    "btb-lt",
+    "always-taken",
+    "always-not-taken",
+    "btfn",
+    "profile",
+)
+
+
+def _finding(rule: str, location: str, message: str) -> Finding:
+    return Finding(_ANALYZER, f"registry/{rule}", ERROR, location, message)
+
+
+def _module_file(module) -> Optional[Path]:
+    origin = getattr(module, "__file__", None)
+    return Path(origin) if origin else None
+
+
+def _audit_exports(module_name: str) -> List[Finding]:
+    findings: List[Finding] = []
+    try:
+        module = importlib.import_module(module_name)
+    except Exception as exc:
+        return [_finding("import", module_name, f"module failed to import: {exc!r}")]
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return findings
+    seen = set()
+    for name in exported:
+        if name in seen:
+            findings.append(_finding(
+                "duplicate-export", module_name, f"__all__ lists {name!r} twice"
+            ))
+        seen.add(name)
+        try:
+            getattr(module, name)
+        except AttributeError:
+            findings.append(_finding(
+                "broken-export", module_name,
+                f"__all__ lists {name!r} but the module does not provide it",
+            ))
+    # Completeness only for plain modules: __init__ files re-export a
+    # curated surface and legitimately define nothing themselves.
+    path = _module_file(module)
+    if path is None or path.name == "__init__.py":
+        return findings
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            name = node.name
+            if not name.startswith("_") and name not in seen:
+                findings.append(_finding(
+                    "missing-export", f"{path}:{node.lineno}",
+                    f"public {type(node).__name__.replace('Def', '').lower()} "
+                    f"{name!r} is not listed in {module_name}.__all__",
+                ))
+    return findings
+
+
+def _audit_schemes() -> List[Finding]:
+    from ..core.naming import SchemeSpec
+    from ..predictors.base import BranchPredictor
+    from ..predictors.registry import (
+        figure11_factories,
+        make_predictor,
+        paper_table3_specs,
+    )
+    from .pickling import training_trace
+
+    findings: List[Finding] = []
+    training = training_trace()
+
+    for spec in paper_table3_specs(history_bits=6):
+        text = spec.format()
+        try:
+            reparsed = SchemeSpec.parse(text)
+        except Exception as exc:
+            findings.append(_finding(
+                "spec-round-trip", text, f"formatted spec fails to re-parse: {exc!r}"
+            ))
+            continue
+        if reparsed != spec:
+            findings.append(_finding(
+                "spec-round-trip", text,
+                f"format/parse round-trip changed the spec: {reparsed}",
+            ))
+        try:
+            predictor = spec.build(training)
+        except Exception as exc:
+            findings.append(_finding(
+                "spec-build", text, f"Table 3 row does not build: {exc!r}"
+            ))
+            continue
+        if not isinstance(predictor, BranchPredictor):
+            findings.append(_finding(
+                "spec-build", text,
+                f"build() returned {type(predictor).__name__}, not a BranchPredictor",
+            ))
+
+    for label, factory in figure11_factories().items():
+        try:
+            predictor = factory(training)
+        except Exception as exc:
+            findings.append(_finding(
+                "figure11-build", label, f"factory does not build: {exc!r}"
+            ))
+            continue
+        if not isinstance(predictor, BranchPredictor):
+            findings.append(_finding(
+                "figure11-build", label,
+                f"factory returned {type(predictor).__name__}, not a BranchPredictor",
+            ))
+
+    for name in FRIENDLY_REPRESENTATIVES:
+        try:
+            make_predictor(name, training)
+        except Exception as exc:
+            findings.append(_finding(
+                "friendly-name", name, f"make_predictor rejects it: {exc!r}"
+            ))
+    return findings
+
+
+def _audit_cost_coverage() -> List[Finding]:
+    from ..core.cost import cost_gag, cost_pag, cost_pap, cost_two_level
+    from ..predictors.registry import paper_table3_specs
+
+    findings: List[Finding] = []
+    for spec in paper_table3_specs(history_bits=6):
+        scheme = spec.scheme.upper()
+        k = spec.history_bits or spec.pattern_bits
+        try:
+            if scheme == "GAG":
+                cost_gag(k)
+            elif scheme == "GSG":
+                # A GHR + preset global table: GAg's shape with 1-bit entries.
+                cost_gag(k, pattern_entry_bits=1)
+            elif scheme == "PSG" and spec.history_size is not None:
+                cost_pag(spec.history_size, spec.history_assoc or 1, k,
+                         pattern_entry_bits=1)
+            elif scheme == "PAG" and spec.history_size is not None:
+                cost_pag(spec.history_size, spec.history_assoc or 1, k)
+            elif scheme == "PAP" and spec.history_size is not None:
+                cost_pap(spec.history_size, spec.history_assoc or 1, k)
+            elif scheme == "BTB" and spec.history_size is not None:
+                # A BTB is structurally a 1-deep pattern level: the
+                # general equation covers it with k clamped to 1.
+                cost_two_level(spec.history_size, spec.history_assoc or 1, 1)
+            elif spec.history_size is None:
+                # Ideal (infinite) structures have no finite silicon
+                # cost — the paper plots them as bounds only.
+                continue
+            else:
+                findings.append(_finding(
+                    "cost-coverage", spec.format(),
+                    f"no cost equation covers scheme {spec.scheme!r}",
+                ))
+        except Exception as exc:
+            findings.append(_finding(
+                "cost-coverage", spec.format(),
+                f"cost model rejects this registered configuration: {exc!r}",
+            ))
+    return findings
+
+
+def check_registry(
+    modules: Optional[Iterable[str]] = None,
+) -> Tuple[List[Finding], int]:
+    """Run the registry/export consistency checker.
+
+    Returns:
+        (findings, number of audited modules + schemes).
+    """
+    findings: List[Finding] = []
+    audited = tuple(AUDITED_MODULES if modules is None else modules)
+    for module_name in audited:
+        findings.extend(_audit_exports(module_name))
+    examined = len(audited)
+    if modules is None:
+        findings.extend(_audit_schemes())
+        findings.extend(_audit_cost_coverage())
+        from ..predictors.registry import paper_table3_specs
+
+        examined += len(paper_table3_specs()) + len(FRIENDLY_REPRESENTATIVES)
+    return findings, examined

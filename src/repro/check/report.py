@@ -1,0 +1,132 @@
+"""Findings and reports for the static-analysis subsystem.
+
+Every analyzer in :mod:`repro.check` returns a list of
+:class:`Finding` objects; the driver collects them into a
+:class:`CheckReport` which knows how to render itself as text or JSON
+and how to map findings onto process exit codes.
+
+Severities:
+
+* ``error`` — an invariant the simulator's correctness depends on is
+  violated (non-total automaton table, predict-time state mutation,
+  unpicklable spec, broken export). Always fails the check.
+* ``warning`` — a hazard that does not provably break results (e.g. an
+  opaque call the purity analyzer cannot prove pure). Fails only under
+  ``--strict``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+ERROR = "error"
+WARNING = "warning"
+
+_SEVERITIES = (ERROR, WARNING)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by an analyzer.
+
+    Attributes:
+        analyzer: analyzer name ("automata", "purity", ...).
+        rule: stable rule identifier, e.g. ``purity/predict-mutates-state``.
+        severity: ``"error"`` or ``"warning"``.
+        location: where the violation lives — ``path.py:123``, an
+            automaton name, or a dotted module path.
+        message: human-readable diagnostic, specific enough to act on.
+    """
+
+    analyzer: str
+    rule: str
+    severity: str
+    location: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "analyzer": self.analyzer,
+            "rule": self.rule,
+            "severity": self.severity,
+            "location": self.location,
+            "message": self.message,
+        }
+
+    def format(self) -> str:
+        return f"{self.severity}: {self.location}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class CheckReport:
+    """The aggregate outcome of a verification run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    analyzers_run: List[str] = field(default_factory=list)
+    #: analyzer -> number of objects it examined (automata, classes,
+    #: specs...); lets the report prove the analyzers actually looked.
+    examined: Dict[str, int] = field(default_factory=dict)
+
+    def extend(self, analyzer: str, findings: Iterable[Finding], examined: int) -> None:
+        """Record one analyzer's results."""
+        self.analyzers_run.append(analyzer)
+        self.examined[analyzer] = examined
+        self.findings.extend(findings)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 clean, 1 findings (errors always; warnings under strict)."""
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "analyzers": [
+                {"name": name, "examined": self.examined.get(name, 0)}
+                for name in self.analyzers_run
+            ],
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def format_text(self, verbose: bool = False) -> str:
+        """Render the human-readable report."""
+        lines: List[str] = []
+        for name in self.analyzers_run:
+            count = self.examined.get(name, 0)
+            related = [f for f in self.findings if f.analyzer == name]
+            status = "ok" if not any(f.severity == ERROR for f in related) else "FAIL"
+            lines.append(f"[{status:>4}] {name:<12} examined {count} object(s), "
+                         f"{len(related)} finding(s)")
+        for finding in self.findings:
+            lines.append("  " + finding.format())
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s) "
+            f"from {len(self.analyzers_run)} analyzer(s)"
+        )
+        return "\n".join(lines)

@@ -145,6 +145,13 @@ class IdealBHT:
         """Look up without allocating or touching statistics."""
         return self._entries.get(pc)
 
+    def probe_victim(self, pc: int) -> Tuple[int, bool]:
+        """Read-only: the (slot, would_evict) a missing ``pc`` would get.
+
+        The ideal BHT never evicts; a miss always opens a brand-new slot.
+        """
+        return self._next_slot, False
+
     def flush(self) -> None:
         """Context switch: drop all history (slots are retired too)."""
         self._entries.clear()
@@ -212,12 +219,7 @@ class CacheBHT:
                 self.stats.hits += 1
                 return entry, True
         self.stats.misses += 1
-        victim = entries[0]
-        for entry in entries[1:]:
-            if not victim.valid:
-                break
-            if not entry.valid or entry.lru < victim.lru:
-                victim = entry
+        victim = self._select_victim(entries)
         if victim.valid:
             self.stats.evictions += 1
             self.evicted_slots.append(victim.slot)
@@ -228,6 +230,17 @@ class CacheBHT:
         victim.lru = self._tick
         return victim, False
 
+    @staticmethod
+    def _select_victim(entries: List[BHTEntry]) -> BHTEntry:
+        """LRU victim choice within a set (invalid ways claimed first)."""
+        victim = entries[0]
+        for entry in entries[1:]:
+            if not victim.valid:
+                break
+            if not entry.valid or entry.lru < victim.lru:
+                victim = entry
+        return victim
+
     def peek(self, pc: int) -> Optional[BHTEntry]:
         """Look up without allocating, LRU update, or statistics."""
         entries, tag = self._locate(pc)
@@ -235,6 +248,17 @@ class CacheBHT:
             if entry.valid and entry.tag == tag:
                 return entry
         return None
+
+    def probe_victim(self, pc: int) -> Tuple[int, bool]:
+        """Read-only: the (slot, would_evict) a miss on ``pc`` would take.
+
+        Lets predictors reason about the consequences of a future miss
+        (e.g. PAp's pattern-table reset policy) without mutating the
+        table the way :meth:`access` does.
+        """
+        entries, _tag = self._locate(pc)
+        victim = self._select_victim(entries)
+        return victim.slot, victim.valid
 
     def flush(self) -> None:
         """Context switch: invalidate every entry (paper §4.2)."""

@@ -177,11 +177,11 @@ class PSgPredictor(_PerAddressBase):
         return cls(config, presets)
 
     def predict(self, pc: int, target: int = 0) -> bool:
-        entry = self._access_entry(pc)
-        return self.table.predict(entry.value)
+        # Pure read: a miss would allocate the all-ones taken-biased fill.
+        entry = self.bht.peek(pc)
+        pattern = entry.value if entry is not None else self._mask
+        return self.table.predict(pattern)
 
     def update(self, pc: int, taken: bool, target: int = 0) -> None:
-        entry = self.bht.peek(pc)
-        if entry is None:
-            entry = self._access_entry(pc)
+        entry = self._access_entry(pc)
         self._advance_history(entry, taken)

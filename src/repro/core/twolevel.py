@@ -163,13 +163,15 @@ class PAgPredictor(_PerAddressBase):
         )
 
     def predict(self, pc: int, target: int = 0) -> bool:
-        entry = self._access_entry(pc)
-        return self.pht.predict(entry.value)
+        # Pure read: a BHT miss predicts from the all-ones taken-biased
+        # fill the entry *would* be allocated with; update() performs
+        # the actual allocation and LRU accounting.
+        entry = self.bht.peek(pc)
+        pattern = entry.value if entry is not None else self._mask
+        return self.pht.predict(pattern)
 
     def update(self, pc: int, taken: bool, target: int = 0) -> None:
-        entry = self.bht.peek(pc)
-        if entry is None:
-            entry = self._access_entry(pc)
+        entry = self._access_entry(pc)
         self.pht.update(entry.value, taken)
         self._advance_history(entry, taken)
 
@@ -202,13 +204,24 @@ class PApPredictor(_PerAddressBase):
             self.bank.reset_slot(slot)
 
     def predict(self, pc: int, target: int = 0) -> bool:
-        entry = self._access_entry(pc)
-        return self.bank.table_for(entry.slot).predict(entry.value)
+        # Pure read mirroring what update()'s allocation would produce:
+        # a resident branch reads its slot's table; a miss anticipates
+        # the victim slot (whose table resets on eviction under the
+        # default policy, or persists under keep-policy) and predicts
+        # from the all-ones taken-biased history fill.
+        entry = self.bht.peek(pc)
+        initial = self.automaton.predictions[self.automaton.initial_state]
+        if entry is not None:
+            table = self.bank.peek(entry.slot)
+            return table.predict(entry.value) if table is not None else initial
+        slot, would_evict = self.bht.probe_victim(pc)
+        if would_evict and self.config.reset_pht_on_evict:
+            return initial
+        table = self.bank.peek(slot)
+        return table.predict(self._mask) if table is not None else initial
 
     def update(self, pc: int, taken: bool, target: int = 0) -> None:
-        entry = self.bht.peek(pc)
-        if entry is None:
-            entry = self._access_entry(pc)
+        entry = self._access_entry(pc)
         self.bank.table_for(entry.slot).update(entry.value, taken)
         self._advance_history(entry, taken)
 
@@ -240,7 +253,12 @@ class GApPredictor(BranchPredictor):
         self.name = name or f"GAp(HR(1,,{history_bits}-sr),infxPHT(2^{history_bits},{automaton.name}))"
 
     def predict(self, pc: int, target: int = 0) -> bool:
-        return self.bank.table_for(pc).predict(self.ghr)
+        # Pure read: an unmaterialised per-address table would predict
+        # from its initial state, so answer that without creating it.
+        table = self.bank.peek(pc)
+        if table is None:
+            return self.automaton.predictions[self.automaton.initial_state]
+        return table.predict(self.ghr)
 
     def update(self, pc: int, taken: bool, target: int = 0) -> None:
         self.bank.table_for(pc).update(self.ghr, taken)

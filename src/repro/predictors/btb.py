@@ -42,13 +42,14 @@ class BTBPredictor(BranchPredictor):
             self.name = f"BTB(BHT({size},{associativity},{automaton.name}),,)"
 
     def predict(self, pc: int, target: int = 0) -> bool:
-        entry, _hit = self.bht.access(pc)
-        return self.automaton.predict(entry.value)
+        # Pure read: a miss would allocate the automaton's initial
+        # (taken-leaning) state, so predict from it without allocating.
+        entry = self.bht.peek(pc)
+        state = entry.value if entry is not None else self.automaton.initial_state
+        return self.automaton.predict(state)
 
     def update(self, pc: int, taken: bool, target: int = 0) -> None:
-        entry = self.bht.peek(pc)
-        if entry is None:
-            entry, _hit = self.bht.access(pc)
+        entry, _hit = self.bht.access(pc)
         entry.value = self.automaton.next_state(entry.value, taken)
         entry.fresh = False
 

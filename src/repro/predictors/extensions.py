@@ -64,6 +64,10 @@ class GselectPredictor(BranchPredictor):
     def on_context_switch(self) -> None:
         self.ghr = self._history_mask
 
+    def reset(self) -> None:
+        self.ghr = self._history_mask
+        self.pht.reset()
+
 
 class TournamentPredictor(BranchPredictor):
     """Two component predictors arbitrated by per-branch 2-bit choosers.
@@ -92,19 +96,18 @@ class TournamentPredictor(BranchPredictor):
     def predict(self, pc: int, target: int = 0) -> bool:
         first_guess = self.first.predict(pc, target)
         second_guess = self.second.predict(pc, target)
-        if first_guess != second_guess:
-            self.disagreements += 1
         use_second = self._choosers[self._chooser_index(pc)] >= 2
         return second_guess if use_second else first_guess
 
     def update(self, pc: int, taken: bool, target: int = 0) -> None:
         # Components re-predict for chooser training before updating;
-        # their internal state has not advanced since predict().
+        # component predicts are pure, so the guesses equal predict()'s.
         first_guess = self.first.predict(pc, target)
         second_guess = self.second.predict(pc, target)
         index = self._chooser_index(pc)
         state = self._choosers[index]
         if first_guess != second_guess:
+            self.disagreements += 1
             if second_guess == taken:
                 self._choosers[index] = min(state + 1, 3)
             else:
@@ -115,6 +118,12 @@ class TournamentPredictor(BranchPredictor):
     def on_context_switch(self) -> None:
         self.first.on_context_switch()
         self.second.on_context_switch()
+
+    def reset(self) -> None:
+        self.first.reset()
+        self.second.reset()
+        self._choosers = [1] * len(self._choosers)
+        self.disagreements = 0
 
 
 def tournament_pag_gshare(

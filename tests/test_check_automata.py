@@ -1,0 +1,146 @@
+"""Tests for the automaton model checker (repro.check.automata)."""
+
+import pytest
+
+from repro.check import run_checks
+from repro.check.automata import check_automata, verify_spec, verify_table
+from repro.core.automata import (
+    A2,
+    PAPER_AUTOMATA,
+    PRESET_TAKEN,
+    AutomatonSpec,
+    saturating_counter,
+)
+
+
+def _rules(findings):
+    return {f.rule for f in findings}
+
+
+class TestCleanCorpus:
+    def test_default_corpus_is_clean(self):
+        findings, examined = check_automata()
+        assert findings == []
+        assert examined >= 7  # five paper automata + presets at minimum
+
+    def test_each_paper_automaton_verifies(self):
+        for spec in PAPER_AUTOMATA.values():
+            assert verify_spec(spec) == []
+
+    def test_preset_bits_exempt_from_reachability(self):
+        # PB's states are isolated self-loops by design.
+        assert verify_spec(PRESET_TAKEN) == []
+
+    def test_generated_families_verify(self):
+        for bits in (1, 2, 3, 5):
+            assert verify_spec(saturating_counter(bits)) == []
+
+
+def _doctored(spec: AutomatonSpec, **overrides) -> AutomatonSpec:
+    """Clone a spec with fields replaced, bypassing __post_init__ so the
+    verifier (not the constructor) must catch the damage."""
+    clone = object.__new__(AutomatonSpec)
+    for field in ("name", "bits", "initial_state", "transitions", "predictions"):
+        object.__setattr__(clone, field, overrides.get(field, getattr(spec, field)))
+    return clone
+
+
+class TestMutationDetection:
+    """The acceptance-criteria mutations must produce pointed diagnostics."""
+
+    def test_non_total_table_rejected(self):
+        # A2 with state 1's transition row truncated to one outcome.
+        bad = _doctored(A2, transitions=((0, 1), (0,), (1, 3), (2, 3)))
+        findings = verify_spec(bad)
+        assert "automata/totality" in _rules(findings)
+        assert any("state 1" in f.message for f in findings)
+
+    def test_missing_transition_row(self):
+        bad = _doctored(A2, transitions=((0, 1), (0, 2), (1, 3)))
+        findings = verify_spec(bad)
+        assert findings  # prediction count no longer matches state count
+        assert "automata/prediction-totality" in _rules(findings)
+
+    def test_out_of_range_successor_rejected(self):
+        bad = _doctored(A2, transitions=((0, 1), (0, 2), (1, 7), (2, 3)))
+        findings = verify_spec(bad)
+        assert "automata/determinism" in _rules(findings)
+        assert any("delta(2, 1) = 7" in f.message for f in findings)
+
+    def test_non_integer_successor_rejected(self):
+        bad = _doctored(A2, transitions=((0, 1), (0, 2), (1, True), (2, 3)))
+        assert "automata/determinism" in _rules(verify_spec(bad))
+
+    def test_wrong_prediction_threshold_rejected(self):
+        # A2 predicting taken in state 1 violates the >= 2 threshold.
+        bad = _doctored(A2, predictions=(False, True, True, True))
+        findings = verify_spec(bad)
+        assert "automata/paper-semantics" in _rules(findings)
+        assert any("state 1" in f.message for f in findings)
+
+    def test_broken_saturation_rejected(self):
+        # delta(3, T) must saturate at 3, not wrap to 0. The wrap makes
+        # constant-taken streams cycle through the not-taken states, so
+        # the behavioural walk already rejects it before the name-keyed
+        # semantics check gets a turn.
+        bad = _doctored(A2, transitions=((0, 1), (0, 2), (1, 3), (2, 0)))
+        findings = verify_spec(bad)
+        assert _rules(findings) & {"automata/convergence", "automata/paper-semantics"}
+
+    def test_wrong_variant_rejected_by_paper_semantics(self):
+        # A3's fast-fall table under A2's name: structurally flawless and
+        # behaviourally convergent, so only the name-keyed Figure-4 check
+        # can notice the automaton is not the one it claims to be.
+        bad = _doctored(A2, transitions=((0, 1), (0, 2), (0, 3), (2, 3)))
+        findings = verify_spec(bad)
+        assert _rules(findings) == {"automata/paper-semantics"}
+        assert any("delta(2, N) must be 1, got 0" in f.message for f in findings)
+
+    def test_capacity_overflow_rejected(self):
+        bad = _doctored(A2, bits=1)
+        assert "automata/capacity" in _rules(verify_spec(bad))
+
+    def test_unreachable_state_rejected(self):
+        spec = AutomatonSpec(
+            name="X",
+            bits=2,
+            initial_state=0,
+            transitions=((0, 1), (0, 1), (0, 3), (2, 3)),
+            predictions=(False, True, False, True),
+        )
+        assert "automata/reachability" in _rules(verify_table(
+            spec.name, spec.transitions, spec.predictions,
+            spec.initial_state, spec.bits,
+        ))
+
+    def test_stuck_automaton_rejected(self):
+        # Oscillates between two taken-predicting states: moving (so not
+        # exempt as a frozen preset) but incapable of ever predicting
+        # not-taken.
+        findings = verify_table("stuck", ((1, 1), (0, 0)), (True, True), 0, 1)
+        rules = _rules(findings)
+        assert "automata/responsiveness" in rules
+        assert "automata/convergence" in rules
+
+    def test_fully_frozen_automaton_is_exempt(self):
+        # A one-state self-loop is a preset bit; the frozen exemption
+        # that covers PB must cover it too.
+        assert verify_table("frozen", ((0, 0),), (True,), 0, 1) == []
+
+    def test_mutated_corpus_fails_check(self):
+        bad = _doctored(A2, transitions=((0, 1), (0,), (1, 3), (2, 3)))
+        findings, examined = check_automata([A2, bad])
+        assert examined == 2
+        assert findings and all(f.severity == "error" for f in findings)
+
+
+class TestReportIntegration:
+    def test_run_checks_automata_only(self):
+        report = run_checks(only=["automata"])
+        assert report.ok
+        assert report.analyzers_run == ["automata"]
+        assert report.examined["automata"] >= 7
+
+    def test_unknown_analyzer_raises(self):
+        with pytest.raises(KeyError):
+            run_checks(only=["automata", "nope"])

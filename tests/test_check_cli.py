@@ -1,0 +1,104 @@
+"""Tests for ``python -m repro.check`` (repro.check.cli) and the report."""
+
+import json
+
+import pytest
+
+from repro.check import ANALYZERS
+from repro.check.cli import main
+from repro.check.report import ERROR, WARNING, CheckReport, Finding
+
+
+class TestExitCodes:
+    def test_clean_repo_exits_zero(self, capsys):
+        assert main(["--only", "automata"]) == 0
+        out = capsys.readouterr().out
+        assert "automata" in out
+        assert "0 error(s)" in out
+
+    def test_strict_clean_repo_exits_zero(self, capsys):
+        assert main(["--only", "automata,determinism", "--strict"]) == 0
+
+    def test_unknown_analyzer_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--only", "nonsense"])
+        assert excinfo.value.code == 2
+        assert "unknown analyzer" in capsys.readouterr().err
+
+    def test_findings_exit_one(self, capsys, monkeypatch):
+        def boom():
+            finding = Finding("boom", "boom/fail", ERROR, "here", "it broke")
+            return [finding], 1
+
+        monkeypatch.setitem(ANALYZERS, "boom", boom)
+        assert main(["--only", "boom"]) == 1
+        out = capsys.readouterr().out
+        assert "error: here: [boom/fail] it broke" in out
+
+    def test_warning_exits_zero_unless_strict(self, capsys, monkeypatch):
+        def nag():
+            finding = Finding("nag", "nag/hmm", WARNING, "there", "look at this")
+            return [finding], 1
+
+        monkeypatch.setitem(ANALYZERS, "nag", nag)
+        assert main(["--only", "nag"]) == 0
+        assert main(["--only", "nag", "--strict"]) == 1
+
+
+class TestOutputs:
+    def test_json_output_parses(self, capsys):
+        assert main(["--only", "automata", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["errors"] == 0
+        assert payload["analyzers"][0]["name"] == "automata"
+        assert payload["analyzers"][0]["examined"] >= 7
+
+    def test_list_enumerates_analyzers(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ANALYZERS:
+            assert name in out
+
+    def test_only_restricts_run(self, capsys):
+        assert main(["--only", "determinism", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["name"] for entry in payload["analyzers"]] == ["determinism"]
+
+
+class TestReport:
+    def test_severity_validated(self):
+        with pytest.raises(ValueError):
+            Finding("a", "a/r", "fatal", "loc", "msg")
+
+    def test_exit_code_matrix(self):
+        clean = CheckReport()
+        clean.extend("a", [], 3)
+        assert clean.exit_code() == 0
+        assert clean.exit_code(strict=True) == 0
+
+        warned = CheckReport()
+        warned.extend("a", [Finding("a", "a/w", WARNING, "x", "m")], 1)
+        assert warned.exit_code() == 0
+        assert warned.exit_code(strict=True) == 1
+
+        failed = CheckReport()
+        failed.extend("a", [Finding("a", "a/e", ERROR, "x", "m")], 1)
+        assert failed.exit_code() == 1
+        assert failed.exit_code(strict=True) == 1
+
+    def test_text_report_marks_failures(self):
+        report = CheckReport()
+        report.extend("good", [], 2)
+        report.extend("bad", [Finding("bad", "bad/r", ERROR, "x", "m")], 2)
+        text = report.format_text()
+        assert "[  ok] good" in text
+        assert "[FAIL] bad" in text
+        assert "1 error(s), 0 warning(s) from 2 analyzer(s)" in text
+
+    def test_round_trips_to_dict(self):
+        report = CheckReport()
+        report.extend("a", [Finding("a", "a/r", ERROR, "x", "m")], 5)
+        payload = json.loads(report.to_json())
+        assert payload["findings"][0]["rule"] == "a/r"
+        assert payload["analyzers"] == [{"name": "a", "examined": 5}]

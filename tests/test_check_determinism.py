@@ -1,0 +1,104 @@
+"""Tests for the determinism lint (repro.check.determinism)."""
+
+import textwrap
+
+from repro.check.determinism import check_determinism, scan_source
+
+
+def _scan(body: str):
+    return scan_source(textwrap.dedent(body))
+
+
+def _rules(findings):
+    return {f.rule for f in findings}
+
+
+class TestRepoIsClean:
+    def test_hot_paths_pass(self):
+        findings, examined = check_determinism()
+        assert findings == []
+        assert examined >= 20  # core + predictors + sim modules
+
+
+class TestRngDetection:
+    def test_import_random(self):
+        assert _rules(_scan("import random\n")) == {"det/rng"}
+
+    def test_from_random_import(self):
+        assert _rules(_scan("from random import Random\n")) == {"det/rng"}
+
+    def test_import_secrets_and_uuid(self):
+        assert _rules(_scan("import secrets\nimport uuid\n")) == {"det/rng"}
+
+    def test_numpy_random(self):
+        findings = _scan("import numpy\nx = numpy.random\n")
+        assert "det/rng" in _rules(findings)
+
+
+class TestWallClockDetection:
+    def test_time_time(self):
+        findings = _scan("import time\nstamp = time.time()\n")
+        assert "det/wall-clock" in _rules(findings)
+
+    def test_datetime_now(self):
+        findings = _scan("when = datetime.now()\n")
+        assert "det/wall-clock" in _rules(findings)
+
+    def test_perf_counter_allowed(self):
+        # Telemetry timing never feeds results; perf_counter is exempt.
+        assert _scan("import time\nstart = time.perf_counter()\n") == []
+
+
+class TestEnvDetection:
+    def test_os_environ(self):
+        findings = _scan("import os\nmode = os.environ['MODE']\n")
+        assert "det/env" in _rules(findings)
+
+    def test_os_getenv(self):
+        findings = _scan("import os\nmode = os.getenv('MODE')\n")
+        assert "det/env" in _rules(findings)
+
+
+class TestSetIteration:
+    def test_for_over_set_call(self):
+        findings = _scan("for x in set(items):\n    use(x)\n")
+        assert _rules(findings) == {"det/set-iteration"}
+
+    def test_for_over_set_literal(self):
+        findings = _scan("for x in {1, 2, 3}:\n    use(x)\n")
+        assert _rules(findings) == {"det/set-iteration"}
+
+    def test_comprehension_over_set(self):
+        findings = _scan("out = [f(x) for x in set(items)]\n")
+        assert _rules(findings) == {"det/set-iteration"}
+
+    def test_sorted_set_is_fine(self):
+        assert _scan("for x in sorted(set(items)):\n    use(x)\n") == []
+
+    def test_building_a_set_is_fine(self):
+        assert _scan("seen = {f(x) for x in items}\n") == []
+
+    def test_list_iteration_is_fine(self):
+        assert _scan("for x in [1, 2, 3]:\n    use(x)\n") == []
+
+
+class TestBuiltinHash:
+    def test_hash_call_is_warning(self):
+        findings = _scan("key = hash(name)\n")
+        assert _rules(findings) == {"det/builtin-hash"}
+        assert all(f.severity == "warning" for f in findings)
+
+    def test_hashlib_is_fine(self):
+        assert _scan("import hashlib\nkey = hashlib.sha256(b'x').hexdigest()\n") == []
+
+
+class TestPragmas:
+    def test_allow_pragma_suppresses(self):
+        findings = _scan(
+            "for x in set(items):  # check: allow(det/set-iteration)\n    use(x)\n"
+        )
+        assert findings == []
+
+    def test_findings_carry_location(self):
+        findings = scan_source("import random\n", filename="module.py")
+        assert findings[0].location == "module.py:1"

@@ -1,0 +1,69 @@
+"""Tests for the spec-picklability checker (repro.check.pickling)."""
+
+import pickle
+
+from repro.check.pickling import (
+    DEFAULT_SPEC_NAMES,
+    check_pickling,
+    probe_trace,
+    training_trace,
+)
+from repro.sim.parallel import PredictorSpec
+
+
+def _rules(findings):
+    return {f.rule for f in findings}
+
+
+class TestProbeTraces:
+    def test_probe_trace_is_deterministic(self):
+        first = probe_trace()
+        second = probe_trace()
+        assert len(first) == len(second)
+        assert [(e.pc, e.taken) for e in first] == [(e.pc, e.taken) for e in second]
+
+    def test_probe_trace_covers_multiple_sites(self):
+        trace = probe_trace(branches_per_site=10)
+        assert set(trace.static_branch_sites()) == {0x1000, 0x2040, 0x3080, 0x41C0}
+
+    def test_training_trace_builds(self):
+        assert len(training_trace()) == 1200
+
+
+class TestCleanCorpus:
+    def test_default_corpus_is_clean(self):
+        findings, examined = check_pickling()
+        assert findings == []
+        assert examined == len(DEFAULT_SPEC_NAMES)
+
+    def test_corpus_spans_grammar_families(self):
+        # Any registry growth should widen this corpus, not shrink it.
+        prefixes = {name.split("-")[0].split("(")[0] for name in DEFAULT_SPEC_NAMES}
+        for family in ("gag", "pag", "pap", "gshare", "btb", "gsg", "psg"):
+            assert family in prefixes
+
+
+class TestFailureDetection:
+    def test_unbuildable_spec_reported(self):
+        findings, examined = check_pickling(names=["no-such-scheme-9"])
+        assert examined == 1
+        assert _rules(findings) == {"pickle/construction"}
+        assert findings[0].severity == "error"
+        assert "no-such-scheme-9" in findings[0].location
+
+    def test_findings_name_the_offending_spec(self):
+        findings, _ = check_pickling(names=["gag-6", "bogus"])
+        assert [f.location for f in findings] == ["bogus"]
+
+
+class TestSpecContract:
+    """Pin the PredictorSpec properties the checker relies on."""
+
+    def test_round_trip_preserves_cache_key(self):
+        spec = PredictorSpec("gag-6")
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.cache_key == spec.cache_key
+
+    def test_distinct_specs_have_distinct_cache_keys(self):
+        assert PredictorSpec("gag-6").cache_key != PredictorSpec("gag-8").cache_key

@@ -1,0 +1,232 @@
+"""Tests for the purity lint (repro.check.purity)."""
+
+import textwrap
+
+from repro.check.purity import analyze_source, check_purity
+
+
+def _analyze(body: str):
+    return analyze_source(textwrap.dedent(body))
+
+
+def _rules(findings):
+    return {f.rule for f in findings}
+
+
+class TestRepoIsClean:
+    def test_shipped_predictors_pass(self):
+        findings, examined = check_purity()
+        assert findings == []
+        # GAg/PAg/PAp/GAp/gshare/GSg/PSg/BTB/static/extension classes.
+        assert examined >= 12
+
+
+class TestPredictMutationDetection:
+    def test_direct_attribute_assignment(self):
+        findings = _analyze("""
+            class Bad(BranchPredictor):
+                def predict(self, pc, target=0):
+                    self.x = 1
+                    return True
+                def update(self, pc, taken, target=0):
+                    pass
+        """)
+        assert _rules(findings) == {"purity/predict-mutates-state"}
+
+    def test_aug_assignment(self):
+        # The acceptance-criteria mutation: `self.x += 1` in predict.
+        findings = _analyze("""
+            class Bad(BranchPredictor):
+                def predict(self, pc, target=0):
+                    self.x += 1
+                    return True
+                def update(self, pc, taken, target=0):
+                    pass
+        """)
+        assert _rules(findings) == {"purity/predict-mutates-state"}
+        assert any("aug-assigns self.x" in f.message for f in findings)
+
+    def test_subscript_store(self):
+        findings = _analyze("""
+            class Bad(BranchPredictor):
+                def predict(self, pc, target=0):
+                    self.table[pc] = True
+                    return True
+                def update(self, pc, taken, target=0):
+                    pass
+        """)
+        assert _rules(findings) == {"purity/predict-mutates-state"}
+
+    def test_mutating_call_on_self_attribute(self):
+        findings = _analyze("""
+            class Bad(BranchPredictor):
+                def predict(self, pc, target=0):
+                    entry, hit = self.bht.access(pc)
+                    return True
+                def update(self, pc, taken, target=0):
+                    pass
+        """)
+        assert _rules(findings) == {"purity/predict-mutates-state"}
+
+    def test_transitive_mutation_through_helper(self):
+        findings = _analyze("""
+            class Bad(BranchPredictor):
+                def _helper(self, pc):
+                    return self._other(pc)
+                def _other(self, pc):
+                    self.counter += 1
+                    return 0
+                def predict(self, pc, target=0):
+                    return self._helper(pc) > 0
+                def update(self, pc, taken, target=0):
+                    pass
+        """)
+        assert _rules(findings) == {"purity/predict-mutates-state"}
+        assert any("predict -> _helper -> _other" in f.message for f in findings)
+
+    def test_inherited_predict_checked_against_subclass_helpers(self):
+        findings = _analyze("""
+            class Base(BranchPredictor):
+                def predict(self, pc, target=0):
+                    return self._lookup(pc)
+                def update(self, pc, taken, target=0):
+                    pass
+            class Leaf(Base):
+                def _lookup(self, pc):
+                    self.hits += 1
+                    return True
+                def predict(self, pc, target=0):
+                    return self._lookup(pc)
+                def update(self, pc, taken, target=0):
+                    pass
+        """)
+        assert "purity/predict-mutates-state" in _rules(findings)
+
+    def test_pure_predict_passes(self):
+        findings = _analyze("""
+            class Good(BranchPredictor):
+                def predict(self, pc, target=0):
+                    entry = self.bht.peek(pc)
+                    value = entry.value if entry is not None else self._mask
+                    return self.pht.predict(value)
+                def update(self, pc, taken, target=0):
+                    entry, hit = self.bht.access(pc)
+                    self.pht.update(entry.value, taken)
+        """)
+        assert findings == []
+
+    def test_update_may_mutate(self):
+        findings = _analyze("""
+            class Good(BranchPredictor):
+                def predict(self, pc, target=0):
+                    return True
+                def update(self, pc, taken, target=0):
+                    self.count += 1
+                    self.bht.access(pc)
+        """)
+        assert findings == []
+
+    def test_non_predictor_class_ignored(self):
+        findings = _analyze("""
+            class Table:
+                def predict(self, pattern):
+                    return True
+                def update(self, pattern, taken):
+                    self._states[pattern] = 1
+        """)
+        assert findings == []
+
+    def test_local_variable_assignment_is_fine(self):
+        findings = _analyze("""
+            class Good(BranchPredictor):
+                def predict(self, pc, target=0):
+                    index = (pc >> 2) % 16
+                    return self.pht.predict(index)
+                def update(self, pc, taken, target=0):
+                    pass
+        """)
+        assert findings == []
+
+
+class TestNondeterminismDetection:
+    def test_random_in_update(self):
+        findings = _analyze("""
+            import random
+            class Bad(BranchPredictor):
+                def predict(self, pc, target=0):
+                    return True
+                def update(self, pc, taken, target=0):
+                    if random.random() < 0.5:
+                        self.count += 1
+        """)
+        assert "purity/nondeterministic-input" in _rules(findings)
+
+    def test_wall_clock_in_predict(self):
+        findings = _analyze("""
+            import time
+            class Bad(BranchPredictor):
+                def predict(self, pc, target=0):
+                    return time.time() % 2 == 0
+                def update(self, pc, taken, target=0):
+                    pass
+        """)
+        assert "purity/nondeterministic-input" in _rules(findings)
+
+    def test_os_environ_in_update(self):
+        findings = _analyze("""
+            import os
+            class Bad(BranchPredictor):
+                def predict(self, pc, target=0):
+                    return True
+                def update(self, pc, taken, target=0):
+                    self.mode = os.environ.get("MODE")
+        """)
+        assert "purity/nondeterministic-input" in _rules(findings)
+
+
+class TestPragmas:
+    def test_allow_pragma_suppresses(self):
+        findings = _analyze("""
+            class Memoizing(BranchPredictor):
+                def predict(self, pc, target=0):
+                    self.memo[pc] = True  # check: allow(purity/predict-mutates-state)
+                    return True
+                def update(self, pc, taken, target=0):
+                    pass
+        """)
+        assert findings == []
+
+    def test_wildcard_pragma_suppresses(self):
+        findings = _analyze("""
+            class Memoizing(BranchPredictor):
+                def predict(self, pc, target=0):
+                    self.memo[pc] = True  # check: allow(*)
+                    return True
+                def update(self, pc, taken, target=0):
+                    pass
+        """)
+        assert findings == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        findings = _analyze("""
+            class Bad(BranchPredictor):
+                def predict(self, pc, target=0):
+                    self.memo[pc] = True  # check: allow(det/rng)
+                    return True
+                def update(self, pc, taken, target=0):
+                    pass
+        """)
+        assert "purity/predict-mutates-state" in _rules(findings)
+
+
+class TestOpaqueCalls:
+    def test_self_escaping_is_warning(self):
+        findings = _analyze("""
+            class Suspicious(BranchPredictor):
+                def predict(self, pc, target=0):
+                    return helper(self, pc)
+                def update(self, pc, taken, target=0):
+                    pass
+        """)
+        assert _rules(findings) == {"purity/predict-opaque-call"}
+        assert all(f.severity == "warning" for f in findings)

@@ -1,0 +1,95 @@
+"""Tests for the registry/export consistency checker (repro.check.registry)."""
+
+import sys
+import textwrap
+import types
+
+from repro.check.registry import AUDITED_MODULES, _audit_exports, check_registry
+
+
+def _rules(findings):
+    return {f.rule for f in findings}
+
+
+def _fake_module(name, body, tmp_path, all_names):
+    """Materialise a throwaway module on disk and in sys.modules."""
+    path = tmp_path / f"{name}.py"
+    path.write_text(textwrap.dedent(body), encoding="utf-8")
+    module = types.ModuleType(name)
+    module.__file__ = str(path)
+    exec(compile(textwrap.dedent(body), str(path), "exec"), module.__dict__)
+    module.__all__ = all_names
+    sys.modules[name] = module
+    return module
+
+
+class TestRepoIsClean:
+    def test_audited_surface_is_consistent(self):
+        findings, examined = check_registry()
+        assert findings == []
+        # 8 modules + Table 3 rows + friendly representatives.
+        assert examined > len(AUDITED_MODULES)
+
+
+class TestExportAudit:
+    def test_broken_export_detected(self, tmp_path):
+        name = "check_registry_fixture_broken"
+        _fake_module(name, "def real():\n    pass\n", tmp_path, ["real", "ghost"])
+        try:
+            findings = _audit_exports(name)
+        finally:
+            del sys.modules[name]
+        assert _rules(findings) == {"registry/broken-export"}
+        assert "ghost" in findings[0].message
+
+    def test_duplicate_export_detected(self, tmp_path):
+        name = "check_registry_fixture_dup"
+        _fake_module(name, "def real():\n    pass\n", tmp_path, ["real", "real"])
+        try:
+            findings = _audit_exports(name)
+        finally:
+            del sys.modules[name]
+        assert _rules(findings) == {"registry/duplicate-export"}
+
+    def test_missing_export_detected(self, tmp_path):
+        name = "check_registry_fixture_missing"
+        body = """
+            def listed():
+                pass
+
+            def forgotten():
+                pass
+
+            def _private():
+                pass
+        """
+        _fake_module(name, body, tmp_path, ["listed"])
+        try:
+            findings = _audit_exports(name)
+        finally:
+            del sys.modules[name]
+        assert _rules(findings) == {"registry/missing-export"}
+        assert "forgotten" in findings[0].message
+        assert all("_private" not in f.message for f in findings)
+
+    def test_unimportable_module_detected(self):
+        findings = _audit_exports("repro.definitely_not_a_module")
+        assert _rules(findings) == {"registry/import"}
+
+    def test_module_without_all_is_skipped(self, tmp_path):
+        name = "check_registry_fixture_noall"
+        path = tmp_path / f"{name}.py"
+        path.write_text("def anything():\n    pass\n", encoding="utf-8")
+        module = types.ModuleType(name)
+        module.__file__ = str(path)
+        exec("def anything():\n    pass\n", module.__dict__)
+        sys.modules[name] = module
+        try:
+            assert _audit_exports(name) == []
+        finally:
+            del sys.modules[name]
+
+    def test_explicit_module_list_restricts_audit(self):
+        findings, examined = check_registry(modules=["repro.core"])
+        assert findings == []
+        assert examined == 1

@@ -1,0 +1,114 @@
+"""Runtime regression tests for the predict() purity contract.
+
+The static purity lint (repro.check.purity) proves predict() never
+writes ``self``; these tests pin the same contract dynamically: calling
+predict() any number of extra times must not change any subsequent
+prediction, allocation, or statistic. This is what makes speculative /
+repeated lookups safe and keeps the parallel runner's results
+bit-identical to serial runs.
+"""
+
+import pytest
+
+from repro.check.pickling import DEFAULT_SPEC_NAMES, probe_trace, training_trace
+from repro.core.twolevel import GAgPredictor, GsharePredictor, make_pag, make_pap
+from repro.predictors.btb import btb_a2
+from repro.predictors.extensions import tournament_pag_gshare
+from repro.predictors.registry import make_predictor
+from repro.trace.events import BranchClass
+
+
+def _run(predictor, trace, extra_predicts=0):
+    """Drive the predict/update pairing, optionally with redundant
+    predict() calls before each real one; return the predictions."""
+    predictions = []
+    cond = int(BranchClass.CONDITIONAL)
+    for pc, taken, cls, target, _instret, _trap in trace.iter_tuples():
+        if cls != cond:
+            continue
+        for _ in range(extra_predicts):
+            predictor.predict(pc, target)
+        predictions.append(predictor.predict(pc, target))
+        predictor.update(pc, taken, target)
+    return predictions
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return probe_trace(branches_per_site=150)
+
+
+@pytest.fixture(scope="module")
+def training():
+    return training_trace()
+
+
+@pytest.mark.parametrize("name", sorted(DEFAULT_SPEC_NAMES))
+def test_redundant_predicts_are_invisible(name, trace, training):
+    baseline = _run(make_predictor(name, training), trace)
+    noisy = _run(make_predictor(name, training), trace, extra_predicts=3)
+    assert noisy == baseline
+
+
+class TestNoAllocationOnPredict:
+    """predict() must not even touch the first-level structures."""
+
+    def test_pag_predict_does_not_allocate_bht_entry(self):
+        pag = make_pag(4)
+        pag.predict(0xA)
+        assert pag.bht.peek(0xA) is None
+        assert pag.bht.stats.accesses == 0
+
+    def test_pag_predict_does_not_tick_lru_or_stats(self):
+        pag = make_pag(4, bht_entries=8, bht_associativity=2)
+        pag.update(0xA, True)
+        before = (pag.bht.stats.hits, pag.bht.stats.misses, pag.bht.peek(0xA).lru)
+        for _ in range(5):
+            pag.predict(0xA)
+        after = (pag.bht.stats.hits, pag.bht.stats.misses, pag.bht.peek(0xA).lru)
+        assert after == before
+
+    def test_pap_predict_does_not_materialise_pattern_tables(self):
+        pap = make_pap(4)
+        pap.predict(0xA)
+        assert len(pap.bank) == 0
+
+    def test_btb_predict_does_not_allocate(self):
+        btb = btb_a2(num_entries=8, associativity=2)
+        assert btb.predict(0x10) is True  # A2 initial state predicts taken
+        assert btb.bht.peek(0x10) is None
+        assert btb.bht.stats.accesses == 0
+
+    def test_gag_predict_does_not_move_history(self):
+        gag = GAgPredictor(6)
+        before = gag.ghr
+        gag.predict(0x100)
+        assert gag.ghr == before
+
+    def test_gshare_predict_does_not_move_history(self):
+        gshare = GsharePredictor(6)
+        before = gshare.ghr
+        gshare.predict(0x100)
+        assert gshare.ghr == before
+
+    def test_tournament_predict_does_not_count_disagreements(self):
+        tournament = tournament_pag_gshare(4, 4, chooser_bits=4)
+        for pc in range(0, 64, 4):
+            tournament.predict(pc)
+        assert tournament.disagreements == 0
+
+
+class TestEvictionPolicyUnderPurity:
+    """The PAp reset-on-evict policy must survive the pure-predict
+    refactor: the decision happens at update() time, and predict() on a
+    would-evict miss anticipates it without mutating anything."""
+
+    def test_predict_on_would_evict_miss_leaves_victim_resident(self):
+        pap = make_pap(2, bht_entries=1, bht_associativity=1)
+        for _ in range(4):
+            pap.predict(0xA)
+            pap.update(0xA, False)
+        entry_before = pap.bht.peek(0xA)
+        pap.predict(0xB)  # would evict 0xA, but must not
+        assert pap.bht.peek(0xA) is entry_before
+        assert pap.bht.peek(0xB) is None

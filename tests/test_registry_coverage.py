@@ -1,0 +1,71 @@
+"""Every registered scheme must construct, predict, and reset cleanly.
+
+Satellite coverage for the registry: one end-to-end exercise per
+registered name (friendly grammar + Table 3 strings), pinning three
+contracts the experiment runner relies on:
+
+* the scheme builds and scores a 1 000-branch synthetic trace;
+* ``reset()`` returns to the power-on state — re-simulating the same
+  trace scores identically (no state leaks across runs);
+* ``on_context_switch()`` on a power-on predictor is behaviourally a
+  no-op (flushing empty structures changes nothing).
+"""
+
+import pytest
+
+from repro.check.pickling import DEFAULT_SPEC_NAMES, probe_trace, training_trace
+from repro.check.registry import FRIENDLY_REPRESENTATIVES
+from repro.predictors.registry import make_predictor
+from repro.sim.engine import simulate
+
+CORPUS = sorted(set(DEFAULT_SPEC_NAMES) | set(FRIENDLY_REPRESENTATIVES))
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return probe_trace(branches_per_site=250)  # 1 000 conditional branches
+
+
+@pytest.fixture(scope="module")
+def training():
+    return training_trace()
+
+
+def _counts(result):
+    return (result.correct_predictions, result.conditional_branches)
+
+
+@pytest.mark.parametrize("name", CORPUS)
+def test_scheme_simulates_sanely(name, trace, training):
+    predictor = make_predictor(name, training)
+    result = simulate(predictor, trace)
+    assert result.conditional_branches == len(trace)
+    assert 0.0 <= result.accuracy <= 1.0
+
+
+@pytest.mark.parametrize("name", CORPUS)
+def test_reset_restores_power_on_state(name, trace, training):
+    predictor = make_predictor(name, training)
+    first = simulate(predictor, trace)
+    predictor.reset()
+    second = simulate(predictor, trace)
+    assert _counts(second) == _counts(first)
+
+
+@pytest.mark.parametrize("name", CORPUS)
+def test_context_switch_on_fresh_predictor_is_noop(name, trace, training):
+    baseline = make_predictor(name, training)
+    flushed = make_predictor(name, training)
+    flushed.on_context_switch()
+    assert _counts(simulate(flushed, trace)) == _counts(simulate(baseline, trace))
+
+
+@pytest.mark.parametrize("name", CORPUS)
+def test_predictor_survives_mid_trace_context_switch(name, trace, training):
+    predictor = make_predictor(name, training)
+    for i, (pc, taken, cls, target, _instret, _trap) in enumerate(trace.iter_tuples()):
+        if i == len(trace) // 2:
+            predictor.on_context_switch()
+        guess = predictor.predict(pc, target)
+        assert isinstance(guess, bool)
+        predictor.update(pc, taken, target)

@@ -209,8 +209,13 @@ class TestPAp:
         for _ in range(4):
             pap.predict(0xA)
             pap.update(0xA, False)
-        # 0xB evicts 0xA from the single slot; the slot's table resets.
+        # predict() is a pure read: probing 0xB allocates nothing.
         pap.predict(0xB)
+        assert pap.bht.peek(0xB) is None
+        # update() evicts 0xA from the single slot; the slot's table
+        # resets before absorbing 0xB's first (taken) outcome, which
+        # leaves every entry in the initial state.
+        pap.update(0xB, True)
         entry = pap.bht.peek(0xB)
         table = pap.bank.table_for(entry.slot)
         assert all(state == A2.initial_state for state in table.states_snapshot())
@@ -224,6 +229,7 @@ class TestPAp:
             pap.predict(0xA)
             pap.update(0xA, False)
         pap.predict(0xB)
+        pap.update(0xB, True)
         entry = pap.bht.peek(0xB)
         table = pap.bank.table_for(entry.slot)
         assert table.state(0b00) != A2.initial_state
