@@ -4,7 +4,7 @@ PYTHON ?= python
 
 WORKERS ?= 4
 
-.PHONY: install test check lint bench experiments sweep examples clean
+.PHONY: install test check lint bench experiments sweep examples obs-demo clean
 
 install:
 	pip install -e .
@@ -45,6 +45,18 @@ examples:
 		echo "== $$script =="; \
 		$(PYTHON) $$script || exit 1; \
 	done
+
+# Observability smoke check: run one fully-probed simulation through
+# python -m repro.obs and verify the emitted RunReport is valid JSON
+# with the expected schema (see docs/observability.md).
+obs-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.obs --scheme GAg --workload eqntott \
+		--format json \
+	| $(PYTHON) -c "import json,sys; r=json.load(sys.stdin); \
+		assert r['schema']=='repro.obs/1', r['schema']; \
+		assert r['result']['conditional_branches']>0; \
+		print('obs-demo ok:', r['scheme'], 'on', r['workload'], \
+		      'accuracy', round(100*r['result']['correct_predictions']/r['result']['conditional_branches'],2), '%')"
 
 clean:
 	rm -rf results benchmarks/results .pytest_cache

@@ -149,10 +149,15 @@ class _FileScan(ast.NodeVisitor):
 
 
 def default_paths() -> List[Path]:
-    """The hot-path packages covered by the determinism contract."""
+    """The hot-path packages covered by the determinism contract.
+
+    ``obs`` is scanned too: probes ride the simulation hot path, so
+    they may use ``perf_counter`` (telemetry, like the run-telemetry
+    layer) but none of the result-affecting nondeterminism sources.
+    """
     package = Path(__file__).resolve().parent.parent
     paths: List[Path] = []
-    for subpackage in ("core", "predictors", "sim"):
+    for subpackage in ("core", "predictors", "sim", "obs"):
         paths.extend(sorted((package / subpackage).glob("*.py")))
     paths.append(package / "trace" / "cache.py")
     return paths

@@ -363,10 +363,16 @@ def analyze_classes(classes: Dict[str, _ClassInfo], sources: Dict[str, Sequence[
 
 
 def default_paths() -> List[Path]:
-    """The modules whose predictors the contract covers."""
+    """The modules whose predictors the contract covers.
+
+    ``obs`` is included so that any predictor-shaped class that ever
+    appears there (probes wrapping or observing predictors) is held to
+    the same predict-never-mutates contract — observability must not be
+    able to change a simulation result.
+    """
     package = Path(__file__).resolve().parent.parent
     paths: List[Path] = []
-    for subpackage in ("predictors", "core"):
+    for subpackage in ("predictors", "core", "obs"):
         paths.extend(sorted((package / subpackage).glob("*.py")))
     return paths
 

@@ -43,6 +43,9 @@ AUDITED_MODULES: Tuple[str, ...] = (
     "repro.workloads",
     "repro.sim.engine",
     "repro.sim.parallel",
+    "repro.obs",
+    "repro.obs.metrics",
+    "repro.obs.report",
 )
 
 #: Friendly-grammar representatives: one per production of the

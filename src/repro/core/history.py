@@ -97,6 +97,16 @@ class BHTStats:
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
 
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-compatible snapshot (used by the observability probes)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "flushes": self.flushes,
+            "hit_rate": self.hit_rate,
+        }
+
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
@@ -116,6 +126,11 @@ class IdealBHT:
 
     @property
     def num_entries(self) -> int:
+        return len(self._entries)
+
+    @property
+    def occupancy(self) -> int:
+        """Resident entries — for the ideal table, every branch seen."""
         return len(self._entries)
 
     def access(self, pc: int) -> Tuple[BHTEntry, bool]:

@@ -12,9 +12,47 @@ simulator — accounts for the full silicon).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from .automata import AutomatonSpec
+
+
+@dataclass
+class PHTCounters:
+    """Lightweight update counters a pattern table can be asked to keep.
+
+    Attached via :meth:`PatternHistoryTable.attach_counters` (observability
+    probes do this at run start); never attached, never paid for — the
+    update path performs a single ``is None`` check when detached.
+
+    Attributes:
+        updates: total ``update`` calls.
+        state_changes: updates that moved the entry to a new automaton
+            state (the automaton "learned" something).
+        direction_flips: updates that changed the entry's *predicted
+            direction* — the destructive subset of state changes, and the
+            per-entry signature of second-level interference when many
+            static branches share the table.
+    """
+
+    updates: int = 0
+    state_changes: int = 0
+    direction_flips: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "updates": self.updates,
+            "state_changes": self.state_changes,
+            "direction_flips": self.direction_flips,
+        }
+
+    def merged_with(self, other: "PHTCounters") -> "PHTCounters":
+        return PHTCounters(
+            updates=self.updates + other.updates,
+            state_changes=self.state_changes + other.state_changes,
+            direction_flips=self.direction_flips + other.direction_flips,
+        )
 
 
 class PatternHistoryTable:
@@ -31,6 +69,7 @@ class PatternHistoryTable:
         # simulation loop free of attribute lookups.
         self._predictions = automaton.predictions
         self._transitions = automaton.transitions
+        self._counters: Optional[PHTCounters] = None
 
     def predict(self, pattern: int) -> bool:
         """lambda(S_c) for the entry addressed by ``pattern``."""
@@ -39,7 +78,18 @@ class PatternHistoryTable:
     def update(self, pattern: int, taken: bool) -> None:
         """S_{c+1} = delta(S_c, R_c) for the entry addressed by ``pattern``."""
         states = self._states
-        states[pattern] = self._transitions[states[pattern]][1 if taken else 0]
+        counters = self._counters
+        if counters is None:
+            states[pattern] = self._transitions[states[pattern]][1 if taken else 0]
+            return
+        previous = states[pattern]
+        state = self._transitions[previous][1 if taken else 0]
+        states[pattern] = state
+        counters.updates += 1
+        if state != previous:
+            counters.state_changes += 1
+            if self._predictions[state] != self._predictions[previous]:
+                counters.direction_flips += 1
 
     def state(self, pattern: int) -> int:
         """The raw automaton state for ``pattern`` (for inspection/tests)."""
@@ -60,6 +110,40 @@ class PatternHistoryTable:
     def states_snapshot(self) -> List[int]:
         """A copy of all entry states (for tests and analysis)."""
         return list(self._states)
+
+    def attach_counters(self, counters: Optional[PHTCounters] = None) -> PHTCounters:
+        """Start keeping :class:`PHTCounters` on this table.
+
+        Args:
+            counters: an existing counter block to accumulate into (used
+                by :class:`PHTBank` to share one block across its
+                tables); a fresh block is created when omitted.
+
+        Returns:
+            The attached counter block.
+        """
+        if counters is None:
+            counters = PHTCounters()
+        self._counters = counters
+        return counters
+
+    def detach_counters(self) -> None:
+        """Stop counting; the update path returns to the fast branch."""
+        self._counters = None
+
+    @property
+    def counters(self) -> Optional[PHTCounters]:
+        """The attached counter block, or ``None`` when detached."""
+        return self._counters
+
+    def occupancy(self) -> int:
+        """Entries that have left the automaton's initial state.
+
+        A cheap proxy for "patterns this program actually exercised";
+        computed on demand so the update path stays counter-free.
+        """
+        initial = self.automaton.initial_state
+        return sum(1 for state in self._states if state != initial)
 
     @property
     def storage_bits(self) -> int:
@@ -90,6 +174,7 @@ class PresetPatternTable:
             raise ValueError("history_bits must be >= 1")
         self.history_bits = history_bits
         self.num_entries = 1 << history_bits
+        self._default_direction = bool(default_direction)
         self._bits: List[bool] = [default_direction] * self.num_entries
         for pattern, direction in preset.items():
             if not 0 <= pattern < self.num_entries:
@@ -101,6 +186,11 @@ class PresetPatternTable:
 
     def update(self, pattern: int, taken: bool) -> None:
         """Pattern bits are preset: run-time outcomes are ignored."""
+
+    def occupancy(self) -> int:
+        """Entries whose preset bit differs from the fallback direction."""
+        default = self._default_direction
+        return sum(1 for bit in self._bits if bit != default)
 
     def reset(self) -> None:
         """Preset tables persist across context switches; nothing to do."""
@@ -126,18 +216,49 @@ class PHTBank:
         self.history_bits = history_bits
         self.automaton = automaton
         self._tables: Dict[int, PatternHistoryTable] = {}
+        self._counters: Optional[PHTCounters] = None
+        self.slot_resets = 0
 
     def table_for(self, slot: int) -> PatternHistoryTable:
         table = self._tables.get(slot)
         if table is None:
             table = PatternHistoryTable(self.history_bits, self.automaton)
+            if self._counters is not None:
+                table.attach_counters(self._counters)
             self._tables[slot] = table
         return table
+
+    def attach_counters(self, counters: Optional[PHTCounters] = None) -> PHTCounters:
+        """Share one :class:`PHTCounters` block across every table.
+
+        Tables materialised later inherit the block, so the counts cover
+        the bank's whole lifetime regardless of allocation order.
+        """
+        if counters is None:
+            counters = PHTCounters()
+        self._counters = counters
+        for table in self._tables.values():
+            table.attach_counters(counters)
+        return counters
+
+    def detach_counters(self) -> None:
+        self._counters = None
+        for table in self._tables.values():
+            table.detach_counters()
+
+    @property
+    def counters(self) -> Optional[PHTCounters]:
+        return self._counters
+
+    def occupancy(self) -> int:
+        """Non-initial entries summed over the materialised tables."""
+        return sum(table.occupancy() for table in self._tables.values())
 
     def reset_slot(self, slot: int) -> None:
         table = self._tables.get(slot)
         if table is not None:
             table.reset()
+            self.slot_resets += 1
 
     def reset(self) -> None:
         self._tables.clear()

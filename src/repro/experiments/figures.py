@@ -33,7 +33,7 @@ from ..core.automata import PAPER_AUTOMATA
 from ..core.cost import UNIT_COSTS, CostParams, cost_gag, cost_pag, cost_pap
 from ..sim.engine import ContextSwitchConfig
 from ..sim.parallel import spec
-from ..sim.results import ResultMatrix
+from ..sim.results import ResultMatrix, RunTelemetry
 from ..sim.runner import BenchmarkCase, run_matrix
 from ..trace.cache import ResultCache
 from ..trace.stats import compute_stats
@@ -309,7 +309,7 @@ def figure9(
     merged = ResultMatrix(
         benchmarks=plain.benchmarks,
         categories=plain.categories,
-        telemetry=plain.telemetry.merged_with(switched.telemetry),
+        telemetry=RunTelemetry.merge(plain.telemetry, switched.telemetry),
     )
     for scheme, cells in list(plain.cells.items()) + list(switched.cells.items()):
         for result in cells.values():

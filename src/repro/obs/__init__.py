@@ -1,0 +1,68 @@
+"""Simulation observability: probes, metrics, profiling and reports.
+
+The subsystem splits into four layers, each usable on its own:
+
+* :mod:`repro.obs.probes` — the :class:`Probe` callback surface the
+  engine invokes, and :class:`ProbeSet` for composing observers. The
+  engine takes a separate zero-overhead path when no probe is attached,
+  and probes can never change a result (they only observe; the
+  ``repro.check`` lints enforce it statically, the equivalence tests
+  dynamically).
+* :mod:`repro.obs.metrics` — interval accuracy series, mispredict-streak
+  histograms, top-K offender tables, post-flush warm-up curves, and
+  PHT/BHT occupancy + interference counters.
+* :mod:`repro.obs.profile` — per-phase ``perf_counter`` spans,
+  per-call predict/update timing, optional cProfile capture.
+* :mod:`repro.obs.report` / :mod:`repro.obs.export` /
+  :mod:`repro.obs.runner` — the schema-stable :class:`RunReport`, JSONL
+  event traces, and the :func:`observe` orchestration behind
+  ``python -m repro.obs``.
+
+Quick start::
+
+    from repro.obs import observe
+    report = observe("gag-12", workload="eqntott")
+    print(report.result.accuracy, report.streaks, report.offenders[0])
+"""
+
+from .export import EventTraceProbe, write_report
+from .metrics import (
+    DEFAULT_INTERVAL_INSTRUCTIONS,
+    IntervalPoint,
+    IntervalSeriesProbe,
+    Offender,
+    StreakHistogramProbe,
+    TableStatsProbe,
+    TopOffendersProbe,
+    WarmupCurveProbe,
+    WarmupWindow,
+)
+from .probes import Probe, ProbeSet
+from .profile import PhaseTimer, SpanStats, TimingPredictor, run_cprofile
+from .report import SCHEMA, RunReport, format_report
+from .runner import normalize_scheme, observe
+
+__all__ = [
+    "DEFAULT_INTERVAL_INSTRUCTIONS",
+    "EventTraceProbe",
+    "IntervalPoint",
+    "IntervalSeriesProbe",
+    "Offender",
+    "PhaseTimer",
+    "Probe",
+    "ProbeSet",
+    "RunReport",
+    "SCHEMA",
+    "SpanStats",
+    "StreakHistogramProbe",
+    "TableStatsProbe",
+    "TimingPredictor",
+    "TopOffendersProbe",
+    "WarmupCurveProbe",
+    "WarmupWindow",
+    "format_report",
+    "normalize_scheme",
+    "observe",
+    "run_cprofile",
+    "write_report",
+]

@@ -1,0 +1,166 @@
+"""``python -m repro.obs`` — observe one simulation run end to end.
+
+Examples::
+
+    python -m repro.obs --scheme GAg --workload eqntott
+    python -m repro.obs --scheme pag-12 --workload gcc --format json
+    python -m repro.obs --scheme gshare-12 --workload li \\
+        --context-switches --interval 50000 --top 20
+    python -m repro.obs --scheme pap-12 --trace trace.btb \\
+        --events events.jsonl --profile-phases
+    python -m repro.obs --scheme GAg --workload eqntott \\
+        --format text --out results/obs-eqntott.txt
+
+Text output is the perf-style report of
+:func:`repro.obs.report.format_report`; JSON output is the
+schema-stable :meth:`RunReport.to_dict` payload (``schema:
+"repro.obs/1"``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..sim.engine import ContextSwitchConfig
+from ..workloads.suite import BENCHMARK_ORDER
+from .export import write_report
+from .metrics import DEFAULT_INTERVAL_INSTRUCTIONS
+from .report import format_report
+from .runner import observe
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="Run one predictor on one workload with full observability.",
+    )
+    parser.add_argument(
+        "--scheme",
+        required=True,
+        help="registry scheme name (bare family names like 'GAg' mean the "
+        "12-bit default, e.g. gag-12) or a Table 3 configuration string",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--workload",
+        choices=BENCHMARK_ORDER,
+        help="suite benchmark to generate and observe",
+    )
+    source.add_argument(
+        "--trace", type=Path, help="pre-recorded trace file to observe instead"
+    )
+    parser.add_argument(
+        "--training", type=Path, default=None,
+        help="training trace file for gsg/psg/profile schemes "
+        "(suite workloads supply their own when available)",
+    )
+    parser.add_argument(
+        "--no-training", action="store_true",
+        help="skip generating the workload's training trace",
+    )
+    parser.add_argument("--scale", type=int, default=1, help="workload scale factor")
+    parser.add_argument(
+        "--context-switches", action="store_true",
+        help="enable the paper's context-switch model",
+    )
+    parser.add_argument(
+        "--switch-interval", type=int, default=500_000,
+        help="context-switch interval in instructions (default: 500000)",
+    )
+    parser.add_argument(
+        "--interval", type=int, default=DEFAULT_INTERVAL_INSTRUCTIONS,
+        help="interval-series window in instructions; 0 disables the series "
+        f"(default: {DEFAULT_INTERVAL_INSTRUCTIONS})",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, help="offender-table size (default: 10)"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+        help="report rendering (default: text)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="also write the report to this file (same format as --format)",
+    )
+    parser.add_argument(
+        "--events", type=Path, default=None,
+        help="stream a JSONL event trace to this file",
+    )
+    parser.add_argument(
+        "--events-sample", type=int, default=1,
+        help="keep every Nth branch event in the event trace (default: 1)",
+    )
+    parser.add_argument(
+        "--events-limit", type=int, default=None,
+        help="cap the number of branch events written (default: unlimited)",
+    )
+    parser.add_argument(
+        "--profile-phases", action="store_true",
+        help="time every predict/update call (adds overhead; results unchanged)",
+    )
+    parser.add_argument(
+        "--cprofile", action="store_true",
+        help="capture a cProfile table of the simulate phase",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    trace = None
+    training_trace = None
+    if args.trace is not None:
+        from ..trace.io import load_trace
+
+        trace = load_trace(args.trace)
+    if args.training is not None:
+        from ..trace.io import load_trace
+
+        training_trace = load_trace(args.training)
+
+    context = (
+        ContextSwitchConfig(interval=args.switch_interval)
+        if args.context_switches
+        else None
+    )
+
+    try:
+        report = observe(
+            args.scheme,
+            workload=args.workload,
+            scale=args.scale,
+            trace=trace,
+            training_trace=training_trace,
+            train=False if args.no_training else None,
+            context_switches=context,
+            interval_instructions=args.interval or None,
+            top_k=args.top,
+            profile_phases=args.profile_phases,
+            with_cprofile=args.cprofile,
+            events_path=args.events,
+            events_sample_every=args.events_sample,
+            events_branch_limit=args.events_limit,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"repro.obs: {exc}", file=sys.stderr)
+        return 2
+
+    if args.fmt == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(format_report(report, top=args.top))
+    if args.out is not None:
+        write_report(report, args.out, fmt=args.fmt, top=args.top)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""Export layer: JSONL event traces and report files.
+
+:class:`EventTraceProbe` streams the engine's probe callbacks to a
+JSON-Lines file — one JSON object per line, each tagged with an
+``"event"`` discriminator — so external tools (jq, pandas, a notebook)
+can replay a run without re-simulating:
+
+``{"event": "run_start", "scheme": ..., "trace": ..., "records": ...}``
+    once, first line.
+``{"event": "branch", "pc": ..., "predicted": ..., "taken": ...,
+"instret": ...}``
+    per conditional branch, subject to ``sample_every`` /
+    ``branch_limit`` thinning (a full branch stream for a scale-1
+    workload is hundreds of thousands of lines).
+``{"event": "interval", "index": ..., "instret": ...}``
+    at each completed interval window (when a window is configured).
+``{"event": "context_switch", "instret": ...}``
+    per simulated flush.
+``{"event": "run_end", ...summary fields...}``
+    once, last line, with the final accuracy numbers and how many
+    branch events were emitted vs observed.
+
+:func:`write_report` writes a :class:`~repro.obs.report.RunReport` to
+disk in either rendered-text or JSON form.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional, TextIO, Union
+
+from .probes import Probe
+from .report import RunReport, format_report
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..predictors.base import BranchPredictor
+    from ..sim.results import SimulationResult
+    from ..trace.events import Trace
+
+__all__ = ["EventTraceProbe", "write_report"]
+
+
+class EventTraceProbe(Probe):
+    """Streams probe callbacks to a JSONL event-trace file.
+
+    Args:
+        path: output file; parent directories are created. The file is
+            opened at run start and closed (flushed) at run end.
+        sample_every: keep every Nth branch event (1 = keep all).
+        branch_limit: stop emitting branch events after this many lines
+            (``None`` = unlimited). Interval / context-switch / run
+            events are never thinned.
+        interval_instructions: optional window size — set it to also get
+            ``interval`` events when no other probe requests a window.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        sample_every: int = 1,
+        branch_limit: Optional[int] = None,
+        interval_instructions: Optional[int] = None,
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        if branch_limit is not None and branch_limit < 0:
+            raise ValueError("branch_limit must be >= 0")
+        self.path = Path(path)
+        self.sample_every = sample_every
+        self.branch_limit = branch_limit
+        self.interval_instructions = interval_instructions
+        self.branches_seen = 0
+        self.branches_written = 0
+        self._stream: Optional[TextIO] = None
+
+    def _emit(self, payload: Dict[str, Any]) -> None:
+        stream = self._stream
+        if stream is not None:
+            stream.write(json.dumps(payload, separators=(",", ":")) + "\n")
+
+    def on_run_start(self, predictor: "BranchPredictor", trace: "Trace") -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._stream = self.path.open("w", encoding="utf-8")
+        self.branches_seen = 0
+        self.branches_written = 0
+        self._emit(
+            {
+                "event": "run_start",
+                "scheme": getattr(predictor, "name", type(predictor).__name__),
+                "trace": trace.meta.name,
+                "records": len(trace),
+            }
+        )
+
+    def on_branch(self, pc: int, predicted: bool, taken: bool, instret: int) -> None:
+        self.branches_seen += 1
+        if self.branch_limit is not None and self.branches_written >= self.branch_limit:
+            return
+        if (self.branches_seen - 1) % self.sample_every:
+            return
+        self.branches_written += 1
+        self._emit(
+            {
+                "event": "branch",
+                "pc": pc,
+                "predicted": predicted,
+                "taken": taken,
+                "instret": instret,
+            }
+        )
+
+    def on_interval(self, index: int, instret: int) -> None:
+        self._emit({"event": "interval", "index": index, "instret": instret})
+
+    def on_context_switch(self, instret: int) -> None:
+        self._emit({"event": "context_switch", "instret": instret})
+
+    def on_run_end(self, result: "SimulationResult") -> None:
+        self._emit(
+            {
+                "event": "run_end",
+                "accuracy": result.accuracy,
+                "mispredictions": result.mispredictions,
+                "conditional_branches": result.conditional_branches,
+                "total_instructions": result.total_instructions,
+                "context_switches": result.context_switches,
+                "branches_seen": self.branches_seen,
+                "branches_written": self.branches_written,
+            }
+        )
+        stream = self._stream
+        if stream is not None:
+            stream.close()
+            self._stream = None
+
+
+def write_report(
+    report: RunReport, path: Union[str, Path], fmt: str = "json", top: int = 10
+) -> Path:
+    """Write ``report`` to ``path`` as ``"json"`` or rendered ``"text"``."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    if fmt == "json":
+        target.write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+    elif fmt == "text":
+        target.write_text(format_report(report, top=top) + "\n", encoding="utf-8")
+    else:
+        raise ValueError(f"unknown report format: {fmt!r} (expected 'json' or 'text')")
+    return target

@@ -1,0 +1,392 @@
+"""Metric probes: the signals the paper's analyses hinge on.
+
+Built entirely on the :mod:`repro.obs.probes` callbacks — none of these
+touch predictor internals on the hot path, so attaching them never
+changes a simulation result. Four families:
+
+* :class:`IntervalSeriesProbe` — accuracy / mispredict-rate time series
+  over fixed dynamic-instruction windows; shows warm-up transients,
+  phase changes and context-switch damage that the final aggregate
+  accuracy averages away.
+* :class:`StreakHistogramProbe` — histogram of consecutive-mispredict
+  streak lengths. Lin & Tarsa's "Branch Prediction Is Not a Solved
+  Problem" argues streaks, not isolated misses, dominate the remaining
+  cost of real predictors; this makes them first-class.
+* :class:`TopOffendersProbe` — the top-K static branches by
+  misprediction count (the paper's hard-to-predict branches; workload
+  characterisation shows a handful of sites dominate).
+* :class:`WarmupCurveProbe` — mispredict rate per branch-window after
+  each first-level flush, averaged over all flush segments: the warm-up
+  behaviour the paper's §5.1.4 context-switch study measures end to end.
+
+Plus :class:`TableStatsProbe`, which harvests the lightweight counter
+hooks on the ``repro.core`` tables (PHT occupancy / update / flip
+counters, BHT hit/miss/eviction statistics) at run end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
+
+from .probes import Probe
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..predictors.base import BranchPredictor
+    from ..sim.results import SimulationResult
+    from ..trace.events import Trace
+
+__all__ = [
+    "DEFAULT_INTERVAL_INSTRUCTIONS",
+    "IntervalPoint",
+    "IntervalSeriesProbe",
+    "Offender",
+    "StreakHistogramProbe",
+    "TableStatsProbe",
+    "TopOffendersProbe",
+    "WarmupCurveProbe",
+    "WarmupWindow",
+]
+
+#: Default dynamic-instruction window for interval series (about 10-60
+#: points on a scale-1 workload trace; override per probe or via the
+#: CLI's ``--interval``).
+DEFAULT_INTERVAL_INSTRUCTIONS = 100_000
+
+
+@dataclass(frozen=True)
+class IntervalPoint:
+    """One closed window of the interval time series.
+
+    Attributes:
+        index: window index (windows a trace never touched are absent).
+        instret: instruction clock when the window closed (for the final
+            partial window, the clock at end of trace).
+        branches: conditional branches resolved inside the window.
+        mispredicts: how many of them were mispredicted.
+    """
+
+    index: int
+    instret: int
+    branches: int
+    mispredicts: int
+
+    @property
+    def accuracy(self) -> float:
+        if self.branches == 0:
+            return 0.0
+        return 1.0 - self.mispredicts / self.branches
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "instret": self.instret,
+            "branches": self.branches,
+            "mispredicts": self.mispredicts,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "IntervalPoint":
+        return cls(
+            index=int(payload["index"]),
+            instret=int(payload["instret"]),
+            branches=int(payload["branches"]),
+            mispredicts=int(payload["mispredicts"]),
+        )
+
+
+class IntervalSeriesProbe(Probe):
+    """Accuracy over fixed dynamic-instruction windows.
+
+    Windows containing no conditional branches produce no point (the
+    engine skips their interval ticks), so the series is sparse on
+    branch-free stretches; plotters should key on ``point.index``.
+    """
+
+    def __init__(self, window_instructions: int = DEFAULT_INTERVAL_INSTRUCTIONS) -> None:
+        if window_instructions < 1:
+            raise ValueError("window_instructions must be >= 1")
+        self.interval_instructions = window_instructions
+        self.points: List[IntervalPoint] = []
+        self._branches = 0
+        self._mispredicts = 0
+        self._next_index = 0
+        self._last_instret = 0
+
+    def on_branch(self, pc: int, predicted: bool, taken: bool, instret: int) -> None:
+        self._branches += 1
+        if predicted != taken:
+            self._mispredicts += 1
+        self._last_instret = instret
+
+    def on_interval(self, index: int, instret: int) -> None:
+        if self._branches:
+            self.points.append(
+                IntervalPoint(index, instret, self._branches, self._mispredicts)
+            )
+        self._branches = 0
+        self._mispredicts = 0
+        self._next_index = index + 1
+
+    def on_run_end(self, result: "SimulationResult") -> None:
+        if self._branches:
+            self.points.append(
+                IntervalPoint(
+                    self._next_index, self._last_instret, self._branches, self._mispredicts
+                )
+            )
+            self._branches = 0
+            self._mispredicts = 0
+
+
+class StreakHistogramProbe(Probe):
+    """Histogram of consecutive-misprediction streak lengths."""
+
+    def __init__(self) -> None:
+        self.histogram: Dict[int, int] = {}
+        self._current = 0
+
+    def _close(self) -> None:
+        if self._current:
+            self.histogram[self._current] = self.histogram.get(self._current, 0) + 1
+            self._current = 0
+
+    def on_branch(self, pc: int, predicted: bool, taken: bool, instret: int) -> None:
+        if predicted != taken:
+            self._current += 1
+        else:
+            self._close()
+
+    def on_run_end(self, result: "SimulationResult") -> None:
+        self._close()
+
+    @property
+    def max_streak(self) -> int:
+        return max(self.histogram) if self.histogram else 0
+
+    @property
+    def total_streaks(self) -> int:
+        return sum(self.histogram.values())
+
+    @property
+    def total_mispredicts(self) -> int:
+        return sum(length * count for length, count in self.histogram.items())
+
+    def mean_streak(self) -> float:
+        total = self.total_streaks
+        return self.total_mispredicts / total if total else 0.0
+
+    def as_dict(self) -> Dict[int, int]:
+        """The histogram with keys in ascending streak-length order."""
+        return {length: self.histogram[length] for length in sorted(self.histogram)}
+
+
+@dataclass(frozen=True)
+class Offender:
+    """One row of the top-K hard-to-predict branch table."""
+
+    pc: int
+    executions: int
+    mispredicts: int
+    taken: int
+
+    @property
+    def accuracy(self) -> float:
+        if self.executions == 0:
+            return 0.0
+        return 1.0 - self.mispredicts / self.executions
+
+    @property
+    def taken_rate(self) -> float:
+        return self.taken / self.executions if self.executions else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "pc": self.pc,
+            "executions": self.executions,
+            "mispredicts": self.mispredicts,
+            "taken": self.taken,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Offender":
+        return cls(
+            pc=int(payload["pc"]),
+            executions=int(payload["executions"]),
+            mispredicts=int(payload["mispredicts"]),
+            taken=int(payload["taken"]),
+        )
+
+
+class TopOffendersProbe(Probe):
+    """Per-static-branch statistics, reported as a top-K offender table."""
+
+    def __init__(self, k: int = 10) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._sites: Dict[int, List[int]] = {}
+
+    def on_branch(self, pc: int, predicted: bool, taken: bool, instret: int) -> None:
+        site = self._sites.get(pc)
+        if site is None:
+            site = [0, 0, 0]
+            self._sites[pc] = site
+        site[0] += 1
+        if predicted != taken:
+            site[1] += 1
+        if taken:
+            site[2] += 1
+
+    @property
+    def static_sites(self) -> int:
+        return len(self._sites)
+
+    def table(self, k: Optional[int] = None) -> List[Offender]:
+        """The top ``k`` sites by mispredictions (ties broken by pc)."""
+        limit = self.k if k is None else k
+        ranked = sorted(self._sites.items(), key=lambda item: (-item[1][1], item[0]))
+        return [
+            Offender(pc, executions, mispredicts, taken)
+            for pc, (executions, mispredicts, taken) in ranked[:limit]
+        ]
+
+
+@dataclass(frozen=True)
+class WarmupWindow:
+    """One branch-window of the post-flush warm-up curve, aggregated
+    over every flush segment that reached it."""
+
+    index: int
+    branches: int
+    mispredicts: int
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "branches": self.branches,
+            "mispredicts": self.mispredicts,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "WarmupWindow":
+        return cls(
+            index=int(payload["index"]),
+            branches=int(payload["branches"]),
+            mispredicts=int(payload["mispredicts"]),
+        )
+
+
+class WarmupCurveProbe(Probe):
+    """Mispredict rate per branch-window after each first-level flush.
+
+    A *segment* starts at run start and after every context switch; the
+    first ``max_windows`` windows of ``window_branches`` branches of
+    each segment are accumulated position-wise, yielding the average
+    warm-up curve the paper's context-switch analysis reasons about
+    (how fast does accuracy recover after the BHT is flushed?).
+    """
+
+    def __init__(self, window_branches: int = 256, max_windows: int = 32) -> None:
+        if window_branches < 1:
+            raise ValueError("window_branches must be >= 1")
+        if max_windows < 1:
+            raise ValueError("max_windows must be >= 1")
+        self.window_branches = window_branches
+        self.max_windows = max_windows
+        self.segments = 1  # the run start opens the first segment
+        self._windows: List[List[int]] = []  # index -> [branches, mispredicts]
+        self._segment_branches = 0
+
+    def on_branch(self, pc: int, predicted: bool, taken: bool, instret: int) -> None:
+        index = self._segment_branches // self.window_branches
+        self._segment_branches += 1
+        if index >= self.max_windows:
+            return
+        while len(self._windows) <= index:
+            self._windows.append([0, 0])
+        window = self._windows[index]
+        window[0] += 1
+        if predicted != taken:
+            window[1] += 1
+
+    def on_context_switch(self, instret: int) -> None:
+        self.segments += 1
+        self._segment_branches = 0
+
+    def curve(self) -> List[WarmupWindow]:
+        return [
+            WarmupWindow(index, branches, mispredicts)
+            for index, (branches, mispredicts) in enumerate(self._windows)
+        ]
+
+
+class TableStatsProbe(Probe):
+    """Occupancy and interference counters from the predictor's tables.
+
+    At run start the probe discovers the standard table attributes by
+    their counter-hook surface — ``pht`` (a
+    :class:`~repro.core.pht.PatternHistoryTable`), ``bank`` (a
+    :class:`~repro.core.pht.PHTBank`), ``bht`` (an
+    :class:`~repro.core.history.IdealBHT`/:class:`~repro.core.history.CacheBHT`)
+    — and attaches :class:`~repro.core.pht.PHTCounters` where supported.
+    At run end it freezes a JSON-compatible :attr:`snapshot`:
+
+    * PHT: entry count, non-initial-state occupancy, update /
+      state-change / direction-flip counts (direction flips on a shared
+      table are the signature of destructive second-level interference);
+    * PHT bank: materialised tables, summed occupancy, eviction-driven
+      slot resets;
+    * BHT: capacity, resident occupancy, hit/miss/eviction/flush
+      statistics (evictions measure first-level interference pressure).
+
+    Predictors without these attributes (static schemes, BTBs with only
+    a ``bht``) simply produce a smaller snapshot. The counters live on
+    the tables but never feed back into prediction, so results stay
+    bit-identical.
+    """
+
+    def __init__(self) -> None:
+        self.snapshot: Dict[str, Any] = {}
+        self._targets: List[Tuple[str, Any]] = []
+
+    def on_run_start(self, predictor: "BranchPredictor", trace: "Trace") -> None:
+        self._targets = []
+        for attr in ("pht", "bank", "bht"):
+            table = getattr(predictor, attr, None)
+            if table is None:
+                continue
+            if hasattr(table, "attach_counters"):
+                table.attach_counters()
+            self._targets.append((attr, table))
+
+    def on_run_end(self, result: "SimulationResult") -> None:
+        snapshot: Dict[str, Any] = {}
+        for attr, table in self._targets:
+            entry: Dict[str, Any] = {}
+            if hasattr(table, "num_entries"):
+                entry["entries"] = table.num_entries
+            occupancy = getattr(table, "occupancy", None)
+            if callable(occupancy):
+                entry["occupancy"] = occupancy()
+            elif occupancy is not None:
+                entry["occupancy"] = occupancy
+            counters = getattr(table, "counters", None)
+            if counters is not None:
+                entry["counters"] = counters.as_dict()
+            stats = getattr(table, "stats", None)
+            if stats is not None and hasattr(stats, "as_dict"):
+                entry["stats"] = stats.as_dict()
+            if hasattr(table, "slot_resets"):
+                entry["slot_resets"] = table.slot_resets
+                entry["tables_materialised"] = len(table)
+            snapshot[attr] = entry
+        self.snapshot = snapshot

@@ -1,0 +1,234 @@
+"""The :class:`RunReport` — one observed simulation run, serialisable.
+
+A ``RunReport`` is what ``python -m repro.obs`` emits and what
+:func:`repro.obs.runner.observe` returns: the exact
+:class:`~repro.sim.results.SimulationResult` the engine produced, plus
+every metric the probes collected (interval series, streak histogram,
+offender table, warm-up curve, table counters) and the profiling spans.
+
+The JSON layout is **schema-stable**: :data:`SCHEMA` names the current
+revision, :meth:`RunReport.to_dict` always emits every top-level key,
+and :meth:`RunReport.from_dict` round-trips exactly — including through
+the on-disk :class:`~repro.trace.cache.ResultCache`, whose payloads are
+plain JSON objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..sim.results import SimulationResult
+from .metrics import IntervalPoint, Offender, WarmupWindow
+
+__all__ = ["RunReport", "SCHEMA", "format_report"]
+
+#: Schema identifier embedded in every serialised report. Bump when a
+#: key changes meaning; consumers should reject unknown majors.
+SCHEMA = "repro.obs/1"
+
+
+@dataclass
+class RunReport:
+    """Everything observed about one simulation run.
+
+    Attributes:
+        scheme: the scheme name the run was requested with.
+        workload: benchmark / trace name.
+        dataset: input dataset label.
+        result: the engine's exact result (bit-identical to an
+            unobserved run).
+        interval_instructions: instruction-window size of the interval
+            series (``None`` when the series was disabled).
+        intervals: the interval time series (sparse; keyed by index).
+        streaks: mispredict-streak histogram, length -> occurrences.
+        offenders: top-K static branches by mispredictions.
+        warmup: post-flush warm-up curve windows (empty when the run
+            had no context switches beyond the initial segment —
+            the curve then describes cold-start warm-up only).
+        warmup_segments: flush segments the warm-up curve averages over.
+        tables: PHT/BHT occupancy + interference counter snapshot.
+        timing: phase name -> ``{"seconds": float, "calls": int}``.
+        cprofile: rendered cProfile table when requested, else ``None``.
+        events_path: where the JSONL event trace went, when enabled.
+    """
+
+    scheme: str
+    workload: str
+    dataset: str = ""
+    result: Optional[SimulationResult] = None
+    interval_instructions: Optional[int] = None
+    intervals: List[IntervalPoint] = field(default_factory=list)
+    streaks: Dict[int, int] = field(default_factory=dict)
+    offenders: List[Offender] = field(default_factory=list)
+    warmup: List[WarmupWindow] = field(default_factory=list)
+    warmup_segments: int = 0
+    tables: Dict[str, Any] = field(default_factory=dict)
+    timing: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    cprofile: Optional[str] = None
+    events_path: Optional[str] = None
+
+    @property
+    def max_streak(self) -> int:
+        return max(self.streaks) if self.streaks else 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dict; every top-level key always present."""
+        return {
+            "schema": SCHEMA,
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "dataset": self.dataset,
+            "result": self.result.to_dict() if self.result is not None else None,
+            "interval_instructions": self.interval_instructions,
+            "intervals": [point.to_dict() for point in self.intervals],
+            "streaks": {str(length): count for length, count in sorted(self.streaks.items())},
+            "offenders": [offender.to_dict() for offender in self.offenders],
+            "warmup": {
+                "segments": self.warmup_segments,
+                "windows": [window.to_dict() for window in self.warmup],
+            },
+            "tables": self.tables,
+            "timing": {name: dict(span) for name, span in sorted(self.timing.items())},
+            "cprofile": self.cprofile,
+            "events_path": self.events_path,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunReport":
+        """Reconstruct a report serialised by :meth:`to_dict`."""
+        schema = payload.get("schema", SCHEMA)
+        if not str(schema).startswith("repro.obs/"):
+            raise ValueError(f"not a RunReport payload (schema={schema!r})")
+        result_payload = payload.get("result")
+        warmup_payload = payload.get("warmup") or {}
+        return cls(
+            scheme=payload["scheme"],
+            workload=payload["workload"],
+            dataset=payload.get("dataset", ""),
+            result=(
+                SimulationResult.from_dict(result_payload)
+                if result_payload is not None
+                else None
+            ),
+            interval_instructions=payload.get("interval_instructions"),
+            intervals=[
+                IntervalPoint.from_dict(point) for point in payload.get("intervals", [])
+            ],
+            streaks={
+                int(length): int(count)
+                for length, count in payload.get("streaks", {}).items()
+            },
+            offenders=[
+                Offender.from_dict(offender) for offender in payload.get("offenders", [])
+            ],
+            warmup=[
+                WarmupWindow.from_dict(window)
+                for window in warmup_payload.get("windows", [])
+            ],
+            warmup_segments=int(warmup_payload.get("segments", 0)),
+            tables=dict(payload.get("tables", {})),
+            timing={
+                name: {k: v for k, v in span.items()}
+                for name, span in payload.get("timing", {}).items()
+            },
+            cprofile=payload.get("cprofile"),
+            events_path=payload.get("events_path"),
+        )
+
+
+def format_report(report: RunReport, top: int = 10) -> str:
+    """Perf-style text rendering of a :class:`RunReport`."""
+    lines: List[str] = []
+    result = report.result
+    lines.append(f"# repro.obs — {report.scheme} on {report.workload}"
+                 + (f" ({report.dataset})" if report.dataset else ""))
+    if result is not None:
+        lines.append(
+            f"accuracy        : {result.accuracy * 100:8.4f}%  "
+            f"({result.correct_predictions}/{result.conditional_branches} conditional branches)"
+        )
+        lines.append(
+            f"mispredictions  : {result.mispredictions:8d}  "
+            f"({result.mpki:.3f} MPKI over {result.total_instructions} instructions)"
+        )
+        if result.context_switches:
+            lines.append(f"context switches: {result.context_switches:8d}")
+
+    if report.intervals:
+        lines.append("")
+        lines.append(
+            f"interval series ({report.interval_instructions} instructions/window, "
+            f"{len(report.intervals)} windows):"
+        )
+        lines.append("  window        instret   branches   mispred   accuracy")
+        for point in report.intervals:
+            lines.append(
+                f"  {point.index:6d}  {point.instret:13d}  {point.branches:9d} "
+                f"{point.mispredicts:9d}   {point.accuracy * 100:7.3f}%"
+            )
+
+    if report.streaks:
+        lines.append("")
+        total = sum(report.streaks.values())
+        lines.append(f"mispredict streaks ({total} streaks, longest {report.max_streak}):")
+        lines.append("  length   streaks   mispredicts")
+        for length in sorted(report.streaks):
+            count = report.streaks[length]
+            lines.append(f"  {length:6d}  {count:8d}  {length * count:12d}")
+
+    if report.offenders:
+        lines.append("")
+        lines.append(f"top {min(top, len(report.offenders))} hard-to-predict branches:")
+        lines.append("          pc   mispred     execs   taken%   accuracy")
+        for offender in report.offenders[:top]:
+            lines.append(
+                f"  {offender.pc:#010x}  {offender.mispredicts:8d}  {offender.executions:8d} "
+                f"  {offender.taken_rate * 100:5.1f}%    {offender.accuracy * 100:6.2f}%"
+            )
+
+    if report.warmup:
+        lines.append("")
+        lines.append(
+            f"post-flush warm-up (averaged over {report.warmup_segments} segments):"
+        )
+        lines.append("  window   branches   mispredict-rate")
+        for window in report.warmup:
+            lines.append(
+                f"  {window.index:6d}  {window.branches:9d}   {window.mispredict_rate * 100:7.3f}%"
+            )
+
+    if report.tables:
+        lines.append("")
+        lines.append("table counters:")
+        for name in sorted(report.tables):
+            entry = report.tables[name]
+            parts = []
+            for key in sorted(entry):
+                value = entry[key]
+                if isinstance(value, dict):
+                    inner = ", ".join(f"{k}={value[k]}" for k in sorted(value))
+                    parts.append(f"{key}({inner})")
+                else:
+                    parts.append(f"{key}={value}")
+            lines.append(f"  {name:4s}: " + "  ".join(parts))
+
+    if report.timing:
+        lines.append("")
+        lines.append("timing spans:")
+        ordered = sorted(
+            report.timing.items(), key=lambda item: -item[1].get("seconds", 0.0)
+        )
+        for name, span in ordered:
+            seconds = span.get("seconds", 0.0)
+            calls = int(span.get("calls", 0))
+            lines.append(f"  {name:12s} {seconds * 1000.0:12.3f} ms   {calls:10d} calls")
+
+    if report.events_path:
+        lines.append("")
+        lines.append(f"event trace: {report.events_path}")
+    if report.cprofile:
+        lines.append("")
+        lines.append("cProfile (top of cumulative time):")
+        lines.append(report.cprofile.rstrip())
+    return "\n".join(lines)

@@ -36,10 +36,29 @@ def _context(args: argparse.Namespace) -> Optional[ContextSwitchConfig]:
 def _cmd_run(args: argparse.Namespace) -> int:
     trace = load_trace(args.trace)
     predictor = make_predictor(args.predictor, _load_training(args.training))
-    result = simulate(predictor, trace, context_switches=_context(args))
+    probe = None
+    streaks = offenders = None
+    if args.obs:
+        from ..obs import ProbeSet, StreakHistogramProbe, TopOffendersProbe
+
+        streaks = StreakHistogramProbe()
+        offenders = TopOffendersProbe(k=5)
+        probe = ProbeSet([streaks, offenders])
+    result = simulate(predictor, trace, context_switches=_context(args), probe=probe)
     print(result)
     if result.context_switches:
         print(f"context switches: {result.context_switches}")
+    if args.obs:
+        print(
+            f"streaks: {streaks.total_streaks} "
+            f"(longest {streaks.max_streak}, mean {streaks.mean_streak():.2f})"
+        )
+        for offender in offenders.table():
+            print(
+                f"  pc {offender.pc:#010x}: {offender.mispredicts} misses / "
+                f"{offender.executions} execs"
+            )
+        print("(full observability: python -m repro.obs)")
     return 0
 
 
@@ -100,6 +119,8 @@ def build_parser() -> argparse.ArgumentParser:
     run = subparsers.add_parser("run", help="one predictor, one trace")
     run.add_argument("predictor")
     run.add_argument("trace", type=Path)
+    run.add_argument("--obs", action="store_true",
+                     help="print a streak/offender observability summary")
     common(run)
     run.set_defaults(handler=_cmd_run)
 

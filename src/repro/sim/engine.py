@@ -11,16 +11,29 @@ trap occurs in the trace, or every ``interval`` dynamic instructions if
 no trap occurs, the engine calls ``predictor.on_context_switch()`` —
 which flushes the branch history table but leaves pattern history
 tables alone.
+
+Observability (see :mod:`repro.obs`): ``simulate`` optionally accepts a
+*probe* — any object with the :class:`repro.obs.Probe` callback surface
+(``on_run_start``, ``on_branch``, ``on_interval``, ``on_context_switch``,
+``on_run_end``). With no probe attached the engine takes a separate
+fast path containing not a single extra per-record operation, so
+results are bit-identical to — and as fast as — a probe-less build;
+with a probe attached, results are still bit-identical because probes
+only *observe* (the purity lint in :mod:`repro.check` enforces that
+they cannot mutate predictor state).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..predictors.base import BranchPredictor
 from ..trace.events import BranchClass, Trace
 from .results import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs imports sim)
+    from ..obs.probes import Probe
 
 __all__ = ["ContextSwitchConfig", "simulate", "simulate_named"]
 
@@ -47,6 +60,7 @@ def simulate(
     context_switches: Optional[ContextSwitchConfig] = None,
     track_per_site: bool = False,
     warmup_branches: int = 0,
+    probe: Optional["Probe"] = None,
 ) -> SimulationResult:
     """Replay ``trace`` through ``predictor`` and score its predictions.
 
@@ -59,10 +73,22 @@ def simulate(
         warmup_branches: number of initial conditional branches that are
             predicted and updated but *not scored* (the paper does not
             use warm-up — provided for sensitivity studies).
+        probe: optional observability probe (see :mod:`repro.obs`).
+            Attaching a probe never changes the returned result; with
+            ``None`` the engine runs the original probe-free loop.
 
     Returns:
         A :class:`SimulationResult` with accuracy and bookkeeping.
     """
+    if probe is not None:
+        return _simulate_probed(
+            predictor,
+            trace,
+            probe,
+            context_switches=context_switches,
+            track_per_site=track_per_site,
+            warmup_branches=warmup_branches,
+        )
     conditional = 0
     correct = 0
     switches = 0
@@ -109,6 +135,92 @@ def simulate(
         per_site_mispredictions=per_site_wrong if track_per_site else None,
         total_instructions=trace.meta.total_instructions,
     )
+
+
+def _simulate_probed(
+    predictor: BranchPredictor,
+    trace: Trace,
+    probe: "Probe",
+    context_switches: Optional[ContextSwitchConfig] = None,
+    track_per_site: bool = False,
+    warmup_branches: int = 0,
+) -> SimulationResult:
+    """The probed twin of :func:`simulate`.
+
+    Identical simulation semantics — every branch is predicted, updated
+    and scored in exactly the same order with exactly the same state —
+    plus the probe callbacks:
+
+    * ``on_run_start(predictor, trace)`` before the first record;
+    * ``on_branch(pc, predicted, taken, instret)`` after each
+      conditional branch resolves (warm-up branches included);
+    * ``on_context_switch(instret)`` after each history flush;
+    * ``on_interval(index, instret)`` each time the instruction clock
+      crosses a multiple of ``probe.interval_instructions`` (skipped
+      entirely when that attribute is ``None``);
+    * ``on_run_end(result)`` with the final result.
+    """
+    conditional = 0
+    correct = 0
+    switches = 0
+    per_site_seen: Dict[int, int] = {}
+    per_site_wrong: Dict[int, int] = {}
+
+    cs_enabled = context_switches is not None
+    interval = context_switches.interval if cs_enabled else 0
+    switch_on_traps = context_switches.switch_on_traps if cs_enabled else False
+    next_switch = interval
+
+    predict = predictor.predict
+    update = predictor.update
+    cond_class = int(BranchClass.CONDITIONAL)
+
+    probe.on_run_start(predictor, trace)
+    on_branch = probe.on_branch
+    on_context_switch = probe.on_context_switch
+    on_interval = probe.on_interval
+    window = getattr(probe, "interval_instructions", None)
+    next_window = window if window else 0
+    window_index = 0
+
+    for pc, taken, cls, target, instret, trap in trace.iter_tuples():
+        if cs_enabled and ((trap and switch_on_traps) or instret >= next_switch):
+            predictor.on_context_switch()
+            switches += 1
+            next_switch = instret + interval
+            on_context_switch(instret)
+        if cls == cond_class:
+            prediction = predict(pc, target)
+            update(pc, taken, target)
+            conditional += 1
+            on_branch(pc, prediction, taken, instret)
+            if conditional > warmup_branches:
+                if prediction == taken:
+                    correct += 1
+                elif track_per_site:
+                    per_site_wrong[pc] = per_site_wrong.get(pc, 0) + 1
+                if track_per_site:
+                    per_site_seen[pc] = per_site_seen.get(pc, 0) + 1
+        if window and instret >= next_window:
+            while instret >= next_window:
+                next_window += window
+                window_index += 1
+            on_interval(window_index - 1, instret)
+
+    scored = max(conditional - warmup_branches, 0)
+    result = SimulationResult(
+        predictor_name=predictor.name,
+        trace_name=trace.meta.name,
+        dataset=trace.meta.dataset,
+        conditional_branches=scored,
+        correct_predictions=correct,
+        context_switches=switches,
+        per_site_executions=per_site_seen if track_per_site else None,
+        per_site_mispredictions=per_site_wrong if track_per_site else None,
+        total_instructions=trace.meta.total_instructions,
+    )
+    probe.on_run_end(result)
+    return result
 
 
 def simulate_named(

@@ -173,21 +173,30 @@ def _run_cell(
     test_path: str,
     training_path: Optional[str],
     context_switches: Optional[ContextSwitchConfig],
-) -> Tuple[str, str, Optional[SimulationResult], float]:
+) -> Tuple[str, str, Optional[SimulationResult], float, Dict[str, float]]:
     """Execute one cell from spooled traces (runs inside a worker).
 
-    Returns ``(label, case_name, result-or-None, wall_time)``; ``None``
-    means the builder raised ``TrainingUnavailable``.
+    Returns ``(label, case_name, result-or-None, wall_time, phases)``;
+    a ``None`` result means the builder raised ``TrainingUnavailable``.
+    ``phases`` breaks the wall time into trace_load / build / simulate
+    spans for the run telemetry (and, downstream, ``repro.obs`` run
+    reports).
     """
     started = time.perf_counter()
     test_trace = _load_spooled(test_path)
     training_trace = _load_spooled(training_path) if training_path else None
+    loaded = time.perf_counter()
+    phases = {"trace_load": loaded - started}
     try:
         predictor = builder(training_trace)
     except TrainingUnavailable:
-        return label, case_name, None, time.perf_counter() - started
+        phases["build"] = time.perf_counter() - loaded
+        return label, case_name, None, time.perf_counter() - started, phases
+    built = time.perf_counter()
+    phases["build"] = built - loaded
     result = simulate(predictor, test_trace, context_switches=context_switches)
-    return label, case_name, result, time.perf_counter() - started
+    phases["simulate"] = time.perf_counter() - built
+    return label, case_name, result, time.perf_counter() - started, phases
 
 
 # ----------------------------------------------------------------------
@@ -229,8 +238,6 @@ def execute_matrix(
     Returns:
         A :class:`ResultMatrix` with telemetry attached.
     """
-    from .runner import run_case  # local import: runner imports us lazily
-
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
     started = time.perf_counter()
@@ -251,8 +258,11 @@ def execute_matrix(
             )
 
     # Phase 1: resolve what we can from the cache, in cell order.
-    # outcomes: (label, case.name) -> (result, source, wall_time)
-    outcomes: Dict[Tuple[str, str], Tuple[Optional[SimulationResult], str, float]] = {}
+    # outcomes: (label, case.name) -> (result, source, wall_time, phases)
+    outcomes: Dict[
+        Tuple[str, str],
+        Tuple[Optional[SimulationResult], str, float, Dict[str, float]],
+    ] = {}
     pending: List[Tuple[str, "BenchmarkCase", Optional[str]]] = []
     for label, builder in builders.items():
         builder_key = getattr(builder, "cache_key", None)
@@ -273,10 +283,12 @@ def execute_matrix(
             hit, payload = result_cache.load(key)
             if hit:
                 result = SimulationResult.from_dict(payload) if payload is not None else None
+                lookup_wall = time.perf_counter() - lookup_started
                 outcomes[(label, case.name)] = (
                     result,
                     "cache" if result is not None else "unavailable",
-                    time.perf_counter() - lookup_started,
+                    lookup_wall,
+                    {"cache_lookup": lookup_wall},
                 )
             else:
                 telemetry.cache_misses += 1
@@ -286,9 +298,23 @@ def execute_matrix(
     # asked and possible, in-process otherwise.
     def _run_local(label: str, case, key: Optional[str]) -> None:
         cell_started = time.perf_counter()
-        result = run_case(builder_by_label[label], case, context_switches=context_switches)
+        try:
+            predictor = builder_by_label[label](case.training_trace)
+        except TrainingUnavailable:
+            predictor = None
+        built = time.perf_counter()
+        phases = {"build": built - cell_started}
+        result: Optional[SimulationResult] = None
+        if predictor is not None:
+            result = simulate(predictor, case.test_trace, context_switches=context_switches)
+            phases["simulate"] = time.perf_counter() - built
         wall = time.perf_counter() - cell_started
-        outcomes[(label, case.name)] = (result, "simulated" if result is not None else "unavailable", wall)
+        outcomes[(label, case.name)] = (
+            result,
+            "simulated" if result is not None else "unavailable",
+            wall,
+            phases,
+        )
         if key is not None and result_cache is not None:
             result_cache.store(key, result.to_dict() if result is not None else None)
 
@@ -324,11 +350,12 @@ def execute_matrix(
                 while not_done:
                     done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
                     for future in done:
-                        label, case_name, result, wall = future.result()
+                        label, case_name, result, wall, phases = future.result()
                         outcomes[(label, case_name)] = (
                             result,
                             "simulated" if result is not None else "unavailable",
                             wall,
+                            phases,
                         )
                         key = futures[future]
                         if key is not None and result_cache is not None:
@@ -342,8 +369,8 @@ def execute_matrix(
     # matrix layout is independent of completion order.
     for label in builders:
         for case in cases:
-            result, source, wall = outcomes[(label, case.name)]
-            telemetry.record(label, case.name, wall, source)
+            result, source, wall, phases = outcomes[(label, case.name)]
+            telemetry.record(label, case.name, wall, source, phases=phases)
             if result is not None:
                 matrix.add(label, result)
     telemetry.wall_time = time.perf_counter() - started

@@ -162,12 +162,37 @@ class CellTelemetry:
             ``"cache"`` (served from the on-disk result cache), or
             ``"unavailable"`` (builder raised ``TrainingUnavailable`` —
             the cell stays blank, as in the paper's Figure 11).
+        phases: per-phase breakdown of ``wall_time`` in seconds, keyed
+            by phase name (``"trace_load"``, ``"build"``, ``"simulate"``,
+            ``"cache_lookup"``). Empty for records produced before the
+            phase spans existed (e.g. deserialised old telemetry).
     """
 
     scheme: str
     benchmark: str
     wall_time: float
     source: str
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-compatible rendering (used by ``RunTelemetry.to_dict``)."""
+        return {
+            "scheme": self.scheme,
+            "benchmark": self.benchmark,
+            "wall_time": self.wall_time,
+            "source": self.source,
+            "phases": dict(self.phases),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CellTelemetry":
+        return cls(
+            scheme=payload["scheme"],
+            benchmark=payload["benchmark"],
+            wall_time=float(payload["wall_time"]),
+            source=payload["source"],
+            phases={k: float(v) for k, v in payload.get("phases", {}).items()},
+        )
 
 
 @dataclass
@@ -188,6 +213,8 @@ class RunTelemetry:
         simulations: cells that actually executed a simulation.
         unavailable: cells skipped because training data was missing.
         wall_time: end-to-end seconds for the whole matrix.
+        phase_seconds: run-wide seconds per execution phase, aggregated
+            over the cells' :attr:`CellTelemetry.phases` breakdowns.
         cells: per-cell records, deterministic (scheme-major) order.
     """
 
@@ -198,15 +225,28 @@ class RunTelemetry:
     simulations: int = 0
     unavailable: int = 0
     wall_time: float = 0.0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
     cells: List[CellTelemetry] = field(default_factory=list)
 
     @property
     def total_cells(self) -> int:
         return len(self.cells)
 
-    def record(self, scheme: str, benchmark: str, wall_time: float, source: str) -> None:
+    def record(
+        self,
+        scheme: str,
+        benchmark: str,
+        wall_time: float,
+        source: str,
+        phases: Optional[Mapping[str, float]] = None,
+    ) -> None:
         """Append one cell record and bump the matching counter."""
-        self.cells.append(CellTelemetry(scheme, benchmark, wall_time, source))
+        cell_phases = dict(phases) if phases else {}
+        self.cells.append(
+            CellTelemetry(scheme, benchmark, wall_time, source, phases=cell_phases)
+        )
+        for phase, seconds in cell_phases.items():
+            self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
         if source == "simulated":
             self.simulations += 1
         elif source == "cache":
@@ -214,8 +254,17 @@ class RunTelemetry:
         elif source == "unavailable":
             self.unavailable += 1
 
-    def merged_with(self, other: "RunTelemetry") -> "RunTelemetry":
-        """Combine two runs' telemetry (used when drivers merge matrices)."""
+    def merged_with(self, other: Optional["RunTelemetry"]) -> "RunTelemetry":
+        """Combine two runs' telemetry (used when drivers merge matrices).
+
+        ``other=None`` (a matrix that carried no telemetry) merges as an
+        empty record, so drivers can combine matrices without checking.
+        """
+        if other is None:
+            other = RunTelemetry(n_workers=self.n_workers)
+        phase_seconds = dict(self.phase_seconds)
+        for phase, seconds in other.phase_seconds.items():
+            phase_seconds[phase] = phase_seconds.get(phase, 0.0) + seconds
         return RunTelemetry(
             n_workers=max(self.n_workers, other.n_workers),
             cache_hits=self.cache_hits + other.cache_hits,
@@ -224,8 +273,24 @@ class RunTelemetry:
             simulations=self.simulations + other.simulations,
             unavailable=self.unavailable + other.unavailable,
             wall_time=self.wall_time + other.wall_time,
+            phase_seconds=phase_seconds,
             cells=self.cells + other.cells,
         )
+
+    @staticmethod
+    def merge(
+        first: Optional["RunTelemetry"], second: Optional["RunTelemetry"]
+    ) -> Optional["RunTelemetry"]:
+        """None-safe combination of two optional telemetry records.
+
+        Matrices built by hand (or deserialised from JSON) carry
+        ``telemetry=None``; drivers that merge arbitrary matrices use
+        this instead of :meth:`merged_with` so neither side needs a
+        guard. Returns ``None`` only when both sides are ``None``.
+        """
+        if first is None:
+            return second
+        return first.merged_with(second)
 
     def as_dict(self) -> Dict[str, Any]:
         """Structured summary (counters only; JSON-compatible)."""
@@ -238,7 +303,47 @@ class RunTelemetry:
             "uncacheable": self.uncacheable,
             "unavailable": self.unavailable,
             "wall_time_s": round(self.wall_time, 4),
+            "phase_seconds": {
+                phase: round(seconds, 4)
+                for phase, seconds in sorted(self.phase_seconds.items())
+            },
         }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full JSON-compatible serialisation, including per-cell records.
+
+        Unlike :meth:`as_dict` (a rounded summary for run reports), this
+        round-trips exactly through :meth:`from_dict` — used when run
+        telemetry travels with a persisted :class:`RunReport`.
+        """
+        return {
+            "n_workers": self.n_workers,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "uncacheable": self.uncacheable,
+            "simulations": self.simulations,
+            "unavailable": self.unavailable,
+            "wall_time": self.wall_time,
+            "phase_seconds": dict(self.phase_seconds),
+            "cells": [cell.as_dict() for cell in self.cells],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunTelemetry":
+        """Reconstruct telemetry serialised by :meth:`to_dict`."""
+        return cls(
+            n_workers=int(payload.get("n_workers", 1)),
+            cache_hits=int(payload.get("cache_hits", 0)),
+            cache_misses=int(payload.get("cache_misses", 0)),
+            uncacheable=int(payload.get("uncacheable", 0)),
+            simulations=int(payload.get("simulations", 0)),
+            unavailable=int(payload.get("unavailable", 0)),
+            wall_time=float(payload.get("wall_time", 0.0)),
+            phase_seconds={
+                k: float(v) for k, v in payload.get("phase_seconds", {}).items()
+            },
+            cells=[CellTelemetry.from_dict(cell) for cell in payload.get("cells", [])],
+        )
 
     def summary_line(self) -> str:
         """One-line human rendering, e.g. for CLI stderr output."""

@@ -67,6 +67,7 @@ def run_case(
     case: BenchmarkCase,
     context_switches: Optional[ContextSwitchConfig] = None,
     track_per_site: bool = False,
+    probe=None,
 ) -> Optional[SimulationResult]:
     """Run one (scheme, benchmark) cell; None when training is missing.
 
@@ -76,6 +77,8 @@ def run_case(
         case: the benchmark to score.
         context_switches: the paper's context-switch model, when given.
         track_per_site: collect per-static-branch statistics too.
+        probe: optional :class:`repro.obs.Probe` observing the run;
+            never affects the returned result.
 
     Deterministic: a fresh predictor is built for every call, so
     repeated invocations with the same inputs return identical counts.
@@ -89,6 +92,7 @@ def run_case(
         case.test_trace,
         context_switches=context_switches,
         track_per_site=track_per_site,
+        probe=probe,
     )
 
 

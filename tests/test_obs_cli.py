@@ -1,0 +1,136 @@
+"""``python -m repro.obs`` CLI and the ``repro-sim run --obs`` summary."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import main as obs_main
+from repro.sim.cli import main as sim_main
+from repro.trace.io import save_trace
+from repro.trace.synthetic import loop_trace
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "loop.btb"
+    save_trace(loop_trace(iterations=500, trip_count=4), path)
+    return path
+
+
+class TestObsCLI:
+    def test_json_output_is_schema_stable(self, trace_file, capsys):
+        code = obs_main(
+            ["--scheme", "GAg", "--trace", str(trace_file), "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.obs/1"
+        assert payload["scheme"] == "gag-12"  # bare name normalised
+        assert payload["result"]["conditional_branches"] == 2000
+        assert payload["intervals"]
+        assert payload["streaks"]
+        assert payload["offenders"]
+        assert {"build", "simulate"} <= set(payload["timing"])
+
+    def test_workload_run_emits_json(self, capsys):
+        code = obs_main(
+            ["--scheme", "gag-8", "--workload", "eqntott", "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "eqntott"
+        assert payload["result"]["correct_predictions"] > 0
+        assert "trace_load" in payload["timing"]
+
+    def test_text_output(self, trace_file, capsys):
+        code = obs_main(["--scheme", "pag-8", "--trace", str(trace_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "mispredict streaks" in out
+        assert "table counters" in out
+
+    def test_events_jsonl(self, trace_file, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        code = obs_main(
+            [
+                "--scheme", "gag-8",
+                "--trace", str(trace_file),
+                "--events", str(events),
+                "--events-sample", "10",
+                "--format", "json",
+            ]
+        )
+        assert code == 0
+        lines = [json.loads(line) for line in events.read_text().splitlines()]
+        assert lines[0]["event"] == "run_start"
+        assert lines[-1]["event"] == "run_end"
+        branches = [line for line in lines if line["event"] == "branch"]
+        assert lines[-1]["branches_written"] == len(branches) == 200
+        assert lines[-1]["branches_seen"] == 2000
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["events_path"] == str(events)
+
+    def test_out_file_matches_stdout(self, trace_file, tmp_path, capsys):
+        out_file = tmp_path / "report.json"
+        code = obs_main(
+            [
+                "--scheme", "gag-8",
+                "--trace", str(trace_file),
+                "--format", "json",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        stdout_payload = json.loads(capsys.readouterr().out)
+        file_payload = json.loads(out_file.read_text())
+        assert file_payload == stdout_payload
+
+    def test_cprofile_and_phase_profile(self, trace_file, capsys):
+        code = obs_main(
+            [
+                "--scheme", "gag-8",
+                "--trace", str(trace_file),
+                "--profile-phases",
+                "--cprofile",
+                "--format", "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["timing"]["predict"]["calls"] == 2000
+        assert payload["timing"]["update"]["calls"] == 2000
+        assert "function calls" in payload["cprofile"]
+
+    def test_interval_zero_disables_series(self, trace_file, capsys):
+        code = obs_main(
+            ["--scheme", "gag-8", "--trace", str(trace_file),
+             "--interval", "0", "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["interval_instructions"] is None
+        assert payload["intervals"] == []
+
+    def test_unknown_scheme_fails_cleanly(self, trace_file, capsys):
+        code = obs_main(["--scheme", "nonsense-42", "--trace", str(trace_file)])
+        assert code == 2
+        assert "repro.obs:" in capsys.readouterr().err
+
+    def test_scheme_and_workload_required(self):
+        with pytest.raises(SystemExit):
+            obs_main(["--scheme", "gag-8"])  # neither --workload nor --trace
+
+
+class TestSimCLIObs:
+    def test_run_obs_summary(self, trace_file, capsys):
+        code = sim_main(["run", "pag-8", str(trace_file), "--obs"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streaks:" in out
+        assert "pc 0x" in out
+
+    def test_run_without_obs_unchanged(self, trace_file, capsys):
+        code = sim_main(["run", "pag-8", str(trace_file)])
+        assert code == 0
+        assert "streaks:" not in capsys.readouterr().out

@@ -1,0 +1,124 @@
+"""Counter hooks on the core tables (PHT, PHT bank, BHT).
+
+The hooks exist for :class:`repro.obs.TableStatsProbe`, but they are a
+``repro.core`` feature with their own contract: attached counters must
+observe faithfully, and attaching/detaching them must never change
+table behaviour.
+"""
+
+import pytest
+
+from repro.core.automata import A2, LAST_TIME
+from repro.core.pht import PatternHistoryTable, PHTBank, PHTCounters
+from repro.core.twolevel import make_pag, make_pap
+from repro.obs import TableStatsProbe
+from repro.sim.engine import simulate
+from repro.trace.synthetic import loop_trace
+
+
+class TestPHTCounters:
+    def test_counts_updates_changes_and_flips(self):
+        pht = PatternHistoryTable(2, A2)
+        counters = pht.attach_counters()
+        # A2 starts strongly taken (4 states); driving pattern 0 not-taken
+        # walks it to strongly not-taken — 3 state changes, one of which
+        # crosses the prediction boundary. A 4th update is saturated.
+        for _ in range(4):
+            pht.update(0, False)
+        assert counters.updates == 4
+        assert counters.state_changes == 3
+        assert counters.direction_flips == 1
+
+    def test_detach_restores_fast_path(self):
+        pht = PatternHistoryTable(2, A2)
+        counters = pht.attach_counters()
+        pht.update(0, False)
+        pht.detach_counters()
+        pht.update(0, False)
+        assert pht.counters is None
+        assert counters.updates == 1
+
+    def test_counting_never_changes_states(self):
+        plain = PatternHistoryTable(3, LAST_TIME)
+        counted = PatternHistoryTable(3, LAST_TIME)
+        counted.attach_counters()
+        outcomes = [(p % 8, p % 3 == 0) for p in range(50)]
+        for pattern, taken in outcomes:
+            plain.update(pattern, taken)
+            counted.update(pattern, taken)
+        assert counted.states_snapshot() == plain.states_snapshot()
+
+    def test_occupancy_counts_non_initial_entries(self):
+        pht = PatternHistoryTable(3, A2)
+        assert pht.occupancy() == 0
+        pht.update(0, False)
+        pht.update(5, False)
+        assert pht.occupancy() == 2
+
+    def test_merge_and_as_dict(self):
+        merged = PHTCounters(1, 2, 3).merged_with(PHTCounters(10, 20, 30))
+        assert merged == PHTCounters(11, 22, 33)
+        assert merged.as_dict() == {
+            "updates": 11,
+            "state_changes": 22,
+            "direction_flips": 33,
+        }
+
+
+class TestPHTBank:
+    def test_shared_counters_cover_late_tables(self):
+        bank = PHTBank(2, A2)
+        bank.table_for(0).update(0, False)
+        counters = bank.attach_counters()
+        bank.table_for(0).update(0, False)
+        bank.table_for(7).update(1, False)  # materialised after attach
+        assert counters.updates == 2
+        assert bank.occupancy() == 2
+        assert len(bank) == 2
+
+    def test_reset_slot_counts(self):
+        bank = PHTBank(2, A2)
+        bank.table_for(3).update(0, False)
+        bank.reset_slot(3)
+        bank.reset_slot(99)  # never materialised: no-op
+        assert bank.slot_resets == 1
+        assert bank.table_for(3).occupancy() == 0
+
+
+class TestTableStatsProbe:
+    def test_pag_snapshot_shape(self):
+        trace = loop_trace(iterations=300, trip_count=4)
+        probe = TableStatsProbe()
+        result = simulate(make_pag(6), trace, probe=probe)
+        assert set(probe.snapshot) == {"pht", "bht"}
+        pht = probe.snapshot["pht"]
+        assert pht["counters"]["updates"] == result.conditional_branches
+        assert 0 < pht["occupancy"] <= pht["entries"]
+        bht = probe.snapshot["bht"]
+        stats = bht["stats"]
+        assert stats["hits"] + stats["misses"] == result.conditional_branches
+        assert bht["occupancy"] >= 1
+
+    def test_pap_snapshot_covers_the_bank(self):
+        trace = loop_trace(iterations=300, trip_count=4)
+        probe = TableStatsProbe()
+        result = simulate(make_pap(4), trace, probe=probe)
+        bank = probe.snapshot["bank"]
+        assert bank["counters"]["updates"] == result.conditional_branches
+        assert bank["tables_materialised"] >= 1
+        assert bank["slot_resets"] >= 0
+
+    def test_counters_detachable_after_run(self):
+        trace = loop_trace(iterations=50, trip_count=4)
+        predictor = make_pag(6)
+        simulate(predictor, trace, probe=TableStatsProbe())
+        predictor.pht.detach_counters()
+        assert predictor.pht.counters is None
+
+
+@pytest.mark.parametrize("factory", [lambda: make_pag(6), lambda: make_pap(4)])
+def test_counter_hooks_do_not_change_results(factory):
+    trace = loop_trace(iterations=400, trip_count=7)
+    bare = simulate(factory(), trace)
+    probed = simulate(factory(), trace, probe=TableStatsProbe())
+    assert probed == bare

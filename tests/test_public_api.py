@@ -25,6 +25,7 @@ class TestTopLevelAPI:
             "repro.workloads",
             "repro.isa",
             "repro.experiments",
+            "repro.obs",
         ):
             importlib.import_module(module)
 
@@ -38,6 +39,7 @@ class TestTopLevelAPI:
             "repro.isa",
             "repro.workloads",
             "repro.experiments",
+            "repro.obs",
         ):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", ()):

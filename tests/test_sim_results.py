@@ -214,3 +214,72 @@ class TestSerializationRoundTrip:
         matrix.add("s1", _result("s1", "a", 0.123456789))
         matrix.add("s2", _result("s2", "b", 0.5))
         assert matrix_from_json(matrix_to_json(matrix)) == matrix
+
+
+class TestRunTelemetryMerge:
+    def _telemetry(self, **kwargs):
+        from repro.sim.results import RunTelemetry
+
+        telemetry = RunTelemetry(**kwargs)
+        return telemetry
+
+    def test_merged_with_accumulates_phases(self):
+        first = self._telemetry(n_workers=2, wall_time=1.0)
+        first.record("s1", "a", 0.5, "simulated", phases={"build": 0.1, "simulate": 0.4})
+        second = self._telemetry(n_workers=4, wall_time=2.0)
+        second.record("s2", "a", 0.7, "cache", phases={"cache_lookup": 0.01})
+        second.record("s3", "a", 0.2, "simulated", phases={"simulate": 0.2})
+        merged = first.merged_with(second)
+        assert merged.n_workers == 4
+        assert merged.total_cells == 3
+        assert merged.simulations == 2
+        assert merged.cache_hits == 1
+        assert merged.wall_time == pytest.approx(3.0)
+        assert merged.phase_seconds == pytest.approx(
+            {"build": 0.1, "simulate": 0.6, "cache_lookup": 0.01}
+        )
+        # Inputs untouched.
+        assert first.phase_seconds == pytest.approx({"build": 0.1, "simulate": 0.4})
+
+    def test_merged_with_none_is_identity(self):
+        telemetry = self._telemetry(n_workers=2, wall_time=1.5)
+        telemetry.record("s", "a", 1.5, "simulated", phases={"simulate": 1.5})
+        merged = telemetry.merged_with(None)
+        assert merged.total_cells == 1
+        assert merged.wall_time == 1.5
+        assert merged.phase_seconds == {"simulate": 1.5}
+
+    def test_merge_static_is_none_safe_on_both_sides(self):
+        from repro.sim.results import RunTelemetry
+
+        telemetry = self._telemetry(n_workers=1, wall_time=0.5)
+        assert RunTelemetry.merge(None, None) is None
+        assert RunTelemetry.merge(None, telemetry) is telemetry
+        assert RunTelemetry.merge(telemetry, None).wall_time == 0.5
+        assert RunTelemetry.merge(telemetry, telemetry).wall_time == 1.0
+
+    def test_record_defaults_phases_empty(self):
+        telemetry = self._telemetry()
+        telemetry.record("s", "a", 0.1, "simulated")
+        assert telemetry.cells[0].phases == {}
+        assert telemetry.phase_seconds == {}
+
+    def test_full_round_trip_including_cells(self):
+        import json
+
+        telemetry = self._telemetry(n_workers=3, wall_time=1.25, cache_misses=1)
+        telemetry.record("s", "a", 1.25, "simulated",
+                         phases={"trace_load": 0.5, "simulate": 0.75})
+        from repro.sim.results import RunTelemetry
+
+        payload = json.loads(json.dumps(telemetry.to_dict()))
+        rebuilt = RunTelemetry.from_dict(payload)
+        assert rebuilt == telemetry
+
+    def test_as_dict_reports_sorted_rounded_phases(self):
+        telemetry = self._telemetry()
+        telemetry.record("s", "a", 0.2, "simulated",
+                         phases={"simulate": 0.123456, "build": 0.000049})
+        summary = telemetry.as_dict()
+        assert list(summary["phase_seconds"]) == ["build", "simulate"]
+        assert summary["phase_seconds"]["simulate"] == 0.1235
