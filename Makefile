@@ -4,7 +4,7 @@ PYTHON ?= python
 
 WORKERS ?= 4
 
-.PHONY: install test check lint bench experiments sweep examples obs-demo clean
+.PHONY: install test check lint bench experiments sweep sweep-follow examples obs-demo clean
 
 install:
 	pip install -e .
@@ -39,6 +39,14 @@ experiments:
 # content, and the emitted run summary shows the hit/miss counts.
 sweep:
 	$(PYTHON) -m repro.experiments.cli figures --workers $(WORKERS) --out results/
+
+# Live-monitored (schemes x benchmark-suite) sweep: per-worker
+# heartbeats drive a --follow status line (done/total, active cells,
+# aggregate branches/sec, ETA) and every cell is recorded in the
+# persistent run ledger for repro-obs history/compare/regress.
+sweep-follow:
+	PYTHONPATH=src $(PYTHON) -m repro.obs sweep gag-8 pag-8 gshare-8 \
+		--workers $(WORKERS) --follow --ledger results/ledger
 
 examples:
 	@for script in examples/*.py; do \

@@ -44,3 +44,38 @@ def record_result(results_dir):
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append the session's benchmark timings to the run ledger.
+
+    Every ``--benchmark-only`` run leaves one ``"bench"`` entry per
+    measurement in ``results/ledger/`` at the repo root, so
+    ``repro-obs regress`` can flag harness slowdowns and
+    ``repro-obs export-bench`` can snapshot the trajectory. Best
+    effort by design: a missing plugin, an errored benchmark or an
+    unwritable ledger never fails the session.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    benchmarks = getattr(bench_session, "benchmarks", None)
+    if not benchmarks:
+        return
+    try:
+        from repro.obs.ledger import RunLedger, entry_from_benchmark
+
+        ledger = RunLedger(Path(__file__).resolve().parent.parent / "results" / "ledger")
+        recorded = 0
+        for bench in benchmarks:
+            if getattr(bench, "has_error", False):
+                continue
+            stats = getattr(bench, "stats", None)
+            seconds = getattr(stats, "min", None)
+            if seconds is None:
+                continue
+            extra = dict(getattr(bench, "extra_info", None) or {})
+            ledger.append(entry_from_benchmark(bench.name, float(seconds), extra))
+            recorded += 1
+        if recorded:
+            print(f"\n# ledger: {recorded} benchmark(s) -> {ledger.directory}")
+    except Exception as exc:  # pragma: no cover - telemetry must not fail the run
+        print(f"\n# ledger: benchmark recording skipped ({exc!r})")

@@ -46,6 +46,9 @@ AUDITED_MODULES: Tuple[str, ...] = (
     "repro.obs",
     "repro.obs.metrics",
     "repro.obs.report",
+    "repro.obs.ledger",
+    "repro.obs.live",
+    "repro.obs.log",
 )
 
 #: Friendly-grammar representatives: one per production of the

@@ -17,6 +17,11 @@ Execution knobs:
   rerun only recomputes changed cells. ``--cache-dir`` relocates the
   cache; ``--no-cache`` disables it.
 
+* ``--log text|json`` enables run-id-scoped structured logging on
+  stderr (:mod:`repro.obs.log`); ``--ledger [DIR]`` appends every
+  experiment cell to the persistent run ledger, where
+  ``repro-obs history`` / ``regress`` can audit it later.
+
 After each experiment the CLI prints a one-line telemetry summary
 (cells simulated / cache hits / wall time) to stderr, and a final
 structured run summary; ``--out`` also writes it as
@@ -118,10 +123,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="disable the on-disk result cache (always recompute)",
     )
+    parser.add_argument(
+        "--log",
+        choices=("text", "json"),
+        default=None,
+        help="enable run-id-scoped structured logging on stderr (see repro.obs.log)",
+    )
+    parser.add_argument(
+        "--ledger",
+        type=Path,
+        nargs="?",
+        const=Path("results") / "ledger",
+        default=None,
+        help="append every experiment cell to the run ledger "
+        "(bare flag uses results/ledger)",
+    )
     args = parser.parse_args(argv)
 
     if args.workers < 1:
         parser.error("--workers must be >= 1")
+
+    if args.log is not None:
+        from ..obs import log as obs_log
+
+        obs_log.configure(fmt=args.log)
+        obs_log.new_run_id("exp")
 
     if args.experiment == "list":
         for experiment_id in _experiment_ids():
@@ -172,10 +198,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         text = result.render()
         print(text)
         entry = {"wall_time_s": round(elapsed, 3)}
-        telemetry = getattr(getattr(result, "matrix", None), "telemetry", None)
+        matrix = getattr(result, "matrix", None)
+        telemetry = getattr(matrix, "telemetry", None)
         if telemetry is not None:
             entry["telemetry"] = telemetry.as_dict()
             print(f"# {experiment_id}: {telemetry.summary_line()}", file=sys.stderr)
+        if args.ledger is not None and matrix is not None:
+            from ..obs.ledger import RunLedger, entries_from_matrix
+
+            recorded = RunLedger(args.ledger).extend(entries_from_matrix(matrix))
+            print(
+                f"# {experiment_id}: {len(recorded)} cells -> ledger {args.ledger}",
+                file=sys.stderr,
+            )
         run_summary["experiments"][experiment_id] = entry
         print(f"# {experiment_id} in {elapsed:.1f}s\n", file=sys.stderr)
         if args.out is not None:

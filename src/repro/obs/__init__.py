@@ -17,15 +17,55 @@ The subsystem splits into four layers, each usable on its own:
   :mod:`repro.obs.runner` — the schema-stable :class:`RunReport`, JSONL
   event traces, and the :func:`observe` orchestration behind
   ``python -m repro.obs``.
+* :mod:`repro.obs.ledger` — the persistent, append-only run ledger
+  (``results/ledger/``, content-addressed by config hash) and the
+  regression sentinel behind ``repro-obs history/compare/regress``.
+* :mod:`repro.obs.live` — per-worker sweep heartbeats, the
+  :class:`SweepMonitor` aggregator and the ``--follow`` status line.
+* :mod:`repro.obs.log` — run-id-scoped structured logging
+  (off by default; ``repro.obs.log.configure`` enables it).
 
 Quick start::
 
     from repro.obs import observe
     report = observe("gag-12", workload="eqntott")
     print(report.result.accuracy, report.streaks, report.offenders[0])
+
+Cross-run memory::
+
+    from repro.obs import RunLedger, entry_from_report, regress
+    ledger = RunLedger("results/ledger")
+    ledger.append(entry_from_report(report))
+    print(regress(ledger).format_text())
 """
 
+from . import log
 from .export import EventTraceProbe, write_report
+from .ledger import (
+    LEDGER_SCHEMA,
+    LedgerEntry,
+    RegressionFinding,
+    RegressionReport,
+    RunDelta,
+    RunLedger,
+    compare_entries,
+    compute_config_hash,
+    entries_from_matrix,
+    entry_from_benchmark,
+    entry_from_report,
+    export_bench,
+    format_history,
+    git_revision,
+    regress,
+)
+from .live import (
+    FollowPrinter,
+    Heartbeat,
+    SweepMonitor,
+    SweepStatus,
+    WorkerState,
+    format_status,
+)
 from .metrics import (
     DEFAULT_INTERVAL_INSTRUCTIONS,
     IntervalPoint,
@@ -45,24 +85,46 @@ from .runner import normalize_scheme, observe
 __all__ = [
     "DEFAULT_INTERVAL_INSTRUCTIONS",
     "EventTraceProbe",
+    "FollowPrinter",
+    "Heartbeat",
     "IntervalPoint",
     "IntervalSeriesProbe",
+    "LEDGER_SCHEMA",
+    "LedgerEntry",
     "Offender",
     "PhaseTimer",
     "Probe",
     "ProbeSet",
+    "RegressionFinding",
+    "RegressionReport",
+    "RunDelta",
+    "RunLedger",
     "RunReport",
     "SCHEMA",
     "SpanStats",
     "StreakHistogramProbe",
+    "SweepMonitor",
+    "SweepStatus",
     "TableStatsProbe",
     "TimingPredictor",
     "TopOffendersProbe",
     "WarmupCurveProbe",
     "WarmupWindow",
+    "WorkerState",
+    "compare_entries",
+    "compute_config_hash",
+    "entries_from_matrix",
+    "entry_from_benchmark",
+    "entry_from_report",
+    "export_bench",
+    "format_history",
     "format_report",
+    "format_status",
+    "git_revision",
+    "log",
     "normalize_scheme",
     "observe",
+    "regress",
     "run_cprofile",
     "write_report",
 ]

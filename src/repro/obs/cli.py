@@ -1,20 +1,25 @@
-"""``python -m repro.obs`` — observe one simulation run end to end.
+"""``python -m repro.obs`` / ``repro-obs`` — observe, record, compare.
 
-Examples::
+Subcommands::
 
-    python -m repro.obs --scheme GAg --workload eqntott
-    python -m repro.obs --scheme pag-12 --workload gcc --format json
-    python -m repro.obs --scheme gshare-12 --workload li \\
-        --context-switches --interval 50000 --top 20
-    python -m repro.obs --scheme pap-12 --trace trace.btb \\
-        --events events.jsonl --profile-phases
-    python -m repro.obs --scheme GAg --workload eqntott \\
-        --format text --out results/obs-eqntott.txt
+    repro-obs run --scheme GAg --workload eqntott [--ledger [DIR]]
+    repro-obs history [--scheme S] [--workload W] [--limit N]
+    repro-obs compare latest~1 latest
+    repro-obs regress [--tolerance F] [--throughput-drop F] [--strict]
+    repro-obs export-bench [--out BENCH_YYYYMMDD.json]
+    repro-obs sweep gag-8 pag-8 gshare-8 --workers 4 --follow
 
-Text output is the perf-style report of
+The original flat form (``python -m repro.obs --scheme GAg --workload
+eqntott``) still works and means ``run`` — existing scripts and the
+``make obs-demo`` target parse unchanged.
+
+``run`` text output is the perf-style report of
 :func:`repro.obs.report.format_report`; JSON output is the
 schema-stable :meth:`RunReport.to_dict` payload (``schema:
-"repro.obs/1"``).
+"repro.obs/1"``). ``--ledger`` appends the run to the persistent run
+ledger (:mod:`repro.obs.ledger`), where ``history`` / ``compare`` /
+``regress`` audit it later. ``sweep --follow`` renders live per-worker
+heartbeats (:mod:`repro.obs.live`) as a single status line on stderr.
 """
 
 from __future__ import annotations
@@ -22,24 +27,26 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
 from ..sim.engine import ContextSwitchConfig
 from ..workloads.suite import BENCHMARK_ORDER
+from . import log as obs_log
 from .export import write_report
 from .metrics import DEFAULT_INTERVAL_INSTRUCTIONS
 from .report import format_report
 from .runner import observe
 
-__all__ = ["build_parser", "main"]
+__all__ = ["add_sweep_arguments", "build_parser", "main", "run_sweep"]
+
+_SUBCOMMANDS = ("run", "history", "compare", "regress", "export-bench", "sweep")
+
+_DEFAULT_LEDGER = Path("results") / "ledger"
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro.obs",
-        description="Run one predictor on one workload with full observability.",
-    )
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scheme",
         required=True,
@@ -109,11 +116,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--cprofile", action="store_true",
         help="capture a cProfile table of the simulate phase",
     )
-    return parser
+    _add_log_argument(parser)
+    _add_ledger_argument(parser, "record the run in the persistent run ledger")
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _add_log_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log", choices=("text", "json"), default=None,
+        help="enable run-id-scoped structured logging on stderr",
+    )
+
+
+def _add_ledger_argument(parser: argparse.ArgumentParser, help_text: str) -> None:
+    parser.add_argument(
+        "--ledger", type=Path, nargs="?", const=_DEFAULT_LEDGER, default=None,
+        help=f"{help_text} (bare flag uses {_DEFAULT_LEDGER})",
+    )
+
+
+def _ledger_argument(parser: argparse.ArgumentParser) -> None:
+    """Read-side commands: the ledger location, defaulting to on-disk."""
+    parser.add_argument(
+        "--ledger", type=Path, default=_DEFAULT_LEDGER,
+        help=f"run-ledger directory (default: {_DEFAULT_LEDGER})",
+    )
+
+
+def _format_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+        help="output rendering (default: text)",
+    )
+
+
+# ----------------------------------------------------------------------
+# run
+# ----------------------------------------------------------------------
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.log is not None:
+        obs_log.configure(fmt=args.log)
+        obs_log.new_run_id("obs")
 
     trace = None
     training_trace = None
@@ -159,7 +203,340 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_report(report, top=args.top))
     if args.out is not None:
         write_report(report, args.out, fmt=args.fmt, top=args.top)
+    if args.ledger is not None:
+        from .ledger import RunLedger, entry_from_report
+
+        entry = RunLedger(args.ledger).append(entry_from_report(report, context=context))
+        print(
+            f"# ledger: run {entry.run_id} (seq {entry.seq}) -> {args.ledger}",
+            file=sys.stderr,
+        )
     return 0
+
+
+# ----------------------------------------------------------------------
+# history / compare / regress / export-bench
+# ----------------------------------------------------------------------
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    from .ledger import RunLedger, format_history
+
+    ledger = RunLedger(args.ledger)
+    entries = ledger.history(
+        scheme=args.scheme, workload=args.workload, kind=args.kind, limit=args.limit
+    )
+    if args.fmt == "json":
+        print(json.dumps([entry.to_dict() for entry in entries], indent=2))
+    else:
+        print(format_history(entries))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .ledger import RunLedger, compare_entries
+
+    ledger = RunLedger(args.ledger)
+    try:
+        entry_a = ledger.find(args.run_a)
+        entry_b = ledger.find(args.run_b)
+    except KeyError as exc:
+        print(f"repro.obs: {exc.args[0]}", file=sys.stderr)
+        return 2
+    delta = compare_entries(entry_a, entry_b)
+    if args.fmt == "json":
+        print(json.dumps(delta.to_dict(), indent=2))
+    else:
+        print(delta.format_text())
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    from .ledger import RunLedger, regress
+
+    try:
+        report = regress(
+            RunLedger(args.ledger),
+            tolerance=args.tolerance,
+            throughput_drop=args.throughput_drop,
+            window=args.window,
+        )
+    except ValueError as exc:
+        print(f"repro.obs: {exc}", file=sys.stderr)
+        return 2
+    if args.fmt == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format_text())
+    return report.exit_code(strict=args.strict)
+
+
+def _cmd_export_bench(args: argparse.Namespace) -> int:
+    from .ledger import RunLedger, export_bench
+
+    ledger = RunLedger(args.ledger)
+    if args.out is not None:
+        target = export_bench(ledger, args.out, date_stamp=args.date)
+    else:
+        stamp = args.date
+        if stamp is None:
+            newest = max((entry.timestamp for entry in ledger.entries()), default=0.0)
+            stamp = time.strftime("%Y%m%d", time.gmtime(newest))
+        target = export_bench(ledger, Path(f"BENCH_{stamp}.json"), date_stamp=stamp)
+    print(f"wrote {target}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# sweep (shared with `repro-sim sweep`)
+# ----------------------------------------------------------------------
+
+
+def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the sweep options (shared by repro-obs and repro-sim)."""
+    parser.add_argument(
+        "schemes", nargs="+",
+        help="registry scheme names; bare family names mean the 12-bit default",
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="+", choices=BENCHMARK_ORDER, default=None,
+        help="benchmark subset (default: all nine, paper order)",
+    )
+    parser.add_argument("--scale", type=int, default=1, help="workload scale factor")
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (results identical for any value)",
+    )
+    parser.add_argument(
+        "--follow", action="store_true",
+        help="render live per-worker heartbeats as a status line on stderr",
+    )
+    parser.add_argument(
+        "--stale-after", type=float, default=30.0,
+        help="seconds of worker silence before it is reported stale (default: 30)",
+    )
+    parser.add_argument(
+        "--context-switches", action="store_true",
+        help="enable the paper's context-switch model",
+    )
+    parser.add_argument(
+        "--switch-interval", type=int, default=500_000,
+        help="context-switch interval in instructions (default: 500000)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=Path("results") / "cache",
+        help="result-cache directory (default: results/cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache (always recompute)",
+    )
+    _add_ledger_argument(parser, "record every cell in the persistent run ledger")
+    _add_log_argument(parser)
+
+
+def _render_matrix(matrix) -> List[str]:
+    """Plain accuracy table: schemes x (benchmarks + the three GMeans)."""
+    width = max([len(scheme) for scheme in matrix.schemes] + [6])
+    columns = list(matrix.benchmarks) + ["Int GMean", "FP GMean", "Tot GMean"]
+    lines = [" " * width + "  " + "  ".join(f"{name:>9s}" for name in columns)]
+    for row in matrix.as_rows():
+        cells = []
+        for name in columns:
+            value = row[name]
+            if isinstance(value, float) and value > 0:
+                cells.append(f"{value * 100:8.3f}%")
+            else:
+                cells.append(f"{'—':>9s}")
+        lines.append(f"{row['scheme']:{width}s}  " + "  ".join(cells))
+    return lines
+
+
+def run_sweep(args: argparse.Namespace) -> int:
+    """Execute a (schemes x benchmarks) sweep with optional --follow.
+
+    Shared implementation behind ``repro-obs sweep`` and
+    ``repro-sim sweep`` (both attach :func:`add_sweep_arguments`).
+    """
+    from ..sim.parallel import spec
+    from ..sim.runner import run_matrix
+    from ..trace.cache import ResultCache
+    from ..workloads.suite import SuiteConfig, build_cases
+    from .live import FollowPrinter, SweepMonitor
+    from .runner import normalize_scheme
+
+    if args.log is not None:
+        obs_log.configure(fmt=args.log)
+        obs_log.new_run_id("sweep")
+
+    schemes = [normalize_scheme(name) for name in args.schemes]
+    builders = {name: spec(name) for name in schemes}
+    try:
+        cases = build_cases(SuiteConfig(scale=args.scale, benchmarks=args.benchmarks))
+    except ValueError as exc:
+        print(f"repro.obs: {exc}", file=sys.stderr)
+        return 2
+    context = (
+        ContextSwitchConfig(interval=args.switch_interval)
+        if args.context_switches
+        else None
+    )
+    result_cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    progress = tick = None
+    printer: Optional[FollowPrinter] = None
+    if args.follow:
+        monitor = SweepMonitor(
+            total_cells=len(builders) * len(cases), stale_after=args.stale_after
+        )
+        printer = FollowPrinter(sys.stderr)
+
+        def progress(beat) -> None:
+            monitor.observe(beat)
+            printer.update(monitor.status())
+
+        def tick() -> None:
+            printer.update(monitor.status())
+
+    try:
+        matrix = run_matrix(
+            builders,
+            cases,
+            context_switches=context,
+            n_workers=args.workers,
+            result_cache=result_cache,
+            progress=progress,
+            tick=tick,
+        )
+    except (KeyError, ValueError) as exc:
+        if printer is not None:
+            printer.close()
+        print(f"repro.obs: {exc}", file=sys.stderr)
+        return 2
+    if printer is not None:
+        printer.close()
+
+    for line in _render_matrix(matrix):
+        print(line)
+    if matrix.telemetry is not None:
+        print(f"# {matrix.telemetry.summary_line()}", file=sys.stderr)
+    if args.ledger is not None:
+        from .ledger import RunLedger, entries_from_matrix
+
+        recorded = RunLedger(args.ledger).extend(
+            entries_from_matrix(matrix, context=context)
+        )
+        print(f"# ledger: {len(recorded)} cells -> {args.ledger}", file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser assembly and dispatch
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Observe simulation runs, record them in the run ledger, "
+        "and monitor sweeps live.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run", help="observe one predictor on one workload (the default command)"
+    )
+    _add_run_arguments(run)
+    run.set_defaults(handler=_cmd_run)
+
+    history = subparsers.add_parser("history", help="list recorded runs")
+    _ledger_argument(history)
+    history.add_argument("--scheme", default=None, help="filter by scheme label")
+    history.add_argument("--workload", default=None, help="filter by workload name")
+    history.add_argument(
+        "--kind", choices=("obs", "matrix", "bench"), default=None,
+        help="filter by entry kind",
+    )
+    history.add_argument(
+        "--limit", type=int, default=None, help="show only the newest N runs"
+    )
+    _format_argument(history)
+    history.set_defaults(handler=_cmd_history)
+
+    compare = subparsers.add_parser("compare", help="diff two recorded runs")
+    compare.add_argument(
+        "run_a", help="run selector: a run-id prefix, 'latest', or 'latest~N'"
+    )
+    compare.add_argument("run_b", help="second run selector")
+    _ledger_argument(compare)
+    _format_argument(compare)
+    compare.set_defaults(handler=_cmd_compare)
+
+    regress_cmd = subparsers.add_parser(
+        "regress",
+        help="flag accuracy drift and throughput drops across recorded runs",
+    )
+    _ledger_argument(regress_cmd)
+    regress_cmd.add_argument(
+        "--tolerance", type=float, default=0.0,
+        help="max tolerated |accuracy delta| vs the previous run "
+        "(default: 0.0 — the simulator is deterministic)",
+    )
+    regress_cmd.add_argument(
+        "--throughput-drop", type=float, default=0.5,
+        help="warn when branches/sec falls this fraction below the rolling "
+        "baseline (default: 0.5)",
+    )
+    regress_cmd.add_argument(
+        "--window", type=int, default=5,
+        help="rolling-baseline width in runs (default: 5)",
+    )
+    regress_cmd.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings too, not just errors",
+    )
+    _format_argument(regress_cmd)
+    regress_cmd.set_defaults(handler=_cmd_regress)
+
+    export = subparsers.add_parser(
+        "export-bench", help="write the BENCH_<YYYYMMDD>.json perf snapshot"
+    )
+    _ledger_argument(export)
+    export.add_argument(
+        "--out", type=Path, default=None,
+        help="output path (default: BENCH_<date-of-newest-entry>.json)",
+    )
+    export.add_argument(
+        "--date", default=None,
+        help="override the YYYYMMDD stamp (for reproducible snapshots)",
+    )
+    export.set_defaults(handler=_cmd_export_bench)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="(schemes x suite) sweep with --follow live monitoring"
+    )
+    add_sweep_arguments(sweep)
+    sweep.set_defaults(handler=run_sweep)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in _SUBCOMMANDS:
+        args = build_parser().parse_args(argv)
+        return args.handler(args)
+    # Legacy flat form: `python -m repro.obs --scheme ... --workload ...`
+    # behaves exactly like the `run` subcommand.
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="Run one predictor on one workload with full observability. "
+        f"(Subcommands also available: {', '.join(_SUBCOMMANDS)}.)",
+    )
+    _add_run_arguments(parser)
+    args = parser.parse_args(argv)
+    return _cmd_run(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

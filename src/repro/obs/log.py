@@ -1,0 +1,223 @@
+"""Structured, run-scoped logging for the simulation stack.
+
+A thin contextual-logging layer threaded through trace generation, the
+engine, the parallel runner and the experiment drivers. Three design
+rules keep it compatible with the repo's determinism and zero-overhead
+contracts:
+
+* **Off by default.** Until :func:`configure` is called, every
+  :meth:`StructuredLogger.event` call is a single attribute check and a
+  return — no formatting, no I/O, no allocation. Nothing in the repo
+  ever turns logging on implicitly; CLIs expose it behind ``--log``.
+* **Telemetry only.** Records carry wall-clock timestamps and run ids,
+  but nothing on the simulation path ever *reads* a record — logging is
+  documentation about a run, never an input to a result. The
+  ``repro.check`` determinism lint still scans this module; the one
+  wall-clock read is pragma-scoped to the record constructor.
+* **Run-id scoped.** Every record carries the current run id (set by
+  the orchestration layer via :func:`set_run_id` / :func:`new_run_id`),
+  so interleaved output from nested phases — suite generation, sweep
+  cells, regression checks — can be grouped after the fact.
+
+Usage::
+
+    from repro.obs import log
+
+    log.configure(fmt="json")          # or fmt="text", stream=...
+    logger = log.get_logger("sim.engine")
+    logger.event("run_start", scheme="pag-12", records=120_000)
+    log.disable()
+
+Records render as single lines — ``text`` for humans, ``json`` (one
+object per line) for machines — on the configured stream (default:
+``sys.stderr``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, TextIO
+
+__all__ = [
+    "LogConfig",
+    "LogRecord",
+    "StructuredLogger",
+    "configure",
+    "current_run_id",
+    "disable",
+    "get_logger",
+    "is_enabled",
+    "new_run_id",
+    "set_run_id",
+]
+
+_FORMATS = ("text", "json")
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One structured event: who said what, in which run, and when.
+
+    Attributes:
+        ts: wall-clock epoch seconds (telemetry only — never an input
+            to any simulation result).
+        run_id: the run the record belongs to (``""`` outside a run).
+        component: dotted producer name, e.g. ``"sim.parallel"``.
+        event: short event name, e.g. ``"cell_done"``.
+        fields: free-form JSON-compatible payload.
+    """
+
+    ts: float
+    run_id: str
+    component: str
+    event: str
+    fields: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible rendering (used by the ``json`` handler)."""
+        payload: Dict[str, Any] = {
+            "ts": self.ts,
+            "run_id": self.run_id,
+            "component": self.component,
+            "event": self.event,
+        }
+        payload.update(self.fields)
+        return payload
+
+    def format_text(self) -> str:
+        """One-line human rendering (used by the ``text`` handler)."""
+        clock = time.strftime("%H:%M:%S", time.gmtime(self.ts))
+        parts = [f"{clock} [{self.run_id or '-'}] {self.component}: {self.event}"]
+        for key in self.fields:
+            parts.append(f"{key}={self.fields[key]}")
+        return " ".join(parts)
+
+
+@dataclass
+class LogConfig:
+    """Active logging configuration (``None`` globally = disabled)."""
+
+    stream: TextIO
+    fmt: str = "text"
+
+    def __post_init__(self) -> None:
+        if self.fmt not in _FORMATS:
+            raise ValueError(f"unknown log format {self.fmt!r}; expected one of {_FORMATS}")
+
+
+_lock = threading.Lock()
+_config: Optional[LogConfig] = None
+_run_id: str = ""
+_loggers: Dict[str, "StructuredLogger"] = {}
+_run_counter = itertools.count(1)
+
+
+def configure(
+    stream: Optional[TextIO] = None,
+    fmt: str = "text",
+    run_id: Optional[str] = None,
+) -> None:
+    """Enable structured logging process-wide.
+
+    Args:
+        stream: where records go (default: ``sys.stderr``). Anything
+            with a ``write(str)`` method works, so tests can capture
+            into a ``StringIO``.
+        fmt: ``"text"`` (one human-readable line per record) or
+            ``"json"`` (one JSON object per line).
+        run_id: initial run id; ``None`` keeps the current one.
+    """
+    global _config
+    with _lock:
+        _config = LogConfig(stream=stream if stream is not None else sys.stderr, fmt=fmt)
+    if run_id is not None:
+        set_run_id(run_id)
+
+
+def disable() -> None:
+    """Turn logging off again (the default state)."""
+    global _config
+    with _lock:
+        _config = None
+
+
+def is_enabled() -> bool:
+    """True when :func:`configure` is active."""
+    return _config is not None
+
+
+def set_run_id(run_id: str) -> str:
+    """Set the run id stamped on subsequent records; returns it."""
+    global _run_id
+    with _lock:
+        _run_id = run_id
+    return run_id
+
+
+def current_run_id() -> str:
+    """The run id in effect (``""`` when none was set)."""
+    return _run_id
+
+
+def new_run_id(prefix: str = "run") -> str:
+    """Mint a fresh run id and make it current.
+
+    The id combines a wall-clock stamp with a process-local counter, so
+    ids are unique within a process and sort roughly by start time
+    across processes. Telemetry identity only — results never depend
+    on it.
+    """
+    stamp = int(time.time())  # check: allow(det/wall-clock) — telemetry identity only
+    return set_run_id(f"{prefix}-{stamp:x}-{next(_run_counter):03d}")
+
+
+class StructuredLogger:
+    """A component-bound emitter; obtain via :func:`get_logger`.
+
+    ``event()`` is safe to call unconditionally from hot orchestration
+    code: when logging is disabled it returns after one global read.
+    """
+
+    def __init__(self, component: str) -> None:
+        self.component = component
+
+    @property
+    def enabled(self) -> bool:
+        return _config is not None
+
+    def event(self, event: str, **fields: Any) -> None:
+        """Emit one record (no-op unless :func:`configure` is active)."""
+        config = _config
+        if config is None:
+            return
+        record = LogRecord(
+            ts=time.time(),  # check: allow(det/wall-clock) — telemetry timestamp only
+            run_id=_run_id,
+            component=self.component,
+            event=event,
+            fields=fields,
+        )
+        if config.fmt == "json":
+            line = json.dumps(record.to_dict(), separators=(",", ":"), default=str)
+        else:
+            line = record.format_text()
+        try:
+            config.stream.write(line + "\n")
+        except ValueError:
+            # The stream was closed under us (e.g. pytest teardown of a
+            # captured stderr); losing telemetry must never fail a run.
+            pass
+
+
+def get_logger(component: str) -> StructuredLogger:
+    """The (cached) logger for a dotted component name."""
+    logger = _loggers.get(component)
+    if logger is None:
+        with _lock:
+            logger = _loggers.setdefault(component, StructuredLogger(component))
+    return logger

@@ -5,14 +5,21 @@ Examples::
     repro-sim run pag-12 trace.btb
     repro-sim run "GAg(HR(1,,18-sr),1xPHT(2^18,A2),)" trace.btb --context-switches
     repro-sim run profile trace.btb --training train.btb
+    repro-sim run pag-12 trace.btb --ledger          # record in the run ledger
     repro-sim compare pag-12 gag-12 btb-a2 -- trace.btb
     repro-sim report pag-12 trace.btb --top 10
+    repro-sim sweep gag-8 pag-8 gshare-8 --workers 4 --follow
+
+``sweep`` evaluates schemes over the generated nine-benchmark suite
+with the parallel runner and shares its flags with ``repro-obs sweep``
+(``--follow`` live heartbeat status line, ``--ledger`` run recording).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -44,8 +51,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
         streaks = StreakHistogramProbe()
         offenders = TopOffendersProbe(k=5)
         probe = ProbeSet([streaks, offenders])
+    started = time.perf_counter()
     result = simulate(predictor, trace, context_switches=_context(args), probe=probe)
+    wall = time.perf_counter() - started
     print(result)
+    if args.ledger is not None:
+        from ..obs.ledger import LedgerEntry, RunLedger
+
+        entry = RunLedger(args.ledger).append(
+            LedgerEntry(
+                kind="obs",
+                scheme=args.predictor,
+                workload=result.trace_name,
+                dataset=result.dataset,
+                conditional_branches=result.conditional_branches,
+                correct_predictions=result.correct_predictions,
+                total_instructions=result.total_instructions,
+                context_switches=result.context_switches,
+                wall_time=wall,
+                branches_per_sec=(
+                    result.conditional_branches / wall if wall > 0 else 0.0
+                ),
+                phases={"simulate": wall},
+            )
+        )
+        print(f"# ledger: run {entry.run_id} -> {args.ledger}", file=sys.stderr)
     if result.context_switches:
         print(f"context switches: {result.context_switches}")
     if args.obs:
@@ -121,6 +151,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("trace", type=Path)
     run.add_argument("--obs", action="store_true",
                      help="print a streak/offender observability summary")
+    run.add_argument(
+        "--ledger", type=Path, nargs="?", const=Path("results") / "ledger",
+        default=None,
+        help="record the run in the persistent run ledger "
+        "(bare flag uses results/ledger; see repro-obs history)",
+    )
     common(run)
     run.set_defaults(handler=_cmd_run)
 
@@ -136,6 +172,17 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--top", type=int, default=10)
     common(report)
     report.set_defaults(handler=_cmd_report)
+
+    # Deferred import: the obs package imports sim modules, so pulling
+    # it in at sim.cli import time would cycle during package init.
+    from ..obs.cli import add_sweep_arguments, run_sweep
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="(schemes x benchmark-suite) sweep with --follow live monitoring",
+    )
+    add_sweep_arguments(sweep)
+    sweep.set_defaults(handler=run_sweep)
     return parser
 
 

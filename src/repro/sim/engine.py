@@ -80,8 +80,22 @@ def simulate(
     Returns:
         A :class:`SimulationResult` with accuracy and bookkeeping.
     """
+    # Structured-log telemetry (a no-op unless repro.obs.log was
+    # enabled; the deferred import keeps package init acyclic). Both
+    # events fire outside the record loop, so the probe-off fast path
+    # is untouched.
+    from ..obs.log import get_logger
+
+    logger = get_logger("sim.engine")
+    logger.event(
+        "run_start",
+        scheme=getattr(predictor, "name", type(predictor).__name__),
+        trace=trace.meta.name,
+        records=len(trace),
+        probed=probe is not None,
+    )
     if probe is not None:
-        return _simulate_probed(
+        result = _simulate_probed(
             predictor,
             trace,
             probe,
@@ -89,6 +103,8 @@ def simulate(
             track_per_site=track_per_site,
             warmup_branches=warmup_branches,
         )
+        _log_run_end(logger, result)
+        return result
     conditional = 0
     correct = 0
     switches = 0
@@ -124,7 +140,7 @@ def simulate(
             per_site_seen[pc] = per_site_seen.get(pc, 0) + 1
 
     scored = max(conditional - warmup_branches, 0)
-    return SimulationResult(
+    result = SimulationResult(
         predictor_name=predictor.name,
         trace_name=trace.meta.name,
         dataset=trace.meta.dataset,
@@ -134,6 +150,20 @@ def simulate(
         per_site_executions=per_site_seen if track_per_site else None,
         per_site_mispredictions=per_site_wrong if track_per_site else None,
         total_instructions=trace.meta.total_instructions,
+    )
+    _log_run_end(logger, result)
+    return result
+
+
+def _log_run_end(logger, result: SimulationResult) -> None:
+    """Emit the engine's run-completed record (telemetry only)."""
+    logger.event(
+        "run_end",
+        scheme=result.predictor_name,
+        trace=result.trace_name,
+        branches=result.conditional_branches,
+        accuracy=round(result.accuracy, 6),
+        context_switches=result.context_switches,
     )
 
 

@@ -32,14 +32,16 @@ exact integer counts the simulation produced.
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
+import queue as queue_module
 import shutil
 import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..predictors.base import BranchPredictor, TrainingUnavailable
 from ..trace.cache import ResultCache
@@ -166,6 +168,23 @@ def _load_spooled(path: str) -> Trace:
     return trace
 
 
+def _pulse(
+    heartbeats, kind: str, label: str, case_name: str, branches: int = 0, wall: float = 0.0
+) -> None:
+    """Best-effort heartbeat put; telemetry must never fail a cell.
+
+    Workers emit plain tuples (not :class:`repro.obs.live.Heartbeat`
+    objects) so the worker side stays import-free; the parent rewraps
+    them before invoking the ``progress`` hook.
+    """
+    if heartbeats is None:
+        return
+    try:
+        heartbeats.put((os.getpid(), kind, label, case_name, branches, wall))
+    except Exception:
+        pass
+
+
 def _run_cell(
     label: str,
     case_name: str,
@@ -173,6 +192,7 @@ def _run_cell(
     test_path: str,
     training_path: Optional[str],
     context_switches: Optional[ContextSwitchConfig],
+    heartbeats=None,
 ) -> Tuple[str, str, Optional[SimulationResult], float, Dict[str, float]]:
     """Execute one cell from spooled traces (runs inside a worker).
 
@@ -180,9 +200,12 @@ def _run_cell(
     a ``None`` result means the builder raised ``TrainingUnavailable``.
     ``phases`` breaks the wall time into trace_load / build / simulate
     spans for the run telemetry (and, downstream, ``repro.obs`` run
-    reports).
+    reports). When ``heartbeats`` (a multiprocessing queue) is given,
+    the worker announces the cell's start and completion on it for live
+    ``--follow`` monitoring.
     """
     started = time.perf_counter()
+    _pulse(heartbeats, "start", label, case_name)
     test_trace = _load_spooled(test_path)
     training_trace = _load_spooled(training_path) if training_path else None
     loaded = time.perf_counter()
@@ -191,12 +214,16 @@ def _run_cell(
         predictor = builder(training_trace)
     except TrainingUnavailable:
         phases["build"] = time.perf_counter() - loaded
-        return label, case_name, None, time.perf_counter() - started, phases
+        wall = time.perf_counter() - started
+        _pulse(heartbeats, "done", label, case_name, 0, wall)
+        return label, case_name, None, wall, phases
     built = time.perf_counter()
     phases["build"] = built - loaded
     result = simulate(predictor, test_trace, context_switches=context_switches)
     phases["simulate"] = time.perf_counter() - built
-    return label, case_name, result, time.perf_counter() - started, phases
+    wall = time.perf_counter() - started
+    _pulse(heartbeats, "done", label, case_name, result.conditional_branches, wall)
+    return label, case_name, result, wall, phases
 
 
 # ----------------------------------------------------------------------
@@ -218,6 +245,9 @@ def execute_matrix(
     context_switches: Optional[ContextSwitchConfig] = None,
     n_workers: int = 1,
     result_cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[Any], None]] = None,
+    tick: Optional[Callable[[], None]] = None,
+    progress_interval: float = 0.5,
 ) -> ResultMatrix:
     """Evaluate every scheme on every benchmark, in parallel and cached.
 
@@ -234,12 +264,58 @@ def execute_matrix(
             (no executor, no trace spooling) whose results every other
             worker count reproduces bit-identically.
         result_cache: on-disk cell cache; ``None`` disables caching.
+        progress: live-monitoring hook; receives one
+            :class:`repro.obs.live.Heartbeat` per cell event (start /
+            done / cached). When workers are involved the beats travel
+            over a ``multiprocessing`` manager queue and are delivered
+            from the parent process, so the hook needs no locking.
+            ``None`` (the default) adds zero overhead — no manager, no
+            queue, no wait timeouts.
+        tick: called roughly every ``progress_interval`` seconds while
+            remote cells are in flight (and after every local cell), so
+            a ``--follow`` renderer can refresh ETA/staleness even when
+            no heartbeat arrived.
+        progress_interval: polling period for ``tick`` draining.
 
     Returns:
         A :class:`ResultMatrix` with telemetry attached.
+
+    Heartbeats are telemetry only: results, ordering and cache contents
+    are bit-identical with or without a ``progress`` hook.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
+    emit: Optional[Callable[..., None]] = None
+    if progress is not None:
+        # Deferred import: repro.obs imports repro.sim.results, so a
+        # module-level import here would cycle during package init.
+        from ..obs.live import Heartbeat
+
+        def emit(pid: int, kind: str, label: str, case_name: str,
+                 branches: int = 0, wall: float = 0.0) -> None:
+            progress(
+                Heartbeat(
+                    worker=pid,
+                    kind=kind,
+                    scheme=label,
+                    benchmark=case_name,
+                    branches=branches,
+                    wall=wall,
+                )
+            )
+
+    # Deferred import: keeps package init acyclic; a no-op unless the
+    # caller enabled structured logging.
+    from ..obs.log import get_logger
+
+    logger = get_logger("sim.parallel")
+    logger.event(
+        "matrix_start",
+        schemes=len(builders),
+        benchmarks=len(cases),
+        workers=n_workers,
+        cached=result_cache is not None,
+    )
     started = time.perf_counter()
     telemetry = RunTelemetry(n_workers=n_workers)
     matrix = ResultMatrix(
@@ -290,6 +366,8 @@ def execute_matrix(
                     lookup_wall,
                     {"cache_lookup": lookup_wall},
                 )
+                if emit is not None:
+                    emit(0, "cached", label, case.name, 0, lookup_wall)
             else:
                 telemetry.cache_misses += 1
                 pending.append((label, case, key))
@@ -298,6 +376,8 @@ def execute_matrix(
     # asked and possible, in-process otherwise.
     def _run_local(label: str, case, key: Optional[str]) -> None:
         cell_started = time.perf_counter()
+        if emit is not None:
+            emit(os.getpid(), "start", label, case.name)
         try:
             predictor = builder_by_label[label](case.training_trace)
         except TrainingUnavailable:
@@ -317,6 +397,17 @@ def execute_matrix(
         )
         if key is not None and result_cache is not None:
             result_cache.store(key, result.to_dict() if result is not None else None)
+        if emit is not None:
+            emit(
+                os.getpid(),
+                "done",
+                label,
+                case.name,
+                result.conditional_branches if result is not None else 0,
+                wall,
+            )
+        if tick is not None:
+            tick()
 
     builder_by_label = dict(builders)
     if n_workers == 1 or not pending:
@@ -326,6 +417,30 @@ def execute_matrix(
         remote = [cell for cell in pending if _is_picklable(builder_by_label[cell[0]])]
         local = [cell for cell in pending if not _is_picklable(builder_by_label[cell[0]])]
         spool = Path(tempfile.mkdtemp(prefix="repro-spool-"))
+        manager = None
+        heartbeat_queue = None
+        if emit is not None and remote:
+            # A manager queue (not a raw mp.Queue) because the executor
+            # pickles task arguments; manager proxies survive that.
+            import multiprocessing
+
+            manager = multiprocessing.Manager()
+            heartbeat_queue = manager.Queue()
+
+        def _drain_heartbeats() -> None:
+            if heartbeat_queue is None or emit is None:
+                return
+            while True:
+                try:
+                    pid, kind, hb_label, hb_case, branches, hb_wall = (
+                        heartbeat_queue.get_nowait()
+                    )
+                except queue_module.Empty:
+                    break
+                except Exception:
+                    break
+                emit(pid, kind, hb_label, hb_case, branches, hb_wall)
+
         try:
             trace_paths = _spool_traces({case.name: case for _, case, _ in remote}, spool)
             with ProcessPoolExecutor(max_workers=n_workers) as pool:
@@ -340,6 +455,7 @@ def execute_matrix(
                         test_path,
                         training_path,
                         context_switches,
+                        heartbeat_queue,
                     )
                     futures[future] = key
                 # Overlap the unpicklable (parent-process) cells with
@@ -347,8 +463,18 @@ def execute_matrix(
                 for label, case, key in local:
                     _run_local(label, case, key)
                 not_done = set(futures)
+                poll = (
+                    progress_interval
+                    if heartbeat_queue is not None or tick is not None
+                    else None
+                )
                 while not_done:
-                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    done, not_done = wait(
+                        not_done, timeout=poll, return_when=FIRST_COMPLETED
+                    )
+                    _drain_heartbeats()
+                    if tick is not None:
+                        tick()
                     for future in done:
                         label, case_name, result, wall, phases = future.result()
                         outcomes[(label, case_name)] = (
@@ -362,8 +488,13 @@ def execute_matrix(
                             result_cache.store(
                                 key, result.to_dict() if result is not None else None
                             )
+            _drain_heartbeats()
+            if tick is not None:
+                tick()
         finally:
             shutil.rmtree(spool, ignore_errors=True)
+            if manager is not None:
+                manager.shutdown()
 
     # Phase 3: assemble in the canonical (scheme-major) order, so the
     # matrix layout is independent of completion order.
@@ -374,6 +505,14 @@ def execute_matrix(
             if result is not None:
                 matrix.add(label, result)
     telemetry.wall_time = time.perf_counter() - started
+    logger.event(
+        "matrix_done",
+        cells=telemetry.total_cells,
+        simulations=telemetry.simulations,
+        cache_hits=telemetry.cache_hits,
+        unavailable=telemetry.unavailable,
+        wall_s=round(telemetry.wall_time, 3),
+    )
     return matrix
 
 

@@ -102,6 +102,8 @@ def run_matrix(
     context_switches: Optional[ContextSwitchConfig] = None,
     n_workers: int = 1,
     result_cache: Optional[ResultCache] = None,
+    progress=None,
+    tick=None,
 ) -> ResultMatrix:
     """Evaluate every scheme on every benchmark.
 
@@ -120,6 +122,11 @@ def run_matrix(
             :class:`~repro.sim.parallel.PredictorSpec`) are served from
             the cache when their trace + scheme + context-switch hash
             matches a previous run; plain callables always recompute.
+        progress: optional live-monitoring hook receiving one
+            :class:`repro.obs.live.Heartbeat` per cell event (see
+            :func:`repro.sim.parallel.execute_matrix`); telemetry only,
+            never affects results.
+        tick: optional periodic callback for ``--follow`` renderers.
 
     Returns:
         A :class:`ResultMatrix` with one cell per (scheme, benchmark)
@@ -136,6 +143,8 @@ def run_matrix(
         context_switches=context_switches,
         n_workers=n_workers,
         result_cache=result_cache,
+        progress=progress,
+        tick=tick,
     )
 
 
@@ -147,11 +156,14 @@ def sweep_parameter(
     context_switches: Optional[ContextSwitchConfig] = None,
     n_workers: int = 1,
     result_cache: Optional[ResultCache] = None,
+    progress=None,
+    tick=None,
 ) -> ResultMatrix:
     """Evaluate a family of schemes indexed by one integer parameter.
 
     Used for the history-length sweeps of Figures 6 and 7. Accepts the
-    same ``n_workers`` / ``result_cache`` knobs as :func:`run_matrix`.
+    same ``n_workers`` / ``result_cache`` / ``progress`` knobs as
+    :func:`run_matrix`.
     """
     builders = {label(value): make_builder(value) for value in values}
     return run_matrix(
@@ -160,4 +172,6 @@ def sweep_parameter(
         context_switches=context_switches,
         n_workers=n_workers,
         result_cache=result_cache,
+        progress=progress,
+        tick=tick,
     )

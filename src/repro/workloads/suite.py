@@ -130,12 +130,25 @@ def _cached_trace(cache: TraceCache, workload: Workload, role: str, scale: int) 
         workload.testing_dataset if role == "testing" else workload.training_dataset
     )
     assert dataset is not None
-    return cache.get(
-        workload.name,
-        dataset.name,
-        scale,
-        lambda: workload.generate(role, scale=scale),
-    )
+
+    def _generate() -> Trace:
+        # Structured-log telemetry (no-op unless enabled; deferred
+        # import keeps package init acyclic). Only cache *misses* log:
+        # a generation event means real work happened.
+        from ..obs.log import get_logger
+
+        logger = get_logger("workloads.suite")
+        logger.event(
+            "trace_generate", benchmark=workload.name, role=role,
+            dataset=dataset.name, scale=scale,
+        )
+        trace = workload.generate(role, scale=scale)
+        logger.event(
+            "trace_ready", benchmark=workload.name, role=role, records=len(trace),
+        )
+        return trace
+
+    return cache.get(workload.name, dataset.name, scale, _generate)
 
 
 def table1_static_branch_counts(

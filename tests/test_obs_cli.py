@@ -122,6 +122,109 @@ class TestObsCLI:
             obs_main(["--scheme", "gag-8"])  # neither --workload nor --trace
 
 
+class TestLedgerCLI:
+    """The run/history/compare/regress/export-bench subcommand surface."""
+
+    def _record_two_runs(self, trace_file, ledger_dir):
+        for _ in range(2):
+            code = obs_main(
+                ["run", "--scheme", "gag-8", "--trace", str(trace_file),
+                 "--format", "json", "--ledger", str(ledger_dir)]
+            )
+            assert code == 0
+
+    def test_run_subcommand_matches_flat_form(self, trace_file, capsys):
+        code = obs_main(
+            ["run", "--scheme", "GAg", "--trace", str(trace_file), "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.obs/1"
+        assert payload["scheme"] == "gag-12"
+
+    def test_run_ledger_records_and_notes(self, trace_file, tmp_path, capsys):
+        ledger_dir = tmp_path / "ledger"
+        self._record_two_runs(trace_file, ledger_dir)
+        err = capsys.readouterr().err
+        assert "# ledger: run" in err
+        assert "(seq 1)" in err
+        assert len(list(ledger_dir.glob("*.jsonl"))) == 1
+
+    def test_history_lists_recorded_runs(self, trace_file, tmp_path, capsys):
+        ledger_dir = tmp_path / "ledger"
+        self._record_two_runs(trace_file, ledger_dir)
+        capsys.readouterr()
+        code = obs_main(["history", "--ledger", str(ledger_dir), "--format", "json"])
+        assert code == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert len(entries) == 2
+        assert [e["seq"] for e in entries] == [0, 1]
+        assert all(e["scheme"] == "gag-8" for e in entries)
+
+    def test_compare_identical_runs(self, trace_file, tmp_path, capsys):
+        ledger_dir = tmp_path / "ledger"
+        self._record_two_runs(trace_file, ledger_dir)
+        capsys.readouterr()
+        code = obs_main(["compare", "latest~1", "latest", "--ledger", str(ledger_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "same configuration : yes" in out
+        assert "+0.0000 pp" in out  # deterministic rerun: zero drift
+
+    def test_compare_unknown_selector_exits_2(self, tmp_path, capsys):
+        code = obs_main(["compare", "latest", "latest~9",
+                         "--ledger", str(tmp_path / "empty")])
+        assert code == 2
+        assert "repro.obs:" in capsys.readouterr().err
+
+    def test_regress_clean_on_identical_runs(self, trace_file, tmp_path, capsys):
+        ledger_dir = tmp_path / "ledger"
+        self._record_two_runs(trace_file, ledger_dir)
+        capsys.readouterr()
+        code = obs_main(["regress", "--ledger", str(ledger_dir), "--strict"])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_regress_flags_perturbed_accuracy(self, trace_file, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+
+        ledger_dir = tmp_path / "ledger"
+        self._record_two_runs(trace_file, ledger_dir)
+        ledger = RunLedger(ledger_dir)
+        latest = ledger.find("latest")
+        perturbed = latest.to_dict()
+        perturbed.update(run_id="", seq=-1, timestamp=0.0,
+                         correct_predictions=latest.correct_predictions - 3)
+        from repro.obs.ledger import LedgerEntry
+
+        ledger.append(LedgerEntry.from_dict(perturbed))
+        capsys.readouterr()
+        code = obs_main(["regress", "--ledger", str(ledger_dir), "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+        assert payload["findings"][0]["rule"] == "accuracy-drift"
+
+    def test_regress_rejects_nan_tolerance(self, tmp_path, capsys):
+        code = obs_main(["regress", "--ledger", str(tmp_path / "empty"),
+                         "--tolerance", "nan"])
+        assert code == 2
+        assert "finite" in capsys.readouterr().err
+
+    def test_export_bench(self, trace_file, tmp_path, capsys):
+        ledger_dir = tmp_path / "ledger"
+        self._record_two_runs(trace_file, ledger_dir)
+        out = tmp_path / "BENCH_test.json"
+        capsys.readouterr()
+        code = obs_main(["export-bench", "--ledger", str(ledger_dir),
+                         "--out", str(out), "--date", "20260806"])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.bench/1"
+        assert payload["date"] == "20260806"
+        assert payload["simulator_throughput"]
+
+
 class TestSimCLIObs:
     def test_run_obs_summary(self, trace_file, capsys):
         code = sim_main(["run", "pag-8", str(trace_file), "--obs"])

@@ -1,0 +1,261 @@
+"""The run ledger and regression sentinel (repro.obs.ledger).
+
+Guarantees under test:
+
+* exact ``to_dict``/``from_dict`` round-trip of ledger entries,
+* content-addressed sharding: same config -> same shard, monotone seq,
+* selector resolution (``latest``, ``latest~N``, run-id prefixes),
+* the regression sentinel's edge cases — empty ledger, first run,
+  identical runs, NaN/inf tolerances — and its core promise: a
+  perturbed accuracy is flagged as an error, a throughput collapse as
+  a warning,
+* the entry builders and the ``BENCH_<date>.json`` export.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    LedgerEntry,
+    RunLedger,
+    compare_entries,
+    compute_config_hash,
+    entries_from_matrix,
+    entry_from_benchmark,
+    export_bench,
+    format_history,
+    regress,
+)
+
+
+def _entry(correct=900, branches=1000, rate=1e6, scheme="gag-8", workload="eqntott"):
+    return LedgerEntry(
+        kind="obs",
+        scheme=scheme,
+        workload=workload,
+        dataset="test",
+        conditional_branches=branches,
+        correct_predictions=correct,
+        total_instructions=10 * branches,
+        wall_time=branches / rate if rate else 0.0,
+        branches_per_sec=rate,
+        phases={"simulate": branches / rate if rate else 0.0},
+    )
+
+
+@pytest.fixture()
+def ledger(tmp_path):
+    return RunLedger(tmp_path / "ledger")
+
+
+class TestLedgerEntry:
+    def test_round_trip_is_exact(self, ledger):
+        recorded = ledger.append(_entry())
+        assert LedgerEntry.from_dict(recorded.to_dict()) == recorded
+
+    def test_round_trip_through_json(self, ledger):
+        recorded = ledger.append(_entry())
+        reloaded = LedgerEntry.from_dict(json.loads(json.dumps(recorded.to_dict())))
+        assert reloaded == recorded
+
+    def test_schema_tag_present_and_checked(self):
+        payload = _entry().to_dict()
+        assert payload["schema"] == LEDGER_SCHEMA
+        with pytest.raises(ValueError):
+            LedgerEntry.from_dict({**payload, "schema": "something/else"})
+
+    def test_accuracy_none_without_branches(self):
+        assert entry_from_benchmark("test_bench_fig9", 1.5).accuracy is None
+        assert _entry().accuracy == 0.9
+
+
+class TestRunLedger:
+    def test_append_assigns_bookkeeping(self, ledger):
+        recorded = ledger.append(_entry())
+        assert recorded.config_hash == compute_config_hash(
+            "obs", "gag-8", "eqntott", "test"
+        )
+        assert recorded.seq == 0
+        assert len(recorded.run_id) == 16
+        assert recorded.timestamp > 0
+
+    def test_same_config_shares_shard_and_increments_seq(self, ledger):
+        first = ledger.append(_entry())
+        second = ledger.append(_entry())
+        assert first.config_hash == second.config_hash
+        assert [e.seq for e in ledger.runs(first.config_hash)] == [0, 1]
+        shards = list(ledger.directory.glob("*.jsonl"))
+        assert len(shards) == 1
+        assert shards[0].stem == first.config_hash[: RunLedger.SHARD_CHARS]
+
+    def test_different_config_different_shard(self, ledger):
+        a = ledger.append(_entry())
+        b = ledger.append(_entry(scheme="pag-8"))
+        assert a.config_hash != b.config_hash
+        assert len(list(ledger.directory.glob("*.jsonl"))) == 2
+
+    def test_history_filters(self, ledger):
+        ledger.append(_entry())
+        ledger.append(_entry(scheme="pag-8", workload="gcc"))
+        assert len(ledger.history()) == 2
+        assert len(ledger.history(scheme="pag-8")) == 1
+        assert ledger.history(workload="gcc")[0].scheme == "pag-8"
+        assert len(ledger.history(limit=1)) == 1
+
+    def test_find_selectors(self, ledger):
+        first = ledger.append(_entry(correct=900))
+        second = ledger.append(_entry(correct=901))
+        assert ledger.find("latest").run_id == second.run_id
+        assert ledger.find("latest~1").run_id == first.run_id
+        assert ledger.find(first.run_id[:8]).run_id == first.run_id
+
+    def test_find_rejects_bad_selectors(self, ledger):
+        with pytest.raises(KeyError):
+            ledger.find("latest")  # empty ledger
+        ledger.append(_entry())
+        with pytest.raises(KeyError):
+            ledger.find("latest~5")  # out of range
+        with pytest.raises(KeyError):
+            ledger.find("abc")  # prefix too short
+        with pytest.raises(KeyError):
+            ledger.find("zzzz")  # run ids are hex: can never match
+
+    def test_shard_is_append_only_jsonl(self, ledger):
+        ledger.append(_entry())
+        ledger.append(_entry())
+        shard = next(ledger.directory.glob("*.jsonl"))
+        lines = shard.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["schema"] == LEDGER_SCHEMA for line in lines)
+
+
+class TestCompare:
+    def test_delta_between_runs(self, ledger):
+        a = ledger.append(_entry(correct=900, rate=1e6))
+        b = ledger.append(_entry(correct=905, rate=2e6))
+        delta = compare_entries(a, b)
+        assert delta.same_config
+        assert delta.accuracy_delta == pytest.approx(0.005)
+        assert delta.mispredictions_delta == -5
+        assert delta.throughput_ratio == pytest.approx(2.0)
+        assert "+0.5000 pp" in delta.format_text()
+
+    def test_cross_config_flagged(self, ledger):
+        a = ledger.append(_entry())
+        b = ledger.append(_entry(scheme="pag-8"))
+        delta = compare_entries(a, b)
+        assert not delta.same_config
+        assert "NO" in delta.format_text()
+
+
+class TestRegress:
+    def test_empty_ledger_is_clean(self, ledger):
+        report = regress(ledger)
+        assert report.ok
+        assert report.checked_configs == 0
+        assert report.exit_code(strict=True) == 0
+
+    def test_first_run_is_skipped_not_flagged(self, ledger):
+        ledger.append(_entry())
+        report = regress(ledger)
+        assert report.ok
+        assert report.skipped_configs == 1
+        assert report.checked_configs == 0
+
+    def test_identical_runs_are_clean(self, ledger):
+        ledger.append(_entry())
+        ledger.append(_entry())
+        report = regress(ledger)
+        assert report.ok
+        assert report.checked_configs == 1
+        assert "clean" in report.format_text()
+
+    def test_perturbed_accuracy_is_an_error(self, ledger):
+        ledger.append(_entry(correct=900))
+        ledger.append(_entry(correct=905))  # accuracy moved: deterministic sim -> bug
+        report = regress(ledger)
+        assert len(report.errors) == 1
+        finding = report.errors[0]
+        assert finding.rule == "accuracy-drift"
+        assert report.exit_code() == 1
+
+    def test_tolerance_absorbs_small_drift(self, ledger):
+        ledger.append(_entry(correct=900))
+        ledger.append(_entry(correct=905))
+        assert regress(ledger, tolerance=0.01).ok
+
+    def test_throughput_drop_is_a_warning(self, ledger):
+        for _ in range(3):
+            ledger.append(_entry(rate=1e6))
+        ledger.append(_entry(rate=1e5))  # 10x slower than the rolling median
+        report = regress(ledger)
+        assert not report.errors
+        assert len(report.warnings) == 1
+        assert report.warnings[0].rule == "throughput-drop"
+        assert report.exit_code() == 0  # warnings gate only under --strict
+        assert report.exit_code(strict=True) == 1
+
+    def test_nan_and_inf_tolerances_are_rejected(self, ledger):
+        ledger.append(_entry())
+        for bad in (float("nan"), float("inf"), -0.5, 1.5):
+            with pytest.raises(ValueError):
+                regress(ledger, tolerance=bad)
+        with pytest.raises(ValueError):
+            regress(ledger, throughput_drop=float("nan"))
+        with pytest.raises(ValueError):
+            regress(ledger, window=0)
+
+    def test_bench_entries_skip_accuracy_rule(self, ledger):
+        ledger.append(entry_from_benchmark("test_bench_fig9", 1.0))
+        ledger.append(entry_from_benchmark("test_bench_fig9", 2.0))
+        assert not regress(ledger).errors
+
+
+class TestBuildersAndExport:
+    def test_entry_from_benchmark_keeps_scalars_only(self):
+        entry = entry_from_benchmark(
+            "test_bench_fig9", 1.25, {"gmean": 0.9, "rows": [1, 2], "label": "fig9"}
+        )
+        assert entry.kind == "bench"
+        assert entry.wall_time == 1.25
+        assert entry.extra == {"gmean": 0.9, "label": "fig9"}
+
+    def test_entries_from_matrix(self, ledger):
+        from repro.sim.parallel import spec
+        from repro.sim.runner import BenchmarkCase, run_matrix
+        from repro.trace import synthetic
+
+        cases = [
+            BenchmarkCase(
+                name=name,
+                category="int",
+                test_trace=synthetic.loop_trace(iterations=100, trip_count=4, name=name),
+            )
+            for name in ("a", "b")
+        ]
+        matrix = run_matrix({"GAg-6": spec("gag-6"), "AT": spec("always-taken")}, cases)
+        entries = ledger.extend(entries_from_matrix(matrix))
+        assert len(entries) == 4
+        assert {e.kind for e in entries} == {"matrix"}
+        assert all(e.conditional_branches > 0 for e in entries)
+        assert all("simulate" in e.phases for e in entries)
+
+    def test_format_history(self, ledger):
+        assert format_history([]) == "(ledger is empty)"
+        ledger.append(_entry())
+        text = format_history(ledger.entries())
+        assert "gag-8" in text
+        assert "90.0000%" in text
+
+    def test_export_bench_snapshot(self, ledger, tmp_path):
+        ledger.append(entry_from_benchmark("test_bench_fig9", 1.0, {"gmean": 0.9}))
+        ledger.append(_entry())
+        out = export_bench(ledger, tmp_path / "BENCH_test.json", date_stamp="20260806")
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.bench/1"
+        assert payload["date"] == "20260806"
+        assert payload["benchmarks"][0]["name"] == "test_bench_fig9"
+        assert payload["simulator_throughput"][0]["scheme"] == "gag-8"
+        assert payload["simulator_throughput"][0]["accuracy"] == pytest.approx(0.9)

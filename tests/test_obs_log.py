@@ -1,0 +1,129 @@
+"""Structured logging (repro.obs.log).
+
+Guarantees under test: off by default (and off = no output), text and
+JSON renderings, run-id scoping, and that the instrumented seams
+(engine, parallel runner, trace suite) emit events only when enabled.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import log
+
+
+@pytest.fixture(autouse=True)
+def _reset_logging():
+    yield
+    log.disable()
+    log.set_run_id("")
+
+
+def _configured(fmt="text"):
+    stream = io.StringIO()
+    log.configure(stream=stream, fmt=fmt)
+    return stream
+
+
+class TestConfiguration:
+    def test_off_by_default_and_silent(self):
+        assert not log.is_enabled()
+        log.get_logger("test").event("ignored", value=1)  # must not raise or write
+
+    def test_configure_enable_disable(self):
+        _configured()
+        assert log.is_enabled()
+        log.disable()
+        assert not log.is_enabled()
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            log.configure(stream=io.StringIO(), fmt="xml")
+
+    def test_disabled_logger_writes_nothing(self):
+        stream = _configured()
+        log.disable()
+        log.get_logger("test").event("after_disable")
+        assert stream.getvalue() == ""
+
+
+class TestRecords:
+    def test_text_record_carries_run_id_and_fields(self):
+        stream = _configured()
+        log.set_run_id("run-abc")
+        log.get_logger("sim.engine").event("run_start", scheme="gag-8", records=100)
+        line = stream.getvalue().strip()
+        assert "[run-abc]" in line
+        assert "sim.engine: run_start" in line
+        assert "scheme=gag-8" in line
+        assert "records=100" in line
+
+    def test_json_records_are_one_object_per_line(self):
+        stream = _configured(fmt="json")
+        log.get_logger("a").event("one", x=1)
+        log.get_logger("b").event("two", y="z")
+        records = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert [r["event"] for r in records] == ["one", "two"]
+        assert records[0]["component"] == "a"
+        assert records[0]["x"] == 1
+        assert records[1]["y"] == "z"
+        assert all(r["ts"] > 0 for r in records)
+
+    def test_new_run_id_is_unique_and_current(self):
+        first = log.new_run_id("exp")
+        second = log.new_run_id("exp")
+        assert first != second
+        assert log.current_run_id() == second
+        assert second.startswith("exp-")
+
+    def test_closed_stream_never_raises(self):
+        stream = io.StringIO()
+        log.configure(stream=stream)
+        stream.close()
+        log.get_logger("test").event("into_the_void")  # swallowed
+
+
+class TestInstrumentedSeams:
+    def test_engine_emits_run_events_when_enabled(self):
+        from repro.predictors.registry import make_predictor
+        from repro.sim.engine import simulate
+        from repro.trace import synthetic
+
+        trace = synthetic.loop_trace(iterations=50, trip_count=4, name="t")
+        stream = _configured(fmt="json")
+        result = simulate(make_predictor("gag-6"), trace)
+        events = [json.loads(line)["event"] for line in stream.getvalue().splitlines()]
+        assert events == ["run_start", "run_end"]
+        payload = json.loads(stream.getvalue().splitlines()[-1])
+        assert payload["branches"] == result.conditional_branches
+        assert payload["accuracy"] == pytest.approx(result.accuracy, abs=1e-6)
+
+    def test_engine_result_identical_with_logging_on(self):
+        from repro.predictors.registry import make_predictor
+        from repro.sim.engine import simulate
+        from repro.trace import synthetic
+
+        trace = synthetic.loop_trace(iterations=50, trip_count=4, name="t")
+        bare = simulate(make_predictor("gag-6"), trace)
+        _configured()
+        logged = simulate(make_predictor("gag-6"), trace)
+        assert logged == bare
+
+    def test_parallel_runner_emits_matrix_events(self):
+        from repro.sim.parallel import spec
+        from repro.sim.runner import BenchmarkCase, run_matrix
+        from repro.trace import synthetic
+
+        cases = [
+            BenchmarkCase(
+                name="a",
+                category="int",
+                test_trace=synthetic.loop_trace(iterations=50, trip_count=4, name="a"),
+            )
+        ]
+        stream = _configured(fmt="json")
+        run_matrix({"AT": spec("always-taken")}, cases)
+        events = [json.loads(line)["event"] for line in stream.getvalue().splitlines()]
+        assert "matrix_start" in events
+        assert "matrix_done" in events
