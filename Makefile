@@ -4,7 +4,7 @@ PYTHON ?= python
 
 WORKERS ?= 4
 
-.PHONY: install test check lint bench experiments sweep sweep-follow examples obs-demo clean
+.PHONY: install test check lint bench bench-kernels experiments sweep sweep-follow examples obs-demo clean
 
 install:
 	pip install -e .
@@ -30,6 +30,13 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Vectorized-kernel throughput pin: asserts the fast-path backend is
+# bit-identical to the interpreted engine and >=5x faster on a
+# million-branch trace, and appends the measured speedups to the run
+# ledger (results/ledger) for repro-obs history / export-bench.
+bench-kernels:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_kernels.py --benchmark-only
 
 experiments:
 	$(PYTHON) -m repro.experiments.cli all --out results/

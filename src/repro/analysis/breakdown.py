@@ -81,7 +81,10 @@ def misprediction_breakdown(
     for pc, taken, cls, target, instret, trap in trace.iter_tuples():
         if cs_enabled and ((trap and switch_on_traps) or instret >= next_switch):
             predictor.on_context_switch()
-            next_switch = instret + interval
+            if instret >= next_switch:
+                # Absolute interval boundaries, matching the engine's
+                # fixed context-switch cadence (see repro.sim.engine).
+                next_switch += interval * ((instret - next_switch) // interval + 1)
             since_flush = {}
         if cls != cond_class:
             continue

@@ -42,6 +42,7 @@ AUDITED_MODULES: Tuple[str, ...] = (
     "repro.trace",
     "repro.workloads",
     "repro.sim.engine",
+    "repro.sim.kernels",
     "repro.sim.parallel",
     "repro.obs",
     "repro.obs.metrics",

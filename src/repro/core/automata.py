@@ -214,6 +214,67 @@ def shift_register_automaton(bits: int, threshold: int = 1) -> AutomatonSpec:
     )
 
 
+_PACKED_STATES = 4
+IDENTITY_CODE = 0b11100100
+"""The packed code of the identity map on 4 states (see
+:func:`packed_transition_code`)."""
+
+
+def packed_transition_code(spec: AutomatonSpec, taken: bool) -> int:
+    """Pack one outcome's transition function into a single byte.
+
+    State ``s``'s successor occupies bits ``2s..2s+1``; states beyond
+    ``num_states`` map to themselves so composition stays closed. The
+    byte encoding is what lets the vectorized kernels compose automaton
+    steps with a 256x256 lookup table (:mod:`repro.sim.kernels`).
+
+    Raises:
+        ValueError: when the automaton has more than 4 states (e.g.
+            wide :func:`saturating_counter` extensions).
+    """
+    if spec.num_states > _PACKED_STATES:
+        raise ValueError(
+            f"packed transition codes hold at most {_PACKED_STATES} states, "
+            f"{spec.name} has {spec.num_states}"
+        )
+    code = 0
+    for state in range(_PACKED_STATES):
+        nxt = spec.next_state(state, taken) if state < spec.num_states else state
+        code |= nxt << (2 * state)
+    return code
+
+
+def _compose_code(first: int, second: int) -> int:
+    """Packed code of ``second`` applied after ``first``."""
+    code = 0
+    for state in range(_PACKED_STATES):
+        mid = (first >> (2 * state)) & 0b11
+        code |= ((second >> (2 * mid)) & 0b11) << (2 * state)
+    return code
+
+
+def supports_vector_scan(spec: AutomatonSpec) -> bool:
+    """Whether the vectorized kernels can drive this automaton.
+
+    Requires at most 4 states (so a state fits two bits) and, for each
+    outcome ``o``, ``f_o^4 == f_o^3`` — i.e. repeating one outcome
+    reaches a fixed point within three steps, which lets a run of
+    identical outcomes be scored in closed form. Every paper automaton
+    (LT, A1-A4) and the preset bit satisfy this; it rules out only
+    exotic extensions such as >2-bit counters.
+    """
+    if spec.num_states > _PACKED_STATES:
+        return False
+    for taken in (False, True):
+        f1 = packed_transition_code(spec, taken)
+        f2 = _compose_code(f1, f1)
+        f3 = _compose_code(f2, f1)
+        f4 = _compose_code(f3, f1)
+        if f4 != f3:
+            return False
+    return True
+
+
 PAPER_AUTOMATA: Dict[str, AutomatonSpec] = {
     "LT": LAST_TIME,
     "A1": A1,

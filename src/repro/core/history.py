@@ -172,6 +172,18 @@ class IdealBHT:
         self._entries.clear()
         self.stats.flushes += 1
 
+    def entries_snapshot(self) -> Dict[int, Tuple[int, bool, int, bool]]:
+        """``pc -> (value, fresh, slot, valid)`` for every resident entry.
+
+        A cheap, copy-safe dump used by the vectorized-backend
+        equivalence tests to assert kernels never mutate first-level
+        state.
+        """
+        return {
+            pc: (entry.value, entry.fresh, entry.slot, entry.valid)
+            for pc, entry in self._entries.items()
+        }
+
     def __iter__(self) -> Iterator[BHTEntry]:
         return iter(self._entries.values())
 
@@ -288,6 +300,19 @@ class CacheBHT:
         slots = self.evicted_slots
         self.evicted_slots = []
         return slots
+
+    def entries_snapshot(self) -> Dict[int, Tuple[int, bool, int, bool]]:
+        """``slot -> (value, fresh, tag, valid)`` for every way.
+
+        Invalid ways are included (their stale tags matter to LRU victim
+        choice); see :meth:`IdealBHT.entries_snapshot` for the intended
+        use by equivalence tests.
+        """
+        return {
+            entry.slot: (entry.value, entry.fresh, entry.tag, entry.valid)
+            for entries in self._sets
+            for entry in entries
+        }
 
     def __iter__(self) -> Iterator[BHTEntry]:
         for entries in self._sets:

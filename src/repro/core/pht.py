@@ -187,6 +187,14 @@ class PresetPatternTable:
     def update(self, pattern: int, taken: bool) -> None:
         """Pattern bits are preset: run-time outcomes are ignored."""
 
+    def bits_snapshot(self) -> List[bool]:
+        """A copy of every preset bit, indexed by pattern.
+
+        The vectorized kernels turn this into a lookup array; the copy
+        keeps the frozen table immutable from the outside.
+        """
+        return list(self._bits)
+
     def occupancy(self) -> int:
         """Entries whose preset bit differs from the fallback direction."""
         default = self._default_direction
@@ -262,6 +270,14 @@ class PHTBank:
 
     def reset(self) -> None:
         self._tables.clear()
+
+    def states_snapshot(self) -> Dict[int, List[int]]:
+        """Per-slot copies of the materialised tables' entry states.
+
+        Used by the vectorized-backend equivalence tests to assert that
+        a kernel run left the predictor's state untouched.
+        """
+        return {slot: table.states_snapshot() for slot, table in self._tables.items()}
 
     def __len__(self) -> int:
         return len(self._tables)

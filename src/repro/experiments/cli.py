@@ -38,6 +38,7 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
+from ..sim.engine import SIM_BACKENDS
 from ..trace.cache import ResultCache
 from ..workloads.suite import SuiteConfig, build_cases
 from .extras import ALL_EXTRAS
@@ -61,6 +62,7 @@ def run_experiment(
     cases=None,
     n_workers: int = 1,
     result_cache: Optional[ResultCache] = None,
+    backend: str = "auto",
 ):
     """Run one experiment by id, returning its result object.
 
@@ -70,6 +72,9 @@ def run_experiment(
         cases: pre-built benchmark cases shared across experiments.
         n_workers: worker processes for matrix-producing drivers.
         result_cache: on-disk result cache for matrix-producing drivers.
+        backend: simulation backend for matrix-producing drivers
+            (``"auto"`` / ``"python"`` / ``"vectorized"``; results are
+            bit-identical, see :data:`repro.sim.engine.SIM_BACKENDS`).
 
     Drivers that run no simulations (e.g. ``table2``) ignore the
     execution knobs; the knobs are forwarded only to drivers whose
@@ -90,6 +95,8 @@ def run_experiment(
         kwargs["n_workers"] = n_workers
     if "result_cache" in parameters:
         kwargs["result_cache"] = result_cache
+    if "backend" in parameters:
+        kwargs["backend"] = backend
     return driver(**kwargs)
 
 
@@ -111,6 +118,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=1,
         help="worker processes per experiment (results are identical for any value)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=SIM_BACKENDS,
+        default="auto",
+        help="simulation backend: auto (vectorized kernels where available, "
+        "default), python (interpreted loop), vectorized (fail if no kernel "
+        "applies); results are bit-identical",
     )
     parser.add_argument(
         "--cache-dir",
@@ -182,6 +197,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_summary = {
         "scale": args.scale,
         "workers": args.workers,
+        "backend": args.backend,
         "cache": None if result_cache is None else str(result_cache.directory),
         "experiments": {},
     }
@@ -193,6 +209,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             cases=cases,
             n_workers=args.workers,
             result_cache=result_cache,
+            backend=args.backend,
         )
         elapsed = time.time() - started
         text = result.render()

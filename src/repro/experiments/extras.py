@@ -178,6 +178,7 @@ def extra_taxonomy(
     history_bits: int = 8,
     n_workers: int = 1,
     result_cache=None,
+    backend: str = "auto",
 ) -> FigureResult:
     """The widened taxonomy ladder at one history length, with costs.
 
@@ -198,7 +199,9 @@ def extra_taxonomy(
         f"gselect-{k // 2}+{k - k // 2}": spec(f"gselect-{k // 2}+{k - k // 2}"),
         "tournament": lambda t: tournament_pag_gshare(k, k, 10),
     }
-    matrix = run_matrix(builders, cases, n_workers=n_workers, result_cache=result_cache)
+    matrix = run_matrix(
+        builders, cases, n_workers=n_workers, result_cache=result_cache, backend=backend
+    )
     costs = {
         f"GAg-{k}": cost_gag(k),
         f"SAg-{k}x16": cost_sag(k, 16),

@@ -123,6 +123,7 @@ def figure5(
     history_bits: int = 12,
     n_workers: int = 1,
     result_cache: Optional[ResultCache] = None,
+    backend: str = "auto",
 ) -> FigureResult:
     """PAg(512, 4-way, 12-bit) with automata LT / A1 / A2 / A3 / A4."""
     cases = _cases(cases, scale)
@@ -130,7 +131,10 @@ def figure5(
         f"PAg-{history_bits}-{name}": spec(f"pag-{history_bits}-{name.lower()}-512x4")
         for name in PAPER_AUTOMATA
     }
-    matrix = run_matrix(builders, cases, n_workers=n_workers, result_cache=result_cache)
+    matrix = run_matrix(
+        builders, cases, n_workers=n_workers, result_cache=result_cache,
+        backend=backend,
+    )
     rendered = render_accuracy_matrix(
         matrix,
         title=f"Figure 5: PAg(BHT(512,4,{history_bits}-sr)) with different automata",
@@ -153,6 +157,7 @@ def figure6(
     lengths: Sequence[int] = (2, 4, 6, 8, 10, 12),
     n_workers: int = 1,
     result_cache: Optional[ResultCache] = None,
+    backend: str = "auto",
 ) -> FigureResult:
     """GAg vs PAg vs PAp, all using the same history register length."""
     cases = _cases(cases, scale)
@@ -161,7 +166,10 @@ def figure6(
         builders[f"GAg-{k}"] = spec(f"gag-{k}")
         builders[f"PAg-{k}"] = spec(f"pag-{k}-512x4")
         builders[f"PAp-{k}"] = spec(f"pap-{k}-512x4")
-    matrix = run_matrix(builders, cases, n_workers=n_workers, result_cache=result_cache)
+    matrix = run_matrix(
+        builders, cases, n_workers=n_workers, result_cache=result_cache,
+        backend=backend,
+    )
     summary_rows = []
     for k in lengths:
         summary_rows.append(
@@ -207,11 +215,15 @@ def figure7(
     lengths: Sequence[int] = (6, 8, 10, 12, 14, 16, 18),
     n_workers: int = 1,
     result_cache: Optional[ResultCache] = None,
+    backend: str = "auto",
 ) -> FigureResult:
     """GAg accuracy as the history register grows 6 -> 18 bits."""
     cases = _cases(cases, scale)
     builders = {f"GAg-{k}": spec(f"gag-{k}") for k in lengths}
-    matrix = run_matrix(builders, cases, n_workers=n_workers, result_cache=result_cache)
+    matrix = run_matrix(
+        builders, cases, n_workers=n_workers, result_cache=result_cache,
+        backend=backend,
+    )
     gain = matrix.gmean(f"GAg-{max(lengths)}") - matrix.gmean(f"GAg-{min(lengths)}")
     series = {
         "Int GMean": [matrix.gmean(f"GAg-{k}", "int") for k in lengths],
@@ -243,6 +255,7 @@ def figure8(
     params: CostParams = UNIT_COSTS,
     n_workers: int = 1,
     result_cache: Optional[ResultCache] = None,
+    backend: str = "auto",
 ) -> FigureResult:
     """GAg(18) / PAg(12) / PAp(6): ~equal accuracy, very unequal cost."""
     cases = _cases(cases, scale)
@@ -251,7 +264,10 @@ def figure8(
         "PAg-12": spec("pag-12-512x4"),
         "PAp-6": spec("pap-6-512x4"),
     }
-    matrix = run_matrix(builders, cases, n_workers=n_workers, result_cache=result_cache)
+    matrix = run_matrix(
+        builders, cases, n_workers=n_workers, result_cache=result_cache,
+        backend=backend,
+    )
     costs = {
         "GAg-18": cost_gag(18, 2, params),
         "PAg-12": cost_pag(512, 4, 12, 2, params),
@@ -289,6 +305,7 @@ def figure9(
     interval: int = 500_000,
     n_workers: int = 1,
     result_cache: Optional[ResultCache] = None,
+    backend: str = "auto",
 ) -> FigureResult:
     """GAg(18)/PAg(12)/PAp(6) with and without context switches."""
     cases = _cases(cases, scale)
@@ -297,7 +314,10 @@ def figure9(
         "PAg-12": spec("pag-12-512x4"),
         "PAp-6": spec("pap-6-512x4"),
     }
-    plain = run_matrix(builders, cases, n_workers=n_workers, result_cache=result_cache)
+    plain = run_matrix(
+        builders, cases, n_workers=n_workers, result_cache=result_cache,
+        backend=backend,
+    )
     switched_builders = {f"{name},c": builder for name, builder in builders.items()}
     switched = run_matrix(
         switched_builders,
@@ -305,6 +325,7 @@ def figure9(
         context_switches=ContextSwitchConfig(interval=interval),
         n_workers=n_workers,
         result_cache=result_cache,
+        backend=backend,
     )
     merged = ResultMatrix(
         benchmarks=plain.benchmarks,
@@ -347,6 +368,7 @@ def figure10(
     history_bits: int = 12,
     n_workers: int = 1,
     result_cache: Optional[ResultCache] = None,
+    backend: str = "auto",
 ) -> FigureResult:
     """PAg with practical BHTs (256/512 x direct/4-way) vs the IBHT,
     simulated in the presence of context switches, as the paper does."""
@@ -364,6 +386,7 @@ def figure10(
         context_switches=ContextSwitchConfig(),
         n_workers=n_workers,
         result_cache=result_cache,
+        backend=backend,
     )
     rendered = render_accuracy_matrix(
         matrix, title="Figure 10: branch history table implementations (with context switches)"
@@ -385,6 +408,7 @@ def figure11(
     scale: int = 1,
     n_workers: int = 1,
     result_cache: Optional[ResultCache] = None,
+    backend: str = "auto",
 ) -> FigureResult:
     """PAg(12) against every other scheme family in the study."""
     cases = _cases(cases, scale)
@@ -398,7 +422,10 @@ def figure11(
         "BTFN": spec("btfn"),
         "AlwaysTaken": spec("always-taken"),
     }
-    matrix = run_matrix(builders, cases, n_workers=n_workers, result_cache=result_cache)
+    matrix = run_matrix(
+        builders, cases, n_workers=n_workers, result_cache=result_cache,
+        backend=backend,
+    )
     rendered = (
         render_accuracy_matrix(
             matrix, title="Figure 11: comparison of branch prediction schemes"

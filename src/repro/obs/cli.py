@@ -31,7 +31,7 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-from ..sim.engine import ContextSwitchConfig
+from ..sim.engine import SIM_BACKENDS, ContextSwitchConfig
 from ..workloads.suite import BENCHMARK_ORDER
 from . import log as obs_log
 from .export import write_report
@@ -324,6 +324,12 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         help="context-switch interval in instructions (default: 500000)",
     )
     parser.add_argument(
+        "--backend", choices=SIM_BACKENDS, default="auto",
+        help="simulation backend: auto (vectorized kernels where "
+        "available, default), python (interpreted loop), vectorized "
+        "(fail if no kernel applies); results are bit-identical",
+    )
+    parser.add_argument(
         "--cache-dir", type=Path, default=Path("results") / "cache",
         help="result-cache directory (default: results/cache)",
     )
@@ -407,6 +413,7 @@ def run_sweep(args: argparse.Namespace) -> int:
             result_cache=result_cache,
             progress=progress,
             tick=tick,
+            backend=args.backend,
         )
     except (KeyError, ValueError) as exc:
         if printer is not None:

@@ -148,9 +148,13 @@ class LedgerEntry:
         branches_per_sec: throughput of the simulate phase (0.0 when
             unknown).
         phases: per-phase seconds breakdown (``trace_load`` / ``build``
-            / ``simulate`` / ``cache_lookup`` vocabulary).
+            / ``simulate`` / ``cache_lookup`` vocabulary). The
+            ``simulate`` span keeps that name for every engine backend,
+            so ``branches_per_sec`` is comparable across the
+            interpreted loop and the vectorized kernels; which backend
+            ran is recorded under ``extra["backend"]``.
         extra: free-form JSON-compatible payload (benchmark
-            ``extra_info``, worker counts, ...).
+            ``extra_info``, worker counts, engine backend, ...).
     """
 
     kind: str
@@ -462,6 +466,8 @@ def entries_from_matrix(
             extra: Dict[str, Any] = {}
             if cell is not None:
                 extra["source"] = cell.source
+                if getattr(cell, "backend", ""):
+                    extra["backend"] = cell.backend
             if telemetry is not None:
                 extra["workers"] = telemetry.n_workers
             entries.append(

@@ -92,6 +92,10 @@ class ProfileGuided(BranchPredictor):
     def update(self, pc: int, taken: bool, target: int = 0) -> None:
         pass
 
+    def directions_snapshot(self) -> Dict[int, bool]:
+        """A copy of the frozen pc -> direction profile (kernels/tests)."""
+        return dict(self._directions)
+
     @property
     def num_profiled_branches(self) -> int:
         return len(self._directions)

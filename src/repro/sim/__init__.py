@@ -1,7 +1,15 @@
 """Trace-driven simulation: engine, results, runner, parallel/cached
-sweep execution, pipeline timing, fetch-engine modelling."""
+sweep execution, vectorized fast-path kernels, pipeline timing,
+fetch-engine modelling."""
 
-from .engine import ContextSwitchConfig, simulate, simulate_named
+from .engine import (
+    SIM_BACKENDS,
+    ContextSwitchConfig,
+    simulate,
+    simulate_named,
+    simulate_with_backend,
+)
+from .kernels import KernelUnavailable, kernel_supports, simulate_vectorized
 from .fetch import BranchTargetCache, FetchEngine, FetchStats, ReturnAddressStack
 from .ipc import IPCEstimate, MachineModel, ipc_estimate, ipc_from_result, speedup
 from .parallel import PredictorSpec, execute_matrix, result_cache_key, spec, trace_digest
@@ -29,11 +37,13 @@ __all__ = [
     "FetchEngine",
     "FetchStats",
     "IPCEstimate",
+    "KernelUnavailable",
     "MachineModel",
     "PredictorBuilder",
     "PredictorSpec",
     "RecoveryPolicy",
     "ResultMatrix",
+    "SIM_BACKENDS",
     "ReturnAddressStack",
     "RunTelemetry",
     "SimulationResult",
@@ -42,12 +52,15 @@ __all__ = [
     "geometric_mean",
     "ipc_estimate",
     "ipc_from_result",
+    "kernel_supports",
     "result_cache_key",
     "run_case",
     "run_matrix",
     "simulate",
     "simulate_delayed",
     "simulate_named",
+    "simulate_vectorized",
+    "simulate_with_backend",
     "spec",
     "speedup",
     "sweep_parameter",

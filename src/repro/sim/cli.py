@@ -25,7 +25,7 @@ from typing import List, Optional
 
 from ..predictors.registry import make_predictor
 from ..trace.io import load_trace
-from .engine import ContextSwitchConfig, simulate
+from .engine import SIM_BACKENDS, ContextSwitchConfig, simulate_with_backend
 
 __all__ = ["build_parser", "main"]
 
@@ -52,7 +52,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         offenders = TopOffendersProbe(k=5)
         probe = ProbeSet([streaks, offenders])
     started = time.perf_counter()
-    result = simulate(predictor, trace, context_switches=_context(args), probe=probe)
+    result, backend = simulate_with_backend(
+        predictor,
+        trace,
+        context_switches=_context(args),
+        probe=probe,
+        backend=args.backend,
+    )
     wall = time.perf_counter() - started
     print(result)
     if args.ledger is not None:
@@ -73,6 +79,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     result.conditional_branches / wall if wall > 0 else 0.0
                 ),
                 phases={"simulate": wall},
+                extra={"backend": backend},
             )
         )
         print(f"# ledger: run {entry.run_id} -> {args.ledger}", file=sys.stderr)
@@ -98,7 +105,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     rows = []
     for name in args.predictors:
         predictor = make_predictor(name, training)
-        result = simulate(predictor, trace, context_switches=_context(args))
+        result, _backend = simulate_with_backend(
+            predictor, trace, context_switches=_context(args), backend=args.backend
+        )
         rows.append((name, result.accuracy, result.mispredictions))
     rows.sort(key=lambda row: -row[1])
     width = max(len(name) for name, _a, _m in rows)
@@ -145,6 +154,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="training trace for profile/gsg/psg predictors")
         sub.add_argument("--context-switches", action="store_true")
         sub.add_argument("--switch-interval", type=int, default=500_000)
+        sub.add_argument(
+            "--backend", choices=SIM_BACKENDS, default="auto",
+            help="simulation backend: auto (vectorized kernels where "
+            "available, default), python (interpreted loop), vectorized "
+            "(fail if no kernel applies); results are bit-identical. "
+            "Probed runs (run --obs, report) always use the interpreted "
+            "loop.",
+        )
 
     run = subparsers.add_parser("run", help="one predictor, one trace")
     run.add_argument("predictor")

@@ -21,12 +21,20 @@ results are bit-identical to — and as fast as — a probe-less build;
 with a probe attached, results are still bit-identical because probes
 only *observe* (the purity lint in :mod:`repro.check` enforces that
 they cannot mutate predictor state).
+
+Backends: the interpreted loop above is the reference semantics, and
+``backend="vectorized"`` swaps in the batch kernels of
+:mod:`repro.sim.kernels` — bit-identical by construction and pinned by
+the equivalence suite. ``backend="auto"`` prefers a kernel and falls
+back to the interpreted loop when the predictor (or trace) has none;
+probed runs always take the interpreted twin loop, because probes
+observe per-record state that batch evaluation never materialises.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from ..predictors.base import BranchPredictor
 from ..trace.events import BranchClass, Trace
@@ -35,7 +43,18 @@ from .results import SimulationResult
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs imports sim)
     from ..obs.probes import Probe
 
-__all__ = ["ContextSwitchConfig", "simulate", "simulate_named"]
+__all__ = [
+    "ContextSwitchConfig",
+    "SIM_BACKENDS",
+    "simulate",
+    "simulate_named",
+    "simulate_with_backend",
+]
+
+SIM_BACKENDS: Tuple[str, ...] = ("auto", "python", "vectorized")
+"""Accepted ``backend`` arguments: ``"python"`` is the interpreted
+reference loop, ``"vectorized"`` requires a batch kernel, ``"auto"``
+uses a kernel when one exists and falls back otherwise."""
 
 
 @dataclass(frozen=True)
@@ -61,11 +80,16 @@ def simulate(
     track_per_site: bool = False,
     warmup_branches: int = 0,
     probe: Optional["Probe"] = None,
+    backend: str = "python",
 ) -> SimulationResult:
     """Replay ``trace`` through ``predictor`` and score its predictions.
 
     Args:
-        predictor: a fresh predictor instance (state is mutated).
+        predictor: a fresh predictor instance. The interpreted backends
+            mutate its state; the vectorized backend reads only its
+            configuration and leaves the instance untouched (and
+            therefore requires a *freshly built* predictor, which every
+            runner path provides).
         context_switches: enable the paper's context-switch model when
             given; ``None`` simulates an undisturbed run.
         track_per_site: also collect per-static-branch mispredictions
@@ -76,10 +100,51 @@ def simulate(
         probe: optional observability probe (see :mod:`repro.obs`).
             Attaching a probe never changes the returned result; with
             ``None`` the engine runs the original probe-free loop.
+        backend: ``"python"`` (default — the interpreted reference
+            loop), ``"vectorized"`` (require a batch kernel; raises
+            :class:`repro.sim.kernels.KernelUnavailable` when the
+            predictor has none), or ``"auto"`` (kernel when available,
+            interpreted loop otherwise). A probe always forces the
+            interpreted twin loop regardless of ``backend``. Every
+            backend returns bit-identical results.
 
     Returns:
         A :class:`SimulationResult` with accuracy and bookkeeping.
     """
+    result, _used = simulate_with_backend(
+        predictor,
+        trace,
+        context_switches=context_switches,
+        track_per_site=track_per_site,
+        warmup_branches=warmup_branches,
+        probe=probe,
+        backend=backend,
+    )
+    return result
+
+
+def simulate_with_backend(
+    predictor: BranchPredictor,
+    trace: Trace,
+    context_switches: Optional[ContextSwitchConfig] = None,
+    track_per_site: bool = False,
+    warmup_branches: int = 0,
+    probe: Optional["Probe"] = None,
+    backend: str = "python",
+) -> Tuple[SimulationResult, str]:
+    """:func:`simulate`, additionally reporting the backend that ran.
+
+    Returns:
+        ``(result, used)`` where ``used`` is ``"python"`` or
+        ``"vectorized"`` — what actually executed after ``"auto"``
+        resolution, probe forcing, and kernel fallback. Telemetry
+        consumers (:mod:`repro.sim.parallel`, the run ledger) record
+        ``used`` so throughput numbers are attributable.
+    """
+    if backend not in SIM_BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {SIM_BACKENDS}"
+        )
     # Structured-log telemetry (a no-op unless repro.obs.log was
     # enabled; the deferred import keeps package init acyclic). Both
     # events fire outside the record loop, so the probe-off fast path
@@ -93,6 +158,7 @@ def simulate(
         trace=trace.meta.name,
         records=len(trace),
         probed=probe is not None,
+        backend=backend,
     )
     if probe is not None:
         result = _simulate_probed(
@@ -104,7 +170,30 @@ def simulate(
             warmup_branches=warmup_branches,
         )
         _log_run_end(logger, result)
-        return result
+        return result, "python"
+    if backend != "python":
+        try:
+            # Deferred and guarded: the kernels need numpy, which is an
+            # optional dependency of the interpreted simulator.
+            from .kernels import KernelUnavailable, simulate_vectorized
+        except ImportError:
+            if backend == "vectorized":
+                raise
+        else:
+            try:
+                result = simulate_vectorized(
+                    predictor,
+                    trace,
+                    context_switches=context_switches,
+                    track_per_site=track_per_site,
+                    warmup_branches=warmup_branches,
+                )
+            except KernelUnavailable:
+                if backend == "vectorized":
+                    raise
+            else:
+                _log_run_end(logger, result)
+                return result, "vectorized"
     conditional = 0
     correct = 0
     switches = 0
@@ -124,7 +213,12 @@ def simulate(
         if cs_enabled and ((trap and switch_on_traps) or instret >= next_switch):
             predictor.on_context_switch()
             switches += 1
-            next_switch = instret + interval
+            if instret >= next_switch:
+                # Periodic switches stay on absolute multiples of the
+                # interval (the paper's fixed every-500k cadence); a
+                # trap never reschedules them, and a trap coinciding
+                # with a boundary counts as a single switch.
+                next_switch += interval * ((instret - next_switch) // interval + 1)
         if cls != cond_class:
             continue
         prediction = predict(pc, target)
@@ -152,7 +246,7 @@ def simulate(
         total_instructions=trace.meta.total_instructions,
     )
     _log_run_end(logger, result)
-    return result
+    return result, "python"
 
 
 def _log_run_end(logger, result: SimulationResult) -> None:
@@ -217,7 +311,9 @@ def _simulate_probed(
         if cs_enabled and ((trap and switch_on_traps) or instret >= next_switch):
             predictor.on_context_switch()
             switches += 1
-            next_switch = instret + interval
+            if instret >= next_switch:
+                # Absolute interval boundaries — see the plain loop.
+                next_switch += interval * ((instret - next_switch) // interval + 1)
             on_context_switch(instret)
         if cls == cond_class:
             prediction = predict(pc, target)

@@ -1,0 +1,772 @@
+"""NumPy-vectorized fast-path simulation kernels.
+
+The interpreted engine (:mod:`repro.sim.engine`) replays a trace one
+record at a time through predictor objects. For the paper's table-driven
+schemes that loop is pure data movement — table lookups and two-bit
+automaton steps — which this module evaluates in batch over the columnar
+arrays exported by :meth:`repro.trace.events.Trace.as_arrays`. Results
+are **bit-identical** to the interpreted engine: same accuracy, same
+per-site counts, same context-switch count (the equivalence-pin suite in
+``tests/test_sim_kernels.py`` enforces this for every supported scheme).
+
+How a two-level scheme is vectorized
+------------------------------------
+
+1. **Context-switch segmentation.** With the engine's fixed
+   absolute-boundary semantics, the records at which a flush fires are
+   exactly ``trap | (instret // interval changed)`` — a pure function of
+   the trace, computed once as a mask. First-level state never crosses a
+   segment boundary.
+2. **History patterns in closed form.** A history register's content
+   before record ``i`` is the window of the last ``min(d, k)`` outcomes
+   (``d`` = records since the register was (re)initialised) extended
+   with the fill bit — computable for all records at once with ``k``
+   shifted adds. Per-address registers need the records grouped by BHT
+   residency first, which one stable sort provides.
+3. **Pattern-table evolution as a composed automaton.** Grouping records
+   by (table, pattern) key makes each pattern entry's life a sequence of
+   outcomes driving one automaton. The per-outcome transition function
+   packs into a byte (:func:`repro.core.automata.packed_transition_code`),
+   function composition becomes a 256x256 table lookup, and a segmented
+   doubling scan yields every entry's state *before* each update. Runs
+   of identical outcomes collapse via ``f^m = f^3`` for ``m >= 3``
+   (:func:`repro.core.automata.supports_vector_scan`), which both bounds
+   the scan depth and allows closed-form scoring of whole runs when no
+   per-record output is needed.
+
+Not every predictor has a kernel: set-associative BHTs (the paper's
+4-way tables) would need an exact sequential LRU stack-distance model,
+and hybrid schemes (tournament, gselect, SAg/SAs) compose multiple
+tables. Those fall back to the interpreted loop — ``simulate(...,
+backend="auto")`` arranges this automatically via
+:func:`kernel_supports`.
+
+Kernels never mutate the predictor: they read its *configuration*
+(history length, automaton, BHT geometry, preset/profiled bits) and
+assume it is freshly constructed, exactly as the experiment runner
+builds predictors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.automata import (
+    IDENTITY_CODE,
+    AutomatonSpec,
+    packed_transition_code,
+    supports_vector_scan,
+)
+from ..core.history import CacheBHT, IdealBHT
+from ..core.static_training import GSgPredictor, PSgPredictor
+from ..core.twolevel import (
+    GAgPredictor,
+    GApPredictor,
+    GsharePredictor,
+    PAgPredictor,
+    PApPredictor,
+)
+from ..predictors.btb import BTBPredictor
+from ..predictors.static import AlwaysNotTaken, AlwaysTaken, BTFN, ProfileGuided
+from ..trace.events import Trace
+from .engine import ContextSwitchConfig
+from .results import SimulationResult
+
+__all__ = ["KernelUnavailable", "kernel_supports", "simulate_vectorized"]
+
+#: Longest history register the kernels accept. Pattern keys stay well
+#: inside int64 and the windowing loop stays short; the paper's longest
+#: register is 18 bits.
+_MAX_HISTORY_BITS = 24
+
+
+class KernelUnavailable(RuntimeError):
+    """No vectorized kernel covers this predictor (or this trace)."""
+
+
+# ----------------------------------------------------------------------
+# Automaton machinery: packed codes, composition LUT, run scans
+# ----------------------------------------------------------------------
+
+class _AutomatonOps:
+    """Precomputed lookup tables for one automaton.
+
+    Attributes:
+        compose: ``compose[a, b]`` = packed code of "apply a, then b".
+        apply: ``apply[code, state]`` = the mapped state.
+        pred4: per-state predicted direction, padded to 4 states.
+        compose_flat: the same table flattened (``a * 256 + b``) for
+            single-gather lookups in the scan's hot loop.
+        pow_codes: ``pow_codes[outcome, j]`` = code of ``f_outcome^j``
+            for j in 0..3 (``f^m == f^3`` for m >= 3 by the
+            :func:`supports_vector_scan` gate).
+        is_const: whether a code maps every state to one state — a run
+            carrying such a code makes everything after it independent
+            of earlier history, which caps the scan depth.
+        head_wrong: ``head_wrong[outcome, state, c]`` = mispredictions
+            across the first ``c`` (<= 3) steps of an ``outcome`` run
+            entered in ``state``.
+        tail_mis: ``tail_mis[outcome, state]`` = whether the automaton
+            mispredicts at the run's fixed point ``f^3(state)``.
+        init: the automaton's initial state.
+    """
+
+    def __init__(self, spec: AutomatonSpec) -> None:
+        codes = np.arange(256, dtype=np.uint16)
+        decode = np.stack(
+            [(codes >> (2 * s)) & 3 for s in range(4)], axis=1
+        ).astype(np.uint8)
+        # chained[b, a, s] = decode[b, decode[a, s]] -> code over s.
+        chained = decode[:, decode]
+        weights = np.array([1, 4, 16, 64], dtype=np.uint16)
+        composed = (chained.astype(np.uint16) * weights).sum(axis=2)
+        self.compose = np.ascontiguousarray(composed.T.astype(np.uint8))
+        self.compose_flat = self.compose.ravel()
+        self.apply = decode
+        self.pred4 = np.array(
+            [
+                spec.predictions[s] if s < spec.num_states else False
+                for s in range(4)
+            ],
+            dtype=np.bool_,
+        )
+        self.pow_codes = np.empty((2, 4), dtype=np.uint8)
+        for outcome in (0, 1):
+            f1 = packed_transition_code(spec, bool(outcome))
+            self.pow_codes[outcome, 0] = IDENTITY_CODE
+            self.pow_codes[outcome, 1] = f1
+            self.pow_codes[outcome, 2] = self.compose[f1, f1]
+            self.pow_codes[outcome, 3] = self.compose[self.pow_codes[outcome, 2], f1]
+        self.is_const = (decode == decode[:, :1]).all(axis=1)
+        self.head_wrong = np.zeros((2, 4, 4), dtype=np.int64)
+        self.tail_mis = np.zeros((2, 4), dtype=np.int64)
+        for outcome in (0, 1):
+            for state in range(4):
+                current = state
+                for j in range(3):
+                    self.head_wrong[outcome, state, j + 1] = (
+                        self.head_wrong[outcome, state, j]
+                        + (self.pred4[current] != bool(outcome))
+                    )
+                    current = self.apply[self.pow_codes[outcome, 1], current]
+                fixed = self.apply[self.pow_codes[outcome, 3], state]
+                self.tail_mis[outcome, state] = self.pred4[fixed] != bool(outcome)
+        self.init = spec.initial_state
+
+
+_OPS_CACHE: Dict[tuple, _AutomatonOps] = {}
+
+
+def _ops_for(spec: AutomatonSpec) -> _AutomatonOps:
+    key = (spec.transitions, spec.predictions, spec.initial_state)
+    ops = _OPS_CACHE.get(key)
+    if ops is None:
+        ops = _OPS_CACHE[key] = _AutomatonOps(spec)
+    return ops
+
+
+class _Runs:
+    """Maximal same-outcome runs within pattern groups, plus the
+    automaton state entering each run (the output of the scan)."""
+
+    __slots__ = ("first", "length", "lcap", "out", "state0", "starts")
+
+    def __init__(self, first, length, lcap, out, state0, starts) -> None:
+        self.first = first
+        self.length = length
+        self.lcap = lcap
+        self.out = out
+        self.state0 = state0
+        self.starts = starts
+
+
+def _find_runs(out_u8: np.ndarray, grp_new: np.ndarray, ops: _AutomatonOps) -> _Runs:
+    """Collapse group-sorted outcomes into runs and scan their states.
+
+    ``out_u8`` must be ordered group-major with time order inside each
+    group; ``grp_new`` marks each group's first element. Every group's
+    automaton starts from ``ops.init``.
+    """
+    n = out_u8.shape[0]
+    starts = grp_new.copy()
+    starts[1:] |= out_u8[1:] != out_u8[:-1]
+    first = np.flatnonzero(starts)
+    nruns = first.shape[0]
+    length = np.empty(nruns, dtype=np.int64)
+    if nruns > 1:
+        length[:-1] = np.diff(first)
+    length[-1] = n - first[-1]
+    out = out_u8[first]
+    lcap = np.minimum(length, 3)
+    code = ops.pow_codes[out, lcap]
+
+    grp_first = grp_new[first]
+    prev_code = np.empty(nruns, dtype=np.uint8)
+    prev_code[0] = IDENTITY_CODE
+    prev_code[1:] = code[:-1]
+    # A constant predecessor code pins the state regardless of anything
+    # earlier: start a fresh scan segment there with a known init.
+    absorbed = ~grp_first & ops.is_const[prev_code]
+    absorbed[0] = False
+    seg_new = grp_first | absorbed
+    seg_new[0] = True
+    seg_start = _start_indices(seg_new)
+    idx_in_seg = np.arange(nruns, dtype=np.int32) - seg_start
+    init_run = np.where(absorbed, prev_code & 3, ops.init).astype(np.uint8)[seg_start]
+
+    # Exclusive segmented composition scan (Hillis-Steele doubling):
+    # after the loop, H[i] maps a segment's init state to the state
+    # entering run i. Only positions >= step into their segment change
+    # in an iteration, so each pass touches the (rapidly shrinking)
+    # active set instead of the whole array; reading ``H[active-step]``
+    # before any write keeps the gather on pre-iteration values, and
+    # ``idx_in_seg >= step`` guarantees ``active - step`` stays inside
+    # the same segment.
+    H = np.empty(nruns, dtype=np.uint8)
+    H[0] = IDENTITY_CODE
+    H[1:] = code[:-1]
+    H[seg_new] = IDENTITY_CODE
+    compose_flat = ops.compose_flat
+    step = 1
+    while True:
+        active = np.flatnonzero(idx_in_seg >= step)
+        if active.size == 0:
+            break
+        prior = H[active - step].astype(np.uint16)
+        H[active] = compose_flat[(prior << 8) | H[active]]
+        step <<= 1
+    state0 = ops.apply[H, init_run]
+    return _Runs(first, length, lcap, out, state0, starts)
+
+
+def _runs_wrong_total(runs: _Runs, ops: _AutomatonOps) -> int:
+    """Total mispredictions, scored per run in closed form."""
+    cell = (runs.out.astype(np.int64) * 4 + runs.state0) * 4
+    head = ops.head_wrong.ravel()[cell + runs.lcap]
+    tail = (runs.length - runs.lcap) * ops.tail_mis.ravel()[cell >> 2]
+    return int(head.sum() + tail.sum())
+
+
+def _expand_run_preds(n: int, runs: _Runs, ops: _AutomatonOps) -> np.ndarray:
+    """Per-record predictions (group-sorted order) from run states."""
+    nruns = runs.first.shape[0]
+    preds = np.empty((nruns, 4), dtype=np.bool_)
+    for j in range(4):
+        preds[:, j] = ops.pred4[ops.apply[ops.pow_codes[runs.out, j], runs.state0]]
+    run_id = np.cumsum(runs.starts) - 1
+    offset = np.minimum(np.arange(n) - runs.first[run_id], 3)
+    return preds[run_id, offset]
+
+
+# ----------------------------------------------------------------------
+# Sorting / grouping / history-window helpers
+# ----------------------------------------------------------------------
+
+def _stable_argsort(keys: np.ndarray) -> np.ndarray:
+    """Stable argsort specialised for small non-negative keys.
+
+    Radix sort on uint16 keys is ~8x faster than comparison sort on
+    int64, and two chained stable uint16 passes (LSD radix) cover the
+    32-bit range; wider keys fall back to the generic stable sort.
+    """
+    if keys.shape[0] == 0:
+        return np.empty(0, dtype=np.int64)
+    top = int(keys.max())
+    if top < (1 << 16):
+        return np.argsort(keys.astype(np.uint16), kind="stable")
+    if top < (1 << 32):
+        wide = keys.astype(np.uint32)
+        low = (wide & np.uint32(0xFFFF)).astype(np.uint16)
+        high = (wide >> np.uint32(16)).astype(np.uint16)
+        by_low = np.argsort(low, kind="stable")
+        by_high = np.argsort(high[by_low], kind="stable")
+        return by_low[by_high]
+    return np.argsort(keys, kind="stable")
+
+
+def _group_sort(keys: np.ndarray):
+    """``(order, grp_new)``: stable sort by key + group-start marks."""
+    order = _stable_argsort(keys)
+    key_s = keys[order]
+    grp_new = np.empty(key_s.shape[0], dtype=np.bool_)
+    grp_new[0] = True
+    grp_new[1:] = key_s[1:] != key_s[:-1]
+    return order, grp_new
+
+
+def _start_indices(new_mark: np.ndarray) -> np.ndarray:
+    """For each position, the index of its group's first element.
+
+    int32 keeps this (and its downstream arithmetic) at half the memory
+    traffic; traces are nowhere near 2**31 records.
+    """
+    n = new_mark.shape[0]
+    return np.maximum.accumulate(
+        np.where(new_mark, np.arange(n, dtype=np.int32), np.int32(0))
+    )
+
+
+def _outcome_window(out_u8: np.ndarray, k: int) -> np.ndarray:
+    """``W[i]`` = the previous ``k`` outcomes before position ``i``,
+    newest in bit 0 (group boundaries handled by the callers' masks)."""
+    n = out_u8.shape[0]
+    window = np.zeros(n, dtype=np.int32)
+    lifted = out_u8.astype(np.int32)
+    for back in range(1, k + 1):
+        window[back:] += lifted[:-back] << np.int32(back - 1)
+    return window
+
+
+def _fill_extended(window: np.ndarray, since: np.ndarray, fill: np.ndarray, k: int) -> np.ndarray:
+    """History-register contents: ``min(since, k)`` window bits with the
+    ``fill`` bit extended through the remaining upper positions."""
+    mask = np.int32((1 << k) - 1)
+    depth = np.minimum(since, np.int32(k))
+    low_mask = (np.int32(1) << depth) - np.int32(1)
+    return (window & low_mask) | (fill * (mask ^ low_mask))
+
+
+# ----------------------------------------------------------------------
+# The run container
+# ----------------------------------------------------------------------
+
+class _Run:
+    """Prepared per-call inputs shared by every kernel."""
+
+    __slots__ = ("arrays", "n_c", "out_bool", "out_u8", "seg_c", "switches",
+                 "aggregate", "warmup", "track_per_site", "_pc_c")
+
+    def __init__(self, trace: Trace, context_switches: Optional[ContextSwitchConfig],
+                 track_per_site: bool, warmup_branches: int) -> None:
+        arrays = trace.as_arrays()
+        self.arrays = arrays
+        cond = arrays.cond_mask
+        self.out_bool = arrays.taken[cond]
+        self.out_u8 = self.out_bool.view(np.uint8)
+        self.n_c = int(self.out_bool.shape[0])
+        self.warmup = max(int(warmup_branches), 0)
+        self.track_per_site = bool(track_per_site)
+        self.aggregate = self.warmup == 0 and not self.track_per_site
+        self._pc_c = None
+        if context_switches is None or len(arrays) == 0:
+            self.switches = 0
+            self.seg_c = np.zeros(self.n_c, dtype=np.int64)
+            return
+        instret = arrays.instret
+        if np.any(instret[1:] < instret[:-1]):
+            raise KernelUnavailable(
+                "instret decreases within the trace; the vectorized "
+                "context-switch model requires a non-decreasing clock"
+            )
+        boundary = np.empty(len(arrays), dtype=np.bool_)
+        epoch = instret // context_switches.interval
+        boundary[0] = epoch[0] > 0
+        boundary[1:] = epoch[1:] > epoch[:-1]
+        fires = boundary | arrays.trap if context_switches.switch_on_traps else boundary
+        self.switches = int(np.count_nonzero(fires))
+        self.seg_c = np.cumsum(fires)[cond]
+
+    @property
+    def pc_c(self) -> np.ndarray:
+        if self._pc_c is None:
+            self._pc_c = self.arrays.pc[self.arrays.cond_mask]
+        return self._pc_c
+
+
+def _scan_scheme(run: _Run, out_sorted: np.ndarray, grp_new: np.ndarray,
+                 order: np.ndarray, ops: _AutomatonOps):
+    """Shared tail of every pattern-table scheme: scan, then either
+    closed-form aggregate scoring or per-record expansion."""
+    runs = _find_runs(out_sorted, grp_new, ops)
+    if run.aggregate:
+        return run.n_c - _runs_wrong_total(runs, ops)
+    pred_sorted = _expand_run_preds(run.n_c, runs, ops)
+    pred = np.empty(run.n_c, dtype=np.bool_)
+    pred[order] = pred_sorted
+    return pred
+
+
+# ----------------------------------------------------------------------
+# Global-history schemes: GAg, GSg, gshare, GAp
+# ----------------------------------------------------------------------
+
+def _global_history(run: _Run, k: int, fill_taken: bool) -> np.ndarray:
+    """The GHR value before each conditional record, per segment."""
+    seg = run.seg_c
+    n = run.n_c
+    new_seg = np.empty(n, dtype=np.bool_)
+    new_seg[0] = True
+    new_seg[1:] = seg[1:] != seg[:-1]
+    since = np.arange(n, dtype=np.int32) - _start_indices(new_seg)
+    window = _outcome_window(run.out_u8, k)
+    fill = np.int32(1) if fill_taken else np.int32(0)
+    return _fill_extended(window, since, fill, k)
+
+
+def _kernel_gag(predictor: GAgPredictor):
+    ops = _ops_for(predictor.automaton)
+    k = predictor.history_bits
+
+    def kernel(run: _Run):
+        order, grp_new = _group_sort(_global_history(run, k, fill_taken=True))
+        return _scan_scheme(run, run.out_u8[order], grp_new, order, ops)
+
+    return kernel
+
+
+def _kernel_gshare(predictor: GsharePredictor):
+    ops = _ops_for(predictor.automaton)
+    k = predictor.history_bits
+
+    def kernel(run: _Run):
+        ghr = _global_history(run, k, fill_taken=False)
+        keys = (ghr ^ run.pc_c) & ((1 << k) - 1)
+        order, grp_new = _group_sort(keys)
+        return _scan_scheme(run, run.out_u8[order], grp_new, order, ops)
+
+    return kernel
+
+
+def _kernel_gap(predictor: GApPredictor):
+    ops = _ops_for(predictor.automaton)
+    k = predictor.history_bits
+
+    def kernel(run: _Run):
+        ghr = _global_history(run, k, fill_taken=True)
+        _sites, ids = run.arrays.conditional_site_ids()
+        order, grp_new = _group_sort((ids << k) | ghr)
+        return _scan_scheme(run, run.out_u8[order], grp_new, order, ops)
+
+    return kernel
+
+
+def _kernel_gsg(predictor: GSgPredictor):
+    bits = np.asarray(predictor.table.bits_snapshot(), dtype=np.bool_)
+    k = predictor.history_bits
+
+    def kernel(run: _Run):
+        return bits[_global_history(run, k, fill_taken=True)]
+
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# Per-address first level: PAg, PSg, PAp, BTB
+# ----------------------------------------------------------------------
+
+class _Layout:
+    """Conditional records regrouped by BHT residency.
+
+    ``order`` stable-sorts conditional records by site key (dense pc id
+    for the ideal BHT, set index for direct-mapped), which is exactly
+    (site, time) order. An *episode* is one entry's tenure: it restarts
+    at segment changes (flush) and, for direct-mapped tables, whenever a
+    different branch claims the set. ``evict`` marks episode starts that
+    displace a still-valid occupant (never true right after a flush).
+    """
+
+    __slots__ = ("order", "out_s", "ep_new", "ep_start", "m", "blk_new", "evict")
+
+    def __init__(self, order, out_s, ep_new, ep_start, m, blk_new, evict) -> None:
+        self.order = order
+        self.out_s = out_s
+        self.ep_new = ep_new
+        self.ep_start = ep_start
+        self.m = m
+        self.blk_new = blk_new
+        self.evict = evict
+
+
+def _pa_layout(run: _Run, bht) -> _Layout:
+    n = run.n_c
+    if isinstance(bht, IdealBHT):
+        _sites, keys = run.arrays.conditional_site_ids()
+        direct = False
+    else:
+        keys = run.pc_c % bht.num_sets
+        direct = True
+    order = _stable_argsort(keys)
+    key_s = keys[order]
+    seg_s = run.seg_c[order]
+    out_s = run.out_u8[order]
+    blk_new = np.empty(n, dtype=np.bool_)
+    blk_new[0] = True
+    blk_new[1:] = key_s[1:] != key_s[:-1]
+    seg_chg = np.empty(n, dtype=np.bool_)
+    seg_chg[0] = True
+    seg_chg[1:] = seg_s[1:] != seg_s[:-1]
+    seg_chg |= blk_new
+    if direct:
+        pc_s = run.pc_c[order]
+        pc_chg = np.empty(n, dtype=np.bool_)
+        pc_chg[0] = True
+        pc_chg[1:] = pc_s[1:] != pc_s[:-1]
+        ep_new = seg_chg | pc_chg
+        evict = pc_chg & ~seg_chg
+    else:
+        ep_new = seg_chg
+        evict = np.zeros(n, dtype=np.bool_)
+    ep_start = _start_indices(ep_new)
+    m = np.arange(n, dtype=np.int32) - ep_start
+    return _Layout(order, out_s, ep_new, ep_start, m, blk_new, evict)
+
+
+def _pa_patterns(layout: _Layout, k: int) -> np.ndarray:
+    """Per-address history-register contents before each record.
+
+    The register fills with the episode's first outcome on the first
+    update and shifts afterwards, so before occurrence ``m >= 1`` it
+    holds the last ``min(m, k)`` episode outcomes extended with the
+    first outcome; before occurrence 0 the predictors read the all-ones
+    pattern a miss would be allocated with.
+    """
+    mask = (1 << k) - 1
+    window = _outcome_window(layout.out_s, k)
+    first_outcome = layout.out_s[layout.ep_start].astype(np.int32)
+    patterns = _fill_extended(window, layout.m, first_outcome, k)
+    patterns[layout.m == 0] = mask
+    return patterns
+
+
+def _supported_bht(bht) -> bool:
+    if isinstance(bht, IdealBHT):
+        return True
+    return isinstance(bht, CacheBHT) and bht.associativity == 1
+
+
+def _kernel_pag(predictor: PAgPredictor):
+    ops = _ops_for(predictor.automaton)
+    k = predictor.history_bits
+    bht = predictor.bht
+
+    def kernel(run: _Run):
+        layout = _pa_layout(run, bht)
+        patterns_s = _pa_patterns(layout, k)
+        patterns = np.empty(run.n_c, dtype=np.int32)
+        patterns[layout.order] = patterns_s
+        order, grp_new = _group_sort(patterns)
+        return _scan_scheme(run, run.out_u8[order], grp_new, order, ops)
+
+    return kernel
+
+
+def _kernel_psg(predictor: PSgPredictor):
+    bits = np.asarray(predictor.table.bits_snapshot(), dtype=np.bool_)
+    k = predictor.history_bits
+    bht = predictor.bht
+
+    def kernel(run: _Run):
+        layout = _pa_layout(run, bht)
+        pred = np.empty(run.n_c, dtype=np.bool_)
+        pred[layout.order] = bits[_pa_patterns(layout, k)]
+        return pred
+
+    return kernel
+
+
+def _kernel_pap(predictor: PApPredictor):
+    ops = _ops_for(predictor.automaton)
+    k = predictor.history_bits
+    bht = predictor.bht
+    reset_on_evict = predictor.config.reset_pht_on_evict
+
+    def kernel(run: _Run):
+        layout = _pa_layout(run, bht)
+        patterns_s = _pa_patterns(layout, k)
+        if isinstance(bht, IdealBHT):
+            # Every (segment, branch) episode opens a brand-new slot
+            # whose pattern table materialises in the initial state.
+            table_id = np.cumsum(layout.ep_new) - 1
+        elif reset_on_evict:
+            # A slot's table is reinitialised when a valid occupant is
+            # displaced; flushes invalidate without resetting tables.
+            table_id = np.cumsum(layout.blk_new | layout.evict) - 1
+        else:
+            table_id = np.cumsum(layout.blk_new) - 1
+        # Sorting by (table, pattern) from the site-sorted order keeps
+        # time order inside each group (a table's records live within
+        # one site block, where this order is already chronological).
+        keys = (table_id << k) | patterns_s
+        order2, grp_new = _group_sort(keys)
+        order = layout.order[order2]
+        return _scan_scheme(run, layout.out_s[order2], grp_new, order, ops)
+
+    return kernel
+
+
+def _kernel_btb(predictor: BTBPredictor):
+    ops = _ops_for(predictor.automaton)
+    bht = predictor.bht
+
+    def kernel(run: _Run):
+        layout = _pa_layout(run, bht)
+        return _scan_scheme(run, layout.out_s, layout.ep_new, layout.order, ops)
+
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# Static schemes
+# ----------------------------------------------------------------------
+
+def _kernel_constant(direction: bool):
+    def kernel(run: _Run):
+        return np.full(run.n_c, direction, dtype=np.bool_)
+
+    return kernel
+
+
+def _kernel_btfn(predictor: BTFN):
+    unknown = predictor.unknown_direction
+
+    def kernel(run: _Run):
+        target_c = run.arrays.target[run.arrays.cond_mask]
+        return np.where(target_c == 0, unknown, target_c < run.pc_c)
+
+    return kernel
+
+
+def _kernel_profile(predictor: ProfileGuided):
+    directions = predictor.directions_snapshot()
+    default = predictor.default_direction
+
+    def kernel(run: _Run):
+        sites, ids = run.arrays.conditional_site_ids()
+        site_dirs = np.fromiter(
+            (directions.get(int(site), default) for site in sites),
+            dtype=np.bool_,
+            count=sites.shape[0],
+        )
+        return site_dirs[ids]
+
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# Dispatch + public API
+# ----------------------------------------------------------------------
+
+def _kernel_for(predictor):
+    """The kernel closure for ``predictor``, or None when unsupported.
+
+    Dispatch is on the *exact* type: a subclass may override predict or
+    update semantics the kernels hard-code.
+    """
+    kind = type(predictor)
+    if kind is AlwaysTaken:
+        return _kernel_constant(True)
+    if kind is AlwaysNotTaken:
+        return _kernel_constant(False)
+    if kind is BTFN:
+        return _kernel_btfn(predictor)
+    if kind is ProfileGuided:
+        return _kernel_profile(predictor)
+
+    def scannable(spec: AutomatonSpec) -> bool:
+        return supports_vector_scan(spec)
+
+    def k_ok(bits: int) -> bool:
+        return bits <= _MAX_HISTORY_BITS
+
+    if kind is GAgPredictor and scannable(predictor.automaton) and k_ok(predictor.history_bits):
+        return _kernel_gag(predictor)
+    if kind is GsharePredictor and scannable(predictor.automaton) and k_ok(predictor.history_bits):
+        return _kernel_gshare(predictor)
+    if kind is GApPredictor and scannable(predictor.automaton) and k_ok(predictor.history_bits):
+        return _kernel_gap(predictor)
+    if kind is GSgPredictor and k_ok(predictor.history_bits):
+        return _kernel_gsg(predictor)
+    if kind is PAgPredictor and scannable(predictor.automaton) \
+            and k_ok(predictor.history_bits) and _supported_bht(predictor.bht):
+        return _kernel_pag(predictor)
+    if kind is PSgPredictor and k_ok(predictor.history_bits) and _supported_bht(predictor.bht):
+        return _kernel_psg(predictor)
+    if kind is PApPredictor and scannable(predictor.automaton) \
+            and k_ok(predictor.history_bits) and _supported_bht(predictor.bht):
+        return _kernel_pap(predictor)
+    if kind is BTBPredictor and scannable(predictor.automaton) and _supported_bht(predictor.bht):
+        return _kernel_btb(predictor)
+    return None
+
+
+def kernel_supports(predictor) -> bool:
+    """Whether :func:`simulate_vectorized` can replay ``predictor``.
+
+    True for the paper's table-driven schemes with an ideal or
+    direct-mapped first level and a <= 4-state automaton whose
+    transition functions stabilise within three repeats (all of LT,
+    A1-A4 and the preset bit); False for set-associative BHTs, hybrid
+    predictors, and exotic automaton extensions — those run through the
+    interpreted loop instead.
+    """
+    return _kernel_for(predictor) is not None
+
+
+def simulate_vectorized(
+    predictor,
+    trace: Trace,
+    context_switches: Optional[ContextSwitchConfig] = None,
+    track_per_site: bool = False,
+    warmup_branches: int = 0,
+) -> SimulationResult:
+    """Batch-replay ``trace`` through a vectorized model of ``predictor``.
+
+    Bit-identical to :func:`repro.sim.engine.simulate` for every
+    supported predictor, *assuming a freshly-constructed predictor*
+    (kernels model initial tables; they neither read nor write the
+    predictor's mutable state, so the instance is untouched afterwards).
+
+    Raises:
+        KernelUnavailable: when no kernel covers the predictor, or the
+            trace breaks a kernel precondition (decreasing ``instret``
+            with context switches enabled).
+    """
+    kernel = _kernel_for(predictor)
+    if kernel is None:
+        raise KernelUnavailable(
+            f"no vectorized kernel for {getattr(predictor, 'name', type(predictor).__name__)}"
+        )
+    run = _Run(trace, context_switches, track_per_site, warmup_branches)
+    per_seen: Optional[Dict[int, int]] = None
+    per_wrong: Optional[Dict[int, int]] = None
+    if run.n_c == 0:
+        correct = 0
+        if run.track_per_site:
+            per_seen, per_wrong = {}, {}
+    else:
+        outcome = kernel(run)
+        if isinstance(outcome, (int, np.integer)):
+            correct = int(outcome)
+        else:
+            correct, per_seen, per_wrong = _score_predictions(run, outcome)
+    scored = max(run.n_c - run.warmup, 0)
+    return SimulationResult(
+        predictor_name=predictor.name,
+        trace_name=trace.meta.name,
+        dataset=trace.meta.dataset,
+        conditional_branches=scored,
+        correct_predictions=correct,
+        context_switches=run.switches,
+        per_site_executions=per_seen,
+        per_site_mispredictions=per_wrong,
+        total_instructions=trace.meta.total_instructions,
+    )
+
+
+def _score_predictions(run: _Run, pred: np.ndarray):
+    """Score per-record predictions against outcomes, honouring warmup
+    and (optionally) collecting the per-site dictionaries."""
+    ok = pred == run.out_bool
+    scored_ok = ok[run.warmup:]
+    correct = int(np.count_nonzero(scored_ok))
+    if not run.track_per_site:
+        return correct, None, None
+    sites, ids = run.arrays.conditional_site_ids()
+    scored_ids = ids[run.warmup:]
+    seen = np.bincount(scored_ids, minlength=sites.shape[0])
+    wrong = np.bincount(scored_ids[~scored_ok], minlength=sites.shape[0])
+    per_seen = {int(sites[i]): int(seen[i]) for i in np.flatnonzero(seen)}
+    per_wrong = {int(sites[i]): int(wrong[i]) for i in np.flatnonzero(wrong)}
+    return correct, per_seen, per_wrong

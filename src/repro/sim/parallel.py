@@ -48,7 +48,7 @@ from ..trace.cache import ResultCache
 from ..trace.events import Trace
 from ..trace.io import dumps as trace_dumps
 from ..trace.io import load_trace, save_trace
-from .engine import ContextSwitchConfig, simulate
+from .engine import ContextSwitchConfig, simulate_with_backend
 from .results import ResultMatrix, RunTelemetry, SimulationResult
 
 __all__ = [
@@ -192,16 +192,19 @@ def _run_cell(
     test_path: str,
     training_path: Optional[str],
     context_switches: Optional[ContextSwitchConfig],
+    backend: str = "auto",
     heartbeats=None,
-) -> Tuple[str, str, Optional[SimulationResult], float, Dict[str, float]]:
+) -> Tuple[str, str, Optional[SimulationResult], float, Dict[str, float], str]:
     """Execute one cell from spooled traces (runs inside a worker).
 
-    Returns ``(label, case_name, result-or-None, wall_time, phases)``;
-    a ``None`` result means the builder raised ``TrainingUnavailable``.
-    ``phases`` breaks the wall time into trace_load / build / simulate
-    spans for the run telemetry (and, downstream, ``repro.obs`` run
-    reports). When ``heartbeats`` (a multiprocessing queue) is given,
-    the worker announces the cell's start and completion on it for live
+    Returns ``(label, case_name, result-or-None, wall_time, phases,
+    backend)``; a ``None`` result means the builder raised
+    ``TrainingUnavailable``. ``phases`` breaks the wall time into
+    trace_load / build / simulate spans for the run telemetry (and,
+    downstream, ``repro.obs`` run reports); ``backend`` is the engine
+    backend that actually ran (``""`` when no simulation happened).
+    When ``heartbeats`` (a multiprocessing queue) is given, the worker
+    announces the cell's start and completion on it for live
     ``--follow`` monitoring.
     """
     started = time.perf_counter()
@@ -216,14 +219,16 @@ def _run_cell(
         phases["build"] = time.perf_counter() - loaded
         wall = time.perf_counter() - started
         _pulse(heartbeats, "done", label, case_name, 0, wall)
-        return label, case_name, None, wall, phases
+        return label, case_name, None, wall, phases, ""
     built = time.perf_counter()
     phases["build"] = built - loaded
-    result = simulate(predictor, test_trace, context_switches=context_switches)
+    result, used_backend = simulate_with_backend(
+        predictor, test_trace, context_switches=context_switches, backend=backend
+    )
     phases["simulate"] = time.perf_counter() - built
     wall = time.perf_counter() - started
     _pulse(heartbeats, "done", label, case_name, result.conditional_branches, wall)
-    return label, case_name, result, wall, phases
+    return label, case_name, result, wall, phases, used_backend
 
 
 # ----------------------------------------------------------------------
@@ -248,6 +253,7 @@ def execute_matrix(
     progress: Optional[Callable[[Any], None]] = None,
     tick: Optional[Callable[[], None]] = None,
     progress_interval: float = 0.5,
+    backend: str = "auto",
 ) -> ResultMatrix:
     """Evaluate every scheme on every benchmark, in parallel and cached.
 
@@ -260,6 +266,16 @@ def execute_matrix(
             parent process and bypass the cache.
         cases: the benchmark suite, figure order.
         context_switches: applied to every simulation when given.
+        backend: simulation backend passed through to
+            :func:`repro.sim.engine.simulate_with_backend` for every
+            cell — ``"auto"`` (default) uses the vectorized kernels
+            where available and falls back per predictor, ``"python"``
+            forces the interpreted loop, ``"vectorized"`` fails loudly
+            on unsupported predictors. Backends are bit-identical, so
+            the choice does not participate in result-cache keys: a
+            cell cached under one backend satisfies lookups under any
+            other. The backend that actually ran each cell is recorded
+            in the telemetry.
         n_workers: worker processes; ``1`` is a plain in-process loop
             (no executor, no trace spooling) whose results every other
             worker count reproduces bit-identically.
@@ -315,6 +331,7 @@ def execute_matrix(
         benchmarks=len(cases),
         workers=n_workers,
         cached=result_cache is not None,
+        backend=backend,
     )
     started = time.perf_counter()
     telemetry = RunTelemetry(n_workers=n_workers)
@@ -334,10 +351,11 @@ def execute_matrix(
             )
 
     # Phase 1: resolve what we can from the cache, in cell order.
-    # outcomes: (label, case.name) -> (result, source, wall_time, phases)
+    # outcomes: (label, case.name) ->
+    #     (result, source, wall_time, phases, backend)
     outcomes: Dict[
         Tuple[str, str],
-        Tuple[Optional[SimulationResult], str, float, Dict[str, float]],
+        Tuple[Optional[SimulationResult], str, float, Dict[str, float], str],
     ] = {}
     pending: List[Tuple[str, "BenchmarkCase", Optional[str]]] = []
     for label, builder in builders.items():
@@ -365,6 +383,7 @@ def execute_matrix(
                     "cache" if result is not None else "unavailable",
                     lookup_wall,
                     {"cache_lookup": lookup_wall},
+                    "",
                 )
                 if emit is not None:
                     emit(0, "cached", label, case.name, 0, lookup_wall)
@@ -385,8 +404,14 @@ def execute_matrix(
         built = time.perf_counter()
         phases = {"build": built - cell_started}
         result: Optional[SimulationResult] = None
+        used_backend = ""
         if predictor is not None:
-            result = simulate(predictor, case.test_trace, context_switches=context_switches)
+            result, used_backend = simulate_with_backend(
+                predictor,
+                case.test_trace,
+                context_switches=context_switches,
+                backend=backend,
+            )
             phases["simulate"] = time.perf_counter() - built
         wall = time.perf_counter() - cell_started
         outcomes[(label, case.name)] = (
@@ -394,6 +419,7 @@ def execute_matrix(
             "simulated" if result is not None else "unavailable",
             wall,
             phases,
+            used_backend,
         )
         if key is not None and result_cache is not None:
             result_cache.store(key, result.to_dict() if result is not None else None)
@@ -455,6 +481,7 @@ def execute_matrix(
                         test_path,
                         training_path,
                         context_switches,
+                        backend,
                         heartbeat_queue,
                     )
                     futures[future] = key
@@ -476,12 +503,15 @@ def execute_matrix(
                     if tick is not None:
                         tick()
                     for future in done:
-                        label, case_name, result, wall, phases = future.result()
+                        label, case_name, result, wall, phases, used_backend = (
+                            future.result()
+                        )
                         outcomes[(label, case_name)] = (
                             result,
                             "simulated" if result is not None else "unavailable",
                             wall,
                             phases,
+                            used_backend,
                         )
                         key = futures[future]
                         if key is not None and result_cache is not None:
@@ -500,8 +530,10 @@ def execute_matrix(
     # matrix layout is independent of completion order.
     for label in builders:
         for case in cases:
-            result, source, wall, phases = outcomes[(label, case.name)]
-            telemetry.record(label, case.name, wall, source, phases=phases)
+            result, source, wall, phases, used_backend = outcomes[(label, case.name)]
+            telemetry.record(
+                label, case.name, wall, source, phases=phases, backend=used_backend
+            )
             if result is not None:
                 matrix.add(label, result)
     telemetry.wall_time = time.perf_counter() - started

@@ -165,7 +165,14 @@ class CellTelemetry:
         phases: per-phase breakdown of ``wall_time`` in seconds, keyed
             by phase name (``"trace_load"``, ``"build"``, ``"simulate"``,
             ``"cache_lookup"``). Empty for records produced before the
-            phase spans existed (e.g. deserialised old telemetry).
+            phase spans existed (e.g. deserialised old telemetry). The
+            ``"simulate"`` span always carries that name regardless of
+            engine backend, so throughput comparisons across backends
+            line up; :attr:`backend` says which one ran.
+        backend: the engine backend that produced the ``"simulate"``
+            span (``"python"`` or ``"vectorized"``); ``""`` when the
+            cell ran no simulation (cache hits, unavailable cells) or
+            predates backend tracking.
     """
 
     scheme: str
@@ -173,6 +180,7 @@ class CellTelemetry:
     wall_time: float
     source: str
     phases: Dict[str, float] = field(default_factory=dict)
+    backend: str = ""
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-compatible rendering (used by ``RunTelemetry.to_dict``)."""
@@ -182,6 +190,7 @@ class CellTelemetry:
             "wall_time": self.wall_time,
             "source": self.source,
             "phases": dict(self.phases),
+            "backend": self.backend,
         }
 
     @classmethod
@@ -192,6 +201,7 @@ class CellTelemetry:
             wall_time=float(payload["wall_time"]),
             source=payload["source"],
             phases={k: float(v) for k, v in payload.get("phases", {}).items()},
+            backend=payload.get("backend", ""),
         )
 
 
@@ -239,11 +249,14 @@ class RunTelemetry:
         wall_time: float,
         source: str,
         phases: Optional[Mapping[str, float]] = None,
+        backend: str = "",
     ) -> None:
         """Append one cell record and bump the matching counter."""
         cell_phases = dict(phases) if phases else {}
         self.cells.append(
-            CellTelemetry(scheme, benchmark, wall_time, source, phases=cell_phases)
+            CellTelemetry(
+                scheme, benchmark, wall_time, source, phases=cell_phases, backend=backend
+            )
         )
         for phase, seconds in cell_phases.items():
             self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds

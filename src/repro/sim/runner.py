@@ -68,6 +68,7 @@ def run_case(
     context_switches: Optional[ContextSwitchConfig] = None,
     track_per_site: bool = False,
     probe=None,
+    backend: str = "auto",
 ) -> Optional[SimulationResult]:
     """Run one (scheme, benchmark) cell; None when training is missing.
 
@@ -78,7 +79,11 @@ def run_case(
         context_switches: the paper's context-switch model, when given.
         track_per_site: collect per-static-branch statistics too.
         probe: optional :class:`repro.obs.Probe` observing the run;
-            never affects the returned result.
+            never affects the returned result (probed runs always take
+            the interpreted backend).
+        backend: simulation backend (``"auto"`` / ``"python"`` /
+            ``"vectorized"``, see :data:`repro.sim.engine.SIM_BACKENDS`);
+            backends are bit-identical wherever both apply.
 
     Deterministic: a fresh predictor is built for every call, so
     repeated invocations with the same inputs return identical counts.
@@ -93,6 +98,7 @@ def run_case(
         context_switches=context_switches,
         track_per_site=track_per_site,
         probe=probe,
+        backend=backend,
     )
 
 
@@ -104,6 +110,7 @@ def run_matrix(
     result_cache: Optional[ResultCache] = None,
     progress=None,
     tick=None,
+    backend: str = "auto",
 ) -> ResultMatrix:
     """Evaluate every scheme on every benchmark.
 
@@ -127,6 +134,11 @@ def run_matrix(
             :func:`repro.sim.parallel.execute_matrix`); telemetry only,
             never affects results.
         tick: optional periodic callback for ``--follow`` renderers.
+        backend: simulation backend for every cell (``"auto"`` /
+            ``"python"`` / ``"vectorized"``). ``"auto"`` (the default)
+            takes the vectorized kernels where a predictor has one and
+            silently falls back otherwise; results are bit-identical
+            either way, so the cache is shared across backends.
 
     Returns:
         A :class:`ResultMatrix` with one cell per (scheme, benchmark)
@@ -145,6 +157,7 @@ def run_matrix(
         result_cache=result_cache,
         progress=progress,
         tick=tick,
+        backend=backend,
     )
 
 
@@ -158,12 +171,13 @@ def sweep_parameter(
     result_cache: Optional[ResultCache] = None,
     progress=None,
     tick=None,
+    backend: str = "auto",
 ) -> ResultMatrix:
     """Evaluate a family of schemes indexed by one integer parameter.
 
     Used for the history-length sweeps of Figures 6 and 7. Accepts the
-    same ``n_workers`` / ``result_cache`` / ``progress`` knobs as
-    :func:`run_matrix`.
+    same ``n_workers`` / ``result_cache`` / ``progress`` / ``backend``
+    knobs as :func:`run_matrix`.
     """
     builders = {label(value): make_builder(value) for value in values}
     return run_matrix(
@@ -174,4 +188,5 @@ def sweep_parameter(
         result_cache=result_cache,
         progress=progress,
         tick=tick,
+        backend=backend,
     )

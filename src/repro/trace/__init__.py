@@ -1,9 +1,10 @@
 """Branch-trace substrate: records, serialization, statistics, generators."""
 
 from .cache import ResultCache, TraceCache, default_cache
-from .events import BranchClass, BranchRecord, Trace, TraceBuilder, TraceMeta
+from .events import BranchClass, BranchRecord, Trace, TraceArrays, TraceBuilder, TraceMeta
 from .io import (
     TraceFormatError,
+    TraceFormatWarning,
     dumps,
     load_trace,
     loads,
@@ -23,9 +24,11 @@ __all__ = [
     "BranchRecord",
     "ResultCache",
     "Trace",
+    "TraceArrays",
     "TraceBuilder",
     "TraceCache",
     "TraceFormatError",
+    "TraceFormatWarning",
     "TraceMeta",
     "TraceStats",
     "compute_stats",

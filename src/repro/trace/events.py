@@ -86,12 +86,17 @@ class TraceMeta:
             ``"synthetic"``, ``"file"``).
         total_instructions: total dynamic instruction count of the run
             the trace was captured from (>= last record's ``instret``).
+        extra: unknown metadata keys carried through by the text trace
+            format, as a sorted tuple of ``(key, value)`` string pairs
+            (a tuple keeps the dataclass hashable). The binary format
+            does not serialize them.
     """
 
     name: str = "anonymous"
     dataset: str = ""
     source: str = "unknown"
     total_instructions: int = 0
+    extra: Tuple[Tuple[str, str], ...] = ()
 
 
 class Trace:
@@ -103,7 +108,7 @@ class Trace:
     every record once per simulated predictor configuration.
     """
 
-    __slots__ = ("meta", "_pc", "_taken", "_cls", "_target", "_instret", "_trap")
+    __slots__ = ("meta", "_pc", "_taken", "_cls", "_target", "_instret", "_trap", "_arrays")
 
     def __init__(
         self,
@@ -125,6 +130,7 @@ class Trace:
         self._target = list(target)
         self._instret = list(instret)
         self._trap = list(trap)
+        self._arrays: Optional["TraceArrays"] = None
 
     def __len__(self) -> int:
         return len(self._pc)
@@ -161,6 +167,23 @@ class Trace:
     def columns(self) -> Tuple[List[int], List[bool], List[int], List[int], List[int], List[bool]]:
         """The raw columns (pc, taken, cls, target, instret, trap)."""
         return (self._pc, self._taken, self._cls, self._target, self._instret, self._trap)
+
+    def as_arrays(self) -> "TraceArrays":
+        """Columnar NumPy view of the trace, built once and cached.
+
+        The vectorized simulation backend (:mod:`repro.sim.kernels`)
+        consumes traces through this API; the list->array conversion of
+        a million-record trace costs ~100 ms, so the result is cached
+        on the trace and shared by every simulation of it. The returned
+        arrays are read-only.
+
+        Raises:
+            RuntimeError: when NumPy is not installed (the interpreted
+                engine never needs it).
+        """
+        if self._arrays is None:
+            self._arrays = TraceArrays(self)
+        return self._arrays
 
     # ------------------------------------------------------------------
     # Derived views
@@ -207,6 +230,57 @@ class Trace:
             f"Trace(name={self.meta.name!r}, dataset={self.meta.dataset!r}, "
             f"records={len(self)}, conditional={self.num_conditional()})"
         )
+
+
+class TraceArrays:
+    """Read-only columnar NumPy export of a :class:`Trace`.
+
+    One array per trace column, plus the derived products every
+    vectorized consumer needs: the conditional-record mask and (lazily)
+    the dense site-id relabelling of conditional PCs. Construction is
+    the only expensive step, which is why :meth:`Trace.as_arrays`
+    caches the instance on the trace.
+    """
+
+    __slots__ = ("pc", "taken", "cls", "target", "instret", "trap",
+                 "cond_mask", "_sites", "_site_ids")
+
+    def __init__(self, trace: Trace) -> None:
+        try:
+            import numpy as np
+        except ImportError as exc:  # pragma: no cover - numpy is a soft dep
+            raise RuntimeError(
+                "Trace.as_arrays() requires NumPy; the interpreted "
+                "simulation backend does not"
+            ) from exc
+        pc, taken, cls, target, instret, trap = trace.columns
+        self.pc = np.asarray(pc, dtype=np.int64)
+        self.taken = np.asarray(taken, dtype=np.bool_)
+        self.cls = np.asarray(cls, dtype=np.uint8)
+        self.target = np.asarray(target, dtype=np.int64)
+        self.instret = np.asarray(instret, dtype=np.int64)
+        self.trap = np.asarray(trap, dtype=np.bool_)
+        self.cond_mask = self.cls == int(BranchClass.CONDITIONAL)
+        for name in ("pc", "taken", "cls", "target", "instret", "trap", "cond_mask"):
+            getattr(self, name).flags.writeable = False
+        self._sites = None
+        self._site_ids = None
+
+    def __len__(self) -> int:
+        return int(self.pc.shape[0])
+
+    def conditional_site_ids(self):
+        """``(sites, ids)``: sorted distinct conditional PCs and, for
+        every conditional record in trace order, the index of its PC in
+        ``sites``. Computed once and cached."""
+        if self._sites is None:
+            import numpy as np
+            sites, ids = np.unique(self.pc[self.cond_mask], return_inverse=True)
+            sites.flags.writeable = False
+            ids = ids.astype(np.int64, copy=False)
+            ids.flags.writeable = False
+            self._sites, self._site_ids = sites, ids
+        return self._sites, self._site_ids
 
 
 class TraceBuilder:

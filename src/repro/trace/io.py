@@ -3,21 +3,36 @@
 Two interchangeable formats:
 
 * **Text** (``.btr``) — one record per line, human-greppable, used in
-  examples and documentation.
+  examples and documentation. Unknown ``# key=value`` metadata lines
+  round-trip through :attr:`TraceMeta.extra` instead of being dropped.
 * **Binary** (``.btb``) — packed little-endian records with a small
-  header, roughly 18 bytes/record, used by the trace cache.
+  header, roughly 26 bytes/record, used by the trace cache. Reading
+  and writing use a NumPy structured-dtype fast path when NumPy is
+  available and fall back to ``struct`` otherwise.
 
 Both formats round-trip exactly (checked by property-based tests).
+Field values that cannot be represented by the binary format (e.g. a
+``pc`` outside the signed 64-bit range) raise :class:`TraceFormatError`
+*before* any bytes are written, and :func:`save_trace` writes through a
+temporary file, so a failed save never leaves a truncated trace file
+on disk.
 """
 
 from __future__ import annotations
 
 import io
+import os
 import struct
+import warnings
 from pathlib import Path
-from typing import BinaryIO, Iterable, TextIO, Union
+from typing import BinaryIO, Iterable, List, Optional, TextIO, Union
 
 from .events import BranchClass, BranchRecord, Trace, TraceMeta
+
+try:  # NumPy accelerates binary (de)serialization but is optional here.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None
 
 _MAGIC = b"BTRC"
 _VERSION = 1
@@ -26,11 +41,21 @@ _RECORD = struct.Struct("<qBBqq")  # pc, flags, cls, target, instret
 _FLAG_TAKEN = 0x01
 _FLAG_TRAP = 0x02
 
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+#: Text-format metadata keys with first-class TraceMeta fields.
+_KNOWN_META_KEYS = ("name", "dataset", "source", "total_instructions")
+
 PathLike = Union[str, Path]
 
 
 class TraceFormatError(ValueError):
-    """Raised when a trace file is malformed."""
+    """Raised when a trace file is malformed or unrepresentable."""
+
+
+class TraceFormatWarning(UserWarning):
+    """Emitted for recoverable trace-format problems (missing metadata)."""
 
 
 # ----------------------------------------------------------------------
@@ -41,7 +66,8 @@ def write_text(trace: Trace, stream: TextIO) -> None:
     """Write ``trace`` to ``stream`` in the text format.
 
     Layout: a ``#``-prefixed metadata header, then one record per line:
-    ``pc taken cls target instret trap``.
+    ``pc taken cls target instret trap``. Unknown metadata keys carried
+    in :attr:`TraceMeta.extra` are re-emitted after the known ones.
     """
     meta = trace.meta
     stream.write(f"# name={meta.name}\n")
@@ -49,15 +75,37 @@ def write_text(trace: Trace, stream: TextIO) -> None:
     stream.write(f"# source={meta.source}\n")
     stream.write(f"# total_instructions={meta.total_instructions}\n")
     stream.write(f"# records={len(trace)}\n")
+    for key, value in meta.extra:
+        stream.write(f"# {key}={value}\n")
     for pc, taken, cls, target, instret, trap in trace.iter_tuples():
         stream.write(
             f"{pc} {int(taken)} {BranchClass(cls).short_name} {target} {instret} {int(trap)}\n"
         )
 
 
-def read_text(stream: TextIO) -> Trace:
-    """Read a trace written by :func:`write_text`."""
-    meta_fields = {"name": "anonymous", "dataset": "", "source": "file", "total_instructions": "0"}
+def read_text(stream: TextIO, missing_meta: str = "warn") -> Trace:
+    """Read a trace written by :func:`write_text`.
+
+    Args:
+        stream: the text stream to parse.
+        missing_meta: what to do when the header lacks a
+            ``total_instructions`` line — ``"warn"`` (default) emits a
+            :class:`TraceFormatWarning` and falls back to the last
+            record's ``instret``, ``"error"`` raises
+            :class:`TraceFormatError`, ``"ignore"`` silently applies
+            the same fallback. A missing count used to default to 0,
+            which silently disabled the periodic context-switch model
+            and produced misleading ledger run ids downstream.
+
+    Unknown ``# key=value`` lines are preserved in
+    :attr:`TraceMeta.extra` (sorted by key) instead of being dropped.
+    """
+    if missing_meta not in ("warn", "error", "ignore"):
+        raise ValueError(f"missing_meta must be 'warn', 'error' or 'ignore', got {missing_meta!r}")
+    meta_fields = {"name": "anonymous", "dataset": "", "source": "file"}
+    seen_keys = set()
+    extra_fields = {}
+    declared_records: Optional[int] = None
     short_to_cls = {c.short_name: c for c in BranchClass}
     pc, taken, cls, target, instret, trap = [], [], [], [], [], []
     for lineno, raw in enumerate(stream, start=1):
@@ -69,8 +117,17 @@ def read_text(stream: TextIO) -> Trace:
             if "=" in body:
                 key, _, value = body.partition("=")
                 key = key.strip()
-                if key in meta_fields:
-                    meta_fields[key] = value.strip()
+                value = value.strip()
+                seen_keys.add(key)
+                if key in _KNOWN_META_KEYS:
+                    meta_fields[key] = value
+                elif key == "records":
+                    try:
+                        declared_records = int(value)
+                    except ValueError as exc:
+                        raise TraceFormatError(f"line {lineno}: bad records count {value!r}") from exc
+                else:
+                    extra_fields[key] = value
             continue
         parts = line.split()
         if len(parts) != 6:
@@ -84,11 +141,36 @@ def read_text(stream: TextIO) -> Trace:
             trap.append(bool(int(parts[5])))
         except (ValueError, KeyError) as exc:
             raise TraceFormatError(f"line {lineno}: {exc}") from exc
+    if declared_records is not None and declared_records != len(pc):
+        raise TraceFormatError(
+            f"header declares {declared_records} records but the stream holds {len(pc)}"
+        )
+    if "total_instructions" in seen_keys:
+        try:
+            total_instructions = int(meta_fields["total_instructions"])
+        except ValueError as exc:
+            raise TraceFormatError(f"bad total_instructions {meta_fields['total_instructions']!r}") from exc
+    else:
+        if missing_meta == "error":
+            raise TraceFormatError(
+                "metadata lacks total_instructions; the context-switch model "
+                "needs the true dynamic instruction count"
+            )
+        total_instructions = instret[-1] if instret else 0
+        if missing_meta == "warn":
+            warnings.warn(
+                "trace metadata lacks total_instructions; falling back to the "
+                f"last record's instret ({total_instructions}) — re-save the "
+                "trace to silence this",
+                TraceFormatWarning,
+                stacklevel=2,
+            )
     meta = TraceMeta(
         name=meta_fields["name"],
         dataset=meta_fields["dataset"],
         source=meta_fields["source"],
-        total_instructions=int(meta_fields["total_instructions"]),
+        total_instructions=total_instructions,
+        extra=tuple(sorted(extra_fields.items())),
     )
     return Trace(meta, pc, taken, cls, target, instret, trap)
 
@@ -97,18 +179,84 @@ def read_text(stream: TextIO) -> Trace:
 # Binary format
 # ----------------------------------------------------------------------
 
+def _record_dtype():
+    """The NumPy structured dtype matching ``_RECORD`` byte-for-byte."""
+    return _np.dtype([
+        ("pc", "<i8"), ("flags", "u1"), ("cls", "u1"),
+        ("target", "<i8"), ("instret", "<i8"),
+    ])
+
+
+def _check_range(name: str, values: Iterable[int], lo: int, hi: int) -> None:
+    for index, value in enumerate(values):
+        if not (lo <= value <= hi):
+            raise TraceFormatError(
+                f"record {index}: {name}={value} does not fit the binary "
+                f"trace format (allowed range [{lo}, {hi}])"
+            )
+
+
+def _validate_columns(trace: Trace) -> None:
+    """Validate every column fits the packed record, with indices."""
+    pc, _taken, cls, target, instret, _trap = trace.columns
+    _check_range("pc", pc, _INT64_MIN, _INT64_MAX)
+    _check_range("cls", cls, 0, 255)
+    _check_range("target", target, _INT64_MIN, _INT64_MAX)
+    _check_range("instret", instret, _INT64_MIN, _INT64_MAX)
+
+
+def _records_payload(trace: Trace) -> bytes:
+    """Serialize all records to bytes, validating ranges up front.
+
+    Nothing is written to any stream before this returns, so a
+    validation failure can never truncate an output file mid-record.
+    """
+    pc, taken, cls, target, instret, trap = trace.columns
+    if _np is not None:
+        records = _np.empty(len(trace), dtype=_record_dtype())
+        try:
+            records["pc"] = _np.asarray(pc, dtype=_np.int64)
+            records["cls"] = _np.asarray(cls, dtype=_np.uint8)
+            records["target"] = _np.asarray(target, dtype=_np.int64)
+            records["instret"] = _np.asarray(instret, dtype=_np.int64)
+        except OverflowError:
+            _validate_columns(trace)  # locate + report the offender
+            raise TraceFormatError("trace column out of range")  # pragma: no cover
+        flags = _np.asarray(taken, dtype=_np.uint8) * _FLAG_TAKEN
+        flags |= _np.asarray(trap, dtype=_np.uint8) * _FLAG_TRAP
+        records["flags"] = flags
+        return records.tobytes()
+    _validate_columns(trace)
+    pack = _RECORD.pack
+    chunks: List[bytes] = []
+    for r_pc, r_taken, r_cls, r_target, r_instret, r_trap in trace.iter_tuples():
+        r_flags = (_FLAG_TAKEN if r_taken else 0) | (_FLAG_TRAP if r_trap else 0)
+        chunks.append(pack(r_pc, r_flags, r_cls, r_target, r_instret))
+    return b"".join(chunks)
+
+
 def write_binary(trace: Trace, stream: BinaryIO) -> None:
-    """Write ``trace`` to ``stream`` in the packed binary format."""
+    """Write ``trace`` to ``stream`` in the packed binary format.
+
+    Field ranges are validated and the full record payload built
+    *before* the header is written: an unrepresentable value raises
+    :class:`TraceFormatError` (not a bare ``struct.error``) and leaves
+    the stream untouched. ``TraceMeta.extra`` keys are a text-format
+    feature and are not serialized here.
+    """
     meta = trace.meta
+    if not (_INT64_MIN <= meta.total_instructions <= _INT64_MAX):
+        raise TraceFormatError(
+            f"total_instructions={meta.total_instructions} does not fit the "
+            f"binary trace format (allowed range [{_INT64_MIN}, {_INT64_MAX}])"
+        )
+    payload = _records_payload(trace)
     stream.write(_HEADER.pack(_MAGIC, _VERSION, 0, len(trace)))
     _write_string(stream, meta.name)
     _write_string(stream, meta.dataset)
     _write_string(stream, meta.source)
     stream.write(struct.pack("<q", meta.total_instructions))
-    pack = _RECORD.pack
-    for pc, taken, cls, target, instret, trap in trace.iter_tuples():
-        flags = (_FLAG_TAKEN if taken else 0) | (_FLAG_TRAP if trap else 0)
-        stream.write(pack(pc, flags, cls, target, instret))
+    stream.write(payload)
 
 
 def read_binary(stream: BinaryIO) -> Trace:
@@ -126,10 +274,22 @@ def read_binary(stream: BinaryIO) -> Trace:
     source = _read_string(stream)
     (total_instructions,) = struct.unpack("<q", _read_exact(stream, 8))
     meta = TraceMeta(name, dataset, source, total_instructions)
-    pc, taken, cls, target, instret, trap = [], [], [], [], [], []
-    unpack = _RECORD.unpack
     size = _RECORD.size
     payload = _read_exact(stream, size * count)
+    if _np is not None:
+        records = _np.frombuffer(payload, dtype=_record_dtype())
+        flags = records["flags"]
+        return Trace(
+            meta,
+            records["pc"].tolist(),
+            ((flags & _FLAG_TAKEN) != 0).tolist(),
+            records["cls"].tolist(),
+            records["target"].tolist(),
+            records["instret"].tolist(),
+            ((flags & _FLAG_TRAP) != 0).tolist(),
+        )
+    pc, taken, cls, target, instret, trap = [], [], [], [], [], []
+    unpack = _RECORD.unpack
     for offset in range(0, size * count, size):
         r_pc, flags, r_cls, r_target, r_instret = unpack(payload[offset : offset + size])
         pc.append(r_pc)
@@ -167,22 +327,38 @@ def save_trace(trace: Trace, path: PathLike) -> None:
     """Save ``trace`` to ``path``; format chosen by suffix.
 
     ``.btr`` selects the text format, anything else the binary format.
+    The data is written to a temporary sibling file and atomically
+    renamed into place, so a failed save (validation error, full disk,
+    interrupt) never leaves a partial trace file at ``path``.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        if path.suffix == ".btr":
+            with tmp.open("w") as stream:
+                write_text(trace, stream)
+        else:
+            with tmp.open("wb") as stream:
+                write_binary(trace, stream)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+
+
+def load_trace(path: PathLike, missing_meta: str = "warn") -> Trace:
+    """Load a trace saved by :func:`save_trace`.
+
+    ``missing_meta`` is forwarded to :func:`read_text` for text traces;
+    the binary header always carries ``total_instructions``.
     """
     path = Path(path)
     if path.suffix == ".btr":
-        with path.open("w") as stream:
-            write_text(trace, stream)
-    else:
-        with path.open("wb") as stream:
-            write_binary(trace, stream)
-
-
-def load_trace(path: PathLike) -> Trace:
-    """Load a trace saved by :func:`save_trace`."""
-    path = Path(path)
-    if path.suffix == ".btr":
         with path.open() as stream:
-            return read_text(stream)
+            return read_text(stream, missing_meta=missing_meta)
     with path.open("rb") as stream:
         return read_binary(stream)
 

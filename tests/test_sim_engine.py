@@ -132,8 +132,9 @@ class TestContextSwitches:
             builder.build(),
             context_switches=ContextSwitchConfig(interval=10_000),
         )
-        # 100k instructions / 10k interval -> ~10 switches.
-        assert 8 <= result.context_switches <= 11
+        # 100k instructions / 10k interval -> one switch per absolute
+        # boundary (instret 10k, 20k, ..., 100k), exactly.
+        assert result.context_switches == 10
         assert predictor.switches == result.context_switches
 
     def test_trap_triggers_switch(self):
@@ -167,10 +168,10 @@ class TestContextSwitches:
         simulate(predictor, builder.build())
         assert predictor.switches == 0
 
-    def test_timer_resets_after_switch(self):
+    def test_trap_before_first_boundary(self):
         builder = TraceBuilder()
         builder.conditional(1, True, work=999)
-        builder.trap()  # switch here resets the 10k timer
+        builder.trap()
         for _ in range(8):
             builder.conditional(1, True, work=999)
         predictor = _Scripted([True])
@@ -179,9 +180,40 @@ class TestContextSwitches:
             builder.build(),
             context_switches=ContextSwitchConfig(interval=10_000),
         )
-        # Only the trap switch: after it the counter restarts and the
-        # remaining ~8k instructions never reach the next deadline.
+        # Only the trap switch: the trace retires ~9k instructions, so
+        # the first interval boundary (instret 10k) is never reached.
         assert predictor.switches == 1
+
+    def test_traps_do_not_reschedule_interval_boundaries(self):
+        # Interval boundaries are absolute multiples of the interval; a
+        # trap-driven switch must not push the next boundary out (the
+        # old implementation restarted the countdown, drifting epochs).
+        builder = TraceBuilder()
+        builder.conditional(1, True, work=4_999)  # instret 5_000
+        builder.trap()                            # instret 5_001
+        builder.conditional(1, True, work=0)      # instret 5_002, trap switch
+        builder.conditional(1, True, work=4_997)  # instret 10_000, boundary
+        predictor = _Scripted([True])
+        simulate(
+            predictor,
+            builder.build(),
+            context_switches=ContextSwitchConfig(interval=10_000),
+        )
+        assert predictor.switches == 2
+
+    def test_coincident_trap_and_boundary_switch_once(self):
+        builder = TraceBuilder()
+        builder.conditional(1, True, work=4_999)  # instret 5_000
+        builder.trap()                            # instret 5_001
+        builder.conditional(1, True, work=4_998)  # instret 10_000: trap + boundary
+        predictor = _Scripted([True])
+        result = simulate(
+            predictor,
+            builder.build(),
+            context_switches=ContextSwitchConfig(interval=10_000),
+        )
+        assert predictor.switches == 1
+        assert result.context_switches == 1
 
     def test_interval_validation(self):
         with pytest.raises(ValueError):

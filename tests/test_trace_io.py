@@ -135,3 +135,122 @@ class TestFileHelpers:
             builder.conditional(0x1000 + (i % 64) * 4, i % 3 != 0, work=2)
         trace = builder.build()
         _traces_equal(trace, loads(dumps(trace)))
+
+
+class TestBinaryValidation:
+    """Unrepresentable values fail loudly, before any bytes are written."""
+
+    def _trace_with(self, **overrides):
+        from repro.trace.events import Trace, TraceMeta
+
+        columns = {
+            "pc": [0x1000],
+            "taken": [True],
+            "cls": [int(BranchClass.CONDITIONAL)],
+            "target": [0],
+            "instret": [4],
+            "trap": [False],
+        }
+        columns.update(overrides)
+        return Trace(TraceMeta(name="bad"), **columns)
+
+    @pytest.mark.parametrize(
+        "column,value",
+        [("pc", 1 << 63), ("target", -(1 << 63) - 1), ("instret", 1 << 70)],
+    )
+    def test_out_of_range_column_raises_before_writing(self, column, value):
+        trace = self._trace_with(**{column: [value]})
+        stream = io.BytesIO()
+        with pytest.raises(TraceFormatError, match=column):
+            write_binary(trace, stream)
+        assert stream.getvalue() == b""  # nothing written, not even a header
+
+    def test_out_of_range_total_instructions(self):
+        from repro.trace.events import Trace, TraceMeta
+
+        trace = Trace(
+            TraceMeta(name="bad", total_instructions=1 << 64),
+            [], [], [], [], [], [],
+        )
+        stream = io.BytesIO()
+        with pytest.raises(TraceFormatError, match="total_instructions"):
+            write_binary(trace, stream)
+        assert stream.getvalue() == b""
+
+    def test_failed_save_leaves_no_file(self, tmp_path):
+        trace = self._trace_with(pc=[1 << 63])
+        path = tmp_path / "bad.btb"
+        with pytest.raises(TraceFormatError):
+            save_trace(trace, path)
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []  # no .tmp leftovers either
+
+    def test_failed_save_preserves_existing_file(self, tmp_path):
+        path = tmp_path / "trace.btb"
+        good = _sample_trace()
+        save_trace(good, path)
+        with pytest.raises(TraceFormatError):
+            save_trace(self._trace_with(instret=[1 << 65]), path)
+        _traces_equal(good, load_trace(path))
+
+
+class TestTextMetadata:
+    """Missing/unknown metadata is surfaced, not silently defaulted."""
+
+    def _text_without_total(self):
+        buffer = io.StringIO()
+        write_text(_sample_trace(), buffer)
+        return "\n".join(
+            line for line in buffer.getvalue().splitlines()
+            if not line.startswith("# total_instructions=")
+        )
+
+    def test_missing_total_instructions_warns_and_falls_back(self):
+        from repro.trace.io import TraceFormatWarning
+
+        with pytest.warns(TraceFormatWarning, match="total_instructions"):
+            trace = read_text(io.StringIO(self._text_without_total()))
+        last_instret = list(trace.iter_tuples())[-1][4]
+        assert trace.meta.total_instructions == last_instret
+
+    def test_missing_total_instructions_error_mode(self):
+        with pytest.raises(TraceFormatError, match="total_instructions"):
+            read_text(io.StringIO(self._text_without_total()), missing_meta="error")
+
+    def test_missing_total_instructions_ignore_mode(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            trace = read_text(
+                io.StringIO(self._text_without_total()), missing_meta="ignore"
+            )
+        assert trace.meta.total_instructions > 0
+
+    def test_invalid_missing_meta_mode_rejected(self):
+        with pytest.raises(ValueError, match="missing_meta"):
+            read_text(io.StringIO(""), missing_meta="whatever")
+
+    def test_unknown_meta_keys_round_trip(self):
+        buffer = io.StringIO()
+        write_text(_sample_trace(), buffer)
+        content = "# compiler=gcc-12\n# opt_level=O2\n" + buffer.getvalue()
+        trace = read_text(io.StringIO(content))
+        assert trace.meta.extra == (("compiler", "gcc-12"), ("opt_level", "O2"))
+        second = io.StringIO()
+        write_text(trace, second)
+        second.seek(0)
+        assert read_text(second).meta.extra == trace.meta.extra
+
+    def test_declared_record_count_mismatch(self):
+        buffer = io.StringIO()
+        write_text(_sample_trace(), buffer)
+        content = buffer.getvalue().replace("# records=", "# records=9")
+        with pytest.raises(TraceFormatError, match="records"):
+            read_text(io.StringIO(content))
+
+    def test_load_trace_forwards_missing_meta(self, tmp_path):
+        path = tmp_path / "trace.btr"
+        path.write_text(self._text_without_total() + "\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path, missing_meta="error")
