@@ -4,7 +4,7 @@ PYTHON ?= python
 
 WORKERS ?= 4
 
-.PHONY: install test check lint bench bench-kernels experiments sweep sweep-follow examples obs-demo clean
+.PHONY: install test check lint bench bench-kernels bench-stream experiments sweep sweep-follow examples obs-demo clean
 
 install:
 	pip install -e .
@@ -37,6 +37,14 @@ bench:
 # ledger (results/ledger) for repro-obs history / export-bench.
 bench-kernels:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_kernels.py --benchmark-only
+
+# Streaming-substrate throughput pin: asserts that simulating a
+# million-branch mmap-backed .btrs container block-by-block (block
+# 2^16) is bit-identical to the one-shot materialized pass and within
+# 10% of its wall time, and appends the measured overheads to the run
+# ledger (results/ledger) for repro-obs history / export-bench.
+bench-stream:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_stream.py --benchmark-only
 
 experiments:
 	$(PYTHON) -m repro.experiments.cli all --out results/

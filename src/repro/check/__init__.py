@@ -1,6 +1,6 @@
 """``repro.check`` — static analysis and invariant verification.
 
-A standing correctness gate for the predictor/simulator stack. Five
+A standing correctness gate for the predictor/simulator stack. Six
 analyzers, each verifying an invariant the paper's numbers (and PR 1's
 parallel/cached execution machinery) silently depend on:
 
@@ -21,6 +21,9 @@ parallel/cached execution machinery) silently depend on:
 ``registry``   ``__all__``/export consistency, Table 3 and friendly-
                name constructibility, and cost-model coverage
                (:mod:`repro.check.registry`).
+``docs``       README/docs accuracy: relative links resolve to real
+               files and every dotted ``repro.*`` reference resolves
+               to a live module or attribute (:mod:`repro.check.docs`).
 =============  ========================================================
 
 Run it as ``python -m repro.check`` (or ``make check``); see
@@ -39,6 +42,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from .automata import check_automata, verify_spec, verify_table
 from .determinism import check_determinism, scan_source
+from .docs import check_docs
 from .pickling import check_pickling, probe_trace
 from .purity import analyze_source, check_purity
 from .registry import check_registry
@@ -53,6 +57,7 @@ __all__ = [
     "analyze_source",
     "check_automata",
     "check_determinism",
+    "check_docs",
     "check_pickling",
     "check_purity",
     "check_registry",
@@ -72,6 +77,7 @@ ANALYZERS: Dict[str, Callable[[], Tuple[List[Finding], int]]] = {
     "determinism": check_determinism,
     "pickling": check_pickling,
     "registry": check_registry,
+    "docs": check_docs,
 }
 
 

@@ -1,0 +1,169 @@
+"""Documentation accuracy checker.
+
+Docs rot silently: a renamed module, a moved file, or a dropped export
+leaves ``docs/*.md`` pointing at things that no longer exist, and no
+test notices. This analyzer re-anchors the prose to the code:
+
+* **link resolution** — every relative markdown link in ``README.md``
+  and ``docs/*.md`` must point at a file or directory that exists in
+  the repository (external URLs and pure ``#anchor`` links are
+  skipped).
+* **symbol resolution** — every dotted reference ``repro.<...>``
+  (module, class, function or attribute path, in prose or in fenced
+  code) must resolve: the longest importable module prefix is imported
+  and the remaining parts are resolved with ``getattr``. A doc naming
+  ``repro.sim.engine.simulate`` keeps passing only while that symbol
+  is real.
+
+The checker is repository-relative and skips cleanly (examining zero
+objects) when the docs tree is absent — installed copies of the
+package carry no ``docs/`` directory.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .report import ERROR, Finding
+
+_ANALYZER = "docs"
+
+#: Documentation files audited, relative to the repository root.
+DOC_GLOBS: Tuple[str, ...] = ("README.md", "docs/*.md")
+
+#: Inline markdown link: [text](target). Images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Fenced code blocks, removed before link checking (code samples may
+#: contain bracket/paren sequences that are not links).
+_FENCE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+#: A dotted repro.* reference, in prose or code.
+_SYMBOL = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+
+#: Dotted references ending in these parts are file names (e.g.
+#: ``repro.pth``), not Python symbols.
+_FILE_SUFFIXES = frozenset({"pth", "py", "md", "json", "csv", "txt"})
+
+
+def _finding(rule: str, location: str, message: str) -> Finding:
+    return Finding(_ANALYZER, f"docs/{rule}", ERROR, location, message)
+
+
+def repo_root() -> Path:
+    """The repository root (three levels above this file's package)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def _doc_files(root: Path) -> List[Path]:
+    files: List[Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(root.glob(pattern)))
+    return [f for f in files if f.is_file()]
+
+
+def _check_links(doc: Path, text: str, root: Path) -> List[Finding]:
+    findings: List[Finding] = []
+    prose = _FENCE.sub("", text)
+    for lineno, line in enumerate(prose.splitlines(), start=1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure in-page anchor
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                findings.append(_finding(
+                    "broken-link",
+                    f"{doc.relative_to(root)}:{lineno}",
+                    f"link target {target!r} does not exist",
+                ))
+    return findings
+
+
+def _resolve_symbol(dotted: str, cache: Dict[str, object]) -> Optional[str]:
+    """Resolve a dotted ``repro.*`` path; returns an error string or None.
+
+    Imports the longest module prefix, then follows the remaining
+    parts with ``getattr`` — so both ``repro.sim.engine`` (a module)
+    and ``repro.trace.Trace.head`` (an attribute chain) resolve.
+    """
+    parts = dotted.split(".")
+    module = None
+    depth = 0
+    for i in range(len(parts), 0, -1):
+        prefix = ".".join(parts[:i])
+        if prefix in cache:
+            module, depth = cache[prefix], i
+            break
+        try:
+            module = importlib.import_module(prefix)
+        except ImportError:
+            continue
+        except Exception as exc:  # pragma: no cover - import-time crash
+            return f"importing {prefix!r} raised {exc!r}"
+        cache[prefix] = module
+        depth = i
+        break
+    if module is None:
+        return f"no importable module prefix in {dotted!r}"
+    obj = module
+    for part in parts[depth:]:
+        try:
+            obj = getattr(obj, part)
+        except AttributeError:
+            return (
+                f"{'.'.join(parts[:depth])!r} has no attribute "
+                f"{'.'.join(parts[depth:])!r}"
+            )
+    return None
+
+
+def _check_symbols(
+    doc: Path, text: str, root: Path, cache: Dict[str, object]
+) -> Tuple[List[Finding], int]:
+    findings: List[Finding] = []
+    examined = 0
+    checked: Dict[str, Optional[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in _SYMBOL.finditer(line):
+            dotted = match.group(0)
+            if dotted.rsplit(".", 1)[-1] in _FILE_SUFFIXES:
+                continue
+            if dotted not in checked:
+                checked[dotted] = _resolve_symbol(dotted, cache)
+                examined += 1
+            error = checked[dotted]
+            if error is not None:
+                findings.append(_finding(
+                    "stale-symbol",
+                    f"{doc.relative_to(root)}:{lineno}",
+                    f"reference {dotted!r} does not resolve: {error}",
+                ))
+                checked[dotted] = None  # report each symbol once per doc
+    return findings, examined
+
+
+def check_docs(root: Optional[Path] = None) -> Tuple[List[Finding], int]:
+    """Run the documentation accuracy checker.
+
+    Returns:
+        (findings, number of files + distinct symbols examined).
+    """
+    root = repo_root() if root is None else Path(root)
+    files = _doc_files(root)
+    findings: List[Finding] = []
+    examined = 0
+    cache: Dict[str, object] = {}
+    for doc in files:
+        text = doc.read_text(encoding="utf-8")
+        findings.extend(_check_links(doc, text, root))
+        symbol_findings, symbols = _check_symbols(doc, text, root, cache)
+        findings.extend(symbol_findings)
+        examined += 1 + symbols
+    return findings, examined

@@ -44,6 +44,8 @@ AUDITED_MODULES: Tuple[str, ...] = (
     "repro.sim.engine",
     "repro.sim.kernels",
     "repro.sim.parallel",
+    "repro.trace.stream",
+    "repro.trace.synthetic",
     "repro.obs",
     "repro.obs.metrics",
     "repro.obs.report",

@@ -9,7 +9,13 @@ from .engine import (
     simulate_named,
     simulate_with_backend,
 )
-from .kernels import KernelUnavailable, kernel_supports, simulate_vectorized
+from .kernels import (
+    KernelUnavailable,
+    kernel_supports,
+    simulate_vectorized,
+    simulate_vectorized_stream,
+    stream_kernel_supports,
+)
 from .fetch import BranchTargetCache, FetchEngine, FetchStats, ReturnAddressStack
 from .ipc import IPCEstimate, MachineModel, ipc_estimate, ipc_from_result, speedup
 from .parallel import PredictorSpec, execute_matrix, result_cache_key, spec, trace_digest
@@ -60,9 +66,11 @@ __all__ = [
     "simulate_delayed",
     "simulate_named",
     "simulate_vectorized",
+    "simulate_vectorized_stream",
     "simulate_with_backend",
     "spec",
     "speedup",
+    "stream_kernel_supports",
     "sweep_parameter",
     "trace_digest",
 ]

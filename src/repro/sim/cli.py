@@ -3,6 +3,7 @@
 Examples::
 
     repro-sim run pag-12 trace.btb
+    repro-sim run gag-12 big.btrs --block-size 65536   # bounded memory
     repro-sim run "GAg(HR(1,,18-sr),1xPHT(2^18,A2),)" trace.btb --context-switches
     repro-sim run profile trace.btb --training train.btb
     repro-sim run pag-12 trace.btb --ledger          # record in the run ledger
@@ -25,6 +26,7 @@ from typing import List, Optional
 
 from ..predictors.registry import make_predictor
 from ..trace.io import load_trace
+from ..trace.stream import open_trace_source
 from .engine import SIM_BACKENDS, ContextSwitchConfig, simulate_with_backend
 
 __all__ = ["build_parser", "main"]
@@ -41,7 +43,7 @@ def _context(args: argparse.Namespace) -> Optional[ContextSwitchConfig]:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    trace = load_trace(args.trace)
+    trace = open_trace_source(args.trace)
     predictor = make_predictor(args.predictor, _load_training(args.training))
     probe = None
     streaks = offenders = None
@@ -58,6 +60,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         context_switches=_context(args),
         probe=probe,
         backend=args.backend,
+        block_size=args.block_size,
     )
     wall = time.perf_counter() - started
     print(result)
@@ -100,13 +103,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    trace = load_trace(args.trace)
+    trace = open_trace_source(args.trace)
     training = _load_training(args.training)
     rows = []
     for name in args.predictors:
         predictor = make_predictor(name, training)
         result, _backend = simulate_with_backend(
-            predictor, trace, context_switches=_context(args), backend=args.backend
+            predictor, trace, context_switches=_context(args), backend=args.backend,
+            block_size=args.block_size,
         )
         rows.append((name, result.accuracy, result.mispredictions))
     rows.sort(key=lambda row: -row[1])
@@ -119,8 +123,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from ..analysis.breakdown import misprediction_breakdown, per_site_report
     from ..analysis.interference import interference_report
+    from ..trace.stream import StreamedTrace
 
-    trace = load_trace(args.trace)
+    trace = open_trace_source(args.trace)
+    if isinstance(trace, StreamedTrace):
+        # The analysis passes replay the trace several times; for a
+        # report-sized input materializing is the right trade.
+        trace = trace.materialize()
     predictor = make_predictor(args.predictor, _load_training(args.training))
     breakdown = misprediction_breakdown(predictor, trace, context_switches=_context(args))
     shares = breakdown.shares()
@@ -161,6 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
             "(fail if no kernel applies); results are bit-identical. "
             "Probed runs (run --obs, report) always use the interpreted "
             "loop.",
+        )
+        sub.add_argument(
+            "--block-size", type=int, default=None,
+            help="records per simulation block; bounds peak memory for "
+            ".btrs containers (default: whole trace for in-memory "
+            "traces, 65536 records for streamed containers); results "
+            "are bit-identical at any block size",
         )
 
     run = subparsers.add_parser("run", help="one predictor, one trace")

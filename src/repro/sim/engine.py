@@ -29,16 +29,30 @@ the equivalence suite. ``backend="auto"`` prefers a kernel and falls
 back to the interpreted loop when the predictor (or trace) has none;
 probed runs always take the interpreted twin loop, because probes
 observe per-record state that batch evaluation never materialises.
+
+Trace inputs: every entry point accepts any
+:class:`repro.trace.stream.TraceSource` — an in-memory
+:class:`~repro.trace.events.Trace`, an mmap-backed
+:class:`~repro.trace.stream.StreamedTrace`, or a bounded synthetic
+generator source. Passing ``block_size`` streams the replay in blocks
+of at most that many records (peak memory tracks the block size, not
+the trace length) with results bit-identical to the whole-trace run —
+predictor state, warmup accounting and the absolute context-switch
+epochs all carry across block boundaries.
 """
 
 from __future__ import annotations
 
+from itertools import chain
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from ..predictors.base import BranchPredictor
 from ..trace.events import BranchClass, Trace
 from .results import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..trace.stream import TraceSource
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs imports sim)
     from ..obs.probes import Probe
@@ -75,12 +89,13 @@ class ContextSwitchConfig:
 
 def simulate(
     predictor: BranchPredictor,
-    trace: Trace,
+    trace: "TraceSource",
     context_switches: Optional[ContextSwitchConfig] = None,
     track_per_site: bool = False,
     warmup_branches: int = 0,
     probe: Optional["Probe"] = None,
     backend: str = "python",
+    block_size: Optional[int] = None,
 ) -> SimulationResult:
     """Replay ``trace`` through ``predictor`` and score its predictions.
 
@@ -90,6 +105,10 @@ def simulate(
             configuration and leaves the instance untouched (and
             therefore requires a *freshly built* predictor, which every
             runner path provides).
+        trace: any bounded :class:`repro.trace.stream.TraceSource` — an
+            in-memory :class:`~repro.trace.events.Trace`, an mmap-backed
+            :class:`~repro.trace.stream.StreamedTrace`, or a
+            ``.limit(n)``-bounded synthetic source.
         context_switches: enable the paper's context-switch model when
             given; ``None`` simulates an undisturbed run.
         track_per_site: also collect per-static-branch mispredictions
@@ -107,6 +126,11 @@ def simulate(
             interpreted loop otherwise). A probe always forces the
             interpreted twin loop regardless of ``backend``. Every
             backend returns bit-identical results.
+        block_size: when given, consume the trace in blocks of at most
+            this many records, bounding peak memory by the block size
+            instead of the trace length. Results are bit-identical for
+            every block size. A non-``Trace`` source streams block-wise
+            even when this is ``None`` (at the default block size).
 
     Returns:
         A :class:`SimulationResult` with accuracy and bookkeeping.
@@ -119,18 +143,20 @@ def simulate(
         warmup_branches=warmup_branches,
         probe=probe,
         backend=backend,
+        block_size=block_size,
     )
     return result
 
 
 def simulate_with_backend(
     predictor: BranchPredictor,
-    trace: Trace,
+    trace: "TraceSource",
     context_switches: Optional[ContextSwitchConfig] = None,
     track_per_site: bool = False,
     warmup_branches: int = 0,
     probe: Optional["Probe"] = None,
     backend: str = "python",
+    block_size: Optional[int] = None,
 ) -> Tuple[SimulationResult, str]:
     """:func:`simulate`, additionally reporting the backend that ran.
 
@@ -145,6 +171,17 @@ def simulate_with_backend(
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {SIM_BACKENDS}"
         )
+    if block_size is not None and block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    if getattr(trace, "num_records", 0) is None:
+        raise ValueError(
+            "cannot simulate an unbounded trace source; bound it with .limit(n)"
+        )
+    # A plain in-memory Trace with no block size runs the original
+    # whole-trace paths; anything else streams block-wise with carried
+    # state (non-Trace sources stream even without an explicit
+    # block_size so an mmap-backed container is never materialized).
+    streaming = block_size is not None or not isinstance(trace, Trace)
     # Structured-log telemetry (a no-op unless repro.obs.log was
     # enabled; the deferred import keeps package init acyclic). Both
     # events fire outside the record loop, so the probe-off fast path
@@ -156,7 +193,7 @@ def simulate_with_backend(
         "run_start",
         scheme=getattr(predictor, "name", type(predictor).__name__),
         trace=trace.meta.name,
-        records=len(trace),
+        records=trace.num_records,
         probed=probe is not None,
         backend=backend,
     )
@@ -168,6 +205,7 @@ def simulate_with_backend(
             context_switches=context_switches,
             track_per_site=track_per_site,
             warmup_branches=warmup_branches,
+            block_size=block_size,
         )
         _log_run_end(logger, result)
         return result, "python"
@@ -175,19 +213,33 @@ def simulate_with_backend(
         try:
             # Deferred and guarded: the kernels need numpy, which is an
             # optional dependency of the interpreted simulator.
-            from .kernels import KernelUnavailable, simulate_vectorized
+            from .kernels import (
+                KernelUnavailable,
+                simulate_vectorized,
+                simulate_vectorized_stream,
+            )
         except ImportError:
             if backend == "vectorized":
                 raise
         else:
             try:
-                result = simulate_vectorized(
-                    predictor,
-                    trace,
-                    context_switches=context_switches,
-                    track_per_site=track_per_site,
-                    warmup_branches=warmup_branches,
-                )
+                if streaming:
+                    result = simulate_vectorized_stream(
+                        predictor,
+                        trace,
+                        context_switches=context_switches,
+                        track_per_site=track_per_site,
+                        warmup_branches=warmup_branches,
+                        block_size=block_size,
+                    )
+                else:
+                    result = simulate_vectorized(
+                        predictor,
+                        trace,
+                        context_switches=context_switches,
+                        track_per_site=track_per_site,
+                        warmup_branches=warmup_branches,
+                    )
             except KernelUnavailable:
                 if backend == "vectorized":
                     raise
@@ -209,7 +261,7 @@ def simulate_with_backend(
     update = predictor.update
     cond_class = int(BranchClass.CONDITIONAL)
 
-    for pc, taken, cls, target, instret, trap in trace.iter_tuples():
+    for pc, taken, cls, target, instret, trap in _record_tuples(trace, block_size):
         if cs_enabled and ((trap and switch_on_traps) or instret >= next_switch):
             predictor.on_context_switch()
             switches += 1
@@ -249,6 +301,16 @@ def simulate_with_backend(
     return result, "python"
 
 
+def _record_tuples(trace: "TraceSource", block_size: Optional[int]):
+    """The interpreted loops' record iterator: plain tuples, optionally
+    consumed block-wise so a streamed source never materializes."""
+    if block_size is None:
+        return trace.iter_tuples()
+    return chain.from_iterable(
+        block.iter_tuples() for block in trace.iter_blocks(block_size)
+    )
+
+
 def _log_run_end(logger, result: SimulationResult) -> None:
     """Emit the engine's run-completed record (telemetry only)."""
     logger.event(
@@ -263,11 +325,12 @@ def _log_run_end(logger, result: SimulationResult) -> None:
 
 def _simulate_probed(
     predictor: BranchPredictor,
-    trace: Trace,
+    trace: "TraceSource",
     probe: "Probe",
     context_switches: Optional[ContextSwitchConfig] = None,
     track_per_site: bool = False,
     warmup_branches: int = 0,
+    block_size: Optional[int] = None,
 ) -> SimulationResult:
     """The probed twin of :func:`simulate`.
 
@@ -307,7 +370,7 @@ def _simulate_probed(
     next_window = window if window else 0
     window_index = 0
 
-    for pc, taken, cls, target, instret, trap in trace.iter_tuples():
+    for pc, taken, cls, target, instret, trap in _record_tuples(trace, block_size):
         if cs_enabled and ((trap and switch_on_traps) or instret >= next_switch):
             predictor.on_context_switch()
             switches += 1

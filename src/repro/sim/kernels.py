@@ -71,10 +71,17 @@ from ..core.twolevel import (
 from ..predictors.btb import BTBPredictor
 from ..predictors.static import AlwaysNotTaken, AlwaysTaken, BTFN, ProfileGuided
 from ..trace.events import Trace
+from ..trace.stream import DEFAULT_BLOCK_SIZE as _DEFAULT_STREAM_BLOCK
 from .engine import ContextSwitchConfig
 from .results import SimulationResult
 
-__all__ = ["KernelUnavailable", "kernel_supports", "simulate_vectorized"]
+__all__ = [
+    "KernelUnavailable",
+    "kernel_supports",
+    "simulate_vectorized",
+    "simulate_vectorized_stream",
+    "stream_kernel_supports",
+]
 
 #: Longest history register the kernels accept. Pattern keys stay well
 #: inside int64 and the windowing loop stays short; the paper's longest
@@ -182,12 +189,16 @@ class _Runs:
         self.starts = starts
 
 
-def _find_runs(out_u8: np.ndarray, grp_new: np.ndarray, ops: _AutomatonOps) -> _Runs:
+def _find_runs(out_u8: np.ndarray, grp_new: np.ndarray, ops: _AutomatonOps,
+               group_init: Optional[np.ndarray] = None) -> _Runs:
     """Collapse group-sorted outcomes into runs and scan their states.
 
     ``out_u8`` must be ordered group-major with time order inside each
     group; ``grp_new`` marks each group's first element. Every group's
-    automaton starts from ``ops.init``.
+    automaton starts from ``ops.init`` — unless ``group_init`` (a
+    per-record uint8 state array, consulted at each group's first
+    record) supplies carried-over states, which is how the streaming
+    driver resumes a pattern entry where the previous block left it.
     """
     n = out_u8.shape[0]
     starts = grp_new.copy()
@@ -214,7 +225,11 @@ def _find_runs(out_u8: np.ndarray, grp_new: np.ndarray, ops: _AutomatonOps) -> _
     seg_new[0] = True
     seg_start = _start_indices(seg_new)
     idx_in_seg = np.arange(nruns, dtype=np.int32) - seg_start
-    init_run = np.where(absorbed, prev_code & 3, ops.init).astype(np.uint8)[seg_start]
+    if group_init is None:
+        init_vals = np.full(nruns, ops.init, dtype=np.uint8)
+    else:
+        init_vals = group_init[first]
+    init_run = np.where(absorbed, prev_code & 3, init_vals).astype(np.uint8)[seg_start]
 
     # Exclusive segmented composition scan (Hillis-Steele doubling):
     # after the loop, H[i] maps a segment's init state to the state
@@ -333,13 +348,24 @@ def _fill_extended(window: np.ndarray, since: np.ndarray, fill: np.ndarray, k: i
 # ----------------------------------------------------------------------
 
 class _Run:
-    """Prepared per-call inputs shared by every kernel."""
+    """Prepared per-call inputs shared by every kernel.
+
+    For whole-trace kernels the defaults apply. The streaming driver
+    additionally threads ``prev_epoch`` (the context-switch epoch of the
+    previous block's last record, so a flush boundary falling exactly
+    between two blocks still fires) and ``fires_base`` (the global flush
+    count entering this block, so ``seg_c`` values — and the per-site
+    residency stamps derived from them — stay comparable across blocks).
+    """
 
     __slots__ = ("arrays", "n_c", "out_bool", "out_u8", "seg_c", "switches",
-                 "aggregate", "warmup", "track_per_site", "_pc_c")
+                 "aggregate", "warmup", "track_per_site", "_pc_c",
+                 "fires_base", "fires_end", "last_epoch", "head_fires",
+                 "tail_fires")
 
     def __init__(self, trace: Trace, context_switches: Optional[ContextSwitchConfig],
-                 track_per_site: bool, warmup_branches: int) -> None:
+                 track_per_site: bool, warmup_branches: int, *,
+                 prev_epoch: Optional[int] = None, fires_base: int = 0) -> None:
         arrays = trace.as_arrays()
         self.arrays = arrays
         cond = arrays.cond_mask
@@ -350,9 +376,14 @@ class _Run:
         self.track_per_site = bool(track_per_site)
         self.aggregate = self.warmup == 0 and not self.track_per_site
         self._pc_c = None
+        self.fires_base = int(fires_base)
         if context_switches is None or len(arrays) == 0:
             self.switches = 0
-            self.seg_c = np.zeros(self.n_c, dtype=np.int64)
+            self.seg_c = np.full(self.n_c, self.fires_base, dtype=np.int64)
+            self.fires_end = self.fires_base
+            self.last_epoch = 0 if prev_epoch is None else int(prev_epoch)
+            self.head_fires = 0
+            self.tail_fires = 0
             return
         instret = arrays.instret
         if np.any(instret[1:] < instret[:-1]):
@@ -362,11 +393,21 @@ class _Run:
             )
         boundary = np.empty(len(arrays), dtype=np.bool_)
         epoch = instret // context_switches.interval
-        boundary[0] = epoch[0] > 0
+        boundary[0] = epoch[0] > (0 if prev_epoch is None else prev_epoch)
         boundary[1:] = epoch[1:] > epoch[:-1]
         fires = boundary | arrays.trap if context_switches.switch_on_traps else boundary
         self.switches = int(np.count_nonzero(fires))
-        self.seg_c = np.cumsum(fires)[cond]
+        fires_cum = np.cumsum(fires)
+        total_fires = int(fires_cum[-1])
+        self.seg_c = self.fires_base + fires_cum[cond]
+        self.fires_end = self.fires_base + total_fires
+        self.last_epoch = int(epoch[-1])
+        if self.n_c:
+            self.head_fires = int(self.seg_c[0]) - self.fires_base
+            self.tail_fires = total_fires - (int(self.seg_c[-1]) - self.fires_base)
+        else:
+            self.head_fires = total_fires
+            self.tail_fires = total_fires
 
     @property
     def pc_c(self) -> np.ndarray:
@@ -770,3 +811,609 @@ def _score_predictions(run: _Run, pred: np.ndarray):
     per_seen = {int(sites[i]): int(seen[i]) for i in np.flatnonzero(seen)}
     per_wrong = {int(sites[i]): int(wrong[i]) for i in np.flatnonzero(wrong)}
     return correct, per_seen, per_wrong
+
+
+# ----------------------------------------------------------------------
+# Streaming kernels: per-block passes with explicit state handoff
+# ----------------------------------------------------------------------
+#
+# The whole-trace kernels above exploit one global fact: every pattern
+# entry starts from the automaton's initial state, so a single sort and
+# scan covers the trace. Streaming breaks that fact — a block sees
+# pattern entries, history registers, and BHT residencies mid-life. The
+# classes below make the carried state explicit:
+#
+# * pattern tables persist as dense uint8 state arrays (or per-site
+#   arrays for GAp); each block gathers the stored state at every
+#   group's first record (``group_init``), scans, and scatters the
+#   groups' final states back;
+# * the global history register is carried as an integer and spliced
+#   into the first ``min(len, k)`` records of a block whose leading
+#   segment continues across the boundary;
+# * per-address registers / BTB entries are carried in a dict keyed by
+#   site (real pc for the ideal BHT, set index for direct-mapped),
+#   stamped with the global flush count at the site's last occurrence —
+#   a stamp mismatch at the next occurrence means a flush intervened,
+#   which invalidates the entry exactly like the sequential model.
+#
+# Context-switch bookkeeping stays on absolute ``instret // interval``
+# epochs threaded through ``_Run`` (``prev_epoch`` / ``fires_base``), so
+# block boundaries can never shift a flush — the same guarantee the
+# interpreted engine's absolute ``next_switch`` arithmetic provides.
+
+def _group_final_states(runs: _Runs, grp_new: np.ndarray, ops: _AutomatonOps) -> np.ndarray:
+    """Each group's automaton state after its last update, in group
+    order (one value per True in ``grp_new``)."""
+    grp_first_runs = grp_new[runs.first]
+    nruns = runs.first.shape[0]
+    last = np.empty(nruns, dtype=np.bool_)
+    last[:-1] = grp_first_runs[1:]
+    last[-1] = True
+    idx = np.flatnonzero(last)
+    codes = ops.pow_codes[runs.out[idx], runs.lcap[idx]]
+    return ops.apply[codes, runs.state0[idx]]
+
+
+def _scan_with_store(run: _Run, keys: np.ndarray, store: np.ndarray,
+                     ops: _AutomatonOps):
+    """One block's pattern-table pass against a persistent dense store.
+
+    Groups the block's conditional records by ``keys`` (pattern-table
+    index), seeds each group's scan with the stored entry state, commits
+    every touched entry's final state back into ``store``, and returns
+    either the closed-form correct count or per-record predictions in
+    trace order.
+    """
+    order, grp_new = _group_sort(keys)
+    key_s = keys[order]
+    out_sorted = run.out_u8[order]
+    starts = np.flatnonzero(grp_new)
+    start_keys = key_s[starts]
+    group_init = np.zeros(run.n_c, dtype=np.uint8)
+    group_init[starts] = store[start_keys]
+    runs = _find_runs(out_sorted, grp_new, ops, group_init=group_init)
+    store[start_keys] = _group_final_states(runs, grp_new, ops)
+    if run.aggregate:
+        return run.n_c - _runs_wrong_total(runs, ops)
+    pred_sorted = _expand_run_preds(run.n_c, runs, ops)
+    pred = np.empty(run.n_c, dtype=np.bool_)
+    pred[order] = pred_sorted
+    return pred
+
+
+class _GlobalHistoryCarry:
+    """The global history register carried across blocks.
+
+    ``reg`` starts at the predictor's reset value (fill bit replicated),
+    which is also what a flush restores — so the first block and every
+    post-flush head share one code path: a block whose leading segment
+    continues splices ``reg`` into its first ``min(len, k)`` records.
+    """
+
+    __slots__ = ("k", "mask", "fill_bit", "reg")
+
+    def __init__(self, k: int, fill_taken: bool) -> None:
+        self.k = k
+        self.mask = (1 << k) - 1
+        self.fill_bit = 1 if fill_taken else 0
+        self.reg = self.mask if fill_taken else 0
+
+    def patterns(self, run: _Run) -> np.ndarray:
+        """GHR contents before each of the block's conditional records."""
+        n = run.n_c
+        seg = run.seg_c
+        new_seg = np.empty(n, dtype=np.bool_)
+        new_seg[0] = run.head_fires > 0
+        new_seg[1:] = seg[1:] != seg[:-1]
+        since = np.arange(n, dtype=np.int32) - _start_indices(new_seg)
+        window = _outcome_window(run.out_u8, self.k)
+        ghr = _fill_extended(window, since, np.int32(self.fill_bit), self.k)
+        if not new_seg[0]:
+            # The leading segment continues the previous block: its
+            # first min(len, k) records still see carried register bits
+            # above the block-local window bits.
+            head_len = int(np.argmax(new_seg)) if bool(new_seg.any()) else n
+            span = min(head_len, self.k)
+            j = np.arange(span, dtype=np.int64)
+            local = window[:span].astype(np.int64) & ((np.int64(1) << j) - 1)
+            ghr[:span] = ((np.int64(self.reg) << j) | local) & self.mask
+        return ghr
+
+    def advance(self, run: _Run, ghr: Optional[np.ndarray]) -> None:
+        """Roll ``reg`` past the block (flushes happen *before* the
+        record they fire at, so a trailing flush resets the register
+        only when it lands strictly after the last conditional)."""
+        if run.n_c and run.tail_fires == 0:
+            self.reg = ((int(ghr[-1]) << 1) | int(run.out_u8[-1])) & self.mask
+        elif run.tail_fires > 0:
+            self.reg = self.mask if self.fill_bit else 0
+
+
+class _StreamStateless:
+    """Per-block wrapper for kernels with no cross-block state (the
+    static schemes and the preset-table second levels)."""
+
+    __slots__ = ("_kernel",)
+
+    def __init__(self, kernel) -> None:
+        self._kernel = kernel
+
+    def process(self, run: _Run):
+        if run.n_c == 0:
+            return 0
+        return self._kernel(run)
+
+
+class _StreamGlobalScan:
+    """Streamed GAg (keys = GHR) / gshare (keys = GHR xor pc)."""
+
+    __slots__ = ("ops", "k", "xor_pc", "hist", "pht")
+
+    def __init__(self, predictor, xor_pc: bool) -> None:
+        self.ops = _ops_for(predictor.automaton)
+        self.k = predictor.history_bits
+        self.xor_pc = xor_pc
+        self.hist = _GlobalHistoryCarry(self.k, fill_taken=not xor_pc)
+        self.pht = np.full(1 << self.k, self.ops.init, dtype=np.uint8)
+
+    def process(self, run: _Run):
+        if run.n_c == 0:
+            self.hist.advance(run, None)
+            return 0
+        ghr = self.hist.patterns(run)
+        if self.xor_pc:
+            keys = (ghr ^ run.pc_c) & ((1 << self.k) - 1)
+        else:
+            keys = ghr
+        result = _scan_with_store(run, keys, self.pht, self.ops)
+        self.hist.advance(run, ghr)
+        return result
+
+
+class _StreamGSg:
+    """Streamed GSg: preset bits read under the carried GHR."""
+
+    __slots__ = ("bits", "hist")
+
+    def __init__(self, predictor: GSgPredictor) -> None:
+        self.bits = np.asarray(predictor.table.bits_snapshot(), dtype=np.bool_)
+        self.hist = _GlobalHistoryCarry(predictor.history_bits, fill_taken=True)
+
+    def process(self, run: _Run):
+        if run.n_c == 0:
+            self.hist.advance(run, None)
+            return 0
+        ghr = self.hist.patterns(run)
+        self.hist.advance(run, ghr)
+        return self.bits[ghr]
+
+
+class _StreamGAp:
+    """Streamed GAp: carried GHR + one dense per-site pattern table."""
+
+    __slots__ = ("ops", "k", "hist", "tables")
+
+    def __init__(self, predictor: GApPredictor) -> None:
+        self.ops = _ops_for(predictor.automaton)
+        self.k = predictor.history_bits
+        self.hist = _GlobalHistoryCarry(self.k, fill_taken=True)
+        self.tables: Dict[int, np.ndarray] = {}
+
+    def process(self, run: _Run):
+        if run.n_c == 0:
+            self.hist.advance(run, None)
+            return 0
+        ghr = self.hist.patterns(run)
+        sites, ids = run.arrays.conditional_site_ids()
+        keys = (ids.astype(np.int64) << self.k) | ghr
+        order, grp_new = _group_sort(keys)
+        key_s = keys[order]
+        out_sorted = run.out_u8[order]
+        starts = np.flatnonzero(grp_new)
+        start_keys = key_s[starts]
+        # Group starts are key-sorted, so each site's groups are
+        # contiguous: one searchsorted gives per-site slices.
+        site_of = (start_keys >> self.k).astype(np.int64)
+        patt_of = (start_keys & np.int64((1 << self.k) - 1)).astype(np.int64)
+        bounds = np.searchsorted(site_of, np.arange(sites.shape[0] + 1))
+        group_init = np.zeros(run.n_c, dtype=np.uint8)
+        tbls = []
+        for si in range(sites.shape[0]):
+            tbl = self.tables.get(int(sites[si]))
+            if tbl is None:
+                tbl = self.tables[int(sites[si])] = np.full(
+                    1 << self.k, self.ops.init, dtype=np.uint8
+                )
+            tbls.append(tbl)
+            a, b = int(bounds[si]), int(bounds[si + 1])
+            group_init[starts[a:b]] = tbl[patt_of[a:b]]
+        runs = _find_runs(out_sorted, grp_new, self.ops, group_init=group_init)
+        finals = _group_final_states(runs, grp_new, self.ops)
+        for si in range(sites.shape[0]):
+            a, b = int(bounds[si]), int(bounds[si + 1])
+            tbls[si][patt_of[a:b]] = finals[a:b]
+        if run.aggregate:
+            result = run.n_c - _runs_wrong_total(runs, self.ops)
+        else:
+            pred_sorted = _expand_run_preds(run.n_c, runs, self.ops)
+            pred = np.empty(run.n_c, dtype=np.bool_)
+            pred[order] = pred_sorted
+            result = pred
+        self.hist.advance(run, ghr)
+        return result
+
+
+class _StreamLayout:
+    """One block's conditional records in (site, time) order, plus which
+    leading site occurrences continue a carried BHT entry."""
+
+    __slots__ = ("order", "key_s", "pc_s", "seg_s", "out_s", "ep_new",
+                 "heads", "lasts", "cont", "direct")
+
+    def __init__(self, order, key_s, pc_s, seg_s, out_s, ep_new,
+                 heads, lasts, cont, direct) -> None:
+        self.order = order
+        self.key_s = key_s
+        self.pc_s = pc_s
+        self.seg_s = seg_s
+        self.out_s = out_s
+        self.ep_new = ep_new
+        self.heads = heads
+        self.lasts = lasts
+        self.cont = cont
+        self.direct = direct
+
+
+def _stream_carry_key(layout: _StreamLayout, h: int) -> int:
+    # Ideal BHTs key the carry by real pc (block-local dense ids are not
+    # stable across blocks); direct-mapped tables key by set index.
+    return int(layout.key_s[h]) if layout.direct else int(layout.pc_s[h])
+
+
+def _pa_stream_layout(run: _Run, bht, carry: Dict[int, tuple]) -> _StreamLayout:
+    """Site-sorted block layout with carried-entry continuation marks.
+
+    A carried entry is still live at the block's first occurrence of its
+    site iff no flush fired since it was written (stamp == global flush
+    count at the occurrence) and — for direct-mapped tables — the same
+    branch still owns the set. Stale entries need no eager eviction: a
+    mismatched stamp or occupant simply fails the check, and the
+    occurrence opens a fresh episode exactly like the sequential model.
+    """
+    n = run.n_c
+    if isinstance(bht, IdealBHT):
+        _sites, keys = run.arrays.conditional_site_ids()
+        direct = False
+    else:
+        keys = run.pc_c % bht.num_sets
+        direct = True
+    order = _stable_argsort(keys)
+    key_s = keys[order]
+    pc_s = run.pc_c[order]
+    seg_s = run.seg_c[order]
+    out_s = run.out_u8[order]
+    blk_new = np.empty(n, dtype=np.bool_)
+    blk_new[0] = True
+    blk_new[1:] = key_s[1:] != key_s[:-1]
+    seg_chg = np.empty(n, dtype=np.bool_)
+    seg_chg[0] = True
+    seg_chg[1:] = seg_s[1:] != seg_s[:-1]
+    seg_chg |= blk_new
+    if direct:
+        pc_chg = np.empty(n, dtype=np.bool_)
+        pc_chg[0] = True
+        pc_chg[1:] = pc_s[1:] != pc_s[:-1]
+        ep_new = seg_chg | pc_chg
+    else:
+        ep_new = seg_chg
+    heads = np.flatnonzero(blk_new)
+    lasts = np.empty(heads.shape[0], dtype=np.int64)
+    lasts[:-1] = heads[1:] - 1
+    lasts[-1] = n - 1
+    cont = np.zeros(heads.shape[0], dtype=np.bool_)
+    layout = _StreamLayout(order, key_s, pc_s, seg_s, out_s, ep_new,
+                           heads, lasts, cont, direct)
+    for hi in range(heads.shape[0]):
+        h = int(heads[hi])
+        entry = carry.get(_stream_carry_key(layout, h))
+        if entry is not None and entry[0] == int(seg_s[h]) and entry[1] == int(pc_s[h]):
+            cont[hi] = True
+    return layout
+
+
+def _pa_stream_patterns(layout: _StreamLayout, carry: Dict[int, tuple], k: int):
+    """Per-address register contents per record, resuming carried
+    registers at continuing site heads.
+
+    Returns ``(patterns, ep2)`` where ``ep2`` is ``ep_new`` with
+    continuing heads cleared — i.e. True exactly at records whose update
+    hits a *fresh* entry. For a continuing head the block-local episode
+    start is unknowable from this block alone; the first ``min(len, k)``
+    records are spliced from the carried register, and deeper records
+    are depth-``k`` pure-window values either way.
+    """
+    n = layout.out_s.shape[0]
+    mask = (1 << k) - 1
+    ep2 = layout.ep_new.copy()
+    ep2[layout.heads[layout.cont]] = False
+    ep_start = _start_indices(ep2)
+    m = np.arange(n, dtype=np.int32) - ep_start
+    window = _outcome_window(layout.out_s, k)
+    first_outcome = layout.out_s[ep_start].astype(np.int32)
+    patterns = _fill_extended(window, m, first_outcome, k)
+    patterns[m == 0] = mask
+    ep_true = np.flatnonzero(ep2)
+    for hi in np.flatnonzero(layout.cont):
+        h = int(layout.heads[hi])
+        reg = carry[_stream_carry_key(layout, h)][2]
+        nxt = int(np.searchsorted(ep_true, h, side="right"))
+        end = int(ep_true[nxt]) if nxt < ep_true.shape[0] else n
+        if hi + 1 < layout.heads.shape[0]:
+            end = min(end, int(layout.heads[hi + 1]))
+        span = min(k, end - h)
+        j = np.arange(span, dtype=np.int64)
+        local = window[h:h + span].astype(np.int64) & ((np.int64(1) << j) - 1)
+        patterns[h:h + span] = ((np.int64(reg) << j) | local) & mask
+    return patterns, ep2
+
+
+def _pa_register_carry_out(layout: _StreamLayout, carry: Dict[int, tuple],
+                           patterns: np.ndarray, ep2: np.ndarray, k: int) -> None:
+    """Record each site's post-block register into the carry dict.
+
+    The register after a site's last update is the pre-update pattern
+    shifted once — unless that update hit a fresh entry (``ep2`` True),
+    which fills with the outcome bit instead, mirroring
+    ``history_fill`` in the sequential model.
+    """
+    mask = (1 << k) - 1
+    for hi in range(layout.heads.shape[0]):
+        h = int(layout.heads[hi])
+        last = int(layout.lasts[hi])
+        out_last = int(layout.out_s[last])
+        if ep2[last]:
+            reg = mask if out_last else 0
+        else:
+            reg = ((int(patterns[last]) << 1) | out_last) & mask
+        carry[_stream_carry_key(layout, h)] = (
+            int(layout.seg_s[last]), int(layout.pc_s[last]), reg
+        )
+
+
+class _StreamPAg:
+    """Streamed PAg: carried per-site registers + one dense shared PHT."""
+
+    __slots__ = ("ops", "k", "bht", "carry", "pht")
+
+    def __init__(self, predictor: PAgPredictor) -> None:
+        self.ops = _ops_for(predictor.automaton)
+        self.k = predictor.history_bits
+        self.bht = predictor.bht
+        self.carry: Dict[int, tuple] = {}
+        self.pht = np.full(1 << self.k, self.ops.init, dtype=np.uint8)
+
+    def process(self, run: _Run):
+        if run.n_c == 0:
+            return 0
+        layout = _pa_stream_layout(run, self.bht, self.carry)
+        patterns_s, ep2 = _pa_stream_patterns(layout, self.carry, self.k)
+        _pa_register_carry_out(layout, self.carry, patterns_s, ep2, self.k)
+        patterns = np.empty(run.n_c, dtype=np.int32)
+        patterns[layout.order] = patterns_s
+        return _scan_with_store(run, patterns, self.pht, self.ops)
+
+
+class _StreamPSg:
+    """Streamed PSg: carried per-site registers reading preset bits."""
+
+    __slots__ = ("bits", "k", "bht", "carry")
+
+    def __init__(self, predictor: PSgPredictor) -> None:
+        self.bits = np.asarray(predictor.table.bits_snapshot(), dtype=np.bool_)
+        self.k = predictor.history_bits
+        self.bht = predictor.bht
+        self.carry: Dict[int, tuple] = {}
+
+    def process(self, run: _Run):
+        if run.n_c == 0:
+            return 0
+        layout = _pa_stream_layout(run, self.bht, self.carry)
+        patterns_s, ep2 = _pa_stream_patterns(layout, self.carry, self.k)
+        _pa_register_carry_out(layout, self.carry, patterns_s, ep2, self.k)
+        pred = np.empty(run.n_c, dtype=np.bool_)
+        pred[layout.order] = self.bits[patterns_s]
+        return pred
+
+
+class _StreamBTB:
+    """Streamed BTB: carried per-entry automaton states.
+
+    Episodes stay block-local scan groups; a continuing head seeds its
+    episode with the carried state instead of the automaton init, and
+    each site's final episode state is carried out.
+    """
+
+    __slots__ = ("ops", "bht", "carry")
+
+    def __init__(self, predictor: BTBPredictor) -> None:
+        self.ops = _ops_for(predictor.automaton)
+        self.bht = predictor.bht
+        self.carry: Dict[int, tuple] = {}
+
+    def process(self, run: _Run):
+        if run.n_c == 0:
+            return 0
+        layout = _pa_stream_layout(run, self.bht, self.carry)
+        n = run.n_c
+        group_init = np.full(n, self.ops.init, dtype=np.uint8)
+        for h in layout.heads[layout.cont]:
+            group_init[int(h)] = self.carry[_stream_carry_key(layout, int(h))][2]
+        runs = _find_runs(layout.out_s, layout.ep_new, self.ops,
+                          group_init=group_init)
+        finals = _group_final_states(runs, layout.ep_new, self.ops)
+        grp_starts = np.flatnonzero(layout.ep_new)
+        if run.aggregate:
+            result = n - _runs_wrong_total(runs, self.ops)
+        else:
+            pred_sorted = _expand_run_preds(n, runs, self.ops)
+            pred = np.empty(n, dtype=np.bool_)
+            pred[layout.order] = pred_sorted
+            result = pred
+        for hi in range(layout.heads.shape[0]):
+            h = int(layout.heads[hi])
+            last = int(layout.lasts[hi])
+            g = int(np.searchsorted(grp_starts, last, side="right")) - 1
+            self.carry[_stream_carry_key(layout, h)] = (
+                int(layout.seg_s[last]), int(layout.pc_s[last]), int(finals[g])
+            )
+        return result
+
+
+#: GAp streams one dense ``2**k``-entry table per distinct site, so its
+#: streamed kernel is gated tighter than ``_MAX_HISTORY_BITS``.
+_MAX_STREAM_GAP_BITS = 16
+
+
+def _stream_kernel_for(predictor):
+    """A fresh per-block kernel (``process(run)``) or None.
+
+    Same exact-type dispatch as :func:`_kernel_for`. PAp is excluded: a
+    direct-mapped PAp whose tables survive eviction would need every
+    (set, pattern) entry carried across blocks — the interpreted loop
+    streams it instead.
+    """
+    kind = type(predictor)
+    if kind is AlwaysTaken:
+        return _StreamStateless(_kernel_constant(True))
+    if kind is AlwaysNotTaken:
+        return _StreamStateless(_kernel_constant(False))
+    if kind is BTFN:
+        return _StreamStateless(_kernel_btfn(predictor))
+    if kind is ProfileGuided:
+        return _StreamStateless(_kernel_profile(predictor))
+
+    def k_ok(bits: int) -> bool:
+        return bits <= _MAX_HISTORY_BITS
+
+    if kind is GAgPredictor and supports_vector_scan(predictor.automaton) \
+            and k_ok(predictor.history_bits):
+        return _StreamGlobalScan(predictor, xor_pc=False)
+    if kind is GsharePredictor and supports_vector_scan(predictor.automaton) \
+            and k_ok(predictor.history_bits):
+        return _StreamGlobalScan(predictor, xor_pc=True)
+    if kind is GApPredictor and supports_vector_scan(predictor.automaton) \
+            and predictor.history_bits <= _MAX_STREAM_GAP_BITS:
+        return _StreamGAp(predictor)
+    if kind is GSgPredictor and k_ok(predictor.history_bits):
+        return _StreamGSg(predictor)
+    if kind is PAgPredictor and supports_vector_scan(predictor.automaton) \
+            and k_ok(predictor.history_bits) and _supported_bht(predictor.bht):
+        return _StreamPAg(predictor)
+    if kind is PSgPredictor and k_ok(predictor.history_bits) \
+            and _supported_bht(predictor.bht):
+        return _StreamPSg(predictor)
+    if kind is BTBPredictor and supports_vector_scan(predictor.automaton) \
+            and _supported_bht(predictor.bht):
+        return _StreamBTB(predictor)
+    return None
+
+
+def stream_kernel_supports(predictor) -> bool:
+    """Whether :func:`simulate_vectorized_stream` covers ``predictor``.
+
+    A strict subset of :func:`kernel_supports`: PAp (whose per-entry
+    pattern tables would all need carrying) and GAp above 16 history
+    bits fall back to the interpreted streaming loop.
+    """
+    return _stream_kernel_for(predictor) is not None
+
+
+def simulate_vectorized_stream(
+    predictor,
+    source,
+    context_switches: Optional[ContextSwitchConfig] = None,
+    track_per_site: bool = False,
+    warmup_branches: int = 0,
+    block_size: Optional[int] = None,
+) -> SimulationResult:
+    """Replay a :class:`repro.trace.stream.TraceSource` block by block.
+
+    Bit-identical to :func:`simulate_vectorized` on the materialized
+    trace for every supported predictor and *any* block size: all
+    predictor state (pattern tables, history registers, BHT residency,
+    context-switch epoch) is carried across block boundaries, and flush
+    boundaries stay pinned to absolute ``instret // interval`` epochs.
+    Peak memory scales with ``block_size``, not the trace length.
+
+    Raises:
+        KernelUnavailable: when no streaming kernel covers the
+            predictor, or ``instret`` decreases (within a block or
+            across blocks) with context switches enabled.
+        ValueError: for an unbounded source or a block size < 1.
+    """
+    kernel = _stream_kernel_for(predictor)
+    if kernel is None:
+        raise KernelUnavailable(
+            "no streaming kernel for "
+            f"{getattr(predictor, 'name', type(predictor).__name__)}"
+        )
+    if block_size is None:
+        block_size = _DEFAULT_STREAM_BLOCK
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    if getattr(source, "num_records", 0) is None:
+        raise ValueError(
+            "cannot simulate an unbounded source; bound it with .limit(n)"
+        )
+    meta = source.meta
+    warmup = max(int(warmup_branches), 0)
+    track = bool(track_per_site)
+    correct = 0
+    cond_seen = 0
+    switches = 0
+    prev_epoch: Optional[int] = None
+    fires = 0
+    last_instret: Optional[int] = None
+    per_seen: Optional[Dict[int, int]] = {} if track else None
+    per_wrong: Optional[Dict[int, int]] = {} if track else None
+    for block in source.iter_blocks(block_size):
+        if len(block) == 0:
+            continue
+        w_local = max(warmup - cond_seen, 0)
+        run = _Run(block, context_switches, track, w_local,
+                   prev_epoch=prev_epoch, fires_base=fires)
+        if context_switches is not None:
+            first_instret = int(run.arrays.instret[0])
+            if last_instret is not None and first_instret < last_instret:
+                raise KernelUnavailable(
+                    "instret decreases across blocks; the vectorized "
+                    "context-switch model requires a non-decreasing clock"
+                )
+            last_instret = int(run.arrays.instret[-1])
+            prev_epoch = run.last_epoch
+        switches += run.switches
+        fires = run.fires_end
+        outcome = kernel.process(run)
+        if isinstance(outcome, (int, np.integer)):
+            correct += int(outcome)
+        else:
+            block_correct, block_seen, block_wrong = _score_predictions(run, outcome)
+            correct += block_correct
+            if track:
+                for pc, count in block_seen.items():
+                    per_seen[pc] = per_seen.get(pc, 0) + count
+                for pc, count in block_wrong.items():
+                    per_wrong[pc] = per_wrong.get(pc, 0) + count
+        cond_seen += run.n_c
+    scored = max(cond_seen - warmup, 0)
+    return SimulationResult(
+        predictor_name=predictor.name,
+        trace_name=meta.name,
+        dataset=meta.dataset,
+        conditional_branches=scored,
+        correct_predictions=correct,
+        context_switches=switches,
+        per_site_executions=per_seen,
+        per_site_mispredictions=per_wrong,
+        total_instructions=meta.total_instructions,
+    )

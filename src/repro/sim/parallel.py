@@ -112,13 +112,20 @@ def spec(name: str) -> PredictorSpec:
     return PredictorSpec(name)
 
 
-def trace_digest(trace: Trace) -> str:
+def trace_digest(trace) -> str:
     """Content-hash of a trace (sha256 over its binary serialization).
 
     Two traces with identical records and metadata always digest
-    equally, regardless of how they were produced.
+    equally, regardless of how they were produced. Accepts any bounded
+    :class:`repro.trace.stream.TraceSource`; a non-``Trace`` source is
+    hashed block-wise via :func:`repro.trace.stream.content_digest`
+    (the same digest, computed in bounded memory).
     """
-    return hashlib.sha256(trace_dumps(trace)).hexdigest()
+    if isinstance(trace, Trace):
+        return hashlib.sha256(trace_dumps(trace)).hexdigest()
+    from ..trace.stream import content_digest
+
+    return content_digest(trace)
 
 
 def result_cache_key(

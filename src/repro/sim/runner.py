@@ -15,13 +15,16 @@ is guaranteed to produce a bit-identical :class:`ResultMatrix`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Optional, Sequence
 
 from ..predictors.base import BranchPredictor, TrainingUnavailable
 from ..trace.cache import ResultCache
 from ..trace.events import Trace
 from .engine import ContextSwitchConfig, simulate
 from .results import ResultMatrix, SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..trace.stream import TraceSource
 
 __all__ = [
     "BenchmarkCase",
@@ -47,14 +50,17 @@ class BenchmarkCase:
     Attributes:
         name: benchmark name (e.g. ``"eqntott"``).
         category: ``"int"`` or ``"fp"`` — drives the GMean split.
-        test_trace: the trace scored by the simulation.
+        test_trace: the trace scored by the simulation — any bounded
+            :class:`repro.trace.stream.TraceSource` (an in-memory
+            :class:`~repro.trace.events.Trace` or an mmap-backed
+            streamed container).
         training_trace: profiling input for GSg/PSg/Profile; ``None``
             when Table 2 lists "NA".
     """
 
     name: str
     category: str
-    test_trace: Trace
+    test_trace: "TraceSource"
     training_trace: Optional[Trace] = None
 
     def __post_init__(self) -> None:
@@ -69,6 +75,7 @@ def run_case(
     track_per_site: bool = False,
     probe=None,
     backend: str = "auto",
+    block_size: Optional[int] = None,
 ) -> Optional[SimulationResult]:
     """Run one (scheme, benchmark) cell; None when training is missing.
 
@@ -84,6 +91,9 @@ def run_case(
         backend: simulation backend (``"auto"`` / ``"python"`` /
             ``"vectorized"``, see :data:`repro.sim.engine.SIM_BACKENDS`);
             backends are bit-identical wherever both apply.
+        block_size: stream the test trace in blocks of at most this
+            many records (see :func:`repro.sim.engine.simulate`);
+            results are bit-identical for every block size.
 
     Deterministic: a fresh predictor is built for every call, so
     repeated invocations with the same inputs return identical counts.
@@ -99,6 +109,7 @@ def run_case(
         track_per_site=track_per_site,
         probe=probe,
         backend=backend,
+        block_size=block_size,
     )
 
 

@@ -1,7 +1,23 @@
-"""Branch-trace substrate: records, serialization, statistics, generators."""
+"""Branch-trace substrate: records, serialization, statistics, generators.
+
+Two complementary representations live here: the in-memory
+:class:`Trace` (columnar, random-access) and the out-of-core substrate
+in :mod:`repro.trace.stream` (mmap-backed containers, record
+generators) — both satisfy the :class:`~repro.trace.stream.TraceSource`
+protocol the simulation engine consumes. See ``docs/traces.md`` for the
+on-disk formats and the protocol contract.
+"""
 
 from .cache import ResultCache, TraceCache, default_cache
-from .events import BranchClass, BranchRecord, Trace, TraceArrays, TraceBuilder, TraceMeta
+from .events import (
+    BranchClass,
+    BranchRecord,
+    Trace,
+    TraceArrays,
+    TraceBlock,
+    TraceBuilder,
+    TraceMeta,
+)
 from .io import (
     TraceFormatError,
     TraceFormatWarning,
@@ -16,30 +32,52 @@ from .io import (
     write_text,
 )
 from .stats import BranchClassMix, TraceStats, compute_stats, per_site_bias
-from . import synthetic, transforms
+from .stream import (
+    IndexedSource,
+    RecordStreamSource,
+    StreamedTrace,
+    TraceSource,
+    TraceWriter,
+    content_digest,
+    open_stream,
+    open_trace_source,
+    save_source,
+)
+from . import stream, synthetic, transforms
 
 __all__ = [
     "BranchClass",
     "BranchClassMix",
     "BranchRecord",
+    "IndexedSource",
+    "RecordStreamSource",
     "ResultCache",
+    "StreamedTrace",
     "Trace",
     "TraceArrays",
+    "TraceBlock",
     "TraceBuilder",
     "TraceCache",
     "TraceFormatError",
     "TraceFormatWarning",
     "TraceMeta",
+    "TraceSource",
     "TraceStats",
+    "TraceWriter",
     "compute_stats",
+    "content_digest",
     "default_cache",
     "dumps",
     "load_trace",
     "loads",
+    "open_stream",
+    "open_trace_source",
     "per_site_bias",
     "read_binary",
     "read_text",
+    "save_source",
     "save_trace",
+    "stream",
     "synthetic",
     "transforms",
     "trace_from_records",

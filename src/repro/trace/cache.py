@@ -102,6 +102,51 @@ class TraceCache:
         except OSError:
             pass
 
+    # -- streamed containers (content-addressed) -----------------------
+
+    def store_streamed(self, source) -> Optional[Path]:
+        """Persist a bounded :class:`~repro.trace.stream.TraceSource` as
+        a ``.btrs`` container named by its content digest.
+
+        The digest (see :func:`repro.trace.stream.content_digest`)
+        equals :func:`repro.sim.parallel.trace_digest` of the
+        materialized trace, so streamed and in-memory producers of the
+        same records share one cache entry. Both hashing and writing
+        stream block-wise — the source is never materialized — and an
+        entry that already exists is returned without rewriting.
+
+        Returns:
+            The container path, or ``None`` for a memory-only cache.
+        """
+        if self._directory is None:
+            return None
+        from .stream import content_digest, save_source
+
+        digest = content_digest(source)
+        path = self._directory / f"{digest}.btrs"
+        if not path.exists():
+            save_source(source, path)
+        return path
+
+    def open_streamed(self, digest: str):
+        """Open the streamed container stored under ``digest``.
+
+        Returns:
+            An mmap-backed :class:`~repro.trace.stream.StreamedTrace`
+            (caller closes it), or ``None`` when absent or unreadable.
+        """
+        if self._directory is None:
+            return None
+        path = self._directory / f"{digest}.btrs"
+        if not path.exists():
+            return None
+        from .stream import open_stream
+
+        try:
+            return open_stream(path)
+        except (OSError, ValueError):
+            return None
+
 
 class ResultCache:
     """On-disk cache of simulation results (the ``results`` namespace).

@@ -4,9 +4,18 @@ Subcommands::
 
     repro-trace gen eqntott out.btb [--dataset testing] [--scale 1]
     repro-trace gen-isa matmul out.btb [--param n=8]
-    repro-trace stats out.btb
-    repro-trace head out.btb [--count 20]
-    repro-trace convert out.btb out.btr
+    repro-trace gen-synth biased out.btrs --count 10000000 --taken-prob 0.85
+    repro-trace stats out.btrs
+    repro-trace head out.btrs [--count 20]
+    repro-trace inspect out.btrs
+    repro-trace convert out.btb out.btrs
+
+``stats``, ``head``, ``inspect`` and ``convert`` open their input with
+:func:`repro.trace.stream.open_trace_source`, so ``.btrs`` containers
+are processed block-wise in bounded memory — a multi-gigabyte container
+converts or summarises without ever being materialized. Output formats
+are chosen by suffix (``.btr`` text, ``.btrs`` streamed container,
+anything else binary ``.btb``); see ``docs/traces.md``.
 """
 
 from __future__ import annotations
@@ -16,8 +25,9 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .io import load_trace, save_trace
+from .io import save_trace
 from .stats import compute_stats
+from .stream import DEFAULT_BLOCK_SIZE, open_trace_source, save_source
 
 
 def _cmd_gen(args: argparse.Namespace) -> int:
@@ -46,8 +56,36 @@ def _cmd_gen_isa(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gen_synth(args: argparse.Namespace) -> int:
+    from .stream import RecordStreamSource
+    from .synthetic import biased_records, loop_records, markov_records, periodic_records
+
+    if args.kind == "loop":
+        factory = lambda: loop_records(args.trip_count)  # noqa: E731
+    elif args.kind == "periodic":
+        pattern = [c in "tT1" for c in args.pattern]
+        if not pattern or any(c not in "tTnN01" for c in args.pattern):
+            print(f"bad --pattern {args.pattern!r}; use e.g. TTNT", file=sys.stderr)
+            return 2
+        factory = lambda: periodic_records(pattern)  # noqa: E731
+    elif args.kind == "biased":
+        factory = lambda: biased_records(args.taken_prob, seed=args.seed)  # noqa: E731
+    else:  # markov
+        factory = lambda: markov_records(  # noqa: E731
+            args.p_stay_taken, args.p_stay_not_taken, seed=args.seed
+        )
+    # The *_records generators retire work_per_branch + 1 = 5
+    # instructions per conditional branch.
+    source = RecordStreamSource(
+        factory, name=f"synth-{args.kind}", dataset="synthetic",
+    ).limit(args.count, total_instructions=args.count * 5)
+    save_source(source, args.output, block_size=args.block_size or DEFAULT_BLOCK_SIZE)
+    print(f"wrote {args.count} records to {args.output}")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
-    trace = load_trace(args.trace)
+    trace = open_trace_source(args.trace)
     stats = compute_stats(trace)
     mix = stats.class_mix()
     print(f"name                : {stats.name}")
@@ -65,7 +103,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_head(args: argparse.Namespace) -> int:
-    trace = load_trace(args.trace)
+    trace = open_trace_source(args.trace)
     for record in trace.head(args.count):
         direction = "T" if record.taken else "N"
         trap = " TRAP" if record.trap else ""
@@ -76,10 +114,33 @@ def _cmd_head(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .stream import StreamedTrace
+
+    source = open_trace_source(args.trace)
+    size = Path(args.trace).stat().st_size
+    if isinstance(source, StreamedTrace):
+        print("format              : BTRS streamed container (v1)")
+        print(f"data offset         : {source.data_offset}")
+    else:
+        print("format              : in-memory (btb/btr)")
+    meta = source.meta
+    print(f"name                : {meta.name}")
+    print(f"dataset             : {meta.dataset}")
+    print(f"source              : {meta.source}")
+    print(f"records             : {source.num_records}")
+    print(f"total instructions  : {meta.total_instructions}")
+    print(f"file size           : {size} bytes")
+    return 0
+
+
 def _cmd_convert(args: argparse.Namespace) -> int:
-    trace = load_trace(args.source)
-    save_trace(trace, args.destination)
-    print(f"converted {len(trace)} records: {args.source} -> {args.destination}")
+    source = open_trace_source(args.source)
+    save_source(source, args.destination, block_size=args.block_size or DEFAULT_BLOCK_SIZE)
+    print(
+        f"converted {source.num_records} records: "
+        f"{args.source} -> {args.destination}"
+    )
     return 0
 
 
@@ -102,6 +163,30 @@ def build_parser() -> argparse.ArgumentParser:
     gen_isa.add_argument("--param", action="append", metavar="key=value")
     gen_isa.set_defaults(handler=_cmd_gen_isa)
 
+    gen_synth = subparsers.add_parser(
+        "gen-synth",
+        help="stream a synthetic trace of any length to disk (bounded memory)",
+    )
+    gen_synth.add_argument("kind", choices=["loop", "periodic", "biased", "markov"])
+    gen_synth.add_argument("output", type=Path,
+                           help="output file; suffix picks the format (.btrs recommended)")
+    gen_synth.add_argument("--count", type=int, default=1_000_000,
+                           help="number of branch records (default 1e6)")
+    gen_synth.add_argument("--trip-count", type=int, default=4,
+                           help="loop: iterations per loop exit")
+    gen_synth.add_argument("--pattern", default="TTNT",
+                           help="periodic: direction pattern, e.g. TTNT")
+    gen_synth.add_argument("--taken-prob", type=float, default=0.7,
+                           help="biased: P(taken)")
+    gen_synth.add_argument("--p-stay-taken", type=float, default=0.9,
+                           help="markov: P(taken -> taken)")
+    gen_synth.add_argument("--p-stay-not-taken", type=float, default=0.9,
+                           help="markov: P(not-taken -> not-taken)")
+    gen_synth.add_argument("--seed", type=int, default=0)
+    gen_synth.add_argument("--block-size", type=int, default=None,
+                           help="records buffered per write batch")
+    gen_synth.set_defaults(handler=_cmd_gen_synth)
+
     stats = subparsers.add_parser("stats", help="summarise a trace file")
     stats.add_argument("trace", type=Path)
     stats.set_defaults(handler=_cmd_stats)
@@ -111,9 +196,20 @@ def build_parser() -> argparse.ArgumentParser:
     head.add_argument("--count", type=int, default=20)
     head.set_defaults(handler=_cmd_head)
 
-    convert = subparsers.add_parser("convert", help="convert text <-> binary")
+    inspect = subparsers.add_parser(
+        "inspect", help="print container header and identity metadata"
+    )
+    inspect.add_argument("trace", type=Path)
+    inspect.set_defaults(handler=_cmd_inspect)
+
+    convert = subparsers.add_parser(
+        "convert",
+        help="convert between formats (suffix-driven; streams block-wise)",
+    )
     convert.add_argument("source", type=Path)
     convert.add_argument("destination", type=Path)
+    convert.add_argument("--block-size", type=int, default=None,
+                         help="records copied per block (bounds peak memory)")
     convert.set_defaults(handler=_cmd_convert)
     return parser
 

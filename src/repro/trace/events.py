@@ -186,6 +186,47 @@ class Trace:
         return self._arrays
 
     # ------------------------------------------------------------------
+    # TraceSource protocol (see repro.trace.stream)
+    # ------------------------------------------------------------------
+    @property
+    def num_records(self) -> int:
+        """Record count (``TraceSource`` protocol; always known here)."""
+        return len(self._pc)
+
+    def iter_blocks(self, block_size: Optional[int] = None) -> Iterator["TraceBlock"]:
+        """Yield the trace as :class:`TraceBlock` windows.
+
+        ``block_size=None`` yields the whole trace as a single block
+        (sharing the already-cached arrays, so the vectorized engine
+        pays no conversion twice). An empty trace yields no blocks.
+        This makes an in-memory :class:`Trace` a valid
+        :class:`repro.trace.stream.TraceSource`.
+        """
+        n = len(self._pc)
+        if block_size is not None and block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        if n == 0:
+            return
+        if block_size is None or block_size >= n:
+            block = TraceBlock(
+                self.meta, 0,
+                self._pc, self._taken, self._cls,
+                self._target, self._instret, self._trap,
+            )
+            if self._arrays is not None:
+                block._arrays = self._arrays
+            yield block
+            return
+        for start in range(0, n, block_size):
+            stop = min(start + block_size, n)
+            yield TraceBlock(
+                self.meta, start,
+                self._pc[start:stop], self._taken[start:stop],
+                self._cls[start:stop], self._target[start:stop],
+                self._instret[start:stop], self._trap[start:stop],
+            )
+
+    # ------------------------------------------------------------------
     # Derived views
     # ------------------------------------------------------------------
     def conditional_only(self) -> "Trace":
@@ -239,13 +280,15 @@ class TraceArrays:
     vectorized consumer needs: the conditional-record mask and (lazily)
     the dense site-id relabelling of conditional PCs. Construction is
     the only expensive step, which is why :meth:`Trace.as_arrays`
-    caches the instance on the trace.
+    caches the instance on the trace. :meth:`from_columns` builds the
+    same structure straight from raw columns (lists or ndarrays), which
+    is how streamed trace blocks avoid materializing a :class:`Trace`.
     """
 
     __slots__ = ("pc", "taken", "cls", "target", "instret", "trap",
                  "cond_mask", "_sites", "_site_ids")
 
-    def __init__(self, trace: Trace) -> None:
+    def __init__(self, trace: Optional[Trace] = None, *, columns=None) -> None:
         try:
             import numpy as np
         except ImportError as exc:  # pragma: no cover - numpy is a soft dep
@@ -253,7 +296,11 @@ class TraceArrays:
                 "Trace.as_arrays() requires NumPy; the interpreted "
                 "simulation backend does not"
             ) from exc
-        pc, taken, cls, target, instret, trap = trace.columns
+        if (trace is None) == (columns is None):
+            raise ValueError("pass exactly one of a Trace or a columns tuple")
+        if trace is not None:
+            columns = trace.columns
+        pc, taken, cls, target, instret, trap = columns
         self.pc = np.asarray(pc, dtype=np.int64)
         self.taken = np.asarray(taken, dtype=np.bool_)
         self.cls = np.asarray(cls, dtype=np.uint8)
@@ -265,6 +312,15 @@ class TraceArrays:
             getattr(self, name).flags.writeable = False
         self._sites = None
         self._site_ids = None
+
+    @classmethod
+    def from_columns(cls, pc, taken, branch_cls, target, instret, trap) -> "TraceArrays":
+        """Build directly from raw columns (lists or NumPy arrays).
+
+        Arrays already carrying the canonical dtypes are adopted
+        without copying and frozen in place.
+        """
+        return cls(columns=(pc, taken, branch_cls, target, instret, trap))
 
     def __len__(self) -> int:
         return int(self.pc.shape[0])
@@ -281,6 +337,61 @@ class TraceArrays:
             ids.flags.writeable = False
             self._sites, self._site_ids = sites, ids
         return self._sites, self._site_ids
+
+
+class TraceBlock:
+    """A bounded, immutable window of consecutive trace records.
+
+    Blocks are the unit of exchange of the streaming trace layer
+    (:mod:`repro.trace.stream`): every :class:`TraceSource` yields its
+    records as a sequence of blocks whose memory footprint is bounded
+    by the block size, never by the trace length. A block carries the
+    owning trace's :class:`TraceMeta`, the absolute index of its first
+    record (``start``), and the six record columns — either plain
+    Python lists (interpreted engine) or NumPy arrays (streamed
+    containers and synthetic array generators); both kinds serve both
+    consumers.
+    """
+
+    __slots__ = ("meta", "start", "_columns", "_arrays")
+
+    def __init__(self, meta: TraceMeta, start: int, pc, taken, cls, target, instret, trap) -> None:
+        self.meta = meta
+        self.start = int(start)
+        self._columns = (pc, taken, cls, target, instret, trap)
+        self._arrays: Optional[TraceArrays] = None
+
+    def __len__(self) -> int:
+        return len(self._columns[0])
+
+    @property
+    def columns(self):
+        """The raw columns ``(pc, taken, cls, target, instret, trap)``."""
+        return self._columns
+
+    def iter_tuples(self) -> Iterator[Tuple[int, bool, int, int, int, bool]]:
+        """Yield ``(pc, taken, cls, target, instret, trap)`` tuples.
+
+        NumPy columns are converted to Python scalars once per block
+        (``tolist``), so the interpreted engine iterates native tuples
+        exactly as it does over an in-memory :class:`Trace`.
+        """
+        cols = [c.tolist() if hasattr(c, "tolist") else c for c in self._columns]
+        return zip(*cols)
+
+    def as_arrays(self) -> TraceArrays:
+        """Columnar NumPy view of the block, built once and cached."""
+        if self._arrays is None:
+            self._arrays = TraceArrays.from_columns(*self._columns)
+        return self._arrays
+
+    def to_trace(self) -> Trace:
+        """Materialize the block as a standalone :class:`Trace`."""
+        cols = [c.tolist() if hasattr(c, "tolist") else c for c in self._columns]
+        return Trace(self.meta, *cols)
+
+    def __repr__(self) -> str:
+        return f"TraceBlock(start={self.start}, records={len(self)})"
 
 
 class TraceBuilder:

@@ -323,16 +323,37 @@ def _read_exact(stream: BinaryIO, size: int) -> bytes:
 # File-level helpers
 # ----------------------------------------------------------------------
 
+def _tmp_sibling(path: Path) -> Path:
+    """A collision-free temporary sibling for atomic replacement.
+
+    The pid + object-id suffix keeps concurrent writers of the *same*
+    destination (parallel sweeps sharing a trace cache directory) from
+    clobbering each other's in-flight temp file — with a fixed ``.tmp``
+    name, one process's ``os.replace`` could publish another's
+    half-written bytes.
+    """
+    return path.with_name(f"{path.name}.tmp-{os.getpid()}-{id(path):x}")
+
+
 def save_trace(trace: Trace, path: PathLike) -> None:
     """Save ``trace`` to ``path``; format chosen by suffix.
 
-    ``.btr`` selects the text format, anything else the binary format.
-    The data is written to a temporary sibling file and atomically
-    renamed into place, so a failed save (validation error, full disk,
-    interrupt) never leaves a partial trace file at ``path``.
+    ``.btr`` selects the text format, ``.btrs`` the streamed container
+    (written via :func:`repro.trace.stream.save_source`), anything else
+    the binary format. The data is written to a uniquely-named temporary
+    sibling file and atomically renamed into place, so a failed save
+    (validation error, full disk, interrupt) never leaves a partial
+    trace file at ``path``, and concurrent savers never observe each
+    other's partial writes.
     """
     path = Path(path)
-    tmp = path.with_name(path.name + ".tmp")
+    if path.suffix == ".btrs":
+        # Deferred import: stream builds on this module.
+        from .stream import save_source
+
+        save_source(trace, path)
+        return
+    tmp = _tmp_sibling(path)
     try:
         if path.suffix == ".btr":
             with tmp.open("w") as stream:
@@ -349,16 +370,34 @@ def save_trace(trace: Trace, path: PathLike) -> None:
         raise
 
 
+def _sniff_magic(path: Path) -> bytes:
+    try:
+        with path.open("rb") as stream:
+            return stream.read(4)
+    except OSError:
+        return b""
+
+
 def load_trace(path: PathLike, missing_meta: str = "warn") -> Trace:
-    """Load a trace saved by :func:`save_trace`.
+    """Load a trace saved by :func:`save_trace`, fully materialized.
 
     ``missing_meta`` is forwarded to :func:`read_text` for text traces;
-    the binary header always carries ``total_instructions``.
+    the binary headers always carry ``total_instructions``. A streamed
+    ``.btrs`` container (recognised by suffix or by its ``BTRS`` magic
+    regardless of suffix) is materialized into memory — use
+    :func:`repro.trace.stream.open_stream` (or
+    :func:`~repro.trace.stream.open_trace_source`) to consume it in
+    bounded memory instead.
     """
     path = Path(path)
     if path.suffix == ".btr":
         with path.open() as stream:
             return read_text(stream, missing_meta=missing_meta)
+    if path.suffix == ".btrs" or _sniff_magic(path) == b"BTRS":
+        from .stream import open_stream
+
+        with open_stream(path) as streamed:
+            return streamed.materialize()
     with path.open("rb") as stream:
         return read_binary(stream)
 

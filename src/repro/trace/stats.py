@@ -13,9 +13,12 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import TYPE_CHECKING, Dict, Mapping
 
-from .events import BranchClass, Trace
+from .events import BranchClass
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .stream import TraceSource
 
 
 @dataclass(frozen=True)
@@ -81,21 +84,27 @@ class TraceStats:
         )
 
 
-def compute_stats(trace: Trace) -> TraceStats:
-    """Compute :class:`TraceStats` for ``trace`` in one pass."""
+def compute_stats(trace: "TraceSource") -> TraceStats:
+    """Compute :class:`TraceStats` for ``trace`` in one pass.
+
+    Accepts any bounded :class:`~repro.trace.stream.TraceSource` — an
+    mmap-backed container streams through in bounded memory, since only
+    running counters and the static-site set are held.
+    """
     class_counts: Counter = Counter()
     static_sites = set()
     taken_conditional = 0
     trap_count = 0
+    dynamic = 0
     for pc, taken, cls, _target, _instret, trap in trace.iter_tuples():
         class_counts[BranchClass(cls)] += 1
+        dynamic += 1
         if cls == BranchClass.CONDITIONAL:
             static_sites.add(pc)
             if taken:
                 taken_conditional += 1
         if trap:
             trap_count += 1
-    dynamic = len(trace)
     return TraceStats(
         name=trace.meta.name,
         dataset=trace.meta.dataset,
@@ -109,10 +118,11 @@ def compute_stats(trace: Trace) -> TraceStats:
     )
 
 
-def per_site_bias(trace: Trace) -> Dict[int, float]:
+def per_site_bias(trace: "TraceSource") -> Dict[int, float]:
     """Taken-rate per static conditional branch site.
 
     Useful for profiling-based prediction and interference analysis.
+    Accepts any bounded :class:`~repro.trace.stream.TraceSource`.
     """
     taken: Counter = Counter()
     total: Counter = Counter()

@@ -17,14 +17,42 @@ demonstrating *why* the two-level schemes win:
 * :func:`markov_trace` — outcomes from a two-state Markov chain.
 * :func:`interleaved` — round-robin interleaving of per-site generators,
   exercising first-level history interference.
+
+Each materializing generator has an indefinitely-streaming ``*_records``
+twin (:func:`loop_records`, :func:`periodic_records`,
+:func:`biased_records`, :func:`markov_records`) yielding the same record
+stream as plain tuples without bound — wrap one in
+:class:`repro.trace.stream.RecordStreamSource` and ``.limit(n)`` it to
+simulate or save arbitrarily long workloads in bounded memory.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence, Tuple
 
 from .events import BranchClass, Trace, TraceBuilder
+
+__all__ = [
+    "OutcomeSource",
+    "alternating_source",
+    "biased_records",
+    "biased_trace",
+    "concat",
+    "correlated_pair_trace",
+    "interleaved",
+    "loop_records",
+    "loop_source",
+    "loop_trace",
+    "markov_records",
+    "markov_trace",
+    "pattern_source",
+    "periodic_records",
+    "periodic_trace",
+]
+
+#: One streamed branch record: ``(pc, taken, cls, target, instret, trap)``.
+RecordTuple = Tuple[int, bool, int, int, int, bool]
 
 
 def loop_trace(
@@ -189,6 +217,81 @@ def pattern_source(pattern: Sequence[bool]) -> OutcomeSource:
         raise ValueError("pattern must be non-empty")
     materialized = [bool(b) for b in pattern]
     return lambda i: materialized[i % len(materialized)]
+
+
+# ----------------------------------------------------------------------
+# Indefinite record streams (the out-of-core twins of the builders)
+# ----------------------------------------------------------------------
+
+_COND = int(BranchClass.CONDITIONAL)
+
+
+def loop_records(
+    trip_count: int, pc: int = 0x1000, work_per_branch: int = 4
+) -> Iterator[RecordTuple]:
+    """Endless :func:`loop_trace` record stream: taken ``trip_count - 1``
+    times, not taken once, forever."""
+    if trip_count < 1:
+        raise ValueError("trip_count must be >= 1")
+    instret = 0
+    occurrence = 0
+    while True:
+        taken = (occurrence % trip_count) != trip_count - 1
+        occurrence += 1
+        instret += work_per_branch + 1
+        yield (pc, taken, _COND, 0, instret, False)
+
+
+def periodic_records(
+    pattern: Sequence[bool], pc: int = 0x2000, work_per_branch: int = 4
+) -> Iterator[RecordTuple]:
+    """Endless :func:`periodic_trace` record stream repeating ``pattern``."""
+    if not pattern:
+        raise ValueError("pattern must be non-empty")
+    materialized = [bool(b) for b in pattern]
+    instret = 0
+    occurrence = 0
+    while True:
+        taken = materialized[occurrence % len(materialized)]
+        occurrence += 1
+        instret += work_per_branch + 1
+        yield (pc, taken, _COND, 0, instret, False)
+
+
+def biased_records(
+    taken_probability: float,
+    pc: int = 0x3000,
+    seed: int = 0,
+    work_per_branch: int = 4,
+) -> Iterator[RecordTuple]:
+    """Endless :func:`biased_trace` record stream (same seed, same
+    outcomes: the first ``n`` records match ``biased_trace(n, p)``)."""
+    if not 0.0 <= taken_probability <= 1.0:
+        raise ValueError("taken_probability must be within [0, 1]")
+    rng = random.Random(seed)
+    instret = 0
+    while True:
+        instret += work_per_branch + 1
+        yield (pc, rng.random() < taken_probability, _COND, 0, instret, False)
+
+
+def markov_records(
+    p_stay_taken: float = 0.9,
+    p_stay_not_taken: float = 0.9,
+    pc: int = 0x5000,
+    seed: int = 0,
+    work_per_branch: int = 4,
+) -> Iterator[RecordTuple]:
+    """Endless :func:`markov_trace` record stream (same seed, same chain)."""
+    rng = random.Random(seed)
+    state = True
+    instret = 0
+    while True:
+        stay = p_stay_taken if state else p_stay_not_taken
+        if rng.random() >= stay:
+            state = not state
+        instret += work_per_branch + 1
+        yield (pc, state, _COND, 0, instret, False)
 
 
 def concat(traces: Iterable[Trace], name: str = "concat") -> Trace:

@@ -1,0 +1,103 @@
+"""Tests for the docs accuracy analyzer (repro.check.docs)."""
+
+from repro.check.docs import check_docs, repo_root
+
+
+def _write_docs(tmp_path, readme="", doc=""):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(readme)
+    (tmp_path / "docs" / "guide.md").write_text(doc)
+    return tmp_path
+
+
+class TestCleanRepo:
+    def test_actual_docs_are_accurate(self):
+        findings, examined = check_docs()
+        assert findings == []
+        assert examined > 0
+
+    def test_repo_root_points_at_repo(self):
+        assert (repo_root() / "src" / "repro").is_dir()
+
+
+class TestLinkChecking:
+    def test_valid_relative_link(self, tmp_path):
+        root = _write_docs(tmp_path, readme="see [guide](docs/guide.md)")
+        findings, _ = check_docs(root)
+        assert findings == []
+
+    def test_broken_link_reported(self, tmp_path):
+        root = _write_docs(tmp_path, readme="see [gone](docs/missing.md)")
+        findings, _ = check_docs(root)
+        assert len(findings) == 1
+        assert findings[0].rule == "docs/broken-link"
+        assert "missing.md" in findings[0].message
+        assert findings[0].location.startswith("README.md:")
+
+    def test_external_and_anchor_links_skipped(self, tmp_path):
+        root = _write_docs(
+            tmp_path,
+            readme="[a](https://example.org) [b](#section) [c](mailto:x@y.z)",
+        )
+        findings, _ = check_docs(root)
+        assert findings == []
+
+    def test_link_with_anchor_resolves_file_part(self, tmp_path):
+        root = _write_docs(tmp_path, doc="[self](guide.md#section)")
+        findings, _ = check_docs(root)
+        assert findings == []
+
+    def test_links_inside_fenced_code_skipped(self, tmp_path):
+        root = _write_docs(
+            tmp_path, readme="```\n[not a link](nowhere.md)\n```\n"
+        )
+        findings, _ = check_docs(root)
+        assert findings == []
+
+
+class TestSymbolChecking:
+    def test_live_symbols_resolve(self, tmp_path):
+        root = _write_docs(
+            tmp_path,
+            doc="`repro.trace.stream.TraceWriter` and "
+                "`repro.sim.engine.simulate` and `repro.trace.Trace.head`",
+        )
+        findings, _ = check_docs(root)
+        assert findings == []
+
+    def test_stale_symbol_reported(self, tmp_path):
+        root = _write_docs(tmp_path, doc="call `repro.sim.engine.simulate_fast`")
+        findings, _ = check_docs(root)
+        assert [f.rule for f in findings] == ["docs/stale-symbol"]
+        assert "simulate_fast" in findings[0].message
+
+    def test_stale_module_reported(self, tmp_path):
+        root = _write_docs(tmp_path, doc="see `repro.nonexistent_module.thing`")
+        findings, _ = check_docs(root)
+        assert [f.rule for f in findings] == ["docs/stale-symbol"]
+
+    def test_file_extension_references_skipped(self, tmp_path):
+        root = _write_docs(tmp_path, doc="install via `repro.pth`")
+        findings, _ = check_docs(root)
+        assert findings == []
+
+    def test_each_symbol_reported_once_per_doc(self, tmp_path):
+        root = _write_docs(
+            tmp_path, doc="`repro.sim.bogus` here\nand `repro.sim.bogus` again"
+        )
+        findings, _ = check_docs(root)
+        assert len(findings) == 1
+
+
+class TestSkipBehaviour:
+    def test_missing_docs_tree_examines_nothing(self, tmp_path):
+        findings, examined = check_docs(tmp_path)
+        assert findings == []
+        assert examined == 0
+
+    def test_registered_in_analyzers(self):
+        from repro.check import ANALYZERS, run_checks
+
+        assert "docs" in ANALYZERS
+        report = run_checks(only=["docs"])
+        assert report.ok

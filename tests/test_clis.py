@@ -47,6 +47,54 @@ class TestTraceCLI:
         code = trace_main(["gen-isa", "counting_loop", str(path), "--param", "oops"])
         assert code == 2
 
+    def test_gen_synth_and_inspect(self, tmp_path, capsys):
+        path = tmp_path / "m.btrs"
+        assert trace_main([
+            "gen-synth", "markov", str(path), "--count", "5000", "--seed", "3",
+        ]) == 0
+        capsys.readouterr()
+        assert trace_main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "BTRS streamed container" in out
+        assert "5000" in out
+        assert "synth-markov" in out
+
+    def test_gen_synth_periodic_pattern(self, tmp_path, capsys):
+        path = tmp_path / "p.btrs"
+        assert trace_main([
+            "gen-synth", "periodic", str(path), "--count", "100",
+            "--pattern", "TTNT",
+        ]) == 0
+        trace = load_trace(path)
+        outcomes = [taken for (_pc, taken, *_rest) in trace.iter_tuples()]
+        assert outcomes[:8] == [True, True, False, True] * 2
+
+    def test_gen_synth_bad_pattern(self, tmp_path):
+        path = tmp_path / "p.btrs"
+        code = trace_main([
+            "gen-synth", "periodic", str(path), "--count", "10",
+            "--pattern", "TXN",
+        ])
+        assert code == 2
+
+    def test_stats_and_head_on_btrs(self, isa_trace, tmp_path, capsys):
+        streamed = tmp_path / "loop.btrs"
+        assert trace_main(["convert", str(isa_trace), str(streamed)]) == 0
+        capsys.readouterr()
+        assert trace_main(["stats", str(streamed)]) == 0
+        assert "dynamic branches" in capsys.readouterr().out
+        assert trace_main(["head", str(streamed), "--count", "3"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 3
+
+    def test_convert_btrs_round_trip(self, isa_trace, tmp_path, capsys):
+        streamed = tmp_path / "loop.btrs"
+        back = tmp_path / "back.btb"
+        assert trace_main(["convert", str(isa_trace), str(streamed)]) == 0
+        assert trace_main(["convert", str(streamed), str(back)]) == 0
+        original = load_trace(isa_trace)
+        round_tripped = load_trace(back)
+        assert list(original.iter_tuples()) == list(round_tripped.iter_tuples())
+
 
 class TestSimCLI:
     def test_run(self, isa_trace, capsys):
@@ -84,6 +132,26 @@ class TestSimCLI:
         assert sim_main([
             "run", "profile", str(isa_trace), "--training", str(isa_trace)
         ]) == 0
+
+    def test_run_btrs_with_block_size(self, isa_trace, tmp_path, capsys):
+        streamed = tmp_path / "loop.btrs"
+        assert trace_main(["convert", str(isa_trace), str(streamed)]) == 0
+        capsys.readouterr()
+        assert sim_main(["run", "pag-8", str(isa_trace)]) == 0
+        materialized_out = capsys.readouterr().out
+        assert sim_main([
+            "run", "pag-8", str(streamed), "--block-size", "64",
+        ]) == 0
+        streamed_out = capsys.readouterr().out
+        assert streamed_out == materialized_out
+
+    def test_compare_with_block_size(self, isa_trace, capsys):
+        assert sim_main([
+            "compare", "always-taken", "pag-8", str(isa_trace),
+            "--block-size", "32",
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
 
     def test_report(self, isa_trace, capsys):
         assert sim_main(["report", "pag-8", str(isa_trace), "--top", "2"]) == 0

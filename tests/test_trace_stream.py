@@ -1,0 +1,419 @@
+"""Tests for the streaming trace substrate (repro.trace.stream).
+
+Covers the BTRS container (writer atomicity, reader validation,
+truncation/corruption errors), the TraceSource implementations
+(StreamedTrace, RecordStreamSource, IndexedSource) and their
+block-partition invariance, content digests, and the streamed
+trace-cache round-trip.
+"""
+
+import hashlib
+import os
+import struct
+
+import pytest
+
+from repro.sim.parallel import trace_digest
+from repro.trace.cache import TraceCache
+from repro.trace.events import BranchClass, Trace, TraceBuilder
+from repro.trace.io import TraceFormatError, dumps as trace_dumps, load_trace, save_trace
+from repro.trace.stream import (
+    DEFAULT_BLOCK_SIZE,
+    STREAM_MAGIC,
+    STREAM_VERSION,
+    IndexedSource,
+    RecordStreamSource,
+    StreamedTrace,
+    TraceSource,
+    TraceWriter,
+    bernoulli_outcomes,
+    content_digest,
+    open_stream,
+    open_trace_source,
+    pattern_outcomes,
+    save_source,
+)
+from repro.trace.synthetic import (
+    biased_records,
+    biased_trace,
+    loop_records,
+    loop_trace,
+    markov_records,
+    markov_trace,
+    periodic_records,
+    periodic_trace,
+)
+
+
+def _mixed_trace(n=500):
+    builder = TraceBuilder(name="mixed", dataset="d", source="test")
+    for i in range(n):
+        builder.conditional(0x1000 + (i % 7) * 4, (i * 5) % 3 != 0, work=2)
+        if i % 50 == 49:
+            builder.trap()
+        if i % 11 == 0:
+            builder.call(0x2000, target=0x3000, work=1)
+    return builder.build()
+
+
+def _assert_same_records(a, b):
+    assert a.meta.name == b.meta.name
+    assert a.meta.total_instructions == b.meta.total_instructions
+    assert list(a.iter_tuples()) == list(b.iter_tuples())
+
+
+class TestTraceWriter:
+    def test_round_trip(self, tmp_path):
+        trace = _mixed_trace()
+        path = tmp_path / "t.btrs"
+        with TraceWriter(path, name="mixed", dataset="d", source="test") as w:
+            w.append_trace(trace)
+            w.finalize(total_instructions=trace.meta.total_instructions)
+        streamed = open_stream(path)
+        assert streamed.num_records == len(trace)
+        _assert_same_records(trace, streamed)
+        streamed.close()
+
+    def test_incremental_appends_equal_bulk(self, tmp_path):
+        trace = _mixed_trace()
+        bulk, inc = tmp_path / "bulk.btrs", tmp_path / "inc.btrs"
+        with TraceWriter(bulk) as w:
+            w.append_trace(trace)
+            w.finalize(trace.meta.total_instructions)
+        with TraceWriter(inc) as w:
+            tuples = list(trace.iter_tuples())
+            for i in range(0, len(tuples), 37):
+                w.append_tuples(tuples[i:i + 37])
+            w.finalize(trace.meta.total_instructions)
+        # Identity metadata differs (names), but the record payload is
+        # byte-identical from data_offset on.
+        a, b = open_stream(bulk), open_stream(inc)
+        assert list(a.iter_tuples()) == list(b.iter_tuples())
+        a.close(), b.close()
+
+    def test_nothing_published_before_finalize(self, tmp_path):
+        path = tmp_path / "t.btrs"
+        writer = TraceWriter(path)
+        writer.append_tuples([(1, True, 0, 0, 5, False)])
+        assert not path.exists()
+        writer.finalize()
+        assert path.exists()
+
+    def test_abort_leaves_no_files(self, tmp_path):
+        path = tmp_path / "t.btrs"
+        writer = TraceWriter(path)
+        writer.append_tuples([(1, True, 0, 0, 5, False)])
+        writer.abort()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_exception_in_context_aborts(self, tmp_path):
+        path = tmp_path / "t.btrs"
+        with pytest.raises(RuntimeError):
+            with TraceWriter(path) as w:
+                w.append_tuples([(1, True, 0, 0, 5, False)])
+                raise RuntimeError("boom")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_write_after_close_rejected(self, tmp_path):
+        writer = TraceWriter(tmp_path / "t.btrs")
+        writer.finalize()
+        with pytest.raises(ValueError):
+            writer.append_tuples([(1, True, 0, 0, 5, False)])
+
+    def test_out_of_range_record_reports_index(self, tmp_path):
+        writer = TraceWriter(tmp_path / "t.btrs")
+        writer.append_tuples([(1, True, 0, 0, 5, False)])
+        with pytest.raises(TraceFormatError, match="record 1"):
+            writer.append_tuples([(1 << 70, True, 0, 0, 6, False)])
+        writer.abort()
+
+    def test_empty_container(self, tmp_path):
+        path = tmp_path / "empty.btrs"
+        with TraceWriter(path, name="empty"):
+            pass
+        streamed = open_stream(path)
+        assert streamed.num_records == 0
+        assert list(streamed.iter_blocks(8)) == []
+        assert list(streamed.iter_tuples()) == []
+        streamed.close()
+
+
+def _container(tmp_path, trace=None):
+    trace = _mixed_trace() if trace is None else trace
+    path = tmp_path / "c.btrs"
+    save_source(trace, path)
+    return trace, path
+
+
+class TestStreamedTrace:
+    def test_blocks_partition_records(self, tmp_path):
+        trace, path = _container(tmp_path)
+        streamed = open_stream(path)
+        for bs in (1, 7, 64, 10 ** 9, None):
+            blocks = list(streamed.iter_blocks(bs))
+            tuples = [t for b in blocks for t in b.iter_tuples()]
+            assert tuples == list(trace.iter_tuples())
+            starts = [b.start for b in blocks]
+            assert starts == sorted(starts)
+            if bs not in (None, 10 ** 9):
+                assert all(len(b) <= bs for b in blocks)
+        streamed.close()
+
+    def test_iteration_repeatable(self, tmp_path):
+        _trace, path = _container(tmp_path)
+        streamed = open_stream(path)
+        assert list(streamed.iter_tuples()) == list(streamed.iter_tuples())
+        streamed.close()
+
+    def test_head_and_materialize(self, tmp_path):
+        trace, path = _container(tmp_path)
+        with open_stream(path) as streamed:
+            _assert_same_records(trace, streamed.materialize())
+            head = streamed.head(10)
+            assert list(head.iter_tuples()) == list(trace.iter_tuples())[:10]
+            assert len(streamed.head(10 ** 9)) == len(trace)
+
+    def test_satisfies_protocol(self, tmp_path):
+        _trace, path = _container(tmp_path)
+        with open_stream(path) as streamed:
+            assert isinstance(streamed, TraceSource)
+        assert isinstance(_trace, TraceSource)
+
+    def test_bad_block_size(self, tmp_path):
+        _trace, path = _container(tmp_path)
+        with open_stream(path) as streamed:
+            with pytest.raises(ValueError):
+                list(streamed.iter_blocks(0))
+
+
+class TestContainerValidation:
+    def test_bad_magic(self, tmp_path):
+        _trace, path = _container(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[:4] = b"NOPE"
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="magic"):
+            open_stream(path)
+
+    def test_unsupported_version(self, tmp_path):
+        _trace, path = _container(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[4:6] = struct.pack("<H", STREAM_VERSION + 1)
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="version"):
+            open_stream(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "t.btrs"
+        path.write_bytes(STREAM_MAGIC + b"\x01\x00")
+        with pytest.raises(TraceFormatError, match="truncated"):
+            open_stream(path)
+
+    def test_truncated_records(self, tmp_path):
+        _trace, path = _container(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-13])  # chop half a record off the end
+        with pytest.raises(TraceFormatError, match="truncated container"):
+            open_stream(path)
+
+    def test_truncated_header_strings(self, tmp_path):
+        _trace, path = _container(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:36])  # header survives, strings cut short
+        with pytest.raises(TraceFormatError, match="truncated"):
+            open_stream(path)
+
+    def test_overlapping_data_offset(self, tmp_path):
+        _trace, path = _container(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[16:24] = struct.pack("<Q", 4)  # inside the header
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="overlaps"):
+            open_stream(path)
+
+
+class TestRecordStreamSource:
+    def test_unbounded_reports_none(self):
+        source = RecordStreamSource(lambda: loop_records(4))
+        assert source.num_records is None
+        with pytest.raises(ValueError):
+            list(source.iter_blocks(None))
+
+    def test_limit_bounds_iteration(self):
+        source = RecordStreamSource(lambda: loop_records(4)).limit(100)
+        assert source.num_records == 100
+        tuples = list(source.iter_tuples())
+        assert len(tuples) == 100
+        blocks = list(source.iter_blocks(33))
+        assert [t for b in blocks for t in b.iter_tuples()] == tuples
+
+    @pytest.mark.parametrize("records,trace", [
+        (lambda: loop_records(5), lambda: loop_trace(40, trip_count=5)),
+        (lambda: periodic_records([True, True, False]),
+         lambda: periodic_trace([True, True, False], repeats=67)),
+        (lambda: biased_records(0.7, seed=3),
+         lambda: biased_trace(200, 0.7, seed=3)),
+        (lambda: markov_records(0.8, 0.6, seed=5),
+         lambda: markov_trace(200, 0.8, 0.6, seed=5)),
+    ])
+    def test_generators_match_materialized_twins(self, records, trace):
+        """The endless *_records generators replay the builder-based
+        synthetic traces record for record (pc, direction and instret
+        accounting all included)."""
+        materialized = list(trace().iter_tuples())
+        source = RecordStreamSource(records).limit(len(materialized))
+        assert list(source.iter_tuples()) == materialized
+
+    def test_generator_instret_is_monotone(self):
+        source = RecordStreamSource(lambda: markov_records(0.9, 0.9)).limit(50)
+        instret = [t[4] for t in source.iter_tuples()]
+        assert instret == sorted(instret) and len(set(instret)) == len(instret)
+
+
+class TestIndexedSource:
+    def test_partition_independence(self):
+        source = IndexedSource(bernoulli_outcomes(0.6, seed=9),
+                               num_records=1000, pcs=(0x10, 0x20, 0x30))
+        reference = list(source.iter_blocks(1000))
+        ref_tuples = [t for b in reference for t in b.iter_tuples()]
+        for bs in (1, 7, 333, 1024):
+            tuples = [t for b in source.iter_blocks(bs) for t in b.iter_tuples()]
+            assert tuples == ref_tuples
+
+    def test_pattern_outcomes_cycle(self):
+        source = IndexedSource(pattern_outcomes([True, False, False]),
+                               num_records=9)
+        directions = [t[1] for t in source.iter_tuples()]
+        assert directions == [True, False, False] * 3
+
+    def test_limit_and_unbounded(self):
+        unbounded = IndexedSource(pattern_outcomes([True]))
+        assert unbounded.num_records is None
+        bounded = unbounded.limit(12)
+        assert bounded.num_records == 12
+        assert len(list(bounded.iter_tuples())) == 12
+
+    def test_bernoulli_rate(self):
+        source = IndexedSource(bernoulli_outcomes(0.25, seed=1),
+                               num_records=20_000)
+        rate = sum(t[1] for t in source.iter_tuples()) / 20_000
+        assert abs(rate - 0.25) < 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bernoulli_outcomes(1.5)
+        with pytest.raises(ValueError):
+            pattern_outcomes([])
+        with pytest.raises(ValueError):
+            IndexedSource(pattern_outcomes([True]), pcs=())
+
+
+class TestSaveSourceAndDigest:
+    def test_save_source_formats_round_trip(self, tmp_path):
+        trace = _mixed_trace()
+        for suffix in (".btb", ".btr", ".btrs"):
+            path = tmp_path / f"t{suffix}"
+            save_source(trace, path, block_size=37)
+            _assert_same_records(trace, load_trace(path))
+
+    def test_unbounded_rejected(self, tmp_path):
+        source = RecordStreamSource(lambda: loop_records(4))
+        with pytest.raises(ValueError):
+            save_source(source, tmp_path / "t.btrs")
+        with pytest.raises(ValueError):
+            content_digest(source)
+
+    def test_digest_matches_trace_digest(self, tmp_path):
+        trace = _mixed_trace()
+        expected = hashlib.sha256(trace_dumps(trace)).hexdigest()
+        assert content_digest(trace) == expected
+        assert trace_digest(trace) == expected
+        path = tmp_path / "t.btrs"
+        save_source(trace, path)
+        with open_stream(path) as streamed:
+            assert content_digest(streamed, block_size=41) == expected
+            assert trace_digest(streamed) == expected
+
+    def test_digest_block_size_independent(self):
+        trace = _mixed_trace()
+        digests = {content_digest(trace, block_size=bs) for bs in (1, 13, None)}
+        assert len(digests) == 1
+
+    def test_save_trace_dispatches_btrs(self, tmp_path):
+        trace = _mixed_trace()
+        path = tmp_path / "t.btrs"
+        save_trace(trace, path)
+        assert path.read_bytes()[:4] == STREAM_MAGIC
+        _assert_same_records(trace, load_trace(path))
+
+    def test_open_trace_source_sniffs_magic(self, tmp_path):
+        trace = _mixed_trace()
+        disguised = tmp_path / "container.btb"  # wrong suffix on purpose
+        save_source(trace, tmp_path / "c.btrs")
+        os.replace(tmp_path / "c.btrs", disguised)
+        source = open_trace_source(disguised)
+        assert isinstance(source, StreamedTrace)
+        _assert_same_records(trace, source.materialize())
+        source.close()
+
+    def test_open_trace_source_loads_plain_formats(self, tmp_path):
+        trace = _mixed_trace()
+        path = tmp_path / "t.btb"
+        save_trace(trace, path)
+        source = open_trace_source(path)
+        assert isinstance(source, Trace)
+
+
+class TestCacheIntegration:
+    def test_store_streamed_round_trip(self, tmp_path):
+        trace = _mixed_trace()
+        cache = TraceCache(tmp_path / "cache")
+        stored = cache.store_streamed(trace)
+        digest = trace_digest(trace)
+        assert stored is not None and stored.name == f"{digest}.btrs"
+        with cache.open_streamed(digest) as streamed:
+            _assert_same_records(trace, streamed.materialize())
+
+    def test_store_streamed_idempotent(self, tmp_path):
+        trace = _mixed_trace()
+        cache = TraceCache(tmp_path / "cache")
+        first = cache.store_streamed(trace)
+        mtime = first.stat().st_mtime_ns
+        assert cache.store_streamed(trace) == first
+        assert first.stat().st_mtime_ns == mtime
+
+    def test_memory_only_cache_returns_none(self):
+        cache = TraceCache()
+        assert cache.store_streamed(_mixed_trace()) is None
+        assert cache.open_streamed("00ff") is None
+
+    def test_open_streamed_missing(self, tmp_path):
+        cache = TraceCache(tmp_path / "cache")
+        assert cache.open_streamed("0" * 64) is None
+
+
+class TestTraceBlockApi:
+    def test_trace_iter_blocks(self):
+        trace = _mixed_trace(100)
+        blocks = list(trace.iter_blocks(13))
+        assert [t for b in blocks for t in b.iter_tuples()] == list(trace.iter_tuples())
+        assert blocks[0].meta == trace.meta
+        assert trace.num_records == len(trace)
+
+    def test_block_to_trace(self):
+        trace = _mixed_trace(40)
+        block = next(iter(trace.iter_blocks(len(trace))))
+        _assert_same_records(trace, block.to_trace())
+
+    def test_default_block_size_sane(self):
+        assert DEFAULT_BLOCK_SIZE >= 1024
+
+
+class TestClassMix:
+    def test_streamed_stats_match(self, tmp_path):
+        from repro.trace.stats import compute_stats
+
+        trace, path = _container(tmp_path)
+        with open_stream(path) as streamed:
+            assert compute_stats(streamed) == compute_stats(trace)
+        assert compute_stats(trace).class_counts[BranchClass.CONDITIONAL] > 0
