@@ -4,7 +4,7 @@ PYTHON ?= python
 
 WORKERS ?= 4
 
-.PHONY: install test check lint bench bench-kernels bench-stream experiments sweep sweep-follow examples obs-demo clean
+.PHONY: install test check check-sarif lint bench bench-kernels bench-stream experiments sweep sweep-follow examples obs-demo clean
 
 install:
 	pip install -e .
@@ -13,11 +13,17 @@ test:
 	$(PYTHON) -m pytest tests/
 
 # Static analysis & invariant verification (see docs/static-analysis.md):
-# automaton model check, predict() purity lint, determinism lint, spec
-# picklability, registry consistency. --strict promotes warnings to
-# failures, matching the CI gate.
+# automaton model check, kernel-encoding prover, predict() purity lint,
+# determinism lint, spec picklability, fork/pickle-safety lint, resource
+# discipline lint, registry consistency, docs accuracy. --strict
+# promotes warnings to failures, matching the CI gate.
 check:
 	PYTHONPATH=src $(PYTHON) -m repro.check --strict
+
+# Same gate, plus a SARIF 2.1.0 log at results/check.sarif — the file
+# CI uploads as an artifact and code-scanning UIs ingest directly.
+check-sarif:
+	PYTHONPATH=src $(PYTHON) -m repro.check --strict --sarif results/check.sarif
 
 # Style lint. ruff is optional locally (CI always has it); skip with a
 # notice when it is not installed rather than failing the target.

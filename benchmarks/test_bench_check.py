@@ -1,0 +1,45 @@
+"""Runtime budget for the kernel-encoding prover.
+
+Not a paper figure — this pins the cost of the ``kernels`` analyzer so
+the nine-analyzer strict gate stays cheap enough to run on every CI
+push. The prover is *exhaustive* (every registered automaton, every
+byte of the encoding domain, the full 256^3 associativity cube), so its
+runtime is the natural regression canary for anyone who widens the
+corpus or un-memoizes the monoid proof: a cold pass measures ~0.3s
+today and must stay under 2s.
+
+Measured cold — the associativity memo and the per-spec ops cache are
+cleared first — so the pinned number covers the worst case a fresh CI
+process pays, not a warm in-process rerun.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.check.kernels import _PROVEN_ASSOCIATIVE, check_kernels
+
+MAX_COLD_SECONDS = 2.0
+
+
+def test_bench_prover_cold_pass(benchmark):
+    def cold_pass():
+        from repro.sim.kernels import _OPS_CACHE
+
+        _OPS_CACHE.clear()
+        _PROVEN_ASSOCIATIVE.clear()
+        started = time.perf_counter()
+        findings, examined = check_kernels()
+        elapsed = time.perf_counter() - started
+        return findings, examined, elapsed
+
+    findings, examined, elapsed = run_once(benchmark, cold_pass)
+    assert findings == []
+    assert examined >= 14
+    benchmark.extra_info["automata_examined"] = examined
+    benchmark.extra_info["cold_seconds"] = round(elapsed, 4)
+    benchmark.extra_info["budget_seconds"] = MAX_COLD_SECONDS
+    assert elapsed < MAX_COLD_SECONDS, (
+        f"exhaustive prover pass took {elapsed:.2f}s; the CI gate budget "
+        f"is {MAX_COLD_SECONDS}s — did the associativity memo stop working?"
+    )

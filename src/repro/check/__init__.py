@@ -1,7 +1,7 @@
 """``repro.check`` — static analysis and invariant verification.
 
-A standing correctness gate for the predictor/simulator stack. Six
-analyzers, each verifying an invariant the paper's numbers (and PR 1's
+A standing correctness gate for the predictor/simulator stack. Nine
+analyzers, each verifying an invariant the paper's numbers (and the
 parallel/cached execution machinery) silently depend on:
 
 =============  ========================================================
@@ -9,6 +9,12 @@ parallel/cached execution machinery) silently depend on:
                automaton: totality, determinism, reachability,
                convergence, and the paper's Figure-2 semantics for
                LT/A1–A4 (:mod:`repro.check.automata`).
+``kernels``    Exhaustive equivalence proof of the vectorized kernel
+               encodings — packed transition codes, decode tables, the
+               256×256 composition LUT, closure and associativity of
+               the composition monoid, and the run-scoring gather —
+               against the interpreted automaton semantics
+               (:mod:`repro.check.kernels`).
 ``purity``     AST proof that ``predict()`` never mutates predictor
                state and that no predictor method reads clocks or RNGs
                (:mod:`repro.check.purity`).
@@ -18,6 +24,15 @@ parallel/cached execution machinery) silently depend on:
 ``pickling``   Dynamic round-trip of every registered scheme through
                ``pickle`` with behavioural-equivalence scoring on a
                probe trace (:mod:`repro.check.pickling`).
+``concurrency``  AST lint of the fork/pickle boundary in the parallel
+               runner and observability layers: lambdas or bound
+               methods shipped to workers, writes to parent globals
+               from worker functions, handles crossing fork
+               (:mod:`repro.check.concurrency`).
+``resources``  AST lint of resource discipline in the trace-I/O and
+               ledger layers: unmanaged handles, non-atomic durable
+               writes, renames or appends without fsync
+               (:mod:`repro.check.resources`).
 ``registry``   ``__all__``/export consistency, Table 3 and friendly-
                name constructibility, and cost-model coverage
                (:mod:`repro.check.registry`).
@@ -26,7 +41,8 @@ parallel/cached execution machinery) silently depend on:
                to a live module or attribute (:mod:`repro.check.docs`).
 =============  ========================================================
 
-Run it as ``python -m repro.check`` (or ``make check``); see
+Run it as ``python -m repro.check`` (or ``make check``); add
+``--sarif`` for a SARIF 2.1.0 log consumable by code-scanning UIs. See
 ``docs/static-analysis.md`` for the full invariant catalogue and how
 to extend it. Programmatic entry point::
 
@@ -41,12 +57,15 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from .automata import check_automata, verify_spec, verify_table
+from .concurrency import check_concurrency
 from .determinism import check_determinism, scan_source
 from .docs import check_docs
+from .kernels import check_kernels, verify_ops
 from .pickling import check_pickling, probe_trace
 from .purity import analyze_source, check_purity
 from .registry import check_registry
 from .report import ERROR, WARNING, CheckReport, Finding
+from .resources import check_resources
 
 __all__ = [
     "ANALYZERS",
@@ -56,14 +75,18 @@ __all__ = [
     "WARNING",
     "analyze_source",
     "check_automata",
+    "check_concurrency",
     "check_determinism",
     "check_docs",
+    "check_kernels",
     "check_pickling",
     "check_purity",
     "check_registry",
+    "check_resources",
     "probe_trace",
     "run_checks",
     "scan_source",
+    "verify_ops",
     "verify_spec",
     "verify_table",
 ]
@@ -73,9 +96,12 @@ __all__ = [
 #: here is all it takes to add it to the CLI, Makefile and CI gates.
 ANALYZERS: Dict[str, Callable[[], Tuple[List[Finding], int]]] = {
     "automata": check_automata,
+    "kernels": check_kernels,
     "purity": check_purity,
     "determinism": check_determinism,
     "pickling": check_pickling,
+    "concurrency": check_concurrency,
+    "resources": check_resources,
     "registry": check_registry,
     "docs": check_docs,
 }

@@ -6,7 +6,17 @@ Examples::
     python -m repro.check --json          # machine-readable report
     python -m repro.check --strict        # warnings also fail the gate
     python -m repro.check --only purity,automata
+    python -m repro.check --only kernels,concurrency,resources
     python -m repro.check --list          # enumerate analyzers
+    python -m repro.check --sarif         # + SARIF to results/check.sarif
+    python -m repro.check --sarif -       # SARIF log on stdout
+    python -m repro.check --write-baseline  # snapshot current findings
+
+A baseline-suppression file (``.check-baseline.json`` in the working
+directory, or ``--baseline PATH``) removes *known* findings by stable
+fingerprint before the exit code is computed, so the strict gate stays
+green over deliberately deferred findings while anything new still
+fails the build. ``--no-baseline`` shows the unsuppressed truth.
 
 Exit codes: 0 — clean; 1 — findings (errors always, warnings only
 under ``--strict``); 2 — bad invocation.
@@ -16,9 +26,18 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from . import ANALYZERS, run_checks
+from .report import load_baseline, write_baseline
+
+#: Default location of the committed baseline-suppression file,
+#: resolved against the working directory (CI runs from the repo root).
+DEFAULT_BASELINE = ".check-baseline.json"
+
+#: Default SARIF output path for a bare ``--sarif``.
+DEFAULT_SARIF = "results/check.sarif"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,6 +60,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list", action="store_true", dest="list_analyzers",
         help="list available analyzers and exit",
+    )
+    parser.add_argument(
+        "--sarif", metavar="PATH", nargs="?", const=DEFAULT_SARIF, default=None,
+        help=f"also write a SARIF 2.1.0 log to PATH "
+        f"(default {DEFAULT_SARIF}; '-' for stdout)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help=f"baseline-suppression file to apply "
+        f"(default: {DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="PATH", nargs="?", const=DEFAULT_BASELINE,
+        default=None,
+        help=f"snapshot the current findings as the baseline "
+        f"(default {DEFAULT_BASELINE}) and exit 0",
     )
     return parser
 
@@ -66,10 +105,37 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
 
     report = run_checks(only=only)
-    if args.json:
+
+    if args.write_baseline is not None:
+        count = write_baseline(args.write_baseline, report)
+        print(f"baseline: {count} suppression(s) written to {args.write_baseline}")
+        return 0
+
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE).is_file():
+        baseline_path = DEFAULT_BASELINE
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            fingerprints = load_baseline(baseline_path)
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot load baseline: {exc}")
+        report.apply_baseline(fingerprints)
+
+    sarif_to_stdout = args.sarif == "-"
+    if args.sarif is not None and not sarif_to_stdout:
+        target = Path(args.sarif)
+        if target.parent != Path("."):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(report.to_sarif_json() + "\n", encoding="utf-8")
+
+    if sarif_to_stdout:
+        print(report.to_sarif_json())
+    elif args.json:
         print(report.to_json())
     else:
         print(report.format_text())
+        if args.sarif is not None:
+            print(f"SARIF log written to {args.sarif}")
     return report.exit_code(strict=args.strict)
 
 

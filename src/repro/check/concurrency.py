@@ -1,0 +1,386 @@
+"""Fork/pickle-safety lint for the multiprocessing surface.
+
+The parallel runner's contract (:mod:`repro.sim.parallel`, PR 1/4) is
+that worker processes receive only **picklable, self-contained** work:
+module-level functions, value arguments, and manager-proxied queues —
+and that the observability plumbing costs nothing when no observer is
+attached. Those properties are invisible to the type system and only
+fail at runtime (often only on spawn-start platforms), so this
+analyzer proves them statically over the ASTs of
+``repro.sim.parallel``, ``repro.obs.live`` and ``repro.obs.runner``:
+
+* ``conc/lambda-to-worker`` — a ``lambda`` or a function *defined
+  inside another function* shipped through a worker-pool call
+  (``submit``/``apply_async``/``map``/``Process(target=...)``...).
+  Closures are not picklable; they die in the executor with an opaque
+  ``PicklingError`` long after the code that built them.
+* ``conc/bound-method-to-worker`` — a ``self.``/``cls.``-bound method
+  shipped to a worker: pickling a bound method drags the whole
+  instance (traces, caches, open handles) across the process boundary.
+* ``conc/global-write-in-worker`` — module-level mutable state written
+  inside a worker-executed function (the shipped functions plus every
+  module-local function they transitively call). Worker-side writes to
+  module globals silently diverge between processes; the one
+  sanctioned use — a per-worker-process memo — must carry an explicit
+  pragma so the intent is visible at the write site.
+* ``conc/unguarded-manager`` — ``multiprocessing.Manager()`` (or a raw
+  ``multiprocessing.Queue()``) created outside any ``if``: a Manager
+  spawns a live server process, so creating one unconditionally
+  violates the zero-cost-when-off observability contract.
+* ``conc/handle-across-fork`` — a local bound to ``open(...)``/
+  ``mmap.mmap(...)`` passed as a worker argument or captured by a
+  shipped closure; after fork/pickle the descriptor is shared or dead,
+  and writes interleave corruptly.
+
+Per-line escape hatch: ``# check: allow(<rule>)``, as everywhere in
+:mod:`repro.check`.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .purity import _pragma_allows
+from .report import ERROR, Finding
+
+__all__ = [
+    "check_concurrency",
+    "default_paths",
+    "scan_source",
+]
+
+_ANALYZER = "concurrency"
+
+#: Pool/executor methods whose first positional argument is a callable
+#: executed in a worker process.
+_SHIP_METHODS = {
+    "submit", "apply_async", "apply", "map", "map_async",
+    "imap", "imap_unordered", "starmap", "starmap_async",
+}
+
+#: Mutating container methods: calling one of these on a module-level
+#: name inside a worker function is a cross-process state write.
+_MUTATORS = {
+    "append", "add", "update", "setdefault", "pop", "popitem",
+    "clear", "extend", "insert", "remove", "discard",
+}
+
+_MULTIPROCESSING_NAMES = {"multiprocessing", "mp"}
+
+
+def _finding(rule: str, location: str, message: str, severity: str = ERROR) -> Finding:
+    return Finding(_ANALYZER, f"conc/{rule}", severity, location, message)
+
+
+def _is_open_call(node: ast.expr) -> bool:
+    """``open(...)``, ``<path>.open(...)`` or ``mmap.mmap(...)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        return True
+    if isinstance(func, ast.Attribute):
+        if func.attr == "open":
+            return True
+        if func.attr == "mmap" and isinstance(func.value, ast.Name) \
+                and func.value.id == "mmap":
+            return True
+    return False
+
+
+class _ShipSite:
+    """One call that sends work to another process."""
+
+    __slots__ = ("node", "callable", "shipped_args", "enclosing")
+
+    def __init__(self, node: ast.Call, callable_node: Optional[ast.expr],
+                 shipped_args: List[ast.expr], enclosing: Tuple[str, ...]) -> None:
+        self.node = node
+        self.callable = callable_node
+        self.shipped_args = shipped_args
+        self.enclosing = enclosing
+
+
+def _ship_site(node: ast.Call, enclosing: Tuple[str, ...]) -> Optional[_ShipSite]:
+    """Classify ``node`` as a worker-shipping call, or ``None``."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _SHIP_METHODS:
+        if not node.args:
+            return None
+        return _ShipSite(node, node.args[0], list(node.args[1:]), enclosing)
+    is_process = (isinstance(func, ast.Name) and func.id == "Process") or (
+        isinstance(func, ast.Attribute) and func.attr == "Process"
+    )
+    if is_process:
+        target = None
+        shipped: List[ast.expr] = []
+        for kw in node.keywords:
+            if kw.arg == "target":
+                target = kw.value
+            elif kw.arg == "args" and isinstance(kw.value, (ast.Tuple, ast.List)):
+                shipped.extend(kw.value.elts)
+        if target is not None:
+            return _ShipSite(node, target, shipped, enclosing)
+    return None
+
+
+class _ModuleScan(ast.NodeVisitor):
+    """Single full-AST walk collecting everything the rules need."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.module_funcs: Dict[str, ast.FunctionDef] = {}
+        self.nested_func_names: Set[str] = set()
+        self.module_vars: Set[str] = set()
+        self.ship_sites: List[_ShipSite] = []
+        self.manager_calls: List[Tuple[ast.Call, bool]] = []  # (call, guarded)
+        self._func_stack: List[ast.FunctionDef] = []
+        self._if_depth = 0
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.module_funcs[node.name] = node
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.module_vars.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                self.module_vars.add(node.target.id)
+        self.visit(tree)
+
+    def _visit_func(self, node) -> None:
+        if self._func_stack:
+            self.nested_func_names.add(node.name)
+        self._func_stack.append(node)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def visit_If(self, node: ast.If) -> None:
+        self._if_depth += 1
+        self.generic_visit(node)
+        self._if_depth -= 1
+
+    def visit_Call(self, node: ast.Call) -> None:
+        enclosing = tuple(f.name for f in self._func_stack)
+        site = _ship_site(node, enclosing)
+        if site is not None:
+            self.ship_sites.append(site)
+        func = node.func
+        is_manager = (isinstance(func, ast.Name) and func.id == "Manager") or (
+            isinstance(func, ast.Attribute) and func.attr == "Manager"
+        )
+        is_raw_queue = (
+            isinstance(func, ast.Attribute) and func.attr == "Queue"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in _MULTIPROCESSING_NAMES
+        )
+        if is_manager or is_raw_queue:
+            self.manager_calls.append((node, self._if_depth > 0))
+        self.generic_visit(node)
+
+
+def _worker_functions(scan: _ModuleScan) -> Set[str]:
+    """Shipped module-level callables plus their transitive module-local
+    callees — everything whose body executes inside a worker process."""
+    seeds: Set[str] = set()
+    for site in scan.ship_sites:
+        if isinstance(site.callable, ast.Name) and site.callable.id in scan.module_funcs:
+            seeds.add(site.callable.id)
+    workers = set(seeds)
+    frontier = list(seeds)
+    while frontier:
+        fn = scan.module_funcs[frontier.pop()]
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                callee = node.func.id
+                if callee in scan.module_funcs and callee not in workers:
+                    workers.add(callee)
+                    frontier.append(callee)
+    return workers
+
+
+class _Scanner:
+    def __init__(self, filename: str, source_lines: Sequence[str]) -> None:
+        self.filename = filename
+        self.source_lines = source_lines
+        self.findings: List[Finding] = []
+
+    def _add(self, rule: str, lineno: int, message: str) -> None:
+        if _pragma_allows(self.source_lines, lineno, f"conc/{rule}"):
+            return
+        self.findings.append(
+            _finding(rule, f"{self.filename}:{lineno}", message))
+
+    # -- rule: shipped callables ---------------------------------------
+    def _check_callables(self, scan: _ModuleScan) -> None:
+        for site in scan.ship_sites:
+            target = site.callable
+            if isinstance(target, ast.Lambda):
+                self._add(
+                    "lambda-to-worker", target.lineno,
+                    "a lambda is shipped to a worker process; lambdas are "
+                    "not picklable — hoist it to a module-level function",
+                )
+            elif isinstance(target, ast.Name):
+                if (target.id in scan.nested_func_names
+                        and target.id not in scan.module_funcs):
+                    self._add(
+                        "lambda-to-worker", target.lineno,
+                        f"locally-defined function {target.id!r} is shipped "
+                        "to a worker process; closures are not picklable — "
+                        "hoist it to module level",
+                    )
+            elif isinstance(target, ast.Attribute):
+                root = target.value
+                if isinstance(root, ast.Name) and root.id in ("self", "cls"):
+                    self._add(
+                        "bound-method-to-worker", target.lineno,
+                        f"bound method {root.id}.{target.attr} is shipped to "
+                        "a worker; pickling it drags the whole instance "
+                        "across the process boundary",
+                    )
+
+    # -- rule: Manager/Queue guarded by observation --------------------
+    def _check_managers(self, scan: _ModuleScan) -> None:
+        for call, guarded in scan.manager_calls:
+            if not guarded:
+                self._add(
+                    "unguarded-manager", call.lineno,
+                    "multiprocessing Manager/Queue created unconditionally; "
+                    "a Manager spawns a server process, so it must be gated "
+                    "on an observer actually being attached "
+                    "(zero-cost-when-off)",
+                )
+
+    # -- rule: module-state writes inside workers ----------------------
+    def _check_worker_writes(self, scan: _ModuleScan) -> None:
+        workers = _worker_functions(scan)
+        for name in sorted(workers):
+            fn = scan.module_funcs[name]
+            declared_global: Set[str] = set()
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Global):
+                    declared_global.update(node.names)
+            for node in ast.walk(fn):
+                if isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (node.targets if isinstance(node, ast.Assign)
+                               else [node.target])
+                    for target in targets:
+                        root = target
+                        while isinstance(root, (ast.Subscript, ast.Attribute)):
+                            root = root.value
+                        if not isinstance(root, ast.Name):
+                            continue
+                        if root.id in declared_global or (
+                            root.id in scan.module_vars and root is not target
+                        ):
+                            self._add(
+                                "global-write-in-worker", node.lineno,
+                                f"worker function {name!r} writes "
+                                f"module-level state {root.id!r}; each "
+                                "worker process mutates its own copy, which "
+                                "never reaches the parent — if this is a "
+                                "deliberate per-process memo, annotate the "
+                                "line with a pragma",
+                            )
+                elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                    receiver = node.func.value
+                    if (isinstance(receiver, ast.Name)
+                            and receiver.id in scan.module_vars
+                            and node.func.attr in _MUTATORS):
+                        self._add(
+                            "global-write-in-worker", node.lineno,
+                            f"worker function {name!r} calls "
+                            f"{receiver.id}.{node.func.attr}(...) on "
+                            "module-level state; worker-side mutation "
+                            "never reaches the parent process",
+                        )
+
+    # -- rule: file handles crossing the fork --------------------------
+    def _check_handles(self, scan: _ModuleScan) -> None:
+        for fn in scan.module_funcs.values():
+            handle_vars: Set[str] = set()
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign) and _is_open_call(node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            handle_vars.add(target.id)
+            if not handle_vars:
+                continue
+            for site in scan.ship_sites:
+                if fn.name not in site.enclosing:
+                    continue
+                for arg in site.shipped_args:
+                    for leaf in ast.walk(arg):
+                        if isinstance(leaf, ast.Name) and leaf.id in handle_vars:
+                            self._add(
+                                "handle-across-fork", site.node.lineno,
+                                f"open file handle {leaf.id!r} is shipped to "
+                                "a worker process; descriptors do not "
+                                "survive pickling and fork-shared offsets "
+                                "interleave — ship the path and reopen in "
+                                "the worker",
+                            )
+                target = site.callable
+                if isinstance(target, ast.Name) and target.id in scan.nested_func_names:
+                    inner = next(
+                        (node for node in ast.walk(fn)
+                         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                         and node.name == target.id),
+                        None,
+                    )
+                    if inner is None:
+                        continue
+                    captured = {
+                        leaf.id for leaf in ast.walk(inner)
+                        if isinstance(leaf, ast.Name) and leaf.id in handle_vars
+                    }
+                    for name in sorted(captured):
+                        self._add(
+                            "handle-across-fork", site.node.lineno,
+                            f"shipped function {target.id!r} captures open "
+                            f"file handle {name!r} across the process "
+                            "boundary",
+                        )
+
+
+def default_paths() -> List[Path]:
+    """The multiprocessing surface covered by the fork/pickle contract."""
+    package = Path(__file__).resolve().parent.parent
+    return [
+        package / "sim" / "parallel.py",
+        package / "obs" / "live.py",
+        package / "obs" / "runner.py",
+    ]
+
+
+def scan_source(source: str, filename: str = "<string>") -> List[Finding]:
+    """Scan one source string (unit-test entry point)."""
+    tree = ast.parse(source, filename=filename)
+    scan = _ModuleScan(tree)
+    scanner = _Scanner(filename, source.splitlines())
+    scanner._check_callables(scan)
+    scanner._check_managers(scan)
+    scanner._check_worker_writes(scan)
+    scanner._check_handles(scan)
+    return scanner.findings
+
+
+def check_concurrency(
+    paths: Optional[Iterable[Path]] = None,
+) -> Tuple[List[Finding], int]:
+    """Run the fork/pickle-safety lint.
+
+    Returns:
+        (findings, number of files examined).
+    """
+    findings: List[Finding] = []
+    count = 0
+    for path in default_paths() if paths is None else paths:
+        path = Path(path)
+        findings.extend(scan_source(path.read_text(encoding="utf-8"), str(path)))
+        count += 1
+    return findings, count

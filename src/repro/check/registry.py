@@ -1,6 +1,6 @@
 """Registry and public-API consistency checker.
 
-Four families of invariants, all cheap to verify exhaustively:
+Five families of invariants, all cheap to verify exhaustively:
 
 * **export resolution** — for every audited module that declares
   ``__all__``: each listed name resolves via ``getattr``, and no name
@@ -20,6 +20,10 @@ Four families of invariants, all cheap to verify exhaustively:
   the paper's cost equations (:func:`repro.core.cost.cost_two_level`
   and the per-scheme closed forms), so no registered configuration can
   fall outside the Figure 9/10 cost axes.
+* **docstring coverage** — the check analyzers themselves
+  (:data:`DOCSTRING_AUDITED_MODULES`) must carry a module docstring
+  and document every ``__all__`` export: an analyzer that gates CI
+  without documenting its rules is a finding.
 """
 
 from __future__ import annotations
@@ -52,6 +56,19 @@ AUDITED_MODULES: Tuple[str, ...] = (
     "repro.obs.ledger",
     "repro.obs.live",
     "repro.obs.log",
+    "repro.check.kernels",
+    "repro.check.concurrency",
+    "repro.check.resources",
+)
+
+#: Modules additionally audited for docstring coverage: the module
+#: itself and every name in its ``__all__`` must carry a docstring.
+#: The check analyzers document invariants the CI gate enforces, so an
+#: undocumented rule is itself a finding.
+DOCSTRING_AUDITED_MODULES: Tuple[str, ...] = (
+    "repro.check.kernels",
+    "repro.check.concurrency",
+    "repro.check.resources",
 )
 
 #: Friendly-grammar representatives: one per production of the
@@ -124,6 +141,28 @@ def _audit_exports(module_name: str) -> List[Finding]:
                     f"public {type(node).__name__.replace('Def', '').lower()} "
                     f"{name!r} is not listed in {module_name}.__all__",
                 ))
+    return findings
+
+
+def _audit_docstrings(module_name: str) -> List[Finding]:
+    findings: List[Finding] = []
+    try:
+        module = importlib.import_module(module_name)
+    except Exception as exc:
+        return [_finding("import", module_name, f"module failed to import: {exc!r}")]
+    if not (getattr(module, "__doc__", None) or "").strip():
+        findings.append(_finding(
+            "missing-docstring", module_name, "module has no docstring"
+        ))
+    for name in getattr(module, "__all__", ()):
+        obj = getattr(module, name, None)
+        if obj is None:
+            continue  # broken-export is _audit_exports' finding, not ours
+        if not (getattr(obj, "__doc__", None) or "").strip():
+            findings.append(_finding(
+                "missing-docstring", f"{module_name}.{name}",
+                f"exported {name!r} has no docstring",
+            ))
     return findings
 
 
@@ -247,6 +286,8 @@ def check_registry(
         findings.extend(_audit_exports(module_name))
     examined = len(audited)
     if modules is None:
+        for module_name in DOCSTRING_AUDITED_MODULES:
+            findings.extend(_audit_docstrings(module_name))
         findings.extend(_audit_schemes())
         findings.extend(_audit_cost_coverage())
         from ..predictors.registry import paper_table3_specs

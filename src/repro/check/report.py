@@ -17,14 +17,50 @@ Severities:
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 ERROR = "error"
 WARNING = "warning"
 
 _SEVERITIES = (ERROR, WARNING)
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Schema tag of the committed baseline-suppression file.
+BASELINE_SCHEMA = "repro.check.baseline/1"
+
+
+def _split_location(location: str) -> Tuple[str, Optional[int]]:
+    """Split ``path.py:123`` into (path, line); non-file locations
+    (automaton names, dotted modules) return (location, None)."""
+    path, sep, line = location.rpartition(":")
+    if sep and line.isdigit():
+        return path, int(line)
+    return location, None
+
+
+def _normalize_path(path: str) -> str:
+    """A machine-independent, repo-relative rendering of ``path``.
+
+    Findings carry absolute paths (handy in terminals); SARIF viewers
+    and baseline fingerprints need paths that agree between a laptop
+    and a CI runner, so anchor on the working directory or, failing
+    that, the ``src/repro`` package root.
+    """
+    text = path.replace("\\", "/")
+    try:
+        return Path(text).resolve().relative_to(Path.cwd()).as_posix()
+    except (OSError, ValueError):
+        pass
+    index = text.rfind("src/repro/")
+    if index > 0:
+        return text[index:]
+    return text
 
 
 @dataclass(frozen=True)
@@ -62,6 +98,44 @@ class Finding:
     def format(self) -> str:
         return f"{self.severity}: {self.location}: [{self.rule}] {self.message}"
 
+    def fingerprint(self) -> str:
+        """Stable identity for baseline suppression.
+
+        Hashes the rule, the *line-stripped, repo-relative* location and
+        the message — so a suppressed finding keeps matching when
+        unrelated edits shift line numbers or the checkout moves, but
+        any change to what the finding says makes it a new finding.
+        """
+        anchor, _ = _split_location(self.location)
+        payload = "\n".join(
+            (self.analyzer, self.rule, _normalize_path(anchor), self.message)
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def to_sarif(self, rule_index: int) -> Dict[str, object]:
+        """This finding as a SARIF 2.1.0 ``result`` object."""
+        path, line = _split_location(self.location)
+        location: Dict[str, object]
+        if line is not None:
+            location = {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": _normalize_path(path)},
+                    "region": {"startLine": line},
+                }
+            }
+        else:
+            # Non-file subjects (an automaton, a dotted module path)
+            # are logical locations in SARIF's vocabulary.
+            location = {"logicalLocations": [{"name": self.location}]}
+        return {
+            "ruleId": self.rule,
+            "ruleIndex": rule_index,
+            "level": self.severity,
+            "message": {"text": self.message},
+            "locations": [location],
+            "partialFingerprints": {"reproCheck/v1": self.fingerprint()},
+        }
+
 
 @dataclass
 class CheckReport:
@@ -72,6 +146,9 @@ class CheckReport:
     #: analyzer -> number of objects it examined (automata, classes,
     #: specs...); lets the report prove the analyzers actually looked.
     examined: Dict[str, int] = field(default_factory=dict)
+    #: findings removed by a baseline-suppression file; kept as a count
+    #: so a "clean" report still discloses what it is not showing.
+    suppressed: int = 0
 
     def extend(self, analyzer: str, findings: Iterable[Finding], examined: int) -> None:
         """Record one analyzer's results."""
@@ -99,6 +176,20 @@ class CheckReport:
             return 1
         return 0
 
+    def apply_baseline(self, fingerprints: Set[str]) -> int:
+        """Drop findings whose :meth:`Finding.fingerprint` is baselined.
+
+        Returns the number suppressed (also accumulated on
+        :attr:`suppressed`). Errors and warnings suppress alike: the
+        baseline exists to let the strict gate stay green over *known*,
+        deliberately deferred findings while anything new still fails.
+        """
+        kept = [f for f in self.findings if f.fingerprint() not in fingerprints]
+        dropped = len(self.findings) - len(kept)
+        self.findings = kept
+        self.suppressed += dropped
+        return dropped
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "ok": self.ok,
@@ -108,8 +199,46 @@ class CheckReport:
             ],
             "errors": len(self.errors),
             "warnings": len(self.warnings),
+            "suppressed": self.suppressed,
             "findings": [f.to_dict() for f in self.findings],
         }
+
+    def to_sarif(self) -> Dict[str, object]:
+        """The report as a SARIF 2.1.0 log (one run, one tool driver).
+
+        Rules are collected from the findings in first-appearance order
+        and referenced by index, as SARIF consumers expect; the whole
+        document validates against the 2.1.0 schema
+        (``json.schemastore.org/sarif-2.1.0.json``).
+        """
+        rule_index: Dict[str, int] = {}
+        rules: List[Dict[str, object]] = []
+        results: List[Dict[str, object]] = []
+        for finding in self.findings:
+            if finding.rule not in rule_index:
+                rule_index[finding.rule] = len(rules)
+                rules.append({
+                    "id": finding.rule,
+                    "defaultConfiguration": {"level": finding.severity},
+                })
+            results.append(finding.to_sarif(rule_index[finding.rule]))
+        return {
+            "version": SARIF_VERSION,
+            "$schema": SARIF_SCHEMA_URI,
+            "runs": [{
+                "tool": {
+                    "driver": {
+                        "name": "repro.check",
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }],
+        }
+
+    def to_sarif_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_sarif(), indent=indent, sort_keys=False)
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
@@ -125,8 +254,67 @@ class CheckReport:
                          f"{len(related)} finding(s)")
         for finding in self.findings:
             lines.append("  " + finding.format())
-        lines.append(
+        trailer = (
             f"{len(self.errors)} error(s), {len(self.warnings)} warning(s) "
             f"from {len(self.analyzers_run)} analyzer(s)"
         )
+        if self.suppressed:
+            trailer += f"; {self.suppressed} finding(s) baseline-suppressed"
+        lines.append(trailer)
         return "\n".join(lines)
+
+
+def load_baseline(path: Union[str, Path]) -> Set[str]:
+    """Fingerprints from a baseline-suppression file.
+
+    Raises:
+        ValueError: malformed file or unknown schema — a broken
+            baseline must fail loudly, not silently suppress nothing
+            (or worse, everything).
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {BASELINE_SCHEMA} baseline file"
+        )
+    suppressions = data.get("suppressions")
+    if not isinstance(suppressions, list):
+        raise ValueError(f"{path}: 'suppressions' must be a list")
+    fingerprints: Set[str] = set()
+    for record in suppressions:
+        if not isinstance(record, dict) or not isinstance(
+            record.get("fingerprint"), str
+        ):
+            raise ValueError(f"{path}: each suppression needs a 'fingerprint'")
+        fingerprints.add(record["fingerprint"])
+    return fingerprints
+
+
+def write_baseline(path: Union[str, Path], report: CheckReport) -> int:
+    """Snapshot ``report``'s findings as the new baseline.
+
+    Each suppression records the fingerprint plus the human-readable
+    rule/location/message so the committed file is reviewable — the
+    reviewer sees exactly what is being waved through. Returns the
+    number of suppressions written.
+    """
+    seen: Set[str] = set()
+    records: List[Dict[str, str]] = []
+    for finding in report.findings:
+        fingerprint = finding.fingerprint()
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        anchor, _ = _split_location(finding.location)
+        records.append({
+            "fingerprint": fingerprint,
+            "rule": finding.rule,
+            "location": _normalize_path(anchor),
+            "message": finding.message,
+        })
+    records.sort(key=lambda r: (r["rule"], r["location"], r["fingerprint"]))
+    payload = {"schema": BASELINE_SCHEMA, "suppressions": records}
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(records)

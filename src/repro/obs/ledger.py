@@ -33,6 +33,7 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import os
 import subprocess
 import time
 from dataclasses import dataclass, field
@@ -303,6 +304,12 @@ class RunLedger:
         shard = self._shard_path(config_hash)
         with shard.open("a", encoding="utf-8") as stream:
             stream.write(json.dumps(finalised.to_dict(), separators=(",", ":")) + "\n")
+            # The ledger is the regression sentinel's source of truth:
+            # a record must be durable once append returns, not sitting
+            # in a page cache a crash discards (found by
+            # res/append-without-fsync).
+            stream.flush()
+            os.fsync(stream.fileno())
         return finalised
 
     def extend(self, entries: Sequence[LedgerEntry]) -> List[LedgerEntry]:
@@ -857,5 +864,13 @@ def export_bench(
     target = Path(out)
     if target.parent != Path("."):
         target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    # Atomic publish: the exported BENCH file is committed and diffed,
+    # so a half-written export must never be observable (found by
+    # res/non-atomic-write).
+    tmp = target.with_name(f"{target.name}.tmp-{os.getpid()}")
+    with tmp.open("w", encoding="utf-8") as stream:
+        stream.write(json.dumps(payload, indent=2) + "\n")
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(tmp, target)
     return target

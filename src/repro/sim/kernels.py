@@ -77,6 +77,7 @@ from .results import SimulationResult
 
 __all__ = [
     "KernelUnavailable",
+    "automaton_ops",
     "kernel_supports",
     "simulate_vectorized",
     "simulate_vectorized_stream",
@@ -172,6 +173,20 @@ def _ops_for(spec: AutomatonSpec) -> _AutomatonOps:
     if ops is None:
         ops = _OPS_CACHE[key] = _AutomatonOps(spec)
     return ops
+
+
+def automaton_ops(spec: AutomatonSpec) -> _AutomatonOps:
+    """The kernel table bundle (:class:`_AutomatonOps`) for ``spec``.
+
+    This is the public verification hook used by the
+    ``repro.check.kernels`` encoding prover: it returns exactly the
+    packed-code / composition-LUT / run-scoring tables the vectorized
+    scans gather from, so external checks prove the objects the kernels
+    actually run on, not a reconstruction. The bundle is cached and
+    shared with the simulation hot path — callers that want to mutate
+    tables (mutation tests) must ``copy.deepcopy`` it first.
+    """
+    return _ops_for(spec)
 
 
 class _Runs:

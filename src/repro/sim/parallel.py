@@ -171,7 +171,8 @@ def _load_spooled(path: str) -> Trace:
     trace = _TRACE_MEMO.get(path)
     if trace is None:
         trace = load_trace(path)
-        _TRACE_MEMO[path] = trace
+        # Deliberate per-worker-process memo: never read by the parent.
+        _TRACE_MEMO[path] = trace  # check: allow(conc/global-write-in-worker)
     return trace
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple, Union
@@ -217,8 +218,14 @@ class ResultCache:
         text = json.dumps(self.UNAVAILABLE if payload is None else payload, sort_keys=True)
         tmp = path.with_suffix(f".tmp-{threading.get_ident()}")
         try:
-            tmp.write_text(text)
-            tmp.replace(path)
+            # flush + fsync before the rename so a crash can never
+            # publish a truncated entry (found by
+            # res/replace-without-fsync; write_text cannot fsync).
+            with tmp.open("w") as stream:
+                stream.write(text)
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(tmp, path)
         except OSError:
             return
         with self._lock:

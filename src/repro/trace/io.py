@@ -355,12 +355,20 @@ def save_trace(trace: Trace, path: PathLike) -> None:
         return
     tmp = _tmp_sibling(path)
     try:
+        # fsync before the rename: os.replace alone orders the *name*,
+        # not the bytes — after a crash the rename can survive while the
+        # data does not, publishing a truncated trace (found by
+        # res/replace-without-fsync).
         if path.suffix == ".btr":
             with tmp.open("w") as stream:
                 write_text(trace, stream)
+                stream.flush()
+                os.fsync(stream.fileno())
         else:
             with tmp.open("wb") as stream:
                 write_binary(trace, stream)
+                stream.flush()
+                os.fsync(stream.fileno())
         os.replace(tmp, path)
     except BaseException:
         try:

@@ -820,14 +820,21 @@ def save_source(source: TraceSource, path: PathLike,
         return
     tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{id(source):x}")
     try:
+        # fsync before publishing, exactly as TraceWriter.finalize does
+        # for .btrs: rename-only publication can survive a crash that
+        # the data does not (found by res/replace-without-fsync).
         if path.suffix == ".btr":
             with tmp.open("w") as stream:
                 _write_text_streaming(source, stream, block_size)
+                stream.flush()
+                os.fsync(stream.fileno())
         else:
             with tmp.open("wb") as stream:
                 stream.write(_binary_prefix(source.meta, total))
                 for block in source.iter_blocks(block_size):
                     stream.write(_pack_columns(*block.columns))
+                stream.flush()
+                os.fsync(stream.fileno())
         os.replace(tmp, path)
     except BaseException:
         try:

@@ -1,12 +1,23 @@
 """Tests for ``python -m repro.check`` (repro.check.cli) and the report."""
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.check import ANALYZERS
 from repro.check.cli import main
-from repro.check.report import ERROR, WARNING, CheckReport, Finding
+from repro.check.report import (
+    BASELINE_SCHEMA,
+    ERROR,
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    WARNING,
+    CheckReport,
+    Finding,
+    load_baseline,
+    write_baseline,
+)
 
 
 class TestExitCodes:
@@ -64,6 +75,151 @@ class TestOutputs:
         assert main(["--only", "determinism", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert [entry["name"] for entry in payload["analyzers"]] == ["determinism"]
+
+    def test_only_selects_new_analyzers(self, capsys):
+        assert main(["--only", "kernels,concurrency,resources", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["name"] for entry in payload["analyzers"]] == [
+            "kernels", "concurrency", "resources",
+        ]
+
+
+class TestSarif:
+    def _boom(self):
+        return [
+            Finding("boom", "boom/file-rule", ERROR, "src/repro/x.py:7", "torn"),
+            Finding("boom", "boom/logical-rule", WARNING, "repro.sim.kernels", "odd"),
+            Finding("boom", "boom/file-rule", ERROR, "src/repro/y.py:9", "torn too"),
+        ], 2
+
+    def test_sarif_to_stdout_validates_structurally(self, capsys, monkeypatch):
+        monkeypatch.setitem(ANALYZERS, "boom", self._boom)
+        assert main(["--only", "boom", "--sarif", "-"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert doc["$schema"] == SARIF_SCHEMA_URI
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro.check"
+        rules = run["tool"]["driver"]["rules"]
+        # Rules are deduplicated in first-appearance order.
+        assert [r["id"] for r in rules] == ["boom/file-rule", "boom/logical-rule"]
+        assert rules[0]["defaultConfiguration"]["level"] == "error"
+        results = run["results"]
+        assert len(results) == 3
+        first = results[0]
+        assert first["ruleId"] == "boom/file-rule" and first["ruleIndex"] == 0
+        assert first["level"] == "error"
+        assert first["message"]["text"] == "torn"
+        physical = first["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "src/repro/x.py"
+        assert physical["region"]["startLine"] == 7
+        assert first["partialFingerprints"]["reproCheck/v1"]
+        # Non-file subjects become logical locations.
+        logical = results[1]["locations"][0]["logicalLocations"]
+        assert logical == [{"name": "repro.sim.kernels"}]
+        assert results[2]["ruleIndex"] == 0  # same rule, same index
+
+    def test_sarif_to_file(self, capsys, tmp_path, monkeypatch):
+        target = tmp_path / "out" / "check.sarif"
+        assert main(["--only", "automata", "--sarif", str(target)]) == 0
+        doc = json.loads(target.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"] == []
+        assert f"SARIF log written to {target}" in capsys.readouterr().out
+
+    def test_clean_run_emits_empty_results_not_empty_file(self, capsys, tmp_path):
+        target = tmp_path / "check.sarif"
+        assert main(["--only", "resources", "--sarif", str(target)]) == 0
+        doc = json.loads(target.read_text())
+        assert doc["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+class TestBaseline:
+    def _boom(self):
+        return [
+            Finding("boom", "boom/fail", ERROR, "src/repro/x.py:7", "it broke"),
+        ], 1
+
+    def test_write_then_apply_round_trip(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setitem(ANALYZERS, "boom", self._boom)
+        baseline = tmp_path / "baseline.json"
+        assert main(["--only", "boom", "--write-baseline", str(baseline)]) == 0
+        assert "1 suppression(s) written" in capsys.readouterr().out
+        payload = json.loads(baseline.read_text())
+        assert payload["schema"] == BASELINE_SCHEMA
+        (record,) = payload["suppressions"]
+        assert record["rule"] == "boom/fail"
+        assert record["location"] == "src/repro/x.py"
+        # The same finding is now suppressed and the gate passes...
+        assert main(["--only", "boom", "--strict",
+                     "--baseline", str(baseline)]) == 0
+        assert "1 finding(s) baseline-suppressed" in capsys.readouterr().out
+        # ...but --no-baseline still shows the unsuppressed truth.
+        assert main(["--only", "boom", "--baseline", str(baseline),
+                     "--no-baseline"]) == 1
+
+    def test_baseline_does_not_hide_new_findings(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setitem(ANALYZERS, "boom", self._boom)
+        baseline = tmp_path / "baseline.json"
+        assert main(["--only", "boom", "--write-baseline", str(baseline)]) == 0
+        def worse():
+            findings, examined = self._boom()
+            findings.append(
+                Finding("boom", "boom/fail", ERROR, "src/repro/z.py:1", "new"))
+            return findings, examined
+        monkeypatch.setitem(ANALYZERS, "boom", worse)
+        capsys.readouterr()
+        assert main(["--only", "boom", "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "src/repro/z.py:1" in out
+        assert "1 finding(s) baseline-suppressed" in out
+
+    def test_default_baseline_picked_up_from_cwd(self, capsys, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setitem(ANALYZERS, "boom", self._boom)
+        monkeypatch.chdir(tmp_path)
+        assert main(["--only", "boom", "--write-baseline"]) == 0
+        assert (tmp_path / ".check-baseline.json").is_file()
+        capsys.readouterr()
+        assert main(["--only", "boom", "--strict"]) == 0
+        assert "baseline-suppressed" in capsys.readouterr().out
+
+    def test_malformed_baseline_fails_loudly(self, capsys, tmp_path, monkeypatch):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other/1", "suppressions": []}')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--only", "automata", "--baseline", str(bad)])
+        assert excinfo.value.code == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+    def test_fingerprint_survives_line_drift(self):
+        before = Finding("a", "a/r", ERROR, "src/repro/x.py:7", "m")
+        after = Finding("a", "a/r", ERROR, "src/repro/x.py:99", "m")
+        other = Finding("a", "a/r", ERROR, "src/repro/x.py:7", "different")
+        assert before.fingerprint() == after.fingerprint()
+        assert before.fingerprint() != other.fingerprint()
+
+    def test_load_baseline_validates_records(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps(
+            {"schema": BASELINE_SCHEMA, "suppressions": [{"rule": "x"}]}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_write_baseline_deduplicates(self, tmp_path):
+        report = CheckReport()
+        finding = Finding("a", "a/r", ERROR, "src/repro/x.py:7", "m")
+        report.extend("a", [finding, finding], 1)
+        path = tmp_path / "b.json"
+        assert write_baseline(path, report) == 1
+
+    def test_committed_baseline_is_valid_and_loadable(self):
+        committed = Path(__file__).resolve().parent.parent / ".check-baseline.json"
+        assert committed.is_file()
+        fingerprints = load_baseline(committed)
+        # The fixed tree needs no suppressions; the file exists so the
+        # workflow (and the default-pickup path) is exercised in CI.
+        assert fingerprints == set()
 
 
 class TestReport:

@@ -1,0 +1,239 @@
+"""Tests for the fork/pickle-safety lint (repro.check.concurrency)."""
+
+import textwrap
+
+from repro.check.concurrency import check_concurrency, scan_source
+
+
+def _scan(body: str):
+    return scan_source(textwrap.dedent(body))
+
+
+def _rules(findings):
+    return {f.rule for f in findings}
+
+
+class TestRepoIsClean:
+    def test_multiprocessing_surface_passes(self):
+        findings, examined = check_concurrency()
+        assert findings == []
+        assert examined == 3  # sim/parallel, obs/live, obs/runner
+
+
+class TestShippedCallables:
+    def test_lambda_in_submit(self):
+        findings = _scan("""
+            def run(pool, items):
+                return [pool.submit(lambda x: x + 1, item) for item in items]
+        """)
+        assert _rules(findings) == {"conc/lambda-to-worker"}
+
+    def test_nested_function_shipped(self):
+        findings = _scan("""
+            def run(pool, trace):
+                def work(chunk):
+                    return score(chunk, trace)
+                return pool.map(work, chunks(trace))
+        """)
+        assert _rules(findings) == {"conc/lambda-to-worker"}
+
+    def test_bound_method_shipped(self):
+        findings = _scan("""
+            class Runner:
+                def run(self, pool, items):
+                    return pool.map(self.score, items)
+        """)
+        assert _rules(findings) == {"conc/bound-method-to-worker"}
+
+    def test_process_target_lambda(self):
+        findings = _scan("""
+            def spawn(mp):
+                p = mp.Process(target=lambda: drain(), args=())
+                p.start()
+        """)
+        assert _rules(findings) == {"conc/lambda-to-worker"}
+
+    def test_module_level_function_is_fine(self):
+        findings = _scan("""
+            def work(chunk):
+                return len(chunk)
+
+            def run(pool, items):
+                return pool.map(work, items)
+        """)
+        assert findings == []
+
+
+class TestWorkerGlobalWrites:
+    def test_global_statement_write(self):
+        findings = _scan("""
+            _COUNT = 0
+
+            def work(chunk):
+                global _COUNT
+                _COUNT = _COUNT + 1
+                return chunk
+
+            def run(pool, items):
+                return pool.map(work, items)
+        """)
+        assert _rules(findings) == {"conc/global-write-in-worker"}
+
+    def test_subscript_write_to_module_dict(self):
+        findings = _scan("""
+            _MEMO = {}
+
+            def work(path):
+                _MEMO[path] = load(path)
+                return _MEMO[path]
+
+            def run(pool, paths):
+                return pool.map(work, paths)
+        """)
+        assert _rules(findings) == {"conc/global-write-in-worker"}
+
+    def test_transitive_callee_is_a_worker_too(self):
+        findings = _scan("""
+            _MEMO = {}
+
+            def helper(path):
+                _MEMO[path] = load(path)
+
+            def work(path):
+                helper(path)
+
+            def run(pool, paths):
+                return pool.map(work, paths)
+        """)
+        assert _rules(findings) == {"conc/global-write-in-worker"}
+
+    def test_mutator_method_on_module_list(self):
+        findings = _scan("""
+            _SEEN = []
+
+            def work(item):
+                _SEEN.append(item)
+
+            def run(pool, items):
+                return pool.map(work, items)
+        """)
+        assert _rules(findings) == {"conc/global-write-in-worker"}
+
+    def test_pragma_sanctions_per_process_memo(self):
+        findings = _scan("""
+            _MEMO = {}
+
+            def work(path):
+                _MEMO[path] = load(path)  # check: allow(conc/global-write-in-worker)
+                return _MEMO[path]
+
+            def run(pool, paths):
+                return pool.map(work, paths)
+        """)
+        assert findings == []
+
+    def test_local_writes_in_worker_are_fine(self):
+        findings = _scan("""
+            def work(items):
+                acc = {}
+                for item in items:
+                    acc[item] = item
+                return acc
+
+            def run(pool, chunks):
+                return pool.map(work, chunks)
+        """)
+        assert findings == []
+
+    def test_parent_side_writes_are_fine(self):
+        findings = _scan("""
+            _RESULTS = {}
+
+            def work(item):
+                return item * 2
+
+            def run(pool, items):
+                for item, value in zip(items, pool.map(work, items)):
+                    _RESULTS[item] = value
+        """)
+        assert findings == []
+
+
+class TestManagerGuard:
+    def test_unconditional_manager(self):
+        findings = _scan("""
+            import multiprocessing
+
+            def run():
+                manager = multiprocessing.Manager()
+                return manager.Queue()
+        """)
+        assert _rules(findings) == {"conc/unguarded-manager"}
+
+    def test_guarded_manager_is_fine(self):
+        findings = _scan("""
+            import multiprocessing
+
+            def run(observer):
+                if observer is not None:
+                    manager = multiprocessing.Manager()
+                    return manager.Queue()
+                return None
+        """)
+        assert findings == []
+
+    def test_unconditional_raw_queue(self):
+        findings = _scan("""
+            import multiprocessing
+
+            def run():
+                return multiprocessing.Queue()
+        """)
+        assert _rules(findings) == {"conc/unguarded-manager"}
+
+
+class TestHandlesAcrossFork:
+    def test_handle_shipped_as_argument(self):
+        findings = _scan("""
+            def work(stream):
+                return stream.read()
+
+            def run(pool, path):
+                stream = open(path, "rb")
+                return pool.submit(work, stream)
+        """)
+        assert "conc/handle-across-fork" in _rules(findings)
+
+    def test_handle_captured_by_shipped_closure(self):
+        findings = _scan("""
+            def run(pool, path):
+                stream = open(path, "rb")
+                def work():
+                    return stream.read()
+                return pool.submit(work)
+        """)
+        # The closure itself is unpicklable AND captures the handle.
+        assert _rules(findings) == {
+            "conc/lambda-to-worker", "conc/handle-across-fork",
+        }
+
+    def test_shipping_the_path_is_fine(self):
+        findings = _scan("""
+            def work(path):
+                with open(path, "rb") as stream:
+                    return stream.read()
+
+            def run(pool, path):
+                return pool.submit(work, path)
+        """)
+        assert findings == []
+
+
+class TestLocations:
+    def test_findings_carry_file_and_line(self):
+        findings = scan_source(
+            "def run(pool, xs):\n"
+            "    return pool.map(lambda x: x, xs)\n",
+            filename="module.py",
+        )
+        assert findings[0].location == "module.py:2"
