@@ -4,7 +4,7 @@ PYTHON ?= python
 
 WORKERS ?= 4
 
-.PHONY: install test check check-sarif lint bench bench-kernels bench-stream experiments sweep sweep-follow examples obs-demo clean
+.PHONY: install test check check-sarif lint bench bench-kernels bench-stream experiments sweep sweep-follow sweep-trace examples obs-demo clean
 
 install:
 	pip install -e .
@@ -68,6 +68,15 @@ sweep:
 sweep-follow:
 	PYTHONPATH=src $(PYTHON) -m repro.obs sweep gag-8 pag-8 gshare-8 \
 		--workers $(WORKERS) --follow --ledger results/ledger
+
+# Span-traced sweep: records a cross-process span tree (sweep -> cell
+# -> phase -> engine), validates it, and exports a Chrome trace-event
+# JSON loadable at https://ui.perfetto.dev (see docs/observability.md).
+sweep-trace:
+	PYTHONPATH=src $(PYTHON) -m repro.obs sweep gag-8 pag-8 gshare-8 \
+		--workers $(WORKERS) --spans results/sweep-spans.jsonl \
+		--trace-out results/sweep-trace.json --ledger results/ledger
+	PYTHONPATH=src $(PYTHON) -m repro.obs trace summary results/sweep-spans.jsonl
 
 examples:
 	@for script in examples/*.py; do \

@@ -354,6 +354,8 @@ def default_paths() -> List[Path]:
         package / "sim" / "parallel.py",
         package / "obs" / "live.py",
         package / "obs" / "runner.py",
+        package / "obs" / "spans.py",
+        package / "obs" / "resources.py",
     ]
 
 

@@ -56,6 +56,9 @@ AUDITED_MODULES: Tuple[str, ...] = (
     "repro.obs.ledger",
     "repro.obs.live",
     "repro.obs.log",
+    "repro.obs.spans",
+    "repro.obs.resources",
+    "repro.obs.prom",
     "repro.check.kernels",
     "repro.check.concurrency",
     "repro.check.resources",

@@ -22,6 +22,13 @@ The subsystem splits into four layers, each usable on its own:
   regression sentinel behind ``repro-obs history/compare/regress``.
 * :mod:`repro.obs.live` — per-worker sweep heartbeats, the
   :class:`SweepMonitor` aggregator and the ``--follow`` status line.
+* :mod:`repro.obs.spans` / :mod:`repro.obs.resources` — hierarchical
+  span tracing across worker processes (sweep → cell → phase → block)
+  with per-cell resource readings, exported as Perfetto-loadable
+  Chrome trace-event JSON (``repro-obs sweep --trace-out`` /
+  ``repro-obs trace``).
+* :mod:`repro.obs.prom` — the run ledger rendered as Prometheus text
+  exposition (``repro-obs metrics``).
 * :mod:`repro.obs.log` — run-id-scoped structured logging
   (off by default; ``repro.obs.log.configure`` enables it).
 
@@ -79,8 +86,11 @@ from .metrics import (
 )
 from .probes import Probe, ProbeSet
 from .profile import PhaseTimer, SpanStats, TimingPredictor, run_cprofile
+from .prom import render_metrics
 from .report import SCHEMA, RunReport, format_report
+from .resources import ResourceSample, read_resources
 from .runner import normalize_scheme, observe
+from .spans import Span, SpanCollector, SpanRecorder, recording, to_chrome_trace
 
 __all__ = [
     "DEFAULT_INTERVAL_INSTRUCTIONS",
@@ -97,10 +107,14 @@ __all__ = [
     "ProbeSet",
     "RegressionFinding",
     "RegressionReport",
+    "ResourceSample",
     "RunDelta",
     "RunLedger",
     "RunReport",
     "SCHEMA",
+    "Span",
+    "SpanCollector",
+    "SpanRecorder",
     "SpanStats",
     "StreakHistogramProbe",
     "SweepMonitor",
@@ -124,7 +138,11 @@ __all__ = [
     "log",
     "normalize_scheme",
     "observe",
+    "read_resources",
+    "recording",
     "regress",
+    "render_metrics",
     "run_cprofile",
+    "to_chrome_trace",
     "write_report",
 ]

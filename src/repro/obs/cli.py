@@ -8,6 +8,10 @@ Subcommands::
     repro-obs regress [--tolerance F] [--throughput-drop F] [--strict]
     repro-obs export-bench [--out BENCH_YYYYMMDD.json]
     repro-obs sweep gag-8 pag-8 gshare-8 --workers 4 --follow
+    repro-obs sweep gag-8 pag-8 --trace-out results/sweep-trace.json
+    repro-obs trace export results/sweep-spans.jsonl --out trace.json
+    repro-obs trace summary results/sweep-spans.jsonl
+    repro-obs metrics [--ledger DIR] [--out metrics.prom]
 
 The original flat form (``python -m repro.obs --scheme GAg --workload
 eqntott``) still works and means ``run`` — existing scripts and the
@@ -20,6 +24,12 @@ schema-stable :meth:`RunReport.to_dict` payload (``schema:
 ledger (:mod:`repro.obs.ledger`), where ``history`` / ``compare`` /
 ``regress`` audit it later. ``sweep --follow`` renders live per-worker
 heartbeats (:mod:`repro.obs.live`) as a single status line on stderr.
+
+``sweep --trace-out`` / ``--spans`` span-trace the whole sweep
+(:mod:`repro.obs.spans`) and write a Perfetto-loadable Chrome trace /
+a native spans JSONL; ``trace export`` / ``trace summary`` work with
+those span files after the fact, and ``metrics`` renders the ledger as
+Prometheus text exposition (:mod:`repro.obs.prom`).
 """
 
 from __future__ import annotations
@@ -41,7 +51,9 @@ from .runner import observe
 
 __all__ = ["add_sweep_arguments", "build_parser", "main", "run_sweep"]
 
-_SUBCOMMANDS = ("run", "history", "compare", "regress", "export-bench", "sweep")
+_SUBCOMMANDS = (
+    "run", "history", "compare", "regress", "export-bench", "sweep", "trace", "metrics"
+)
 
 _DEFAULT_LEDGER = Path("results") / "ledger"
 
@@ -219,6 +231,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 
 
+def _no_runs_recorded(ledger_dir: Path, fmt: str) -> int:
+    """The friendly empty/missing-ledger outcome for read-side commands.
+
+    An empty or never-created ledger is a normal state (a fresh clone,
+    a CI job before its first recorded run) — not an error: say so
+    plainly and exit 0 rather than tracebacking or failing the step.
+    """
+    if fmt == "json":
+        print(json.dumps([]))
+    else:
+        print(f"no runs recorded (ledger: {ledger_dir})")
+    return 0
+
+
 def _cmd_history(args: argparse.Namespace) -> int:
     from .ledger import RunLedger, format_history
 
@@ -226,6 +252,8 @@ def _cmd_history(args: argparse.Namespace) -> int:
     entries = ledger.history(
         scheme=args.scheme, workload=args.workload, kind=args.kind, limit=args.limit
     )
+    if not entries and not len(ledger):
+        return _no_runs_recorded(args.ledger, args.fmt)
     if args.fmt == "json":
         print(json.dumps([entry.to_dict() for entry in entries], indent=2))
     else:
@@ -237,6 +265,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from .ledger import RunLedger, compare_entries
 
     ledger = RunLedger(args.ledger)
+    if not len(ledger):
+        return _no_runs_recorded(args.ledger, args.fmt)
     try:
         entry_a = ledger.find(args.run_a)
         entry_b = ledger.find(args.run_b)
@@ -284,6 +314,75 @@ def _cmd_export_bench(args: argparse.Namespace) -> int:
             stamp = time.strftime("%Y%m%d", time.gmtime(newest))
         target = export_bench(ledger, Path(f"BENCH_{stamp}.json"), date_stamp=stamp)
     print(f"wrote {target}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# trace / metrics
+# ----------------------------------------------------------------------
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from .export import load_spans, write_chrome_trace
+    from .resources import counters_from_spans
+    from .spans import validate_span_tree
+
+    try:
+        spans = load_spans(args.spans)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"repro.obs: cannot read spans from {args.spans}: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_span_tree(spans)
+    for problem in problems:
+        print(f"repro.obs: span tree: {problem}", file=sys.stderr)
+    if problems and args.strict:
+        return 1
+    target = write_chrome_trace(
+        spans, args.out, counters=counters_from_spans(spans), label=args.label
+    )
+    print(f"wrote {target} ({len(spans)} spans; load at https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    from .export import load_spans
+    from .spans import span_totals, validate_span_tree
+
+    try:
+        spans = load_spans(args.spans)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"repro.obs: cannot read spans from {args.spans}: {exc}", file=sys.stderr)
+        return 2
+    if not spans:
+        print("no spans recorded")
+        return 0
+    problems = validate_span_tree(spans)
+    pids = sorted({span.pid for span in spans})
+    print(f"{len(spans)} spans across {len(pids)} process(es)")
+    totals = span_totals(spans)
+    width = max(len(name) for name in totals)
+    for name in sorted(totals, key=lambda n: -totals[n]["seconds"]):
+        bucket = totals[name]
+        print(f"  {name:{width}s}  {bucket['seconds']:10.4f}s  x{int(bucket['count'])}")
+    if problems:
+        for problem in problems:
+            print(f"span tree: {problem}", file=sys.stderr)
+        return 1
+    print("span tree: valid")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .ledger import RunLedger
+    from .prom import render_metrics
+
+    text = render_metrics(RunLedger(args.ledger), kind=args.kind)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -337,6 +436,16 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable the on-disk result cache (always recompute)",
     )
+    parser.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="span-trace the sweep and write a Perfetto-loadable Chrome "
+        "trace-event JSON file here (results are unaffected)",
+    )
+    parser.add_argument(
+        "--spans", type=Path, default=None,
+        help="span-trace the sweep and write the raw spans as JSONL here "
+        "(one span per line; see 'repro-obs trace')",
+    )
     _add_ledger_argument(parser, "record every cell in the persistent run ledger")
     _add_log_argument(parser)
 
@@ -389,6 +498,12 @@ def run_sweep(args: argparse.Namespace) -> int:
     )
     result_cache = None if args.no_cache else ResultCache(args.cache_dir)
 
+    tracer = None
+    if args.trace_out is not None or args.spans is not None:
+        from .spans import SpanCollector
+
+        tracer = SpanCollector()
+
     progress = tick = None
     printer: Optional[FollowPrinter] = None
     if args.follow:
@@ -414,6 +529,7 @@ def run_sweep(args: argparse.Namespace) -> int:
             progress=progress,
             tick=tick,
             backend=args.backend,
+            tracer=tracer,
         )
     except (KeyError, ValueError) as exc:
         if printer is not None:
@@ -427,11 +543,27 @@ def run_sweep(args: argparse.Namespace) -> int:
         print(line)
     if matrix.telemetry is not None:
         print(f"# {matrix.telemetry.summary_line()}", file=sys.stderr)
+    if tracer is not None:
+        from .export import write_chrome_trace, write_spans
+        from .resources import counters_from_spans
+
+        label = f"repro sweep: {' '.join(schemes)}"
+        if args.spans is not None:
+            target = write_spans(tracer.spans, args.spans)
+            print(f"# spans: {len(tracer)} -> {target}", file=sys.stderr)
+        if args.trace_out is not None:
+            target = write_chrome_trace(
+                tracer.spans,
+                args.trace_out,
+                counters=counters_from_spans(tracer.spans),
+                label=label,
+            )
+            print(f"# trace: {len(tracer)} spans -> {target}", file=sys.stderr)
     if args.ledger is not None:
         from .ledger import RunLedger, entries_from_matrix
 
         recorded = RunLedger(args.ledger).extend(
-            entries_from_matrix(matrix, context=context)
+            entries_from_matrix(matrix, context=context, spans=tracer)
         )
         print(f"# ledger: {len(recorded)} cells -> {args.ledger}", file=sys.stderr)
     return 0
@@ -524,6 +656,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_sweep_arguments(sweep)
     sweep.set_defaults(handler=run_sweep)
+
+    trace = subparsers.add_parser(
+        "trace", help="work with recorded span traces (see sweep --spans)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_export = trace_sub.add_parser(
+        "export", help="convert a spans JSONL file to a Perfetto-loadable trace"
+    )
+    trace_export.add_argument("spans", type=Path, help="spans JSONL file")
+    trace_export.add_argument(
+        "--out", type=Path, default=Path("trace.json"),
+        help="Chrome trace-event JSON output path (default: trace.json)",
+    )
+    trace_export.add_argument(
+        "--label", default="repro sweep", help="trace label shown in otherData"
+    )
+    trace_export.add_argument(
+        "--strict", action="store_true",
+        help="fail (exit 1) when the span tree has integrity problems",
+    )
+    trace_export.set_defaults(handler=_cmd_trace_export)
+
+    trace_summary = trace_sub.add_parser(
+        "summary", help="per-name span totals and tree integrity check"
+    )
+    trace_summary.add_argument("spans", type=Path, help="spans JSONL file")
+    trace_summary.set_defaults(handler=_cmd_trace_summary)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="render the run ledger as Prometheus text exposition"
+    )
+    _ledger_argument(metrics)
+    metrics.add_argument(
+        "--kind", choices=("obs", "matrix", "bench"), default=None,
+        help="restrict to one entry kind",
+    )
+    metrics.add_argument(
+        "--out", type=Path, default=None,
+        help="write the exposition to this file instead of stdout",
+    )
+    metrics.set_defaults(handler=_cmd_metrics)
 
     return parser
 

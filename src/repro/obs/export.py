@@ -21,24 +21,35 @@ can replay a run without re-simulating:
     branch events were emitted vs observed.
 
 :func:`write_report` writes a :class:`~repro.obs.report.RunReport` to
-disk in either rendered-text or JSON form.
+disk in either rendered-text or JSON form. :func:`write_spans` /
+:func:`load_spans` persist a span batch as JSONL (one span dict per
+line, exact round-trip), and :func:`write_chrome_trace` writes the
+Perfetto-loadable Chrome trace-event file for a span batch.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, Optional, TextIO, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, TextIO, Union
 
 from .probes import Probe
 from .report import RunReport, format_report
+from .spans import Span, to_chrome_trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..predictors.base import BranchPredictor
     from ..sim.results import SimulationResult
     from ..trace.events import Trace
 
-__all__ = ["EventTraceProbe", "write_report"]
+__all__ = [
+    "EventTraceProbe",
+    "load_spans",
+    "write_chrome_trace",
+    "write_report",
+    "write_spans",
+]
 
 
 class EventTraceProbe(Probe):
@@ -150,4 +161,54 @@ def write_report(
         target.write_text(format_report(report, top=top) + "\n", encoding="utf-8")
     else:
         raise ValueError(f"unknown report format: {fmt!r} (expected 'json' or 'text')")
+    return target
+
+
+def _write_atomic(target: Path, text: str) -> None:
+    """Write-then-rename so a crash never leaves a torn file behind."""
+    target.parent.mkdir(parents=True, exist_ok=True)
+    scratch = target.with_name(target.name + ".tmp")
+    scratch.write_text(text, encoding="utf-8")
+    os.replace(scratch, target)
+
+
+def write_spans(spans: Sequence[Span], path: Union[str, Path]) -> Path:
+    """Persist a span batch as JSONL — one span dict per line.
+
+    The on-disk form is :meth:`Span.to_dict` per line, so
+    :func:`load_spans` round-trips exactly and external tools (jq,
+    pandas) can consume it without the Chrome trace wrapper.
+    """
+    target = Path(path)
+    lines = [json.dumps(span.to_dict(), separators=(",", ":")) for span in spans]
+    _write_atomic(target, "\n".join(lines) + ("\n" if lines else ""))
+    return target
+
+
+def load_spans(path: Union[str, Path]) -> List[Span]:
+    """Load a :func:`write_spans` JSONL file back into spans."""
+    spans: List[Span] = []
+    with Path(path).open("r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def write_chrome_trace(
+    spans: Sequence[Span],
+    path: Union[str, Path],
+    counters: Sequence[Dict[str, Any]] = (),
+    label: str = "repro sweep",
+) -> Path:
+    """Write the Perfetto-loadable Chrome trace-event file for a batch.
+
+    A thin atomic-write wrapper around
+    :func:`repro.obs.spans.to_chrome_trace`; load the result at
+    https://ui.perfetto.dev or ``chrome://tracing``.
+    """
+    target = Path(path)
+    payload = to_chrome_trace(spans, counters=counters, label=label)
+    _write_atomic(target, json.dumps(payload, indent=1, sort_keys=False) + "\n")
     return target

@@ -14,9 +14,10 @@ an append-only JSONL store under ``results/ledger/``:
   ids are stable, reproducible and collision-evident;
 * the **regression sentinel** (:func:`regress`) walks every
   configuration's history and flags accuracy deltas beyond a tolerance
-  (errors — simulation is deterministic, *any* drift is a bug) and
-  throughput drops beyond a rolling baseline (warnings — wall clocks
-  are machine-dependent);
+  (errors — simulation is deterministic, *any* drift is a bug),
+  throughput drops beyond a rolling baseline, and per-phase time
+  blow-ups beyond a rolling per-phase baseline (both warnings — wall
+  clocks are machine-dependent);
 * :func:`compare_entries` diffs any two recorded runs;
   :func:`export_bench` renders the benchmark trajectory as a
   ``BENCH_<YYYYMMDD>.json`` snapshot.
@@ -447,14 +448,24 @@ def entry_from_report(
 
 
 def entries_from_matrix(
-    matrix: ResultMatrix, context: Optional[Any] = None
+    matrix: ResultMatrix, context: Optional[Any] = None, spans: Optional[Any] = None
 ) -> List[LedgerEntry]:
     """One ``"matrix"`` entry per evaluated (scheme, benchmark) cell.
 
     Wall time and phase breakdowns come from the matrix's attached
     :class:`~repro.sim.results.RunTelemetry` when present; cells served
     from the result cache record their lookup cost, not a simulation.
+    When the sweep was traced, pass the collected spans (a
+    :class:`repro.obs.spans.SpanCollector` or a span sequence) to embed
+    each cell's span summary as ``extra["spans"]``; cells with a peak
+    worker RSS reading record it as ``extra["rss_peak_bytes"]``.
     """
+    cell_summaries: Dict[Tuple[str, str], Any] = {}
+    if spans is not None:
+        from .spans import cell_span_summaries
+
+        span_list = getattr(spans, "spans", spans)
+        cell_summaries = cell_span_summaries(span_list)
     telemetry: Optional[RunTelemetry] = matrix.telemetry
     cell_info: Dict[Tuple[str, str], Any] = {}
     if telemetry is not None:
@@ -475,8 +486,13 @@ def entries_from_matrix(
                 extra["source"] = cell.source
                 if getattr(cell, "backend", ""):
                     extra["backend"] = cell.backend
+                if getattr(cell, "rss_peak", 0):
+                    extra["rss_peak_bytes"] = cell.rss_peak
             if telemetry is not None:
                 extra["workers"] = telemetry.n_workers
+            summary = cell_summaries.get((scheme, benchmark))
+            if summary is not None:
+                extra["spans"] = summary
             entries.append(
                 LedgerEntry(
                     kind="matrix",
@@ -617,7 +633,7 @@ class RegressionFinding:
     """One flagged configuration."""
 
     severity: str  # "error" | "warning"
-    rule: str  # "accuracy-drift" | "throughput-drop"
+    rule: str  # "accuracy-drift" | "throughput-drop" | "phase-drift"
     config_hash: str
     scheme: str
     workload: str
@@ -680,7 +696,7 @@ class RegressionReport:
             f"{self.skipped_configs} without a baseline"
         ]
         if not self.findings:
-            lines.append("clean: no accuracy drift, no throughput drops")
+            lines.append("clean: no accuracy drift, no throughput or phase drops")
         for finding in self.findings:
             lines.append(
                 f"{finding.severity.upper():7s} {finding.rule:16s} "
@@ -696,11 +712,18 @@ def _validate_fraction(name: str, value: float, upper: float) -> None:
         raise ValueError(f"{name} must be in [0, {upper}), got {value!r}")
 
 
+#: Phases shorter than this (seconds, rolling baseline) are exempt from
+#: the phase-drift rule: sub-10ms phases are dominated by scheduler and
+#: allocator noise, and flagging them would make the sentinel cry wolf.
+_PHASE_DRIFT_FLOOR_S = 0.01
+
+
 def regress(
     ledger: RunLedger,
     tolerance: float = 0.0,
     throughput_drop: float = 0.5,
     window: int = 5,
+    phase_drift: float = 1.0,
 ) -> RegressionReport:
     """Run the regression sentinel over every configuration's history.
 
@@ -714,16 +737,24 @@ def regress(
             (median branches/sec of up to ``window`` prior runs) at
             which the latest run's throughput is flagged as a warning.
         window: rolling-baseline width in runs.
+        phase_drift: fraction above the rolling per-phase baseline
+            (median seconds of that phase over up to ``window`` prior
+            runs) at which a phase's time is flagged as a warning — the
+            default ``1.0`` flags a phase that doubled. Phases whose
+            baseline is under 10 ms are skipped (timing noise), as is
+            the whole rule when ``phase_drift`` is 0.
 
     Edge cases by design: an empty ledger or a configuration with a
     single run produce no findings (nothing to compare — counted in
     ``skipped_configs``); runs without branch counts (bench entries)
     skip the accuracy rule; runs without throughput skip the
-    throughput rule. ``tolerance`` / ``throughput_drop`` must be
-    finite — NaN would silently disable every comparison.
+    throughput rule; runs without phase breakdowns skip the phase
+    rule. ``tolerance`` / ``throughput_drop`` / ``phase_drift`` must
+    be finite — NaN would silently disable every comparison.
     """
     _validate_fraction("tolerance", tolerance, 1.0)
     _validate_fraction("throughput_drop", throughput_drop, 1.0)
+    _validate_fraction("phase_drift", phase_drift, math.inf)
     if window < 1:
         raise ValueError(f"window must be >= 1, got {window}")
 
@@ -781,6 +812,38 @@ def regress(
                         ),
                     )
                 )
+
+        if phase_drift > 0 and latest.phases:
+            prior_runs = runs[-(window + 1) : -1]
+            for phase in sorted(latest.phases):
+                latest_s = latest.phases[phase]
+                prior = [
+                    run.phases[phase]
+                    for run in prior_runs
+                    if phase in run.phases and run.phases[phase] > 0
+                ]
+                if not prior:
+                    continue
+                baseline = median(prior)
+                if baseline < _PHASE_DRIFT_FLOOR_S:
+                    continue
+                if latest_s > (1.0 + phase_drift) * baseline:
+                    report.findings.append(
+                        RegressionFinding(
+                            severity="warning",
+                            rule="phase-drift",
+                            config_hash=config_hash,
+                            scheme=latest.scheme,
+                            workload=latest.workload,
+                            latest_run=latest.run_id,
+                            baseline_run=runs[-2].run_id,
+                            message=(
+                                f"phase '{phase}' took {latest_s:.3f}s, "
+                                f"{latest_s / baseline:.1f}x the rolling baseline of "
+                                f"{baseline:.3f}s (median of {len(prior)} prior runs)"
+                            ),
+                        )
+                    )
     return report
 
 

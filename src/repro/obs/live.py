@@ -55,6 +55,8 @@ class Heartbeat:
         benchmark: the cell's benchmark name.
         branches: conditional branches simulated (``done`` only).
         wall: seconds the cell took (``done`` / ``cached``).
+        rss_bytes: the worker's peak RSS as of this pulse (``done``
+            only; 0 when the producer could not read it).
     """
 
     worker: int
@@ -63,6 +65,7 @@ class Heartbeat:
     benchmark: str
     branches: int = 0
     wall: float = 0.0
+    rss_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in HEARTBEAT_KINDS:
@@ -82,6 +85,7 @@ class Heartbeat:
             "benchmark": self.benchmark,
             "branches": self.branches,
             "wall": self.wall,
+            "rss_bytes": self.rss_bytes,
         }
 
 
@@ -127,6 +131,7 @@ class SweepStatus:
     branches_per_sec: float
     eta_seconds: Optional[float]
     cached: int = 0
+    peak_rss_bytes: int = 0
 
     @property
     def finished(self) -> bool:
@@ -146,6 +151,7 @@ class SweepStatus:
             "branches_per_sec": self.branches_per_sec,
             "eta_seconds": self.eta_seconds,
             "cached": self.cached,
+            "peak_rss_bytes": self.peak_rss_bytes,
         }
 
 
@@ -182,6 +188,7 @@ class SweepMonitor:
         self._done = 0
         self._cached = 0
         self._branches = 0
+        self._peak_rss = 0
         self._workers: Dict[int, WorkerState] = {}
         self._history: List[Heartbeat] = []
 
@@ -204,6 +211,7 @@ class SweepMonitor:
             state.busy_seconds += beat.wall
             self._done += 1
             self._branches += beat.branches
+            self._peak_rss = max(self._peak_rss, beat.rss_bytes)
         elif beat.kind == "cached":
             # Parent-side event: the cell never reached a worker.
             state.current = None
@@ -254,6 +262,7 @@ class SweepMonitor:
             branches_per_sec=rate,
             eta_seconds=eta,
             cached=self._cached,
+            peak_rss_bytes=self._peak_rss,
         )
 
 
@@ -290,6 +299,8 @@ def format_status(status: SweepStatus, width: int = 20) -> str:
     ]
     if status.cached:
         parts.insert(1, f"{status.cached} cached")
+    if status.peak_rss_bytes:
+        parts.append(f"rss {status.peak_rss_bytes // (1024 * 1024)} MiB")
     if status.stale:
         stale_ids = ",".join(str(worker) for worker in status.stale)
         parts.append(f"STALE workers: {stale_ids}")

@@ -1,0 +1,188 @@
+"""Prometheus text exposition of sweep / ledger metrics.
+
+The ledger (:mod:`repro.obs.ledger`) already holds everything a metrics
+scrape needs — accuracy, throughput, wall time, phase breakdowns, span
+summaries, peak worker RSS — as append-only history. This module
+renders the *latest state* of that history in the Prometheus text
+exposition format (version 0.0.4: ``# HELP`` / ``# TYPE`` headers, one
+``name{labels} value`` sample per line), so ``repro-obs metrics`` can
+feed a node-exporter-style textfile collector or be scraped directly
+from CI artifacts. No client library involved — the format is a
+documented plain-text protocol and the repo takes no new dependencies.
+
+Rendering rules:
+
+* one sample per *configuration* (config hash), taken from the latest
+  entry of its history — gauges describe current state, while
+  ``repro_runs_total`` counts the whole history per configuration;
+* deterministic output: metric families in a fixed order, samples
+  sorted by label values, floats via ``repr`` (shortest round-trip
+  form) — two renders of one ledger are byte-identical, so the output
+  diffs cleanly in CI artifacts;
+* label values escaped per the spec (backslash, double-quote, newline).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .ledger import LedgerEntry, RunLedger
+
+__all__ = [
+    "format_sample",
+    "render_metrics",
+]
+
+#: (metric name, HELP text, TYPE) in render order.
+_FAMILIES: Tuple[Tuple[str, str, str], ...] = (
+    ("repro_runs_total",
+     "Recorded runs in the ledger for this configuration.", "counter"),
+    ("repro_run_accuracy_ratio",
+     "Prediction accuracy of the latest run (correct / conditional).", "gauge"),
+    ("repro_run_branches_per_second",
+     "Simulate-phase throughput of the latest run.", "gauge"),
+    ("repro_run_wall_seconds",
+     "Wall-clock seconds of the latest run.", "gauge"),
+    ("repro_run_phase_seconds",
+     "Per-phase wall-clock seconds of the latest run.", "gauge"),
+    ("repro_run_peak_rss_bytes",
+     "Peak worker resident set size during the latest run.", "gauge"),
+    ("repro_run_span_seconds",
+     "Total traced span seconds by span name in the latest run.", "gauge"),
+    ("repro_run_span_count",
+     "Traced span count by span name in the latest run.", "gauge"),
+)
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: Union[int, float]) -> str:
+    """Render a sample value (ints bare, floats shortest-round-trip)."""
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def format_sample(
+    name: str, labels: Mapping[str, str], value: Union[int, float]
+) -> str:
+    """One exposition line: ``name{k="v",...} value``.
+
+    Labels render sorted by key; an empty label set renders without
+    braces, as the spec prefers.
+    """
+    if labels:
+        body = ",".join(
+            f'{key}="{_escape_label_value(str(labels[key]))}"'
+            for key in sorted(labels)
+        )
+        return f"{name}{{{body}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def _base_labels(entry: LedgerEntry) -> Dict[str, str]:
+    labels = {
+        "kind": entry.kind,
+        "scheme": entry.scheme,
+        "workload": entry.workload,
+    }
+    if entry.dataset:
+        labels["dataset"] = entry.dataset
+    return labels
+
+
+def _collect(
+    entries: Sequence[LedgerEntry],
+) -> Dict[str, List[Tuple[Dict[str, str], Union[int, float]]]]:
+    """Samples per family from per-configuration latest entries."""
+    histories: Dict[str, List[LedgerEntry]] = {}
+    for entry in entries:
+        histories.setdefault(entry.config_hash, []).append(entry)
+    samples: Dict[str, List[Tuple[Dict[str, str], Union[int, float]]]] = {
+        name: [] for name, _, _ in _FAMILIES
+    }
+    for config_hash in sorted(histories):
+        history = sorted(histories[config_hash], key=lambda e: e.seq)
+        latest = history[-1]
+        labels = _base_labels(latest)
+        samples["repro_runs_total"].append((labels, len(history)))
+        accuracy = latest.accuracy
+        if accuracy is not None:
+            samples["repro_run_accuracy_ratio"].append((labels, accuracy))
+        if latest.branches_per_sec > 0:
+            samples["repro_run_branches_per_second"].append(
+                (labels, latest.branches_per_sec)
+            )
+        if latest.wall_time > 0:
+            samples["repro_run_wall_seconds"].append((labels, latest.wall_time))
+        for phase in sorted(latest.phases):
+            samples["repro_run_phase_seconds"].append(
+                ({**labels, "phase": phase}, latest.phases[phase])
+            )
+        rss = latest.extra.get("rss_peak_bytes")
+        if isinstance(rss, (int, float)) and not isinstance(rss, bool) and rss > 0:
+            samples["repro_run_peak_rss_bytes"].append((labels, int(rss)))
+        spans = latest.extra.get("spans")
+        if isinstance(spans, Mapping):
+            by_name = spans.get("by_name", {})
+            if isinstance(by_name, Mapping):
+                for span_name in sorted(by_name):
+                    bucket = by_name[span_name]
+                    if not isinstance(bucket, Mapping):
+                        continue
+                    span_labels = {**labels, "span": str(span_name)}
+                    seconds = bucket.get("seconds")
+                    if isinstance(seconds, (int, float)):
+                        samples["repro_run_span_seconds"].append(
+                            (span_labels, float(seconds))
+                        )
+                    count = bucket.get("count")
+                    if isinstance(count, (int, float)):
+                        samples["repro_run_span_count"].append(
+                            (span_labels, int(count))
+                        )
+    return samples
+
+
+def render_metrics(
+    source: Union[RunLedger, Sequence[LedgerEntry]],
+    kind: Optional[str] = None,
+) -> str:
+    """Render ledger state as a Prometheus text exposition.
+
+    Args:
+        source: a :class:`~repro.obs.ledger.RunLedger` (read in full)
+            or a pre-filtered entry sequence.
+        kind: optional entry-kind filter (``"obs"`` / ``"matrix"`` /
+            ``"bench"``).
+
+    Returns:
+        The exposition text, newline-terminated; families with no
+        samples are omitted entirely (HELP/TYPE included), and an
+        empty ledger renders to a single comment line so the output is
+        still a valid (empty) exposition.
+    """
+    entries: Sequence[LedgerEntry]
+    entries = source.entries() if isinstance(source, RunLedger) else list(source)
+    if kind is not None:
+        entries = [entry for entry in entries if entry.kind == kind]
+    samples = _collect(entries)
+    lines: List[str] = []
+    for name, help_text, family_type in _FAMILIES:
+        family_samples = samples[name]
+        if not family_samples:
+            continue
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {family_type}")
+        rendered = sorted(
+            format_sample(name, labels, value) for labels, value in family_samples
+        )
+        lines.extend(rendered)
+    if not lines:
+        return "# (no runs recorded)\n"
+    return "\n".join(lines) + "\n"

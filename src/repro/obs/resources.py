@@ -1,0 +1,222 @@
+"""Per-process resource telemetry (RSS / CPU) for workers and sweeps.
+
+The parallel runner can tell us *when* a cell ran (spans,
+:mod:`repro.obs.spans`) — this module adds *what it cost the machine*:
+resident set size and accumulated CPU time of the process doing the
+work. Readings ride along on spans (``args``) and heartbeat messages,
+and export to Perfetto as counter tracks so memory growth lines up
+visually with the phase that caused it.
+
+Two acquisition paths, picked once per process:
+
+* **/proc** (Linux): ``/proc/self/status`` for ``VmRSS`` (current
+  resident set) and ``VmHWM`` (the high-water mark — the kernel tracks
+  the peak for us, so "peak worker RSS" needs no polling thread), and
+  ``/proc/self/stat`` for ``utime``/``stime`` ticks.
+* **``resource.getrusage``** (portable fallback): ``ru_maxrss`` (peak
+  only — current RSS is reported as the peak, the best the API offers)
+  plus ``ru_utime``/``ru_stime``. ``ru_maxrss`` is kilobytes on Linux
+  and **bytes** on macOS; normalisation is handled here so callers only
+  ever see bytes.
+
+Everything here is telemetry, never an input to simulation results —
+the same standing rule as the probe and span clocks.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import sys
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "ResourceSample",
+    "ResourceSampler",
+    "counters_from_spans",
+    "read_resources",
+]
+
+_PROC_STATUS = "/proc/self/status"
+_PROC_STAT = "/proc/self/stat"
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One point-in-time resource reading for the calling process.
+
+    Attributes:
+        rss_bytes: current resident set size (bytes; on the rusage
+            fallback path this is the peak, the best that API offers).
+        peak_rss_bytes: high-water-mark resident set size (bytes).
+        cpu_user_s: accumulated user-mode CPU seconds.
+        cpu_system_s: accumulated kernel-mode CPU seconds.
+        source: ``"proc"`` or ``"rusage"`` — which path produced it.
+    """
+
+    rss_bytes: int
+    peak_rss_bytes: int
+    cpu_user_s: float
+    cpu_system_s: float
+    source: str
+
+    @property
+    def cpu_total_s(self) -> float:
+        """User + system CPU seconds."""
+        return self.cpu_user_s + self.cpu_system_s
+
+    def as_args(self) -> Dict[str, Any]:
+        """Span-args payload (flat, JSON-compatible, stable keys)."""
+        return {
+            "rss_bytes": self.rss_bytes,
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "cpu_user_s": self.cpu_user_s,
+            "cpu_system_s": self.cpu_system_s,
+            "resource_source": self.source,
+        }
+
+
+def _read_proc_status() -> Tuple[int, int]:
+    """(VmRSS, VmHWM) in bytes from /proc/self/status."""
+    rss = peak = 0
+    with open(_PROC_STATUS, "r", encoding="ascii", errors="replace") as handle:
+        for line in handle:
+            if line.startswith("VmRSS:"):
+                rss = int(line.split()[1]) * 1024
+            elif line.startswith("VmHWM:"):
+                peak = int(line.split()[1]) * 1024
+    return rss, peak
+
+
+def _read_proc_stat() -> Tuple[float, float]:
+    """(utime, stime) in seconds from /proc/self/stat.
+
+    The comm field (2nd) may contain spaces and parentheses, so fields
+    are counted from *after* the last ``)``: utime and stime are then
+    the 12th and 13th space-separated fields (fields 14/15 of the full
+    1-based stat line, per proc(5)).
+    """
+    with open(_PROC_STAT, "r", encoding="ascii", errors="replace") as handle:
+        raw = handle.read()
+    after_comm = raw.rsplit(")", 1)[1].split()
+    ticks = float(os.sysconf("SC_CLK_TCK"))
+    return float(after_comm[11]) / ticks, float(after_comm[12]) / ticks
+
+
+def _read_rusage() -> ResourceSample:
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    # ru_maxrss: kilobytes on Linux/most Unixes, bytes on macOS.
+    scale = 1 if sys.platform == "darwin" else 1024
+    peak = int(usage.ru_maxrss) * scale
+    return ResourceSample(
+        rss_bytes=peak,
+        peak_rss_bytes=peak,
+        cpu_user_s=float(usage.ru_utime),
+        cpu_system_s=float(usage.ru_stime),
+        source="rusage",
+    )
+
+
+def read_resources() -> ResourceSample:
+    """Read the calling process's current resource usage.
+
+    Tries the /proc files first (rich: distinct current and peak RSS),
+    falling back to ``resource.getrusage`` wherever /proc is absent or
+    unreadable. Never raises: resource telemetry must not be able to
+    fail a simulation run.
+    """
+    try:
+        rss, peak = _read_proc_status()
+        user, system = _read_proc_stat()
+        if rss or peak:
+            return ResourceSample(
+                rss_bytes=rss,
+                peak_rss_bytes=max(peak, rss),
+                cpu_user_s=user,
+                cpu_system_s=system,
+                source="proc",
+            )
+    except OSError:
+        pass
+    except (ValueError, IndexError):
+        pass
+    return _read_rusage()
+
+
+class ResourceSampler:
+    """Collects labelled resource readings over the life of a process.
+
+    The parallel runner holds one per worker and samples at cell
+    boundaries (cells run seconds, so boundary sampling bounds overhead
+    at a handful of /proc reads per cell — no polling thread needed,
+    because the kernel's VmHWM already tracks the intra-cell peak).
+    Samples carry a ``ts`` on the caller's span timeline so they can be
+    rendered as Perfetto counter events aligned with the spans.
+    """
+
+    def __init__(self, pid: Optional[int] = None) -> None:
+        self.pid = os.getpid() if pid is None else pid
+        self._samples: List[Tuple[float, ResourceSample]] = []
+
+    def sample(self, ts_us: float) -> ResourceSample:
+        """Take a reading stamped at ``ts_us`` (µs, span timeline)."""
+        reading = read_resources()
+        self._samples.append((ts_us, reading))
+        return reading
+
+    @property
+    def samples(self) -> List[Tuple[float, ResourceSample]]:
+        """All (ts_us, sample) pairs, acquisition order."""
+        return list(self._samples)
+
+    @property
+    def peak_rss_bytes(self) -> int:
+        """Largest peak observed across all samples (0 when unsampled)."""
+        return max((s.peak_rss_bytes for _, s in self._samples), default=0)
+
+    def counter_events(self) -> List[Dict[str, Any]]:
+        """Chrome ``"ph": "C"`` counter events for the RSS track."""
+        return [
+            {
+                "ph": "C",
+                "name": "rss",
+                "ts": ts,
+                "pid": self.pid,
+                "args": {"rss_mb": round(s.rss_bytes / (1024 * 1024), 3)},
+            }
+            for ts, s in self._samples
+        ]
+
+
+def counters_from_spans(spans: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """Derive RSS counter events from spans carrying resource args.
+
+    The sweep path attaches a :meth:`ResourceSample.as_args` payload to
+    each cell span; this turns those embedded readings back into
+    Perfetto counter events (one per cell end, stamped at the span's
+    end) so traces exported *from collected spans alone* still get a
+    memory track, without shipping a separate sample stream through the
+    queue. Accepts :class:`repro.obs.spans.Span` objects or their dict
+    form — anything with ``args``/``pid``/``ts``/``dur`` access.
+    """
+    events: List[Dict[str, Any]] = []
+    for span in spans:
+        args = span.args if hasattr(span, "args") else span.get("args", {})
+        rss = args.get("rss_bytes")
+        if rss is None:
+            continue
+        pid = span.pid if hasattr(span, "pid") else span["pid"]
+        ts = span.ts if hasattr(span, "ts") else span["ts"]
+        dur = span.dur if hasattr(span, "dur") else span["dur"]
+        events.append(
+            {
+                "ph": "C",
+                "name": "rss",
+                "ts": ts + dur,
+                "pid": int(pid),
+                "args": {"rss_mb": round(float(rss) / (1024 * 1024), 3)},
+            }
+        )
+    events.sort(key=lambda e: (e["pid"], e["ts"]))
+    return events

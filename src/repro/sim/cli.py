@@ -63,7 +63,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         block_size=args.block_size,
     )
     wall = time.perf_counter() - started
+    from ..obs.resources import read_resources
+
+    sample = read_resources()
     print(result)
+    print(
+        f"# backend: {backend} | peak rss {sample.peak_rss_bytes // (1024 * 1024)} MiB",
+        file=sys.stderr,
+    )
     if args.ledger is not None:
         from ..obs.ledger import LedgerEntry, RunLedger
 
@@ -82,7 +89,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     result.conditional_branches / wall if wall > 0 else 0.0
                 ),
                 phases={"simulate": wall},
-                extra={"backend": backend},
+                extra={"backend": backend, "rss_peak_bytes": sample.peak_rss_bytes},
             )
         )
         print(f"# ledger: run {entry.run_id} -> {args.ledger}", file=sys.stderr)

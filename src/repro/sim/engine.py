@@ -185,10 +185,14 @@ def simulate_with_backend(
     # Structured-log telemetry (a no-op unless repro.obs.log was
     # enabled; the deferred import keeps package init acyclic). Both
     # events fire outside the record loop, so the probe-off fast path
-    # is untouched.
+    # is untouched. The span recorder follows the same discipline:
+    # fetched once per run, consulted only at backend/phase boundaries,
+    # and None (no span work at all) unless tracing was enabled.
     from ..obs.log import get_logger
+    from ..obs.spans import get_recorder as _get_span_recorder
 
     logger = get_logger("sim.engine")
+    recorder = _get_span_recorder()
     logger.event(
         "run_start",
         scheme=getattr(predictor, "name", type(predictor).__name__),
@@ -198,15 +202,24 @@ def simulate_with_backend(
         backend=backend,
     )
     if probe is not None:
-        result = _simulate_probed(
-            predictor,
-            trace,
-            probe,
-            context_switches=context_switches,
-            track_per_site=track_per_site,
-            warmup_branches=warmup_branches,
-            block_size=block_size,
+        span_id = (
+            recorder.push("interpret", cat="engine", probed=True)
+            if recorder is not None
+            else 0
         )
+        try:
+            result = _simulate_probed(
+                predictor,
+                trace,
+                probe,
+                context_switches=context_switches,
+                track_per_site=track_per_site,
+                warmup_branches=warmup_branches,
+                block_size=block_size,
+            )
+        finally:
+            if recorder is not None:
+                recorder.pop_through(span_id)
         _log_run_end(logger, result)
         return result, "python"
     if backend != "python":
@@ -222,6 +235,11 @@ def simulate_with_backend(
             if backend == "vectorized":
                 raise
         else:
+            span_id = (
+                recorder.push("kernel", cat="engine", streaming=streaming)
+                if recorder is not None
+                else 0
+            )
             try:
                 if streaming:
                     result = simulate_vectorized_stream(
@@ -241,9 +259,17 @@ def simulate_with_backend(
                         warmup_branches=warmup_branches,
                     )
             except KernelUnavailable:
+                if recorder is not None:
+                    recorder.pop_through(span_id, fallback=True)
                 if backend == "vectorized":
                     raise
+            except BaseException:
+                if recorder is not None:
+                    recorder.pop_through(span_id)
+                raise
             else:
+                if recorder is not None:
+                    recorder.pop_through(span_id, branches=result.conditional_branches)
                 _log_run_end(logger, result)
                 return result, "vectorized"
     conditional = 0
@@ -261,29 +287,36 @@ def simulate_with_backend(
     update = predictor.update
     cond_class = int(BranchClass.CONDITIONAL)
 
-    for pc, taken, cls, target, instret, trap in _record_tuples(trace, block_size):
-        if cs_enabled and ((trap and switch_on_traps) or instret >= next_switch):
-            predictor.on_context_switch()
-            switches += 1
-            if instret >= next_switch:
-                # Periodic switches stay on absolute multiples of the
-                # interval (the paper's fixed every-500k cadence); a
-                # trap never reschedules them, and a trap coinciding
-                # with a boundary counts as a single switch.
-                next_switch += interval * ((instret - next_switch) // interval + 1)
-        if cls != cond_class:
-            continue
-        prediction = predict(pc, target)
-        update(pc, taken, target)
-        conditional += 1
-        if conditional <= warmup_branches:
-            continue
-        if prediction == taken:
-            correct += 1
-        elif track_per_site:
-            per_site_wrong[pc] = per_site_wrong.get(pc, 0) + 1
-        if track_per_site:
-            per_site_seen[pc] = per_site_seen.get(pc, 0) + 1
+    span_id = recorder.push("interpret", cat="engine") if recorder is not None else 0
+    try:
+        for pc, taken, cls, target, instret, trap in _record_tuples(
+            trace, block_size, recorder
+        ):
+            if cs_enabled and ((trap and switch_on_traps) or instret >= next_switch):
+                predictor.on_context_switch()
+                switches += 1
+                if instret >= next_switch:
+                    # Periodic switches stay on absolute multiples of the
+                    # interval (the paper's fixed every-500k cadence); a
+                    # trap never reschedules them, and a trap coinciding
+                    # with a boundary counts as a single switch.
+                    next_switch += interval * ((instret - next_switch) // interval + 1)
+            if cls != cond_class:
+                continue
+            prediction = predict(pc, target)
+            update(pc, taken, target)
+            conditional += 1
+            if conditional <= warmup_branches:
+                continue
+            if prediction == taken:
+                correct += 1
+            elif track_per_site:
+                per_site_wrong[pc] = per_site_wrong.get(pc, 0) + 1
+            if track_per_site:
+                per_site_seen[pc] = per_site_seen.get(pc, 0) + 1
+    finally:
+        if recorder is not None:
+            recorder.pop_through(span_id, branches=conditional)
 
     scored = max(conditional - warmup_branches, 0)
     result = SimulationResult(
@@ -301,14 +334,38 @@ def simulate_with_backend(
     return result, "python"
 
 
-def _record_tuples(trace: "TraceSource", block_size: Optional[int]):
+def _record_tuples(trace: "TraceSource", block_size: Optional[int], recorder=None):
     """The interpreted loops' record iterator: plain tuples, optionally
-    consumed block-wise so a streamed source never materializes."""
+    consumed block-wise so a streamed source never materializes.
+
+    With an active span recorder and a block size, each block's
+    consumption is wrapped in a ``"block"`` span (the per-block level of
+    the sweep → cell → phase → block hierarchy); with no recorder the
+    iterator is exactly the pre-tracing chain — zero added work.
+    """
     if block_size is None:
         return trace.iter_tuples()
-    return chain.from_iterable(
-        block.iter_tuples() for block in trace.iter_blocks(block_size)
-    )
+    if recorder is None:
+        return chain.from_iterable(
+            block.iter_tuples() for block in trace.iter_blocks(block_size)
+        )
+    return _traced_block_tuples(trace, block_size, recorder)
+
+
+def _traced_block_tuples(trace: "TraceSource", block_size: int, recorder):
+    """Block-wise record iterator emitting one span per consumed block.
+
+    The lenient ``pop_if_open`` matters: on an exception in the
+    consuming loop this generator is finalized *after* the caller has
+    already closed its own enclosing span, and a blind pop would then
+    close somebody else's.
+    """
+    for index, block in enumerate(trace.iter_blocks(block_size)):
+        span_id = recorder.push("block", cat="engine", index=index, records=len(block))
+        try:
+            yield from block.iter_tuples()
+        finally:
+            recorder.pop_if_open(span_id)
 
 
 def _log_run_end(logger, result: SimulationResult) -> None:

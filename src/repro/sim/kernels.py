@@ -1343,6 +1343,23 @@ def stream_kernel_supports(predictor) -> bool:
     return _stream_kernel_for(predictor) is not None
 
 
+def _traced_blocks(blocks, recorder):
+    """Wrap a block iterator so each block's kernel pass is a span.
+
+    The span opens when the block is handed to the consumer and closes
+    when the consumer asks for the next one, so it covers the batch
+    kernel work for that block — the per-block level of the sweep →
+    cell → phase → block hierarchy. The lenient ``pop_if_open`` keeps
+    exception-path generator finalization from closing another span.
+    """
+    for index, block in enumerate(blocks):
+        span_id = recorder.push("block", cat="engine", index=index, records=len(block))
+        try:
+            yield block
+        finally:
+            recorder.pop_if_open(span_id)
+
+
 def simulate_vectorized_stream(
     predictor,
     source,
@@ -1391,7 +1408,16 @@ def simulate_vectorized_stream(
     last_instret: Optional[int] = None
     per_seen: Optional[Dict[int, int]] = {} if track else None
     per_wrong: Optional[Dict[int, int]] = {} if track else None
-    for block in source.iter_blocks(block_size):
+    # Span tracing of the streamed block loop: deferred import, None
+    # unless tracing is on — the traced iterator wrapper only exists on
+    # the traced path, so the default loop is byte-for-byte unchanged.
+    from ..obs.spans import get_recorder as _get_span_recorder
+
+    recorder = _get_span_recorder()
+    blocks = source.iter_blocks(block_size)
+    if recorder is not None:
+        blocks = _traced_blocks(blocks, recorder)
+    for block in blocks:
         if len(block) == 0:
             continue
         w_local = max(warmup - cond_seen, 0)

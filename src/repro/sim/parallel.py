@@ -166,6 +166,11 @@ def result_cache_key(
 #: each benchmark trace once no matter how many of its cells it draws.
 _TRACE_MEMO: Dict[str, Trace] = {}
 
+#: Per-worker-process span recorder (traced sweeps only). One recorder
+#: per process — not per cell — so span ids stay unique within the
+#: worker's pid across every cell it draws; never read by the parent.
+_SPAN_STATE: Dict[str, Any] = {}
+
 
 def _load_spooled(path: str) -> Trace:
     trace = _TRACE_MEMO.get(path)
@@ -176,21 +181,87 @@ def _load_spooled(path: str) -> Trace:
     return trace
 
 
+def _worker_recorder():
+    """The worker's persistent span recorder (created and enabled once).
+
+    Enabling it process-wide is what lets the engine's backend/block
+    spans nest under the cell's ``simulate`` phase span.
+    """
+    recorder = _SPAN_STATE.get("recorder")
+    if recorder is None or recorder.pid != os.getpid():
+        from ..obs import spans as spans_mod
+
+        recorder = spans_mod.SpanRecorder()
+        # Deliberate per-worker-process state: never read by the parent.
+        _SPAN_STATE["recorder"] = recorder  # check: allow(conc/global-write-in-worker)
+        spans_mod.enable(recorder)
+    return recorder
+
+
 def _pulse(
-    heartbeats, kind: str, label: str, case_name: str, branches: int = 0, wall: float = 0.0
+    heartbeats, kind: str, label: str, case_name: str, branches: int = 0,
+    wall: float = 0.0, rss: int = 0,
 ) -> None:
     """Best-effort heartbeat put; telemetry must never fail a cell.
 
     Workers emit plain tuples (not :class:`repro.obs.live.Heartbeat`
     objects) so the worker side stays import-free; the parent rewraps
-    them before invoking the ``progress`` hook.
+    them before invoking the ``progress`` hook. Span batches travel on
+    the same queue as ``("spans", pid, wire)`` triples — the string
+    first element is what distinguishes them from these int-pid-first
+    heartbeat tuples on the draining side.
     """
     if heartbeats is None:
         return
     try:
-        heartbeats.put((os.getpid(), kind, label, case_name, branches, wall))
+        heartbeats.put((os.getpid(), kind, label, case_name, branches, wall, rss))
     except Exception:
         pass
+
+
+def _ship_spans(heartbeats, recorder) -> None:
+    """Ship a worker recorder's completed spans to the parent.
+
+    One ``("spans", pid, wire)`` message per cell, put *after* the cell
+    completes — so a crashed worker contributes no batch at all (its
+    spans are lost, the sweep trace stays coherent) and a full batch is
+    never torn. Best-effort like :func:`_pulse`: span telemetry must
+    never fail a cell.
+    """
+    if recorder is None:
+        return
+    spans = recorder.drain()
+    if heartbeats is None or not spans:
+        return
+    from ..obs.spans import to_wire
+
+    try:
+        heartbeats.put(("spans", recorder.pid, to_wire(spans)))
+    except Exception:
+        pass
+
+
+def _finish_cell(recorder, cell_id: int, end: float, backend: str,
+                 heartbeats, own_recorder: bool) -> int:
+    """Close a traced cell: resource reading, span shipping, cleanup.
+
+    Always reads the process's resource usage (peak worker RSS is
+    recorded per cell whether or not tracing is on — it is two /proc
+    reads against a cell that runs for seconds) and returns the peak
+    RSS in bytes. With an active recorder, the reading lands on the
+    closing ``"cell"`` span and — for the worker's own persistent
+    recorder — the completed spans are drained and shipped; a recorder
+    an in-process caller enabled keeps its spans for that caller to
+    collect.
+    """
+    from ..obs.resources import read_resources
+
+    sample = read_resources()
+    if recorder is not None:
+        recorder.pop_through(cell_id, end=end, backend=backend, **sample.as_args())
+        if own_recorder:
+            _ship_spans(heartbeats, recorder)
+    return sample.peak_rss_bytes
 
 
 def _run_cell(
@@ -202,41 +273,104 @@ def _run_cell(
     context_switches: Optional[ContextSwitchConfig],
     backend: str = "auto",
     heartbeats=None,
-) -> Tuple[str, str, Optional[SimulationResult], float, Dict[str, float], str]:
+    traced: bool = False,
+) -> Tuple[str, str, Optional[SimulationResult], float, Dict[str, float], str, int]:
     """Execute one cell from spooled traces (runs inside a worker).
 
     Returns ``(label, case_name, result-or-None, wall_time, phases,
-    backend)``; a ``None`` result means the builder raised
-    ``TrainingUnavailable``. ``phases`` breaks the wall time into
-    trace_load / build / simulate spans for the run telemetry (and,
-    downstream, ``repro.obs`` run reports); ``backend`` is the engine
-    backend that actually ran (``""`` when no simulation happened).
-    When ``heartbeats`` (a multiprocessing queue) is given, the worker
-    announces the cell's start and completion on it for live
-    ``--follow`` monitoring.
+    backend, peak_rss_bytes)``; a ``None`` result means the builder
+    raised ``TrainingUnavailable``. ``phases`` breaks the wall time
+    into trace_load / build / simulate spans for the run telemetry
+    (and, downstream, ``repro.obs`` run reports); ``backend`` is the
+    engine backend that actually ran (``""`` when no simulation
+    happened); ``peak_rss_bytes`` is the worker's RSS high-water mark
+    as of cell completion. When ``heartbeats`` (a multiprocessing
+    queue) is given, the worker announces the cell's start and
+    completion on it for live ``--follow`` monitoring.
+
+    With ``traced=True`` the worker records a ``"cell"`` span with
+    ``trace_load`` / ``build`` / ``simulate`` phase children — built
+    from the *same* ``perf_counter`` readings as the returned
+    ``phases`` dict, so span durations equal the telemetry phase times
+    exactly — and ships them back on the heartbeat queue. The engine's
+    own spans (backend choice, per-block) nest under the ``simulate``
+    phase via the worker's process-wide recorder.
     """
+    recorder = None
+    own_recorder = False
+    if traced:
+        from ..obs import spans as spans_mod
+
+        recorder = spans_mod.get_recorder()
+        if (
+            recorder is None
+            or recorder is _SPAN_STATE.get("recorder")
+            or recorder.pid != os.getpid()
+        ):
+            # Worker path: the persistent per-process recorder (span
+            # ids stay unique across every cell this worker draws). A
+            # recorder whose pid differs is a fork-inherited copy of
+            # the parent's — useless here, since its spans would never
+            # ship — so the worker replaces it with its own. Only a
+            # recorder enabled by an in-process caller (same pid, not
+            # ours) is used as-is, its spans left for that caller.
+            recorder = _worker_recorder()
+            own_recorder = True
+            if recorder.depth:
+                # A previous cell in this worker died mid-span (pool
+                # workers outlive task exceptions). Abandon its partial
+                # trace — close and discard everything — so this cell's
+                # spans stay well-formed; that cell's spans are simply
+                # lost, the queue-loss-tolerance contract.
+                while recorder.depth:
+                    recorder.pop()
+                recorder.drain()
     started = time.perf_counter()
+    cell_id = (
+        recorder.push(
+            "cell", cat="sweep", start=started, scheme=label, benchmark=case_name
+        )
+        if recorder is not None
+        else 0
+    )
     _pulse(heartbeats, "start", label, case_name)
     test_trace = _load_spooled(test_path)
     training_trace = _load_spooled(training_path) if training_path else None
     loaded = time.perf_counter()
     phases = {"trace_load": loaded - started}
+    if recorder is not None:
+        recorder.record("trace_load", cat="phase", start=started, end=loaded)
     try:
         predictor = builder(training_trace)
     except TrainingUnavailable:
-        phases["build"] = time.perf_counter() - loaded
-        wall = time.perf_counter() - started
-        _pulse(heartbeats, "done", label, case_name, 0, wall)
-        return label, case_name, None, wall, phases, ""
+        built = time.perf_counter()
+        phases["build"] = built - loaded
+        if recorder is not None:
+            recorder.record("build", cat="phase", start=loaded, end=built)
+        wall = built - started
+        rss = _finish_cell(recorder, cell_id, built, "", heartbeats, own_recorder)
+        _pulse(heartbeats, "done", label, case_name, 0, wall, rss)
+        return label, case_name, None, wall, phases, "", rss
     built = time.perf_counter()
     phases["build"] = built - loaded
+    if recorder is not None:
+        recorder.record("build", cat="phase", start=loaded, end=built)
+    sim_id = (
+        recorder.push("simulate", cat="phase", start=built)
+        if recorder is not None
+        else 0
+    )
     result, used_backend = simulate_with_backend(
         predictor, test_trace, context_switches=context_switches, backend=backend
     )
-    phases["simulate"] = time.perf_counter() - built
-    wall = time.perf_counter() - started
-    _pulse(heartbeats, "done", label, case_name, result.conditional_branches, wall)
-    return label, case_name, result, wall, phases, used_backend
+    sim_end = time.perf_counter()
+    phases["simulate"] = sim_end - built
+    if recorder is not None:
+        recorder.pop_through(sim_id, end=sim_end)
+    wall = sim_end - started
+    rss = _finish_cell(recorder, cell_id, sim_end, used_backend, heartbeats, own_recorder)
+    _pulse(heartbeats, "done", label, case_name, result.conditional_branches, wall, rss)
+    return label, case_name, result, wall, phases, used_backend, rss
 
 
 # ----------------------------------------------------------------------
@@ -262,6 +396,7 @@ def execute_matrix(
     tick: Optional[Callable[[], None]] = None,
     progress_interval: float = 0.5,
     backend: str = "auto",
+    tracer: Optional[Any] = None,
 ) -> ResultMatrix:
     """Evaluate every scheme on every benchmark, in parallel and cached.
 
@@ -300,15 +435,35 @@ def execute_matrix(
             a ``--follow`` renderer can refresh ETA/staleness even when
             no heartbeat arrived.
         progress_interval: polling period for ``tick`` draining.
+        tracer: optional :class:`repro.obs.spans.SpanCollector`. When
+            given, the sweep is span-traced: the parent records a
+            ``"sweep"`` root span with one ``"cell"`` child per cell
+            (phase children built from the same clock readings as the
+            telemetry, so span totals equal phase times exactly),
+            worker processes record their cells locally and ship the
+            completed spans back on the heartbeat queue, and everything
+            lands in the collector. A worker that crashes simply never
+            ships — its spans are lost, the sweep trace stays valid.
 
     Returns:
         A :class:`ResultMatrix` with telemetry attached.
 
-    Heartbeats are telemetry only: results, ordering and cache contents
-    are bit-identical with or without a ``progress`` hook.
+    Heartbeats and spans are telemetry only: results, ordering and
+    cache contents are bit-identical with or without a ``progress``
+    hook or a ``tracer``.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be >= 1")
+    parent_recorder = None
+    own_recorder = False
+    sweep_id = 0
+    if tracer is not None:
+        from ..obs import spans as spans_mod
+
+        parent_recorder = spans_mod.get_recorder()
+        if parent_recorder is None:
+            parent_recorder = spans_mod.enable(spans_mod.SpanRecorder())
+            own_recorder = True
     emit: Optional[Callable[..., None]] = None
     if progress is not None:
         # Deferred import: repro.obs imports repro.sim.results, so a
@@ -316,7 +471,7 @@ def execute_matrix(
         from ..obs.live import Heartbeat
 
         def emit(pid: int, kind: str, label: str, case_name: str,
-                 branches: int = 0, wall: float = 0.0) -> None:
+                 branches: int = 0, wall: float = 0.0, rss: int = 0) -> None:
             progress(
                 Heartbeat(
                     worker=pid,
@@ -325,6 +480,7 @@ def execute_matrix(
                     benchmark=case_name,
                     branches=branches,
                     wall=wall,
+                    rss_bytes=rss,
                 )
             )
 
@@ -342,6 +498,15 @@ def execute_matrix(
         backend=backend,
     )
     started = time.perf_counter()
+    if parent_recorder is not None:
+        sweep_id = parent_recorder.push(
+            "sweep",
+            cat="sweep",
+            start=started,
+            schemes=len(builders),
+            benchmarks=len(cases),
+            workers=n_workers,
+        )
     telemetry = RunTelemetry(n_workers=n_workers)
     matrix = ResultMatrix(
         benchmarks=[case.name for case in cases],
@@ -360,10 +525,10 @@ def execute_matrix(
 
     # Phase 1: resolve what we can from the cache, in cell order.
     # outcomes: (label, case.name) ->
-    #     (result, source, wall_time, phases, backend)
+    #     (result, source, wall_time, phases, backend, rss_peak)
     outcomes: Dict[
         Tuple[str, str],
-        Tuple[Optional[SimulationResult], str, float, Dict[str, float], str],
+        Tuple[Optional[SimulationResult], str, float, Dict[str, float], str, int],
     ] = {}
     pending: List[Tuple[str, "BenchmarkCase", Optional[str]]] = []
     for label, builder in builders.items():
@@ -385,14 +550,32 @@ def execute_matrix(
             hit, payload = result_cache.load(key)
             if hit:
                 result = SimulationResult.from_dict(payload) if payload is not None else None
-                lookup_wall = time.perf_counter() - lookup_started
+                lookup_end = time.perf_counter()
+                lookup_wall = lookup_end - lookup_started
                 outcomes[(label, case.name)] = (
                     result,
                     "cache" if result is not None else "unavailable",
                     lookup_wall,
                     {"cache_lookup": lookup_wall},
                     "",
+                    0,
                 )
+                if parent_recorder is not None:
+                    cell_id = parent_recorder.push(
+                        "cell",
+                        cat="sweep",
+                        start=lookup_started,
+                        scheme=label,
+                        benchmark=case.name,
+                        cached=True,
+                    )
+                    parent_recorder.record(
+                        "cache_lookup",
+                        cat="phase",
+                        start=lookup_started,
+                        end=lookup_end,
+                    )
+                    parent_recorder.pop_through(cell_id, end=lookup_end)
                 if emit is not None:
                     emit(0, "cached", label, case.name, 0, lookup_wall)
             else:
@@ -402,7 +585,17 @@ def execute_matrix(
     # Phase 2: compute the remaining cells — in worker processes when
     # asked and possible, in-process otherwise.
     def _run_local(label: str, case, key: Optional[str]) -> None:
+        from ..obs.resources import read_resources
+
         cell_started = time.perf_counter()
+        cell_id = (
+            parent_recorder.push(
+                "cell", cat="sweep", start=cell_started, scheme=label,
+                benchmark=case.name,
+            )
+            if parent_recorder is not None
+            else 0
+        )
         if emit is not None:
             emit(os.getpid(), "start", label, case.name)
         try:
@@ -411,23 +604,40 @@ def execute_matrix(
             predictor = None
         built = time.perf_counter()
         phases = {"build": built - cell_started}
+        if parent_recorder is not None:
+            parent_recorder.record("build", cat="phase", start=cell_started, end=built)
         result: Optional[SimulationResult] = None
         used_backend = ""
+        cell_end = built
         if predictor is not None:
+            sim_id = (
+                parent_recorder.push("simulate", cat="phase", start=built)
+                if parent_recorder is not None
+                else 0
+            )
             result, used_backend = simulate_with_backend(
                 predictor,
                 case.test_trace,
                 context_switches=context_switches,
                 backend=backend,
             )
-            phases["simulate"] = time.perf_counter() - built
-        wall = time.perf_counter() - cell_started
+            cell_end = time.perf_counter()
+            phases["simulate"] = cell_end - built
+            if parent_recorder is not None:
+                parent_recorder.pop_through(sim_id, end=cell_end)
+        wall = cell_end - cell_started
+        sample = read_resources()
+        if parent_recorder is not None:
+            parent_recorder.pop_through(
+                cell_id, end=cell_end, backend=used_backend, **sample.as_args()
+            )
         outcomes[(label, case.name)] = (
             result,
             "simulated" if result is not None else "unavailable",
             wall,
             phases,
             used_backend,
+            sample.peak_rss_bytes,
         )
         if key is not None and result_cache is not None:
             result_cache.store(key, result.to_dict() if result is not None else None)
@@ -439,6 +649,7 @@ def execute_matrix(
                 case.name,
                 result.conditional_branches if result is not None else 0,
                 wall,
+                sample.peak_rss_bytes,
             )
         if tick is not None:
             tick()
@@ -453,27 +664,34 @@ def execute_matrix(
         spool = Path(tempfile.mkdtemp(prefix="repro-spool-"))
         manager = None
         heartbeat_queue = None
-        if emit is not None and remote:
+        if (emit is not None or tracer is not None) and remote:
             # A manager queue (not a raw mp.Queue) because the executor
             # pickles task arguments; manager proxies survive that.
+            # Spans ride the same queue as heartbeats, so tracing alone
+            # also needs it.
             import multiprocessing
 
             manager = multiprocessing.Manager()
             heartbeat_queue = manager.Queue()
 
         def _drain_heartbeats() -> None:
-            if heartbeat_queue is None or emit is None:
+            if heartbeat_queue is None:
                 return
             while True:
                 try:
-                    pid, kind, hb_label, hb_case, branches, hb_wall = (
-                        heartbeat_queue.get_nowait()
-                    )
+                    message = heartbeat_queue.get_nowait()
                 except queue_module.Empty:
                     break
                 except Exception:
                     break
-                emit(pid, kind, hb_label, hb_case, branches, hb_wall)
+                if message and message[0] == "spans":
+                    # A worker's shipped span batch: ("spans", pid, wire).
+                    if tracer is not None:
+                        tracer.ingest_wire(message[2])
+                    continue
+                if emit is not None:
+                    pid, kind, hb_label, hb_case, branches, hb_wall, hb_rss = message
+                    emit(pid, kind, hb_label, hb_case, branches, hb_wall, hb_rss)
 
         try:
             trace_paths = _spool_traces({case.name: case for _, case, _ in remote}, spool)
@@ -491,6 +709,7 @@ def execute_matrix(
                         context_switches,
                         backend,
                         heartbeat_queue,
+                        tracer is not None,
                     )
                     futures[future] = key
                 # Overlap the unpicklable (parent-process) cells with
@@ -511,7 +730,7 @@ def execute_matrix(
                     if tick is not None:
                         tick()
                     for future in done:
-                        label, case_name, result, wall, phases, used_backend = (
+                        label, case_name, result, wall, phases, used_backend, rss = (
                             future.result()
                         )
                         outcomes[(label, case_name)] = (
@@ -520,6 +739,7 @@ def execute_matrix(
                             wall,
                             phases,
                             used_backend,
+                            rss,
                         )
                         key = futures[future]
                         if key is not None and result_cache is not None:
@@ -538,13 +758,31 @@ def execute_matrix(
     # matrix layout is independent of completion order.
     for label in builders:
         for case in cases:
-            result, source, wall, phases, used_backend = outcomes[(label, case.name)]
+            result, source, wall, phases, used_backend, rss = outcomes[
+                (label, case.name)
+            ]
             telemetry.record(
-                label, case.name, wall, source, phases=phases, backend=used_backend
+                label,
+                case.name,
+                wall,
+                source,
+                phases=phases,
+                backend=used_backend,
+                rss_peak=rss,
             )
             if result is not None:
                 matrix.add(label, result)
-    telemetry.wall_time = time.perf_counter() - started
+    finished = time.perf_counter()
+    telemetry.wall_time = finished - started
+    if parent_recorder is not None:
+        parent_recorder.pop_through(
+            sweep_id, end=finished, cells=telemetry.total_cells
+        )
+        tracer.ingest(parent_recorder.drain())
+        if own_recorder:
+            from ..obs.spans import disable as _spans_disable
+
+            _spans_disable()
     logger.event(
         "matrix_done",
         cells=telemetry.total_cells,

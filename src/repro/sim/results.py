@@ -173,6 +173,10 @@ class CellTelemetry:
             span (``"python"`` or ``"vectorized"``); ``""`` when the
             cell ran no simulation (cache hits, unavailable cells) or
             predates backend tracking.
+        rss_peak: peak resident set size, in bytes, of the process that
+            produced this cell (the worker's high-water mark as of cell
+            completion — see :func:`repro.obs.resources.read_resources`);
+            0 for cache hits and records that predate RSS tracking.
     """
 
     scheme: str
@@ -181,6 +185,7 @@ class CellTelemetry:
     source: str
     phases: Dict[str, float] = field(default_factory=dict)
     backend: str = ""
+    rss_peak: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-compatible rendering (used by ``RunTelemetry.to_dict``)."""
@@ -191,6 +196,7 @@ class CellTelemetry:
             "source": self.source,
             "phases": dict(self.phases),
             "backend": self.backend,
+            "rss_peak": self.rss_peak,
         }
 
     @classmethod
@@ -202,6 +208,7 @@ class CellTelemetry:
             source=payload["source"],
             phases={k: float(v) for k, v in payload.get("phases", {}).items()},
             backend=payload.get("backend", ""),
+            rss_peak=int(payload.get("rss_peak", 0)),
         )
 
 
@@ -250,12 +257,19 @@ class RunTelemetry:
         source: str,
         phases: Optional[Mapping[str, float]] = None,
         backend: str = "",
+        rss_peak: int = 0,
     ) -> None:
         """Append one cell record and bump the matching counter."""
         cell_phases = dict(phases) if phases else {}
         self.cells.append(
             CellTelemetry(
-                scheme, benchmark, wall_time, source, phases=cell_phases, backend=backend
+                scheme,
+                benchmark,
+                wall_time,
+                source,
+                phases=cell_phases,
+                backend=backend,
+                rss_peak=rss_peak,
             )
         )
         for phase, seconds in cell_phases.items():
@@ -358,14 +372,36 @@ class RunTelemetry:
             cells=[CellTelemetry.from_dict(cell) for cell in payload.get("cells", [])],
         )
 
+    @property
+    def peak_rss_bytes(self) -> int:
+        """Largest per-cell worker RSS high-water mark (0 if untracked)."""
+        return max((cell.rss_peak for cell in self.cells), default=0)
+
+    @property
+    def backend_counts(self) -> Dict[str, int]:
+        """Simulated-cell count per engine backend, sorted by name."""
+        counts: Dict[str, int] = {}
+        for cell in self.cells:
+            if cell.backend:
+                counts[cell.backend] = counts.get(cell.backend, 0) + 1
+        return {name: counts[name] for name in sorted(counts)}
+
     def summary_line(self) -> str:
         """One-line human rendering, e.g. for CLI stderr output."""
-        return (
+        line = (
             f"{self.total_cells} cells | {self.simulations} simulated, "
             f"{self.cache_hits} cache hits, {self.cache_misses} misses, "
             f"{self.unavailable} unavailable | workers={self.n_workers} "
             f"| {self.wall_time:.2f}s"
         )
+        backends = self.backend_counts
+        if backends:
+            rendered = ", ".join(f"{name} x{count}" for name, count in backends.items())
+            line += f" | backend: {rendered}"
+        peak = self.peak_rss_bytes
+        if peak > 0:
+            line += f" | peak rss {peak / (1024 * 1024):.0f} MiB"
+        return line
 
 
 @dataclass

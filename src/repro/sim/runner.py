@@ -122,6 +122,7 @@ def run_matrix(
     progress=None,
     tick=None,
     backend: str = "auto",
+    tracer=None,
 ) -> ResultMatrix:
     """Evaluate every scheme on every benchmark.
 
@@ -150,6 +151,12 @@ def run_matrix(
             takes the vectorized kernels where a predictor has one and
             silently falls back otherwise; results are bit-identical
             either way, so the cache is shared across backends.
+        tracer: optional :class:`repro.obs.spans.SpanCollector`; when
+            given the whole sweep is span-traced (sweep → cell → phase
+            → block hierarchy, worker spans shipped back through the
+            heartbeat queue — see
+            :func:`repro.sim.parallel.execute_matrix`). Telemetry only,
+            never affects results.
 
     Returns:
         A :class:`ResultMatrix` with one cell per (scheme, benchmark)
@@ -169,6 +176,7 @@ def run_matrix(
         progress=progress,
         tick=tick,
         backend=backend,
+        tracer=tracer,
     )
 
 
@@ -183,12 +191,13 @@ def sweep_parameter(
     progress=None,
     tick=None,
     backend: str = "auto",
+    tracer=None,
 ) -> ResultMatrix:
     """Evaluate a family of schemes indexed by one integer parameter.
 
     Used for the history-length sweeps of Figures 6 and 7. Accepts the
-    same ``n_workers`` / ``result_cache`` / ``progress`` / ``backend``
-    knobs as :func:`run_matrix`.
+    same ``n_workers`` / ``result_cache`` / ``progress`` / ``backend`` /
+    ``tracer`` knobs as :func:`run_matrix`.
     """
     builders = {label(value): make_builder(value) for value in values}
     return run_matrix(
@@ -200,4 +209,5 @@ def sweep_parameter(
         progress=progress,
         tick=tick,
         backend=backend,
+        tracer=tracer,
     )

@@ -880,11 +880,31 @@ def open_trace_source(path: PathLike, missing_meta: str = "warn") -> Union[Trace
     magic) open as a :class:`StreamedTrace` without loading records;
     everything else loads through :func:`repro.trace.io.load_trace`
     into an in-memory :class:`Trace` (which is also a valid source).
+
+    When span tracing is enabled (:mod:`repro.obs.spans`) the open is
+    recorded as an ``"open_trace"`` span carrying the dispatch decision
+    — an mmap-backed open is near-free while a full load is a real
+    trace_load phase, and the trace viewer should show which one ran.
     """
+    # Deferred obs import: trace is a foundation package and must not
+    # import obs at module scope.
+    from ..obs.spans import get_recorder as _get_span_recorder
+
+    recorder = _get_span_recorder()
     path = Path(path)
-    if path.suffix == ".btrs" or _sniff_stream_magic(path):
-        return open_stream(path)
-    return load_trace(path, missing_meta=missing_meta)
+    streamed = path.suffix == ".btrs" or _sniff_stream_magic(path)
+    span_id = (
+        recorder.push("open_trace", cat="trace", file=path.name, streamed=streamed)
+        if recorder is not None
+        else 0
+    )
+    try:
+        if streamed:
+            return open_stream(path)
+        return load_trace(path, missing_meta=missing_meta)
+    finally:
+        if recorder is not None:
+            recorder.pop_through(span_id)
 
 
 def _sniff_stream_magic(path: Path) -> bool:

@@ -17,7 +17,7 @@ class TestRepoIsClean:
     def test_multiprocessing_surface_passes(self):
         findings, examined = check_concurrency()
         assert findings == []
-        assert examined == 3  # sim/parallel, obs/live, obs/runner
+        assert examined == 5  # sim/parallel, obs/live, obs/runner, obs/spans, obs/resources
 
 
 class TestShippedCallables:

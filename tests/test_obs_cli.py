@@ -171,11 +171,25 @@ class TestLedgerCLI:
         assert "same configuration : yes" in out
         assert "+0.0000 pp" in out  # deterministic rerun: zero drift
 
-    def test_compare_unknown_selector_exits_2(self, tmp_path, capsys):
+    def test_compare_unknown_selector_exits_2(self, trace_file, tmp_path, capsys):
+        ledger_dir = tmp_path / "ledger"
+        self._record_two_runs(trace_file, ledger_dir)
+        capsys.readouterr()
         code = obs_main(["compare", "latest", "latest~9",
-                         "--ledger", str(tmp_path / "empty")])
+                         "--ledger", str(ledger_dir)])
         assert code == 2
         assert "repro.obs:" in capsys.readouterr().err
+
+    def test_compare_empty_ledger_is_friendly(self, tmp_path, capsys):
+        code = obs_main(["compare", "latest", "latest~9",
+                         "--ledger", str(tmp_path / "empty")])
+        assert code == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_history_empty_ledger_is_friendly(self, tmp_path, capsys):
+        code = obs_main(["history", "--ledger", str(tmp_path / "missing")])
+        assert code == 0
+        assert "no runs recorded" in capsys.readouterr().out
 
     def test_regress_clean_on_identical_runs(self, trace_file, tmp_path, capsys):
         ledger_dir = tmp_path / "ledger"

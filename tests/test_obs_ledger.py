@@ -212,6 +212,55 @@ class TestRegress:
         ledger.append(entry_from_benchmark("test_bench_fig9", 2.0))
         assert not regress(ledger).errors
 
+    @staticmethod
+    def _phased_entry(simulate):
+        entry = _entry(rate=0.0)
+        return LedgerEntry.from_dict(
+            {**entry.to_dict(), "phases": {"simulate": simulate, "build": 0.001}}
+        )
+
+    def test_phase_blowup_is_a_warning(self, ledger):
+        for _ in range(3):
+            ledger.append(self._phased_entry(simulate=0.1))
+        ledger.append(self._phased_entry(simulate=0.5))  # 5x the rolling median
+        report = regress(ledger)
+        assert not report.errors
+        assert len(report.warnings) == 1
+        finding = report.warnings[0]
+        assert finding.rule == "phase-drift"
+        assert "simulate" in finding.message
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+    def test_phase_within_bound_is_clean(self, ledger):
+        for _ in range(3):
+            ledger.append(self._phased_entry(simulate=0.1))
+        ledger.append(self._phased_entry(simulate=0.15))  # 1.5x < default 2x bound
+        assert regress(ledger).ok
+
+    def test_sub_10ms_phases_are_ignored(self, ledger):
+        # build is 1ms in every entry; even a huge relative jump on a
+        # sub-floor baseline is timing noise, not a regression.
+        for _ in range(3):
+            ledger.append(self._phased_entry(simulate=0.1))
+        perturbed = LedgerEntry.from_dict(
+            {**self._phased_entry(simulate=0.1).to_dict(),
+             "phases": {"simulate": 0.1, "build": 0.009}}
+        )
+        ledger.append(perturbed)
+        assert regress(ledger).ok
+
+    def test_phase_drift_zero_disables_rule(self, ledger):
+        for _ in range(3):
+            ledger.append(self._phased_entry(simulate=0.1))
+        ledger.append(self._phased_entry(simulate=5.0))
+        assert regress(ledger, phase_drift=0.0).ok
+
+    def test_phase_drift_rejects_nan(self, ledger):
+        ledger.append(_entry())
+        with pytest.raises(ValueError):
+            regress(ledger, phase_drift=float("nan"))
+
 
 class TestBuildersAndExport:
     def test_entry_from_benchmark_keeps_scalars_only(self):
@@ -241,6 +290,28 @@ class TestBuildersAndExport:
         assert {e.kind for e in entries} == {"matrix"}
         assert all(e.conditional_branches > 0 for e in entries)
         assert all("simulate" in e.phases for e in entries)
+        assert all(e.extra.get("rss_peak_bytes", 0) > 0 for e in entries)
+
+    def test_entries_from_matrix_embeds_span_summaries(self, ledger):
+        from repro.obs.spans import SpanCollector
+        from repro.sim.parallel import spec
+        from repro.sim.runner import BenchmarkCase, run_matrix
+        from repro.trace import synthetic
+
+        cases = [
+            BenchmarkCase(
+                name="a",
+                category="int",
+                test_trace=synthetic.loop_trace(iterations=100, trip_count=4, name="a"),
+            )
+        ]
+        tracer = SpanCollector()
+        matrix = run_matrix({"GAg-6": spec("gag-6")}, cases, tracer=tracer)
+        (entry,) = entries_from_matrix(matrix, spans=tracer)
+        summary = entry.extra["spans"]
+        assert summary["count"] > 0
+        assert "simulate" in summary["by_name"]
+        assert summary["by_name"]["simulate"]["seconds"] > 0
 
     def test_format_history(self, ledger):
         assert format_history([]) == "(ledger is empty)"

@@ -1,0 +1,101 @@
+"""Tests for the Prometheus text exposition (repro.obs.prom)."""
+
+from repro.obs.ledger import LedgerEntry, RunLedger
+from repro.obs.prom import format_sample, render_metrics
+
+
+def _entry(scheme="gag-8", workload="loop", kind="obs", seq=0, correct=900,
+           extra=None, phases=None):
+    return LedgerEntry(
+        kind=kind,
+        scheme=scheme,
+        workload=workload,
+        config_hash=f"{kind}:{scheme}:{workload}",
+        seq=seq,
+        conditional_branches=1000,
+        correct_predictions=correct,
+        wall_time=2.5,
+        branches_per_sec=400.0,
+        phases=phases or {},
+        extra=extra or {},
+    )
+
+
+class TestFormatSample:
+    def test_no_labels_no_braces(self):
+        assert format_sample("m", {}, 3) == "m 3"
+
+    def test_labels_sorted_ints_bare_floats_repr(self):
+        line = format_sample("m", {"b": "2", "a": "1"}, 0.5)
+        assert line == 'm{a="1",b="2"} 0.5'
+        assert format_sample("m", {}, True) == "m 1"
+
+    def test_label_escaping(self):
+        line = format_sample("m", {"k": 'a"b\\c\nd'}, 1)
+        assert line == 'm{k="a\\"b\\\\c\\nd"} 1'
+
+
+class TestRenderMetrics:
+    def test_empty_is_valid_exposition(self):
+        assert render_metrics([]) == "# (no runs recorded)\n"
+
+    def test_headers_and_core_samples(self):
+        text = render_metrics([_entry()])
+        assert "# HELP repro_runs_total" in text
+        assert "# TYPE repro_runs_total counter" in text
+        assert "# TYPE repro_run_accuracy_ratio gauge" in text
+        assert 'repro_run_accuracy_ratio{kind="obs",scheme="gag-8",workload="loop"} 0.9' in text
+        assert "repro_run_wall_seconds" in text
+        assert text.endswith("\n")
+
+    def test_latest_entry_per_configuration_wins(self):
+        entries = [_entry(seq=0, correct=900), _entry(seq=1, correct=950)]
+        text = render_metrics(entries)
+        assert 'repro_runs_total{kind="obs",scheme="gag-8",workload="loop"} 2' in text
+        assert "0.95" in text
+        assert " 0.9\n" not in text  # superseded accuracy absent
+
+    def test_deterministic_double_render(self):
+        entries = [
+            _entry(scheme="pag-8", phases={"simulate": 1.0, "build": 0.1}),
+            _entry(scheme="gag-8", extra={"rss_peak_bytes": 1024}),
+        ]
+        assert render_metrics(entries) == render_metrics(entries)
+
+    def test_kind_filter(self):
+        entries = [_entry(kind="obs"), _entry(kind="matrix", scheme="pag-8")]
+        text = render_metrics(entries, kind="matrix")
+        assert 'scheme="pag-8"' in text
+        assert 'scheme="gag-8"' not in text
+
+    def test_phase_rss_and_span_metrics(self):
+        entry = _entry(
+            phases={"simulate": 1.25, "build": 0.5},
+            extra={
+                "rss_peak_bytes": 2048,
+                "spans": {"count": 3, "by_name": {
+                    "simulate": {"count": 2, "seconds": 1.2},
+                    "cell": {"count": 1, "seconds": 2.0},
+                }},
+            },
+        )
+        text = render_metrics([entry])
+        assert ('repro_run_phase_seconds{kind="obs",phase="simulate",'
+                'scheme="gag-8",workload="loop"} 1.25') in text
+        assert ('repro_run_peak_rss_bytes{kind="obs",scheme="gag-8",'
+                'workload="loop"} 2048') in text
+        assert ('repro_run_span_seconds{kind="obs",scheme="gag-8",'
+                'span="cell",workload="loop"} 2.0') in text
+        assert ('repro_run_span_count{kind="obs",scheme="gag-8",'
+                'span="simulate",workload="loop"} 2') in text
+
+    def test_families_without_samples_are_omitted(self):
+        text = render_metrics([_entry()])
+        assert "repro_run_span_seconds" not in text
+        assert "repro_run_peak_rss_bytes" not in text
+
+    def test_accepts_ledger_object(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger")
+        ledger.append(_entry(seq=-1))
+        text = render_metrics(ledger)
+        assert "repro_runs_total" in text

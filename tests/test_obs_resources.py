@@ -1,0 +1,103 @@
+"""Tests for per-process resource telemetry (repro.obs.resources)."""
+
+import pytest
+
+from repro.obs import resources
+from repro.obs.resources import (
+    ResourceSample,
+    ResourceSampler,
+    counters_from_spans,
+    read_resources,
+)
+from repro.obs.spans import Span
+
+
+class TestReadResources:
+    def test_never_raises_and_is_plausible(self):
+        sample = read_resources()
+        assert sample.rss_bytes > 0
+        assert sample.peak_rss_bytes >= sample.rss_bytes
+        assert sample.cpu_user_s >= 0.0
+        assert sample.cpu_system_s >= 0.0
+        assert sample.source in ("proc", "rusage")
+
+    def test_cpu_total_is_sum(self):
+        sample = ResourceSample(
+            rss_bytes=1, peak_rss_bytes=1, cpu_user_s=1.5, cpu_system_s=0.25,
+            source="proc",
+        )
+        assert sample.cpu_total_s == pytest.approx(1.75)
+
+    def test_as_args_keys_are_stable(self):
+        args = read_resources().as_args()
+        assert set(args) == {
+            "rss_bytes", "peak_rss_bytes", "cpu_user_s", "cpu_system_s",
+            "resource_source",
+        }
+
+    def test_rusage_fallback_when_proc_missing(self, monkeypatch):
+        monkeypatch.setattr(resources, "_PROC_STATUS", "/nonexistent/status")
+        monkeypatch.setattr(resources, "_PROC_STAT", "/nonexistent/stat")
+        sample = read_resources()
+        assert sample.source == "rusage"
+        assert sample.peak_rss_bytes > 0
+        assert sample.rss_bytes == sample.peak_rss_bytes  # best rusage offers
+
+    def test_rusage_fallback_on_garbled_proc(self, monkeypatch, tmp_path):
+        status = tmp_path / "status"
+        status.write_text("VmRSS:\tnot-a-number kB\n", encoding="ascii")
+        monkeypatch.setattr(resources, "_PROC_STATUS", str(status))
+        sample = read_resources()
+        assert sample.source == "rusage"
+
+
+class TestResourceSampler:
+    def test_samples_accumulate_in_order(self):
+        sampler = ResourceSampler(pid=42)
+        sampler.sample(ts_us=10.0)
+        sampler.sample(ts_us=20.0)
+        stamps = [ts for ts, _ in sampler.samples]
+        assert stamps == [10.0, 20.0]
+        assert sampler.peak_rss_bytes > 0
+
+    def test_empty_sampler(self):
+        sampler = ResourceSampler(pid=42)
+        assert sampler.peak_rss_bytes == 0
+        assert sampler.counter_events() == []
+
+    def test_counter_events_shape(self):
+        sampler = ResourceSampler(pid=42)
+        sampler.sample(ts_us=10.0)
+        (event,) = sampler.counter_events()
+        assert event["ph"] == "C"
+        assert event["name"] == "rss"
+        assert event["ts"] == 10.0
+        assert event["pid"] == 42
+        assert event["args"]["rss_mb"] > 0
+
+
+class TestCountersFromSpans:
+    def _span(self, pid, ts, rss=None, span_id=1):
+        args = {} if rss is None else {"rss_bytes": rss}
+        return Span(name="cell", cat="sweep", ts=ts, dur=5.0, pid=pid,
+                    tid=1, span_id=span_id, args=args)
+
+    def test_spans_without_rss_are_skipped(self):
+        assert counters_from_spans([self._span(1, 0.0)]) == []
+
+    def test_counter_stamped_at_span_end_sorted_by_pid_ts(self):
+        spans = [
+            self._span(2, 100.0, rss=2 * 1024 * 1024, span_id=3),
+            self._span(1, 50.0, rss=1024 * 1024, span_id=2),
+            self._span(1, 10.0, rss=1024 * 1024, span_id=1),
+        ]
+        events = counters_from_spans(spans)
+        assert [(e["pid"], e["ts"]) for e in events] == [(1, 15.0), (1, 55.0), (2, 105.0)]
+        assert events[0]["args"]["rss_mb"] == pytest.approx(1.0)
+        assert events[2]["args"]["rss_mb"] == pytest.approx(2.0)
+
+    def test_accepts_dict_form(self):
+        span = self._span(7, 0.0, rss=1024 * 1024).to_dict()
+        (event,) = counters_from_spans([span])
+        assert event["pid"] == 7
+        assert event["args"]["rss_mb"] == pytest.approx(1.0)
