@@ -4,7 +4,7 @@ PYTHON ?= python
 
 WORKERS ?= 4
 
-.PHONY: install test check check-sarif lint bench bench-kernels bench-stream experiments sweep sweep-follow sweep-trace examples obs-demo clean
+.PHONY: install test check check-sarif lint bench bench-kernels bench-stream bench-characterize characterize experiments sweep sweep-follow sweep-trace examples obs-demo clean
 
 install:
 	pip install -e .
@@ -51,6 +51,25 @@ bench-kernels:
 # ledger (results/ledger) for repro-obs history / export-bench.
 bench-stream:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_stream.py --benchmark-only
+
+# Characterization-engine throughput pin: asserts the vectorized
+# counting backend is bit-identical to the pure-python loop and >=5x
+# faster on a million-branch trace, and appends the measured speedup to
+# the run ledger (results/ledger) for repro-obs history / export-bench.
+bench-characterize:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_characterize.py --benchmark-only
+
+# Predictability characterization of the eqntott workload: verifies the
+# python and vectorized backends agree bit-for-bit, prints the report,
+# writes it to results/characterize-eqntott.json, and records it in the
+# run ledger (kind "char") where repro-obs metrics exports it
+# (see docs/characterization.md).
+characterize:
+	PYTHONPATH=src $(PYTHON) -m repro.obs characterize --workload eqntott \
+		--verify --format json --out results/characterize-eqntott.json \
+		--ledger results/ledger
+	PYTHONPATH=src $(PYTHON) -m repro.obs metrics --ledger results/ledger \
+		--kind char --out results/characterize-metrics.prom
 
 experiments:
 	$(PYTHON) -m repro.experiments.cli all --out results/

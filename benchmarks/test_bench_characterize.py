@@ -1,0 +1,77 @@
+"""Characterization-engine throughput: vectorized vs pure-python counts.
+
+Not a paper figure — this pins the headline property of the
+``repro.analysis.predictability`` engine: on a million-branch trace the
+vectorized counting backend must produce **bit-identical** count tables
+to the pure-python loop and be at least 5x faster. The measured speedup
+lands in ``benchmark.extra_info`` and, through the session hook in
+``conftest.py``, in the persistent run ledger, so ``repro-obs
+export-bench`` snapshots it into ``BENCH_*.json``.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.analysis.predictability import characterization_counts
+from repro.trace.events import TraceBuilder
+
+N_BRANCHES = 1_000_000
+N_SITES = 800
+MAX_K = 8
+MIN_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def million_trace():
+    """~1M biased conditional branches over 800 sites."""
+    rng = random.Random(42)
+    builder = TraceBuilder(name="bench-characterize", source="synthetic")
+    sites = [0x40_0000 + 8 * i for i in range(N_SITES)]
+    biases = [rng.random() for _ in range(N_SITES)]
+    for _ in range(N_BRANCHES):
+        index = rng.randrange(N_SITES)
+        builder.conditional(sites[index], rng.random() < biases[index])
+    trace = builder.build()
+    trace.as_arrays()  # warm the shared list->ndarray conversion
+    return trace
+
+
+def test_bench_characterize_speedup(benchmark, million_trace):
+    started = time.perf_counter()
+    reference = characterization_counts(
+        million_trace, max_k=MAX_K, backend="python"
+    )
+    python_s = time.perf_counter() - started
+
+    vectorized_s = []
+    fast = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        fast = characterization_counts(
+            million_trace, max_k=MAX_K, backend="vectorized"
+        )
+        vectorized_s.append(time.perf_counter() - t0)
+
+    assert fast == reference  # bit-identical count tables
+    speedup = python_s / min(vectorized_s)
+    benchmark.extra_info["branches"] = reference.conditional
+    benchmark.extra_info["sites"] = len(reference.executions)
+    benchmark.extra_info["max_k"] = MAX_K
+    benchmark.extra_info["python_s"] = round(python_s, 3)
+    benchmark.extra_info["vectorized_s"] = round(min(vectorized_s), 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["backend"] = "vectorized"
+    assert speedup >= MIN_SPEEDUP, (
+        f"characterize: vectorized backend only {speedup:.1f}x faster "
+        f"(python {python_s:.2f}s, vectorized {min(vectorized_s):.2f}s)"
+    )
+    # The ledger records the vectorized wall time as the measurement.
+    benchmark.pedantic(
+        lambda: characterization_counts(
+            million_trace, max_k=MAX_K, backend="vectorized"
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,4 +1,17 @@
-"""Analysis tooling: interference measurement and miss characterisation."""
+"""Analysis tooling: interference, miss characterisation, predictability.
+
+Three layers, all streaming over any
+:class:`repro.trace.stream.TraceSource`:
+
+* :mod:`~repro.analysis.bounds` — closed-form predictability bounds,
+* :mod:`~repro.analysis.interference` /
+  :mod:`~repro.analysis.breakdown` — interference measurement and
+  per-miss attribution for one predictor,
+* :mod:`~repro.analysis.predictability` — the characterization engine:
+  entropy / history-sensitivity curves, H2P identification, feature
+  clustering and the per-cluster scheme winner table, serialised as a
+  schema-stable :class:`~repro.analysis.predictability.CharacterizationReport`.
+"""
 
 from .bounds import PredictabilityBounds, bias_bound, history_bound, predictability_bounds
 from .breakdown import (
@@ -17,22 +30,58 @@ from .interference import (
     interference_report,
     second_level_interference,
 )
+from .predictability import (
+    CHAR_SCHEMA,
+    CLUSTER_NAMES,
+    DEFAULT_MAX_K,
+    DEFAULT_SCHEMES,
+    CharacterizationReport,
+    ClusteringConfig,
+    ClusterSummary,
+    H2PCriteria,
+    HistoryCurvePoint,
+    PredictabilityCounts,
+    SchemeAttribution,
+    SiteCharacterization,
+    attribute_scheme,
+    binary_entropy,
+    characterization_counts,
+    characterize,
+    format_characterization,
+)
 
 __all__ = [
     "BHTPressure",
-    "PredictabilityBounds",
-    "bias_bound",
-    "history_bound",
-    "predictability_bounds",
+    "CHAR_SCHEMA",
+    "CLUSTER_NAMES",
+    "CharacterizationReport",
+    "ClusterSummary",
+    "ClusteringConfig",
+    "DEFAULT_MAX_K",
+    "DEFAULT_SCHEMES",
     "FirstLevelInterference",
+    "H2PCriteria",
+    "HistoryCurvePoint",
     "MispredictionBreakdown",
+    "PredictabilityBounds",
+    "PredictabilityCounts",
+    "SchemeAttribution",
     "SecondLevelInterference",
+    "SiteCharacterization",
     "SiteReport",
+    "attribute_scheme",
     "bht_pressure",
+    "bias_bound",
+    "binary_entropy",
+    "characterization_counts",
+    "characterize",
     "first_level_interference",
+    "format_characterization",
+    "history_bound",
     "interference_report",
     "learning_curve",
     "misprediction_breakdown",
     "per_site_report",
+    "predictability_bounds",
     "second_level_interference",
 ]

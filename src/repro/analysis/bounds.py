@@ -39,6 +39,13 @@ from typing import Dict, Tuple
 from ..core.history import history_mask
 from ..trace.events import BranchClass, Trace
 
+__all__ = [
+    "PredictabilityBounds",
+    "bias_bound",
+    "history_bound",
+    "predictability_bounds",
+]
+
 
 @dataclass(frozen=True)
 class PredictabilityBounds:

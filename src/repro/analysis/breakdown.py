@@ -18,6 +18,10 @@ characterisation for any predictor on any trace:
 
 * :func:`per_site_report` — the worst static branches with their bias
   and miss share, the actionable view for "where do the misses live?".
+
+All passes stream over any :class:`repro.trace.stream.TraceSource`;
+the optional ``block_size`` walks the source in bounded blocks, and
+the result is block-size invariant by the ``TraceSource`` contract.
 """
 
 from __future__ import annotations
@@ -27,7 +31,16 @@ from typing import Dict, List, Optional
 
 from ..predictors.base import BranchPredictor
 from ..sim.engine import ContextSwitchConfig
-from ..trace.events import BranchClass, Trace
+from ..trace.events import BranchClass
+from ..trace.stream import TraceSource, iter_source_tuples
+
+__all__ = [
+    "MispredictionBreakdown",
+    "SiteReport",
+    "learning_curve",
+    "misprediction_breakdown",
+    "per_site_report",
+]
 
 _COLD_OCCURRENCES = 4
 _POST_FLUSH_WINDOW = 2  # per-branch occurrences after a flush counted as flush cost
@@ -62,8 +75,9 @@ class MispredictionBreakdown:
 
 def misprediction_breakdown(
     predictor: BranchPredictor,
-    trace: Trace,
+    trace: TraceSource,
     context_switches: Optional[ContextSwitchConfig] = None,
+    block_size: Optional[int] = None,
 ) -> MispredictionBreakdown:
     """Simulate and classify every misprediction."""
     occurrences: Dict[int, int] = {}
@@ -78,7 +92,7 @@ def misprediction_breakdown(
     next_switch = interval
     cond_class = int(BranchClass.CONDITIONAL)
 
-    for pc, taken, cls, target, instret, trap in trace.iter_tuples():
+    for pc, taken, cls, target, instret, trap in iter_source_tuples(trace, block_size):
         if cs_enabled and ((trap and switch_on_traps) or instret >= next_switch):
             predictor.on_context_switch()
             if instret >= next_switch:
@@ -113,21 +127,34 @@ def misprediction_breakdown(
 
 def learning_curve(
     predictor: BranchPredictor,
-    trace: Trace,
+    trace: TraceSource,
     windows: int = 20,
+    block_size: Optional[int] = None,
 ) -> List[float]:
     """Accuracy per consecutive window of conditional branches."""
     if windows < 1:
         raise ValueError("windows must be >= 1")
-    conditional = trace.num_conditional()
+    cond_class = int(BranchClass.CONDITIONAL)
+    counter = getattr(trace, "num_conditional", None)
+    if counter is not None:
+        conditional = counter()
+    else:
+        # Generic sources lack Trace's cached count: one cheap
+        # counting pass (no predictor state touched) sizes the windows.
+        conditional = sum(
+            1
+            for _pc, _taken, cls, _target, _instret, _trap in iter_source_tuples(
+                trace, block_size
+            )
+            if cls == cond_class
+        )
     if conditional == 0:
         return []
     window_size = max(conditional // windows, 1)
     curve: List[float] = []
     correct = 0
     seen = 0
-    cond_class = int(BranchClass.CONDITIONAL)
-    for pc, taken, cls, target, _instret, _trap in trace.iter_tuples():
+    for pc, taken, cls, target, _instret, _trap in iter_source_tuples(trace, block_size):
         if cls != cond_class:
             continue
         prediction = predictor.predict(pc, target)
@@ -163,15 +190,16 @@ class SiteReport:
 
 def per_site_report(
     predictor: BranchPredictor,
-    trace: Trace,
+    trace: TraceSource,
     top: int = 10,
+    block_size: Optional[int] = None,
 ) -> List[SiteReport]:
     """The ``top`` static branches ranked by misprediction count."""
     executions: Dict[int, int] = {}
     taken_counts: Dict[int, int] = {}
     miss_counts: Dict[int, int] = {}
     cond_class = int(BranchClass.CONDITIONAL)
-    for pc, taken, cls, target, _instret, _trap in trace.iter_tuples():
+    for pc, taken, cls, target, _instret, _trap in iter_source_tuples(trace, block_size):
         if cls != cond_class:
             continue
         prediction = predictor.predict(pc, target)

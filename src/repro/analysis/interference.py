@@ -16,16 +16,32 @@ trace, so the accuracy differences the figures show can be attributed.
   that flips counters).
 * :func:`bht_pressure` — hit/miss/eviction rates of a practical BHT for
   the trace's working set (what Figure 10 varies).
+
+All passes stream over any :class:`repro.trace.stream.TraceSource`
+(not just a materialized :class:`~repro.trace.events.Trace`); the
+optional ``block_size`` walks the source in bounded blocks, and the
+result is block-size invariant by the ``TraceSource`` contract.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from ..core.history import CacheBHT, history_mask
-from ..trace.events import BranchClass, Trace
+from ..trace.events import BranchClass
+from ..trace.stream import TraceSource, iter_source_tuples
+
+__all__ = [
+    "BHTPressure",
+    "FirstLevelInterference",
+    "SecondLevelInterference",
+    "bht_pressure",
+    "first_level_interference",
+    "interference_report",
+    "second_level_interference",
+]
 
 
 @dataclass(frozen=True)
@@ -44,7 +60,11 @@ class FirstLevelInterference:
         return self.polluted_lookups / self.conditional_branches
 
 
-def first_level_interference(trace: Trace, history_bits: int) -> FirstLevelInterference:
+def first_level_interference(
+    trace: TraceSource,
+    history_bits: int,
+    block_size: Optional[int] = None,
+) -> FirstLevelInterference:
     """Compare the global history register against private ones.
 
     Both registers follow the paper's initialisation (all ones, then
@@ -56,7 +76,7 @@ def first_level_interference(trace: Trace, history_bits: int) -> FirstLevelInter
     seen: Dict[int, bool] = {}
     polluted = 0
     total = 0
-    for pc, taken, cls, _target, _instret, _trap in trace.iter_tuples():
+    for pc, taken, cls, _target, _instret, _trap in iter_source_tuples(trace, block_size):
         if cls != BranchClass.CONDITIONAL:
             continue
         total += 1
@@ -106,7 +126,9 @@ class SecondLevelInterference:
 
 
 def second_level_interference(
-    trace: Trace, history_bits: int
+    trace: TraceSource,
+    history_bits: int,
+    block_size: Optional[int] = None,
 ) -> SecondLevelInterference:
     """Measure pattern-table aliasing under PAg first-level history."""
     mask = history_mask(history_bits)
@@ -118,7 +140,7 @@ def second_level_interference(
     updates = 0
     cross = 0
     destructive = 0
-    for pc, taken, cls, _target, _instret, _trap in trace.iter_tuples():
+    for pc, taken, cls, _target, _instret, _trap in iter_source_tuples(trace, block_size):
         if cls != BranchClass.CONDITIONAL:
             continue
         pattern = private.get(pc, mask)
@@ -164,14 +186,15 @@ class BHTPressure:
 
 
 def bht_pressure(
-    trace: Trace,
+    trace: TraceSource,
     num_entries: int = 512,
     associativity: int = 4,
+    block_size: Optional[int] = None,
 ) -> BHTPressure:
     """Replay the trace's conditional PCs through a BHT cache."""
     bht = CacheBHT(num_entries, associativity)
     distinct = set()
-    for pc, _taken, cls, _target, _instret, _trap in trace.iter_tuples():
+    for pc, _taken, cls, _target, _instret, _trap in iter_source_tuples(trace, block_size):
         if cls != BranchClass.CONDITIONAL:
             continue
         distinct.add(pc)
@@ -186,11 +209,15 @@ def bht_pressure(
     )
 
 
-def interference_report(trace: Trace, history_bits: int = 12) -> str:
+def interference_report(
+    trace: TraceSource,
+    history_bits: int = 12,
+    block_size: Optional[int] = None,
+) -> str:
     """A human-readable interference summary for one trace."""
-    first = first_level_interference(trace, history_bits)
-    second = second_level_interference(trace, history_bits)
-    pressure = bht_pressure(trace)
+    first = first_level_interference(trace, history_bits, block_size=block_size)
+    second = second_level_interference(trace, history_bits, block_size=block_size)
+    pressure = bht_pressure(trace, block_size=block_size)
     lines = [
         f"Interference report: {trace.meta.name} (k={history_bits})",
         f"  first level : {first.pollution_rate * 100:6.2f}% of lookups see a "

@@ -154,10 +154,12 @@ def default_paths() -> List[Path]:
     ``obs`` is scanned too: probes ride the simulation hot path, so
     they may use ``perf_counter`` (telemetry, like the run-telemetry
     layer) but none of the result-affecting nondeterminism sources.
+    ``analysis`` is held to the same rule — characterization reports
+    are cached and diffed, so they must be bit-reproducible.
     """
     package = Path(__file__).resolve().parent.parent
     paths: List[Path] = []
-    for subpackage in ("core", "predictors", "sim", "obs"):
+    for subpackage in ("core", "predictors", "sim", "obs", "analysis"):
         paths.extend(sorted((package / subpackage).glob("*.py")))
     paths.append(package / "trace" / "cache.py")
     return paths

@@ -368,11 +368,12 @@ def default_paths() -> List[Path]:
     ``obs`` is included so that any predictor-shaped class that ever
     appears there (probes wrapping or observing predictors) is held to
     the same predict-never-mutates contract — observability must not be
-    able to change a simulation result.
+    able to change a simulation result. ``analysis`` replays predictors
+    for attribution, so it is covered for the same reason.
     """
     package = Path(__file__).resolve().parent.parent
     paths: List[Path] = []
-    for subpackage in ("predictors", "core", "obs"):
+    for subpackage in ("predictors", "core", "obs", "analysis"):
         paths.extend(sorted((package / subpackage).glob("*.py")))
     return paths
 

@@ -59,6 +59,11 @@ AUDITED_MODULES: Tuple[str, ...] = (
     "repro.obs.spans",
     "repro.obs.resources",
     "repro.obs.prom",
+    "repro.analysis",
+    "repro.analysis.bounds",
+    "repro.analysis.breakdown",
+    "repro.analysis.interference",
+    "repro.analysis.predictability",
     "repro.check.kernels",
     "repro.check.concurrency",
     "repro.check.resources",

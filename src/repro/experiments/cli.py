@@ -108,8 +108,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
+        default=None,
         help="experiment id (table1..table3, fig4..fig11), a group "
-        "('tables', 'figures', 'extras', 'all'), or 'list'",
+        "('tables', 'figures', 'extras', 'all'), or 'list'; optional "
+        "when --characterize is given",
+    )
+    parser.add_argument(
+        "--characterize",
+        action="store_true",
+        help="also run the predictability characterization sweep over the "
+        "nine-benchmark suite (the extra-characterize experiment); usable "
+        "alone or alongside an experiment id",
     )
     parser.add_argument("--scale", type=int, default=1, help="suite work multiplier")
     parser.add_argument("--out", type=Path, default=None, help="directory for .txt outputs")
@@ -175,7 +185,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": list(ALL_FIGURES),
         "extras": list(ALL_EXTRAS),
     }
-    targets = groups.get(args.experiment, [args.experiment])
+    if args.experiment is None:
+        if not args.characterize:
+            parser.error("an experiment id is required (or pass --characterize)")
+        targets = []
+    else:
+        targets = groups.get(args.experiment, [args.experiment])
+    if args.characterize and "extra-characterize" not in targets:
+        targets = targets + ["extra-characterize"]
     unknown = [
         t for t in targets
         if t not in ALL_TABLES and t not in ALL_FIGURES and t not in ALL_EXTRAS
@@ -226,6 +243,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             recorded = RunLedger(args.ledger).extend(entries_from_matrix(matrix))
             print(
                 f"# {experiment_id}: {len(recorded)} cells -> ledger {args.ledger}",
+                file=sys.stderr,
+            )
+        char_reports = getattr(result, "extra", {}).get("reports")
+        if args.ledger is not None and experiment_id == "extra-characterize" and char_reports:
+            from ..obs.ledger import RunLedger, entry_from_characterization
+
+            ledger = RunLedger(args.ledger)
+            for name in sorted(char_reports):
+                ledger.append(entry_from_characterization(char_reports[name]))
+            print(
+                f"# {experiment_id}: {len(char_reports)} characterizations "
+                f"-> ledger {args.ledger}",
                 file=sys.stderr,
             )
         run_summary["experiments"][experiment_id] = entry

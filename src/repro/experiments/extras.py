@@ -37,6 +37,7 @@ from .report import render_accuracy_matrix, render_table
 
 __all__ = [
     "ALL_EXTRAS",
+    "extra_characterize",
     "extra_fetch",
     "extra_interference",
     "extra_ipc",
@@ -338,6 +339,72 @@ def extra_ipc(
     )
 
 
+def extra_characterize(
+    cases: Optional[Sequence[BenchmarkCase]] = None,
+    scale: int = 1,
+    max_k: Optional[int] = None,
+    schemes: Optional[Sequence[str]] = None,
+) -> FigureResult:
+    """Predictability characterization swept across the whole suite.
+
+    Runs :func:`repro.analysis.predictability.characterize` on every
+    benchmark and condenses each report to one row: outcome entropy,
+    residual entropy under K bits of global/local history, the
+    ideal-accuracy bound, the H2P dynamic share, the dominant
+    predictability cluster, and the best-attributed paper scheme. The
+    full serialised reports travel in ``extra["reports"]`` so callers
+    (and the ledger) keep the whole attribution view.
+    """
+    from ..analysis.predictability import DEFAULT_MAX_K, characterize
+
+    cases = _cases(cases, scale)
+    k = max_k if max_k is not None else DEFAULT_MAX_K
+    headers = [
+        "benchmark", "sites", "H0", f"H|glo{k}", f"H|loc{k}", "ideal",
+        "H2P share", "dominant cluster", "best scheme", "best acc",
+    ]
+    rows = []
+    reports = {}
+    for case in cases:
+        report = characterize(
+            case.test_trace,
+            max_k=k,
+            schemes=schemes,
+            training_trace=case.training_trace,
+            top=5,
+        )
+        global_tail = report.global_curve[-1]
+        local_tail = report.local_curve[-1]
+        ideal = max(global_tail.ideal_accuracy, local_tail.ideal_accuracy)
+        dominant = max(report.clusters, key=lambda c: c.dynamic_share)
+        best = max(report.schemes, key=lambda s: s["accuracy"])
+        rows.append(
+            [
+                case.name,
+                report.static_sites,
+                round(report.outcome_entropy_bits, 4),
+                round(global_tail.entropy_bits, 4),
+                round(local_tail.entropy_bits, 4),
+                ideal,
+                report.h2p_dynamic_share,
+                dominant.name,
+                best["scheme"],
+                best["accuracy"],
+            ]
+        )
+        reports[case.name] = report.to_dict()
+    rendered = render_table(
+        headers, rows, percent_columns=[5, 6, 9],
+        title=f"Extra: predictability characterization (K={k})",
+    )
+    return FigureResult(
+        figure_id="extra-characterize",
+        description="Entropy / H2P / cluster-winner characterization per benchmark",
+        extra={"reports": reports, "max_k": k},
+        rendered=rendered,
+    )
+
+
 ALL_EXTRAS = {
     "extra-speculative": extra_speculative,
     "extra-fetch": extra_fetch,
@@ -345,4 +412,5 @@ ALL_EXTRAS = {
     "extra-taxonomy": extra_taxonomy,
     "extra-sensitivity": extra_sensitivity,
     "extra-ipc": extra_ipc,
+    "extra-characterize": extra_characterize,
 }

@@ -12,6 +12,8 @@ Subcommands::
     repro-obs trace export results/sweep-spans.jsonl --out trace.json
     repro-obs trace summary results/sweep-spans.jsonl
     repro-obs metrics [--ledger DIR] [--out metrics.prom]
+    repro-obs characterize --workload eqntott [--scheme S ...] [--max-k K]
+    repro-obs attribute --scheme gag-12 --workload eqntott [--top N]
 
 The original flat form (``python -m repro.obs --scheme GAg --workload
 eqntott``) still works and means ``run`` — existing scripts and the
@@ -30,6 +32,13 @@ heartbeats (:mod:`repro.obs.live`) as a single status line on stderr.
 a native spans JSONL; ``trace export`` / ``trace summary`` work with
 those span files after the fact, and ``metrics`` renders the ledger as
 Prometheus text exposition (:mod:`repro.obs.prom`).
+
+``characterize`` runs the predictability characterization engine
+(:mod:`repro.analysis.predictability`) on a workload or trace file and
+prints / records the schema-stable ``repro.analysis.char`` report;
+``attribute`` exposes the library-only misprediction breakdown,
+per-site report and interference summary for one scheme without
+writing python.
 """
 
 from __future__ import annotations
@@ -52,7 +61,8 @@ from .runner import observe
 __all__ = ["add_sweep_arguments", "build_parser", "main", "run_sweep"]
 
 _SUBCOMMANDS = (
-    "run", "history", "compare", "regress", "export-bench", "sweep", "trace", "metrics"
+    "run", "history", "compare", "regress", "export-bench", "sweep", "trace",
+    "metrics", "characterize", "attribute",
 )
 
 _DEFAULT_LEDGER = Path("results") / "ledger"
@@ -127,6 +137,11 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cprofile", action="store_true",
         help="capture a cProfile table of the simulate phase",
+    )
+    parser.add_argument(
+        "--characterize", action="store_true",
+        help="embed a predictability characterization report "
+        "(repro.analysis.char) under the run report's extra payload",
     )
     _add_log_argument(parser)
     _add_ledger_argument(parser, "record the run in the persistent run ledger")
@@ -204,6 +219,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             events_path=args.events,
             events_sample_every=args.events_sample,
             events_branch_limit=args.events_limit,
+            characterize=args.characterize,
         )
     except (KeyError, ValueError) as exc:
         print(f"repro.obs: {exc}", file=sys.stderr)
@@ -383,6 +399,219 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}")
     else:
         print(text, end="")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# characterize / attribute
+# ----------------------------------------------------------------------
+
+
+def _resolve_analysis_traces(args: argparse.Namespace):
+    """(test trace, training trace) for the analysis subcommands.
+
+    ``--trace`` loads a recorded file; ``--workload`` generates the
+    suite benchmark (plus its training trace when it has one, so
+    training-dependent schemes like gsg/psg work out of the box).
+    An explicit ``--training`` file overrides either.
+    """
+    from ..trace.io import load_trace
+
+    training = None
+    if args.trace is not None:
+        test = load_trace(args.trace)
+    else:
+        from ..workloads.suite import get_workload
+
+        bench = get_workload(args.workload)
+        test = bench.generate("testing", scale=args.scale)
+        if bench.has_training:
+            training = bench.generate("training", scale=args.scale)
+    if args.training is not None:
+        training = load_trace(args.training)
+    return test, training
+
+
+def _context_from_args(args: argparse.Namespace) -> Optional[ContextSwitchConfig]:
+    if not args.context_switches:
+        return None
+    return ContextSwitchConfig(interval=args.switch_interval)
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from ..analysis.predictability import (
+        DEFAULT_MAX_K,
+        DEFAULT_SCHEMES,
+        characterization_counts,
+        characterize,
+        format_characterization,
+    )
+
+    if args.log is not None:
+        obs_log.configure(fmt=args.log)
+        obs_log.new_run_id("char")
+
+    try:
+        test_trace, training_trace = _resolve_analysis_traces(args)
+    except (KeyError, ValueError, OSError) as exc:
+        print(f"repro.obs: {exc}", file=sys.stderr)
+        return 2
+
+    max_k = args.max_k if args.max_k is not None else DEFAULT_MAX_K
+    schemes = tuple(args.scheme) if args.scheme else DEFAULT_SCHEMES
+
+    started = time.perf_counter()
+    try:
+        if args.verify:
+            counts = {
+                backend: characterization_counts(
+                    test_trace,
+                    max_k=max_k,
+                    block_size=args.block_size,
+                    backend=backend,
+                )
+                for backend in ("python", "vectorized")
+            }
+            if counts["python"] != counts["vectorized"]:
+                print(
+                    "repro.obs: backend mismatch — python and vectorized "
+                    "characterization counts differ",
+                    file=sys.stderr,
+                )
+                return 1
+            print("# verify: python and vectorized counts identical", file=sys.stderr)
+        report = characterize(
+            test_trace,
+            max_k=max_k,
+            block_size=args.block_size,
+            backend=args.backend,
+            schemes=schemes,
+            training_trace=training_trace,
+            context_switches=_context_from_args(args),
+            top=args.top,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"repro.obs: {exc}", file=sys.stderr)
+        return 2
+    wall = time.perf_counter() - started
+
+    payload = report.to_dict()
+    text = (
+        json.dumps(payload, indent=2)
+        if args.fmt == "json"
+        else format_characterization(report, top=args.top)
+    )
+    print(text)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n", encoding="utf-8")
+    if args.ledger is not None:
+        from .ledger import RunLedger, entry_from_characterization
+
+        entry = RunLedger(args.ledger).append(
+            entry_from_characterization(payload, wall_time=wall)
+        )
+        print(
+            f"# ledger: characterization {entry.run_id} (seq {entry.seq}) "
+            f"-> {args.ledger}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_attribute(args: argparse.Namespace) -> int:
+    from ..analysis.breakdown import misprediction_breakdown, per_site_report
+    from ..analysis.interference import interference_report
+    from ..predictors.registry import make_predictor
+    from .runner import normalize_scheme
+
+    try:
+        test_trace, training_trace = _resolve_analysis_traces(args)
+    except (KeyError, ValueError, OSError) as exc:
+        print(f"repro.obs: {exc}", file=sys.stderr)
+        return 2
+
+    scheme_name = normalize_scheme(args.scheme)
+    context = _context_from_args(args)
+    try:
+        # Each replay needs a fresh predictor — the passes mutate state.
+        breakdown = misprediction_breakdown(
+            make_predictor(scheme_name, training_trace),
+            test_trace,
+            context_switches=context,
+            block_size=args.block_size,
+        )
+        sites = per_site_report(
+            make_predictor(scheme_name, training_trace),
+            test_trace,
+            top=args.top,
+            block_size=args.block_size,
+        )
+        interference_text = interference_report(
+            test_trace, history_bits=args.history_bits, block_size=args.block_size
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"repro.obs: {exc}", file=sys.stderr)
+        return 2
+
+    if args.fmt == "json":
+        print(json.dumps(
+            {
+                "scheme": scheme_name,
+                "workload": test_trace.meta.name,
+                "dataset": test_trace.meta.dataset,
+                "breakdown": {
+                    "total_branches": breakdown.total_branches,
+                    "total_misses": breakdown.total_misses,
+                    "cold_misses": breakdown.cold_misses,
+                    "post_flush_misses": breakdown.post_flush_misses,
+                    "steady_misses": breakdown.steady_misses,
+                    "accuracy": breakdown.accuracy,
+                    "shares": breakdown.shares(),
+                },
+                "sites": [
+                    {
+                        "pc": site.pc,
+                        "executions": site.executions,
+                        "mispredictions": site.mispredictions,
+                        "taken_rate": site.taken_rate,
+                        "accuracy": site.accuracy,
+                    }
+                    for site in sites
+                ],
+                "interference": interference_text,
+            },
+            indent=2,
+        ))
+        return 0
+
+    shares = breakdown.shares()
+    lines = [
+        f"# repro.obs attribute — {scheme_name} on {test_trace.meta.name}"
+        + (f" ({test_trace.meta.dataset})" if test_trace.meta.dataset else ""),
+        f"accuracy        : {breakdown.accuracy * 100:8.4f}%  "
+        f"({breakdown.total_branches - breakdown.total_misses}"
+        f"/{breakdown.total_branches} conditional branches)",
+        "misprediction breakdown:",
+        f"  cold       : {breakdown.cold_misses:8d}  ({shares['cold'] * 100:6.2f}%)",
+        f"  post-flush : {breakdown.post_flush_misses:8d}  "
+        f"({shares['post_flush'] * 100:6.2f}%)",
+        f"  steady     : {breakdown.steady_misses:8d}  "
+        f"({shares['steady'] * 100:6.2f}%)",
+    ]
+    if sites:
+        lines.append("")
+        lines.append(f"top {len(sites)} mispredicting static branches:")
+        lines.append("          pc   mispred     execs   taken%   accuracy")
+        for site in sites:
+            lines.append(
+                f"  {site.pc:#010x}  {site.mispredictions:8d}  "
+                f"{site.executions:8d}   {site.taken_rate * 100:5.1f}%    "
+                f"{site.accuracy * 100:6.2f}%"
+            )
+    lines.append("")
+    lines.append(interference_text)
+    print("\n".join(lines))
     return 0
 
 
@@ -593,7 +822,7 @@ def build_parser() -> argparse.ArgumentParser:
     history.add_argument("--scheme", default=None, help="filter by scheme label")
     history.add_argument("--workload", default=None, help="filter by workload name")
     history.add_argument(
-        "--kind", choices=("obs", "matrix", "bench"), default=None,
+        "--kind", choices=("obs", "matrix", "bench", "char"), default=None,
         help="filter by entry kind",
     )
     history.add_argument(
@@ -690,7 +919,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _ledger_argument(metrics)
     metrics.add_argument(
-        "--kind", choices=("obs", "matrix", "bench"), default=None,
+        "--kind", choices=("obs", "matrix", "bench", "char"), default=None,
         help="restrict to one entry kind",
     )
     metrics.add_argument(
@@ -698,6 +927,121 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the exposition to this file instead of stdout",
     )
     metrics.set_defaults(handler=_cmd_metrics)
+
+    characterize_cmd = subparsers.add_parser(
+        "characterize",
+        help="predictability characterization & mispredict-attribution report",
+    )
+    char_source = characterize_cmd.add_mutually_exclusive_group(required=True)
+    char_source.add_argument(
+        "--workload", choices=BENCHMARK_ORDER,
+        help="suite benchmark to generate and characterize",
+    )
+    char_source.add_argument(
+        "--trace", type=Path, help="pre-recorded trace file to characterize instead"
+    )
+    characterize_cmd.add_argument(
+        "--training", type=Path, default=None,
+        help="training trace file for training-dependent attribution schemes "
+        "(suite workloads supply their own when available)",
+    )
+    characterize_cmd.add_argument(
+        "--scale", type=int, default=1, help="workload scale factor"
+    )
+    characterize_cmd.add_argument(
+        "--scheme", action="append", default=None,
+        help="attribution scheme to replay (repeatable; default: the "
+        "registered paper configurations)",
+    )
+    characterize_cmd.add_argument(
+        "--max-k", type=int, default=None,
+        help="history depth K of the entropy/ideal-accuracy curves "
+        "(default: 8)",
+    )
+    characterize_cmd.add_argument(
+        "--block-size", type=int, default=None,
+        help="streaming block size in records (default: the source's "
+        "natural blocks; results are identical for any value)",
+    )
+    characterize_cmd.add_argument(
+        "--backend", choices=("auto", "python", "vectorized"), default="auto",
+        help="counting backend (results are bit-identical; default: auto)",
+    )
+    characterize_cmd.add_argument(
+        "--verify", action="store_true",
+        help="run both backends and fail (exit 1) unless their count "
+        "tables are identical",
+    )
+    characterize_cmd.add_argument(
+        "--top", type=int, default=20,
+        help="per-site table size in the report (default: 20)",
+    )
+    characterize_cmd.add_argument(
+        "--context-switches", action="store_true",
+        help="enable the paper's context-switch model in attribution replays",
+    )
+    characterize_cmd.add_argument(
+        "--switch-interval", type=int, default=500_000,
+        help="context-switch interval in instructions (default: 500000)",
+    )
+    _format_argument(characterize_cmd)
+    characterize_cmd.add_argument(
+        "--out", type=Path, default=None,
+        help="also write the report to this file (same format as --format)",
+    )
+    _add_log_argument(characterize_cmd)
+    _add_ledger_argument(
+        characterize_cmd, "record the characterization in the run ledger"
+    )
+    characterize_cmd.set_defaults(handler=_cmd_characterize)
+
+    attribute_cmd = subparsers.add_parser(
+        "attribute",
+        help="misprediction breakdown, per-site report, and interference "
+        "summary for one scheme",
+    )
+    attribute_cmd.add_argument(
+        "--scheme", required=True,
+        help="registry scheme name to attribute (bare family names mean "
+        "the 12-bit default)",
+    )
+    attr_source = attribute_cmd.add_mutually_exclusive_group(required=True)
+    attr_source.add_argument(
+        "--workload", choices=BENCHMARK_ORDER,
+        help="suite benchmark to generate and attribute",
+    )
+    attr_source.add_argument(
+        "--trace", type=Path, help="pre-recorded trace file to attribute instead"
+    )
+    attribute_cmd.add_argument(
+        "--training", type=Path, default=None,
+        help="training trace file for gsg/psg/profile schemes",
+    )
+    attribute_cmd.add_argument(
+        "--scale", type=int, default=1, help="workload scale factor"
+    )
+    attribute_cmd.add_argument(
+        "--top", type=int, default=10,
+        help="per-site table size (default: 10)",
+    )
+    attribute_cmd.add_argument(
+        "--history-bits", type=int, default=12,
+        help="history depth of the interference summary (default: 12)",
+    )
+    attribute_cmd.add_argument(
+        "--block-size", type=int, default=None,
+        help="streaming block size in records (results identical for any value)",
+    )
+    attribute_cmd.add_argument(
+        "--context-switches", action="store_true",
+        help="enable the paper's context-switch model",
+    )
+    attribute_cmd.add_argument(
+        "--switch-interval", type=int, default=500_000,
+        help="context-switch interval in instructions (default: 500000)",
+    )
+    _format_argument(attribute_cmd)
+    attribute_cmd.set_defaults(handler=_cmd_attribute)
 
     return parser
 

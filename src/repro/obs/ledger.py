@@ -56,6 +56,7 @@ __all__ = [
     "compute_config_hash",
     "entries_from_matrix",
     "entry_from_benchmark",
+    "entry_from_characterization",
     "entry_from_report",
     "export_bench",
     "format_history",
@@ -118,7 +119,8 @@ def compute_config_hash(
 
     Two runs share a config hash exactly when they are re-runs of the
     same measurement: same kind (``"obs"`` / ``"matrix"`` /
-    ``"bench"``), scheme, workload, dataset and context-switch model.
+    ``"bench"`` / ``"char"``), scheme, workload, dataset and
+    context-switch model.
     """
     payload = "\n".join(
         [LEDGER_SCHEMA, kind, scheme, workload, dataset, _context_token(context)]
@@ -132,7 +134,8 @@ class LedgerEntry:
 
     Attributes:
         kind: ``"obs"`` (single observed run), ``"matrix"`` (one sweep
-            cell) or ``"bench"`` (a pytest-benchmark measurement).
+            cell), ``"bench"`` (a pytest-benchmark measurement) or
+            ``"char"`` (a predictability characterization report).
         scheme: scheme label (``"bench"`` for benchmark entries).
         workload: benchmark / trace name (for ``bench`` entries, the
             benchmark test id).
@@ -422,12 +425,21 @@ def _rate(branches: int, seconds: float) -> float:
 def entry_from_report(
     report: RunReport, context: Optional[Any] = None, kind: str = "obs"
 ) -> LedgerEntry:
-    """Build a ledger entry from an observed run's :class:`RunReport`."""
+    """Build a ledger entry from an observed run's :class:`RunReport`.
+
+    The report's free-form ``extra`` attachments (notably the embedded
+    characterization payload) are copied into the entry verbatim, so
+    they round-trip through the ledger and reach the Prometheus
+    exposition.
+    """
     result = report.result
     if result is None:
         raise ValueError("the run report carries no simulation result")
     phases = {name: span.get("seconds", 0.0) for name, span in report.timing.items()}
     simulate_s = phases.get("simulate", 0.0)
+    extra: Dict[str, Any] = dict(report.extra)
+    if report.streaks:
+        extra["max_streak"] = report.max_streak
     return LedgerEntry(
         kind=kind,
         scheme=report.scheme,
@@ -443,7 +455,7 @@ def entry_from_report(
         wall_time=sum(phases.values()),
         branches_per_sec=_rate(result.conditional_branches, simulate_s),
         phases=phases,
-        extra={"max_streak": report.max_streak} if report.streaks else {},
+        extra=extra,
     )
 
 
@@ -539,6 +551,39 @@ def entry_from_benchmark(
         config_hash=compute_config_hash("bench", "bench", name),
         wall_time=seconds,
         extra=extra,
+    )
+
+
+def entry_from_characterization(
+    payload: Mapping[str, Any], wall_time: float = 0.0
+) -> LedgerEntry:
+    """Build a ``"char"`` entry from a serialised characterization.
+
+    Args:
+        payload: a :class:`repro.analysis.predictability.CharacterizationReport`
+            ``to_dict`` payload (schema ``repro.analysis.char/…``).
+        wall_time: seconds the characterization took, when known.
+
+    The full payload is stored under ``extra["characterization"]``, so
+    ``CharacterizationReport.from_dict(entry.extra["characterization"])``
+    reconstructs the report exactly; the scheme label is ``"char"``
+    (mirroring how bench entries use ``"bench"``).
+    """
+    schema = str(payload.get("schema", ""))
+    if not schema.startswith("repro.analysis.char/"):
+        raise ValueError(f"not a characterization payload (schema={schema!r})")
+    workload = str(payload.get("workload", ""))
+    dataset = str(payload.get("dataset", ""))
+    return LedgerEntry(
+        kind="char",
+        scheme="char",
+        workload=workload,
+        dataset=dataset,
+        config_hash=compute_config_hash("char", "char", workload, dataset),
+        # Branch counts stay zero (accuracy reads "no data", like bench
+        # entries); the exact counts live inside the payload itself.
+        wall_time=wall_time,
+        extra={"characterization": dict(payload)},
     )
 
 

@@ -51,6 +51,26 @@ _FAMILIES: Tuple[Tuple[str, str, str], ...] = (
      "Total traced span seconds by span name in the latest run.", "gauge"),
     ("repro_run_span_count",
      "Traced span count by span name in the latest run.", "gauge"),
+    # Characterization families: read from the embedded
+    # repro.analysis.char payload under extra["characterization"].
+    ("repro_char_static_sites",
+     "Static conditional branch sites in the latest characterization.", "gauge"),
+    ("repro_char_outcome_entropy_bits",
+     "Whole-trace branch outcome entropy of the latest characterization.", "gauge"),
+    ("repro_char_conditional_entropy_bits",
+     "H(outcome | k-bit history) by history register and depth k.", "gauge"),
+    ("repro_char_ideal_accuracy_ratio",
+     "Majority-oracle accuracy bound by history register and depth k.", "gauge"),
+    ("repro_char_h2p_sites",
+     "Hard-to-predict branch sites in the latest characterization.", "gauge"),
+    ("repro_char_h2p_dynamic_share_ratio",
+     "Dynamic-execution share of hard-to-predict branches.", "gauge"),
+    ("repro_char_cluster_share_ratio",
+     "Dynamic-execution share of each predictability cluster.", "gauge"),
+    ("repro_char_cluster_winner_info",
+     "Winning scheme per predictability cluster (value is its accuracy).", "gauge"),
+    ("repro_char_scheme_accuracy_ratio",
+     "Whole-trace replay accuracy of each attributed scheme.", "gauge"),
 )
 
 
@@ -146,7 +166,69 @@ def _collect(
                         samples["repro_run_span_count"].append(
                             (span_labels, int(count))
                         )
+        characterization = latest.extra.get("characterization")
+        if isinstance(characterization, Mapping):
+            _collect_characterization(samples, labels, characterization)
     return samples
+
+
+def _collect_characterization(
+    samples: Dict[str, List[Tuple[Dict[str, str], Union[int, float]]]],
+    labels: Dict[str, str],
+    payload: Mapping[str, Any],
+) -> None:
+    """Samples from one embedded ``repro.analysis.char`` payload."""
+    samples["repro_char_static_sites"].append(
+        (labels, int(payload.get("static_sites", 0)))
+    )
+    samples["repro_char_outcome_entropy_bits"].append(
+        (labels, float(payload.get("outcome_entropy_bits", 0.0)))
+    )
+    for history in ("global", "local"):
+        curve = payload.get(f"{history}_curve", [])
+        if not isinstance(curve, Sequence):
+            continue
+        for point in curve:
+            if not isinstance(point, Mapping):
+                continue
+            point_labels = {**labels, "history": history, "k": str(point.get("k", 0))}
+            samples["repro_char_conditional_entropy_bits"].append(
+                (point_labels, float(point.get("entropy_bits", 0.0)))
+            )
+            samples["repro_char_ideal_accuracy_ratio"].append(
+                (point_labels, float(point.get("ideal_accuracy", 0.0)))
+            )
+    h2p = payload.get("h2p", {})
+    if isinstance(h2p, Mapping):
+        samples["repro_char_h2p_sites"].append((labels, int(h2p.get("sites", 0))))
+        samples["repro_char_h2p_dynamic_share_ratio"].append(
+            (labels, float(h2p.get("dynamic_share", 0.0)))
+        )
+    clusters = payload.get("clusters", [])
+    if isinstance(clusters, Sequence):
+        for cluster in clusters:
+            if not isinstance(cluster, Mapping):
+                continue
+            name = str(cluster.get("name", ""))
+            cluster_labels = {**labels, "cluster": name}
+            samples["repro_char_cluster_share_ratio"].append(
+                (cluster_labels, float(cluster.get("dynamic_share", 0.0)))
+            )
+            winner = cluster.get("winner")
+            if winner:
+                accuracy = cluster.get("accuracy", {})
+                value = accuracy.get(winner) if isinstance(accuracy, Mapping) else None
+                if isinstance(value, (int, float)):
+                    samples["repro_char_cluster_winner_info"].append(
+                        ({**cluster_labels, "winner": str(winner)}, float(value))
+                    )
+    for entry in payload.get("schemes", []):
+        if not isinstance(entry, Mapping):
+            continue
+        samples["repro_char_scheme_accuracy_ratio"].append(
+            ({**labels, "attributed_scheme": str(entry.get("scheme", ""))},
+             float(entry.get("accuracy", 0.0)))
+        )
 
 
 def render_metrics(
@@ -159,7 +241,7 @@ def render_metrics(
         source: a :class:`~repro.obs.ledger.RunLedger` (read in full)
             or a pre-filtered entry sequence.
         kind: optional entry-kind filter (``"obs"`` / ``"matrix"`` /
-            ``"bench"``).
+            ``"bench"`` / ``"char"``).
 
     Returns:
         The exposition text, newline-terminated; families with no

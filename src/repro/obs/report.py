@@ -51,6 +51,11 @@ class RunReport:
         timing: phase name -> ``{"seconds": float, "calls": int}``.
         cprofile: rendered cProfile table when requested, else ``None``.
         events_path: where the JSONL event trace went, when enabled.
+        extra: free-form JSON-compatible attachments. The
+            characterization layer stores its serialised
+            :class:`~repro.analysis.predictability.CharacterizationReport`
+            under ``extra["characterization"]``; the ledger copies
+            ``extra`` into the recorded entry verbatim.
     """
 
     scheme: str
@@ -67,6 +72,7 @@ class RunReport:
     timing: Dict[str, Dict[str, float]] = field(default_factory=dict)
     cprofile: Optional[str] = None
     events_path: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def max_streak(self) -> int:
@@ -92,6 +98,7 @@ class RunReport:
             "timing": {name: dict(span) for name, span in sorted(self.timing.items())},
             "cprofile": self.cprofile,
             "events_path": self.events_path,
+            "extra": dict(self.extra),
         }
 
     @classmethod
@@ -134,6 +141,7 @@ class RunReport:
             },
             cprofile=payload.get("cprofile"),
             events_path=payload.get("events_path"),
+            extra=dict(payload.get("extra", {})),
         )
 
 
@@ -223,6 +231,16 @@ def format_report(report: RunReport, top: int = 10) -> str:
             seconds = span.get("seconds", 0.0)
             calls = int(span.get("calls", 0))
             lines.append(f"  {name:12s} {seconds * 1000.0:12.3f} ms   {calls:10d} calls")
+
+    characterization = report.extra.get("characterization")
+    if characterization:
+        lines.append("")
+        lines.append(
+            f"characterization: {characterization.get('static_sites', 0)} static sites, "
+            f"outcome entropy {characterization.get('outcome_entropy_bits', 0.0):.4f} bits, "
+            f"{characterization.get('h2p', {}).get('sites', 0)} H2P branches "
+            f"(schema {characterization.get('schema', '?')})"
+        )
 
     if report.events_path:
         lines.append("")

@@ -77,6 +77,8 @@ def observe(
     events_sample_every: int = 1,
     events_branch_limit: Optional[int] = None,
     extra_probes: Iterable[Probe] = (),
+    characterize: bool = False,
+    characterize_max_k: Optional[int] = None,
 ) -> RunReport:
     """Run ``scheme`` on ``workload`` with the full metric probe set.
 
@@ -107,6 +109,15 @@ def observe(
         events_sample_every / events_branch_limit: branch-event thinning
             for the event trace.
         extra_probes: additional user probes joined into the set.
+        characterize: additionally run the predictability
+            characterization engine
+            (:func:`repro.analysis.predictability.characterize`) on
+            the test trace — with the observed scheme as the only
+            attribution replay — and embed its serialised report under
+            ``report.extra["characterization"]``.
+        characterize_max_k: history depth K of the characterization
+            curves (default
+            :data:`repro.analysis.predictability.DEFAULT_MAX_K`).
 
     Returns:
         The populated :class:`RunReport`. ``report.result`` is
@@ -175,6 +186,25 @@ def observe(
                 target, test_trace, context_switches=context_switches, probe=probe_set
             )
 
+    extra: dict = {}
+    if characterize:
+        from ..analysis.predictability import DEFAULT_MAX_K
+        from ..analysis.predictability import characterize as run_characterize
+
+        with timer.span("characterize"):
+            char_report = run_characterize(
+                test_trace,
+                max_k=(
+                    characterize_max_k
+                    if characterize_max_k is not None
+                    else DEFAULT_MAX_K
+                ),
+                schemes=(scheme_name,),
+                training_trace=training_trace,
+                context_switches=context_switches,
+            )
+        extra["characterization"] = char_report.to_dict()
+
     return RunReport(
         scheme=scheme_name,
         workload=workload_name,
@@ -190,4 +220,5 @@ def observe(
         timing=timer.as_dict(),
         cprofile=profile_text,
         events_path=str(events.path) if events is not None else None,
+        extra=extra,
     )

@@ -69,6 +69,7 @@ __all__ = [
     "TraceWriter",
     "bernoulli_outcomes",
     "content_digest",
+    "iter_source_tuples",
     "open_stream",
     "open_trace_source",
     "pattern_outcomes",
@@ -130,6 +131,25 @@ class TraceSource(Protocol):
     def iter_tuples(self) -> Iterator[Tuple[int, bool, int, int, int, bool]]:
         """Yield ``(pc, taken, cls, target, instret, trap)`` tuples."""
         ...
+
+
+def iter_source_tuples(
+    source: TraceSource, block_size: Optional[int] = None
+) -> Iterator[Tuple[int, bool, int, int, int, bool]]:
+    """Yield a source's record tuples, optionally via block iteration.
+
+    ``block_size=None`` defers to the source's own ``iter_tuples``;
+    any explicit size walks ``iter_blocks(block_size)`` instead, which
+    bounds peak memory for out-of-core sources. Both paths yield the
+    identical record sequence (the :class:`TraceSource` contract), so
+    analysis passes built on this helper are block-size invariant —
+    ``tests/test_analysis.py`` pins that for the attribution layer.
+    """
+    if block_size is None:
+        yield from source.iter_tuples()
+        return
+    for block in source.iter_blocks(block_size):
+        yield from block.iter_tuples()
 
 
 # ----------------------------------------------------------------------

@@ -173,6 +173,74 @@ class TestLearningCurve:
             learning_curve(make_gag(4), trace, windows=0)
 
 
+class TestTraceSourceStreaming:
+    """The analyses accept any TraceSource and are block-size invariant."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return synthetic.interleaved(
+            [synthetic.loop_source(3), synthetic.alternating_source()],
+            length=4000,
+        )
+
+    @pytest.fixture(scope="class")
+    def streamed(self, trace, tmp_path_factory):
+        from repro.trace.stream import open_stream, save_source
+
+        path = tmp_path_factory.mktemp("analysis") / "trace.btrs"
+        save_source(trace, path)
+        with open_stream(path) as source:
+            yield source
+
+    def test_first_level_block_size_invariant(self, trace):
+        reference = first_level_interference(trace, 8)
+        for block_size in (1, 7, 64, 10**9):
+            assert first_level_interference(trace, 8, block_size=block_size) == reference
+
+    def test_second_level_block_size_invariant(self, trace):
+        reference = second_level_interference(trace, 6)
+        for block_size in (1, 13, 512):
+            assert second_level_interference(trace, 6, block_size=block_size) == reference
+
+    def test_bht_pressure_block_size_invariant(self, trace):
+        reference = bht_pressure(trace)
+        for block_size in (1, 7, 1000):
+            assert bht_pressure(trace, block_size=block_size) == reference
+
+    def test_breakdown_block_size_invariant(self, trace):
+        reference = misprediction_breakdown(make_pag(8), trace)
+        for block_size in (1, 7, 64):
+            assert (
+                misprediction_breakdown(make_pag(8), trace, block_size=block_size)
+                == reference
+            )
+
+    def test_streamed_source_matches_in_memory(self, trace, streamed):
+        assert first_level_interference(streamed, 8) == first_level_interference(trace, 8)
+        assert second_level_interference(streamed, 6) == second_level_interference(trace, 6)
+        assert bht_pressure(streamed) == bht_pressure(trace)
+        assert misprediction_breakdown(make_pag(8), streamed) == misprediction_breakdown(
+            make_pag(8), trace
+        )
+        assert per_site_report(make_pag(8), streamed, top=5) == per_site_report(
+            make_pag(8), trace, top=5
+        )
+        assert learning_curve(make_pag(8), streamed, windows=10) == learning_curve(
+            make_pag(8), trace, windows=10
+        )
+
+    def test_streamed_source_block_sized(self, trace, streamed):
+        assert (
+            misprediction_breakdown(make_pag(8), streamed, block_size=17)
+            == misprediction_breakdown(make_pag(8), trace)
+        )
+
+    def test_interference_report_forwards_block_size(self, trace):
+        assert interference_report(trace, history_bits=6, block_size=33) == (
+            interference_report(trace, history_bits=6)
+        )
+
+
 class TestPerSiteReport:
     def test_ranks_by_misses(self):
         builder = TraceBuilder()

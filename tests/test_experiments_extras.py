@@ -12,6 +12,7 @@ from repro.experiments.export import (
     matrix_to_json,
 )
 from repro.experiments.extras import (
+    extra_characterize,
     extra_fetch,
     extra_interference,
     extra_speculative,
@@ -46,6 +47,18 @@ class TestExtraDrivers:
         costs = result.extra["costs"]
         assert costs["GAg-6"] < costs["SAs-6x16"]
         assert costs["SAg-6x16"] < costs["PAg-6"]
+
+    def test_characterize_reports_per_benchmark(self, small_cases):
+        result = extra_characterize(
+            cases=small_cases, max_k=4, schemes=("gag-8", "pag-8")
+        )
+        reports = result.extra["reports"]
+        assert set(reports) == {"eqntott", "tomcatv"}
+        for name, payload in reports.items():
+            assert payload["schema"] == "repro.analysis.char/1", name
+            assert payload["max_k"] == 4
+            assert [s["scheme"] for s in payload["schemes"]] == ["gag-8", "pag-8"]
+        assert "characterization" in result.rendered
 
     def test_run_experiment_dispatches_extras(self, small_cases):
         result = run_experiment("extra-interference", cases=small_cases)

@@ -251,3 +251,115 @@ class TestSimCLIObs:
         code = sim_main(["run", "pag-8", str(trace_file)])
         assert code == 0
         assert "streaks:" not in capsys.readouterr().out
+
+
+class TestCharacterizeCLI:
+    """The characterize / attribute subcommand surface."""
+
+    def test_characterize_text_sections(self, trace_file, capsys):
+        code = obs_main(
+            ["characterize", "--trace", str(trace_file), "--scheme", "gag-8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro.analysis.char" in out
+        assert "history sensitivity" in out
+        assert "cluster winner table" in out
+        assert "scheme attribution" in out
+
+    def test_characterize_json_schema_and_verify(self, trace_file, capsys):
+        code = obs_main(
+            ["characterize", "--trace", str(trace_file), "--scheme", "gag-8",
+             "--verify", "--max-k", "6", "--format", "json"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "counts identical" in captured.err
+        payload = json.loads(captured.out)
+        assert payload["schema"] == "repro.analysis.char/1"
+        assert payload["max_k"] == 6
+        assert len(payload["global_curve"]) == 7
+        assert [s["scheme"] for s in payload["schemes"]] == ["gag-8"]
+
+    def test_characterize_ledger_and_metrics_round_trip(
+        self, trace_file, tmp_path, capsys
+    ):
+        ledger_dir = tmp_path / "ledger"
+        code = obs_main(
+            ["characterize", "--trace", str(trace_file), "--scheme", "gag-8",
+             "--format", "json", "--ledger", str(ledger_dir)]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+
+        code = obs_main(
+            ["history", "--ledger", str(ledger_dir), "--kind", "char",
+             "--format", "json"]
+        )
+        assert code == 0
+        (entry,) = json.loads(capsys.readouterr().out)
+        assert entry["kind"] == "char"
+        assert entry["extra"]["characterization"] == payload
+
+        code = obs_main(["metrics", "--ledger", str(ledger_dir), "--kind", "char"])
+        assert code == 0
+        exposition = capsys.readouterr().out
+        assert "repro_char_static_sites" in exposition
+        assert "repro_char_conditional_entropy_bits" in exposition
+        assert "repro_char_scheme_accuracy_ratio" in exposition
+
+    def test_characterize_out_file(self, trace_file, tmp_path, capsys):
+        out_file = tmp_path / "char.json"
+        code = obs_main(
+            ["characterize", "--trace", str(trace_file), "--scheme", "gag-8",
+             "--format", "json", "--out", str(out_file)]
+        )
+        assert code == 0
+        stdout_payload = json.loads(capsys.readouterr().out)
+        assert json.loads(out_file.read_text()) == stdout_payload
+
+    def test_run_with_characterize_embeds_report(self, trace_file, capsys):
+        code = obs_main(
+            ["run", "--scheme", "gag-8", "--trace", str(trace_file),
+             "--characterize", "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        embedded = payload["extra"]["characterization"]
+        assert embedded["schema"] == "repro.analysis.char/1"
+        assert [s["scheme"] for s in embedded["schemes"]] == ["gag-8"]
+        assert "characterize" in payload["timing"]
+
+    def test_attribute_text(self, trace_file, capsys):
+        code = obs_main(
+            ["attribute", "--scheme", "GAg", "--trace", str(trace_file)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gag-12" in out
+        assert "misprediction breakdown" in out
+        assert "Interference report" in out
+
+    def test_attribute_json_consistent(self, trace_file, capsys):
+        code = obs_main(
+            ["attribute", "--scheme", "gag-8", "--trace", str(trace_file),
+             "--format", "json", "--top", "3"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        breakdown = payload["breakdown"]
+        assert breakdown["total_branches"] == 2000
+        assert breakdown["total_misses"] == (
+            breakdown["cold_misses"]
+            + breakdown["post_flush_misses"]
+            + breakdown["steady_misses"]
+        )
+        assert len(payload["sites"]) <= 3
+        assert "first level" in payload["interference"]
+
+    def test_attribute_unknown_scheme_exits_2(self, trace_file, capsys):
+        code = obs_main(
+            ["attribute", "--scheme", "nonsense-42", "--trace", str(trace_file)]
+        )
+        assert code == 2
+        assert "repro.obs:" in capsys.readouterr().err

@@ -330,3 +330,47 @@ class TestBuildersAndExport:
         assert payload["benchmarks"][0]["name"] == "test_bench_fig9"
         assert payload["simulator_throughput"][0]["scheme"] == "gag-8"
         assert payload["simulator_throughput"][0]["accuracy"] == pytest.approx(0.9)
+
+
+class TestCharacterizationEntries:
+    def _payload(self):
+        return {
+            "schema": "repro.analysis.char/1",
+            "workload": "loop",
+            "dataset": "d1",
+            "static_sites": 2,
+            "outcome_entropy_bits": 0.5,
+        }
+
+    def test_entry_from_characterization(self):
+        from repro.obs.ledger import entry_from_characterization
+
+        entry = entry_from_characterization(self._payload(), wall_time=1.5)
+        assert entry.kind == "char"
+        assert entry.workload == "loop"
+        assert entry.dataset == "d1"
+        assert entry.wall_time == 1.5
+        assert entry.accuracy is None  # counts live in the payload
+        assert entry.extra["characterization"]["static_sites"] == 2
+
+    def test_same_workload_shares_config_hash(self):
+        from repro.obs.ledger import entry_from_characterization
+
+        first = entry_from_characterization(self._payload())
+        second = entry_from_characterization(self._payload())
+        assert first.config_hash == second.config_hash
+
+    def test_non_char_schema_rejected(self):
+        from repro.obs.ledger import entry_from_characterization
+
+        with pytest.raises(ValueError):
+            entry_from_characterization({"schema": "repro.obs/1"})
+
+    def test_round_trips_through_ledger(self, tmp_path):
+        from repro.obs.ledger import RunLedger, entry_from_characterization
+
+        ledger = RunLedger(tmp_path / "ledger")
+        recorded = ledger.append(entry_from_characterization(self._payload()))
+        (read_back,) = RunLedger(tmp_path / "ledger").history(kind="char")
+        assert read_back.run_id == recorded.run_id
+        assert read_back.extra["characterization"] == self._payload()

@@ -34,6 +34,7 @@ EXPECTED_KEYS = {
     "timing",
     "cprofile",
     "events_path",
+    "extra",
 }
 
 
@@ -53,6 +54,20 @@ class TestRunReport:
         payload = report.to_dict()
         assert set(payload) == EXPECTED_KEYS
         assert payload["schema"] == SCHEMA == "repro.obs/1"
+
+    def test_extra_round_trips(self):
+        char_payload = {"schema": "repro.analysis.char/1", "static_sites": 3}
+        report = RunReport(
+            scheme="gag-8", workload="loop",
+            extra={"characterization": char_payload},
+        )
+        wire = json.loads(json.dumps(report.to_dict()))
+        rebuilt = RunReport.from_dict(wire)
+        assert rebuilt.extra == {"characterization": char_payload}
+        # Older payloads without the key read back as an empty dict.
+        legacy = report.to_dict()
+        del legacy["extra"]
+        assert RunReport.from_dict(legacy).extra == {}
 
     def test_json_round_trip_is_exact(self, report):
         payload = report.to_dict()

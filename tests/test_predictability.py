@@ -1,0 +1,340 @@
+"""Tests for the predictability characterization engine.
+
+The closed-form pins are the load-bearing part: the warmup-skip
+estimator convention (history-context tables only count records whose
+register is fully defined) is what makes them *exact*, so a failure
+here means the estimator semantics drifted, not that a tolerance was
+too tight.
+"""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.analysis.predictability import (
+    CHAR_SCHEMA,
+    CLUSTER_NAMES,
+    DEFAULT_MAX_K,
+    DEFAULT_SCHEMES,
+    CharacterizationReport,
+    H2PCriteria,
+    attribute_scheme,
+    binary_entropy,
+    characterization_counts,
+    characterize,
+    format_characterization,
+)
+from repro.core.twolevel import make_pag
+from repro.sim.engine import simulate
+from repro.trace import synthetic
+from repro.trace.events import TraceBuilder
+
+
+def _entropy_values(curve):
+    return [point.entropy_bits for point in curve]
+
+
+class TestClosedFormPins:
+    def test_periodic_pattern_zero_entropy_at_period_bits(self):
+        # Period-7 pattern: 3 history bits pin every outcome exactly.
+        pattern = [True, True, False, True, False, False, True]
+        trace = synthetic.periodic_trace(pattern, repeats=600)
+        report = characterize(trace, schemes=(), include_interference=False)
+        for curve in (report.local_curve, report.global_curve):
+            for point in curve:
+                if point.k >= 3:
+                    assert point.entropy_bits == 0.0
+                    assert point.ideal_accuracy == 1.0
+                else:
+                    assert point.entropy_bits > 0.0
+
+    def test_curves_monotone_non_increasing(self):
+        trace = synthetic.markov_trace(8000, 0.85, 0.75, seed=3)
+        report = characterize(trace, schemes=(), include_interference=False)
+        for curve in (report.local_curve, report.global_curve):
+            values = _entropy_values(curve)
+            assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+            ideals = [point.ideal_accuracy for point in curve]
+            assert all(a <= b + 1e-12 for a, b in zip(ideals, ideals[1:]))
+
+    def test_bernoulli_outcome_entropy_is_binary_entropy(self):
+        trace = synthetic.biased_trace(20_000, taken_probability=0.7, seed=1)
+        report = characterize(trace, schemes=(), include_interference=False)
+        # One site: whole-trace outcome entropy IS the binary entropy of
+        # the empirical taken rate, exactly.
+        assert report.outcome_entropy_bits == pytest.approx(
+            binary_entropy(report.taken_rate), rel=1e-12
+        )
+        # And the empirical rate is near the generating parameter.
+        assert abs(report.taken_rate - 0.7) < 0.02
+        assert abs(report.outcome_entropy_bits - binary_entropy(0.7)) < 0.02
+        # i.i.d. outcomes: history buys (almost) nothing.
+        assert report.global_curve[-1].entropy_bits > 0.8 * report.outcome_entropy_bits
+
+    def test_markov_conditional_entropy_matches_analytic(self):
+        trace = synthetic.markov_trace(30_000, 0.9, 0.9, seed=2)
+        report = characterize(trace, schemes=(), include_interference=False)
+        analytic = binary_entropy(0.9)  # symmetric chain: H(next|prev)
+        assert abs(report.global_curve[0].entropy_bits - 1.0) < 0.01
+        for point in report.global_curve[1:]:
+            # Only the most recent bit matters; deeper history can only
+            # shave entropy via finite-sample overfitting.
+            assert abs(point.entropy_bits - analytic) < 0.05
+
+    def test_markov_k1_entropy_exact_against_independent_count(self):
+        max_k = 4
+        trace = synthetic.markov_trace(10_000, 0.8, 0.7, seed=5)
+        report = characterize(
+            trace, max_k=max_k, schemes=(), include_interference=False
+        )
+        # Recount H(outcome | previous outcome) independently, honouring
+        # the warmup-skip convention (first max_k conditionals skipped).
+        counts = {}
+        history = 0
+        seen = 0
+        for record in trace:
+            if seen >= max_k:
+                key = history & 1
+                bucket = counts.setdefault(key, [0, 0])
+                bucket[1 if record.taken else 0] += 1
+            history = (history << 1) | (1 if record.taken else 0)
+            seen += 1
+        total = sum(n0 + n1 for n0, n1 in counts.values())
+        expected = sum(
+            (n0 + n1) / total * binary_entropy(n1 / (n0 + n1))
+            for n0, n1 in counts.values()
+        )
+        assert report.global_curve[1].entropy_bits == pytest.approx(
+            expected, rel=1e-12
+        )
+
+
+class TestBackendEquivalence:
+    @pytest.fixture(scope="class")
+    def mixed_trace(self):
+        rng = random.Random(11)
+        builder = TraceBuilder()
+        for i in range(3000):
+            builder.conditional(0x100, rng.random() < 0.5)
+            builder.conditional(0x200, i % 3 != 0)
+            builder.conditional(0x300, True)
+            if i % 5 == 0:
+                builder.conditional(0x400, rng.random() < 0.85)
+        return builder.build()
+
+    def test_counts_bit_identical_across_backends_and_blocks(self, mixed_trace):
+        reference = characterization_counts(mixed_trace, backend="python")
+        for backend in ("python", "vectorized"):
+            for block_size in (1, 7, 64, 1000, None):
+                counts = characterization_counts(
+                    mixed_trace, backend=backend, block_size=block_size
+                )
+                assert counts == reference
+
+    def test_reports_bit_identical(self, mixed_trace):
+        python = characterize(
+            mixed_trace, backend="python", schemes=("gag-8",)
+        )
+        vectorized = characterize(
+            mixed_trace, backend="vectorized", schemes=("gag-8",), block_size=77
+        )
+        left, right = python.to_dict(), vectorized.to_dict()
+        # The backend and block-size labels legitimately differ.
+        for key in ("backend", "block_size"):
+            left.pop(key), right.pop(key)
+        assert left == right
+
+    def test_unknown_backend_rejected(self, mixed_trace):
+        with pytest.raises(ValueError):
+            characterization_counts(mixed_trace, backend="cuda")
+
+    def test_max_k_validated(self, mixed_trace):
+        with pytest.raises(ValueError):
+            characterization_counts(mixed_trace, max_k=0)
+        with pytest.raises(ValueError):
+            characterization_counts(mixed_trace, max_k=21)
+
+
+class TestH2P:
+    def test_adversarial_hard_branch_flagged(self):
+        rng = random.Random(7)
+        builder = TraceBuilder()
+        for _ in range(4000):
+            builder.conditional(0xDEAD, rng.random() < 0.5)  # genuinely random
+            builder.conditional(0xB1A5, True)  # fully biased
+            builder.conditional(0x100F, False)
+        report = characterize(
+            builder.build(), schemes=(), include_interference=False
+        )
+        by_pc = {site.pc: site for site in report.sites}
+        assert by_pc[0xDEAD].h2p
+        assert not by_pc[0xB1A5].h2p
+        assert not by_pc[0x100F].h2p
+        assert report.h2p_sites == 1
+        assert report.h2p_dynamic_share == pytest.approx(1 / 3, abs=1e-3)
+        assert by_pc[0xDEAD].cluster == "hard"
+        assert by_pc[0xB1A5].cluster == "biased"
+
+    def test_rare_branch_not_flagged(self):
+        # Random outcomes, but below min_executions: not an H2P.
+        rng = random.Random(9)
+        builder = TraceBuilder()
+        for i in range(2000):
+            builder.conditional(0xA, i % 2 == 0)
+            if i < 30:
+                builder.conditional(0xB, rng.random() < 0.5)
+        report = characterize(
+            builder.build(), schemes=(), include_interference=False
+        )
+        by_pc = {site.pc: site for site in report.sites}
+        assert not by_pc[0xB].h2p
+
+    def test_criteria_travel_in_report(self):
+        trace = synthetic.loop_trace(iterations=100, trip_count=4)
+        criteria = H2PCriteria(min_executions=10)
+        report = characterize(
+            trace, schemes=(), include_interference=False, h2p=criteria
+        )
+        assert report.h2p_criteria.min_executions == 10
+        assert report.to_dict()["h2p"]["criteria"]["min_executions"] == 10
+
+
+class TestClustering:
+    def test_every_site_gets_a_known_cluster(self):
+        trace = synthetic.interleaved(
+            [synthetic.loop_source(3), synthetic.alternating_source()],
+            length=6000,
+        )
+        report = characterize(trace, schemes=(), include_interference=False)
+        assert report.sites
+        for site in report.sites:
+            assert site.cluster in CLUSTER_NAMES
+        assert sum(c.sites for c in report.clusters) == report.static_sites
+        assert sum(c.dynamic_share for c in report.clusters) == pytest.approx(1.0)
+
+    def test_cluster_order_is_schema_order(self):
+        trace = synthetic.loop_trace(iterations=200, trip_count=4)
+        report = characterize(trace, schemes=(), include_interference=False)
+        assert tuple(c.name for c in report.clusters) == CLUSTER_NAMES
+
+
+class TestAttribution:
+    def test_accuracy_matches_engine(self):
+        trace = synthetic.interleaved(
+            [synthetic.loop_source(t) for t in (3, 5)], length=6000
+        )
+        attribution = attribute_scheme(make_pag(8), trace, scheme="pag-8")
+        engine = simulate(make_pag(8), trace)
+        assert attribution.correct == engine.correct_predictions
+        assert attribution.executions == engine.conditional_branches
+
+    def test_winner_table_covers_every_scheme(self):
+        trace = synthetic.interleaved(
+            [synthetic.loop_source(3), synthetic.alternating_source()],
+            length=4000,
+        )
+        report = characterize(trace, include_interference=False)
+        assert [entry["scheme"] for entry in report.schemes] == list(DEFAULT_SCHEMES)
+        for cluster in report.clusters:
+            if cluster.sites:
+                assert set(cluster.accuracy) == set(DEFAULT_SCHEMES)
+                assert cluster.winner in DEFAULT_SCHEMES
+
+    def test_breakdown_totals_consistent(self):
+        trace = synthetic.interleaved(
+            [synthetic.loop_source(t) for t in (3, 7)], length=5000
+        )
+        report = characterize(
+            trace, schemes=("gag-8",), include_interference=False
+        )
+        (entry,) = report.schemes
+        breakdown = entry["breakdown"]
+        assert breakdown["total_misses"] == (
+            breakdown["cold"] + breakdown["post_flush"] + breakdown["steady"]
+        )
+        assert entry["correct"] + breakdown["total_misses"] == entry["executions"]
+
+
+class TestReportSchema:
+    def test_json_round_trip_exact(self):
+        trace = synthetic.interleaved(
+            [synthetic.loop_source(3), synthetic.alternating_source()],
+            length=3000,
+        )
+        report = characterize(trace, schemes=("gag-8", "tournament"))
+        payload = report.to_dict()
+        assert payload["schema"] == CHAR_SCHEMA
+        rebuilt = CharacterizationReport.from_dict(
+            json.loads(json.dumps(payload))
+        )
+        assert rebuilt.to_dict() == payload
+
+    def test_every_top_level_key_present(self):
+        trace = synthetic.loop_trace(iterations=50, trip_count=4)
+        payload = characterize(trace, schemes=()).to_dict()
+        assert set(payload) == {
+            "schema", "workload", "dataset", "backend", "max_k", "block_size",
+            "conditional_branches", "static_sites", "taken_rate",
+            "outcome_entropy_bits", "global_curve", "local_curve", "h2p",
+            "clustering", "sites", "clusters", "schemes", "interference",
+        }
+        assert len(payload["global_curve"]) == DEFAULT_MAX_K + 1
+
+    def test_interference_block_present_when_enabled(self):
+        trace = synthetic.interleaved(
+            [synthetic.loop_source(3)] * 2, length=2000
+        )
+        report = characterize(trace, schemes=())
+        assert set(report.interference) >= {
+            "history_bits", "first_level_pollution_rate", "bht_hit_rate",
+        }
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ValueError):
+            CharacterizationReport.from_dict({"schema": "repro.obs/1"})
+
+    def test_format_renders_all_sections(self):
+        trace = synthetic.interleaved(
+            [synthetic.loop_source(3), synthetic.alternating_source()],
+            length=3000,
+        )
+        text = format_characterization(
+            characterize(trace, schemes=("gag-8",))
+        )
+        assert "history sensitivity" in text
+        assert "cluster winner table" in text
+        assert "scheme attribution" in text
+        assert "interference" in text
+
+
+class TestEdgeCases:
+    def test_empty_trace(self):
+        report = characterize(
+            TraceBuilder().build(), schemes=(), include_interference=False
+        )
+        assert report.conditional_branches == 0
+        assert report.static_sites == 0
+        assert report.outcome_entropy_bits == 0.0
+
+    def test_entropy_helper_bounds(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+        assert binary_entropy(0.5) == 1.0
+        assert binary_entropy(0.25) == pytest.approx(
+            -(0.25 * math.log2(0.25) + 0.75 * math.log2(0.75))
+        )
+
+    def test_short_trace_sites_fall_back_to_bias(self):
+        # Fewer occurrences than max_k: history tables stay empty, the
+        # site still characterizes via its outcome entropy.
+        builder = TraceBuilder()
+        for _ in range(3):
+            builder.conditional(0xA, True)
+        report = characterize(
+            builder.build(), max_k=8, schemes=(), include_interference=False
+        )
+        (site,) = report.sites
+        assert site.history_counted == 0
+        assert site.cluster == "biased"
