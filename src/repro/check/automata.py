@@ -278,10 +278,15 @@ def verify_spec(spec: AutomatonSpec) -> List[Finding]:
 
 def default_specs() -> List[AutomatonSpec]:
     """The verification corpus: the paper's five automata, the preset
-    bits, and samples of the generated families."""
+    bits, the tournament chooser, and samples of the generated
+    families."""
     specs: List[AutomatonSpec] = list(PAPER_AUTOMATA.values())
     specs += [PRESET_TAKEN, PRESET_NOT_TAKEN]
     specs += [saturating_counter(bits) for bits in (1, 2, 3, 4)]
+    # The tournament chooser (SC2 started weakly-favour-first): ops
+    # bundles are cached per (transitions, predictions, initial_state),
+    # so the non-default start state is a distinct encoding to prove.
+    specs += [saturating_counter(2, initial=1)]
     specs += [
         shift_register_automaton(1),
         shift_register_automaton(2),

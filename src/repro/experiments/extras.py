@@ -180,6 +180,7 @@ def extra_taxonomy(
     n_workers: int = 1,
     result_cache=None,
     backend: str = "auto",
+    shards: Optional[int] = None,
 ) -> FigureResult:
     """The widened taxonomy ladder at one history length, with costs.
 
@@ -201,7 +202,8 @@ def extra_taxonomy(
         "tournament": lambda t: tournament_pag_gshare(k, k, 10),
     }
     matrix = run_matrix(
-        builders, cases, n_workers=n_workers, result_cache=result_cache, backend=backend
+        builders, cases, n_workers=n_workers, result_cache=result_cache,
+        backend=backend, shards=shards,
     )
     costs = {
         f"GAg-{k}": cost_gag(k),

@@ -124,6 +124,7 @@ def figure5(
     n_workers: int = 1,
     result_cache: Optional[ResultCache] = None,
     backend: str = "auto",
+    shards: Optional[int] = None,
 ) -> FigureResult:
     """PAg(512, 4-way, 12-bit) with automata LT / A1 / A2 / A3 / A4."""
     cases = _cases(cases, scale)
@@ -134,6 +135,7 @@ def figure5(
     matrix = run_matrix(
         builders, cases, n_workers=n_workers, result_cache=result_cache,
         backend=backend,
+        shards=shards,
     )
     rendered = render_accuracy_matrix(
         matrix,
@@ -158,6 +160,7 @@ def figure6(
     n_workers: int = 1,
     result_cache: Optional[ResultCache] = None,
     backend: str = "auto",
+    shards: Optional[int] = None,
 ) -> FigureResult:
     """GAg vs PAg vs PAp, all using the same history register length."""
     cases = _cases(cases, scale)
@@ -169,6 +172,7 @@ def figure6(
     matrix = run_matrix(
         builders, cases, n_workers=n_workers, result_cache=result_cache,
         backend=backend,
+        shards=shards,
     )
     summary_rows = []
     for k in lengths:
@@ -216,6 +220,7 @@ def figure7(
     n_workers: int = 1,
     result_cache: Optional[ResultCache] = None,
     backend: str = "auto",
+    shards: Optional[int] = None,
 ) -> FigureResult:
     """GAg accuracy as the history register grows 6 -> 18 bits."""
     cases = _cases(cases, scale)
@@ -223,6 +228,7 @@ def figure7(
     matrix = run_matrix(
         builders, cases, n_workers=n_workers, result_cache=result_cache,
         backend=backend,
+        shards=shards,
     )
     gain = matrix.gmean(f"GAg-{max(lengths)}") - matrix.gmean(f"GAg-{min(lengths)}")
     series = {
@@ -256,6 +262,7 @@ def figure8(
     n_workers: int = 1,
     result_cache: Optional[ResultCache] = None,
     backend: str = "auto",
+    shards: Optional[int] = None,
 ) -> FigureResult:
     """GAg(18) / PAg(12) / PAp(6): ~equal accuracy, very unequal cost."""
     cases = _cases(cases, scale)
@@ -267,6 +274,7 @@ def figure8(
     matrix = run_matrix(
         builders, cases, n_workers=n_workers, result_cache=result_cache,
         backend=backend,
+        shards=shards,
     )
     costs = {
         "GAg-18": cost_gag(18, 2, params),
@@ -306,6 +314,7 @@ def figure9(
     n_workers: int = 1,
     result_cache: Optional[ResultCache] = None,
     backend: str = "auto",
+    shards: Optional[int] = None,
 ) -> FigureResult:
     """GAg(18)/PAg(12)/PAp(6) with and without context switches."""
     cases = _cases(cases, scale)
@@ -317,6 +326,7 @@ def figure9(
     plain = run_matrix(
         builders, cases, n_workers=n_workers, result_cache=result_cache,
         backend=backend,
+        shards=shards,
     )
     switched_builders = {f"{name},c": builder for name, builder in builders.items()}
     switched = run_matrix(
@@ -326,6 +336,7 @@ def figure9(
         n_workers=n_workers,
         result_cache=result_cache,
         backend=backend,
+        shards=shards,
     )
     merged = ResultMatrix(
         benchmarks=plain.benchmarks,
@@ -369,6 +380,7 @@ def figure10(
     n_workers: int = 1,
     result_cache: Optional[ResultCache] = None,
     backend: str = "auto",
+    shards: Optional[int] = None,
 ) -> FigureResult:
     """PAg with practical BHTs (256/512 x direct/4-way) vs the IBHT,
     simulated in the presence of context switches, as the paper does."""
@@ -387,6 +399,7 @@ def figure10(
         n_workers=n_workers,
         result_cache=result_cache,
         backend=backend,
+        shards=shards,
     )
     rendered = render_accuracy_matrix(
         matrix, title="Figure 10: branch history table implementations (with context switches)"
@@ -409,6 +422,7 @@ def figure11(
     n_workers: int = 1,
     result_cache: Optional[ResultCache] = None,
     backend: str = "auto",
+    shards: Optional[int] = None,
 ) -> FigureResult:
     """PAg(12) against every other scheme family in the study."""
     cases = _cases(cases, scale)
@@ -425,6 +439,7 @@ def figure11(
     matrix = run_matrix(
         builders, cases, n_workers=n_workers, result_cache=result_cache,
         backend=backend,
+        shards=shards,
     )
     rendered = (
         render_accuracy_matrix(

@@ -85,10 +85,16 @@ class TournamentPredictor(BranchPredictor):
     ) -> None:
         self.first = first
         self.second = second
+        self.chooser_bits = chooser_bits
         self._mask = history_mask(chooser_bits)
         self._choosers = [1] * (1 << chooser_bits)  # weakly favour `first`
         self.name = name or f"tournament({first.name} | {second.name})"
         self.disagreements = 0
+
+    @property
+    def chooser_mask(self) -> int:
+        """The chooser index mask (read by the vectorized kernel)."""
+        return self._mask
 
     def _chooser_index(self, pc: int) -> int:
         return pc & self._mask

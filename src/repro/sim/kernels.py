@@ -34,12 +34,20 @@ How a two-level scheme is vectorized
    the scan depth and allows closed-form scoring of whole runs when no
    per-record output is needed.
 
-Not every predictor has a kernel: set-associative BHTs (the paper's
-4-way tables) would need an exact sequential LRU stack-distance model,
-and hybrid schemes (tournament, gselect, SAg/SAs) compose multiple
-tables. Those fall back to the interpreted loop — ``simulate(...,
-backend="auto")`` arranges this automatically via
-:func:`kernel_supports`.
+Set-associative BHTs (the paper's 4-way tables) are modelled exactly:
+an event-compressed, set-parallel LRU pass (:func:`_assoc_layout`)
+replays each set's way array — first-invalid-way allocation, true-LRU
+victim choice, flush invalidation that keeps stale tags — and emits the
+same (episode, slot, evict) layout the direct-mapped path derives in
+closed form. Hybrid and per-set schemes compose the existing machinery:
+gselect concatenates address bits into the global-history key, SAg/SAs
+group per-set shift registers, and the tournament kernel runs both
+component kernels per-record and arbitrates with a chooser-automaton
+scan over the disagreement records. The remaining exclusions are
+structural: automata beyond 4 states or without the ``f^4 == f^3``
+fixed point, and history registers above ``_MAX_HISTORY_BITS``. Those
+fall back to the interpreted loop — ``simulate(..., backend="auto")``
+arranges this automatically via :func:`kernel_supports`.
 
 Kernels never mutate the predictor: they read its *configuration*
 (history length, automaton, BHT geometry, preset/profiled bits) and
@@ -57,9 +65,11 @@ from ..core.automata import (
     IDENTITY_CODE,
     AutomatonSpec,
     packed_transition_code,
+    saturating_counter,
     supports_vector_scan,
 )
 from ..core.history import CacheBHT, IdealBHT
+from ..core.perset import SAgPredictor, SAsPredictor
 from ..core.static_training import GSgPredictor, PSgPredictor
 from ..core.twolevel import (
     GAgPredictor,
@@ -69,6 +79,7 @@ from ..core.twolevel import (
     PApPredictor,
 )
 from ..predictors.btb import BTBPredictor
+from ..predictors.extensions import GselectPredictor, TournamentPredictor
 from ..predictors.static import AlwaysNotTaken, AlwaysTaken, BTFN, ProfileGuided
 from ..trace.events import Trace
 from ..trace.stream import DEFAULT_BLOCK_SIZE as _DEFAULT_STREAM_BLOCK
@@ -76,6 +87,7 @@ from .engine import ContextSwitchConfig
 from .results import SimulationResult
 
 __all__ = [
+    "CHOOSER_AUTOMATON",
     "KernelUnavailable",
     "automaton_ops",
     "kernel_supports",
@@ -508,6 +520,20 @@ def _kernel_gsg(predictor: GSgPredictor):
     return kernel
 
 
+def _kernel_gselect(predictor: GselectPredictor):
+    ops = _ops_for(predictor.pht.automaton)
+    k = predictor.history_bits
+    addr_mask = (1 << predictor.address_bits) - 1
+
+    def kernel(run: _Run):
+        ghr = _global_history(run, k, fill_taken=True)
+        keys = ((run.pc_c & addr_mask) << k) | ghr
+        order, grp_new = _group_sort(keys)
+        return _scan_scheme(run, run.out_u8[order], grp_new, order, ops)
+
+    return kernel
+
+
 # ----------------------------------------------------------------------
 # Per-address first level: PAg, PSg, PAp, BTB
 # ----------------------------------------------------------------------
@@ -540,6 +566,8 @@ def _pa_layout(run: _Run, bht) -> _Layout:
     if isinstance(bht, IdealBHT):
         _sites, keys = run.arrays.conditional_site_ids()
         direct = False
+    elif bht.associativity > 1:
+        return _assoc_layout(run, bht)
     else:
         keys = run.pc_c % bht.num_sets
         direct = True
@@ -586,7 +614,176 @@ def _pa_patterns(layout: _Layout, k: int) -> np.ndarray:
     return patterns
 
 
+def _lru_metadata(run: _Run, bht: CacheBHT, order1: np.ndarray):
+    """Replay every set's LRU way array over the (set, time)-sorted
+    conditional records.
+
+    Returns per-record arrays in ``order1`` order: ``miss`` (the access
+    allocated its entry), ``evict`` (the allocation displaced a valid
+    occupant), and ``way`` (the physical way the record's entry lives
+    in). The model mirrors :meth:`repro.core.history.CacheBHT.access`
+    exactly: hits refresh recency, misses claim the first invalid way by
+    index (else the true-LRU victim), and a flush invalidates every way
+    while keeping its tag and recency — only ``access`` ticks the clock,
+    so recency order is conditional-record order.
+
+    Consecutive records of one set with the same tag and segment
+    collapse into a single *event* (everything after the first is a
+    guaranteed hit on the way just touched, and only the last touch's
+    recency survives). Events partition into *epochs* — one set's
+    tenure between flushes — and epochs are independent: a flush
+    invalidates every way, allocations claim invalid ways by index
+    before consulting recency, and hits require validity, so neither
+    the retained tags nor the pre-flush recency can ever influence a
+    later epoch.
+
+    Within an epoch that touches at most ``associativity`` distinct
+    branches nothing is ever displaced: every first touch allocates the
+    next invalid way (fill order), every later touch hits, and
+    ``evict`` never fires. That is the common case for the paper's
+    geometries (hundreds of sets, a handful of resident branches each)
+    and is computed with pure array passes below. Only epochs with more
+    distinct branches than ways — where true LRU replacement decides —
+    take the event-serial round loop, restricted to exactly those
+    epochs: round ``r`` processes the ``r``-th event of every still-live
+    contended epoch at once with 2-D way arrays.
+    """
+    n = run.n_c
+    assoc = bht.associativity
+    set_s = (run.pc_c % bht.num_sets)[order1]
+    tag_s = (run.pc_c // bht.num_sets)[order1]
+    seg_s = run.seg_c[order1]
+
+    set_chg = np.empty(n, dtype=np.bool_)
+    set_chg[0] = True
+    set_chg[1:] = set_s[1:] != set_s[:-1]
+    ev_new = set_chg.copy()
+    ev_new[1:] |= (tag_s[1:] != tag_s[:-1]) | (seg_s[1:] != seg_s[:-1])
+    ev_first = np.flatnonzero(ev_new)
+    n_ev = ev_first.shape[0]
+    ev_tag = tag_s[ev_first]
+    ev_seg = seg_s[ev_first]
+
+    # Epoch boundaries: a new set, or a segment change within the set.
+    ep_new = set_chg[ev_first].copy()
+    ep_new[0] = True
+    ep_new[1:] |= ev_seg[1:] != ev_seg[:-1]
+    ep_id = np.cumsum(ep_new, dtype=np.int64) - 1
+    n_ep = int(ep_id[-1]) + 1
+
+    # First touch of each (epoch, tag) group: a stable sort by tag then
+    # by (already monotone) epoch puts each group's events in time
+    # order with the first touch leading. Epochs never span sets, so
+    # tag alone identifies the branch within a group.
+    by_tag = _stable_argsort(ev_tag)
+    gorder = by_tag[_stable_argsort(ep_id[by_tag])]
+    g_ep = ep_id[gorder]
+    g_tag = ev_tag[gorder]
+    gnew = np.empty(n_ev, dtype=np.bool_)
+    gnew[0] = True
+    gnew[1:] = (g_ep[1:] != g_ep[:-1]) | (g_tag[1:] != g_tag[:-1])
+    is_first = np.zeros(n_ev, dtype=np.bool_)
+    first_idx = gorder[gnew]
+    is_first[first_idx] = True
+
+    ev_miss = is_first.copy()
+    ev_evict = np.zeros(n_ev, dtype=np.bool_)
+    # Fill order: the d-th distinct branch of an epoch lands in way d.
+    touched = np.cumsum(is_first)  # inclusive count of first touches
+    ep_start_ev = _start_indices(ep_new)
+    fill = touched - touched[ep_start_ev]  # epoch starts are first touches
+    grp_id_g = np.cumsum(gnew, dtype=np.int64) - 1
+    grp_id = np.empty(n_ev, dtype=np.int64)
+    grp_id[gorder] = grp_id_g
+    grp_way = np.empty(int(grp_id_g[-1]) + 1, dtype=np.int64)
+    grp_way[grp_id[first_idx]] = fill[first_idx]
+    ev_way = grp_way[grp_id]
+
+    distinct = np.bincount(ep_id[is_first], minlength=n_ep)
+    contended = distinct > assoc
+    if np.any(contended):
+        ep_first = np.flatnonzero(ep_new)
+        ep_end = np.empty(n_ep, dtype=np.int64)
+        ep_end[:-1] = ep_first[1:]
+        ep_end[-1] = n_ev
+        c_start = ep_first[contended]
+        c_end = ep_end[contended]
+        n_live = c_start.shape[0]
+
+        way_tag = np.full((n_live, assoc), -1, dtype=np.int64)
+        way_rec = np.full((n_live, assoc), -1, dtype=np.int64)
+        way_valid = np.zeros((n_live, assoc), dtype=np.bool_)
+
+        far = np.iinfo(np.int64).max
+        cursor = c_start.copy()
+        alive = np.arange(n_live, dtype=np.int64)
+        while alive.size:
+            e = cursor[alive]
+            valid = way_valid[alive]
+            hits = valid & (way_tag[alive] == ev_tag[e, None])
+            hit = hits.any(axis=1)
+            invalid_any = ~valid.all(axis=1)
+            lru = np.argmin(np.where(valid, way_rec[alive], far), axis=1)
+            way = np.where(
+                hit, np.argmax(hits, axis=1),
+                np.where(invalid_any, np.argmax(~valid, axis=1), lru),
+            )
+            ev_miss[e] = miss = ~hit
+            ev_evict[e] = miss & ~invalid_any
+            ev_way[e] = way
+            way_tag[alive, way] = ev_tag[e]
+            way_rec[alive, way] = e  # event index: monotone in time per set
+            way_valid[alive, way] = True
+            cursor[alive] += 1
+            alive = alive[cursor[alive] < c_end[alive]]
+
+    # Expand events back to records: miss/evict fire only on an event's
+    # first record; every record inherits its event's way.
+    miss_r = np.zeros(n, dtype=np.bool_)
+    evict_r = np.zeros(n, dtype=np.bool_)
+    miss_r[ev_first] = ev_miss
+    evict_r[ev_first] = ev_evict
+    way_r = ev_way[np.cumsum(ev_new) - 1]
+    return miss_r, evict_r, way_r
+
+
+def _assoc_layout(run: _Run, bht: CacheBHT) -> _Layout:
+    """The :class:`_Layout` for a set-associative :class:`CacheBHT`.
+
+    Records regroup by *physical slot* (set x associativity + way) —
+    the unit PAp hangs a pattern table off — with episodes opened by
+    every BHT miss (an allocation reinitialises the entry, and every
+    post-flush access misses, so miss marks subsume flush boundaries).
+    """
+    n = run.n_c
+    order1 = _stable_argsort(run.pc_c % bht.num_sets)
+    miss_r, evict_r, way_r = _lru_metadata(run, bht, order1)
+    # A stable way-sort of the (set, time)-ordered records yields
+    # (set, way, time) == (slot, time) order.
+    order2 = _stable_argsort(way_r)
+    order = order1[order2]
+    out_s = run.out_u8[order]
+    ep_new = miss_r[order2]
+    evict = evict_r[order2]
+    slot_s = (run.pc_c[order] % bht.num_sets) * bht.associativity + way_r[order2]
+    blk_new = np.empty(n, dtype=np.bool_)
+    blk_new[0] = True
+    blk_new[1:] = slot_s[1:] != slot_s[:-1]
+    ep_start = _start_indices(ep_new)
+    m = np.arange(n, dtype=np.int32) - ep_start
+    return _Layout(order, out_s, ep_new, ep_start, m, blk_new, evict)
+
+
 def _supported_bht(bht) -> bool:
+    """Batch kernels model any BHT geometry the simulator builds."""
+    return isinstance(bht, (IdealBHT, CacheBHT))
+
+
+def _stream_supported_bht(bht) -> bool:
+    """Streaming kernels carry one entry per site key across blocks,
+    which identifies sets with occupants — sound only for the ideal and
+    direct-mapped tables. Set-associative configs take the whole-trace
+    batch kernels (or the interpreted streaming loop)."""
     if isinstance(bht, IdealBHT):
         return True
     return isinstance(bht, CacheBHT) and bht.associativity == 1
@@ -659,6 +856,121 @@ def _kernel_btb(predictor: BTBPredictor):
     def kernel(run: _Run):
         layout = _pa_layout(run, bht)
         return _scan_scheme(run, layout.out_s, layout.ep_new, layout.order, ops)
+
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# Per-set first level: SAg, SAs
+# ----------------------------------------------------------------------
+
+def _perset_patterns(run: _Run, num_sets: int, k: int):
+    """``(order1, set_s, patterns_s)`` for the per-set shift registers.
+
+    Registers are untagged — selected by an address field, never fresh —
+    so their contents are simply the last ``min(d, k)`` outcomes of the
+    (set, segment) episode extended with the all-ones initialisation the
+    registers (re)start from (``d`` = records since the segment began in
+    that set). No miss protocol: the first access after (re)init reads
+    the all-ones pattern and shifts normally afterwards.
+    """
+    n = run.n_c
+    sets = (run.pc_c >> 2) % num_sets
+    order1 = _stable_argsort(sets)
+    set_s = sets[order1]
+    seg_s = run.seg_c[order1]
+    out_s = run.out_u8[order1]
+    ep_new = np.empty(n, dtype=np.bool_)
+    ep_new[0] = True
+    ep_new[1:] = (set_s[1:] != set_s[:-1]) | (seg_s[1:] != seg_s[:-1])
+    since = np.arange(n, dtype=np.int32) - _start_indices(ep_new)
+    window = _outcome_window(out_s, k)
+    patterns_s = _fill_extended(window, since, np.int32(1), k)
+    return order1, set_s, out_s, patterns_s
+
+
+def _kernel_sag(predictor: SAgPredictor):
+    ops = _ops_for(predictor.pht.automaton)
+    k = predictor.history_bits
+    num_sets = predictor.num_sets
+
+    def kernel(run: _Run):
+        order1, _set_s, _out_s, patterns_s = _perset_patterns(run, num_sets, k)
+        patterns = np.empty(run.n_c, dtype=np.int32)
+        patterns[order1] = patterns_s
+        order, grp_new = _group_sort(patterns)
+        return _scan_scheme(run, run.out_u8[order], grp_new, order, ops)
+
+    return kernel
+
+
+def _kernel_sas(predictor: SAsPredictor):
+    ops = _ops_for(predictor.tables[0].automaton)
+    k = predictor.history_bits
+    num_sets = predictor.num_sets
+
+    def kernel(run: _Run):
+        order1, set_s, out_s, patterns_s = _perset_patterns(run, num_sets, k)
+        # (set, pattern) keys from the set-sorted order keep time order
+        # inside each per-set table group (cf. the PAp kernel).
+        keys = (set_s.astype(np.int64) << k) | patterns_s
+        order2, grp_new = _group_sort(keys)
+        order = order1[order2]
+        return _scan_scheme(run, out_s[order2], grp_new, order, ops)
+
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# Hybrid schemes: tournament
+# ----------------------------------------------------------------------
+
+CHOOSER_AUTOMATON = saturating_counter(2, initial=1)
+"""The tournament chooser as an automaton: a 2-bit saturating counter
+started weakly favouring the first component, stepped toward whichever
+component was correct (input = "second component was right"), predicting
+"use the second component" in its upper half. Exported so the
+``repro.check.kernels`` prover can verify its packed encoding alongside
+the paper automata."""
+
+
+def _per_record_preds(kernel, run: _Run) -> np.ndarray:
+    """Run a component kernel forcing per-record predictions (the
+    tournament needs both components' guesses even when the outer run
+    could aggregate)."""
+    saved = run.aggregate
+    run.aggregate = False
+    try:
+        return kernel(run)
+    finally:
+        run.aggregate = saved
+
+
+def _kernel_tournament(predictor: TournamentPredictor):
+    first_kernel = _kernel_for(predictor.first)
+    second_kernel = _kernel_for(predictor.second)
+    if first_kernel is None or second_kernel is None:
+        return None
+    ops = _ops_for(CHOOSER_AUTOMATON)
+    cmask = predictor.chooser_mask
+
+    def kernel(run: _Run):
+        p1 = _per_record_preds(first_kernel, run)
+        p2 = _per_record_preds(second_kernel, run)
+        pred = p1.copy()
+        d = np.flatnonzero(p1 != p2)
+        if d.size:
+            # Choosers step only on disagreement, keyed by pc, and are
+            # never flushed — one scan over the disagreement records
+            # with input "second component was correct" yields each
+            # record's pre-update chooser verdict.
+            second_correct = p2[d] == run.out_bool[d]
+            order, grp_new = _group_sort(run.pc_c[d] & cmask)
+            runs = _find_runs(second_correct.view(np.uint8)[order], grp_new, ops)
+            use_second = np.empty(d.size, dtype=np.bool_)
+            use_second[order] = _expand_run_preds(d.size, runs, ops)
+            pred[d] = np.where(use_second, p2[d], p1[d])
+        return pred
 
     return kernel
 
@@ -744,18 +1056,32 @@ def _kernel_for(predictor):
         return _kernel_pap(predictor)
     if kind is BTBPredictor and scannable(predictor.automaton) and _supported_bht(predictor.bht):
         return _kernel_btb(predictor)
+    if kind is SAgPredictor and scannable(predictor.pht.automaton) and k_ok(predictor.history_bits):
+        return _kernel_sag(predictor)
+    if kind is SAsPredictor and scannable(predictor.tables[0].automaton) \
+            and k_ok(predictor.history_bits):
+        return _kernel_sas(predictor)
+    if kind is GselectPredictor and scannable(predictor.pht.automaton) \
+            and k_ok(predictor.history_bits + predictor.address_bits):
+        return _kernel_gselect(predictor)
+    if kind is TournamentPredictor and scannable(CHOOSER_AUTOMATON):
+        return _kernel_tournament(predictor)
     return None
 
 
 def kernel_supports(predictor) -> bool:
     """Whether :func:`simulate_vectorized` can replay ``predictor``.
 
-    True for the paper's table-driven schemes with an ideal or
-    direct-mapped first level and a <= 4-state automaton whose
-    transition functions stabilise within three repeats (all of LT,
-    A1-A4 and the preset bit); False for set-associative BHTs, hybrid
-    predictors, and exotic automaton extensions — those run through the
-    interpreted loop instead.
+    True for every scheme in the paper registry — the table-driven
+    two-level configurations with ideal, direct-mapped *or*
+    set-associative first levels, the BTB designs, the static schemes,
+    and the hybrid/per-set extensions (tournament, gselect, SAg/SAs) —
+    as long as the automata involved have <= 4 states and stabilise
+    within three repeats (all of LT, A1-A4, the preset bit and the
+    tournament chooser do). False only for exotic automaton extensions,
+    over-long history registers, subclassed predictor types (dispatch is
+    exact-type), and tournaments whose components are themselves
+    unsupported — those run through the interpreted loop instead.
     """
     return _kernel_for(predictor) is not None
 
@@ -1322,13 +1648,13 @@ def _stream_kernel_for(predictor):
     if kind is GSgPredictor and k_ok(predictor.history_bits):
         return _StreamGSg(predictor)
     if kind is PAgPredictor and supports_vector_scan(predictor.automaton) \
-            and k_ok(predictor.history_bits) and _supported_bht(predictor.bht):
+            and k_ok(predictor.history_bits) and _stream_supported_bht(predictor.bht):
         return _StreamPAg(predictor)
     if kind is PSgPredictor and k_ok(predictor.history_bits) \
-            and _supported_bht(predictor.bht):
+            and _stream_supported_bht(predictor.bht):
         return _StreamPSg(predictor)
     if kind is BTBPredictor and supports_vector_scan(predictor.automaton) \
-            and _supported_bht(predictor.bht):
+            and _stream_supported_bht(predictor.bht):
         return _StreamBTB(predictor)
     return None
 
@@ -1337,8 +1663,15 @@ def stream_kernel_supports(predictor) -> bool:
     """Whether :func:`simulate_vectorized_stream` covers ``predictor``.
 
     A strict subset of :func:`kernel_supports`: PAp (whose per-entry
-    pattern tables would all need carrying) and GAp above 16 history
-    bits fall back to the interpreted streaming loop.
+    pattern tables would all need carrying), GAp above 16 history bits,
+    set-associative BHTs (whose LRU way state the per-site carry dicts
+    cannot represent), and the hybrid/per-set extensions fall back to
+    the interpreted streaming loop. ``backend="auto"`` degrades
+    gracefully (and logs a ``kernel_fallback`` event); an explicit
+    ``backend="vectorized"`` with ``block_size`` raises
+    :class:`KernelUnavailable` naming the gap — drop the block size (or
+    use ``shards``, which parallelises the whole-trace kernels) to keep
+    the fast path.
     """
     return _stream_kernel_for(predictor) is not None
 
@@ -1385,10 +1718,14 @@ def simulate_vectorized_stream(
     """
     kernel = _stream_kernel_for(predictor)
     if kernel is None:
-        raise KernelUnavailable(
-            "no streaming kernel for "
-            f"{getattr(predictor, 'name', type(predictor).__name__)}"
+        name = getattr(predictor, "name", type(predictor).__name__)
+        hint = (
+            " (the whole-trace batch kernel covers it: drop block_size, "
+            "or use shards= for chunk-parallel execution)"
+            if _kernel_for(predictor) is not None
+            else ""
         )
+        raise KernelUnavailable(f"no streaming kernel for {name}{hint}")
     if block_size is None:
         block_size = _DEFAULT_STREAM_BLOCK
     if block_size < 1:

@@ -272,6 +272,7 @@ def _run_cell(
     training_path: Optional[str],
     context_switches: Optional[ContextSwitchConfig],
     backend: str = "auto",
+    shards=None,
     heartbeats=None,
     traced: bool = False,
 ) -> Tuple[str, str, Optional[SimulationResult], float, Dict[str, float], str, int]:
@@ -361,7 +362,11 @@ def _run_cell(
         else 0
     )
     result, used_backend = simulate_with_backend(
-        predictor, test_trace, context_switches=context_switches, backend=backend
+        predictor,
+        test_trace,
+        context_switches=context_switches,
+        backend=backend,
+        shards=shards,
     )
     sim_end = time.perf_counter()
     phases["simulate"] = sim_end - built
@@ -397,6 +402,7 @@ def execute_matrix(
     progress_interval: float = 0.5,
     backend: str = "auto",
     tracer: Optional[Any] = None,
+    shards: Optional[int] = None,
 ) -> ResultMatrix:
     """Evaluate every scheme on every benchmark, in parallel and cached.
 
@@ -417,8 +423,12 @@ def execute_matrix(
             on unsupported predictors. Backends are bit-identical, so
             the choice does not participate in result-cache keys: a
             cell cached under one backend satisfies lookups under any
-            other. The backend that actually ran each cell is recorded
-            in the telemetry.
+            other (cache hits report ``backend="cache"``). The backend
+            that actually ran each cell is recorded in the telemetry.
+        shards: when given, every simulated cell runs the trace-sharded
+            kernel driver with this many chunks
+            (:mod:`repro.sim.shard`). Bit-identical at every shard
+            count, so — like ``backend`` — it stays out of cache keys.
         n_workers: worker processes; ``1`` is a plain in-process loop
             (no executor, no trace spooling) whose results every other
             worker count reproduces bit-identically.
@@ -496,6 +506,7 @@ def execute_matrix(
         workers=n_workers,
         cached=result_cache is not None,
         backend=backend,
+        shards=0 if shards is None else shards,
     )
     started = time.perf_counter()
     if parent_recorder is not None:
@@ -507,7 +518,7 @@ def execute_matrix(
             benchmarks=len(cases),
             workers=n_workers,
         )
-    telemetry = RunTelemetry(n_workers=n_workers)
+    telemetry = RunTelemetry(n_workers=n_workers, shards=0 if shards is None else shards)
     matrix = ResultMatrix(
         benchmarks=[case.name for case in cases],
         categories={case.name: case.category for case in cases},
@@ -552,12 +563,17 @@ def execute_matrix(
                 result = SimulationResult.from_dict(payload) if payload is not None else None
                 lookup_end = time.perf_counter()
                 lookup_wall = lookup_end - lookup_started
+                # backend="cache": cache hits never ran an engine, and
+                # backends are excluded from cache keys, so reporting
+                # any engine backend here would attribute the *cached*
+                # run's backend to a near-zero lookup wall time and
+                # pollute regress()'s per-backend throughput medians.
                 outcomes[(label, case.name)] = (
                     result,
                     "cache" if result is not None else "unavailable",
                     lookup_wall,
                     {"cache_lookup": lookup_wall},
-                    "",
+                    "cache" if result is not None else "",
                     0,
                 )
                 if parent_recorder is not None:
@@ -620,6 +636,7 @@ def execute_matrix(
                 case.test_trace,
                 context_switches=context_switches,
                 backend=backend,
+                shards=shards,
             )
             cell_end = time.perf_counter()
             phases["simulate"] = cell_end - built
@@ -708,6 +725,7 @@ def execute_matrix(
                         training_path,
                         context_switches,
                         backend,
+                        shards,
                         heartbeat_queue,
                         tracer is not None,
                     )

@@ -76,6 +76,7 @@ def run_case(
     probe=None,
     backend: str = "auto",
     block_size: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> Optional[SimulationResult]:
     """Run one (scheme, benchmark) cell; None when training is missing.
 
@@ -94,6 +95,9 @@ def run_case(
         block_size: stream the test trace in blocks of at most this
             many records (see :func:`repro.sim.engine.simulate`);
             results are bit-identical for every block size.
+        shards: run the trace-sharded kernel driver with this many
+            chunks (see :mod:`repro.sim.shard`); bit-identical at every
+            shard count. Mutually exclusive with ``block_size``.
 
     Deterministic: a fresh predictor is built for every call, so
     repeated invocations with the same inputs return identical counts.
@@ -110,6 +114,7 @@ def run_case(
         probe=probe,
         backend=backend,
         block_size=block_size,
+        shards=shards,
     )
 
 
@@ -123,6 +128,7 @@ def run_matrix(
     tick=None,
     backend: str = "auto",
     tracer=None,
+    shards: Optional[int] = None,
 ) -> ResultMatrix:
     """Evaluate every scheme on every benchmark.
 
@@ -157,6 +163,10 @@ def run_matrix(
             heartbeat queue — see
             :func:`repro.sim.parallel.execute_matrix`). Telemetry only,
             never affects results.
+        shards: run every cell through the trace-sharded kernel driver
+            with this many chunks (:mod:`repro.sim.shard`); results are
+            bit-identical at every shard count, so the cache stays
+            shared across shard settings too.
 
     Returns:
         A :class:`ResultMatrix` with one cell per (scheme, benchmark)
@@ -177,6 +187,7 @@ def run_matrix(
         tick=tick,
         backend=backend,
         tracer=tracer,
+        shards=shards,
     )
 
 
@@ -192,12 +203,13 @@ def sweep_parameter(
     tick=None,
     backend: str = "auto",
     tracer=None,
+    shards: Optional[int] = None,
 ) -> ResultMatrix:
     """Evaluate a family of schemes indexed by one integer parameter.
 
     Used for the history-length sweeps of Figures 6 and 7. Accepts the
     same ``n_workers`` / ``result_cache`` / ``progress`` / ``backend`` /
-    ``tracer`` knobs as :func:`run_matrix`.
+    ``tracer`` / ``shards`` knobs as :func:`run_matrix`.
     """
     builders = {label(value): make_builder(value) for value in values}
     return run_matrix(
@@ -210,4 +222,5 @@ def sweep_parameter(
         tick=tick,
         backend=backend,
         tracer=tracer,
+        shards=shards,
     )

@@ -1,0 +1,514 @@
+"""Trace-sharded parallel execution of the vectorized kernels.
+
+The batch kernels in :mod:`repro.sim.kernels` exploit one global fact:
+every pattern-table entry starts a trace in the automaton's initial
+state, so a single whole-trace sort + segmented scan replays everything.
+This module splits the conditional stream into ``shards`` contiguous
+chunks and runs each chunk's sort + scan concurrently — *without*
+knowing the table state a chunk starts from.
+
+The trick is the same algebra the serial scan is built on. A pattern
+entry's evolution over a chunk is a composition of per-outcome
+transition functions, each packed into one byte with a 256x256
+composition LUT (proven exhaustively by ``repro.check.kernels``). A
+chunk therefore does not need the entry state to make progress:
+
+* **Resolved records** sit after an *absorbing* run (a saturating
+  constant code) inside their chunk — their state is independent of
+  anything earlier, so the chunk predicts them outright, exactly like
+  the serial scan's segment splitting.
+* **Unresolved records** (those in the first absorption segment of
+  their key within the chunk) get a *prefix code*: the composition of
+  every transition between chunk entry and the record. Applying that
+  code to the still-unknown entry state is deferred.
+* Per distinct key the chunk also emits a **carry code**: the
+  composition of the key's entire chunk — a function mapping any entry
+  state to the exit state.
+
+Reconciliation is then a prefix product over chunks in trace order:
+chunk 0 enters with every key in the automaton's initial state; each
+chunk's unresolved records resolve with one gather
+(``pred4[apply[prefix_code, entry_state]]``) and the carry codes
+advance the states handed to the next chunk. The result is
+**bit-identical** to the serial interpreted engine — including warmup,
+per-site tracking and context-switch epochs — at every shard count,
+because both paths compute exact automaton states; the equivalence-pin
+suite in ``tests/test_sim_shard.py`` enforces this.
+
+First-level state needs no symbolic treatment at all: history
+registers, BHT residency and flush epochs are pure functions of the
+trace, so the parent computes each scheme's per-record pattern-table
+*keys* once (the "plan") and only the dominant sort + scan work is
+sharded. Stateless schemes (GSg/PSg/static) are pure per-record
+functions and run whole-trace; tournaments shard both components and
+then the chooser scan over the disagreement records.
+
+Chunks run on a thread pool (NumPy releases the GIL in the sort/scan
+hot paths); ``shards=1`` degenerates to the serial scan and is the
+equivalence baseline the tests pin.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.perset import SAgPredictor, SAsPredictor
+from ..core.twolevel import (
+    GAgPredictor,
+    GApPredictor,
+    GsharePredictor,
+    PAgPredictor,
+    PApPredictor,
+)
+from ..predictors.btb import BTBPredictor
+from ..predictors.extensions import GselectPredictor, TournamentPredictor
+from ..trace.events import Trace
+from .engine import ContextSwitchConfig
+from .kernels import (
+    CHOOSER_AUTOMATON,
+    IDENTITY_CODE,
+    IdealBHT,
+    KernelUnavailable,
+    _AutomatonOps,
+    _global_history,
+    _group_sort,
+    _kernel_for,
+    _ops_for,
+    _pa_layout,
+    _pa_patterns,
+    _per_record_preds,
+    _perset_patterns,
+    _Run,
+    _score_predictions,
+    _start_indices,
+)
+from .results import SimulationResult
+
+__all__ = ["shard_supports", "simulate_sharded"]
+
+
+def shard_supports(predictor) -> bool:
+    """Whether :func:`simulate_sharded` can replay ``predictor``.
+
+    Identical to :func:`repro.sim.kernels.kernel_supports`: the shard
+    driver covers exactly the kernel-supported schemes (anything else
+    falls back to the interpreted loop under ``backend="auto"``).
+    """
+    return _kernel_for(predictor) is not None
+
+
+# ----------------------------------------------------------------------
+# Per-chunk symbolic scan
+# ----------------------------------------------------------------------
+
+class _ChunkScan:
+    """One chunk's output: resolved predictions, deferred prefix codes
+    for the unresolved records, and per-key carry codes."""
+
+    __slots__ = ("pred", "pos", "code", "key_local", "keys", "carry", "seconds")
+
+    def __init__(self, pred, pos, code, key_local, keys, carry, seconds) -> None:
+        self.pred = pred
+        self.pos = pos            # chunk-relative trace positions, unresolved
+        self.code = code          # prefix code per unresolved record
+        self.key_local = key_local  # index into ``keys`` per unresolved record
+        self.keys = keys          # distinct keys touched, ascending
+        self.carry = carry        # per-key whole-chunk composition code
+        self.seconds = seconds
+
+
+def _empty_chunk() -> _ChunkScan:
+    empty_i = np.empty(0, dtype=np.int64)
+    return _ChunkScan(
+        np.empty(0, dtype=np.bool_), empty_i, np.empty(0, dtype=np.uint8),
+        empty_i, empty_i, np.empty(0, dtype=np.uint8), 0.0,
+    )
+
+
+def _chunk_scan(keys: np.ndarray, out_u8: np.ndarray, ops: _AutomatonOps) -> _ChunkScan:
+    """Scan one contiguous chunk with symbolic (unknown) entry states.
+
+    Mirrors :func:`repro.sim.kernels._find_runs` — same run collapse,
+    same absorption segmentation, same Hillis-Steele doubling over the
+    composition LUT — but where ``_find_runs`` seeds every key group
+    with the automaton's initial state, this pass treats each group's
+    entry state as an unknown and ships composition codes instead.
+    """
+    started = time.perf_counter()
+    n = keys.shape[0]
+    if n == 0:
+        return _empty_chunk()
+    order, grp_new = _group_sort(keys)
+    key_s = keys[order]
+    out_s = out_u8[order]
+
+    starts = grp_new.copy()
+    starts[1:] |= out_s[1:] != out_s[:-1]
+    first = np.flatnonzero(starts)
+    nruns = first.shape[0]
+    length = np.empty(nruns, dtype=np.int64)
+    if nruns > 1:
+        length[:-1] = np.diff(first)
+    length[-1] = n - first[-1]
+    out = out_s[first]
+    lcap = np.minimum(length, 3)
+    code = ops.pow_codes[out, lcap]
+
+    grp_first = grp_new[first]
+    prev_code = np.empty(nruns, dtype=np.uint8)
+    prev_code[0] = IDENTITY_CODE
+    prev_code[1:] = code[:-1]
+    absorbed = ~grp_first & ops.is_const[prev_code]
+    absorbed[0] = False
+    seg_new = grp_first | absorbed
+    seg_new[0] = True
+    seg_start = _start_indices(seg_new)
+    idx_in_seg = np.arange(nruns, dtype=np.int32) - seg_start
+
+    # Exclusive segmented composition scan: H[i] maps a segment's entry
+    # state to the state entering run i (cf. _find_runs for the active-
+    # set discipline that keeps gathers on pre-iteration values).
+    H = np.empty(nruns, dtype=np.uint8)
+    H[0] = IDENTITY_CODE
+    H[1:] = code[:-1]
+    H[seg_new] = IDENTITY_CODE
+    compose_flat = ops.compose_flat
+    step = 1
+    while True:
+        active = np.flatnonzero(idx_in_seg >= step)
+        if active.size == 0:
+            break
+        prior = H[active - step].astype(np.uint16)
+        H[active] = compose_flat[(prior << 8) | H[active]]
+        step <<= 1
+
+    # A run is *resolved* when its segment opened at an absorption point
+    # (state pinned by a constant code, independent of chunk entry);
+    # runs in a key's leading segment depend on the unknown entry state.
+    seg_is_group_entry = grp_first[seg_start]
+    resolved_run = ~seg_is_group_entry
+    init_run = np.where(absorbed, prev_code & 3, 0).astype(np.uint8)[seg_start]
+    state0 = ops.apply[H, init_run]  # meaningful only where resolved_run
+
+    run_id = np.cumsum(starts) - 1
+    offset = np.minimum(np.arange(n) - first[run_id], 3)
+    pow_rec = ops.pow_codes[out[run_id], offset]
+    pred_s = np.empty(n, dtype=np.bool_)
+    rr = resolved_run[run_id]
+    pred_s[rr] = ops.pred4[ops.apply[pow_rec[rr], state0[run_id[rr]]]]
+    ur = np.flatnonzero(~rr)
+    rid = run_id[ur]
+    rec_code = compose_flat[(H[rid].astype(np.uint16) << 8) | pow_rec[ur]]
+    grp_id_run = np.cumsum(grp_first) - 1
+    key_local = grp_id_run[rid].astype(np.int64)
+
+    # Per-key carry: inclusive segmented composition of the run codes
+    # with segments = key groups — a code mapping any entry state to the
+    # key's chunk-exit state.
+    Hg = code.copy()
+    grp_start_run = _start_indices(grp_first)
+    idx_in_grp = np.arange(nruns, dtype=np.int32) - grp_start_run
+    step = 1
+    while True:
+        active = np.flatnonzero(idx_in_grp >= step)
+        if active.size == 0:
+            break
+        prior = Hg[active - step].astype(np.uint16)
+        Hg[active] = compose_flat[(prior << 8) | Hg[active]]
+        step <<= 1
+    grp_run_idx = np.flatnonzero(grp_first)
+    grp_last = np.empty(grp_run_idx.shape[0], dtype=np.int64)
+    grp_last[:-1] = grp_run_idx[1:] - 1
+    grp_last[-1] = nruns - 1
+    carry = Hg[grp_last]
+    group_keys = key_s[first[grp_run_idx]]
+
+    pred = np.empty(n, dtype=np.bool_)
+    pred[order] = pred_s
+    pos = order[ur]
+    return _ChunkScan(
+        pred, pos, rec_code, key_local, group_keys, carry,
+        time.perf_counter() - started,
+    )
+
+
+# ----------------------------------------------------------------------
+# Chunking + reconciliation
+# ----------------------------------------------------------------------
+
+def _chunk_bounds(n: int, shards: int) -> List[Tuple[int, int]]:
+    """``shards`` near-equal contiguous [lo, hi) ranges covering ``n``."""
+    edges = np.linspace(0, n, shards + 1).astype(np.int64)
+    return [(int(edges[i]), int(edges[i + 1])) for i in range(shards)]
+
+
+def _sharded_scan(
+    keys: np.ndarray,
+    out_u8: np.ndarray,
+    ops: _AutomatonOps,
+    shards: int,
+    executor: Optional[ThreadPoolExecutor],
+    recorder=None,
+) -> np.ndarray:
+    """Chunk-parallel scan: per-chunk symbolic passes, then a serial
+    prefix-product reconciliation in trace order. Returns per-record
+    predictions (trace order), bit-identical to the serial scan."""
+    n = keys.shape[0]
+    bounds = _chunk_bounds(n, shards)
+    scan_start = time.perf_counter()
+    if executor is not None:
+        futures = [
+            executor.submit(_chunk_scan, keys[lo:hi], out_u8[lo:hi], ops)
+            for lo, hi in bounds
+        ]
+        chunks = [future.result() for future in futures]
+    else:
+        chunks = [_chunk_scan(keys[lo:hi], out_u8[lo:hi], ops) for lo, hi in bounds]
+    scan_end = time.perf_counter()
+    if recorder is not None:
+        span = recorder.push(
+            "shard_chunks", cat="shard", start=scan_start, shards=shards, records=n
+        )
+        for index, ((lo, hi), chunk) in enumerate(zip(bounds, chunks)):
+            recorder.record(
+                "shard_chunk", cat="shard",
+                start=scan_start, end=scan_start + chunk.seconds,
+                shard=index, records=hi - lo, unresolved=int(chunk.pos.shape[0]),
+            )
+        recorder.pop_through(span, end=scan_end)
+
+    reconcile_id = (
+        recorder.push("shard_reconcile", cat="shard", start=scan_end)
+        if recorder is not None
+        else 0
+    )
+    all_keys = np.unique(np.concatenate([c.keys for c in chunks]))
+    states = np.full(all_keys.shape[0], ops.init, dtype=np.uint8)
+    pred = np.empty(n, dtype=np.bool_)
+    for (lo, _hi), chunk in zip(bounds, chunks):
+        if chunk.pred.shape[0] == 0:
+            continue
+        pred[lo:lo + chunk.pred.shape[0]] = chunk.pred
+        gid = np.searchsorted(all_keys, chunk.keys)
+        entry = states[gid]
+        if chunk.pos.shape[0]:
+            pred[lo + chunk.pos] = ops.pred4[
+                ops.apply[chunk.code, entry[chunk.key_local]]
+            ]
+        states[gid] = ops.apply[chunk.carry, entry]
+    if recorder is not None:
+        recorder.pop_through(reconcile_id, keys=int(all_keys.shape[0]))
+    return pred
+
+
+# ----------------------------------------------------------------------
+# Per-scheme plans: trace-order pattern-table keys
+# ----------------------------------------------------------------------
+
+def _scan_plan(predictor, run: _Run):
+    """``(keys, ops)`` for scan schemes — per-record pattern-table keys
+    in trace order, grouped exactly as the serial kernel groups them —
+    or None for schemes whose predictions are pure per-record functions
+    (GSg/PSg/static) or need composition (tournament).
+
+    First-level state is a pure function of the trace, so these reuse
+    the batch kernels' own layout helpers verbatim: a plan's key array
+    partitions records into the same automaton-entry groups, in the
+    same chronological order, as the serial whole-trace sort.
+    """
+    kind = type(predictor)
+    if kind is GAgPredictor:
+        ghr = _global_history(run, predictor.history_bits, fill_taken=True)
+        return ghr.astype(np.int64), _ops_for(predictor.automaton)
+    if kind is GsharePredictor:
+        k = predictor.history_bits
+        ghr = _global_history(run, k, fill_taken=False)
+        keys = (ghr ^ run.pc_c) & ((1 << k) - 1)
+        return keys.astype(np.int64), _ops_for(predictor.automaton)
+    if kind is GApPredictor:
+        k = predictor.history_bits
+        ghr = _global_history(run, k, fill_taken=True)
+        _sites, ids = run.arrays.conditional_site_ids()
+        return (ids.astype(np.int64) << k) | ghr, _ops_for(predictor.automaton)
+    if kind is GselectPredictor:
+        k = predictor.history_bits
+        addr_mask = (1 << predictor.address_bits) - 1
+        keys = ((run.pc_c & addr_mask) << k) | _global_history(run, k, fill_taken=True)
+        return keys.astype(np.int64), _ops_for(predictor.pht.automaton)
+    if kind is SAgPredictor:
+        order1, _set_s, _out_s, patterns_s = _perset_patterns(
+            run, predictor.num_sets, predictor.history_bits
+        )
+        keys = np.empty(run.n_c, dtype=np.int64)
+        keys[order1] = patterns_s
+        return keys, _ops_for(predictor.pht.automaton)
+    if kind is SAsPredictor:
+        k = predictor.history_bits
+        order1, set_s, _out_s, patterns_s = _perset_patterns(
+            run, predictor.num_sets, k
+        )
+        keys = np.empty(run.n_c, dtype=np.int64)
+        keys[order1] = (set_s.astype(np.int64) << k) | patterns_s
+        return keys, _ops_for(predictor.tables[0].automaton)
+    if kind is PAgPredictor:
+        layout = _pa_layout(run, predictor.bht)
+        keys = np.empty(run.n_c, dtype=np.int64)
+        keys[layout.order] = _pa_patterns(layout, predictor.history_bits)
+        return keys, _ops_for(predictor.automaton)
+    if kind is PApPredictor:
+        k = predictor.history_bits
+        bht = predictor.bht
+        layout = _pa_layout(run, bht)
+        patterns_s = _pa_patterns(layout, k)
+        if isinstance(bht, IdealBHT):
+            table_id = np.cumsum(layout.ep_new) - 1
+        elif predictor.config.reset_pht_on_evict:
+            table_id = np.cumsum(layout.blk_new | layout.evict) - 1
+        else:
+            table_id = np.cumsum(layout.blk_new) - 1
+        keys = np.empty(run.n_c, dtype=np.int64)
+        keys[layout.order] = (table_id << k) | patterns_s
+        return keys, _ops_for(predictor.automaton)
+    if kind is BTBPredictor:
+        # Episodes are the automaton entries: globally numbered, each
+        # starting from the initial state when first touched.
+        layout = _pa_layout(run, predictor.bht)
+        keys = np.empty(run.n_c, dtype=np.int64)
+        keys[layout.order] = np.cumsum(layout.ep_new) - 1
+        return keys, _ops_for(predictor.automaton)
+    return None
+
+
+def _sharded_preds(
+    predictor,
+    run: _Run,
+    shards: int,
+    executor: Optional[ThreadPoolExecutor],
+    recorder=None,
+) -> np.ndarray:
+    """Per-record predictions (trace order) via the shard machinery."""
+    if type(predictor) is TournamentPredictor:
+        p1 = _sharded_preds(predictor.first, run, shards, executor, recorder)
+        p2 = _sharded_preds(predictor.second, run, shards, executor, recorder)
+        pred = p1.copy()
+        d = np.flatnonzero(p1 != p2)
+        if d.size:
+            # Same arbitration as the serial kernel: choosers step only
+            # on disagreement, keyed by pc, never flushed — shard the
+            # chooser scan over the disagreement subsequence.
+            second_correct = (p2[d] == run.out_bool[d]).view(np.uint8)
+            keys = (run.pc_c[d] & predictor.chooser_mask).astype(np.int64)
+            use_second = _sharded_scan(
+                keys, second_correct, _ops_for(CHOOSER_AUTOMATON),
+                shards, executor, recorder,
+            )
+            pred[d] = np.where(use_second, p2[d], p1[d])
+        return pred
+    plan_start = time.perf_counter()
+    plan = _scan_plan(predictor, run)
+    if plan is None:
+        # Pure per-record schemes (GSg/PSg/static): predictions are a
+        # function of the trace alone — nothing to reconcile.
+        kernel = _kernel_for(predictor)
+        if kernel is None:
+            raise KernelUnavailable(
+                "no vectorized kernel for "
+                f"{getattr(predictor, 'name', type(predictor).__name__)}"
+            )
+        return _per_record_preds(kernel, run)
+    keys, ops = plan
+    if recorder is not None:
+        recorder.record(
+            "shard_plan", cat="shard", start=plan_start,
+            end=time.perf_counter(),
+            scheme=getattr(predictor, "name", type(predictor).__name__),
+        )
+    return _sharded_scan(keys, run.out_u8, ops, shards, executor, recorder)
+
+
+# ----------------------------------------------------------------------
+# Public driver
+# ----------------------------------------------------------------------
+
+def simulate_sharded(
+    predictor,
+    trace,
+    shards: int,
+    context_switches: Optional[ContextSwitchConfig] = None,
+    track_per_site: bool = False,
+    warmup_branches: int = 0,
+    max_workers: Optional[int] = None,
+) -> SimulationResult:
+    """Replay ``trace`` through chunk-parallel kernels, bit-identically.
+
+    Splits the conditional stream into ``shards`` contiguous chunks,
+    scans each with symbolic starting table state on a thread pool, and
+    reconciles via composition-LUT prefix products (module docstring).
+    Every shard count — including one chunk per record — returns the
+    same :class:`~repro.sim.results.SimulationResult` as the serial
+    interpreted engine.
+
+    Args:
+        shards: number of chunks (>= 1). More chunks than conditional
+            records is allowed; excess chunks are empty.
+        max_workers: thread-pool width; defaults to
+            ``min(shards, os.cpu_count())``. ``1`` scans chunks
+            serially in the caller's thread.
+
+    Raises:
+        KernelUnavailable: no kernel covers ``predictor``, the trace
+            breaks a kernel precondition, or a non-``Trace`` source
+            cannot be materialised in memory.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if not isinstance(trace, Trace):
+        materialize = getattr(trace, "materialize", None)
+        if materialize is None:
+            raise KernelUnavailable(
+                "sharding splits an in-memory trace into chunks; this "
+                f"source ({type(trace).__name__}) cannot be materialised "
+                "(use block_size streaming or the interpreted loop)"
+            )
+        trace = materialize()
+    if _kernel_for(predictor) is None:
+        raise KernelUnavailable(
+            "no vectorized kernel for "
+            f"{getattr(predictor, 'name', type(predictor).__name__)}"
+        )
+    from ..obs.spans import get_recorder as _get_span_recorder
+
+    recorder = _get_span_recorder()
+    run = _Run(trace, context_switches, track_per_site, warmup_branches)
+    run.aggregate = False  # reconciliation needs per-record predictions
+    per_seen = per_wrong = None
+    if run.n_c == 0:
+        correct = 0
+        if run.track_per_site:
+            per_seen, per_wrong = {}, {}
+    else:
+        workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        workers = max(1, min(shards, workers))
+        if workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                pred = _sharded_preds(predictor, run, shards, executor, recorder)
+        else:
+            pred = _sharded_preds(predictor, run, shards, None, recorder)
+        correct, per_seen, per_wrong = _score_predictions(run, pred)
+    scored = max(run.n_c - run.warmup, 0)
+    return SimulationResult(
+        predictor_name=predictor.name,
+        trace_name=trace.meta.name,
+        dataset=trace.meta.dataset,
+        conditional_branches=scored,
+        correct_predictions=correct,
+        context_switches=run.switches,
+        per_site_executions=per_seen,
+        per_site_mispredictions=per_wrong,
+        total_instructions=trace.meta.total_instructions,
+    )

@@ -148,18 +148,27 @@ def test_kernel_does_not_mutate_predictor():
     assert gag.ghr == (1 << gag.history_bits) - 1  # untouched taken-biased fill
 
 
+def _wide_automaton_gag():
+    """A GAg on an 8-state automaton: beyond the packed-code state limit,
+    so no kernel can exist (dispatch is on exact type + scannability)."""
+    from repro.core.automata import saturating_counter
+    from repro.core.twolevel import GAgPredictor
+
+    return GAgPredictor(6, saturating_counter(3))
+
+
 def test_unsupported_predictor_raises_and_auto_falls_back():
-    four_way = make_predictor("pag-8")  # default 512x4 BHT: no kernel
-    assert not kernel_supports(four_way)
+    unsupported = _wide_automaton_gag()
+    assert not kernel_supports(unsupported)
     with pytest.raises(KernelUnavailable):
-        simulate_vectorized(four_way, TRACE)
+        simulate_vectorized(unsupported, TRACE)
     with pytest.raises(KernelUnavailable):
-        simulate(make_predictor("pag-8"), TRACE, backend="vectorized")
+        simulate(_wide_automaton_gag(), TRACE, backend="vectorized")
     result, used = simulate_with_backend(
-        make_predictor("pag-8"), TRACE, backend="auto"
+        _wide_automaton_gag(), TRACE, backend="auto"
     )
     assert used == "python"
-    assert result == simulate(make_predictor("pag-8"), TRACE, backend="python")
+    assert result == simulate(_wide_automaton_gag(), TRACE, backend="python")
 
 
 def test_supported_predictor_routes_to_kernel():

@@ -1,0 +1,258 @@
+"""Equivalence pins for the trace-sharded parallel kernel driver.
+
+The contract (see :mod:`repro.sim.shard`): for every kernel-supported
+predictor, :func:`simulate_sharded` is **bit-identical** to the serial
+interpreted engine — aggregate counts, per-site dictionaries,
+context-switch count — at *every* shard count, including shard
+boundaries landing exactly on context-switch epochs and one-record
+shards. Unsupported predictors fail loudly (and fall back under
+``backend="auto"``), and sharding never mutates the predictor.
+"""
+
+import random
+
+import pytest
+
+from repro.core.automata import A2, LAST_TIME, saturating_counter
+from repro.core.twolevel import GAgPredictor, make_pag, make_pap
+from repro.predictors.btb import BTBPredictor
+from repro.predictors.extensions import GselectPredictor, TournamentPredictor
+from repro.predictors.registry import make_predictor, paper_table3_specs
+from repro.sim import (
+    ContextSwitchConfig,
+    KernelUnavailable,
+    kernel_supports,
+    shard_supports,
+    simulate,
+    simulate_sharded,
+    simulate_with_backend,
+)
+from repro.sim.runner import BenchmarkCase, run_case, run_matrix
+from repro.trace.events import BranchClass, TraceBuilder
+
+
+def synthetic_trace(seed=17, n=9_000, sites=120, name="shard-synth"):
+    rng = random.Random(seed)
+    builder = TraceBuilder(name=name, dataset="unit", source="synthetic")
+    pcs = [0x40_0000 + 8 * i for i in range(sites)]
+    for i in range(n):
+        pc = rng.choice(pcs)
+        if rng.random() < 0.01:
+            builder.trap()
+        if rng.random() < 0.05:
+            builder.branch(pc ^ 0x4, True, BranchClass.CALL, target=pc + 256, work=2)
+            continue
+        bias = (pc >> 3) % 10 / 10.0
+        taken = rng.random() < bias
+        target = pc - 128 if (pc >> 3) % 3 else pc + 128
+        builder.branch(pc, taken, target=target, work=rng.randrange(1, 6))
+    return builder.build()
+
+
+TRACE = synthetic_trace()
+TRAINING = synthetic_trace(seed=23, n=5_000, name="shard-train")
+
+#: The new-kernel families the shard matrix must pin: set-associative
+#: first levels (both associativities), the hybrids, and a per-set rung.
+MAKERS = {
+    "pag-a2-assoc2": lambda: make_pag(7, A2, 64, 2),
+    "pap-a2-assoc4": lambda: make_pap(5, A2, 32, 4),
+    "pap-lt-assoc4-noreset": lambda: make_pap(5, LAST_TIME, 32, 4, reset_pht_on_evict=False),
+    "btb-assoc4": lambda: BTBPredictor(64, 4, A2),
+    "gselect": lambda: GselectPredictor(6, 4),
+    "tournament": lambda: TournamentPredictor(
+        make_pag(6, A2, 32, 2), GselectPredictor(5, 3), chooser_bits=8
+    ),
+    "sas": lambda: make_predictor("sas-6x16", TRAINING),
+    "gag": lambda: make_predictor("gag-8", TRAINING),
+}
+
+CS_CONFIGS = [None, ContextSwitchConfig(interval=3_000)]
+SHARDS = [1, 2, 7, 64]
+
+
+def assert_shard_equivalent(make, trace, cs=None, warmup=0, track=False,
+                            shards=SHARDS):
+    reference = simulate(
+        make(), trace, context_switches=cs, track_per_site=track,
+        warmup_branches=warmup, backend="python",
+    )
+    for n_shards in shards:
+        sharded = simulate_sharded(
+            make(), trace, shards=n_shards, context_switches=cs,
+            track_per_site=track, warmup_branches=warmup,
+        )
+        assert sharded == reference, (n_shards,)
+    return reference
+
+
+@pytest.mark.parametrize("cs", CS_CONFIGS, ids=["none", "switches"])
+@pytest.mark.parametrize("name", sorted(MAKERS))
+def test_sharded_matches_engine(name, cs):
+    make = MAKERS[name]
+    assert kernel_supports(make())
+    assert shard_supports(make())
+    assert_shard_equivalent(make, TRACE, cs=cs)
+
+
+@pytest.mark.parametrize("name", ["pag-a2-assoc2", "tournament", "gselect"])
+def test_sharded_matches_engine_warmup_and_per_site(name):
+    result = assert_shard_equivalent(
+        MAKERS[name], TRACE, cs=ContextSwitchConfig(interval=3_000),
+        warmup=500, track=True,
+    )
+    assert result.per_site_executions
+
+
+def test_shard_boundary_on_context_switch_epoch():
+    """A chunk boundary landing exactly on a flush epoch must not shift
+    or duplicate the flush (first-level epochs are absolute)."""
+    builder = TraceBuilder(name="epoch-aligned", dataset="unit")
+    rng = random.Random(3)
+    for i in range(6_000):  # work=1 -> instret == i + 1, no traps/calls
+        pc = 0x1000 + 8 * (i % 37)
+        builder.branch(pc, rng.random() < 0.7, target=pc + 64, work=1)
+    trace = builder.build()
+    cs = ContextSwitchConfig(interval=3_000)  # epoch flips at record 3000
+    for make in (MAKERS["pag-a2-assoc2"], MAKERS["tournament"], MAKERS["gag"]):
+        # shards=2 puts its chunk boundary exactly at the epoch flip;
+        # 4 and 6000 cover boundaries on either side and every record.
+        assert_shard_equivalent(make, trace, cs=cs, shards=[2, 4, 6_000])
+
+
+def test_shard_size_one_records():
+    """More shards than conditional records: every chunk holds at most
+    one record (plus empty chunks), still bit-identical."""
+    small = synthetic_trace(seed=31, n=300, sites=24, name="tiny")
+    for name in ("pap-a2-assoc4", "tournament", "sas"):
+        assert_shard_equivalent(
+            MAKERS[name], small, cs=ContextSwitchConfig(interval=120),
+            shards=[300, 512],
+        )
+
+
+def test_every_paper_registry_scheme_is_kernel_supported():
+    """Acceptance pin: no scheme in the paper registry falls back."""
+    for spec in paper_table3_specs(history_bits=12):
+        predictor = make_predictor(str(spec), TRAINING)
+        assert kernel_supports(predictor), str(spec)
+        assert shard_supports(predictor), str(spec)
+
+
+def test_sharded_does_not_mutate_predictor():
+    predictor = MAKERS["pag-a2-assoc2"]()
+    before = predictor.bht.entries_snapshot()
+    simulate_sharded(predictor, TRACE, shards=4,
+                     context_switches=ContextSwitchConfig(interval=3_000))
+    assert predictor.bht.entries_snapshot() == before
+    tournament = MAKERS["tournament"]()
+    simulate_sharded(tournament, TRACE, shards=4)
+    assert tournament._choosers == [1] * len(tournament._choosers)
+    assert tournament.disagreements == 0
+    assert tournament.second.ghr == tournament.second._history_mask
+
+
+def _unsupported():
+    # An 8-state automaton is beyond the packed-code state limit.
+    return GAgPredictor(6, saturating_counter(3))
+
+
+def test_unsupported_predictor_raises_and_auto_falls_back():
+    assert not shard_supports(_unsupported())
+    with pytest.raises(KernelUnavailable):
+        simulate_sharded(_unsupported(), TRACE, shards=4)
+    with pytest.raises(KernelUnavailable):
+        simulate(_unsupported(), TRACE, backend="vectorized", shards=4)
+    result, used = simulate_with_backend(
+        _unsupported(), TRACE, backend="auto", shards=4
+    )
+    assert used == "python"
+    assert result == simulate(_unsupported(), TRACE, backend="python")
+
+
+def test_tournament_with_unsupported_component_falls_back():
+    hybrid = TournamentPredictor(_unsupported(), GselectPredictor(5, 3))
+    assert not kernel_supports(hybrid)
+    with pytest.raises(KernelUnavailable):
+        simulate_sharded(hybrid, TRACE, shards=2)
+    _result, used = simulate_with_backend(
+        TournamentPredictor(_unsupported(), GselectPredictor(5, 3)),
+        TRACE, backend="auto",
+    )
+    assert used == "python"
+
+
+def test_engine_rejects_invalid_shard_combinations():
+    with pytest.raises(ValueError):
+        simulate(MAKERS["gag"](), TRACE, backend="auto", shards=0)
+    with pytest.raises(ValueError):
+        simulate(MAKERS["gag"](), TRACE, backend="python", shards=2)
+    with pytest.raises(ValueError):
+        simulate(MAKERS["gag"](), TRACE, backend="auto", shards=2, block_size=1_000)
+    with pytest.raises(ValueError):
+        simulate_sharded(MAKERS["gag"](), TRACE, shards=0)
+
+
+def test_probe_with_explicit_vectorized_backend_raises():
+    from repro.obs import StreakHistogramProbe
+
+    with pytest.raises(KernelUnavailable):
+        simulate(MAKERS["gag"](), TRACE, backend="vectorized",
+                 probe=StreakHistogramProbe())
+    result, used = simulate_with_backend(
+        MAKERS["gag"](), TRACE, backend="auto", probe=StreakHistogramProbe()
+    )
+    assert used == "python"
+    assert result == simulate(MAKERS["gag"](), TRACE, backend="python")
+
+
+def test_engine_reports_vectorized_for_sharded_runs():
+    result, used = simulate_with_backend(
+        MAKERS["gag"](), TRACE, backend="auto", shards=4
+    )
+    assert used == "vectorized"
+    assert result == simulate(MAKERS["gag"](), TRACE, backend="python")
+
+
+def test_run_case_and_matrix_thread_shards():
+    case = BenchmarkCase(
+        name="shardcase", category="int",
+        test_trace=TRACE, training_trace=TRAINING,
+    )
+    plain = run_case(lambda _t: MAKERS["pag-a2-assoc2"](), case)
+    sharded = run_case(lambda _t: MAKERS["pag-a2-assoc2"](), case, shards=7)
+    assert sharded == plain
+    builders = {
+        "PAg-assoc": lambda _t: MAKERS["pag-a2-assoc2"](),
+        "Tournament": lambda _t: MAKERS["tournament"](),
+    }
+    reference = run_matrix(builders, [case])
+    matrix = run_matrix(builders, [case], shards=7)
+    assert matrix.cells == reference.cells
+    # The shard count rides the run telemetry into ledger entries
+    # (extra["shards"]) for simulated cells only.
+    assert reference.telemetry.shards == 0
+    assert matrix.telemetry.shards == 7
+    from repro.obs.ledger import entries_from_matrix
+
+    for entry in entries_from_matrix(matrix):
+        assert entry.extra["shards"] == 7
+    for entry in entries_from_matrix(reference):
+        assert "shards" not in entry.extra
+
+
+def test_cache_hits_report_cache_backend(tmp_path):
+    from repro.sim.parallel import spec
+    from repro.trace.cache import ResultCache
+
+    case = BenchmarkCase(
+        name="cachecase", category="int",
+        test_trace=synthetic_trace(seed=41, n=1_500, sites=32, name="cachecase"),
+    )
+    builders = {"GAg-6": spec("gag-6")}
+    cache = ResultCache(tmp_path)
+    cold = run_matrix(builders, [case], result_cache=cache)
+    assert [c.backend for c in cold.telemetry.cells] == ["vectorized"]
+    warm = run_matrix(builders, [case], result_cache=cache)
+    assert warm.cells == cold.cells
+    assert [c.backend for c in warm.telemetry.cells] == ["cache"]
